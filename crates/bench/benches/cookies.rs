@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the cookie substrate: header codecs and jar
+//! operations (these run on every request in the pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cp_cookies::{parse_cookie_header, parse_set_cookie, Cookie, CookieJar, SimDuration, SimTime};
+
+fn bench_cookies(c: &mut Criterion) {
+    let now = SimTime::from_secs(100);
+
+    c.bench_function("parse_set_cookie_full", |b| {
+        b.iter(|| {
+            parse_set_cookie(
+                "sid=abc123def; Domain=.shop.example; Path=/cat; Expires=Tue, 01 Jan 2008 00:00:00 GMT; Secure; HttpOnly",
+                "www.shop.example",
+                now,
+            )
+        })
+    });
+
+    c.bench_function("parse_cookie_header_8", |b| {
+        b.iter(|| parse_cookie_header("a=1; b=2; c=3; d=4; e=5; f=6; g=7; h=8"))
+    });
+
+    let mut jar = CookieJar::new();
+    for i in 0..200 {
+        let domain = format!("site{}.example", i % 20);
+        let c = Cookie::new(format!("c{i}"), "v", domain, now)
+            .with_expiry(now + SimDuration::from_days(365));
+        jar.store(c, now);
+    }
+    c.bench_function("jar_cookies_for_200", |b| {
+        b.iter(|| jar.cookies_for("site3.example", "/path/deep", now))
+    });
+
+    c.bench_function("jar_store_replace", |b| {
+        let mut jar = jar.clone();
+        b.iter(|| {
+            jar.store(
+                Cookie::new("c3", "new", "site3.example", now)
+                    .with_expiry(now + SimDuration::from_days(30)),
+                now,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_cookies);
+criterion_main!(benches);

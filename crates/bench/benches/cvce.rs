@@ -1,0 +1,52 @@
+//! Criterion benchmarks for Context-aware Visual Content Extraction
+//! (paper §4.2): the `contentExtract` O(n) walk and the NTextSim metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cookiepicker_core::{content_extract, n_text_sim, n_text_sim_strict};
+use cp_cookies::SimTime;
+use cp_html::NodeId;
+use cp_webworld::render::{render_page, RenderInput};
+use cp_webworld::{Category, CookieSpec, SiteSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn doc(richness: usize, noise_seed: u64) -> cp_html::Document {
+    let mut spec = SiteSpec::new("bench.example", Category::Society, 5)
+        .with_cookie(CookieSpec::tracker("trk"));
+    spec.richness = richness;
+    let input =
+        RenderInput { spec: &spec, path: "/", cookies: &[], now: SimTime::from_secs(noise_seed) };
+    cp_html::parse_document(&render_page(&input, &mut StdRng::seed_from_u64(noise_seed)))
+}
+
+fn bench_cvce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cvce");
+    for richness in [3usize, 20, 80] {
+        let a = doc(richness, 1);
+        let b = doc(richness, 2);
+        let root_a = a.body().unwrap_or(NodeId::DOCUMENT);
+        let root_b = b.body().unwrap_or(NodeId::DOCUMENT);
+        group.bench_with_input(
+            BenchmarkId::new("content_extract", richness),
+            &richness,
+            |bench, _| bench.iter(|| content_extract(&a, root_a)),
+        );
+        let sa = content_extract(&a, root_a);
+        let sb = content_extract(&b, root_b);
+        group.bench_with_input(
+            BenchmarkId::new("n_text_sim", richness),
+            &richness,
+            |bench, _| bench.iter(|| n_text_sim(&sa, &sb)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("n_text_sim_strict", richness),
+            &richness,
+            |bench, _| bench.iter(|| n_text_sim_strict(&sa, &sb)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cvce);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the HTML tokenizer and tree builder — the
+//! per-hidden-response cost of FORCUM step 3 (build the hidden DOM).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cp_cookies::SimTime;
+use cp_html::{parse_document, tokenize};
+use cp_webworld::render::{render_page, RenderInput};
+use cp_webworld::{Category, CookieSpec, SiteSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn page(richness: usize) -> String {
+    let mut spec = SiteSpec::new("bench.example", Category::News, 3)
+        .with_cookie(CookieSpec::tracker("trk"));
+    spec.richness = richness;
+    let input =
+        RenderInput { spec: &spec, path: "/", cookies: &[], now: SimTime::from_secs(1) };
+    render_page(&input, &mut StdRng::seed_from_u64(1))
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("html_parse");
+    for richness in [3usize, 20, 80] {
+        let html = page(richness);
+        group.throughput(Throughput::Bytes(html.len() as u64));
+        group.bench_with_input(BenchmarkId::new("tokenize", html.len()), &html, |b, html| {
+            b.iter(|| tokenize(html))
+        });
+        group.bench_with_input(BenchmarkId::new("parse_document", html.len()), &html, |b, html| {
+            b.iter(|| parse_document(html))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

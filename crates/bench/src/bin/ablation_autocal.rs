@@ -1,0 +1,127 @@
+//! Ablation A6 — automatic threshold calibration (implements the §5.2.2
+//! future work).
+//!
+//! Samples labelled similarity pairs from the experiment populations:
+//! *noise pairs* (two renders of the same page, same cookies) and *effect
+//! pairs* (cookie disabled), fits the tightest zero-miss thresholds with
+//! [`cookiepicker_core::fit_thresholds`], and replays Table 1 + Table 2
+//! under the fitted thresholds to compare against the paper's fixed 0.85.
+//!
+//! Usage: `ablation_autocal [seed]`.
+
+use cookiepicker_core::{decide, fit_thresholds, CookiePickerConfig, SimSample};
+use cp_bench::{run_site_training, TextTable, TrainingOptions};
+use cp_cookies::SimTime;
+use cp_webworld::render::{render_page, RenderInput};
+use cp_webworld::{table1_population, table2_population, SiteSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn render(spec: &SiteSpec, path: &str, cookies: &[(String, String)], k: u64) -> cp_html::Document {
+    let input = RenderInput { spec, path, cookies, now: SimTime::from_secs(k) };
+    cp_html::parse_document(&render_page(&input, &mut StdRng::seed_from_u64(k)))
+}
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let t1 = table1_population(seed);
+    let t2 = table2_population(seed);
+    let cfg = CookiePickerConfig::default();
+
+    // --- sample noise pairs from every site (non-bursty pages) ------------
+    let mut noise = Vec::new();
+    for spec in t1.iter().chain(t2.iter()) {
+        if spec.noise.structural_burst_prob > 0.0 {
+            continue; // bursts are unlearnable noise; exclude from fitting
+        }
+        let all: Vec<(String, String)> =
+            spec.cookies.iter().map(|c| (c.name.clone(), "v".to_string())).collect();
+        for k in 0..3u64 {
+            let a = render(spec, "/page/2", &all, seed + k);
+            let b = render(spec, "/page/2", &all, seed + 100 + k);
+            let d = decide(&a, &b, &cfg);
+            noise.push(SimSample::new(d.tree_sim, d.text_sim));
+        }
+    }
+
+    // --- sample effect pairs from the sites with useful cookies -----------
+    let mut effects = Vec::new();
+    for spec in t1.iter().chain(t2.iter()) {
+        if spec.useful_cookie_names().is_empty() {
+            continue;
+        }
+        let all: Vec<(String, String)> =
+            spec.cookies.iter().map(|c| (c.name.clone(), "v".to_string())).collect();
+        let path = spec
+            .cookies
+            .iter()
+            .find_map(|c| match &c.scope {
+                cp_webworld::PageSelector::Prefix(p) => Some(format!("{p}/home")),
+                cp_webworld::PageSelector::All => None,
+            })
+            .unwrap_or_else(|| "/page/1".to_string());
+        for k in 0..3u64 {
+            let a = render(spec, &path, &all, seed + k);
+            let b = render(spec, &path, &[], seed + 200 + k);
+            let d = decide(&a, &b, &cfg);
+            effects.push(SimSample::new(d.tree_sim, d.text_sim));
+        }
+    }
+
+    let fit = fit_thresholds(&noise, &effects);
+    println!("== A6: automatic threshold calibration (seed {seed}) ==\n");
+    println!("samples: {} noise pairs, {} effect pairs", noise.len(), effects.len());
+    println!(
+        "fitted thresholds: Thresh1 = {:.3}, Thresh2 = {:.3}  [paper: 0.85 / 0.85]",
+        fit.thresh1, fit.thresh2
+    );
+    println!(
+        "separable on samples: {} (residual noise-misread rate {:.1}%)",
+        fit.separable,
+        fit.residual_false_rate * 100.0
+    );
+
+    // --- replay both populations under fitted vs paper thresholds ---------
+    let mut table = TextTable::new(&[
+        "Thresholds",
+        "False-useful cookies",
+        "Missed useful cookies",
+    ]);
+    let all_sites: Vec<_> = t1.iter().chain(t2.iter()).cloned().collect();
+    for (label, config) in [
+        ("paper 0.85/0.85".to_string(), cfg.clone()),
+        (
+            format!("fitted {:.2}/{:.2}", fit.thresh1, fit.thresh2),
+            CookiePickerConfig::default().with_thresholds(fit.thresh1, fit.thresh2),
+        ),
+    ] {
+        let results: Vec<_> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = all_sites
+                .iter()
+                .map(|spec| {
+                    let config = config.clone();
+                    scope.spawn(move |_| {
+                        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
+                        run_site_training(spec, &opts)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("run")).collect::<Vec<_>>()
+        })
+        .expect("scope");
+        let mut false_useful = 0usize;
+        let mut missed = 0usize;
+        for r in &results {
+            let truth = r.spec.useful_cookie_names();
+            false_useful +=
+                r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
+            missed += truth.iter().filter(|t| !r.marked_names.iter().any(|m| m == *t)).count();
+        }
+        table.row(&[label, false_useful.to_string(), missed.to_string()]);
+    }
+    print!("\n{}", table.render());
+    println!("\nReading: the fitted thresholds keep the zero-miss guarantee while");
+    println!("trimming the avoidable false-useful marks; the burst-noise sites remain");
+    println!("false positives under any threshold (their noise is indistinguishable");
+    println!("from a cookie effect within a single probe).");
+}

@@ -1,0 +1,89 @@
+//! Ablation A5 — test-group strategy comparison (an extension beyond the
+//! paper, motivated by its P5/P6 piggyback marks).
+//!
+//! * `SentCookies` — the paper's behaviour: whole sent group per probe.
+//!   Fast, but useless cookies riding with a useful one get marked.
+//! * `PerCookie` — one cookie per probe: precise but linear in the cookie
+//!   count.
+//! * `GroupBisect` — whole group, then binary-search the culprits: the
+//!   precision of PerCookie at near-SentCookies probe budgets.
+//!
+//! Usage: `ablation_strategy [seed]`.
+
+use cookiepicker_core::{CookiePickerConfig, TestGroupStrategy};
+use cp_bench::{run_site_training, TextTable, TrainingOptions};
+use cp_webworld::{table1_population, table2_population};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let all: Vec<_> =
+        table1_population(seed).into_iter().chain(table2_population(seed)).collect();
+
+    let mut table = TextTable::new(&[
+        "Strategy",
+        "Marked useful",
+        "of which real",
+        "Piggyback/false marks",
+        "Missed useful",
+        "Hidden requests",
+    ]);
+
+    println!("== A5: test-group strategy comparison over 36 sites (seed {seed}) ==\n");
+    for (name, strategy) in [
+        ("SentCookies (paper)", TestGroupStrategy::SentCookies),
+        ("PerCookie", TestGroupStrategy::PerCookie),
+        ("GroupBisect", TestGroupStrategy::GroupBisect),
+    ] {
+        let config = CookiePickerConfig::default().with_strategy(strategy);
+        let results: Vec<_> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = all
+                .iter()
+                .map(|spec| {
+                    let config = config.clone();
+                    scope.spawn(move |_| {
+                        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
+                        run_site_training(spec, &opts)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("run")).collect::<Vec<_>>()
+        })
+        .expect("scope");
+
+        let verbose = std::env::var_os("CP_VERBOSE").is_some();
+        let (mut marked, mut real_marked, mut false_marked, mut missed, mut probes) =
+            (0usize, 0usize, 0usize, 0usize, 0usize);
+        for r in &results {
+            let truth = r.spec.useful_cookie_names();
+            marked += r.marked_names.len();
+            real_marked += r.marked_names.iter().filter(|m| truth.contains(&m.as_str())).count();
+            false_marked +=
+                r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
+            let missing: Vec<&&str> =
+                truth.iter().filter(|t| !r.marked_names.iter().any(|m| &m == t)).collect();
+            if verbose && !missing.is_empty() {
+                eprintln!("  [{name}] {} missed {missing:?}", r.spec.domain);
+            }
+            missed += missing.len();
+            probes += r.records.len();
+        }
+        table.row(&[
+            name.to_string(),
+            marked.to_string(),
+            real_marked.to_string(),
+            false_marked.to_string(),
+            missed.to_string(),
+            probes.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nReading: SentCookies reproduces the paper (piggyback marks on P5/P6 plus");
+    println!("the bursty-site false positives) and never misses a useful cookie — the");
+    println!("group amplifies even tiny per-cookie effects. PerCookie and GroupBisect");
+    println!("eliminate the piggybacking, but a cookie whose individual effect is very");
+    println!("small (P6's 3-item cached panel) can slip under the 0.85 thresholds when");
+    println!("probed alone — the conservative whole-group test errs in the direction the");
+    println!("paper prefers (never miss; tolerate extra kept cookies). Structural-burst");
+    println!("noise fools every strategy equally: in a single probe it is");
+    println!("indistinguishable from a cookie effect.");
+}

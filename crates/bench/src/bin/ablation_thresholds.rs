@@ -1,0 +1,76 @@
+//! Ablation A1 — the threshold sweep the paper leaves as future work
+//! (§5.2.2: "the number may be further reduced if we fine-tune the two
+//! thresholds").
+//!
+//! Sweeps `Thresh1 = Thresh2` over [0.30, 0.95] and reruns both experiment
+//! populations at each setting, reporting the two error kinds of §3.3:
+//!
+//! * **false useful** — useless cookies kept (privacy cost, error kind 1);
+//! * **missed useful** — useful cookies blocked (usability cost, error
+//!   kind 2, requires backward error recovery).
+//!
+//! The paper's conservative 0.85/0.85 sits where missed-useful is zero; the
+//! sweep shows the trade-off curve around it.
+//!
+//! Usage: `ablation_thresholds [seed]`.
+
+use cookiepicker_core::CookiePickerConfig;
+use cp_bench::{run_site_training, TextTable, TrainingOptions};
+use cp_webworld::{table1_population, table2_population};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let t1 = table1_population(seed);
+    let t2 = table2_population(seed);
+    let all: Vec<_> = t1.iter().chain(t2.iter()).cloned().collect();
+
+    let mut table = TextTable::new(&[
+        "Thresh",
+        "False-useful cookies",
+        "Missed useful cookies",
+        "Sites needing recovery",
+    ]);
+
+    println!("== A1: threshold sweep (Thresh1 = Thresh2, seed {seed}) ==\n");
+    for thresh in [0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95] {
+        let config = CookiePickerConfig::default().with_thresholds(thresh, thresh);
+        let results: Vec<_> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = all
+                .iter()
+                .map(|spec| {
+                    let config = config.clone();
+                    scope.spawn(move |_| {
+                        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
+                        run_site_training(spec, &opts)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("run")).collect::<Vec<_>>()
+        })
+        .expect("scope");
+
+        let mut false_useful = 0usize;
+        let mut missed = 0usize;
+        let mut recovery_sites = 0usize;
+        for r in &results {
+            let truth = r.spec.useful_cookie_names();
+            let truth: Vec<&str> = truth.to_vec();
+            false_useful +=
+                r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
+            let missing =
+                truth.iter().filter(|t| !r.marked_names.iter().any(|m| m == *t)).count();
+            missed += missing;
+            recovery_sites += usize::from(missing > 0);
+        }
+        table.row(&[
+            format!("{thresh:.2}"),
+            false_useful.to_string(),
+            missed.to_string(),
+            recovery_sites.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nReading: lowering the thresholds trims false-useful marks but starts");
+    println!("missing real useful cookies (which costs backward-error-recovery clicks);");
+    println!("the paper's 0.85 choice is the conservative end where nothing is missed.");
+}

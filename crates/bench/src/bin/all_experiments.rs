@@ -1,0 +1,37 @@
+//! Runs every experiment binary in sequence (E1, E2, E4, E5, A1–A4) —
+//! the one-command regeneration of all the paper's tables and claims.
+//!
+//! Usage: `all_experiments [seed]`.
+
+use std::process::Command;
+
+fn main() {
+    let seed = std::env::args().nth(1).unwrap_or_else(|| "1".to_string());
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("bin dir");
+
+    let experiments = [
+        "table1",
+        "table2",
+        "measurement_study",
+        "fig_stm_vs_rstm",
+        "fig_durations",
+        "ablation_thresholds",
+        "ablation_level",
+        "ablation_cvce",
+        "ablation_strategy",
+        "ablation_autocal",
+        "baseline_doppelganger",
+    ];
+    for exp in experiments {
+        println!("\n{}", "=".repeat(78));
+        println!("== running {exp} (seed {seed})");
+        println!("{}\n", "=".repeat(78));
+        let status = Command::new(dir.join(exp))
+            .arg(&seed)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} exited with {status}");
+    }
+    println!("\nAll experiments completed.");
+}

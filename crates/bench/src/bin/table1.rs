@@ -1,0 +1,143 @@
+//! Experiment E1 — reproduces **Table 1** of the paper: online testing
+//! results for thirty Web sites (S1–S30).
+//!
+//! For each site, CookiePicker trains over ≥25 page views; we report the
+//! number of persistent cookies, how many CookiePicker marked useful, how
+//! many are *really* useful (ground truth — the paper's manual
+//! verification), the average detection time, and the average CookiePicker
+//! duration (hidden-request latency + detection).
+//!
+//! Paper reference values: 103 persistent cookies, 7 marked useful, 3 real
+//! useful; 25/30 sites fully disabled; detection avg 14.6 ms (2007
+//! hardware); duration avg 2,683 ms with S4/S17/S28 near 10 s.
+//!
+//! Usage: `table1 [seed]` (default seed 1).
+
+use cp_bench::{run_site_training, SiteRunResult, TextTable, TrainingOptions};
+use cp_webworld::table1_population;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let sites = table1_population(seed);
+
+    // Sites are independent: run them on worker threads.
+    let results: Vec<SiteRunResult> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = sites
+            .iter()
+            .map(|spec| {
+                scope.spawn(move |_| {
+                    let opts = TrainingOptions { seed, ..TrainingOptions::default() };
+                    run_site_training(spec, &opts)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("site run panicked")).collect()
+    })
+    .expect("scope");
+
+    let mut table = TextTable::new(&[
+        "Web Site",
+        "Persistent",
+        "Marked Useful",
+        "Real Useful",
+        "Detection Time(ms)",
+        "CookiePicker Duration(ms)",
+    ]);
+    let (mut persistent, mut marked, mut real) = (0usize, 0usize, 0usize);
+    let (mut det_sum, mut dur_sum) = (0.0f64, 0.0f64);
+    let mut fully_disabled = 0usize;
+    let mut false_useful_sites = Vec::new();
+    let mut missed = Vec::new();
+
+    for (i, r) in results.iter().enumerate() {
+        let label = format!("S{}", i + 1);
+        persistent += r.persistent;
+        marked += r.marked_useful;
+        real += r.real_useful;
+        det_sum += r.avg_detection_ms();
+        dur_sum += r.avg_duration_ms();
+        if r.marked_useful == 0 {
+            fully_disabled += 1;
+        }
+        if r.marked_useful > 0 && r.real_useful == 0 {
+            false_useful_sites.push(label.clone());
+        }
+        if r.missed_useful() {
+            missed.push(label.clone());
+        }
+        table.row(&[
+            label,
+            r.persistent.to_string(),
+            r.marked_useful.to_string(),
+            r.real_useful.to_string(),
+            format!("{:.3}", r.avg_detection_ms()),
+            format!("{:.1}", r.avg_duration_ms()),
+        ]);
+    }
+    table.row(&[
+        "Total".to_string(),
+        persistent.to_string(),
+        marked.to_string(),
+        real.to_string(),
+        String::new(),
+        String::new(),
+    ]);
+    table.row(&[
+        "Average".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{:.3}", det_sum / results.len() as f64),
+        format!("{:.1}", dur_sum / results.len() as f64),
+    ]);
+
+    println!("== Table 1: online testing results for thirty Web sites (seed {seed}) ==\n");
+    print!("{}", table.render());
+    println!();
+    println!(
+        "Fully-disabled sites: {fully_disabled}/30 ({:.1}%)   [paper: 25/30 = 83.3%]",
+        100.0 * fully_disabled as f64 / 30.0
+    );
+    println!(
+        "False-useful sites:   {} ({})              [paper: 3 (S1, S10, S27)]",
+        false_useful_sites.len(),
+        false_useful_sites.join(", ")
+    );
+    println!(
+        "Missed useful cookies: {}                     [paper: 0 — no backward recovery needed]",
+        if missed.is_empty() { "none".to_string() } else { missed.join(", ") }
+    );
+    println!(
+        "Totals: persistent {persistent} [paper 103], marked {marked} [paper 7], real {real} [paper 3]"
+    );
+    println!(
+        "Averages: detection {:.3} ms [paper 14.6 ms on 2007 hardware], duration {:.1} ms [paper 2,683.3 ms]",
+        det_sum / results.len() as f64,
+        dur_sum / results.len() as f64
+    );
+
+    // Machine-readable dump for EXPERIMENTS.md bookkeeping.
+    let rows: Vec<serde_json::Value> = results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            serde_json::json!({
+                "site": format!("S{}", i + 1),
+                "host": r.spec.domain,
+                "persistent": r.persistent,
+                "marked_useful": r.marked_useful,
+                "real_useful": r.real_useful,
+                "avg_detection_ms": r.avg_detection_ms(),
+                "avg_duration_ms": r.avg_duration_ms(),
+                "probes": r.records.len(),
+            })
+        })
+        .collect();
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("table1.json");
+        if std::fs::write(&path, serde_json::to_string_pretty(&rows).expect("json")).is_ok() {
+            println!("\n(json written to {})", path.display());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The per-site training driver used by every experiment binary.
+
+use std::sync::Arc;
+
+use cookiepicker_core::{CookiePicker, CookiePickerConfig, DetectionRecord};
+use cp_browser::Browser;
+use cp_cookies::{CookieJar, CookiePolicy};
+use cp_net::{NetworkStats, SimNetwork, Url};
+use cp_webworld::{SiteServer, SiteSpec};
+
+/// Options for one site's training run.
+#[derive(Debug, Clone)]
+pub struct TrainingOptions {
+    /// Minimum page views (the paper uses "over 25").
+    pub min_page_views: usize,
+    /// Network/browser seed (latency and think-time draws).
+    pub seed: u64,
+    /// CookiePicker configuration.
+    pub config: CookiePickerConfig,
+}
+
+impl Default for TrainingOptions {
+    fn default() -> Self {
+        TrainingOptions { min_page_views: 28, seed: 1, config: CookiePickerConfig::default() }
+    }
+}
+
+/// The outcome of training CookiePicker on one site.
+#[derive(Debug)]
+pub struct SiteRunResult {
+    /// The site trained on.
+    pub spec: SiteSpec,
+    /// Persistent cookies stored in the jar at the end.
+    pub persistent: usize,
+    /// Cookies marked useful by CookiePicker.
+    pub marked_useful: usize,
+    /// Ground-truth useful cookies.
+    pub real_useful: usize,
+    /// Names CookiePicker marked.
+    pub marked_names: Vec<String>,
+    /// Every detection record of the run.
+    pub records: Vec<DetectionRecord>,
+    /// Final jar contents.
+    pub jar: CookieJar,
+    /// Network traffic consumed by the whole run.
+    pub net_stats: NetworkStats,
+    /// Page views performed.
+    pub page_views: usize,
+}
+
+impl SiteRunResult {
+    /// Mean detection time in milliseconds (0 when no probe ran).
+    pub fn avg_detection_ms(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.decision.detection_micros as f64 / 1_000.0).sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// Mean CookiePicker duration in milliseconds (hidden latency +
+    /// detection; 0 when no probe ran).
+    pub fn avg_duration_ms(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.duration_ms).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// The detection records in which cookies were judged useful.
+    pub fn marking_records(&self) -> Vec<&DetectionRecord> {
+        self.records.iter().filter(|r| r.decision.cookies_caused_difference).collect()
+    }
+
+    /// Whether CookiePicker missed any really-useful cookie.
+    pub fn missed_useful(&self) -> bool {
+        let truth = self.spec.useful_cookie_names();
+        truth.iter().any(|t| !self.marked_names.iter().any(|m| m == t))
+    }
+}
+
+/// Trains CookiePicker on one site: visits its pages (cycling when the
+/// paper's "over 25" exceeds the page count), lets the picker probe after
+/// each view, and reports the outcome.
+pub fn run_site_training(spec: &SiteSpec, options: &TrainingOptions) -> SiteRunResult {
+    let server = SiteServer::new(spec.clone());
+    let latency = server.latency_model();
+    let mut net = SimNetwork::new(options.seed ^ spec.seed);
+    net.register_with_latency(spec.domain.clone(), server, latency);
+    let net = Arc::new(net);
+
+    let mut browser = Browser::new(Arc::clone(&net), CookiePolicy::AcceptAll, options.seed);
+    let mut picker = CookiePicker::new(options.config.clone());
+
+    let paths = spec.page_paths();
+    // "Over 25 pages" per the paper, and at least two passes over every
+    // distinct path so path-scoped cookies are both set and then tested.
+    let target_views = options.min_page_views.max(paths.len() * 2 + 4);
+    let mut views = 0usize;
+    let mut i = 0usize;
+    while views < target_views {
+        let path = &paths[i % paths.len()];
+        let url = Url::parse(&format!("http://{}{}", spec.domain, path)).expect("valid url");
+        browser
+            .visit_with(&url, &mut picker)
+            .unwrap_or_else(|e| panic!("visit {url} failed: {e}"));
+        browser.think();
+        views += 1;
+        i += 1;
+    }
+
+    let now = browser.now();
+    let (persistent, marked) = browser.jar.site_stats(&spec.domain, now);
+    let marked_names: Vec<String> = browser
+        .jar
+        .cookies_for_site(&spec.domain, now)
+        .into_iter()
+        .filter(|c| c.is_persistent() && c.useful())
+        .map(|c| c.name.clone())
+        .collect();
+
+    SiteRunResult {
+        persistent,
+        marked_useful: marked,
+        real_useful: spec.useful_cookie_names().len(),
+        marked_names,
+        records: picker.records().to_vec(),
+        jar: browser.jar.clone(),
+        net_stats: net.stats(),
+        page_views: views,
+        spec: spec.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_webworld::{Category, CookieRole, CookieSpec, EffectSize};
+
+    #[test]
+    fn tracker_only_site_fully_disabled() {
+        let spec = SiteSpec::new("h1.example", Category::News, 77)
+            .with_cookie(CookieSpec::tracker("a"))
+            .with_cookie(CookieSpec::tracker("b"));
+        let r = run_site_training(&spec, &TrainingOptions::default());
+        assert_eq!(r.persistent, 2);
+        assert_eq!(r.marked_useful, 0);
+        assert_eq!(r.real_useful, 0);
+        assert!(!r.missed_useful());
+        assert!(r.page_views >= 28);
+        assert!(r.avg_duration_ms() > 0.0);
+    }
+
+    #[test]
+    fn preference_site_marks_useful() {
+        let spec = SiteSpec::new("h2.example", Category::Shopping, 78)
+            .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium));
+        let r = run_site_training(&spec, &TrainingOptions::default());
+        assert_eq!(r.marked_useful, 1);
+        assert!(!r.missed_useful());
+        assert!(!r.marking_records().is_empty());
+        let sims = &r.marking_records()[0].decision;
+        assert!(sims.tree_sim <= 0.85 && sims.text_sim <= 0.85);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let spec = SiteSpec::new("h3.example", Category::Arts, 79)
+            .with_cookie(CookieSpec::tracker("a"));
+        let opts = TrainingOptions::default();
+        let r1 = run_site_training(&spec, &opts);
+        let r2 = run_site_training(&spec, &opts);
+        assert_eq!(r1.marked_useful, r2.marked_useful);
+        assert_eq!(r1.records.len(), r2.records.len());
+        // Similarity scores are bit-identical across runs.
+        for (a, b) in r1.records.iter().zip(&r2.records) {
+            assert_eq!(a.decision.tree_sim, b.decision.tree_sim);
+            assert_eq!(a.decision.text_sim, b.decision.text_sim);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared experiment harness: drives CookiePicker over synthetic site
+//! populations and aggregates per-site outcomes in the shape of the paper's
+//! tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{run_site_training, SiteRunResult, TrainingOptions};
+pub use table::TextTable;

@@ -1,0 +1,100 @@
+//! Minimal aligned text-table printer for experiment output.
+
+/// A text table with a header row and aligned columns.
+///
+/// ```
+/// use cp_bench::TextTable;
+/// let mut t = TextTable::new(&["Site", "Cookies"]);
+/// t.row(&["S1", "2"]);
+/// t.row(&["S2", "14"]);
+/// let s = t.render();
+/// assert!(s.contains("S1"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        self.rows.push(cells.iter().map(|s| s.as_ref().to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with `|`-separated aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(cols).enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!(" {cell:w$} |", w = w));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment() {
+        let mut t = TextTable::new(&["A", "Long header"]);
+        t.row(&["xxxxxxx", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn missing_and_extra_cells() {
+        let mut t = TextTable::new(&["A", "B"]);
+        t.row(&["only"]);
+        t.row(&["x", "y", "dropped"]);
+        let s = t.render();
+        assert!(s.contains("only"));
+        assert!(!s.contains("dropped"));
+    }
+}

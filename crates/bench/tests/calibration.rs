@@ -1,0 +1,113 @@
+//! Calibration tests: the similarity scores of the synthetic populations
+//! must sit in the regimes the detectors are designed for — cookie effects
+//! clearly below the 0.85 thresholds, page-dynamics noise clearly above.
+
+use cookiepicker_core::{decide, CookiePickerConfig};
+use cp_cookies::SimTime;
+use cp_webworld::render::{render_page, RenderInput};
+use cp_webworld::{table1_population, table2_population, SiteSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn render(spec: &SiteSpec, path: &str, cookies: &[(String, String)], noise_seed: u64) -> cp_html::Document {
+    let input = RenderInput { spec, path, cookies, now: SimTime::from_secs(noise_seed) };
+    cp_html::parse_document(&render_page(&input, &mut StdRng::seed_from_u64(noise_seed)))
+}
+
+fn pairs(names: &[&str]) -> Vec<(String, String)> {
+    names.iter().map(|n| (n.to_string(), "v".to_string())).collect()
+}
+
+#[test]
+fn s6_preference_cookies_detectable_individually_and_jointly() {
+    let sites = table1_population(1);
+    let s6 = &sites[5];
+    let cfg = CookiePickerConfig::default();
+    let regular = render(s6, "/page/1", &pairs(&["pref_main", "pref_aux"]), 1);
+    for (label, remaining) in [
+        ("strip pref_main", pairs(&["pref_aux"])),
+        ("strip pref_aux", pairs(&["pref_main"])),
+        ("strip both", vec![]),
+    ] {
+        let hidden = render(s6, "/page/1", &remaining, 2);
+        let d = decide(&regular, &hidden, &cfg);
+        assert!(
+            d.cookies_caused_difference,
+            "{label}: tree={:.3} text={:.3} must be detected",
+            d.tree_sim,
+            d.text_sim
+        );
+        assert!(d.tree_sim >= 0.2, "{label}: effect should not dwarf the page");
+    }
+}
+
+#[test]
+fn tracker_sites_noise_stays_above_thresholds() {
+    // For every non-bursty Table-1 site: two renders of the same page with
+    // the same cookies (pure dynamics noise) must NOT trip the decision.
+    let sites = table1_population(1);
+    let cfg = CookiePickerConfig::default();
+    for (i, spec) in sites.iter().enumerate() {
+        if [0usize, 9, 26].contains(&i) {
+            continue; // bursty sites are expected to trip occasionally
+        }
+        let a = render(spec, "/page/2", &[], 10);
+        let b = render(spec, "/page/2", &[], 20);
+        let d = decide(&a, &b, &cfg);
+        assert!(
+            !d.cookies_caused_difference,
+            "S{}: noise misread as cookie effect (tree={:.3}, text={:.3})",
+            i + 1,
+            d.tree_sim,
+            d.text_sim
+        );
+    }
+}
+
+#[test]
+fn table2_effects_well_separated_from_thresholds() {
+    let sites = table2_population(1);
+    let cfg = CookiePickerConfig::default();
+    for (i, spec) in sites.iter().enumerate() {
+        let names: Vec<&str> = spec.cookies.iter().map(|c| c.name.as_str()).collect();
+        // Probe on the page where the useful effect lives.
+        let path = spec
+            .cookies
+            .iter()
+            .find_map(|c| match &c.scope {
+                cp_webworld::PageSelector::Prefix(p) => Some(format!("{p}/home")),
+                cp_webworld::PageSelector::All => None,
+            })
+            .unwrap_or_else(|| "/page/1".to_string());
+        let regular = render(spec, &path, &pairs(&names), 1);
+        let hidden = render(spec, &path, &[], 2);
+        let d = decide(&regular, &hidden, &cfg);
+        assert!(d.cookies_caused_difference, "P{} undetected", i + 1);
+        assert!(
+            d.tree_sim < 0.80 && d.text_sim < 0.80,
+            "P{}: margins too thin (tree={:.3}, text={:.3})",
+            i + 1,
+            d.tree_sim,
+            d.text_sim
+        );
+    }
+}
+
+#[test]
+fn bursty_sites_trip_detector_without_cookies() {
+    // The S1/S10/S27 mechanism: a structural burst in one of the two
+    // versions looks exactly like a cookie effect.
+    let sites = table1_population(1);
+    let s1 = &sites[0];
+    let cfg = CookiePickerConfig::default();
+    let mut tripped = false;
+    for k in 0..30 {
+        let a = render(s1, "/", &[], 100 + k);
+        let b = render(s1, "/", &[], 200 + k);
+        if decide(&a, &b, &cfg).cookies_caused_difference {
+            tripped = true;
+            break;
+        }
+    }
+    assert!(tripped, "bursty dynamics must eventually mimic a cookie effect");
+}

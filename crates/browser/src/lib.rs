@@ -1,0 +1,46 @@
+//! A simulated Web browser: the host environment for CookiePicker.
+//!
+//! Models the parts of Firefox 1.5 that the paper's extension interacts
+//! with:
+//!
+//! * the **page-view pipeline** (§3.1): the container-page request, redirect
+//!   filtering, cookie attachment per policy, `Set-Cookie` processing,
+//!   DOM construction with the bundled parser, and parallel fetches of the
+//!   page's embedded objects;
+//! * a **cookie jar** ([`cp_cookies::CookieJar`]) with first/third-party
+//!   classification against the top-level page;
+//! * a **think-time model** (§3.2 cites Mah's empirical HTTP model: the
+//!   average think time is more than 10 s);
+//! * an **extension hook** ([`BrowserExtension`]) invoked after every page
+//!   render — the equivalent of the Firefox event CookiePicker listens to.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cp_browser::Browser;
+//! use cp_cookies::CookiePolicy;
+//! use cp_net::{SimNetwork, Url};
+//! use cp_webworld::{SiteServer, SiteSpec, Category};
+//!
+//! let spec = SiteSpec::new("demo.example", Category::News, 1);
+//! let mut net = SimNetwork::new(1);
+//! net.register("demo.example", SiteServer::new(spec));
+//!
+//! let mut browser = Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 42);
+//! let view = browser.visit(&Url::parse("http://demo.example/").unwrap()).unwrap();
+//! assert!(view.dom.body().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod pageview;
+pub mod session;
+pub mod think;
+
+pub use browser::{extract_object_urls, party_of, Browser, BrowserExtension, PageContext};
+pub use pageview::PageView;
+pub use session::RandomSurfer;
+pub use think::ThinkTimeModel;

@@ -1,0 +1,39 @@
+//! The record of one rendered page view.
+
+use cp_cookies::SimDuration;
+use cp_html::Document;
+use cp_net::{Request, Response, Url};
+
+/// Everything the browser retained about one page view — the regular
+/// requests/responses of Figure 1 plus the parsed DOM.
+#[derive(Debug)]
+pub struct PageView {
+    /// Final URL of the container page (after redirects).
+    pub url: Url,
+    /// The container-page request exactly as sent (headers include the
+    /// `Cookie` header, which CookiePicker's step 1 records).
+    pub container_request: Request,
+    /// The container-page response.
+    pub container_response: Response,
+    /// The DOM built by the browser's parser (the *regular DOM tree*).
+    pub dom: Document,
+    /// Number of redirects followed before the real container page.
+    pub redirects: usize,
+    /// Number of embedded objects fetched.
+    pub objects: usize,
+    /// Total page-load time: container latency + slowest parallel object.
+    pub load_time: SimDuration,
+}
+
+impl PageView {
+    /// The host of the container page — the *first party* for cookie
+    /// classification.
+    pub fn top_host(&self) -> &str {
+        self.url.host()
+    }
+
+    /// The container page's HTML text.
+    pub fn html(&self) -> String {
+        self.container_response.body_string()
+    }
+}

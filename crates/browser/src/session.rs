@@ -1,0 +1,148 @@
+//! Browsing-session drivers: scripted visit sequences and a random surfer.
+//!
+//! The paper's experiments "visit over 25 Web pages" per site (§5.2.1); a
+//! real user reaches those pages by following links. [`RandomSurfer`]
+//! reproduces that: starting from a site's front page it repeatedly picks a
+//! same-site link from the rendered DOM (with an occasional jump back to
+//! the front page), thinking between clicks — organic coverage for FORCUM
+//! training instead of a fixed path list.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cp_net::{NetError, Url};
+
+use crate::browser::{Browser, BrowserExtension};
+use crate::pageview::PageView;
+
+/// A same-site random surfer.
+#[derive(Debug)]
+pub struct RandomSurfer {
+    rng: StdRng,
+    /// Probability of jumping back to the entry page instead of following a
+    /// link (the "teleport" of surfing models).
+    pub restart_probability: f64,
+}
+
+impl RandomSurfer {
+    /// Creates a surfer with the given seed and a 15% restart probability.
+    pub fn new(seed: u64) -> Self {
+        RandomSurfer { rng: StdRng::seed_from_u64(seed), restart_probability: 0.15 }
+    }
+
+    /// Same-site links of a page, resolved against its URL.
+    pub fn same_site_links(view: &PageView) -> Vec<Url> {
+        let doc = &view.dom;
+        let mut out = Vec::new();
+        for n in doc.preorder_all() {
+            if doc.tag_name(n) == Some("a") {
+                if let Some(href) = doc.attr(n, "href") {
+                    if href.is_empty() || href.starts_with('#') {
+                        continue;
+                    }
+                    let target = view.url.join(href);
+                    if target.host() == view.url.host() && !out.contains(&target) {
+                        out.push(target);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Surfs `clicks` pages starting at `entry`, driving `ext` on each
+    /// view and thinking between clicks. Returns the visited URLs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first network error (an unknown host mid-session).
+    pub fn surf<E: BrowserExtension>(
+        &mut self,
+        browser: &mut Browser,
+        entry: &Url,
+        clicks: usize,
+        ext: &mut E,
+    ) -> Result<Vec<Url>, NetError> {
+        let mut visited = Vec::with_capacity(clicks);
+        let mut current = entry.clone();
+        for _ in 0..clicks {
+            let view = browser.visit_with(&current, ext)?;
+            visited.push(view.url.clone());
+            browser.think();
+            let links = Self::same_site_links(&view);
+            current = if links.is_empty() || self.rng.gen::<f64>() < self.restart_probability {
+                entry.clone()
+            } else {
+                links[self.rng.gen_range(0..links.len())].clone()
+            };
+        }
+        Ok(visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use cp_cookies::CookiePolicy;
+    use cp_net::SimNetwork;
+    use cp_webworld::{Category, CookieSpec, SiteServer, SiteSpec};
+
+    struct Noop;
+    impl BrowserExtension for Noop {
+        fn on_page_loaded(&mut self, _ctx: &mut crate::browser::PageContext<'_>) {}
+    }
+
+    fn world() -> (Browser, Url) {
+        let spec =
+            SiteSpec::new("surf.example", Category::News, 61).with_cookie(CookieSpec::tracker("t"));
+        let mut net = SimNetwork::new(1);
+        net.register("surf.example", SiteServer::new(spec));
+        let browser = Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 2);
+        (browser, Url::parse("http://surf.example/").unwrap())
+    }
+
+    #[test]
+    fn surfer_visits_requested_click_count() {
+        let (mut browser, entry) = world();
+        let mut surfer = RandomSurfer::new(5);
+        let visited = surfer.surf(&mut browser, &entry, 12, &mut Noop).unwrap();
+        assert_eq!(visited.len(), 12);
+        assert!(visited.iter().all(|u| u.host() == "surf.example"));
+    }
+
+    #[test]
+    fn surfer_reaches_multiple_pages() {
+        let (mut browser, entry) = world();
+        let mut surfer = RandomSurfer::new(5);
+        let visited = surfer.surf(&mut browser, &entry, 20, &mut Noop).unwrap();
+        let distinct: std::collections::HashSet<String> =
+            visited.iter().map(|u| u.path().to_string()).collect();
+        assert!(distinct.len() >= 3, "surfing should cover several pages: {distinct:?}");
+    }
+
+    #[test]
+    fn link_extraction_filters_offsite_and_fragments() {
+        let (mut browser, entry) = world();
+        let view = browser.visit(&entry).unwrap();
+        let links = RandomSurfer::same_site_links(&view);
+        assert!(!links.is_empty());
+        assert!(links.iter().all(|u| u.host() == "surf.example"));
+    }
+
+    #[test]
+    fn deterministic_surf() {
+        let route = |seed| {
+            let (mut browser, entry) = world();
+            let mut surfer = RandomSurfer::new(seed);
+            surfer
+                .surf(&mut browser, &entry, 10, &mut Noop)
+                .unwrap()
+                .iter()
+                .map(|u| u.path().to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(route(9), route(9));
+    }
+}

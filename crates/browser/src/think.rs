@@ -1,0 +1,97 @@
+//! User think-time model.
+//!
+//! CookiePicker runs its hidden request during the user's *think time*
+//! (§3.2, step 2), which Mah's empirical HTTP traffic model \[12\] puts at
+//! more than 10 seconds on average. We model think time as a log-normal
+//! distribution, the standard fit for inter-click gaps.
+
+use rand::Rng;
+
+use cp_cookies::SimDuration;
+
+/// A log-normal think-time model.
+///
+/// ```
+/// use cp_browser::ThinkTimeModel;
+/// use rand::SeedableRng;
+///
+/// let model = ThinkTimeModel::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mean_ms: u64 = (0..500).map(|_| model.sample(&mut rng).as_millis()).sum::<u64>() / 500;
+/// assert!(mean_ms > 10_000, "average think time exceeds 10 s, got {mean_ms} ms");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThinkTimeModel {
+    /// Mean of the underlying normal (log-milliseconds).
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+    /// Lower clamp, so a user never clicks "instantly".
+    pub min: SimDuration,
+    /// Upper clamp, so one sample cannot stall an experiment.
+    pub max: SimDuration,
+}
+
+impl Default for ThinkTimeModel {
+    /// Median ≈ 11.6 s, mean ≈ 13 s — consistent with Mah's ">10 s".
+    fn default() -> Self {
+        ThinkTimeModel {
+            mu: (11_600.0f64).ln(),
+            sigma: 0.55,
+            min: SimDuration::from_millis(1_500),
+            max: SimDuration::from_secs(120),
+        }
+    }
+}
+
+impl ThinkTimeModel {
+    /// Draws one think time.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        // Box-Muller transform (rand 0.8 core has no normal distribution).
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let ms = (self.mu + self.sigma * z).exp();
+        let ms = ms.clamp(self.min.as_millis() as f64, self.max.as_millis() as f64);
+        SimDuration::from_millis(ms as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_within_clamps() {
+        let m = ThinkTimeModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let t = m.sample(&mut rng);
+            assert!(t >= m.min && t <= m.max);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = ThinkTimeModel::default();
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..20).map(|_| m.sample(&mut rng).as_millis()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..20).map(|_| m.sample(&mut rng).as_millis()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_exceeds_ten_seconds() {
+        let m = ThinkTimeModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean: u64 = (0..2_000).map(|_| m.sample(&mut rng).as_millis()).sum::<u64>() / 2_000;
+        assert!(mean > 10_000, "{mean}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Jar auditing: privacy-oriented summaries of a cookie jar.
+//!
+//! This is the user-facing payoff of CookiePicker (§1): show how much
+//! long-term tracking surface a jar carries, and how much of it the
+//! `useful` marks justify keeping. The lifetime buckets mirror the authors'
+//! measurement study (§2).
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::jar::CookieJar;
+use crate::time::{SimDuration, SimTime};
+
+/// Lifetime buckets used by the audit (and the measurement study).
+pub const LIFETIME_BUCKETS: [(&str, u64); 5] = [
+    ("< 1 month", 30),
+    ("1-6 months", 180),
+    ("6-12 months", 365),
+    ("1-10 years", 3_650),
+    (">= 10 years", u64::MAX),
+];
+
+/// A privacy audit of one cookie jar at an instant.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JarAudit {
+    /// Total live cookies.
+    pub total: usize,
+    /// Session cookies (no expiry).
+    pub session: usize,
+    /// Persistent cookies.
+    pub persistent: usize,
+    /// Persistent cookies marked useful.
+    pub useful: usize,
+    /// Persistent cookies *not* marked useful — removable tracking surface.
+    pub removable: usize,
+    /// Persistent cookies whose remaining lifetime is one year or more —
+    /// the paper's headline metric.
+    pub year_plus: usize,
+    /// Remaining-lifetime histogram over [`LIFETIME_BUCKETS`].
+    pub lifetime_histogram: Vec<(String, usize)>,
+    /// Cookies per domain, sorted by count (descending, then name).
+    pub by_domain: Vec<(String, usize)>,
+}
+
+impl JarAudit {
+    /// Fraction of persistent cookies living ≥ 1 year (0 when none).
+    pub fn year_plus_share(&self) -> f64 {
+        if self.persistent == 0 {
+            return 0.0;
+        }
+        self.year_plus as f64 / self.persistent as f64
+    }
+}
+
+/// Audits `jar` at time `now`. Expired cookies are ignored.
+///
+/// ```
+/// use cp_cookies::{audit_jar, Cookie, CookieJar, SimDuration, SimTime};
+/// let now = SimTime::EPOCH;
+/// let mut jar = CookieJar::new();
+/// jar.store(Cookie::new("sid", "1", "a.example", now), now); // session
+/// jar.store(
+///     Cookie::new("trk", "2", "a.example", now).with_expiry(now + SimDuration::from_days(730)),
+///     now,
+/// );
+/// let audit = audit_jar(&jar, now);
+/// assert_eq!(audit.total, 2);
+/// assert_eq!(audit.session, 1);
+/// assert_eq!(audit.year_plus, 1);
+/// assert_eq!(audit.removable, 1);
+/// ```
+pub fn audit_jar(jar: &CookieJar, now: SimTime) -> JarAudit {
+    let year = SimDuration::from_days(365);
+    let mut session = 0usize;
+    let mut persistent = 0usize;
+    let mut useful = 0usize;
+    let mut year_plus = 0usize;
+    let mut histogram: Vec<(String, usize)> =
+        LIFETIME_BUCKETS.iter().map(|(l, _)| (l.to_string(), 0)).collect();
+    let mut by_domain: BTreeMap<String, usize> = BTreeMap::new();
+    let mut total = 0usize;
+
+    for c in jar.iter() {
+        if c.is_expired(now) {
+            continue;
+        }
+        total += 1;
+        *by_domain.entry(c.domain.clone()).or_default() += 1;
+        match c.expires {
+            None => session += 1,
+            Some(e) => {
+                persistent += 1;
+                if c.useful() {
+                    useful += 1;
+                }
+                let remaining = e.saturating_since(now);
+                if remaining >= year {
+                    year_plus += 1;
+                }
+                let days = remaining.as_millis() / 86_400_000;
+                for (i, (_, hi)) in LIFETIME_BUCKETS.iter().enumerate() {
+                    if days < *hi {
+                        histogram[i].1 += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut by_domain: Vec<(String, usize)> = by_domain.into_iter().collect();
+    by_domain.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    JarAudit {
+        total,
+        session,
+        persistent,
+        useful,
+        removable: persistent - useful,
+        year_plus,
+        lifetime_histogram: histogram,
+        by_domain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cookie;
+
+    fn jar_with(cookies: Vec<Cookie>) -> CookieJar {
+        let mut jar = CookieJar::new();
+        for c in cookies {
+            jar.store(c, SimTime::EPOCH);
+        }
+        jar
+    }
+
+    fn persistent(name: &str, domain: &str, days: u64) -> Cookie {
+        Cookie::new(name, "v", domain, SimTime::EPOCH)
+            .with_expiry(SimTime::EPOCH + SimDuration::from_days(days))
+    }
+
+    #[test]
+    fn empty_jar() {
+        let audit = audit_jar(&CookieJar::new(), SimTime::EPOCH);
+        assert_eq!(audit.total, 0);
+        assert_eq!(audit.year_plus_share(), 0.0);
+        assert!(audit.by_domain.is_empty());
+    }
+
+    #[test]
+    fn buckets_and_shares() {
+        let jar = jar_with(vec![
+            persistent("a", "x.example", 7),
+            persistent("b", "x.example", 90),
+            persistent("c", "x.example", 200),
+            persistent("d", "y.example", 400),
+            persistent("e", "y.example", 4_000),
+        ]);
+        let audit = audit_jar(&jar, SimTime::EPOCH);
+        assert_eq!(audit.persistent, 5);
+        assert_eq!(audit.year_plus, 2);
+        assert!((audit.year_plus_share() - 0.4).abs() < 1e-12);
+        let counts: Vec<usize> = audit.lifetime_histogram.iter().map(|(_, c)| *c).collect();
+        assert_eq!(counts, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn useful_marks_split_removable() {
+        let mut jar = jar_with(vec![
+            persistent("keep", "x.example", 400),
+            persistent("drop", "x.example", 400),
+        ]);
+        jar.mark_useful("x.example", &["keep"]);
+        let audit = audit_jar(&jar, SimTime::EPOCH);
+        assert_eq!(audit.useful, 1);
+        assert_eq!(audit.removable, 1);
+    }
+
+    #[test]
+    fn expired_cookies_ignored() {
+        let jar = jar_with(vec![persistent("old", "x.example", 10)]);
+        let later = SimTime::EPOCH + SimDuration::from_days(20);
+        let audit = audit_jar(&jar, later);
+        assert_eq!(audit.total, 0);
+    }
+
+    #[test]
+    fn domains_sorted_by_count() {
+        let jar = jar_with(vec![
+            persistent("a", "big.example", 400),
+            persistent("b", "big.example", 400),
+            persistent("c", "small.example", 400),
+        ]);
+        let audit = audit_jar(&jar, SimTime::EPOCH);
+        assert_eq!(audit.by_domain[0], ("big.example".to_string(), 2));
+        assert_eq!(audit.by_domain[1], ("small.example".to_string(), 1));
+    }
+
+    #[test]
+    fn remaining_lifetime_is_relative_to_now() {
+        // A 2-year cookie inspected after 1.5 years has <1 year left.
+        let jar = jar_with(vec![persistent("a", "x.example", 730)]);
+        let later = SimTime::EPOCH + SimDuration::from_days(548);
+        let audit = audit_jar(&jar, later);
+        assert_eq!(audit.year_plus, 0);
+        assert_eq!(audit.persistent, 1);
+    }
+}

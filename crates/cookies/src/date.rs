@@ -1,0 +1,229 @@
+//! HTTP date parsing and formatting (the three legacy formats).
+//!
+//! Cookie `Expires` attributes on the 2007-era Web used RFC 1123
+//! (`Sun, 06 Nov 1994 08:49:37 GMT`), RFC 850
+//! (`Sunday, 06-Nov-94 08:49:37 GMT`) or asctime
+//! (`Sun Nov  6 08:49:37 1994`). This module converts between those forms
+//! and [`SimTime`], whose epoch the experiments anchor at
+//! **2007-01-01 00:00:00 UTC**. Dates before the epoch saturate to
+//! [`SimTime::EPOCH`] (i.e. "already expired").
+
+use crate::time::SimTime;
+
+/// Calendar year of the simulation epoch.
+pub const EPOCH_YEAR: i64 = 2007;
+
+const MONTHS: [&str; 12] =
+    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+const WEEKDAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+
+/// Days from civil date to the proleptic-Gregorian day number
+/// (Howard Hinnant's `days_from_civil`), relative to 1970-01-01.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn epoch_day() -> i64 {
+    days_from_civil(EPOCH_YEAR, 1, 1)
+}
+
+/// Converts a UTC calendar date-time into simulated time.
+///
+/// Returns [`SimTime::EPOCH`] for instants before the simulation epoch.
+///
+/// ```
+/// use cp_cookies::date::civil_to_sim;
+/// use cp_cookies::SimTime;
+/// assert_eq!(civil_to_sim(2007, 1, 1, 0, 0, 0), SimTime::EPOCH);
+/// assert_eq!(civil_to_sim(2007, 1, 2, 0, 0, 0).as_secs(), 86_400);
+/// assert_eq!(civil_to_sim(1999, 12, 31, 23, 59, 59), SimTime::EPOCH);
+/// ```
+pub fn civil_to_sim(year: i64, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> SimTime {
+    let days = days_from_civil(year, month, day) - epoch_day();
+    let secs = days * 86_400 + hour as i64 * 3_600 + min as i64 * 60 + sec as i64;
+    if secs <= 0 {
+        SimTime::EPOCH
+    } else {
+        SimTime::from_secs(secs as u64)
+    }
+}
+
+/// Converts simulated time back into a UTC calendar date-time
+/// `(year, month, day, hour, minute, second)`.
+pub fn sim_to_civil(t: SimTime) -> (i64, u32, u32, u32, u32, u32) {
+    let total_secs = t.as_secs() as i64;
+    let days = total_secs.div_euclid(86_400) + epoch_day();
+    let rem = total_secs.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    ((y), m, d, (rem / 3_600) as u32, ((rem % 3_600) / 60) as u32, (rem % 60) as u32)
+}
+
+/// Formats an instant as an RFC 1123 date (`Tue, 02 Jan 2007 03:04:05 GMT`).
+pub fn format_http_date(t: SimTime) -> String {
+    let (y, m, d, hh, mm, ss) = sim_to_civil(t);
+    let day_number = days_from_civil(y, m, d);
+    // 1970-01-01 was a Thursday (weekday index 3 with Mon=0).
+    let weekday = (day_number.rem_euclid(7) + 3) % 7;
+    format!(
+        "{}, {:02} {} {} {:02}:{:02}:{:02} GMT",
+        WEEKDAYS[weekday as usize],
+        d,
+        MONTHS[(m - 1) as usize],
+        y,
+        hh,
+        mm,
+        ss
+    )
+}
+
+fn month_from_name(name: &str) -> Option<u32> {
+    MONTHS.iter().position(|m| m.eq_ignore_ascii_case(name)).map(|p| p as u32 + 1)
+}
+
+/// Parses any of the three legacy HTTP date formats into simulated time.
+///
+/// Returns `None` for unrecognized input. Two-digit RFC 850 years are
+/// resolved with the usual pivot: `00..=69` → 2000s, `70..=99` → 1900s.
+///
+/// ```
+/// use cp_cookies::date::{parse_http_date, civil_to_sim};
+/// let t = parse_http_date("Tue, 02 Jan 2007 00:00:00 GMT").unwrap();
+/// assert_eq!(t, civil_to_sim(2007, 1, 2, 0, 0, 0));
+/// assert!(parse_http_date("Tuesday, 02-Jan-07 00:00:00 GMT").is_some());
+/// assert!(parse_http_date("Tue Jan  2 00:00:00 2007").is_some());
+/// assert!(parse_http_date("not a date").is_none());
+/// ```
+pub fn parse_http_date(s: &str) -> Option<SimTime> {
+    let s = s.trim();
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    // asctime: "Tue Jan  2 00:00:00 2007" → 5 tokens, second is a month.
+    if parts.len() == 5 && month_from_name(parts[1]).is_some() {
+        let month = month_from_name(parts[1])?;
+        let day: u32 = parts[2].parse().ok()?;
+        let (h, m, sec) = parse_clock(parts[3])?;
+        let year: i64 = parts[4].parse().ok()?;
+        return Some(civil_to_sim(year, month, day, h, m, sec));
+    }
+    // RFC 1123: "Tue, 02 Jan 2007 00:00:00 GMT" → 6 tokens.
+    if parts.len() >= 6 && parts[0].ends_with(',') && !parts[1].contains('-') {
+        let day: u32 = parts[1].parse().ok()?;
+        let month = month_from_name(parts[2])?;
+        let year: i64 = parts[3].parse().ok()?;
+        let (h, m, sec) = parse_clock(parts[4])?;
+        return Some(civil_to_sim(year, month, day, h, m, sec));
+    }
+    // RFC 850: "Tuesday, 02-Jan-07 00:00:00 GMT" → 4 tokens with dashes.
+    if parts.len() >= 3 && parts[0].ends_with(',') && parts[1].contains('-') {
+        let dmy: Vec<&str> = parts[1].split('-').collect();
+        if dmy.len() == 3 {
+            let day: u32 = dmy[0].parse().ok()?;
+            let month = month_from_name(dmy[1])?;
+            let mut year: i64 = dmy[2].parse().ok()?;
+            if year < 100 {
+                year += if year < 70 { 2000 } else { 1900 };
+            }
+            let (h, m, sec) = parse_clock(parts[2])?;
+            return Some(civil_to_sim(year, month, day, h, m, sec));
+        }
+    }
+    None
+}
+
+fn parse_clock(s: &str) -> Option<(u32, u32, u32)> {
+    let hms: Vec<&str> = s.split(':').collect();
+    if hms.len() != 3 {
+        return None;
+    }
+    let h: u32 = hms[0].parse().ok()?;
+    let m: u32 = hms[1].parse().ok()?;
+    let sec: u32 = hms[2].parse().ok()?;
+    if h > 23 || m > 59 || sec > 60 {
+        return None;
+    }
+    Some((h, m, sec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_jan_first_2007() {
+        assert_eq!(civil_to_sim(2007, 1, 1, 0, 0, 0), SimTime::EPOCH);
+        assert_eq!(sim_to_civil(SimTime::EPOCH), (2007, 1, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn round_trip_format_parse() {
+        for t in [0u64, 1, 86_400, 31_536_000, 123_456_789] {
+            let t = SimTime::from_secs(t);
+            let s = format_http_date(t);
+            assert_eq!(parse_http_date(&s), Some(t), "failed for {s}");
+        }
+    }
+
+    #[test]
+    fn known_weekday() {
+        // 2007-01-01 was a Monday.
+        assert!(format_http_date(SimTime::EPOCH).starts_with("Mon, 01 Jan 2007"));
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        // 2008 was a leap year: Feb 29 exists.
+        let t = civil_to_sim(2008, 2, 29, 12, 0, 0);
+        assert_eq!(sim_to_civil(t), (2008, 2, 29, 12, 0, 0));
+    }
+
+    #[test]
+    fn rfc850_two_digit_year() {
+        let t = parse_http_date("Friday, 01-Feb-08 00:00:00 GMT").unwrap();
+        assert_eq!(sim_to_civil(t).0, 2008);
+        let t = parse_http_date("Friday, 01-Feb-99 00:00:00 GMT").unwrap();
+        assert_eq!(t, SimTime::EPOCH); // 1999 < epoch → saturate
+    }
+
+    #[test]
+    fn asctime_with_double_space() {
+        let t = parse_http_date("Tue Jan  2 03:04:05 2007").unwrap();
+        assert_eq!(sim_to_civil(t), (2007, 1, 2, 3, 4, 5));
+    }
+
+    #[test]
+    fn pre_epoch_saturates() {
+        assert_eq!(parse_http_date("Thu, 01 Jan 1970 00:00:00 GMT"), Some(SimTime::EPOCH));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        for bad in ["", "yesterday", "Tue, xx Jan 2007 00:00:00 GMT", "Tue, 02 Foo 2007 00:00:00 GMT", "Tue, 02 Jan 2007 25:00:00 GMT"] {
+            assert_eq!(parse_http_date(bad), None, "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn one_year_expiry_is_365_days() {
+        let t = civil_to_sim(2008, 1, 1, 0, 0, 0);
+        assert_eq!(t.as_secs(), 365 * 86_400);
+    }
+}

@@ -1,0 +1,368 @@
+//! The browser cookie jar.
+//!
+//! Stores [`Cookie`] records with RFC 6265-style replacement and matching,
+//! plus the CookiePicker-specific operations: marking cookies useful,
+//! querying the useful/useless split per site, and removing useless
+//! persistent cookies once a site's training stabilizes (§3.3: "those
+//! disabled useless cookies will be removed from the Web browser's cookie
+//! jar").
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Cookie;
+use crate::time::SimTime;
+
+/// Default cap on cookies stored per domain (Firefox 1.5 used 50).
+pub const MAX_PER_DOMAIN: usize = 50;
+/// Default cap on total cookies (Firefox 1.5 used 1000; we allow more for
+/// large simulated populations).
+pub const MAX_TOTAL: usize = 10_000;
+
+/// A browser cookie jar.
+///
+/// ```
+/// use cp_cookies::{Cookie, CookieJar, SimTime};
+/// let now = SimTime::EPOCH;
+/// let mut jar = CookieJar::new();
+/// jar.store(Cookie::new("a", "1", "x.com", now), now);
+/// jar.store(Cookie::new("b", "2", "y.com", now), now);
+/// assert_eq!(jar.len(), 2);
+/// assert_eq!(jar.cookies_for("x.com", "/", now).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CookieJar {
+    cookies: Vec<Cookie>,
+}
+
+impl CookieJar {
+    /// Creates an empty jar.
+    pub fn new() -> Self {
+        CookieJar::default()
+    }
+
+    /// Number of stored cookies (including expired ones not yet purged).
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    /// Whether the jar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+
+    /// Stores `cookie`, replacing any cookie with the same (name, domain,
+    /// path) identity. Storing an already-expired cookie **deletes** the
+    /// matching stored cookie (the `Max-Age=0` deletion idiom).
+    ///
+    /// Returns the replaced cookie, if any. The `useful` mark of a replaced
+    /// cookie is inherited by its replacement (the mark belongs to the
+    /// cookie identity, not the value — re-issuing a cookie must not reset
+    /// training).
+    pub fn store(&mut self, mut cookie: Cookie, now: SimTime) -> Option<Cookie> {
+        let existing = self
+            .cookies
+            .iter()
+            .position(|c| c.identity() == cookie.identity());
+        if cookie.is_expired(now) {
+            return existing.map(|i| self.cookies.remove(i));
+        }
+        match existing {
+            Some(i) => {
+                if self.cookies[i].useful() {
+                    cookie.mark_useful();
+                }
+                cookie.created = self.cookies[i].created;
+                Some(std::mem::replace(&mut self.cookies[i], cookie))
+            }
+            None => {
+                self.evict_if_needed(&cookie, now);
+                self.cookies.push(cookie);
+                None
+            }
+        }
+    }
+
+    fn evict_if_needed(&mut self, incoming: &Cookie, now: SimTime) {
+        self.purge_expired(now);
+        // Per-domain cap: evict the oldest cookie of the same domain.
+        let domain_count = self.cookies.iter().filter(|c| c.domain == incoming.domain).count();
+        if domain_count >= MAX_PER_DOMAIN {
+            if let Some(i) = self
+                .cookies
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.domain == incoming.domain)
+                .min_by_key(|(_, c)| c.created)
+                .map(|(i, _)| i)
+            {
+                self.cookies.remove(i);
+            }
+        }
+        // Global cap: evict the globally oldest.
+        if self.cookies.len() >= MAX_TOTAL {
+            if let Some(i) = self
+                .cookies
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.created)
+                .map(|(i, _)| i)
+            {
+                self.cookies.remove(i);
+            }
+        }
+    }
+
+    /// Removes expired cookies.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        self.cookies.retain(|c| !c.is_expired(now));
+    }
+
+    /// The cookies to attach to a request for `host`/`path` at `now`, in
+    /// RFC 6265 order: longer paths first, then older creation time first.
+    pub fn cookies_for(&self, host: &str, path: &str, now: SimTime) -> Vec<&Cookie> {
+        let mut out: Vec<&Cookie> = self
+            .cookies
+            .iter()
+            .filter(|c| c.matches_request(host, path, now))
+            .collect();
+        out.sort_by(|a, b| {
+            b.path.len().cmp(&a.path.len()).then(a.created.cmp(&b.created))
+        });
+        out
+    }
+
+    /// Iterates over all stored cookies.
+    pub fn iter(&self) -> impl Iterator<Item = &Cookie> {
+        self.cookies.iter()
+    }
+
+    /// All cookies whose domain matches `host` (any path), unexpired.
+    pub fn cookies_for_site(&self, host: &str, now: SimTime) -> Vec<&Cookie> {
+        self.cookies
+            .iter()
+            .filter(|c| !c.is_expired(now) && c.domain_matches(host))
+            .collect()
+    }
+
+    /// Marks the named cookies of `host` as useful (FORCUM step 5 /
+    /// backward error recovery). Returns how many marks changed.
+    pub fn mark_useful(&mut self, host: &str, names: &[&str]) -> usize {
+        let mut changed = 0;
+        for c in &mut self.cookies {
+            if c.domain_matches(host) && names.contains(&c.name.as_str()) && !c.useful() {
+                c.mark_useful();
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Removes the **useless persistent** cookies of `host`: persistent
+    /// cookies still unmarked after training (§3.3). Returns the removed
+    /// cookies.
+    pub fn remove_useless_persistent(&mut self, host: &str) -> Vec<Cookie> {
+        let mut removed = Vec::new();
+        let mut i = 0;
+        while i < self.cookies.len() {
+            let c = &self.cookies[i];
+            if c.domain_matches(host) && c.is_persistent() && !c.useful() {
+                removed.push(self.cookies.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        removed
+    }
+
+    /// Serializes the jar (including `useful` marks) to JSON — the
+    /// equivalent of Firefox persisting `cookies.txt` across restarts.
+    ///
+    /// ```
+    /// use cp_cookies::{Cookie, CookieJar, SimTime};
+    /// let mut jar = CookieJar::new();
+    /// jar.store(Cookie::new("a", "1", "x.com", SimTime::EPOCH), SimTime::EPOCH);
+    /// let restored = CookieJar::from_json(&jar.to_json()).unwrap();
+    /// assert_eq!(restored.len(), 1);
+    /// ```
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("jar serialization is infallible")
+    }
+
+    /// Restores a jar from [`to_json`](CookieJar::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Convenience counters for a site: `(persistent, marked_useful)`.
+    pub fn site_stats(&self, host: &str, now: SimTime) -> (usize, usize) {
+        let site = self.cookies_for_site(host, now);
+        let persistent = site.iter().filter(|c| c.is_persistent()).count();
+        let useful = site.iter().filter(|c| c.is_persistent() && c.useful()).count();
+        (persistent, useful)
+    }
+}
+
+impl<'a> IntoIterator for &'a CookieJar {
+    type Item = &'a Cookie;
+    type IntoIter = std::slice::Iter<'a, Cookie>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cookies.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    const HOST: &str = "shop.example";
+
+    fn persistent(name: &str, now: SimTime) -> Cookie {
+        Cookie::new(name, "v", HOST, now).with_expiry(now + SimDuration::from_days(365))
+    }
+
+    #[test]
+    fn store_and_retrieve() {
+        let now = SimTime::EPOCH;
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::new("a", "1", HOST, now), now);
+        let got = jar.cookies_for(HOST, "/", now);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, "1");
+    }
+
+    #[test]
+    fn replacement_keeps_identity() {
+        let now = SimTime::EPOCH;
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::new("a", "1", HOST, now), now);
+        let replaced = jar.store(Cookie::new("a", "2", HOST, now), now);
+        assert_eq!(replaced.unwrap().value, "1");
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.cookies_for(HOST, "/", now)[0].value, "2");
+    }
+
+    #[test]
+    fn replacement_inherits_useful_mark_and_created() {
+        let t0 = SimTime::EPOCH;
+        let t1 = SimTime::from_secs(100);
+        let mut jar = CookieJar::new();
+        jar.store(persistent("a", t0), t0);
+        jar.mark_useful(HOST, &["a"]);
+        jar.store(persistent("a", t1), t1);
+        let c = jar.cookies_for(HOST, "/", t1)[0];
+        assert!(c.useful(), "re-issued cookie must keep its training mark");
+        assert_eq!(c.created, t0, "creation time is the first store");
+    }
+
+    #[test]
+    fn same_name_different_path_coexist() {
+        let now = SimTime::EPOCH;
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::new("a", "root", HOST, now), now);
+        jar.store(Cookie::new("a", "deep", HOST, now).with_path("/x"), now);
+        assert_eq!(jar.len(), 2);
+        // Longer path sorts first.
+        let got = jar.cookies_for(HOST, "/x/y", now);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].value, "deep");
+        assert_eq!(got[1].value, "root");
+    }
+
+    #[test]
+    fn expired_store_deletes() {
+        let now = SimTime::from_secs(100);
+        let mut jar = CookieJar::new();
+        jar.store(persistent("a", now), now);
+        assert_eq!(jar.len(), 1);
+        // Max-Age=0 style: expires == now.
+        let deletion = Cookie::new("a", "", HOST, now).with_expiry(now);
+        jar.store(deletion, now);
+        assert_eq!(jar.len(), 0);
+    }
+
+    #[test]
+    fn expired_cookies_not_sent_and_purged() {
+        let t0 = SimTime::EPOCH;
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::new("a", "1", HOST, t0).with_expiry(SimTime::from_secs(10)), t0);
+        let later = SimTime::from_secs(20);
+        assert!(jar.cookies_for(HOST, "/", later).is_empty());
+        jar.purge_expired(later);
+        assert_eq!(jar.len(), 0);
+    }
+
+    #[test]
+    fn domain_isolation() {
+        let now = SimTime::EPOCH;
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::new("a", "1", "x.com", now), now);
+        jar.store(Cookie::new("a", "1", "y.com", now), now);
+        assert_eq!(jar.cookies_for("x.com", "/", now).len(), 1);
+        assert_eq!(jar.cookies_for_site("y.com", now).len(), 1);
+    }
+
+    #[test]
+    fn mark_useful_and_stats() {
+        let now = SimTime::EPOCH;
+        let mut jar = CookieJar::new();
+        jar.store(persistent("a", now), now);
+        jar.store(persistent("b", now), now);
+        jar.store(Cookie::new("sess", "1", HOST, now), now);
+        assert_eq!(jar.site_stats(HOST, now), (2, 0));
+        assert_eq!(jar.mark_useful(HOST, &["a"]), 1);
+        assert_eq!(jar.mark_useful(HOST, &["a"]), 0, "already marked");
+        assert_eq!(jar.site_stats(HOST, now), (2, 1));
+    }
+
+    #[test]
+    fn remove_useless_persistent_spares_useful_and_session() {
+        let now = SimTime::EPOCH;
+        let mut jar = CookieJar::new();
+        jar.store(persistent("useful", now), now);
+        jar.store(persistent("useless", now), now);
+        jar.store(Cookie::new("sess", "1", HOST, now), now);
+        jar.mark_useful(HOST, &["useful"]);
+        let removed = jar.remove_useless_persistent(HOST);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].name, "useless");
+        assert_eq!(jar.len(), 2);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_marks() {
+        let now = SimTime::EPOCH;
+        let mut jar = CookieJar::new();
+        jar.store(persistent("a", now), now);
+        jar.store(persistent("b", now), now);
+        jar.mark_useful(HOST, &["a"]);
+        let restored = CookieJar::from_json(&jar.to_json()).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert!(restored.iter().find(|c| c.name == "a").unwrap().useful());
+        assert!(!restored.iter().find(|c| c.name == "b").unwrap().useful());
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(CookieJar::from_json("not json").is_err());
+        assert!(CookieJar::from_json("{\"wrong\": true}").is_err());
+    }
+
+    #[test]
+    fn per_domain_eviction() {
+        let mut jar = CookieJar::new();
+        for i in 0..(MAX_PER_DOMAIN + 5) {
+            let t = SimTime::from_secs(i as u64);
+            jar.store(Cookie::new(format!("c{i}"), "v", HOST, t), t);
+        }
+        let now = SimTime::from_secs(1_000);
+        assert!(jar.cookies_for_site(HOST, now).len() <= MAX_PER_DOMAIN);
+        // The oldest were evicted.
+        assert!(!jar.iter().any(|c| c.name == "c0"));
+    }
+}

@@ -1,0 +1,124 @@
+//! HTTP cookie machinery for the CookiePicker reproduction.
+//!
+//! Implements the cookie semantics the paper's Firefox extension manipulates:
+//!
+//! * [`model`] — the [`Cookie`] record, including the paper's
+//!   extra **`useful`** field (§3.2, step 5): every cookie starts `useful =
+//!   false` and the FORCUM training process may flip it to `true`, never
+//!   back.
+//! * [`parse`] — `Set-Cookie` / `Cookie` header codecs in the
+//!   Netscape/RFC 2109 style of the 2007-era Web, with RFC 6265-flavoured
+//!   robustness.
+//! * [`date`] — the three legacy HTTP date formats.
+//! * [`audit`] — privacy summaries of a jar (lifetime histogram, removable
+//!   tracking surface).
+//! * [`jar`] — the browser cookie jar: storage, domain/path matching,
+//!   expiry, replacement, usefulness marking and useless-cookie removal.
+//! * [`policy`] — browser cookie policies, including the CookiePicker policy
+//!   "send first-party persistent cookies only when marked useful".
+//! * [`time`] — simulated wall-clock time ([`SimTime`]), so
+//!   every experiment is deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use cp_cookies::{CookieJar, SimTime, parse_set_cookie};
+//!
+//! let now = SimTime::from_millis(1_000);
+//! let cookie = parse_set_cookie(
+//!     "pref=dark; Max-Age=31536000; Path=/",
+//!     "shop.example.com",
+//!     now,
+//! ).unwrap();
+//! assert!(cookie.is_persistent());
+//!
+//! let mut jar = CookieJar::new();
+//! jar.store(cookie, now);
+//! let send = jar.cookies_for("shop.example.com", "/basket", now);
+//! assert_eq!(send.len(), 1);
+//! assert_eq!(send[0].name, "pref");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod date;
+pub mod jar;
+pub mod model;
+pub mod parse;
+pub mod policy;
+pub mod time;
+
+pub use audit::{audit_jar, JarAudit};
+pub use jar::CookieJar;
+pub use model::{Cookie, Party};
+pub use parse::{encode_cookie_header, parse_cookie_header, parse_set_cookie, ParseCookieError};
+pub use policy::CookiePolicy;
+pub use time::{SimDuration, SimTime};
+
+/// Whether two hosts belong to the same *site* (registrable domain).
+///
+/// CookiePicker only needs first/third-party classification, so we use the
+/// pragmatic rule browsers used before the public-suffix list: the
+/// registrable domain is the last two labels, or the last three when the
+/// second-to-last label is a well-known second-level suffix (`co.uk`,
+/// `com.au`, …).
+///
+/// ```
+/// use cp_cookies::same_site;
+/// assert!(same_site("www.example.com", "img.example.com"));
+/// assert!(!same_site("example.com", "tracker.net"));
+/// assert!(same_site("a.co.uk", "www.a.co.uk"));
+/// assert!(!same_site("a.co.uk", "b.co.uk"));
+/// ```
+pub fn same_site(host_a: &str, host_b: &str) -> bool {
+    registrable_domain(host_a) == registrable_domain(host_b)
+}
+
+/// The registrable domain of a host (see [`same_site`]).
+pub fn registrable_domain(host: &str) -> String {
+    const SECOND_LEVEL: &[&str] = &["co", "com", "org", "net", "gov", "ac", "edu"];
+    let host = host.to_ascii_lowercase();
+    let labels: Vec<&str> = host.split('.').collect();
+    if labels.len() <= 2 {
+        return host;
+    }
+    let n = labels.len();
+    // e.g. ["www", "a", "co", "uk"] → second-to-last is "co" and the TLD is
+    // short: keep three labels.
+    if labels[n - 2].len() <= 3 && SECOND_LEVEL.contains(&labels[n - 2]) && labels[n - 1].len() <= 3 {
+        labels[n - 3..].join(".")
+    } else {
+        labels[n - 2..].join(".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registrable_domain_basic() {
+        assert_eq!(registrable_domain("www.example.com"), "example.com");
+        assert_eq!(registrable_domain("example.com"), "example.com");
+        assert_eq!(registrable_domain("a.b.c.example.com"), "example.com");
+    }
+
+    #[test]
+    fn registrable_domain_second_level() {
+        assert_eq!(registrable_domain("www.bbc.co.uk"), "bbc.co.uk");
+        assert_eq!(registrable_domain("shop.foo.com.au"), "foo.com.au");
+    }
+
+    #[test]
+    fn same_site_case_insensitive() {
+        assert!(same_site("WWW.Example.COM", "example.com"));
+    }
+
+    #[test]
+    fn localhost_is_its_own_site() {
+        assert!(same_site("localhost", "localhost"));
+        assert!(!same_site("localhost", "example.com"));
+    }
+}

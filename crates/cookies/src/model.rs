@@ -1,0 +1,239 @@
+//! The cookie record, including the paper's `useful` marking field.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Whether a cookie (or a request) is first-party or third-party relative to
+/// the page the user is visiting (§2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Party {
+    /// Created by / sent to the site the user is currently visiting.
+    First,
+    /// Created by / sent to a different site (trackers, ad networks, …).
+    Third,
+}
+
+impl fmt::Display for Party {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Party::First => "first-party",
+            Party::Third => "third-party",
+        })
+    }
+}
+
+/// A browser cookie record.
+///
+/// Besides the standard Netscape/RFC 2109 fields this carries the paper's
+/// extension: a [`useful`](Cookie::useful) flag that starts `false` and can
+/// only move `false → true` during the FORCUM training process (§3.2,
+/// step 5) — enforced by [`mark_useful`](Cookie::mark_useful) being the only
+/// public mutator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// Domain the cookie is scoped to (normalized lower-case, no leading
+    /// dot). See [`host_only`](Cookie::host_only) for the matching rule.
+    pub domain: String,
+    /// If `true`, only the exact host matches; if `false` (a `Domain`
+    /// attribute was present), subdomains match too.
+    pub host_only: bool,
+    /// Path the cookie is scoped to (`/` by default).
+    pub path: String,
+    /// Absolute expiry instant; `None` makes this a **session cookie**.
+    pub expires: Option<SimTime>,
+    /// The `Secure` attribute.
+    pub secure: bool,
+    /// The `HttpOnly` attribute.
+    pub http_only: bool,
+    /// When the cookie was created (first stored).
+    pub created: SimTime,
+    useful: bool,
+}
+
+impl Cookie {
+    /// Creates a host-only session cookie with default scoping — the typical
+    /// starting point for tests and builders.
+    pub fn new(
+        name: impl Into<String>,
+        value: impl Into<String>,
+        domain: impl Into<String>,
+        created: SimTime,
+    ) -> Self {
+        Cookie {
+            name: name.into(),
+            value: value.into(),
+            domain: domain.into().to_ascii_lowercase(),
+            host_only: true,
+            path: "/".to_string(),
+            expires: None,
+            secure: false,
+            http_only: false,
+            created,
+            useful: false,
+        }
+    }
+
+    /// Builder-style: sets an absolute expiry, making this a persistent
+    /// cookie.
+    pub fn with_expiry(mut self, expires: SimTime) -> Self {
+        self.expires = Some(expires);
+        self
+    }
+
+    /// Builder-style: sets the path scope.
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        self.path = path.into();
+        self
+    }
+
+    /// Builder-style: sets a `Domain` attribute (subdomains will match).
+    pub fn with_domain_attribute(mut self, domain: impl Into<String>) -> Self {
+        self.domain = domain.into().trim_start_matches('.').to_ascii_lowercase();
+        self.host_only = false;
+        self
+    }
+
+    /// Whether this is a **persistent** cookie (has an expiry date) as
+    /// opposed to a session cookie.
+    pub fn is_persistent(&self) -> bool {
+        self.expires.is_some()
+    }
+
+    /// Whether the cookie has expired at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        self.expires.is_some_and(|e| e <= now)
+    }
+
+    /// The paper's usefulness mark. `false` until the FORCUM process (or a
+    /// backward-error-recovery click) marks the cookie useful.
+    pub fn useful(&self) -> bool {
+        self.useful
+    }
+
+    /// Marks the cookie useful. Monotone: there is deliberately no inverse,
+    /// matching §3.2 step 5 ("the value of the field `useful` can only be
+    /// changed in one direction").
+    pub fn mark_useful(&mut self) {
+        self.useful = true;
+    }
+
+    /// Domain-matching per RFC 6265 §5.1.3: exact match for host-only
+    /// cookies, suffix-on-label-boundary otherwise.
+    pub fn domain_matches(&self, host: &str) -> bool {
+        let host = host.to_ascii_lowercase();
+        if self.host_only {
+            return host == self.domain;
+        }
+        host == self.domain
+            || (host.ends_with(&self.domain)
+                && host.as_bytes().get(host.len() - self.domain.len() - 1) == Some(&b'.'))
+    }
+
+    /// Path-matching per RFC 6265 §5.1.4.
+    pub fn path_matches(&self, request_path: &str) -> bool {
+        if request_path == self.path {
+            return true;
+        }
+        if request_path.starts_with(&self.path) {
+            return self.path.ends_with('/')
+                || request_path.as_bytes().get(self.path.len()) == Some(&b'/');
+        }
+        false
+    }
+
+    /// Whether this cookie should be attached to a request for
+    /// `host`/`path` at time `now` (ignoring policy, which the jar applies).
+    pub fn matches_request(&self, host: &str, path: &str, now: SimTime) -> bool {
+        !self.is_expired(now) && self.domain_matches(host) && self.path_matches(path)
+    }
+
+    /// The identity key used for replacement in the jar: (name, domain,
+    /// path).
+    pub fn identity(&self) -> (&str, &str, &str) {
+        (&self.name, &self.domain, &self.path)
+    }
+}
+
+impl fmt::Display for Cookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={} [{}{}; path={}]", self.name, self.value, self.domain, if self.is_persistent() { "; persistent" } else { "" }, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn base() -> Cookie {
+        Cookie::new("id", "42", "example.com", SimTime::EPOCH)
+    }
+
+    #[test]
+    fn session_vs_persistent() {
+        let c = base();
+        assert!(!c.is_persistent());
+        let c = c.with_expiry(SimTime::from_secs(100));
+        assert!(c.is_persistent());
+        assert!(!c.is_expired(SimTime::from_secs(99)));
+        assert!(c.is_expired(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn useful_is_monotone() {
+        let mut c = base();
+        assert!(!c.useful());
+        c.mark_useful();
+        assert!(c.useful());
+        // No API exists to unmark; this is a compile-time guarantee.
+    }
+
+    #[test]
+    fn host_only_domain_matching() {
+        let c = base();
+        assert!(c.domain_matches("example.com"));
+        assert!(c.domain_matches("EXAMPLE.COM"));
+        assert!(!c.domain_matches("www.example.com"));
+        assert!(!c.domain_matches("badexample.com"));
+    }
+
+    #[test]
+    fn domain_attribute_matches_subdomains() {
+        let c = base().with_domain_attribute(".example.com");
+        assert!(c.domain_matches("example.com"));
+        assert!(c.domain_matches("www.example.com"));
+        assert!(c.domain_matches("a.b.example.com"));
+        assert!(!c.domain_matches("badexample.com"));
+        assert!(!c.domain_matches("example.com.evil.net"));
+    }
+
+    #[test]
+    fn path_matching_rfc6265() {
+        let c = base().with_path("/docs");
+        assert!(c.path_matches("/docs"));
+        assert!(c.path_matches("/docs/"));
+        assert!(c.path_matches("/docs/web"));
+        assert!(!c.path_matches("/doc"));
+        assert!(!c.path_matches("/docsextra"));
+        assert!(!c.path_matches("/"));
+        let root = base();
+        assert!(root.path_matches("/anything"));
+    }
+
+    #[test]
+    fn matches_request_combines_all() {
+        let now = SimTime::from_secs(50);
+        let c = base().with_expiry(SimTime::from_secs(100)).with_path("/a");
+        assert!(c.matches_request("example.com", "/a/b", now));
+        assert!(!c.matches_request("other.com", "/a/b", now));
+        assert!(!c.matches_request("example.com", "/c", now));
+        assert!(!c.matches_request("example.com", "/a", now + SimDuration::from_secs(100)));
+    }
+}

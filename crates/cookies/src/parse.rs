@@ -1,0 +1,308 @@
+//! `Set-Cookie` and `Cookie` header codecs.
+
+use std::fmt;
+
+use crate::date::parse_http_date;
+use crate::model::Cookie;
+use crate::time::{SimDuration, SimTime};
+
+/// Error returned by [`parse_set_cookie`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseCookieError {
+    /// The header carried no `name=value` pair.
+    MissingPair,
+    /// The cookie name was empty or contained separators.
+    InvalidName(
+        /// The offending name.
+        String,
+    ),
+    /// A `Domain` attribute did not domain-match the request host — the
+    /// browser must reject such cookies.
+    DomainMismatch {
+        /// The `Domain` attribute value.
+        attribute: String,
+        /// The host the response came from.
+        host: String,
+    },
+}
+
+impl fmt::Display for ParseCookieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCookieError::MissingPair => f.write_str("set-cookie header has no name=value pair"),
+            ParseCookieError::InvalidName(n) => write!(f, "invalid cookie name {n:?}"),
+            ParseCookieError::DomainMismatch { attribute, host } => {
+                write!(f, "domain attribute {attribute:?} does not match request host {host:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseCookieError {}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_graphic() && !matches!(b, b';' | b',' | b'=' | b'"'))
+}
+
+/// Parses a `Set-Cookie` header received from `host` at time `now`.
+///
+/// Follows the pragmatic rules of 2007-era browsers:
+///
+/// * `Max-Age` (RFC 2109) takes precedence over `Expires` (Netscape);
+/// * a valid `Domain` attribute widens matching to subdomains, but must
+///   domain-match the responding host (otherwise the cookie is rejected);
+/// * unknown attributes are ignored;
+/// * a `Max-Age` of zero (or a past `Expires`) still produces a cookie — the
+///   jar interprets storing an expired cookie as deletion.
+///
+/// # Errors
+///
+/// Returns [`ParseCookieError`] when there is no `name=value` pair, the name
+/// is malformed, or the `Domain` attribute does not cover `host`.
+///
+/// ```
+/// use cp_cookies::{parse_set_cookie, SimTime};
+/// let c = parse_set_cookie(
+///     "sid=abc123; Path=/; HttpOnly; Domain=.example.com",
+///     "www.example.com",
+///     SimTime::EPOCH,
+/// ).unwrap();
+/// assert_eq!(c.name, "sid");
+/// assert!(c.http_only);
+/// assert!(!c.host_only);
+/// assert!(c.domain_matches("shop.example.com"));
+/// ```
+pub fn parse_set_cookie(
+    header: &str,
+    host: &str,
+    now: SimTime,
+) -> Result<Cookie, ParseCookieError> {
+    let mut parts = header.split(';');
+    let pair = parts.next().ok_or(ParseCookieError::MissingPair)?;
+    let (name, value) = match pair.split_once('=') {
+        Some((n, v)) => (n.trim(), v.trim()),
+        None => return Err(ParseCookieError::MissingPair),
+    };
+    if !valid_name(name) {
+        return Err(ParseCookieError::InvalidName(name.to_string()));
+    }
+    let mut cookie = Cookie::new(name, value.trim_matches('"'), host, now);
+
+    let mut max_age: Option<i64> = None;
+    let mut expires: Option<SimTime> = None;
+
+    for attr in parts {
+        let attr = attr.trim();
+        let (key, val) = match attr.split_once('=') {
+            Some((k, v)) => (k.trim(), v.trim()),
+            None => (attr, ""),
+        };
+        if key.eq_ignore_ascii_case("expires") {
+            expires = parse_http_date(val);
+        } else if key.eq_ignore_ascii_case("max-age") {
+            max_age = val.parse::<i64>().ok();
+        } else if key.eq_ignore_ascii_case("domain") {
+            let dom = val.trim_start_matches('.').to_ascii_lowercase();
+            if dom.is_empty() {
+                continue;
+            }
+            let host_lc = host.to_ascii_lowercase();
+            let matches = host_lc == dom
+                || (host_lc.ends_with(&dom)
+                    && host_lc.as_bytes().get(host_lc.len() - dom.len() - 1) == Some(&b'.'));
+            if !matches {
+                return Err(ParseCookieError::DomainMismatch {
+                    attribute: val.to_string(),
+                    host: host.to_string(),
+                });
+            }
+            cookie = cookie.with_domain_attribute(dom);
+        } else if key.eq_ignore_ascii_case("path") {
+            if val.starts_with('/') {
+                cookie.path = val.to_string();
+            }
+        } else if key.eq_ignore_ascii_case("secure") {
+            cookie.secure = true;
+        } else if key.eq_ignore_ascii_case("httponly") {
+            cookie.http_only = true;
+        }
+        // Unknown attributes (Version, Comment, SameSite, …) are ignored.
+    }
+
+    cookie.expires = match max_age {
+        Some(age) if age <= 0 => Some(now), // immediate expiry = deletion
+        Some(age) => Some(now + SimDuration::from_secs(age as u64)),
+        None => expires,
+    };
+    Ok(cookie)
+}
+
+/// Parses a request `Cookie` header into `(name, value)` pairs — the server
+/// side of the exchange.
+///
+/// ```
+/// use cp_cookies::parse_cookie_header;
+/// let pairs = parse_cookie_header("a=1; b=two; empty=");
+/// assert_eq!(pairs, vec![
+///     ("a".to_string(), "1".to_string()),
+///     ("b".to_string(), "two".to_string()),
+///     ("empty".to_string(), String::new()),
+/// ]);
+/// ```
+pub fn parse_cookie_header(header: &str) -> Vec<(String, String)> {
+    header
+        .split(';')
+        .filter_map(|pair| {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                return None;
+            }
+            match pair.split_once('=') {
+                Some((n, v)) => Some((n.trim().to_string(), v.trim().to_string())),
+                None => Some((pair.to_string(), String::new())),
+            }
+        })
+        .collect()
+}
+
+/// Encodes cookies into a request `Cookie` header value.
+///
+/// ```
+/// use cp_cookies::{encode_cookie_header, Cookie, SimTime};
+/// let a = Cookie::new("a", "1", "x.com", SimTime::EPOCH);
+/// let b = Cookie::new("b", "2", "x.com", SimTime::EPOCH);
+/// assert_eq!(encode_cookie_header([&a, &b]), "a=1; b=2");
+/// ```
+pub fn encode_cookie_header<'a>(cookies: impl IntoIterator<Item = &'a Cookie>) -> String {
+    cookies
+        .into_iter()
+        .map(|c| format!("{}={}", c.name, c.value))
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::civil_to_sim;
+
+    const HOST: &str = "www.shop.example";
+
+    #[test]
+    fn minimal_pair() {
+        let c = parse_set_cookie("k=v", HOST, SimTime::EPOCH).unwrap();
+        assert_eq!(c.name, "k");
+        assert_eq!(c.value, "v");
+        assert_eq!(c.domain, HOST);
+        assert!(c.host_only);
+        assert_eq!(c.path, "/");
+        assert!(!c.is_persistent());
+    }
+
+    #[test]
+    fn expires_attribute() {
+        let c = parse_set_cookie(
+            "k=v; Expires=Tue, 01 Jan 2008 00:00:00 GMT",
+            HOST,
+            SimTime::EPOCH,
+        )
+        .unwrap();
+        assert_eq!(c.expires, Some(civil_to_sim(2008, 1, 1, 0, 0, 0)));
+    }
+
+    #[test]
+    fn max_age_beats_expires() {
+        let c = parse_set_cookie(
+            "k=v; Expires=Tue, 01 Jan 2008 00:00:00 GMT; Max-Age=60",
+            HOST,
+            SimTime::from_secs(10),
+        )
+        .unwrap();
+        assert_eq!(c.expires, Some(SimTime::from_secs(70)));
+    }
+
+    #[test]
+    fn max_age_zero_is_immediate_expiry() {
+        let now = SimTime::from_secs(5);
+        let c = parse_set_cookie("k=v; Max-Age=0", HOST, now).unwrap();
+        assert!(c.is_expired(now));
+        let c = parse_set_cookie("k=v; Max-Age=-1", HOST, now).unwrap();
+        assert!(c.is_expired(now));
+    }
+
+    #[test]
+    fn domain_attribute_accepted_when_matching() {
+        let c = parse_set_cookie("k=v; Domain=shop.example", HOST, SimTime::EPOCH).unwrap();
+        assert!(!c.host_only);
+        assert_eq!(c.domain, "shop.example");
+        // Leading dot tolerated (Netscape style).
+        let c = parse_set_cookie("k=v; Domain=.shop.example", HOST, SimTime::EPOCH).unwrap();
+        assert_eq!(c.domain, "shop.example");
+    }
+
+    #[test]
+    fn foreign_domain_rejected() {
+        let err = parse_set_cookie("k=v; Domain=evil.net", HOST, SimTime::EPOCH).unwrap_err();
+        assert!(matches!(err, ParseCookieError::DomainMismatch { .. }));
+        // Suffix without label boundary must also be rejected.
+        let err = parse_set_cookie("k=v; Domain=hop.example", HOST, SimTime::EPOCH);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn flags_and_path() {
+        let c = parse_set_cookie("k=v; Secure; HttpOnly; Path=/account", HOST, SimTime::EPOCH)
+            .unwrap();
+        assert!(c.secure);
+        assert!(c.http_only);
+        assert_eq!(c.path, "/account");
+        // Non-absolute path ignored.
+        let c = parse_set_cookie("k=v; Path=relative", HOST, SimTime::EPOCH).unwrap();
+        assert_eq!(c.path, "/");
+    }
+
+    #[test]
+    fn unknown_attributes_ignored() {
+        let c = parse_set_cookie("k=v; Version=1; Comment=hi; SameSite=Lax", HOST, SimTime::EPOCH)
+            .unwrap();
+        assert_eq!(c.name, "k");
+    }
+
+    #[test]
+    fn quoted_value_unwrapped() {
+        let c = parse_set_cookie("k=\"quoted\"", HOST, SimTime::EPOCH).unwrap();
+        assert_eq!(c.value, "quoted");
+    }
+
+    #[test]
+    fn value_with_equals_preserved() {
+        let c = parse_set_cookie("k=a=b=c", HOST, SimTime::EPOCH).unwrap();
+        assert_eq!(c.value, "a=b=c");
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!(parse_set_cookie("=v", HOST, SimTime::EPOCH).is_err());
+        assert!(parse_set_cookie("no pair at all", HOST, SimTime::EPOCH).is_err());
+        assert!(parse_set_cookie("ba d=v", HOST, SimTime::EPOCH).is_err());
+    }
+
+    #[test]
+    fn cookie_header_round_trip() {
+        let a = Cookie::new("a", "1", HOST, SimTime::EPOCH);
+        let b = Cookie::new("b", "2", HOST, SimTime::EPOCH);
+        let header = encode_cookie_header([&a, &b]);
+        let pairs = parse_cookie_header(&header);
+        assert_eq!(pairs, vec![("a".into(), "1".into()), ("b".into(), "2".into())]);
+    }
+
+    #[test]
+    fn cookie_header_edge_cases() {
+        assert!(parse_cookie_header("").is_empty());
+        assert_eq!(parse_cookie_header("lone"), vec![("lone".to_string(), String::new())]);
+        assert_eq!(parse_cookie_header(" ; ; a=1 ; "), vec![("a".to_string(), "1".to_string())]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Browser cookie policies.
+//!
+//! §2 of the paper lays out the policy landscape: browsers can already block
+//! third-party cookies and most users should enable first-party session
+//! cookies; the open problem is first-party **persistent** cookies.
+//! [`CookiePolicy::UsefulOnly`] is the CookiePicker answer: send such a
+//! cookie only once the FORCUM process has marked it useful.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{Cookie, Party};
+
+/// A cookie acceptance/transmission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CookiePolicy {
+    /// Accept and send everything (browser default of the era).
+    #[default]
+    AcceptAll,
+    /// Block third-party cookies entirely; accept all first-party cookies.
+    BlockThirdParty,
+    /// Block all cookies.
+    BlockAll,
+    /// The CookiePicker policy (§3): block third-party cookies, always allow
+    /// first-party session cookies, and send first-party **persistent**
+    /// cookies only when their `useful` mark is set. Storage is still
+    /// allowed so the FORCUM process can observe and test them.
+    UsefulOnly,
+}
+
+impl CookiePolicy {
+    /// Whether a freshly received cookie should be stored in the jar.
+    pub fn should_store(self, cookie: &Cookie, party: Party) -> bool {
+        let _ = cookie;
+        match self {
+            CookiePolicy::AcceptAll => true,
+            CookiePolicy::BlockThirdParty | CookiePolicy::UsefulOnly => party == Party::First,
+            CookiePolicy::BlockAll => false,
+        }
+    }
+
+    /// Whether a stored cookie should be attached to an outgoing request.
+    pub fn should_send(self, cookie: &Cookie, party: Party) -> bool {
+        match self {
+            CookiePolicy::AcceptAll => true,
+            CookiePolicy::BlockThirdParty => party == Party::First,
+            CookiePolicy::BlockAll => false,
+            CookiePolicy::UsefulOnly => {
+                party == Party::First && (!cookie.is_persistent() || cookie.useful())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn session() -> Cookie {
+        Cookie::new("s", "1", "a.com", SimTime::EPOCH)
+    }
+
+    fn persistent() -> Cookie {
+        session().with_expiry(SimTime::from_secs(1_000_000))
+    }
+
+    #[test]
+    fn accept_all() {
+        let p = CookiePolicy::AcceptAll;
+        assert!(p.should_store(&session(), Party::Third));
+        assert!(p.should_send(&persistent(), Party::Third));
+    }
+
+    #[test]
+    fn block_third_party() {
+        let p = CookiePolicy::BlockThirdParty;
+        assert!(p.should_store(&session(), Party::First));
+        assert!(!p.should_store(&session(), Party::Third));
+        assert!(p.should_send(&persistent(), Party::First));
+        assert!(!p.should_send(&persistent(), Party::Third));
+    }
+
+    #[test]
+    fn block_all() {
+        let p = CookiePolicy::BlockAll;
+        assert!(!p.should_store(&session(), Party::First));
+        assert!(!p.should_send(&session(), Party::First));
+    }
+
+    #[test]
+    fn useful_only_gates_persistent_cookies() {
+        let p = CookiePolicy::UsefulOnly;
+        // Session cookies always pass (first-party).
+        assert!(p.should_send(&session(), Party::First));
+        // Unmarked persistent cookies are withheld.
+        let c = persistent();
+        assert!(!p.should_send(&c, Party::First));
+        // Marked useful → sent.
+        let mut c = persistent();
+        c.mark_useful();
+        assert!(p.should_send(&c, Party::First));
+        // Third-party never.
+        assert!(!p.should_send(&c, Party::Third));
+        // Storage of first-party persistents allowed (FORCUM needs them).
+        assert!(p.should_store(&persistent(), Party::First));
+        assert!(!p.should_store(&persistent(), Party::Third));
+    }
+
+    #[test]
+    fn default_is_accept_all() {
+        assert_eq!(CookiePolicy::default(), CookiePolicy::AcceptAll);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for cookie parsing and the jar.
+
+use cp_cookies::{
+    encode_cookie_header, parse_cookie_header, parse_set_cookie, Cookie, CookieJar, SimDuration,
+    SimTime,
+};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_-]{0,10}"
+}
+
+fn arb_value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.-]{0,16}"
+}
+
+fn arb_cookie() -> impl Strategy<Value = Cookie> {
+    (
+        arb_name(),
+        arb_value(),
+        prop::sample::select(vec!["a.com", "b.com", "www.a.com"]),
+        prop::option::of(0u64..10_000),
+        prop::sample::select(vec!["/", "/x", "/x/y"]),
+        0u64..1_000,
+    )
+        .prop_map(|(name, value, domain, expiry, path, created)| {
+            let created = SimTime::from_secs(created);
+            let mut c = Cookie::new(name, value, domain, created).with_path(path);
+            if let Some(e) = expiry {
+                c = c.with_expiry(created + SimDuration::from_secs(e));
+            }
+            c
+        })
+}
+
+proptest! {
+    #[test]
+    fn set_cookie_never_panics(header in "\\PC{0,80}") {
+        let _ = parse_set_cookie(&header, "host.example", SimTime::EPOCH);
+    }
+
+    #[test]
+    fn cookie_header_never_panics(header in "\\PC{0,80}") {
+        let _ = parse_cookie_header(&header);
+    }
+
+    #[test]
+    fn round_trip_name_value(name in arb_name(), value in arb_value()) {
+        let header = format!("{name}={value}");
+        let c = parse_set_cookie(&header, "h.example", SimTime::EPOCH).unwrap();
+        prop_assert_eq!(&c.name, &name);
+        prop_assert_eq!(&c.value, &value);
+        let encoded = encode_cookie_header([&c]);
+        let pairs = parse_cookie_header(&encoded);
+        prop_assert_eq!(pairs, vec![(name, value)]);
+    }
+
+    #[test]
+    fn jar_send_set_is_subset_of_store(cookies in prop::collection::vec(arb_cookie(), 0..20)) {
+        let now = SimTime::from_secs(500);
+        let mut jar = CookieJar::new();
+        for c in cookies {
+            jar.store(c, now);
+        }
+        for host in ["a.com", "b.com", "www.a.com"] {
+            for path in ["/", "/x", "/x/y/z"] {
+                let sent = jar.cookies_for(host, path, now);
+                for c in &sent {
+                    prop_assert!(c.matches_request(host, path, now));
+                    prop_assert!(!c.is_expired(now));
+                }
+                // Path ordering invariant: non-increasing path lengths.
+                for w in sent.windows(2) {
+                    prop_assert!(w[0].path.len() >= w[1].path.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jar_no_duplicate_identities(cookies in prop::collection::vec(arb_cookie(), 0..30)) {
+        let now = SimTime::from_secs(0);
+        let mut jar = CookieJar::new();
+        for c in cookies {
+            jar.store(c, now);
+        }
+        let mut identities: Vec<(String, String, String)> = jar
+            .iter()
+            .map(|c| (c.name.clone(), c.domain.clone(), c.path.clone()))
+            .collect();
+        let before = identities.len();
+        identities.sort();
+        identities.dedup();
+        prop_assert_eq!(before, identities.len());
+    }
+
+    #[test]
+    fn purge_removes_only_expired(cookies in prop::collection::vec(arb_cookie(), 0..20), at in 0u64..20_000) {
+        let now = SimTime::from_secs(at);
+        let mut jar = CookieJar::new();
+        for c in cookies {
+            jar.store(c, SimTime::EPOCH);
+        }
+        let live_before = jar.iter().filter(|c| !c.is_expired(now)).count();
+        jar.purge_expired(now);
+        prop_assert_eq!(jar.len(), live_before);
+    }
+
+    #[test]
+    fn useful_marks_are_monotone_under_restore(c in arb_cookie()) {
+        let now = c.created;
+        let mut jar = CookieJar::new();
+        let domain = c.domain.clone();
+        let name = c.name.clone();
+        jar.store(c.clone(), now);
+        jar.mark_useful(&domain, &[name.as_str()]);
+        // Re-issuing the same cookie must not clear the mark.
+        jar.store(c, now);
+        let still_marked = jar.iter().filter(|k| k.name == name).all(|k| k.useful());
+        prop_assert!(still_marked);
+    }
+}

@@ -1,0 +1,118 @@
+//! CookiePicker configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How the cookies under test are grouped per page view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TestGroupStrategy {
+    /// Test **all not-yet-useful persistent cookies that were attached to
+    /// the regular request** as one group (§3.2, step 2: the hidden request
+    /// removes "a group of cookies"). This is what produces the paper's
+    /// piggyback marks on P5/P6 — useless cookies travelling with a useful
+    /// one get marked together.
+    #[default]
+    SentCookies,
+    /// Test one cookie at a time, rotating per page view. Slower to train
+    /// but avoids piggyback false positives (a natural extension the paper
+    /// hints at via threshold fine-tuning future work).
+    PerCookie,
+    /// Binary-search refinement: test the whole sent group first; when a
+    /// group tests useful, split it and retest the halves on subsequent
+    /// page views until single cookies are isolated. Converges in
+    /// `O(u · log n)` probes for `u` useful among `n` cookies — the best of
+    /// both strategies, at the cost of a little per-site state.
+    ///
+    /// Caveat: a difference only caused by removing *several* cookies
+    /// together is attributed to neither half and dropped; such cookie
+    /// interactions do not occur in practice (and not in the paper's
+    /// model, where each cookie's effect is independent).
+    GroupBisect,
+}
+
+/// Tunable parameters of CookiePicker.
+///
+/// The defaults are the paper's evaluation settings:
+/// `Thresh1 = Thresh2 = 0.85`, `l = 5` levels compared starting from the
+/// `<body>` node (§5.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CookiePickerConfig {
+    /// `Thresh1`: NTreeSim at or below this ⇒ structural difference.
+    pub thresh1: f64,
+    /// `Thresh2`: NTextSim at or below this ⇒ visual content difference.
+    pub thresh2: f64,
+    /// `l`: number of upper DOM levels compared by RSTM.
+    pub max_level: usize,
+    /// Compare from the `<body>` element (paper) rather than the document
+    /// root.
+    pub compare_from_body: bool,
+    /// Grouping strategy for cookies under test.
+    pub strategy: TestGroupStrategy,
+    /// Number of consecutive page views without any new cookie or new mark
+    /// after which a site's FORCUM process turns off (§3.2, step 5: "the
+    /// FORCUM process can be turned off for a while").
+    pub stability_window: usize,
+    /// Send the `X-Requested-With: XMLHttpRequest` header on hidden
+    /// requests, as a Firefox-extension XHR would. Colluding site operators
+    /// can key evasion on it (§5.3); disable for a stealthier prototype.
+    pub xhr_header: bool,
+}
+
+impl Default for CookiePickerConfig {
+    fn default() -> Self {
+        CookiePickerConfig {
+            thresh1: 0.85,
+            thresh2: 0.85,
+            max_level: 5,
+            compare_from_body: true,
+            strategy: TestGroupStrategy::SentCookies,
+            stability_window: 40,
+            xhr_header: true,
+        }
+    }
+}
+
+impl CookiePickerConfig {
+    /// Builder-style: sets both thresholds.
+    pub fn with_thresholds(mut self, t1: f64, t2: f64) -> Self {
+        self.thresh1 = t1;
+        self.thresh2 = t2;
+        self
+    }
+
+    /// Builder-style: sets the RSTM level bound.
+    pub fn with_max_level(mut self, l: usize) -> Self {
+        self.max_level = l;
+        self
+    }
+
+    /// Builder-style: sets the grouping strategy.
+    pub fn with_strategy(mut self, strategy: TestGroupStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CookiePickerConfig::default();
+        assert_eq!(c.thresh1, 0.85);
+        assert_eq!(c.thresh2, 0.85);
+        assert_eq!(c.max_level, 5);
+        assert!(c.compare_from_body);
+        assert_eq!(c.strategy, TestGroupStrategy::SentCookies);
+    }
+
+    #[test]
+    fn builders() {
+        let c = CookiePickerConfig::default()
+            .with_thresholds(0.7, 0.6)
+            .with_max_level(3)
+            .with_strategy(TestGroupStrategy::PerCookie);
+        assert_eq!((c.thresh1, c.thresh2, c.max_level), (0.7, 0.6, 3));
+        assert_eq!(c.strategy, TestGroupStrategy::PerCookie);
+    }
+}

@@ -1,0 +1,365 @@
+//! Context-aware Visual Content Extraction (§4.2, Figure 4) and the
+//! normalized context-content similarity metric (Formula 3).
+//!
+//! Every *non-noise* text node is paired with its **context** — the path of
+//! element names from the root to the node — producing a set of
+//! context-content strings. Two such sets are compared with a modified
+//! Jaccard coefficient whose `s` term forgives *replacement* of text within
+//! an identical context (rotating ads, tickers, timestamps), so only text
+//! that appears under a context unique to one version counts as difference.
+
+use std::collections::HashMap;
+
+use cp_html::{Document, NodeData, NodeId};
+
+/// The separator between context and content in a context-content string
+/// (the `SEPARATOR` of Figure 4).
+pub const SEPARATOR: &str = "||";
+
+/// A multiset of context-content strings extracted from one DOM tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ContentSet {
+    /// `context → texts` under that context (a multiset per context).
+    by_context: HashMap<String, Vec<String>>,
+    len: usize,
+}
+
+impl ContentSet {
+    /// Total number of context-content strings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no content was extracted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The distinct contexts present.
+    pub fn contexts(&self) -> impl Iterator<Item = &str> {
+        self.by_context.keys().map(String::as_str)
+    }
+
+    /// All context-content strings, `context||text`, unordered.
+    pub fn strings(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.len);
+        for (ctx, texts) in &self.by_context {
+            for t in texts {
+                out.push(format!("{ctx}{SEPARATOR}{t}"));
+            }
+        }
+        out
+    }
+
+    fn insert(&mut self, context: String, text: String) {
+        self.by_context.entry(context).or_default().push(text);
+        self.len += 1;
+    }
+}
+
+/// Element names whose text content is noise per the paper (scripts,
+/// styles, dropdown options) — §4.2: "scripts, styles, obvious
+/// advertisement text, date and time string, and option text in dropdown
+/// list … are regarded as noises".
+fn noise_container(name: &str) -> bool {
+    matches!(name, "script" | "style" | "option" | "select" | "noscript" | "template")
+}
+
+/// Heuristic for "obvious advertisement" containers: an `ad`-ish class
+/// token or id.
+fn ad_container(doc: &Document, id: NodeId) -> bool {
+    let has_ad_token = |v: &str| {
+        v.split([' ', '-', '_'])
+            .any(|tok| matches!(tok.to_ascii_lowercase().as_str(), "ad" | "ads" | "advert" | "advertisement" | "sponsor" | "sponsored"))
+    };
+    doc.attr(id, "class").is_some_and(has_ad_token) || doc.attr(id, "id").is_some_and(has_ad_token)
+}
+
+/// Heuristic for date/time strings: wall-clock patterns, month-year pairs,
+/// or generation timestamps.
+pub fn looks_like_datetime(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase();
+    // hh:mm pattern: a colon flanked by a digit and two digits.
+    let bytes = lower.as_bytes();
+    for i in 1..bytes.len().saturating_sub(2) {
+        if bytes[i] == b':'
+            && bytes[i - 1].is_ascii_digit()
+            && bytes[i + 1].is_ascii_digit()
+            && bytes[i + 2].is_ascii_digit()
+        {
+            return true;
+        }
+    }
+    const MONTHS: [&str; 12] = [
+        "january", "february", "march", "april", "may", "june", "july", "august", "september",
+        "october", "november", "december",
+    ];
+    let has_month = MONTHS.iter().any(|m| lower.contains(m));
+    let has_year = lower.split(|c: char| !c.is_ascii_digit()).any(|d| d.len() == 4);
+    if has_month && has_year {
+        return true;
+    }
+    lower.contains("generated at") || lower.contains("last updated") || lower.contains(" gmt")
+}
+
+fn has_alphanumeric(text: &str) -> bool {
+    text.chars().any(|c| c.is_alphanumeric())
+}
+
+/// Extracts the context-content string set of the subtree rooted at `root`
+/// (Figure 4's `contentExtract`, plus the noise rules of §4.2).
+///
+/// ```
+/// use cp_html::parse_document;
+/// use cookiepicker_core::content_extract;
+///
+/// let doc = parse_document("<body><p>keep me</p><script>drop()</script><p>. .</p></body>");
+/// let set = content_extract(&doc, doc.body().unwrap());
+/// assert_eq!(set.len(), 1); // script text and non-alphanumeric text dropped
+/// ```
+pub fn content_extract(doc: &Document, root: NodeId) -> ContentSet {
+    let mut set = ContentSet::default();
+    extract_rec(doc, root, &mut String::new(), &mut set);
+    set
+}
+
+fn extract_rec(doc: &Document, node: NodeId, context: &mut String, set: &mut ContentSet) {
+    match doc.data(node) {
+        NodeData::Text(text) => {
+            let text = normalize_text(text);
+            if text.is_empty() || !has_alphanumeric(&text) || looks_like_datetime(&text) {
+                return;
+            }
+            set.insert(context.clone(), text);
+        }
+        NodeData::Element { name, .. } => {
+            if noise_container(name) || ad_container(doc, node) || !cp_html::is_node_visible(doc, node) {
+                return;
+            }
+            let saved = context.len();
+            if !context.is_empty() {
+                context.push(':');
+            }
+            context.push_str(name);
+            for &c in doc.children(node) {
+                extract_rec(doc, c, context, set);
+            }
+            context.truncate(saved);
+        }
+        NodeData::Document => {
+            for &c in doc.children(node) {
+                extract_rec(doc, c, context, set);
+            }
+        }
+        NodeData::Comment(_) | NodeData::Doctype { .. } => {}
+    }
+}
+
+fn normalize_text(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// `NTextSim(S1, S2)` — Formula 3: `(|S1 ∩ S2| + s) / |S1 ∪ S2|`.
+///
+/// The sets are multisets of context-content strings; the intersection is
+/// multiset intersection. The `s` term counts the strings (on both sides)
+/// that differ in content but live under a context present in **both**
+/// versions — i.e. text *replacement* in the same context, which is
+/// disregarded. Only text under a context unique to one version reduces the
+/// similarity.
+///
+/// Two empty sets are fully similar (`1.0`).
+///
+/// ```
+/// use cp_html::parse_document;
+/// use cookiepicker_core::{content_extract, n_text_sim};
+///
+/// let a = parse_document("<body><div class=x><p>today sunny</p></div></body>");
+/// let b = parse_document("<body><div class=x><p>today rainy</p></div></body>");
+/// let (sa, sb) = (content_extract(&a, cp_html::NodeId::DOCUMENT), content_extract(&b, cp_html::NodeId::DOCUMENT));
+/// // Pure replacement in the same context: fully forgiven.
+/// assert_eq!(n_text_sim(&sa, &sb), 1.0);
+/// ```
+pub fn n_text_sim(s1: &ContentSet, s2: &ContentSet) -> f64 {
+    if s1.is_empty() && s2.is_empty() {
+        return 1.0;
+    }
+    let mut intersection = 0usize;
+    let mut forgiven = 0usize;
+
+    for (ctx, texts1) in &s1.by_context {
+        match s2.by_context.get(ctx) {
+            Some(texts2) => {
+                // Multiset intersection of the texts under this context.
+                let mut counts: HashMap<&str, usize> = HashMap::new();
+                for t in texts2 {
+                    *counts.entry(t.as_str()).or_default() += 1;
+                }
+                let mut shared = 0usize;
+                for t in texts1 {
+                    if let Some(c) = counts.get_mut(t.as_str()) {
+                        if *c > 0 {
+                            *c -= 1;
+                            shared += 1;
+                        }
+                    }
+                }
+                intersection += shared;
+                // Replacements: unmatched strings under a context both
+                // versions share. Both sides' replaced strings are forgiven.
+                let u1 = texts1.len() - shared;
+                let u2 = texts2.len() - shared;
+                forgiven += u1.min(u2) * 2;
+            }
+            None => {}
+        }
+    }
+
+    let union = s1.len() + s2.len() - intersection;
+    if union == 0 {
+        return 1.0;
+    }
+    (((intersection + forgiven) as f64) / union as f64).clamp(0.0, 1.0)
+}
+
+/// The plain Jaccard variant of [`n_text_sim`] **without** the `s` term —
+/// the ablation the paper's Formula 3 discussion motivates: without the
+/// same-context forgiveness, rotating ads and tickers register as real
+/// content differences.
+pub fn n_text_sim_strict(s1: &ContentSet, s2: &ContentSet) -> f64 {
+    if s1.is_empty() && s2.is_empty() {
+        return 1.0;
+    }
+    let mut intersection = 0usize;
+    for (ctx, texts1) in &s1.by_context {
+        if let Some(texts2) = s2.by_context.get(ctx) {
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for t in texts2 {
+                *counts.entry(t.as_str()).or_default() += 1;
+            }
+            for t in texts1 {
+                if let Some(c) = counts.get_mut(t.as_str()) {
+                    if *c > 0 {
+                        *c -= 1;
+                        intersection += 1;
+                    }
+                }
+            }
+        }
+    }
+    let union = s1.len() + s2.len() - intersection;
+    if union == 0 {
+        return 1.0;
+    }
+    (intersection as f64 / union as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_html::parse_document;
+
+    fn set(html: &str) -> ContentSet {
+        let doc = parse_document(html);
+        content_extract(&doc, NodeId::DOCUMENT)
+    }
+
+    #[test]
+    fn extraction_contexts() {
+        let s = set("<body><div><p>alpha</p></div><p>beta</p></body>");
+        let mut strings = s.strings();
+        strings.sort();
+        assert_eq!(strings, vec!["html:body:div:p||alpha", "html:body:p||beta"]);
+    }
+
+    #[test]
+    fn whitespace_normalized() {
+        let s = set("<body><p>  a   b\n c </p></body>");
+        assert_eq!(s.strings(), vec!["html:body:p||a b c"]);
+    }
+
+    #[test]
+    fn scripts_styles_options_dropped() {
+        let s = set(
+            "<body><script>x()</script><style>.a{}</style><select><option>USA</option></select><p>keep</p></body>",
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn ad_containers_dropped() {
+        let s = set(r#"<body><div class="ad-slot"><p>BUY NOW</p></div><div id="ads"><p>x</p></div><p>keep</p></body>"#);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn datetime_dropped() {
+        assert!(looks_like_datetime("12:34:56 GMT"));
+        assert!(looks_like_datetime("January 5, 2007"));
+        assert!(looks_like_datetime("Page generated at t plus 88 ms"));
+        assert!(!looks_like_datetime("regular prose about markets"));
+        let s = set("<body><p>Updated 10:30</p><p>news text</p></body>");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn non_alphanumeric_dropped() {
+        let s = set("<body><p>***</p><p>— · —</p><p>ok1</p></body>");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn hidden_subtrees_dropped() {
+        let s = set(r#"<body><div style="display:none"><p>secret</p></div><p>seen</p></body>"#);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn identical_sets_sim_one() {
+        let a = set("<body><p>one</p><div><p>two</p></div></body>");
+        let b = set("<body><p>one</p><div><p>two</p></div></body>");
+        assert_eq!(n_text_sim(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn replacement_same_context_forgiven() {
+        let a = set("<body><div class=t><p>story about markets</p></div><p>base</p></body>");
+        let b = set("<body><div class=t><p>story about gardens</p></div><p>base</p></body>");
+        assert_eq!(n_text_sim(&a, &b), 1.0, "same-context replacement is noise");
+    }
+
+    #[test]
+    fn unique_context_counts() {
+        let a = set("<body><p>base</p><div id=x class=pane><h3>panel</h3><ul><li>i1</li><li>i2</li></ul></div></body>");
+        let b = set("<body><p>base</p></body>");
+        let sim = n_text_sim(&a, &b);
+        assert!(sim < 0.5, "a whole new panel is a real difference: {sim}");
+    }
+
+    #[test]
+    fn asymmetric_extras_partially_penalized() {
+        // Context shared, but one side has MORE strings under it.
+        let a = set("<body><ul><li>a</li><li>b</li><li>c</li></ul></body>");
+        let b = set("<body><ul><li>a</li></ul></body>");
+        let sim = n_text_sim(&a, &b);
+        assert!(sim < 1.0 && sim > 0.0, "{sim}");
+    }
+
+    #[test]
+    fn empty_sets() {
+        let e = ContentSet::default();
+        assert_eq!(n_text_sim(&e, &e), 1.0);
+        let a = set("<body><p>text</p></body>");
+        assert!(n_text_sim(&a, &e) < 1.0);
+    }
+
+    #[test]
+    fn sim_symmetric_and_bounded() {
+        let a = set("<body><p>x</p><div><p>y</p></div></body>");
+        let b = set("<body><p>x</p><span>z</span></body>");
+        let ab = n_text_sim(&a, &b);
+        let ba = n_text_sim(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+}

@@ -1,0 +1,190 @@
+//! The FORCUM training lifecycle (§3.2, Definitions 1 & 2).
+//!
+//! FORCUM — FORward Cookie Usefulness Marking — is a per-site training
+//! process. It runs while the site's cookie set is still in flux, marks
+//! cookies useful as evidence arrives, and turns itself off once the
+//! `useful` values are stable; the appearance of new cookies (or a manual
+//! request) turns it back on.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::Serialize;
+
+/// Training state for one site.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SiteTraining {
+    /// Page views observed while training was active.
+    pub pages_seen: usize,
+    /// Consecutive page views without a new cookie or a new useful mark.
+    pub stable_streak: usize,
+    /// Whether the FORCUM process is currently on for this site.
+    pub active: bool,
+    /// Cookie names seen so far on this site.
+    known_cookies: HashSet<String>,
+    /// Hidden requests issued for this site.
+    pub hidden_requests: usize,
+    /// Usefulness marks applied on this site.
+    pub marks: usize,
+}
+
+impl SiteTraining {
+    fn new() -> Self {
+        SiteTraining { active: true, ..SiteTraining::default() }
+    }
+}
+
+/// Training state across all sites.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ForcumState {
+    sites: HashMap<String, SiteTraining>,
+    /// Stability window: page views without change before training stops.
+    pub stability_window: usize,
+}
+
+impl ForcumState {
+    /// Creates a state with the given stability window.
+    pub fn new(stability_window: usize) -> Self {
+        ForcumState { sites: HashMap::new(), stability_window }
+    }
+
+    /// The training record for `host`, if the site has been seen.
+    pub fn site(&self, host: &str) -> Option<&SiteTraining> {
+        self.sites.get(host)
+    }
+
+    /// Whether FORCUM is currently active for `host` (a never-seen host is
+    /// active by definition — training starts on first contact).
+    pub fn is_active(&self, host: &str) -> bool {
+        self.sites.get(host).map_or(true, |s| s.active)
+    }
+
+    /// Manually (re)starts training for a site — the paper's "turned on …
+    /// manually by a user if she wants to continue the training process".
+    pub fn restart(&mut self, host: &str) {
+        let site = self.sites.entry(host.to_string()).or_insert_with(SiteTraining::new);
+        site.active = true;
+        site.stable_streak = 0;
+    }
+
+    /// Records a page view on `host`. `cookie_names` are the cookies
+    /// observed in this view (request + response); `marked` is whether this
+    /// view produced new useful marks; `hidden_issued` whether a hidden
+    /// request was sent.
+    ///
+    /// Returns whether training is active *after* the update.
+    pub fn observe(
+        &mut self,
+        host: &str,
+        cookie_names: impl IntoIterator<Item = String>,
+        marked: usize,
+        hidden_issued: bool,
+    ) -> bool {
+        let window = self.stability_window;
+        let site = self.sites.entry(host.to_string()).or_insert_with(SiteTraining::new);
+
+        let mut new_cookie = false;
+        for name in cookie_names {
+            new_cookie |= site.known_cookies.insert(name);
+        }
+        // New cookies re-activate a dormant site (§3.2, step 5).
+        if new_cookie && !site.active {
+            site.active = true;
+            site.stable_streak = 0;
+        }
+        if !site.active {
+            return false;
+        }
+
+        site.pages_seen += 1;
+        site.hidden_requests += usize::from(hidden_issued);
+        site.marks += marked;
+        if new_cookie || marked > 0 {
+            site.stable_streak = 0;
+        } else {
+            site.stable_streak += 1;
+            if site.stable_streak >= window {
+                site.active = false;
+            }
+        }
+        site.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unseen_site_is_active() {
+        let state = ForcumState::new(5);
+        assert!(state.is_active("new.example"));
+    }
+
+    #[test]
+    fn stabilizes_after_window() {
+        let mut state = ForcumState::new(3);
+        state.observe("a.example", names(&["x"]), 0, true);
+        assert!(state.is_active("a.example"));
+        // Three quiet views → off. (First view after the cookie is quiet #1.)
+        state.observe("a.example", names(&["x"]), 0, true);
+        state.observe("a.example", names(&["x"]), 0, true);
+        state.observe("a.example", names(&["x"]), 0, true);
+        assert!(!state.is_active("a.example"));
+    }
+
+    #[test]
+    fn marks_reset_streak() {
+        let mut state = ForcumState::new(2);
+        state.observe("a.example", names(&["x"]), 0, true);
+        state.observe("a.example", names(&["x"]), 1, true); // mark → reset
+        state.observe("a.example", names(&["x"]), 0, true);
+        assert!(state.is_active("a.example"), "only one quiet view since mark");
+        state.observe("a.example", names(&["x"]), 0, true);
+        assert!(!state.is_active("a.example"));
+    }
+
+    #[test]
+    fn new_cookie_reactivates() {
+        let mut state = ForcumState::new(1);
+        state.observe("a.example", names(&["x"]), 0, true);
+        state.observe("a.example", names(&["x"]), 0, true);
+        assert!(!state.is_active("a.example"));
+        // A brand-new cookie shows up in a response → training resumes.
+        state.observe("a.example", names(&["x", "brand_new"]), 0, false);
+        assert!(state.is_active("a.example"));
+    }
+
+    #[test]
+    fn manual_restart() {
+        let mut state = ForcumState::new(1);
+        state.observe("a.example", names(&["x"]), 0, true);
+        state.observe("a.example", names(&["x"]), 0, true);
+        assert!(!state.is_active("a.example"));
+        state.restart("a.example");
+        assert!(state.is_active("a.example"));
+    }
+
+    #[test]
+    fn sites_independent() {
+        let mut state = ForcumState::new(1);
+        state.observe("a.example", names(&["x"]), 0, true);
+        state.observe("a.example", names(&["x"]), 0, true);
+        assert!(!state.is_active("a.example"));
+        assert!(state.is_active("b.example"));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut state = ForcumState::new(10);
+        state.observe("a.example", names(&["x", "y"]), 2, true);
+        state.observe("a.example", names(&[]), 0, false);
+        let site = state.site("a.example").unwrap();
+        assert_eq!(site.pages_seen, 2);
+        assert_eq!(site.hidden_requests, 1);
+        assert_eq!(site.marks, 2);
+    }
+}

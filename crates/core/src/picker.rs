@@ -1,0 +1,566 @@
+//! The CookiePicker extension: the five FORCUM steps wired into the
+//! browser's page-load hook.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+
+use cp_browser::{BrowserExtension, PageContext};
+use cp_cookies::parse_cookie_header;
+use cp_html::parse_document;
+use cp_net::Request;
+
+use crate::config::{CookiePickerConfig, TestGroupStrategy};
+use crate::decision::{decide, Decision};
+use crate::forcum::ForcumState;
+use crate::recovery::RecoveryLog;
+
+/// One detection event: a hidden request issued and judged.
+#[derive(Debug, Clone, Serialize)]
+pub struct DetectionRecord {
+    /// Site host.
+    pub host: String,
+    /// Container-page path.
+    pub path: String,
+    /// The cookie names disabled in the hidden request.
+    pub group: Vec<String>,
+    /// The similarity scores and verdict.
+    pub decision: Decision,
+    /// Simulated network latency of the hidden request, in milliseconds.
+    pub hidden_latency_ms: u64,
+    /// The paper's "CookiePicker Duration": hidden-request latency plus
+    /// detection time, in milliseconds.
+    pub duration_ms: f64,
+}
+
+/// A per-site training summary (see [`CookiePicker::summary_for`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct TrainingSummary {
+    /// The site host.
+    pub host: String,
+    /// Hidden-request probes issued for this site.
+    pub probes: usize,
+    /// Probes whose decision attributed the difference to cookies.
+    pub marking_probes: usize,
+    /// Mean detection time in milliseconds.
+    pub avg_detection_ms: f64,
+    /// Mean CookiePicker duration (hidden latency + detection) in ms.
+    pub avg_duration_ms: f64,
+    /// Whether FORCUM is still active for the site.
+    pub training_active: bool,
+}
+
+/// The CookiePicker browser extension.
+///
+/// Install it on a [`cp_browser::Browser`] via
+/// [`visit_with`](cp_browser::Browser::visit_with); it executes the five
+/// FORCUM steps (§3.2) on every page view:
+///
+/// 1. records the regular container request,
+/// 2. issues the hidden request with the test group's cookies removed,
+/// 3. builds the hidden DOM with the same parser,
+/// 4. identifies usefulness with RSTM + CVCE (Figure 5),
+/// 5. marks useful cookies in the jar.
+#[derive(Debug)]
+pub struct CookiePicker {
+    config: CookiePickerConfig,
+    forcum: ForcumState,
+    records: Vec<DetectionRecord>,
+    rotation: HashMap<String, usize>,
+    /// Pending subgroups per site for [`TestGroupStrategy::GroupBisect`].
+    bisect_queue: HashMap<String, Vec<Vec<String>>>,
+    last_disabled: HashMap<String, Vec<String>>,
+    recovery: RecoveryLog,
+}
+
+impl CookiePicker {
+    /// Creates a picker with the given configuration.
+    pub fn new(config: CookiePickerConfig) -> Self {
+        let stability_window = config.stability_window;
+        CookiePicker {
+            config,
+            forcum: ForcumState::new(stability_window),
+            records: Vec::new(),
+            rotation: HashMap::new(),
+            bisect_queue: HashMap::new(),
+            last_disabled: HashMap::new(),
+            recovery: RecoveryLog::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CookiePickerConfig {
+        &self.config
+    }
+
+    /// All detection records, in order.
+    pub fn records(&self) -> &[DetectionRecord] {
+        &self.records
+    }
+
+    /// Detection records for one site.
+    pub fn records_for(&self, host: &str) -> Vec<&DetectionRecord> {
+        self.records.iter().filter(|r| r.host == host).collect()
+    }
+
+    /// The FORCUM training state.
+    pub fn forcum(&self) -> &ForcumState {
+        &self.forcum
+    }
+
+    /// The backward-error-recovery log.
+    pub fn recovery_log(&self) -> &RecoveryLog {
+        &self.recovery
+    }
+
+    /// Summarizes one site's training run.
+    pub fn summary_for(&self, host: &str) -> TrainingSummary {
+        let records: Vec<&DetectionRecord> =
+            self.records.iter().filter(|r| r.host == host).collect();
+        let probes = records.len();
+        let marking_probes =
+            records.iter().filter(|r| r.decision.cookies_caused_difference).count();
+        let (det_sum, dur_sum) = records.iter().fold((0.0f64, 0.0f64), |(d, t), r| {
+            (d + r.decision.detection_micros as f64 / 1_000.0, t + r.duration_ms)
+        });
+        let denom = probes.max(1) as f64;
+        TrainingSummary {
+            host: host.to_string(),
+            probes,
+            marking_probes,
+            avg_detection_ms: det_sum / denom,
+            avg_duration_ms: dur_sum / denom,
+            training_active: self.forcum.is_active(host),
+        }
+    }
+
+    /// The **backward error recovery button** (§3.3): the user noticed a
+    /// malfunction on the current page of `host`; re-mark the cookies most
+    /// recently disabled there as useful. Returns the re-marked names.
+    pub fn recovery_click(&mut self, host: &str, jar: &mut cp_cookies::CookieJar) -> Vec<String> {
+        let group = self.last_disabled.get(host).cloned().unwrap_or_default();
+        if !group.is_empty() {
+            let names: Vec<&str> = group.iter().map(String::as_str).collect();
+            jar.mark_useful(host, &names);
+            self.recovery.record(host, &group);
+            // Re-marking is a training signal: keep FORCUM running.
+            self.forcum.restart(host);
+        }
+        group
+    }
+
+    /// Finalizes training for a site whose cookie set is stable: removes
+    /// its still-unmarked persistent cookies from the jar (§3.3). Returns
+    /// the removed cookie names.
+    pub fn finalize_site(&self, host: &str, jar: &mut cp_cookies::CookieJar) -> Vec<String> {
+        jar.remove_useless_persistent(host).into_iter().map(|c| c.name).collect()
+    }
+
+    fn select_group(&mut self, ctx: &PageContext<'_>, sent_names: &[String]) -> Vec<String> {
+        let host = ctx.view.top_host();
+        let mut candidates: Vec<String> = Vec::new();
+        for name in sent_names {
+            let is_candidate = ctx.jar.iter().any(|c| {
+                c.name == *name && c.domain_matches(host) && c.is_persistent() && !c.useful()
+            });
+            if is_candidate && !candidates.contains(name) {
+                candidates.push(name.clone());
+            }
+        }
+        match self.config.strategy {
+            TestGroupStrategy::SentCookies => candidates,
+            TestGroupStrategy::PerCookie => {
+                if candidates.is_empty() {
+                    return candidates;
+                }
+                let counter = self.rotation.entry(host.to_string()).or_insert(0);
+                let pick = candidates[*counter % candidates.len()].clone();
+                *counter += 1;
+                vec![pick]
+            }
+            TestGroupStrategy::GroupBisect => {
+                // Prefer a queued subgroup whose cookies are present in this
+                // request; fall back to the full candidate set.
+                if let Some(queue) = self.bisect_queue.get_mut(host) {
+                    while let Some(sub) = queue.pop() {
+                        let usable: Vec<String> =
+                            sub.into_iter().filter(|n| candidates.contains(n)).collect();
+                        if !usable.is_empty() {
+                            return usable;
+                        }
+                    }
+                }
+                candidates
+            }
+        }
+    }
+
+    fn build_hidden_request(&self, regular: &Request, group: &[String]) -> Request {
+        let mut hidden = regular.clone();
+        let remaining: Vec<(String, String)> = regular
+            .cookie_header()
+            .map(parse_cookie_header)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|(n, _)| !group.contains(n))
+            .collect();
+        if remaining.is_empty() {
+            hidden.headers.remove("cookie");
+        } else {
+            let header = remaining
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            hidden.headers.set("Cookie", header);
+        }
+        if self.config.xhr_header {
+            hidden.headers.set("X-Requested-With", "XMLHttpRequest");
+        }
+        hidden
+    }
+}
+
+impl BrowserExtension for CookiePicker {
+    fn on_page_loaded(&mut self, ctx: &mut PageContext<'_>) {
+        let host = ctx.view.top_host().to_string();
+        let path = ctx.view.url.path().to_string();
+
+        // Names observed this view: cookies sent plus cookies set by the
+        // response (drives FORCUM's new-cookie reactivation).
+        let sent_names: Vec<String> = ctx
+            .view
+            .container_request
+            .cookie_header()
+            .map(|h| parse_cookie_header(h).into_iter().map(|(n, _)| n).collect())
+            .unwrap_or_default();
+        let mut observed = sent_names.clone();
+        for sc in ctx.view.container_response.set_cookies() {
+            if let Some((name, _)) = sc.split_once('=') {
+                observed.push(name.trim().to_string());
+            }
+        }
+
+        if !self.forcum.is_active(&host) {
+            // Dormant: just feed the observation (new cookies reactivate).
+            self.forcum.observe(&host, observed, 0, false);
+            return;
+        }
+
+        // Step 2: pick the cookies under test.
+        let group = self.select_group(ctx, &sent_names);
+        if group.is_empty() {
+            self.forcum.observe(&host, observed, 0, false);
+            return;
+        }
+
+        // Step 2 (cont.): the single hidden request for the container page.
+        let hidden_req = self.build_hidden_request(&ctx.view.container_request, &group);
+        let Ok(outcome) = ctx.network.fetch(&hidden_req, ctx.now) else {
+            self.forcum.observe(&host, observed, 0, false);
+            return;
+        };
+        ctx.advance(outcome.latency);
+
+        // Step 3: build the hidden DOM with the same parser.
+        let hidden_dom = parse_document(&outcome.response.body_string());
+
+        // Step 4: identify usefulness.
+        let decision = decide(&ctx.view.dom, &hidden_dom, &self.config);
+
+        // Step 5: mark (or, under GroupBisect, refine the group first).
+        let mut marked = 0;
+        let mut refined = false;
+        if decision.cookies_caused_difference {
+            if self.config.strategy == TestGroupStrategy::GroupBisect && group.len() > 1 {
+                // The group as a whole matters; isolate the culprits by
+                // retesting its halves on later page views.
+                let mid = group.len() / 2;
+                let queue = self.bisect_queue.entry(host.clone()).or_default();
+                queue.push(group[..mid].to_vec());
+                queue.push(group[mid..].to_vec());
+                refined = true;
+            } else {
+                let names: Vec<&str> = group.iter().map(String::as_str).collect();
+                marked = ctx.jar.mark_useful(&host, &names);
+            }
+        } else {
+            // These cookies were disabled and judged useless in this view:
+            // remember them for the recovery button.
+            self.last_disabled.insert(host.clone(), group.clone());
+        }
+
+        let duration_ms = outcome.latency.as_millis() as f64 + decision.detection_micros as f64 / 1_000.0;
+        self.records.push(DetectionRecord {
+            host: host.clone(),
+            path,
+            group,
+            decision,
+            hidden_latency_ms: outcome.latency.as_millis(),
+            duration_ms,
+        });
+        // An in-progress bisection counts as training progress: the streak
+        // must not expire while subgroups are still queued.
+        self.forcum.observe(&host, observed, marked.max(usize::from(refined)), true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use cp_browser::Browser;
+    use cp_cookies::CookiePolicy;
+    use cp_net::{SimNetwork, Url};
+    use cp_webworld::{Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec};
+
+    fn world(spec: SiteSpec) -> (Browser, Url) {
+        let domain = spec.domain.clone();
+        let mut net = SimNetwork::new(11);
+        net.register(domain.clone(), SiteServer::new(spec));
+        let browser = Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 3);
+        (browser, Url::parse(&format!("http://{domain}/")).unwrap())
+    }
+
+    fn tracked_site() -> SiteSpec {
+        SiteSpec::new("t.example", Category::News, 21)
+            .with_cookie(CookieSpec::tracker("trk_a"))
+            .with_cookie(CookieSpec::tracker("trk_b"))
+    }
+
+    fn pref_site() -> SiteSpec {
+        SiteSpec::new("p.example", Category::Shopping, 22)
+            .with_cookie(CookieSpec::tracker("trk"))
+            .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium))
+    }
+
+    #[test]
+    fn trackers_never_marked() {
+        let (mut browser, url) = world(tracked_site());
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        for i in 0..6 {
+            let page = url.join(&format!("/page/{i}"));
+            browser.visit_with(&page, &mut picker).unwrap();
+            browser.think();
+        }
+        assert!(browser.jar.iter().all(|c| !c.useful()));
+        assert!(!picker.records().is_empty());
+        for r in picker.records() {
+            assert!(!r.decision.cookies_caused_difference, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn preference_cookie_marked_tracker_piggybacks() {
+        // With the paper's SentCookies grouping, the tracker rides along in
+        // the same group and gets marked too (the P5/P6 phenomenon).
+        let (mut browser, url) = world(pref_site());
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        for i in 0..4 {
+            let page = url.join(&format!("/page/{i}"));
+            browser.visit_with(&page, &mut picker).unwrap();
+            browser.think();
+        }
+        let marked: Vec<String> = browser.jar.iter().filter(|c| c.useful()).map(|c| c.name.clone()).collect();
+        assert!(marked.contains(&"pref".to_string()));
+        assert!(marked.contains(&"trk".to_string()), "piggyback mark expected");
+    }
+
+    #[test]
+    fn group_bisect_isolates_useful_cookie() {
+        // Site with 1 useful preference cookie among 5 trackers: bisection
+        // must mark exactly the useful one, unlike SentCookies.
+        let mut spec = SiteSpec::new("b.example", Category::Reference, 23)
+            .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium));
+        for k in 0..5 {
+            spec = spec.with_cookie(CookieSpec::tracker(format!("trk{k}")));
+        }
+        let (mut browser, url) = world(spec);
+        let mut picker = CookiePicker::new(
+            CookiePickerConfig::default().with_strategy(TestGroupStrategy::GroupBisect),
+        );
+        for i in 0..14 {
+            let page = url.join(&format!("/page/{}", i % 6));
+            browser.visit_with(&page, &mut picker).unwrap();
+            browser.think();
+        }
+        let marked: Vec<String> =
+            browser.jar.iter().filter(|c| c.useful()).map(|c| c.name.clone()).collect();
+        assert_eq!(marked, vec!["pref".to_string()], "bisection isolates the useful cookie");
+    }
+
+    #[test]
+    fn group_bisect_converges_faster_than_per_cookie() {
+        // With n cookies and one useful, bisection needs O(log n) probes
+        // after the first whole-group hit; PerCookie needs O(n) just to
+        // reach the useful one.
+        let build = || {
+            // The useful cookie sits last in rotation order, so PerCookie
+            // pays the full linear scan.
+            let mut spec = SiteSpec::new("c.example", Category::Games, 29);
+            for k in 0..7 {
+                spec = spec.with_cookie(CookieSpec::tracker(format!("t{k}")));
+            }
+            spec.with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium))
+        };
+        let probes_until_marked = |strategy: TestGroupStrategy| -> usize {
+            let (mut browser, url) = world(build());
+            let mut picker =
+                CookiePicker::new(CookiePickerConfig::default().with_strategy(strategy));
+            for i in 0..30 {
+                let page = url.join(&format!("/page/{}", i % 6));
+                browser.visit_with(&page, &mut picker).unwrap();
+                browser.think();
+                if browser.jar.iter().any(|c| c.name == "pref" && c.useful()) {
+                    return picker.records().len();
+                }
+            }
+            usize::MAX
+        };
+        let bisect = probes_until_marked(TestGroupStrategy::GroupBisect);
+        let per_cookie = probes_until_marked(TestGroupStrategy::PerCookie);
+        assert!(bisect < usize::MAX && per_cookie < usize::MAX);
+        assert!(bisect <= per_cookie, "bisect {bisect} vs per-cookie {per_cookie}");
+    }
+
+    #[test]
+    fn per_cookie_strategy_avoids_piggyback() {
+        let (mut browser, url) = world(pref_site());
+        let mut picker = CookiePicker::new(
+            CookiePickerConfig::default().with_strategy(TestGroupStrategy::PerCookie),
+        );
+        for i in 0..10 {
+            let page = url.join(&format!("/page/{i}"));
+            browser.visit_with(&page, &mut picker).unwrap();
+            browser.think();
+        }
+        let marked: Vec<String> =
+            browser.jar.iter().filter(|c| c.useful()).map(|c| c.name.clone()).collect();
+        assert_eq!(marked, vec!["pref".to_string()], "only the truly useful cookie");
+    }
+
+    #[test]
+    fn first_visit_sends_no_hidden_request() {
+        let (mut browser, url) = world(tracked_site());
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        browser.visit_with(&url, &mut picker).unwrap();
+        // No cookies were attached to the first regular request → no group.
+        assert!(picker.records().is_empty());
+    }
+
+    #[test]
+    fn marked_cookies_not_retested() {
+        let (mut browser, url) = world(pref_site());
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        for i in 0..8 {
+            let page = url.join(&format!("/page/{i}"));
+            browser.visit_with(&page, &mut picker).unwrap();
+            browser.think();
+        }
+        // After everything is marked, groups are empty → record count stops
+        // growing.
+        let count = picker.records().len();
+        for i in 8..12 {
+            let page = url.join(&format!("/page/{i}"));
+            browser.visit_with(&page, &mut picker).unwrap();
+            browser.think();
+        }
+        assert_eq!(picker.records().len(), count);
+    }
+
+    #[test]
+    fn summary_reflects_training() {
+        let (mut browser, url) = world(pref_site());
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        for i in 0..5 {
+            let page = url.join(&format!("/page/{i}"));
+            browser.visit_with(&page, &mut picker).unwrap();
+            browser.think();
+        }
+        let s = picker.summary_for("p.example");
+        assert!(s.probes >= 1);
+        assert!(s.marking_probes >= 1);
+        assert!(s.avg_duration_ms > 0.0);
+        assert!(s.training_active);
+        let empty = picker.summary_for("never-visited.example");
+        assert_eq!(empty.probes, 0);
+        assert_eq!(empty.avg_detection_ms, 0.0);
+    }
+
+    #[test]
+    fn recovery_click_remarks_last_disabled() {
+        let (mut browser, url) = world(tracked_site());
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        for i in 0..3 {
+            let page = url.join(&format!("/page/{i}"));
+            browser.visit_with(&page, &mut picker).unwrap();
+            browser.think();
+        }
+        assert!(browser.jar.iter().all(|c| !c.useful()));
+        let remarked = picker.recovery_click("t.example", &mut browser.jar);
+        assert!(!remarked.is_empty());
+        for name in &remarked {
+            assert!(browser.jar.iter().any(|c| &c.name == name && c.useful()));
+        }
+        assert_eq!(picker.recovery_log().total(), remarked.len());
+    }
+
+    #[test]
+    fn finalize_removes_useless_persistent() {
+        let (mut browser, url) = world(pref_site());
+        let mut picker = CookiePicker::new(
+            CookiePickerConfig::default().with_strategy(TestGroupStrategy::PerCookie),
+        );
+        for i in 0..10 {
+            let page = url.join(&format!("/page/{i}"));
+            browser.visit_with(&page, &mut picker).unwrap();
+            browser.think();
+        }
+        let removed = picker.finalize_site("p.example", &mut browser.jar);
+        assert_eq!(removed, vec!["trk".to_string()]);
+        assert!(browser.jar.iter().any(|c| c.name == "pref"), "useful cookie kept");
+    }
+
+    #[test]
+    fn duration_includes_network_latency() {
+        let (mut browser, url) = world(pref_site());
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        for i in 0..3 {
+            let page = url.join(&format!("/page/{i}"));
+            browser.visit_with(&page, &mut picker).unwrap();
+            browser.think();
+        }
+        for r in picker.records() {
+            assert!(r.hidden_latency_ms > 0);
+            assert!(r.duration_ms >= r.hidden_latency_ms as f64);
+        }
+    }
+
+    #[test]
+    fn hidden_request_carries_xhr_header_only_when_configured() {
+        let (_b, _u) = world(tracked_site());
+        let picker = CookiePicker::new(CookiePickerConfig::default());
+        let mut req = Request::get(Url::parse("http://t.example/").unwrap());
+        req.headers.set("Cookie", "trk_a=1; trk_b=2; keep=3");
+        let hidden = picker.build_hidden_request(&req, &["trk_a".into(), "trk_b".into()]);
+        assert_eq!(hidden.cookie_header(), Some("keep=3"));
+        assert!(hidden.headers.contains("x-requested-with"));
+
+        let mut cfg = CookiePickerConfig::default();
+        cfg.xhr_header = false;
+        let stealth = CookiePicker::new(cfg);
+        let hidden = stealth.build_hidden_request(&req, &["keep".into()]);
+        assert!(!hidden.headers.contains("x-requested-with"));
+        assert_eq!(hidden.cookie_header(), Some("trk_a=1; trk_b=2"));
+    }
+
+    #[test]
+    fn removing_all_cookies_drops_header() {
+        let picker = CookiePicker::new(CookiePickerConfig::default());
+        let mut req = Request::get(Url::parse("http://t.example/").unwrap());
+        req.headers.set("Cookie", "a=1");
+        let hidden = picker.build_hidden_request(&req, &["a".into()]);
+        assert_eq!(hidden.cookie_header(), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Backward error recovery (§3.3).
+//!
+//! CookiePicker's second error kind — a useful cookie never identified and
+//! therefore blocked — causes user-visible malfunction and must be fixable.
+//! The paper provides "a simple recovery button": one click re-marks the
+//! cookies disabled in the current page view as useful. The
+//! [`RecoveryLog`] records every such click so experiments can report how
+//! much recovery a configuration required (the paper's headline: **zero**
+//! for all 8 sites with useful cookies).
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+
+/// A log of backward-error-recovery events.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RecoveryLog {
+    events: Vec<RecoveryEvent>,
+}
+
+/// One recovery-button click.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryEvent {
+    /// The site recovered on.
+    pub host: String,
+    /// The cookie names re-marked useful.
+    pub cookies: Vec<String>,
+}
+
+impl RecoveryLog {
+    /// Records a recovery click.
+    pub fn record(&mut self, host: &str, cookies: &[String]) {
+        self.events.push(RecoveryEvent { host: host.to_string(), cookies: cookies.to_vec() });
+    }
+
+    /// All events, in order.
+    pub fn events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// Total number of cookies recovered across all events.
+    pub fn total(&self) -> usize {
+        self.events.iter().map(|e| e.cookies.len()).sum()
+    }
+
+    /// Number of clicks per site.
+    pub fn clicks_by_site(&self) -> HashMap<&str, usize> {
+        let mut out = HashMap::new();
+        for e in &self.events {
+            *out.entry(e.host.as_str()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Whether no recovery was ever needed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log() {
+        let log = RecoveryLog::default();
+        assert!(log.is_empty());
+        assert_eq!(log.total(), 0);
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut log = RecoveryLog::default();
+        log.record("a.example", &["x".into(), "y".into()]);
+        log.record("a.example", &["z".into()]);
+        log.record("b.example", &["q".into()]);
+        assert_eq!(log.total(), 4);
+        assert_eq!(log.events().len(), 3);
+        let clicks = log.clicks_by_site();
+        assert_eq!(clicks["a.example"], 2);
+        assert_eq!(clicks["b.example"], 1);
+    }
+}

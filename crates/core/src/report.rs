@@ -1,0 +1,126 @@
+//! Per-site experiment reporting structures (the rows of Tables 1 and 2).
+
+use serde::Serialize;
+
+use crate::picker::DetectionRecord;
+
+/// One row of a Table-1-style report.
+#[derive(Debug, Clone, Serialize)]
+pub struct SiteOutcome {
+    /// Site label (e.g. `S1`) and host.
+    pub label: String,
+    /// Host name.
+    pub host: String,
+    /// Persistent cookies the site set in the jar during training.
+    pub persistent: usize,
+    /// Cookies CookiePicker marked useful.
+    pub marked_useful: usize,
+    /// Ground-truth useful cookies (the paper's manual verification).
+    pub real_useful: usize,
+    /// Mean detection time across this site's hidden-request probes, in
+    /// milliseconds.
+    pub avg_detection_ms: f64,
+    /// Mean CookiePicker duration (hidden latency + detection), in
+    /// milliseconds.
+    pub avg_duration_ms: f64,
+    /// Number of hidden-request probes.
+    pub probes: usize,
+}
+
+impl SiteOutcome {
+    /// Builds an outcome row from a site's detection records.
+    pub fn from_records(
+        label: impl Into<String>,
+        host: impl Into<String>,
+        persistent: usize,
+        marked_useful: usize,
+        real_useful: usize,
+        records: &[&DetectionRecord],
+    ) -> Self {
+        let probes = records.len();
+        let (det_sum, dur_sum) = records.iter().fold((0.0f64, 0.0f64), |(d, t), r| {
+            (d + r.decision.detection_micros as f64 / 1_000.0, t + r.duration_ms)
+        });
+        let denom = probes.max(1) as f64;
+        SiteOutcome {
+            label: label.into(),
+            host: host.into(),
+            persistent,
+            marked_useful,
+            real_useful,
+            avg_detection_ms: det_sum / denom,
+            avg_duration_ms: dur_sum / denom,
+            probes,
+        }
+    }
+
+    /// Whether CookiePicker disabled every persistent cookie here (the
+    /// "safe to disable" sites — 25 of 30 in the paper).
+    pub fn fully_disabled(&self) -> bool {
+        self.marked_useful == 0
+    }
+
+    /// Whether this row is a false-useful site: cookies marked useful with
+    /// no really-useful cookie behind them.
+    pub fn is_false_useful(&self) -> bool {
+        self.marked_useful > 0 && self.real_useful == 0
+    }
+
+    /// Whether any really-useful cookie was missed (the error kind the
+    /// paper requires to be zero).
+    pub fn missed_useful(&self) -> bool {
+        self.marked_useful < self.real_useful
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::Decision;
+
+    fn record(detection_micros: u64, duration_ms: f64) -> DetectionRecord {
+        DetectionRecord {
+            host: "h".into(),
+            path: "/".into(),
+            group: vec!["a".into()],
+            decision: Decision {
+                tree_sim: 1.0,
+                text_sim: 1.0,
+                cookies_caused_difference: false,
+                detection_micros,
+            },
+            hidden_latency_ms: duration_ms as u64,
+            duration_ms,
+        }
+    }
+
+    #[test]
+    fn averages_computed() {
+        let r1 = record(2_000, 100.0);
+        let r2 = record(4_000, 300.0);
+        let rows = vec![&r1, &r2];
+        let o = SiteOutcome::from_records("S1", "h", 3, 0, 0, &rows);
+        assert_eq!(o.avg_detection_ms, 3.0);
+        assert_eq!(o.avg_duration_ms, 200.0);
+        assert_eq!(o.probes, 2);
+        assert!(o.fully_disabled());
+        assert!(!o.is_false_useful());
+    }
+
+    #[test]
+    fn classification_flags() {
+        let o = SiteOutcome::from_records("S1", "h", 2, 2, 0, &[]);
+        assert!(o.is_false_useful());
+        assert!(!o.missed_useful());
+        let o = SiteOutcome::from_records("S2", "h", 2, 1, 2, &[]);
+        assert!(o.missed_useful());
+        assert!(!o.is_false_useful());
+    }
+
+    #[test]
+    fn empty_records_no_nan() {
+        let o = SiteOutcome::from_records("S1", "h", 1, 0, 0, &[]);
+        assert_eq!(o.avg_detection_ms, 0.0);
+        assert_eq!(o.avg_duration_ms, 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Threshold auto-calibration — the fine-tuning the paper defers to future
+//! work (§5.2.2: "the number may be further reduced if we fine-tune the two
+//! thresholds").
+//!
+//! Given labelled similarity samples — *noise pairs* (two fetches of the
+//! same page with identical cookies) and *effect pairs* (cookie disabled) —
+//! [`fit_thresholds`] picks the smallest thresholds that keep the paper's
+//! invariant "never miss a useful cookie" on the samples, which minimizes
+//! the false-useful rate achievable without misses.
+
+use serde::Serialize;
+
+use crate::config::CookiePickerConfig;
+
+/// One observed similarity pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SimSample {
+    /// `NTreeSim` of the pair.
+    pub tree_sim: f64,
+    /// `NTextSim` of the pair.
+    pub text_sim: f64,
+}
+
+impl SimSample {
+    /// Convenience constructor.
+    pub fn new(tree_sim: f64, text_sim: f64) -> Self {
+        SimSample { tree_sim, text_sim }
+    }
+}
+
+/// The result of [`fit_thresholds`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FittedThresholds {
+    /// Recommended `Thresh1` (NTreeSim).
+    pub thresh1: f64,
+    /// Recommended `Thresh2` (NTextSim).
+    pub thresh2: f64,
+    /// Fraction of the noise samples that would (still) be misclassified as
+    /// cookie-caused at the recommended thresholds.
+    pub residual_false_rate: f64,
+    /// Whether the samples are separable: zero misses *and* zero false
+    /// positives simultaneously.
+    pub separable: bool,
+}
+
+impl FittedThresholds {
+    /// Applies the fitted thresholds to a configuration.
+    pub fn apply(&self, config: &mut CookiePickerConfig) {
+        config.thresh1 = self.thresh1;
+        config.thresh2 = self.thresh2;
+    }
+}
+
+/// Safety margin added above the largest observed effect similarity, so a
+/// marginally-larger unseen effect is still caught.
+const MARGIN: f64 = 0.02;
+
+/// Fits decision thresholds from labelled samples.
+///
+/// The decision (Figure 5) marks cookies when **both** similarities fall at
+/// or below their thresholds. Zero misses on the samples therefore requires
+/// `thresh1 ≥ max(effect tree sims)` and `thresh2 ≥ max(effect text sims)`;
+/// any increase beyond that can only add false positives. The fit returns
+/// those maxima plus a small safety margin (clamped to 1.0) and reports the
+/// residual noise-misclassification rate.
+///
+/// With no effect samples the paper's defaults (0.85) are returned.
+///
+/// ```
+/// use cookiepicker_core::tuning::{fit_thresholds, SimSample};
+/// let noise = vec![SimSample::new(1.0, 1.0), SimSample::new(0.97, 0.92)];
+/// let effects = vec![SimSample::new(0.55, 0.40), SimSample::new(0.70, 0.62)];
+/// let fit = fit_thresholds(&noise, &effects);
+/// assert!(fit.separable);
+/// assert!(fit.thresh1 >= 0.70 && fit.thresh1 < 0.85);
+/// assert_eq!(fit.residual_false_rate, 0.0);
+/// ```
+pub fn fit_thresholds(noise: &[SimSample], effects: &[SimSample]) -> FittedThresholds {
+    if effects.is_empty() {
+        let defaults = CookiePickerConfig::default();
+        let rate = false_rate(noise, defaults.thresh1, defaults.thresh2);
+        return FittedThresholds {
+            thresh1: defaults.thresh1,
+            thresh2: defaults.thresh2,
+            residual_false_rate: rate,
+            separable: rate == 0.0,
+        };
+    }
+    let max_tree = effects.iter().map(|s| s.tree_sim).fold(0.0f64, f64::max);
+    let max_text = effects.iter().map(|s| s.text_sim).fold(0.0f64, f64::max);
+    let thresh1 = (max_tree + MARGIN).min(1.0);
+    let thresh2 = (max_text + MARGIN).min(1.0);
+    let residual_false_rate = false_rate(noise, thresh1, thresh2);
+    FittedThresholds { thresh1, thresh2, residual_false_rate, separable: residual_false_rate == 0.0 }
+}
+
+/// Fraction of noise samples a `(thresh1, thresh2)` pair would misread as
+/// cookie-caused.
+pub fn false_rate(noise: &[SimSample], thresh1: f64, thresh2: f64) -> f64 {
+    if noise.is_empty() {
+        return 0.0;
+    }
+    let bad =
+        noise.iter().filter(|s| s.tree_sim <= thresh1 && s.text_sim <= thresh2).count();
+    bad as f64 / noise.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(a: f64, b: f64) -> SimSample {
+        SimSample::new(a, b)
+    }
+
+    #[test]
+    fn separable_case() {
+        let noise = vec![s(1.0, 1.0), s(0.95, 0.99), s(0.98, 0.90)];
+        let effects = vec![s(0.3, 0.2), s(0.6, 0.5)];
+        let fit = fit_thresholds(&noise, &effects);
+        assert!(fit.separable);
+        assert_eq!(fit.residual_false_rate, 0.0);
+        // Every effect sample is caught at the fitted thresholds.
+        for e in &effects {
+            assert!(e.tree_sim <= fit.thresh1 && e.text_sim <= fit.thresh2);
+        }
+        // And tighter than the paper's conservative default.
+        assert!(fit.thresh1 < 0.85 && fit.thresh2 < 0.85);
+    }
+
+    #[test]
+    fn overlapping_case_reports_residual() {
+        // A burst-noise sample that looks exactly like an effect.
+        let noise = vec![s(0.5, 0.4), s(1.0, 1.0)];
+        let effects = vec![s(0.6, 0.5)];
+        let fit = fit_thresholds(&noise, &effects);
+        assert!(!fit.separable);
+        assert_eq!(fit.residual_false_rate, 0.5);
+    }
+
+    #[test]
+    fn no_effects_returns_paper_defaults() {
+        let fit = fit_thresholds(&[s(1.0, 1.0)], &[]);
+        assert_eq!(fit.thresh1, 0.85);
+        assert_eq!(fit.thresh2, 0.85);
+        assert!(fit.separable);
+    }
+
+    #[test]
+    fn thresholds_clamped_to_one() {
+        let fit = fit_thresholds(&[], &[s(0.999, 0.999)]);
+        assert!(fit.thresh1 <= 1.0 && fit.thresh2 <= 1.0);
+    }
+
+    #[test]
+    fn apply_updates_config() {
+        let fit = fit_thresholds(&[s(1.0, 1.0)], &[s(0.4, 0.3)]);
+        let mut cfg = CookiePickerConfig::default();
+        fit.apply(&mut cfg);
+        assert_eq!(cfg.thresh1, fit.thresh1);
+        assert_eq!(cfg.thresh2, fit.thresh2);
+    }
+
+    #[test]
+    fn false_rate_boundaries() {
+        assert_eq!(false_rate(&[], 0.85, 0.85), 0.0);
+        // The decision's ≤ is inclusive.
+        assert_eq!(false_rate(&[s(0.85, 0.85)], 0.85, 0.85), 1.0);
+        assert_eq!(false_rate(&[s(0.86, 0.85)], 0.85, 0.85), 0.0);
+    }
+}

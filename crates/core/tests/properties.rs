@@ -1,0 +1,109 @@
+//! Property-based tests for CVCE and the decision pipeline.
+
+use cookiepicker_core::{
+    content_extract, decide, n_text_sim, n_text_sim_strict, CookiePickerConfig, DomTreeView,
+};
+use cp_html::{parse_document, NodeId};
+use cp_treediff::{n_tree_sim, TreeView};
+use proptest::prelude::*;
+
+/// Random HTML-ish body fragments.
+fn arb_body() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        prop::sample::select(vec![
+            "<div>", "</div>", "<p>", "</p>", "<ul><li>", "</li></ul>", "<span>", "</span>",
+            "<table><tr><td>", "</td></tr></table>", "<script>junk()</script>",
+            "<!-- c -->", "<h2>", "</h2>", "<div class=ad>", "<b>", "</b>",
+        ])
+        .prop_map(str::to_string),
+        "[a-z ]{1,12}",
+    ];
+    prop::collection::vec(piece, 0..30).prop_map(|v| format!("<body>{}</body>", v.concat()))
+}
+
+fn extract(html: &str) -> cookiepicker_core::ContentSet {
+    let doc = parse_document(html);
+    content_extract(&doc, NodeId::DOCUMENT)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn n_text_sim_bounds_and_identity(a in arb_body()) {
+        let sa = extract(&a);
+        prop_assert_eq!(n_text_sim(&sa, &sa), 1.0);
+        prop_assert_eq!(n_text_sim_strict(&sa, &sa), 1.0);
+    }
+
+    #[test]
+    fn n_text_sim_symmetric(a in arb_body(), b in arb_body()) {
+        let (sa, sb) = (extract(&a), extract(&b));
+        let xy = n_text_sim(&sa, &sb);
+        let yx = n_text_sim(&sb, &sa);
+        prop_assert!((xy - yx).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&xy));
+    }
+
+    #[test]
+    fn s_term_never_decreases_similarity(a in arb_body(), b in arb_body()) {
+        let (sa, sb) = (extract(&a), extract(&b));
+        prop_assert!(n_text_sim(&sa, &sb) >= n_text_sim_strict(&sa, &sb) - 1e-12);
+    }
+
+    #[test]
+    fn decision_fields_consistent(a in arb_body(), b in arb_body()) {
+        let da = parse_document(&a);
+        let db = parse_document(&b);
+        let cfg = CookiePickerConfig::default();
+        let d = decide(&da, &db, &cfg);
+        prop_assert!((0.0..=1.0).contains(&d.tree_sim));
+        prop_assert!((0.0..=1.0).contains(&d.text_sim));
+        prop_assert_eq!(
+            d.cookies_caused_difference,
+            d.tree_sim <= cfg.thresh1 && d.text_sim <= cfg.thresh2
+        );
+    }
+
+    #[test]
+    fn decision_self_is_never_cookie_caused(a in arb_body()) {
+        let da = parse_document(&a);
+        let d = decide(&da, &da, &CookiePickerConfig::default());
+        prop_assert!(!d.cookies_caused_difference);
+        prop_assert_eq!(d.tree_sim, 1.0);
+        prop_assert_eq!(d.text_sim, 1.0);
+    }
+
+    #[test]
+    fn dom_view_countable_only_visible_elements(a in arb_body()) {
+        let doc = parse_document(&a);
+        let view = DomTreeView::from_body(&doc);
+        if let Some(root) = view.root() {
+            let mut stack = vec![root];
+            while let Some(n) = stack.pop() {
+                if view.countable(n) {
+                    prop_assert!(doc.is_element(n));
+                    prop_assert!(cp_html::is_node_visible(&doc, n));
+                }
+                stack.extend(view.children(n));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_sim_level_bounds(a in arb_body(), b in arb_body(), l in 1usize..8) {
+        let da = parse_document(&a);
+        let db = parse_document(&b);
+        let s = n_tree_sim(&DomTreeView::from_body(&da), &DomTreeView::from_body(&db), l);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn content_extract_skips_scripts_and_ads(a in arb_body()) {
+        let set = extract(&a);
+        for s in set.strings() {
+            prop_assert!(!s.contains("script"), "script text must be noise: {s}");
+            prop_assert!(!s.contains("junk()"), "script body leaked: {s}");
+        }
+    }
+}

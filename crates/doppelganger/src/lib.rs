@@ -1,0 +1,225 @@
+//! A Doppelganger-style fork-window baseline (Shankar & Karlof, CCS'06).
+//!
+//! The paper positions CookiePicker against **Doppelganger**, the prior
+//! state of the art in automatic cookie management (§6): Doppelganger
+//! mirrors the user's *whole session* in a hidden fork window with cookies
+//! disabled, and whenever the two windows differ it **asks the user** to
+//! compare them and make the cookie decision. Its two drawbacks — high
+//! overhead and human involvement — are exactly what CookiePicker removes:
+//!
+//! * CookiePicker issues **one** extra request per page view (the container
+//!   page only); Doppelganger re-fetches the container *and every embedded
+//!   object*;
+//! * CookiePicker decides automatically; Doppelganger prompts the user
+//!   whenever the fork diverges — which, on a 2007 page with rotating ads,
+//!   is nearly every view.
+//!
+//! [`Doppelganger`] implements [`cp_browser::BrowserExtension`] so the same
+//! harness can drive both systems over the same synthetic sites and compare
+//! request counts, transferred bytes, and user prompts (experiment A4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+use cp_browser::{extract_object_urls, BrowserExtension, PageContext};
+use cp_html::parse_document;
+use cp_net::Request;
+
+/// One fork-window mirror of a page view.
+#[derive(Debug, Clone, Serialize)]
+pub struct MirrorRecord {
+    /// Site host.
+    pub host: String,
+    /// Container path.
+    pub path: String,
+    /// Requests the fork window issued (container + objects).
+    pub requests: usize,
+    /// Total simulated latency spent by the fork (objects in parallel).
+    pub latency_ms: u64,
+    /// Whether the fork differed from the user's window.
+    pub differed: bool,
+    /// Whether the user was prompted to compare windows.
+    pub prompted: bool,
+}
+
+/// How the simulated user answers a Doppelganger prompt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PromptPolicy {
+    /// The user enables cookies for the site whenever prompted (the safe
+    /// choice a non-expert makes).
+    #[default]
+    AlwaysEnable,
+    /// The user ignores the prompt (keeps cookies blocked).
+    AlwaysIgnore,
+}
+
+/// The fork-window baseline.
+#[derive(Debug, Default)]
+pub struct Doppelganger {
+    records: Vec<MirrorRecord>,
+    prompt_policy: PromptPolicy,
+    prompts: usize,
+}
+
+impl Doppelganger {
+    /// Creates a baseline instance with the given prompt policy.
+    pub fn new(prompt_policy: PromptPolicy) -> Self {
+        Doppelganger { records: Vec::new(), prompt_policy, prompts: 0 }
+    }
+
+    /// All mirror records.
+    pub fn records(&self) -> &[MirrorRecord] {
+        &self.records
+    }
+
+    /// Number of user prompts raised so far (CookiePicker's equivalent
+    /// figure is zero).
+    pub fn prompts(&self) -> usize {
+        self.prompts
+    }
+
+    /// Total fork-window requests issued.
+    pub fn total_requests(&self) -> usize {
+        self.records.iter().map(|r| r.requests).sum()
+    }
+}
+
+/// The fork window renders pages *visibly* for the user to compare, so its
+/// difference test is rendered text plus image structure — deliberately
+/// cruder than CookiePicker's two-metric decision, per the original design
+/// where a human adjudicates.
+fn windows_differ(a: &cp_html::Document, b: &cp_html::Document) -> bool {
+    // innerText-style comparison: what the user would see side by side.
+    let text_a = a.body().map(|n| cp_html::inner_text(a, n)).unwrap_or_default();
+    let text_b = b.body().map(|n| cp_html::inner_text(b, n)).unwrap_or_default();
+    text_a != text_b
+}
+
+impl BrowserExtension for Doppelganger {
+    fn on_page_loaded(&mut self, ctx: &mut PageContext<'_>) {
+        // Mirror the view with an empty cookie store: container first.
+        let mut fork_req: Request = ctx.view.container_request.clone();
+        fork_req.headers.remove("cookie");
+        let Ok(container) = ctx.network.fetch(&fork_req, ctx.now) else { return };
+        let mut requests = 1usize;
+        let mut latency = container.latency;
+        let fork_dom = parse_document(&container.response.body_string());
+
+        // ... then every embedded object, exactly like a real window.
+        let mut slowest = cp_cookies::SimDuration::ZERO;
+        for obj in extract_object_urls(&fork_dom, &ctx.view.url) {
+            let mut req = Request::get(obj);
+            req.headers.remove("cookie");
+            if let Ok(out) = ctx.network.fetch(&req, ctx.now) {
+                requests += 1;
+                slowest = slowest.max(out.latency);
+            }
+        }
+        latency += slowest;
+        ctx.advance(latency);
+
+        let differed = windows_differ(&ctx.view.dom, &fork_dom);
+        let mut prompted = false;
+        if differed {
+            prompted = true;
+            self.prompts += 1;
+            if self.prompt_policy == PromptPolicy::AlwaysEnable {
+                // The user compares the windows and keeps cookies enabled:
+                // mark everything this site sent as useful.
+                let names: Vec<String> = ctx
+                    .view
+                    .container_request
+                    .cookie_header()
+                    .map(|h| {
+                        cp_cookies::parse_cookie_header(h).into_iter().map(|(n, _)| n).collect()
+                    })
+                    .unwrap_or_default();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                ctx.jar.mark_useful(ctx.view.top_host(), &refs);
+            }
+        }
+
+        self.records.push(MirrorRecord {
+            host: ctx.view.top_host().to_string(),
+            path: ctx.view.url.path().to_string(),
+            requests,
+            latency_ms: latency.as_millis(),
+            differed,
+            prompted,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use cp_browser::Browser;
+    use cp_cookies::CookiePolicy;
+    use cp_net::{SimNetwork, Url};
+    use cp_webworld::{Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec};
+
+    fn world(spec: SiteSpec) -> (Browser, Url) {
+        let domain = spec.domain.clone();
+        let mut net = SimNetwork::new(31);
+        net.register(domain.clone(), SiteServer::new(spec));
+        let browser = Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 4);
+        (browser, Url::parse(&format!("http://{domain}/")).unwrap())
+    }
+
+    #[test]
+    fn fork_fetches_all_objects() {
+        let spec = SiteSpec::new("d.example", Category::News, 41).with_cookie(CookieSpec::tracker("t"));
+        let (mut browser, url) = world(spec);
+        let mut dg = Doppelganger::default();
+        browser.visit_with(&url, &mut dg).unwrap();
+        let rec = &dg.records()[0];
+        assert!(rec.requests > 3, "container + css + js + images, got {}", rec.requests);
+    }
+
+    #[test]
+    fn noise_triggers_prompts() {
+        // Rotating ad text differs between the two windows → Doppelganger
+        // must bother the user even though no cookie matters.
+        let spec = SiteSpec::new("n.example", Category::Arts, 42).with_cookie(CookieSpec::tracker("t"));
+        let (mut browser, url) = world(spec);
+        let mut dg = Doppelganger::new(PromptPolicy::AlwaysIgnore);
+        for i in 0..5 {
+            browser.visit_with(&url.join(&format!("/page/{i}")), &mut dg).unwrap();
+            browser.think();
+        }
+        assert!(dg.prompts() > 0, "ad noise should trigger user prompts");
+    }
+
+    #[test]
+    fn useful_cookie_difference_prompts_and_enables() {
+        let spec = SiteSpec::new("u.example", Category::Shopping, 43)
+            .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium));
+        let (mut browser, url) = world(spec);
+        let mut dg = Doppelganger::new(PromptPolicy::AlwaysEnable);
+        for i in 0..3 {
+            browser.visit_with(&url.join(&format!("/page/{i}")), &mut dg).unwrap();
+            browser.think();
+        }
+        assert!(dg.prompts() > 0);
+        assert!(browser.jar.iter().any(|c| c.name == "pref" && c.useful()));
+    }
+
+    #[test]
+    fn overhead_far_exceeds_single_request() {
+        let spec = SiteSpec::new("o.example", Category::Games, 44).with_cookie(CookieSpec::tracker("t"));
+        let (mut browser, url) = world(spec);
+        let mut dg = Doppelganger::default();
+        let views = 4;
+        for i in 0..views {
+            browser.visit_with(&url.join(&format!("/page/{i}")), &mut dg).unwrap();
+            browser.think();
+        }
+        // CookiePicker issues exactly `views` hidden requests in the same
+        // scenario; Doppelganger issues container+objects per view.
+        assert!(dg.total_requests() > views * 3);
+    }
+}

@@ -1,0 +1,550 @@
+//! A forgiving tree builder in the spirit of browser HTML parsers.
+//!
+//! Real-world HTML is often malformed; the paper's step 3 (§3.2) requires
+//! that both the regular and the hidden page version be built by the *same*
+//! parser so malformed input is treated identically. This builder implements
+//! the recovery rules that matter for 2007-era page structure:
+//!
+//! * implied `<html>`, `<head>` and `<body>`;
+//! * void elements never open a scope (`<br>`, `<img>`, `<meta>`, …);
+//! * automatic closing of `<p>`, `<li>`, `<dt>/<dd>`, `<tr>`, `<td>/<th>`,
+//!   `<option>`, table sections and nested `<a>`;
+//! * stray end tags are ignored; mis-nested end tags close up to the nearest
+//!   matching open element;
+//! * unterminated elements are closed at end of input.
+
+use crate::dom::{Document, NodeId};
+use crate::tokenizer::{tokenize, Token};
+
+/// Elements that never have content (HTML void elements).
+fn is_void(name: &str) -> bool {
+    matches!(
+        name,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
+            | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// Elements whose start tag belongs in `<head>` when seen before `<body>`.
+fn is_head_content(name: &str) -> bool {
+    matches!(name, "title" | "meta" | "link" | "base" | "style" | "noscript")
+}
+
+/// Block-level elements that implicitly close an open `<p>`.
+fn closes_p(name: &str) -> bool {
+    matches!(
+        name,
+        "address" | "article" | "aside" | "blockquote" | "div" | "dl" | "fieldset" | "footer"
+            | "form" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "header" | "hr" | "main"
+            | "nav" | "ol" | "p" | "pre" | "section" | "table" | "ul"
+    )
+}
+
+/// Parses an HTML document into a [`Document`] DOM tree. Never fails.
+///
+/// ```
+/// use cp_html::parse_document;
+///
+/// // Implied structure and recovery from unclosed tags:
+/// let doc = parse_document("<title>t</title><p>one<p>two");
+/// assert!(doc.head().is_some());
+/// let body = doc.body().unwrap();
+/// assert_eq!(doc.element_children(body).len(), 2);
+/// ```
+pub fn parse_document(input: &str) -> Document {
+    let mut builder = TreeBuilder::new();
+    for token in tokenize(input) {
+        builder.process(token);
+    }
+    builder.finish()
+}
+
+struct TreeBuilder {
+    doc: Document,
+    /// Open element stack; `stack[0]` is the document node.
+    stack: Vec<NodeId>,
+    html: Option<NodeId>,
+    head: Option<NodeId>,
+    body: Option<NodeId>,
+    head_closed: bool,
+}
+
+impl TreeBuilder {
+    fn new() -> Self {
+        TreeBuilder {
+            doc: Document::new(),
+            stack: vec![NodeId::DOCUMENT],
+            html: None,
+            head: None,
+            body: None,
+            head_closed: false,
+        }
+    }
+
+    fn current(&self) -> NodeId {
+        *self.stack.last().expect("stack never empty")
+    }
+
+    fn ensure_html(&mut self) -> NodeId {
+        if let Some(h) = self.html {
+            return h;
+        }
+        let h = self.doc.create_element("html", vec![]);
+        self.doc.append_child(NodeId::DOCUMENT, h);
+        self.stack.push(h);
+        self.html = Some(h);
+        h
+    }
+
+    fn ensure_head(&mut self) -> NodeId {
+        if let Some(h) = self.head {
+            return h;
+        }
+        let html = self.ensure_html();
+        let h = self.doc.create_element("head", vec![]);
+        self.doc.append_child(html, h);
+        self.head = Some(h);
+        h
+    }
+
+    fn ensure_body(&mut self) -> NodeId {
+        if let Some(b) = self.body {
+            return b;
+        }
+        // Close the head if it is on the stack.
+        if let Some(head) = self.head {
+            while self.stack.contains(&head) && self.current() != head {
+                self.stack.pop();
+            }
+            if self.current() == head {
+                self.stack.pop();
+            }
+        } else {
+            self.ensure_head();
+        }
+        self.head_closed = true;
+        let html = self.ensure_html();
+        // Reset stack to [document, html] before opening body.
+        self.stack.truncate(1);
+        self.stack.push(html);
+        let b = self.doc.create_element("body", vec![]);
+        self.doc.append_child(html, b);
+        self.stack.push(b);
+        self.body = Some(b);
+        b
+    }
+
+    fn in_body(&self) -> bool {
+        self.body.is_some()
+    }
+
+    fn process(&mut self, token: Token) {
+        match token {
+            Token::Doctype(name) => {
+                if self.html.is_none() {
+                    let d = self.doc.create_doctype(name);
+                    self.doc.append_child(NodeId::DOCUMENT, d);
+                }
+            }
+            Token::Comment(text) => {
+                let c = self.doc.create_comment(text);
+                let parent = self.current();
+                self.doc.append_child(parent, c);
+            }
+            Token::Text(text) => self.process_text(text),
+            Token::StartTag { name, attrs, self_closing } => {
+                self.process_start(&name, attrs, self_closing)
+            }
+            Token::EndTag(name) => self.process_end(&name),
+        }
+    }
+
+    fn process_text(&mut self, text: String) {
+        let in_head_context = !self.in_body();
+        if in_head_context {
+            // Whitespace before <body> is dropped; real text forces the body.
+            if text.trim().is_empty() {
+                // Inside a head raw-text element (title/style/script) keep it.
+                let cur = self.current();
+                if self.doc.tag_name(cur).is_some_and(is_head_content)
+                    || self.doc.tag_name(cur) == Some("script")
+                {
+                    let t = self.doc.create_text(text);
+                    self.doc.append_child(cur, t);
+                }
+                return;
+            }
+            let cur = self.current();
+            if self.doc.tag_name(cur).is_some_and(is_head_content)
+                || self.doc.tag_name(cur) == Some("script")
+            {
+                let t = self.doc.create_text(text);
+                self.doc.append_child(cur, t);
+                return;
+            }
+            self.ensure_body();
+        }
+        let cur = self.current();
+        let t = self.doc.create_text(text);
+        self.doc.append_child(cur, t);
+    }
+
+    fn process_start(&mut self, name: &str, attrs: Vec<crate::tokenizer::Attribute>, self_closing: bool) {
+        let attrs: Vec<(String, String)> = attrs.into_iter().map(|a| (a.name, a.value)).collect();
+        match name {
+            "html" => {
+                let h = self.ensure_html();
+                for (k, v) in attrs {
+                    if self.doc.attr(h, &k).is_none() {
+                        self.doc.set_attr(h, &k, v);
+                    }
+                }
+                return;
+            }
+            "head" => {
+                let h = self.ensure_head();
+                if !self.head_closed && !self.stack.contains(&h) {
+                    self.stack.push(h);
+                }
+                for (k, v) in attrs {
+                    if self.doc.attr(h, &k).is_none() {
+                        self.doc.set_attr(h, &k, v);
+                    }
+                }
+                return;
+            }
+            "body" => {
+                let b = self.ensure_body();
+                for (k, v) in attrs {
+                    if self.doc.attr(b, &k).is_none() {
+                        self.doc.set_attr(b, &k, v);
+                    }
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        // Decide placement: head-content elements go to the head until the
+        // body opens; everything else forces the body (scripts may live in
+        // either — they stay wherever we currently are).
+        if !self.in_body() {
+            if is_head_content(name) || name == "script" {
+                let head = self.ensure_head();
+                if !self.stack.contains(&head) {
+                    self.stack.push(head);
+                }
+            } else {
+                self.ensure_body();
+            }
+        }
+
+        // Automatic closing rules.
+        match name {
+            "p" if self.has_open("p") => self.close_nearest("p"),
+            n if closes_p(n) && self.has_open("p") => self.close_nearest("p"),
+            "li" if self.has_open_until("li", &["ul", "ol", "menu"]) => self.close_nearest("li"),
+            "dt" | "dd" => {
+                if self.has_open_until("dt", &["dl"]) {
+                    self.close_nearest("dt");
+                }
+                if self.has_open_until("dd", &["dl"]) {
+                    self.close_nearest("dd");
+                }
+            }
+            "tr" if self.has_open_until("tr", &["table"]) => self.close_nearest("tr"),
+            "td" | "th" => {
+                if self.has_open_until("td", &["tr", "table"]) {
+                    self.close_nearest("td");
+                }
+                if self.has_open_until("th", &["tr", "table"]) {
+                    self.close_nearest("th");
+                }
+            }
+            "option" if self.has_open("option") => self.close_nearest("option"),
+            "thead" | "tbody" | "tfoot" => {
+                for s in ["thead", "tbody", "tfoot"] {
+                    if self.has_open_until(s, &["table"]) {
+                        self.close_nearest(s);
+                    }
+                }
+            }
+            "a" if self.has_open("a") => self.close_nearest("a"),
+            _ => {}
+        }
+
+        let el = self.doc.create_element(name, attrs);
+        let parent = self.current();
+        self.doc.append_child(parent, el);
+        if !is_void(name) && !self_closing {
+            self.stack.push(el);
+        }
+    }
+
+    fn process_end(&mut self, name: &str) {
+        match name {
+            "html" | "body" => {
+                // Keep them open until EOF; browsers effectively do the same.
+                return;
+            }
+            "head" => {
+                if let Some(head) = self.head {
+                    if self.stack.contains(&head) {
+                        while self.current() != head {
+                            self.stack.pop();
+                        }
+                        self.stack.pop();
+                        self.head_closed = true;
+                    }
+                }
+                return;
+            }
+            "p" if !self.has_open("p") => {
+                // A stray </p> creates an empty paragraph in browsers.
+                if self.in_body() {
+                    let parent = self.current();
+                    let p = self.doc.create_element("p", vec![]);
+                    self.doc.append_child(parent, p);
+                }
+                return;
+            }
+            _ => {}
+        }
+        if self.has_open(name) {
+            self.close_nearest(name);
+        }
+        // Otherwise: stray end tag, ignored.
+    }
+
+    fn has_open(&self, name: &str) -> bool {
+        self.stack.iter().any(|&n| self.doc.tag_name(n) == Some(name))
+    }
+
+    /// Whether `name` is open *above* (closer to the top than) any of the
+    /// `barriers` — used for scoped auto-closing (e.g. `li` within `ul`).
+    fn has_open_until(&self, name: &str, barriers: &[&str]) -> bool {
+        for &n in self.stack.iter().rev() {
+            match self.doc.tag_name(n) {
+                Some(t) if t == name => return true,
+                Some(t) if barriers.contains(&t) => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn close_nearest(&mut self, name: &str) {
+        while let Some(&top) = self.stack.last() {
+            if self.stack.len() <= 1 {
+                break;
+            }
+            let matched = self.doc.tag_name(top) == Some(name);
+            self.stack.pop();
+            if matched {
+                break;
+            }
+        }
+    }
+
+    fn finish(mut self) -> Document {
+        // Guarantee the skeleton exists even for empty input.
+        self.ensure_body();
+        self.doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::NodeId;
+
+    #[test]
+    fn empty_input_has_skeleton() {
+        let doc = parse_document("");
+        assert!(doc.html().is_some());
+        assert!(doc.head().is_some());
+        assert!(doc.body().is_some());
+    }
+
+    #[test]
+    fn full_document() {
+        let doc = parse_document(
+            "<!DOCTYPE html><html lang=en><head><title>T</title></head><body><p>x</p></body></html>",
+        );
+        assert_eq!(doc.attr(doc.html().unwrap(), "lang"), Some("en"));
+        let title = doc.find_element(NodeId::DOCUMENT, "title").unwrap();
+        assert_eq!(doc.text_content(title), "T");
+        assert_eq!(doc.parent(title), doc.head());
+        let p = doc.find_element(NodeId::DOCUMENT, "p").unwrap();
+        assert_eq!(doc.parent(p), doc.body());
+    }
+
+    #[test]
+    fn implied_structure() {
+        let doc = parse_document("just text");
+        let body = doc.body().unwrap();
+        assert_eq!(doc.text_content(body), "just text");
+    }
+
+    #[test]
+    fn head_elements_to_head_body_elements_to_body() {
+        let doc = parse_document("<meta charset=utf-8><div>x</div>");
+        let meta = doc.find_element(NodeId::DOCUMENT, "meta").unwrap();
+        assert_eq!(doc.parent(meta), doc.head());
+        let div = doc.find_element(NodeId::DOCUMENT, "div").unwrap();
+        assert_eq!(doc.parent(div), doc.body());
+    }
+
+    #[test]
+    fn unclosed_paragraphs_are_siblings() {
+        let doc = parse_document("<p>one<p>two<p>three");
+        let body = doc.body().unwrap();
+        let ps = doc.element_children(body);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(doc.text_content(ps[0]), "one");
+        assert_eq!(doc.text_content(ps[2]), "three");
+    }
+
+    #[test]
+    fn p_closed_by_block_elements() {
+        let doc = parse_document("<p>para<div>block</div>");
+        let body = doc.body().unwrap();
+        let kids = doc.element_children(body);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.tag_name(kids[0]), Some("p"));
+        assert_eq!(doc.tag_name(kids[1]), Some("div"));
+        assert_eq!(doc.parent(kids[1]), Some(body));
+    }
+
+    #[test]
+    fn list_items_autoclose() {
+        let doc = parse_document("<ul><li>a<li>b<li>c</ul>");
+        let ul = doc.find_element(NodeId::DOCUMENT, "ul").unwrap();
+        assert_eq!(doc.element_children(ul).len(), 3);
+    }
+
+    #[test]
+    fn nested_list_items_stay_nested() {
+        let doc = parse_document("<ul><li>a<ul><li>a1<li>a2</ul><li>b</ul>");
+        let uls = doc.find_all(NodeId::DOCUMENT, "ul");
+        assert_eq!(uls.len(), 2);
+        assert_eq!(doc.element_children(uls[0]).len(), 2); // li a (contains inner ul), li b
+        assert_eq!(doc.element_children(uls[1]).len(), 2); // a1, a2
+    }
+
+    #[test]
+    fn table_rows_and_cells_autoclose() {
+        let doc = parse_document("<table><tr><td>1<td>2<tr><td>3</table>");
+        let trs = doc.find_all(NodeId::DOCUMENT, "tr");
+        assert_eq!(trs.len(), 2);
+        assert_eq!(doc.element_children(trs[0]).len(), 2);
+        assert_eq!(doc.element_children(trs[1]).len(), 1);
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let doc = parse_document("<br><br><img src=x><hr>");
+        let body = doc.body().unwrap();
+        assert_eq!(doc.element_children(body).len(), 4);
+        let img = doc.find_element(NodeId::DOCUMENT, "img").unwrap();
+        assert!(doc.children(img).is_empty());
+    }
+
+    #[test]
+    fn misnested_end_tag_recovers() {
+        // </b> with b not open: ignored. </i> closes through b.
+        let doc = parse_document("<i><b>x</i>y");
+        let body = doc.body().unwrap();
+        let i = doc.element_children(body)[0];
+        assert_eq!(doc.tag_name(i), Some("i"));
+        // y lands in body because </i> closed both.
+        assert_eq!(doc.text_content(body), "xy");
+    }
+
+    #[test]
+    fn stray_end_tags_ignored() {
+        let doc = parse_document("</div></span>text");
+        assert_eq!(doc.text_content(doc.body().unwrap()), "text");
+    }
+
+    #[test]
+    fn script_in_head_and_body() {
+        let doc = parse_document("<script>var a=1;</script><div><script>b</script></div>");
+        let scripts = doc.find_all(NodeId::DOCUMENT, "script");
+        assert_eq!(scripts.len(), 2);
+        assert_eq!(doc.parent(scripts[0]), doc.head());
+        let div = doc.find_element(NodeId::DOCUMENT, "div").unwrap();
+        assert_eq!(doc.parent(scripts[1]), Some(div));
+    }
+
+    #[test]
+    fn comments_preserved() {
+        let doc = parse_document("<body><!-- note --><p>x</p></body>");
+        let body = doc.body().unwrap();
+        let kids = doc.children(body);
+        assert!(matches!(doc.data(kids[0]), crate::dom::NodeData::Comment(c) if c == " note "));
+    }
+
+    #[test]
+    fn nested_anchors_autoclose() {
+        let doc = parse_document("<a href=1>one<a href=2>two</a>");
+        let anchors = doc.find_all(NodeId::DOCUMENT, "a");
+        assert_eq!(anchors.len(), 2);
+        assert_eq!(doc.parent(anchors[1]), doc.body());
+    }
+
+    #[test]
+    fn select_options_autoclose() {
+        let doc = parse_document("<select><option>a<option>b</select>");
+        let sel = doc.find_element(NodeId::DOCUMENT, "select").unwrap();
+        assert_eq!(doc.element_children(sel).len(), 2);
+    }
+
+    #[test]
+    fn attributes_survive_parsing() {
+        let doc = parse_document(r#"<div id="main" class="x y" data-v=3>c</div>"#);
+        let div = doc.element_by_id("main").unwrap();
+        assert_eq!(doc.attr(div, "class"), Some("x y"));
+        assert_eq!(doc.attr(div, "data-v"), Some("3"));
+    }
+
+    #[test]
+    fn deterministic_for_same_input() {
+        // Cornerstone of the paper's step 3: same parser ⇒ same tree.
+        let html = "<div><p>a<p>b<table><tr><td>x</table><script>s</script>";
+        let d1 = parse_document(html);
+        let d2 = parse_document(html);
+        let n1: Vec<String> = d1.preorder_all().map(|n| d1.node_name(n).to_string()).collect();
+        let n2: Vec<String> = d2.preorder_all().map(|n| d2.node_name(n).to_string()).collect();
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn text_before_head_content_forces_body() {
+        let doc = parse_document("hello<title>late</title>");
+        assert_eq!(doc.text_content(doc.body().unwrap()), "hellolate");
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for garbage in [
+            "<table><div></table>",
+            "</p></p></p>",
+            "<head><div>x</div></head>",
+            "<body><head><title>t</title></head></body>",
+            "<p><table><p>inner</table>after",
+            "<<<<",
+            "<html><html><body><body>",
+        ] {
+            let doc = parse_document(garbage);
+            assert!(doc.body().is_some(), "body must exist for {garbage:?}");
+        }
+    }
+
+    #[test]
+    fn stray_close_p_makes_empty_paragraph() {
+        let doc = parse_document("<body></p>x");
+        let body = doc.body().unwrap();
+        assert_eq!(doc.element_children(body).len(), 1);
+    }
+}

@@ -1,0 +1,365 @@
+//! A small CSS-selector engine over the DOM.
+//!
+//! Supports the selector subset that covers practical DOM inspection in
+//! tests, examples and extensions:
+//!
+//! * type selectors (`div`), the universal selector (`*`);
+//! * id (`#main`), class (`.ad`), and attribute selectors (`[href]`,
+//!   `[type=hidden]`);
+//! * compound selectors (`div.ad#top[hidden]`);
+//! * descendant combinators (`div p`) and child combinators (`div > p`);
+//! * comma-separated selector lists (`h1, h2`).
+//!
+//! # Example
+//!
+//! ```
+//! use cp_html::{parse_document, select::select};
+//!
+//! let doc = parse_document(r#"<div id=a class="x y"><p>one</p><span><p>two</p></span></div>"#);
+//! assert_eq!(select(&doc, "div p").unwrap().len(), 2);
+//! assert_eq!(select(&doc, "div > p").unwrap().len(), 1);
+//! assert_eq!(select(&doc, "#a.x").unwrap().len(), 1);
+//! assert!(select(&doc, "p, span").unwrap().len() == 3);
+//! ```
+
+use std::fmt;
+
+use crate::dom::{Document, NodeId};
+
+/// Error returned by [`parse_selector`] / [`select`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSelectorError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid selector: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseSelectorError {}
+
+fn err(message: impl Into<String>) -> ParseSelectorError {
+    ParseSelectorError { message: message.into() }
+}
+
+/// One simple selector: `tag#id.class1.class2[attr=value]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Simple {
+    tag: Option<String>,
+    id: Option<String>,
+    classes: Vec<String>,
+    attrs: Vec<(String, Option<String>)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Combinator {
+    Descendant,
+    Child,
+}
+
+/// A parsed selector list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    // Each alternative is a chain: simple (combinator simple)*.
+    alternatives: Vec<Vec<(Combinator, Simple)>>,
+}
+
+/// Parses a selector list.
+///
+/// # Errors
+///
+/// Returns [`ParseSelectorError`] for empty selectors or malformed parts.
+pub fn parse_selector(input: &str) -> Result<Selector, ParseSelectorError> {
+    let mut alternatives = Vec::new();
+    for alt in input.split(',') {
+        let alt = alt.trim();
+        if alt.is_empty() {
+            return Err(err("empty selector alternative"));
+        }
+        let mut chain = Vec::new();
+        let mut pending = Combinator::Descendant;
+        let mut expect_simple = true;
+        for token in tokenize_selector(alt) {
+            match token.as_str() {
+                ">" => {
+                    if expect_simple {
+                        return Err(err("misplaced '>'"));
+                    }
+                    pending = Combinator::Child;
+                    expect_simple = true;
+                }
+                t => {
+                    chain.push((pending, parse_simple(t)?));
+                    pending = Combinator::Descendant;
+                    expect_simple = false;
+                }
+            }
+        }
+        if expect_simple || chain.is_empty() {
+            return Err(err("selector ends with a combinator"));
+        }
+        alternatives.push(chain);
+    }
+    Ok(Selector { alternatives })
+}
+
+fn tokenize_selector(s: &str) -> Vec<String> {
+    // Split on whitespace but keep '>' as its own token.
+    let mut out = Vec::new();
+    for part in s.split_whitespace() {
+        if part == ">" {
+            out.push(">".to_string());
+            continue;
+        }
+        let mut rest = part;
+        while let Some(pos) = rest.find('>') {
+            if pos > 0 {
+                out.push(rest[..pos].to_string());
+            }
+            out.push(">".to_string());
+            rest = &rest[pos + 1..];
+        }
+        if !rest.is_empty() {
+            out.push(rest.to_string());
+        }
+    }
+    out
+}
+
+fn parse_simple(token: &str) -> Result<Simple, ParseSelectorError> {
+    let mut simple = Simple::default();
+    let bytes = token.as_bytes();
+    let mut i = 0;
+    // Leading tag or universal.
+    let start = i;
+    while i < bytes.len() && !matches!(bytes[i], b'#' | b'.' | b'[') {
+        i += 1;
+    }
+    if i > start {
+        let tag = &token[start..i];
+        if tag != "*" {
+            simple.tag = Some(tag.to_ascii_lowercase());
+        }
+    }
+    while i < bytes.len() {
+        match bytes[i] {
+            b'#' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && !matches!(bytes[i], b'#' | b'.' | b'[') {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(err("empty id"));
+                }
+                simple.id = Some(token[start..i].to_string());
+            }
+            b'.' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && !matches!(bytes[i], b'#' | b'.' | b'[') {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(err("empty class"));
+                }
+                simple.classes.push(token[start..i].to_string());
+            }
+            b'[' => {
+                let end = token[i..].find(']').ok_or_else(|| err("unterminated '['"))?;
+                let body = &token[i + 1..i + end];
+                if body.is_empty() {
+                    return Err(err("empty attribute selector"));
+                }
+                match body.split_once('=') {
+                    Some((k, v)) => simple
+                        .attrs
+                        .push((k.to_ascii_lowercase(), Some(v.trim_matches('"').to_string()))),
+                    None => simple.attrs.push((body.to_ascii_lowercase(), None)),
+                }
+                i += end + 1;
+            }
+            _ => return Err(err(format!("unexpected byte in selector {token:?}"))),
+        }
+    }
+    Ok(simple)
+}
+
+fn matches_simple(doc: &Document, node: NodeId, simple: &Simple) -> bool {
+    let Some(tag) = doc.tag_name(node) else { return false };
+    if let Some(want) = &simple.tag {
+        if tag != want {
+            return false;
+        }
+    }
+    if let Some(id) = &simple.id {
+        if doc.attr(node, "id") != Some(id.as_str()) {
+            return false;
+        }
+    }
+    if !simple.classes.is_empty() {
+        let Some(class) = doc.attr(node, "class") else { return false };
+        let tokens: Vec<&str> = class.split_whitespace().collect();
+        if !simple.classes.iter().all(|c| tokens.contains(&c.as_str())) {
+            return false;
+        }
+    }
+    for (name, value) in &simple.attrs {
+        match (doc.attr(node, name), value) {
+            (None, _) => return false,
+            (Some(_), None) => {}
+            (Some(actual), Some(want)) => {
+                if actual != want {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn matches_chain(doc: &Document, node: NodeId, chain: &[(Combinator, Simple)]) -> bool {
+    let (last_comb, last_simple) = chain.last().expect("chain never empty");
+    if !matches_simple(doc, node, last_simple) {
+        return false;
+    }
+    let rest = &chain[..chain.len() - 1];
+    if rest.is_empty() {
+        return true;
+    }
+    match last_comb {
+        Combinator::Child => doc.parent(node).is_some_and(|p| matches_chain(doc, p, rest)),
+        Combinator::Descendant => {
+            let mut cur = doc.parent(node);
+            while let Some(p) = cur {
+                if matches_chain(doc, p, rest) {
+                    return true;
+                }
+                cur = doc.parent(p);
+            }
+            false
+        }
+    }
+}
+
+impl Selector {
+    /// Whether `node` matches this selector.
+    pub fn matches(&self, doc: &Document, node: NodeId) -> bool {
+        self.alternatives.iter().any(|chain| matches_chain(doc, node, chain))
+    }
+}
+
+/// Selects every element in document order matching the selector.
+///
+/// # Errors
+///
+/// Returns [`ParseSelectorError`] if the selector cannot be parsed.
+pub fn select(doc: &Document, selector: &str) -> Result<Vec<NodeId>, ParseSelectorError> {
+    let sel = parse_selector(selector)?;
+    Ok(doc.preorder_all().filter(|&n| sel.matches(doc, n)).collect())
+}
+
+/// Selects the first matching element in document order.
+///
+/// # Errors
+///
+/// Returns [`ParseSelectorError`] if the selector cannot be parsed.
+pub fn select_first(doc: &Document, selector: &str) -> Result<Option<NodeId>, ParseSelectorError> {
+    let sel = parse_selector(selector)?;
+    Ok(doc.preorder_all().find(|&n| sel.matches(doc, n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            r#"<div id="top" class="wrap outer">
+                 <p class="lead">intro</p>
+                 <div class="ad"><p>buy</p></div>
+                 <ul><li class="item"><a href="/x">link</a></li><li class="item sel">two</li></ul>
+                 <input type="hidden" name="t">
+               </div>"#,
+        )
+    }
+
+    #[test]
+    fn tag_and_universal() {
+        let d = doc();
+        assert_eq!(select(&d, "p").unwrap().len(), 2);
+        assert_eq!(select(&d, "li").unwrap().len(), 2);
+        let all = select(&d, "*").unwrap();
+        assert!(all.len() > 8, "universal matches every element");
+    }
+
+    #[test]
+    fn id_and_class() {
+        let d = doc();
+        assert_eq!(select(&d, "#top").unwrap().len(), 1);
+        assert_eq!(select(&d, ".item").unwrap().len(), 2);
+        assert_eq!(select(&d, ".item.sel").unwrap().len(), 1);
+        assert_eq!(select(&d, "div.wrap.outer#top").unwrap().len(), 1);
+        assert_eq!(select(&d, ".missing").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn attribute_selectors() {
+        let d = doc();
+        assert_eq!(select(&d, "[href]").unwrap().len(), 1);
+        assert_eq!(select(&d, "input[type=hidden]").unwrap().len(), 1);
+        assert_eq!(select(&d, "input[type=text]").unwrap().len(), 0);
+        assert_eq!(select(&d, r#"[type="hidden"]"#).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn descendant_and_child() {
+        let d = doc();
+        assert_eq!(select(&d, "div p").unwrap().len(), 2);
+        assert_eq!(select(&d, "#top > p").unwrap().len(), 1);
+        assert_eq!(select(&d, "ul > li > a").unwrap().len(), 1);
+        assert_eq!(select(&d, "ul > a").unwrap().len(), 0);
+        assert_eq!(select(&d, ".ad p").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn selector_lists() {
+        let d = doc();
+        assert_eq!(select(&d, "a, input").unwrap().len(), 2);
+        assert_eq!(select(&d, "p, .item").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn select_first_in_document_order() {
+        let d = doc();
+        let first = select_first(&d, "li").unwrap().unwrap();
+        assert_eq!(d.attr(first, "class"), Some("item"));
+        assert!(select_first(&d, "table").unwrap().is_none());
+    }
+
+    #[test]
+    fn compact_child_combinator() {
+        let d = doc();
+        assert_eq!(select(&d, "ul>li").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn invalid_selectors_rejected() {
+        let d = doc();
+        for bad in ["", " ", ",p", "p >", "> p", "div[unclosed", "p..x", "#"] {
+            assert!(select(&d, bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn selector_reuse() {
+        let d = doc();
+        let sel = parse_selector("li.item").unwrap();
+        let hits = d.preorder_all().filter(|&n| sel.matches(&d, n)).count();
+        assert_eq!(hits, 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! DOM-to-HTML serialization.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::entities::{escape_attr, escape_text};
+
+fn is_void(name: &str) -> bool {
+    matches!(
+        name,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
+            | "param" | "source" | "track" | "wbr"
+    )
+}
+
+fn is_raw_text(name: &str) -> bool {
+    matches!(name, "script" | "style")
+}
+
+/// Serializes the subtree rooted at `id` back to HTML text.
+///
+/// Text nodes are entity-escaped except inside `<script>`/`<style>`;
+/// void elements are emitted without end tags.
+///
+/// ```
+/// use cp_html::{parse_document, serialize, NodeId};
+/// let doc = parse_document("<p>a &amp; b</p>");
+/// let html = serialize(&doc, NodeId::DOCUMENT);
+/// assert!(html.contains("<p>a &amp; b</p>"));
+/// ```
+pub fn serialize(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String) {
+    match doc.data(id) {
+        NodeData::Document => {
+            for &c in doc.children(id) {
+                write_node(doc, c, out);
+            }
+        }
+        NodeData::Doctype { name } => {
+            out.push_str("<!DOCTYPE ");
+            out.push_str(name);
+            out.push('>');
+        }
+        NodeData::Comment(text) => {
+            out.push_str("<!--");
+            out.push_str(text);
+            out.push_str("-->");
+        }
+        NodeData::Text(text) => {
+            let parent_raw = doc
+                .parent(id)
+                .and_then(|p| doc.tag_name(p).map(is_raw_text))
+                .unwrap_or(false);
+            if parent_raw {
+                out.push_str(text);
+            } else {
+                out.push_str(&escape_text(text));
+            }
+        }
+        NodeData::Element { name, attrs } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                if !v.is_empty() {
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(v));
+                    out.push('"');
+                }
+            }
+            out.push('>');
+            if is_void(name) {
+                return;
+            }
+            for &c in doc.children(id) {
+                write_node(doc, c, out);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn round_trip_simple() {
+        let doc = parse_document("<!DOCTYPE html><html><head></head><body><p>x</p></body></html>");
+        let html = serialize(&doc, NodeId::DOCUMENT);
+        assert_eq!(
+            html,
+            "<!DOCTYPE html><html><head></head><body><p>x</p></body></html>"
+        );
+    }
+
+    #[test]
+    fn void_elements_not_closed() {
+        let doc = parse_document("<body><br><img src=x></body>");
+        let html = serialize(&doc, NodeId::DOCUMENT);
+        assert!(html.contains("<br>"));
+        assert!(html.contains("<img src=\"x\">"));
+        assert!(!html.contains("</br>"));
+        assert!(!html.contains("</img>"));
+    }
+
+    #[test]
+    fn text_escaped_but_script_raw() {
+        let doc = parse_document("<body><p>a&lt;b</p><script>if(a<b){}</script></body>");
+        let html = serialize(&doc, NodeId::DOCUMENT);
+        assert!(html.contains("a&lt;b"));
+        assert!(html.contains("if(a<b){}"));
+    }
+
+    #[test]
+    fn attrs_escaped() {
+        let doc = parse_document(r#"<div title="a &quot;b&quot;">x</div>"#);
+        let html = serialize(&doc, NodeId::DOCUMENT);
+        assert!(html.contains(r#"title="a &quot;b&quot;""#));
+    }
+
+    #[test]
+    fn valueless_attr_bare() {
+        let doc = parse_document("<input disabled>");
+        let html = serialize(&doc, NodeId::DOCUMENT);
+        assert!(html.contains("<input disabled>"));
+    }
+
+    #[test]
+    fn reparse_stability() {
+        // serialize(parse(x)) must be a fixed point under reparsing.
+        let inputs = [
+            "<p>one<p>two",
+            "<ul><li>a<li>b</ul>",
+            "<table><tr><td>1<td>2</table>",
+            "<div class=c><!-- k --><b>t</b></div>",
+        ];
+        for input in inputs {
+            let d1 = parse_document(input);
+            let s1 = serialize(&d1, NodeId::DOCUMENT);
+            let d2 = parse_document(&s1);
+            let s2 = serialize(&d2, NodeId::DOCUMENT);
+            assert_eq!(s1, s2, "not a fixed point for {input:?}");
+        }
+    }
+
+    #[test]
+    fn comments_round_trip() {
+        let doc = parse_document("<body><!--hello--></body>");
+        assert!(serialize(&doc, NodeId::DOCUMENT).contains("<!--hello-->"));
+    }
+}

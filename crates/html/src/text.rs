@@ -1,0 +1,134 @@
+//! Rendered-text extraction (`innerText`-style).
+//!
+//! [`Document::text_content`] concatenates raw text nodes;
+//! [`inner_text`] instead approximates what a browser *renders*: invisible
+//! subtrees contribute nothing, block-level boundaries become newlines,
+//! consecutive whitespace collapses. This is the right notion of "what the
+//! user perceives" for window comparison (the Doppelganger baseline) and
+//! for debugging CVCE decisions.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::visibility::is_node_visible;
+
+/// Elements that introduce a line break before and after their content.
+fn is_block(name: &str) -> bool {
+    matches!(
+        name,
+        "address" | "article" | "aside" | "blockquote" | "body" | "dd" | "div" | "dl" | "dt"
+            | "fieldset" | "figure" | "footer" | "form" | "h1" | "h2" | "h3" | "h4" | "h5"
+            | "h6" | "header" | "hr" | "legend" | "li" | "main" | "nav" | "ol" | "p" | "pre"
+            | "section" | "table" | "td" | "th" | "tr" | "ul" | "html"
+    )
+}
+
+/// Extracts the rendered text of the subtree at `root`.
+///
+/// * Invisible nodes (scripts, styles, comments, `display:none`, head
+///   content) contribute nothing.
+/// * Block elements start and end on their own line.
+/// * Runs of whitespace collapse to single spaces; blank lines collapse.
+///
+/// ```
+/// use cp_html::{parse_document, NodeId};
+/// use cp_html::text::inner_text;
+///
+/// let doc = parse_document(
+///     "<body><h1>Title</h1><p>one   two</p><script>x()</script><div>three</div></body>",
+/// );
+/// assert_eq!(inner_text(&doc, NodeId::DOCUMENT), "Title\none two\nthree");
+/// ```
+pub fn inner_text(doc: &Document, root: NodeId) -> String {
+    let mut out = String::new();
+    walk(doc, root, &mut out);
+    // Normalize: trim lines, drop empties.
+    let lines: Vec<&str> =
+        out.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+    lines.join("\n")
+}
+
+fn walk(doc: &Document, node: NodeId, out: &mut String) {
+    match doc.data(node) {
+        NodeData::Text(text) => {
+            let collapsed: Vec<&str> = text.split_whitespace().collect();
+            if collapsed.is_empty() {
+                return;
+            }
+            if !out.is_empty() && !out.ends_with([' ', '\n']) {
+                out.push(' ');
+            }
+            out.push_str(&collapsed.join(" "));
+        }
+        NodeData::Element { name, .. } => {
+            if !is_node_visible(doc, node) {
+                return;
+            }
+            let block = is_block(name);
+            if block && !out.is_empty() && !out.ends_with('\n') {
+                out.push('\n');
+            }
+            for &c in doc.children(node) {
+                walk(doc, c, out);
+            }
+            if block && !out.is_empty() && !out.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        NodeData::Document => {
+            for &c in doc.children(node) {
+                walk(doc, c, out);
+            }
+        }
+        NodeData::Comment(_) | NodeData::Doctype { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn text(html: &str) -> String {
+        inner_text(&parse_document(html), NodeId::DOCUMENT)
+    }
+
+    #[test]
+    fn blocks_become_lines() {
+        assert_eq!(text("<p>a</p><p>b</p><div>c</div>"), "a\nb\nc");
+    }
+
+    #[test]
+    fn inline_elements_stay_on_line() {
+        assert_eq!(text("<p>a <b>bold</b> c</p>"), "a bold c");
+        assert_eq!(text("<span>x</span><span>y</span>"), "x y");
+    }
+
+    #[test]
+    fn whitespace_collapses() {
+        assert_eq!(text("<p>  a \n\n  b\t c  </p>"), "a b c");
+    }
+
+    #[test]
+    fn invisible_content_dropped() {
+        assert_eq!(
+            text("<p>seen</p><script>var x;</script><style>.a{}</style><!-- c --><div style=\"display:none\">hidden</div>"),
+            "seen"
+        );
+    }
+
+    #[test]
+    fn title_not_rendered() {
+        assert_eq!(text("<title>page title</title><body><p>body</p></body>"), "body");
+    }
+
+    #[test]
+    fn lists_and_tables_line_per_item() {
+        assert_eq!(text("<ul><li>one</li><li>two</li></ul>"), "one\ntwo");
+        assert_eq!(text("<table><tr><td>a</td><td>b</td></tr></table>"), "a\nb");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(text(""), "");
+        assert_eq!(text("<div></div><p>   </p>"), "");
+    }
+}

@@ -1,0 +1,526 @@
+//! A forgiving, HTML5-flavoured streaming tokenizer.
+//!
+//! The tokenizer turns arbitrary input into a flat stream of [`Token`]s and
+//! **never fails**: malformed markup degrades into text or bogus comments,
+//! mirroring the error-recovery behaviour real browser parsers exhibit. This
+//! matters for CookiePicker because both page versions must be tokenized
+//! identically, malformed or not (paper §3.2, step 3).
+//!
+//! Raw-text elements (`script`, `style`, `textarea`, `title`) are handled as
+//! in browsers: after their start tag, everything up to the matching
+//! case-insensitive end tag is a single text token with no entity decoding
+//! (entities *are* decoded for `textarea`/`title`, per spec, but we keep the
+//! raw bytes for scripts and styles).
+
+use crate::entities::decode_entities;
+
+/// An attribute parsed from a start tag: lower-cased name, decoded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Lower-cased attribute name.
+    pub name: String,
+    /// Attribute value with entities decoded; empty for valueless attributes.
+    pub value: String,
+}
+
+/// A lexical token produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<!DOCTYPE name …>`.
+    Doctype(
+        /// The doctype name (lower-cased).
+        String,
+    ),
+    /// `<name attr="…" …>` or `<name … />`.
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes in source order.
+        attrs: Vec<Attribute>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag(
+        /// Lower-cased tag name.
+        String,
+    ),
+    /// Character data between tags, entities decoded.
+    Text(
+        /// The decoded text.
+        String,
+    ),
+    /// `<!-- … -->` (body without delimiters).
+    Comment(
+        /// The comment body.
+        String,
+    ),
+}
+
+/// Tokenizes an HTML document. Never fails; any input produces tokens.
+///
+/// ```
+/// use cp_html::{tokenize, Token};
+/// let toks = tokenize("<p class=a>hi</p>");
+/// assert_eq!(toks.len(), 3);
+/// assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "p"));
+/// assert!(matches!(&toks[1], Token::Text(t) if t == "hi"));
+/// assert!(matches!(&toks[2], Token::EndTag(n) if n == "p"));
+/// ```
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run()
+}
+
+/// Element names whose content is raw text (no tags recognized inside).
+fn is_raw_text_element(name: &str) -> bool {
+    matches!(name, "script" | "style" | "textarea" | "title" | "xmp" | "noframes")
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer { input, bytes: input.as_bytes(), pos: 0, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            self.data_state();
+        }
+        self.tokens
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with_ci(&self, s: &str) -> bool {
+        let end = self.pos + s.len();
+        end <= self.bytes.len() && self.bytes[self.pos..end].eq_ignore_ascii_case(s.as_bytes())
+    }
+
+    fn data_state(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        if self.pos > start {
+            let text = decode_entities(&self.input[start..self.pos]);
+            self.emit_text(text);
+        }
+        if self.pos >= self.bytes.len() {
+            return;
+        }
+        // At '<'.
+        match self.bytes.get(self.pos + 1) {
+            Some(b'/') => self.end_tag_state(),
+            Some(b'!') => self.markup_declaration_state(),
+            Some(b'?') => self.bogus_comment_state(self.pos + 1),
+            Some(c) if c.is_ascii_alphabetic() => self.start_tag_state(),
+            _ => {
+                // Lone '<': literal text.
+                self.emit_text("<".to_string());
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn emit_text(&mut self, text: String) {
+        if text.is_empty() {
+            return;
+        }
+        if let Some(Token::Text(prev)) = self.tokens.last_mut() {
+            prev.push_str(&text);
+        } else {
+            self.tokens.push(Token::Text(text));
+        }
+    }
+
+    fn start_tag_state(&mut self) {
+        self.pos += 1; // consume '<'
+        let name = self.read_tag_name();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                None => break,
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        self_closing = true;
+                        break;
+                    }
+                    // stray '/': ignore, continue attribute scanning
+                }
+                Some(_) => {
+                    if let Some(attr) = self.read_attribute() {
+                        // First occurrence wins, as in browsers.
+                        if !attrs.iter().any(|a: &Attribute| a.name == attr.name) {
+                            attrs.push(attr);
+                        }
+                    }
+                }
+            }
+        }
+        let raw = is_raw_text_element(&name);
+        self.tokens.push(Token::StartTag { name: name.clone(), attrs, self_closing });
+        if raw && !self_closing {
+            self.raw_text_state(&name);
+        }
+    }
+
+    fn raw_text_state(&mut self, element: &str) {
+        // Scan for `</element` case-insensitively.
+        let close = format!("</{element}");
+        let start = self.pos;
+        let mut end = self.bytes.len();
+        let mut i = self.pos;
+        while i < self.bytes.len() {
+            if self.bytes[i] == b'<' {
+                let t = Tokenizer { input: self.input, bytes: self.bytes, pos: i, tokens: vec![] };
+                if t.starts_with_ci(&close) {
+                    end = i;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        let raw = &self.input[start..end];
+        let text = if matches!(element, "textarea" | "title") {
+            decode_entities(raw)
+        } else {
+            raw.to_string()
+        };
+        if !text.is_empty() {
+            self.tokens.push(Token::Text(text));
+        }
+        self.pos = end;
+        if end < self.bytes.len() {
+            self.end_tag_state();
+        }
+    }
+
+    fn end_tag_state(&mut self) {
+        self.pos += 2; // consume '</'
+        if !self.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+            // '</>' or '</ ': bogus comment per spec; we skip to '>'.
+            self.bogus_comment_state(self.pos);
+            return;
+        }
+        let name = self.read_tag_name();
+        // Skip anything up to '>'.
+        while let Some(c) = self.peek() {
+            self.pos += 1;
+            if c == b'>' {
+                break;
+            }
+        }
+        self.tokens.push(Token::EndTag(name));
+    }
+
+    fn markup_declaration_state(&mut self) {
+        // At '<!'.
+        if self.starts_with_ci("<!--") {
+            self.comment_state();
+        } else if self.starts_with_ci("<!doctype") {
+            self.doctype_state();
+        } else if self.starts_with_ci("<![CDATA[") {
+            self.cdata_state();
+        } else {
+            self.bogus_comment_state(self.pos + 2);
+        }
+    }
+
+    fn comment_state(&mut self) {
+        self.pos += 4; // consume '<!--'
+        let start = self.pos;
+        let end = self.input[self.pos..].find("-->").map(|p| self.pos + p);
+        match end {
+            Some(e) => {
+                self.tokens.push(Token::Comment(self.input[start..e].to_string()));
+                self.pos = e + 3;
+            }
+            None => {
+                self.tokens.push(Token::Comment(self.input[start..].to_string()));
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    fn doctype_state(&mut self) {
+        self.pos += "<!doctype".len();
+        self.skip_whitespace();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && !self.bytes[self.pos].is_ascii_whitespace() && self.bytes[self.pos] != b'>' {
+            self.pos += 1;
+        }
+        let name = self.input[start..self.pos].to_ascii_lowercase();
+        while let Some(c) = self.peek() {
+            self.pos += 1;
+            if c == b'>' {
+                break;
+            }
+        }
+        self.tokens.push(Token::Doctype(name));
+    }
+
+    fn cdata_state(&mut self) {
+        self.pos += "<![CDATA[".len();
+        let start = self.pos;
+        let end = self.input[self.pos..].find("]]>").map(|p| self.pos + p);
+        match end {
+            Some(e) => {
+                self.emit_text(self.input[start..e].to_string());
+                self.pos = e + 3;
+            }
+            None => {
+                self.emit_text(self.input[start..].to_string());
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    fn bogus_comment_state(&mut self, content_start: usize) {
+        // Consume up to and including '>', emit as comment.
+        let mut i = content_start;
+        while i < self.bytes.len() && self.bytes[i] != b'>' {
+            i += 1;
+        }
+        self.tokens.push(Token::Comment(self.input[content_start..i].to_string()));
+        self.pos = (i + 1).min(self.bytes.len());
+    }
+
+    fn read_tag_name(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && !self.bytes[self.pos].is_ascii_whitespace()
+            && !matches!(self.bytes[self.pos], b'>' | b'/')
+        {
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_ascii_lowercase()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn read_attribute(&mut self) -> Option<Attribute> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && !self.bytes[self.pos].is_ascii_whitespace()
+            && !matches!(self.bytes[self.pos], b'=' | b'>' | b'/')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            // Unexpected byte (e.g. '=' with no name): skip it to progress.
+            self.pos += 1;
+            return None;
+        }
+        let name = self.input[start..self.pos].to_ascii_lowercase();
+        self.skip_whitespace();
+        if self.peek() != Some(b'=') {
+            return Some(Attribute { name, value: String::new() });
+        }
+        self.pos += 1; // consume '='
+        self.skip_whitespace();
+        let value = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let vstart = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != q {
+                    self.pos += 1;
+                }
+                let raw = &self.input[vstart..self.pos];
+                if self.pos < self.bytes.len() {
+                    self.pos += 1; // closing quote
+                }
+                decode_entities(raw)
+            }
+            _ => {
+                let vstart = self.pos;
+                while self.pos < self.bytes.len()
+                    && !self.bytes[self.pos].is_ascii_whitespace()
+                    && self.bytes[self.pos] != b'>'
+                {
+                    self.pos += 1;
+                }
+                decode_entities(&self.input[vstart..self.pos])
+            }
+        };
+        Some(Attribute { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str) -> Token {
+        Token::StartTag { name: name.into(), attrs: vec![], self_closing: false }
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        assert_eq!(
+            tokenize("<p>hi</p>"),
+            vec![start("p"), Token::Text("hi".into()), Token::EndTag("p".into())]
+        );
+    }
+
+    #[test]
+    fn tag_names_lowercased() {
+        assert_eq!(tokenize("<DIV></DiV>"), vec![start("div"), Token::EndTag("div".into())]);
+    }
+
+    #[test]
+    fn attributes_quoted_unquoted_valueless() {
+        let toks = tokenize(r#"<input type="text" value='a b' checked data-n=5>"#);
+        let Token::StartTag { attrs, .. } = &toks[0] else { panic!("expected start tag") };
+        assert_eq!(attrs.len(), 4);
+        assert_eq!(attrs[0], Attribute { name: "type".into(), value: "text".into() });
+        assert_eq!(attrs[1], Attribute { name: "value".into(), value: "a b".into() });
+        assert_eq!(attrs[2], Attribute { name: "checked".into(), value: "".into() });
+        assert_eq!(attrs[3], Attribute { name: "data-n".into(), value: "5".into() });
+    }
+
+    #[test]
+    fn duplicate_attributes_first_wins() {
+        let toks = tokenize(r#"<a href="one" href="two">"#);
+        let Token::StartTag { attrs, .. } = &toks[0] else { panic!() };
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].value, "one");
+    }
+
+    #[test]
+    fn self_closing() {
+        let toks = tokenize("<br/><img src=x />");
+        assert!(matches!(&toks[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(&toks[1], Token::StartTag { self_closing: true, .. }));
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let toks = tokenize(r#"<a title="A &amp; B">x &lt; y</a>"#);
+        let Token::StartTag { attrs, .. } = &toks[0] else { panic!() };
+        assert_eq!(attrs[0].value, "A & B");
+        assert_eq!(toks[1], Token::Text("x < y".into()));
+    }
+
+    #[test]
+    fn comments() {
+        let toks = tokenize("a<!-- hidden -->b");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Text("a".into()),
+                Token::Comment(" hidden ".into()),
+                Token::Text("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_consumes_rest() {
+        let toks = tokenize("x<!-- never closed");
+        assert_eq!(toks[1], Token::Comment(" never closed".into()));
+    }
+
+    #[test]
+    fn doctype() {
+        let toks = tokenize("<!DOCTYPE html><html>");
+        assert_eq!(toks[0], Token::Doctype("html".into()));
+    }
+
+    #[test]
+    fn script_raw_text() {
+        let toks = tokenize("<script>if (a < b) { x = '<div>'; }</script>after");
+        assert_eq!(toks[1], Token::Text("if (a < b) { x = '<div>'; }".into()));
+        assert_eq!(toks[2], Token::EndTag("script".into()));
+        assert_eq!(toks[3], Token::Text("after".into()));
+    }
+
+    #[test]
+    fn script_end_tag_case_insensitive() {
+        let toks = tokenize("<script>x</SCRIPT>");
+        assert_eq!(toks[1], Token::Text("x".into()));
+        assert_eq!(toks[2], Token::EndTag("script".into()));
+    }
+
+    #[test]
+    fn unterminated_script() {
+        let toks = tokenize("<script>var x = 1;");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], Token::Text("var x = 1;".into()));
+    }
+
+    #[test]
+    fn title_decodes_entities() {
+        let toks = tokenize("<title>A &amp; B</title>");
+        assert_eq!(toks[1], Token::Text("A & B".into()));
+    }
+
+    #[test]
+    fn lone_angle_bracket_is_text() {
+        let toks = tokenize("1 < 2");
+        assert_eq!(toks, vec![Token::Text("1 < 2".into())]);
+    }
+
+    #[test]
+    fn bogus_markup_becomes_comment() {
+        let toks = tokenize("<?php echo ?>x<!weird>y");
+        assert!(matches!(&toks[0], Token::Comment(_)));
+        assert_eq!(toks[1], Token::Text("x".into()));
+        assert!(matches!(&toks[2], Token::Comment(_)));
+        assert_eq!(toks[3], Token::Text("y".into()));
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let toks = tokenize("<![CDATA[raw <stuff>]]>");
+        assert_eq!(toks, vec![Token::Text("raw <stuff>".into())]);
+    }
+
+    #[test]
+    fn stray_end_tag_slash() {
+        let toks = tokenize("</>text");
+        assert!(matches!(&toks[0], Token::Comment(_)));
+        assert_eq!(toks[1], Token::Text("text".into()));
+    }
+
+    #[test]
+    fn unterminated_tag_at_eof() {
+        let toks = tokenize("<div class=");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "div"));
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for garbage in [
+            "<", "</", "<!", "<!-", "<a b=\"", "<a b='", "\u{0}<>\u{ffff}", "<<<>>>", "&#;",
+            "&#x;", "<a/ b>", "< a>", "<a =>", "<!doctype", "<![CDATA[",
+        ] {
+            let _ = tokenize(garbage);
+        }
+    }
+
+    #[test]
+    fn adjacent_text_coalesced() {
+        let toks = tokenize("a&amp;b");
+        assert_eq!(toks, vec![Token::Text("a&b".into())]);
+    }
+}

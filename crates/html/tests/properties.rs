@@ -1,0 +1,76 @@
+//! Property-based tests: the parser must never panic, must always produce a
+//! well-formed skeleton, and serialization must be a re-parse fixed point.
+
+use cp_html::{parse_document, serialize, NodeId};
+use proptest::prelude::*;
+
+/// Random "HTML-ish" fragments: a mix of real tags, text and garbage.
+fn arb_htmlish() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        prop::sample::select(vec![
+            "<div>", "</div>", "<p>", "</p>", "<span>", "</span>", "<br>", "<li>", "<ul>",
+            "</ul>", "<table>", "<tr>", "<td>", "</table>", "<script>", "</script>",
+            "<!-- c -->", "<a href=x>", "</a>", "<img src=y>", "<input type=hidden>",
+            "<b>", "</b>", "<title>", "</title>", "&amp;", "&#65;", "&bogus;", "<", ">",
+            "<!doctype html>", "<body>", "<head>", "</head>", "<option>", "<select>",
+        ])
+        .prop_map(str::to_string),
+        "[a-zA-Z0-9 .,!?]{0,12}",
+    ];
+    prop::collection::vec(piece, 0..40).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(input in arb_htmlish()) {
+        let doc = parse_document(&input);
+        prop_assert!(doc.body().is_some());
+        prop_assert!(doc.head().is_some());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_unicode(input in "\\PC{0,200}") {
+        let _ = parse_document(&input);
+    }
+
+    #[test]
+    fn every_non_root_has_parent(input in arb_htmlish()) {
+        let doc = parse_document(&input);
+        for n in doc.preorder_all() {
+            if n != NodeId::DOCUMENT {
+                prop_assert!(doc.parent(n).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn children_parent_links_consistent(input in arb_htmlish()) {
+        let doc = parse_document(&input);
+        for n in doc.preorder_all() {
+            for &c in doc.children(n) {
+                prop_assert_eq!(doc.parent(c), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn serialize_reparse_fixed_point(input in arb_htmlish()) {
+        let d1 = parse_document(&input);
+        let s1 = serialize(&d1, NodeId::DOCUMENT);
+        let d2 = parse_document(&s1);
+        let s2 = serialize(&d2, NodeId::DOCUMENT);
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn same_input_same_tree(input in arb_htmlish()) {
+        let d1 = parse_document(&input);
+        let d2 = parse_document(&input);
+        let shape = |d: &cp_html::Document| -> Vec<(String, usize)> {
+            d.preorder_all().map(|n| (d.node_name(n).to_string(), d.depth(n))).collect()
+        };
+        prop_assert_eq!(shape(&d1), shape(&d2));
+    }
+}

@@ -1,0 +1,154 @@
+//! A case-insensitive, insertion-ordered header multimap.
+
+use std::fmt;
+
+/// HTTP headers: a multimap preserving insertion order, with
+/// case-insensitive name matching (header names are stored lower-cased).
+///
+/// ```
+/// use cp_net::HeaderMap;
+/// let mut h = HeaderMap::new();
+/// h.append("Set-Cookie", "a=1");
+/// h.append("Set-Cookie", "b=2");
+/// h.set("Content-Type", "text/html");
+/// assert_eq!(h.get("content-type"), Some("text/html"));
+/// assert_eq!(h.get_all("SET-COOKIE"), vec!["a=1", "b=2"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        HeaderMap::default()
+    }
+
+    /// Number of header entries (not distinct names).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no headers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a header, keeping existing entries with the same name.
+    pub fn append(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.push((name.to_ascii_lowercase(), value.into()));
+    }
+
+    /// Sets a header, removing any existing entries with the same name.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.append(name, value);
+    }
+
+    /// Removes all entries with the given name; returns how many were
+    /// removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let name = name.to_ascii_lowercase();
+        let before = self.entries.len();
+        self.entries.retain(|(k, _)| *k != name);
+        before - self.entries.len()
+    }
+
+    /// The first value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.entries.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        let name = name.to_ascii_lowercase();
+        self.entries.iter().filter(|(k, _)| *k == name).map(|(_, v)| v.as_str()).collect()
+    }
+
+    /// Whether a header with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Approximate wire size of the headers in bytes (for traffic
+    /// accounting).
+    pub fn wire_size(&self) -> usize {
+        self.entries.iter().map(|(k, v)| k.len() + v.len() + 4).sum()
+    }
+}
+
+impl fmt::Display for HeaderMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.entries {
+            writeln!(f, "{k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, String)> for HeaderMap {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        let mut map = HeaderMap::new();
+        for (k, v) in iter {
+            map.append(&k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_replaces_append_accumulates() {
+        let mut h = HeaderMap::new();
+        h.append("X", "1");
+        h.append("X", "2");
+        assert_eq!(h.get_all("x").len(), 2);
+        h.set("X", "3");
+        assert_eq!(h.get_all("x"), vec!["3"]);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let mut h = HeaderMap::new();
+        h.set("Content-Type", "text/html");
+        assert!(h.contains("CONTENT-TYPE"));
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.remove("Content-type"), 1);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn missing_headers() {
+        let h = HeaderMap::new();
+        assert_eq!(h.get("nope"), None);
+        assert!(h.get_all("nope").is_empty());
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn from_iterator_and_iter() {
+        let h: HeaderMap =
+            vec![("A".to_string(), "1".to_string()), ("B".to_string(), "2".to_string())]
+                .into_iter()
+                .collect();
+        let pairs: Vec<(&str, &str)> = h.iter().collect();
+        assert_eq!(pairs, vec![("a", "1"), ("b", "2")]);
+    }
+
+    #[test]
+    fn wire_size_positive() {
+        let mut h = HeaderMap::new();
+        h.set("Host", "example.com");
+        assert!(h.wire_size() >= "host".len() + "example.com".len());
+    }
+}

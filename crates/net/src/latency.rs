@@ -1,0 +1,139 @@
+//! Deterministic request-latency model.
+//!
+//! Table 1's "CookiePicker Duration" column is dominated by network time:
+//! the mean over 30 sites was ~2.7 s, with three slow sites near 10 s. The
+//! model below reproduces that shape: a base round-trip, per-kilobyte
+//! transfer time, multiplicative jitter, and an optional heavy "slow site"
+//! tail.
+
+use rand::Rng;
+
+use cp_cookies::SimDuration;
+
+/// A latency model for one origin server.
+///
+/// Sampled latency = `(base + per_kb·kb) · jitter`, plus `slow_extra` with
+/// probability `slow_probability`. All parameters in milliseconds.
+///
+/// ```
+/// use cp_net::LatencyModel;
+/// use rand::SeedableRng;
+/// let model = LatencyModel::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let lat = model.sample(&mut rng, 20_000);
+/// assert!(lat.as_millis() >= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Base round-trip + server time in milliseconds.
+    pub base_ms: f64,
+    /// Added milliseconds per kilobyte of response body.
+    pub per_kb_ms: f64,
+    /// Multiplicative jitter half-width: each sample is scaled by a factor
+    /// drawn uniformly from `[1 − jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Probability that a request hits the slow tail.
+    pub slow_probability: f64,
+    /// Extra milliseconds added on slow-tail requests.
+    pub slow_extra_ms: f64,
+}
+
+impl Default for LatencyModel {
+    /// A 2007-era broadband profile: ~900 ms base, ~60 ms/KB, 35% jitter,
+    /// a small slow tail — calibrated so a typical container fetch lands
+    /// near Table 1's ~2.7 s average duration.
+    fn default() -> Self {
+        LatencyModel {
+            base_ms: 900.0,
+            per_kb_ms: 60.0,
+            jitter: 0.35,
+            slow_probability: 0.08,
+            slow_extra_ms: 2_500.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A fast CDN-like profile (for embedded objects).
+    pub fn fast() -> Self {
+        LatencyModel { base_ms: 80.0, per_kb_ms: 10.0, jitter: 0.25, ..Self::default() }
+    }
+
+    /// A chronically slow origin (the paper's S4/S17/S28 sites, ~10 s page
+    /// loads).
+    pub fn slow_site() -> Self {
+        LatencyModel {
+            base_ms: 6_500.0,
+            per_kb_ms: 180.0,
+            jitter: 0.35,
+            slow_probability: 0.5,
+            slow_extra_ms: 4_000.0,
+        }
+    }
+
+    /// Samples a latency for a response of `body_bytes` bytes.
+    ///
+    /// Always at least 1 ms so durations are never zero.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, body_bytes: usize) -> SimDuration {
+        let kb = body_bytes as f64 / 1024.0;
+        let mut ms = self.base_ms + self.per_kb_ms * kb;
+        let factor = 1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+        ms *= factor.max(0.05);
+        if self.slow_probability > 0.0 && rng.gen::<f64>() < self.slow_probability {
+            ms += self.slow_extra_ms;
+        }
+        SimDuration::from_millis(ms.max(1.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = LatencyModel::default();
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| model.sample(&mut rng, 10_000).as_millis()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| model.sample(&mut rng, 10_000).as_millis()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bigger_bodies_take_longer_on_average() {
+        let model = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let small: u64 =
+            (0..200).map(|_| model.sample(&mut rng, 1_000).as_millis()).sum::<u64>() / 200;
+        let big: u64 =
+            (0..200).map(|_| model.sample(&mut rng, 100_000).as_millis()).sum::<u64>() / 200;
+        assert!(big > small * 2, "big={big} small={small}");
+    }
+
+    #[test]
+    fn slow_site_is_much_slower() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let normal = LatencyModel::default();
+        let slow = LatencyModel::slow_site();
+        let avg = |m: &LatencyModel, rng: &mut StdRng| {
+            (0..200).map(|_| m.sample(rng, 30_000).as_millis()).sum::<u64>() / 200
+        };
+        let n = avg(&normal, &mut rng);
+        let s = avg(&slow, &mut rng);
+        assert!(s > n * 3, "slow={s} normal={n}");
+    }
+
+    #[test]
+    fn never_zero() {
+        let model = LatencyModel { base_ms: 0.0, per_kb_ms: 0.0, jitter: 0.0, slow_probability: 0.0, slow_extra_ms: 0.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(model.sample(&mut rng, 0).as_millis() >= 1);
+    }
+}

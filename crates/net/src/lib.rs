@@ -1,0 +1,47 @@
+//! In-process HTTP substrate: message types, servers, and a simulated
+//! network with a deterministic latency model.
+//!
+//! The paper's prototype talks to the live 2007 Web; this crate replaces the
+//! wire with an in-process [`SimNetwork`] that routes
+//! [`Request`]s to registered [`Server`]
+//! implementations and charges each exchange a latency drawn from a seeded
+//! [`LatencyModel`]. Everything CookiePicker observes
+//! — headers, cookies, bodies, and elapsed time — flows through here.
+//!
+//! # Example
+//!
+//! ```
+//! use cp_net::{Method, Request, Response, Server, SimNetwork, StatusCode, Url};
+//! use cp_cookies::SimTime;
+//!
+//! struct Hello;
+//! impl Server for Hello {
+//!     fn handle(&self, _req: &Request, _now: SimTime) -> Response {
+//!         Response::html(StatusCode::OK, "<p>hi</p>")
+//!     }
+//! }
+//!
+//! let mut net = SimNetwork::new(7);
+//! net.register("hello.example", Hello);
+//! let req = Request::new(Method::Get, Url::parse("http://hello.example/").unwrap());
+//! let out = net.fetch(&req, SimTime::EPOCH).unwrap();
+//! assert!(out.response.body_string().contains("hi"));
+//! assert!(out.latency.as_millis() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod headers;
+pub mod latency;
+pub mod message;
+pub mod network;
+pub mod server;
+pub mod url;
+
+pub use headers::HeaderMap;
+pub use latency::LatencyModel;
+pub use message::{Method, Request, Response, StatusCode};
+pub use network::{FetchOutcome, LoggedRequest, NetError, NetworkStats, SimNetwork};
+pub use server::{Router, Server};
+pub use url::{ParseUrlError, Url};

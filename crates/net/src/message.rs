@@ -1,0 +1,214 @@
+//! HTTP request and response messages.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::headers::HeaderMap;
+use crate::url::Url;
+
+/// HTTP request method (the subset the simulation uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `GET`.
+    Get,
+    /// `POST`.
+    Post,
+    /// `HEAD`.
+    Head,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        })
+    }
+}
+
+/// An HTTP status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// `200 OK`.
+    pub const OK: StatusCode = StatusCode(200);
+    /// `302 Found` (temporary redirect).
+    pub const FOUND: StatusCode = StatusCode(302);
+    /// `304 Not Modified`.
+    pub const NOT_MODIFIED: StatusCode = StatusCode(304);
+    /// `404 Not Found`.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// `500 Internal Server Error`.
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+
+    /// Whether the code is 2xx.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// Whether the code is 3xx.
+    pub fn is_redirect(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Target URL.
+    pub url: Url,
+    /// Request headers (`Host` is implied by the URL; `Cookie` is attached
+    /// by the browser).
+    pub headers: HeaderMap,
+    /// Request body (empty for `GET`).
+    pub body: Bytes,
+}
+
+impl Request {
+    /// Creates a body-less request.
+    pub fn new(method: Method, url: Url) -> Self {
+        Request { method, url, headers: HeaderMap::new(), body: Bytes::new() }
+    }
+
+    /// Convenience `GET` constructor.
+    pub fn get(url: Url) -> Self {
+        Request::new(Method::Get, url)
+    }
+
+    /// The `Cookie` header, if present.
+    pub fn cookie_header(&self) -> Option<&str> {
+        self.headers.get("cookie")
+    }
+
+    /// Approximate wire size in bytes (request line + headers + body).
+    pub fn wire_size(&self) -> usize {
+        self.method.to_string().len()
+            + self.url.to_string().len()
+            + 12
+            + self.headers.wire_size()
+            + self.body.len()
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.method, self.url)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Response headers (including any `Set-Cookie`s).
+    pub headers: HeaderMap,
+    /// Response body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// Creates a response with the given status and an empty body.
+    pub fn new(status: StatusCode) -> Self {
+        Response { status, headers: HeaderMap::new(), body: Bytes::new() }
+    }
+
+    /// Creates a `text/html` response.
+    pub fn html(status: StatusCode, body: impl Into<String>) -> Self {
+        let mut r = Response::new(status);
+        r.headers.set("Content-Type", "text/html; charset=utf-8");
+        r.body = Bytes::from(body.into());
+        r
+    }
+
+    /// Creates a `404` response with a small HTML body.
+    pub fn not_found() -> Self {
+        Response::html(StatusCode::NOT_FOUND, "<html><body><h1>404 Not Found</h1></body></html>")
+    }
+
+    /// Creates a redirect to `location`.
+    pub fn redirect(location: &str) -> Self {
+        let mut r = Response::new(StatusCode::FOUND);
+        r.headers.set("Location", location);
+        r
+    }
+
+    /// Appends a `Set-Cookie` header.
+    pub fn add_set_cookie(&mut self, value: impl Into<String>) {
+        self.headers.append("Set-Cookie", value.into());
+    }
+
+    /// All `Set-Cookie` header values.
+    pub fn set_cookies(&self) -> Vec<&str> {
+        self.headers.get_all("set-cookie")
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn body_string(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        16 + self.headers.wire_size() + self.body.len()
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HTTP {} ({} bytes)", self.status, self.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_basics() {
+        let req = Request::get(Url::parse("http://a.example/x").unwrap());
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.cookie_header(), None);
+        assert!(req.wire_size() > 0);
+    }
+
+    #[test]
+    fn response_html() {
+        let r = Response::html(StatusCode::OK, "<p>x</p>");
+        assert!(r.status.is_success());
+        assert_eq!(r.body_string(), "<p>x</p>");
+        assert_eq!(r.headers.get("content-type"), Some("text/html; charset=utf-8"));
+    }
+
+    #[test]
+    fn set_cookie_accumulates() {
+        let mut r = Response::new(StatusCode::OK);
+        r.add_set_cookie("a=1");
+        r.add_set_cookie("b=2; Path=/");
+        assert_eq!(r.set_cookies(), vec!["a=1", "b=2; Path=/"]);
+    }
+
+    #[test]
+    fn status_categories() {
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::NOT_FOUND.is_success());
+        assert!(StatusCode::FOUND.is_redirect());
+        assert!(Response::redirect("/x").headers.contains("location"));
+    }
+
+    #[test]
+    fn not_found_has_body() {
+        assert!(Response::not_found().body_string().contains("404"));
+    }
+}

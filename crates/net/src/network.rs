@@ -1,0 +1,299 @@
+//! The simulated network: host registry, fetch, latency accounting and
+//! traffic statistics.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cp_cookies::{SimDuration, SimTime};
+
+use crate::latency::LatencyModel;
+use crate::message::{Request, Response};
+use crate::server::Server;
+
+/// Error returned by [`SimNetwork::fetch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No server is registered for the request host.
+    UnknownHost(
+        /// The host that could not be resolved.
+        String,
+    ),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownHost(h) => write!(f, "unknown host {h:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The result of one simulated HTTP exchange.
+#[derive(Debug, Clone)]
+pub struct FetchOutcome {
+    /// The server's response.
+    pub response: Response,
+    /// The simulated network latency of the exchange.
+    pub latency: SimDuration,
+}
+
+/// Cumulative traffic statistics, for overhead experiments (E4/A4).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total requests issued.
+    pub requests: u64,
+    /// Total request bytes (approximate wire size).
+    pub bytes_up: u64,
+    /// Total response bytes (approximate wire size).
+    pub bytes_down: u64,
+}
+
+/// One entry of the network's request log (enabled via
+/// [`SimNetwork::enable_request_log`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedRequest {
+    /// Destination host.
+    pub host: String,
+    /// Request path.
+    pub path: String,
+    /// The `Cookie` header as sent, if any.
+    pub cookie_header: Option<String>,
+    /// Whether the request carried the `X-Requested-With` marker typical of
+    /// extension XHRs (what an evasion-minded operator would look for).
+    pub xhr: bool,
+    /// Simulated time the request was issued.
+    pub at: SimTime,
+}
+
+struct HostEntry {
+    server: Arc<dyn Server>,
+    latency: LatencyModel,
+}
+
+/// An in-process network connecting a browser to registered origin servers.
+///
+/// Deterministic: latency draws come from a single seeded RNG, so a fixed
+/// seed and request sequence reproduce identical timings.
+pub struct SimNetwork {
+    hosts: HashMap<String, HostEntry>,
+    rng: Mutex<StdRng>,
+    stats: Mutex<NetworkStats>,
+    log: Mutex<Option<Vec<LoggedRequest>>>,
+}
+
+impl SimNetwork {
+    /// Creates an empty network with the given latency-RNG seed.
+    pub fn new(seed: u64) -> Self {
+        SimNetwork {
+            hosts: HashMap::new(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            stats: Mutex::new(NetworkStats::default()),
+            log: Mutex::new(None),
+        }
+    }
+
+    /// Turns on per-request logging (off by default; the log grows without
+    /// bound while enabled).
+    pub fn enable_request_log(&mut self) {
+        *self.log.lock() = Some(Vec::new());
+    }
+
+    /// Drains and returns the request log (empty if logging is disabled).
+    pub fn take_request_log(&self) -> Vec<LoggedRequest> {
+        self.log.lock().as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Registers `server` for `host` with the default latency model.
+    pub fn register(&mut self, host: impl Into<String>, server: impl Server + 'static) {
+        self.register_with_latency(host, server, LatencyModel::default());
+    }
+
+    /// Registers `server` for `host` with a specific latency model.
+    pub fn register_with_latency(
+        &mut self,
+        host: impl Into<String>,
+        server: impl Server + 'static,
+        latency: LatencyModel,
+    ) {
+        self.hosts.insert(
+            host.into().to_ascii_lowercase(),
+            HostEntry { server: Arc::new(server), latency },
+        );
+    }
+
+    /// Registers an already-shared server.
+    pub fn register_shared(
+        &mut self,
+        host: impl Into<String>,
+        server: Arc<dyn Server>,
+        latency: LatencyModel,
+    ) {
+        self.hosts.insert(host.into().to_ascii_lowercase(), HostEntry { server, latency });
+    }
+
+    /// Hosts currently registered.
+    pub fn hosts(&self) -> Vec<&str> {
+        self.hosts.keys().map(String::as_str).collect()
+    }
+
+    /// Performs one HTTP exchange at simulated time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownHost`] if no server is registered for the URL's
+    /// host.
+    pub fn fetch(&self, req: &Request, now: SimTime) -> Result<FetchOutcome, NetError> {
+        let host = req.url.host();
+        let entry =
+            self.hosts.get(host).ok_or_else(|| NetError::UnknownHost(host.to_string()))?;
+        if let Some(log) = self.log.lock().as_mut() {
+            log.push(LoggedRequest {
+                host: host.to_string(),
+                path: req.url.path().to_string(),
+                cookie_header: req.cookie_header().map(str::to_string),
+                xhr: req.headers.contains("x-requested-with"),
+                at: now,
+            });
+        }
+        let response = entry.server.handle(req, now);
+        let latency = entry.latency.sample(&mut *self.rng.lock(), response.body.len());
+        let mut stats = self.stats.lock();
+        stats.requests += 1;
+        stats.bytes_up += req.wire_size() as u64;
+        stats.bytes_down += response.wire_size() as u64;
+        Ok(FetchOutcome { response, latency })
+    }
+
+    /// A snapshot of the cumulative traffic statistics.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats.lock().clone()
+    }
+
+    /// Resets the traffic statistics (e.g. between experiment phases).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = NetworkStats::default();
+    }
+}
+
+impl fmt::Debug for SimNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNetwork")
+            .field("hosts", &self.hosts.keys().collect::<Vec<_>>())
+            .field("stats", &*self.stats.lock())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Method, StatusCode};
+    use crate::url::Url;
+
+    fn echo_server() -> impl Server {
+        |req: &Request, _: SimTime| {
+            Response::html(StatusCode::OK, format!("<p>{}</p>", req.url.path()))
+        }
+    }
+
+    fn get(url: &str) -> Request {
+        Request::new(Method::Get, Url::parse(url).unwrap())
+    }
+
+    #[test]
+    fn fetch_routes_by_host() {
+        let mut net = SimNetwork::new(1);
+        net.register("a.example", echo_server());
+        let out = net.fetch(&get("http://a.example/x"), SimTime::EPOCH).unwrap();
+        assert!(out.response.body_string().contains("/x"));
+        assert!(out.latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unknown_host_errors() {
+        let net = SimNetwork::new(1);
+        let err = net.fetch(&get("http://nowhere.example/"), SimTime::EPOCH).unwrap_err();
+        assert_eq!(err, NetError::UnknownHost("nowhere.example".into()));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut net = SimNetwork::new(1);
+        net.register("a.example", echo_server());
+        for _ in 0..3 {
+            net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap();
+        }
+        let s = net.stats();
+        assert_eq!(s.requests, 3);
+        assert!(s.bytes_down > 0 && s.bytes_up > 0);
+        net.reset_stats();
+        assert_eq!(net.stats(), NetworkStats::default());
+    }
+
+    #[test]
+    fn deterministic_latency_sequence() {
+        let run = || {
+            let mut net = SimNetwork::new(42);
+            net.register("a.example", echo_server());
+            (0..5)
+                .map(|_| net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap().latency)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn request_log_captures_cookie_and_marker_headers() {
+        let mut net = SimNetwork::new(4);
+        net.register("a.example", echo_server());
+        net.enable_request_log();
+        let mut req = get("http://a.example/p");
+        req.headers.set("Cookie", "a=1");
+        net.fetch(&req, SimTime::from_secs(9)).unwrap();
+        let mut hidden = get("http://a.example/p");
+        hidden.headers.set("X-Requested-With", "XMLHttpRequest");
+        net.fetch(&hidden, SimTime::from_secs(10)).unwrap();
+
+        let log = net.take_request_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].cookie_header.as_deref(), Some("a=1"));
+        assert!(!log[0].xhr);
+        assert!(log[1].xhr);
+        assert_eq!(log[1].at, SimTime::from_secs(10));
+        assert!(net.take_request_log().is_empty(), "take drains the log");
+    }
+
+    #[test]
+    fn request_log_disabled_by_default() {
+        let mut net = SimNetwork::new(4);
+        net.register("a.example", echo_server());
+        net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap();
+        assert!(net.take_request_log().is_empty());
+    }
+
+    #[test]
+    fn per_host_latency_models() {
+        let mut net = SimNetwork::new(7);
+        net.register_with_latency("fast.example", echo_server(), LatencyModel::fast());
+        net.register_with_latency("slow.example", echo_server(), LatencyModel::slow_site());
+        let avg = |host: &str, net: &SimNetwork| -> u64 {
+            (0..50)
+                .map(|_| {
+                    net.fetch(&get(&format!("http://{host}/")), SimTime::EPOCH)
+                        .unwrap()
+                        .latency
+                        .as_millis()
+                })
+                .sum::<u64>()
+                / 50
+        };
+        assert!(avg("slow.example", &net) > avg("fast.example", &net) * 3);
+    }
+}

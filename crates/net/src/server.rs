@@ -1,0 +1,125 @@
+//! The [`Server`] trait and a path-prefix [`Router`].
+
+use std::collections::BTreeMap;
+
+use cp_cookies::SimTime;
+
+use crate::message::{Request, Response};
+
+/// An origin server the simulated network can route requests to.
+///
+/// Implementations must be `Send + Sync` — experiment harnesses run sites in
+/// parallel. Servers that need randomness (page-dynamics noise) should carry
+/// their own seeded RNG behind interior mutability so runs stay
+/// deterministic.
+pub trait Server: Send + Sync {
+    /// Produces the response for `req` at simulated time `now`.
+    fn handle(&self, req: &Request, now: SimTime) -> Response;
+}
+
+impl<F> Server for F
+where
+    F: Fn(&Request, SimTime) -> Response + Send + Sync,
+{
+    fn handle(&self, req: &Request, now: SimTime) -> Response {
+        self(req, now)
+    }
+}
+
+/// Routes requests to handlers by longest matching path prefix.
+///
+/// ```
+/// use cp_net::{Method, Request, Response, Router, Server, StatusCode, Url};
+/// use cp_cookies::SimTime;
+///
+/// let mut router = Router::new();
+/// router.route("/", |_req: &Request, _now: SimTime| Response::html(StatusCode::OK, "home"));
+/// router.route("/shop", |_req: &Request, _now: SimTime| Response::html(StatusCode::OK, "shop"));
+///
+/// let req = Request::get(Url::parse("http://x.example/shop/item").unwrap());
+/// assert_eq!(router.handle(&req, SimTime::EPOCH).body_string(), "shop");
+/// let req = Request::get(Url::parse("http://x.example/other").unwrap());
+/// assert_eq!(router.handle(&req, SimTime::EPOCH).body_string(), "home");
+/// ```
+#[derive(Default)]
+pub struct Router {
+    // BTreeMap so iteration order (and thus longest-prefix wins) is stable.
+    routes: BTreeMap<String, Box<dyn Server>>,
+}
+
+impl Router {
+    /// Creates an empty router (every request 404s).
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Registers a handler for a path prefix. Later registrations replace
+    /// earlier ones for the same prefix.
+    pub fn route(&mut self, prefix: impl Into<String>, server: impl Server + 'static) -> &mut Self {
+        self.routes.insert(prefix.into(), Box::new(server));
+        self
+    }
+
+    fn best_match(&self, path: &str) -> Option<&dyn Server> {
+        self.routes
+            .iter()
+            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|(_, s)| s.as_ref())
+    }
+}
+
+impl Server for Router {
+    fn handle(&self, req: &Request, now: SimTime) -> Response {
+        match self.best_match(req.url.path()) {
+            Some(s) => s.handle(req, now),
+            None => Response::not_found(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router").field("routes", &self.routes.keys().collect::<Vec<_>>()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::StatusCode;
+    use crate::url::Url;
+
+    fn req(path: &str) -> Request {
+        Request::get(Url::parse(&format!("http://t.example{path}")).unwrap())
+    }
+
+    fn ok(body: &'static str) -> impl Server {
+        move |_: &Request, _: SimTime| Response::html(StatusCode::OK, body)
+    }
+
+    #[test]
+    fn empty_router_404s() {
+        let router = Router::new();
+        assert_eq!(router.handle(&req("/x"), SimTime::EPOCH).status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut router = Router::new();
+        router.route("/", ok("root"));
+        router.route("/a", ok("a"));
+        router.route("/a/b", ok("ab"));
+        assert_eq!(router.handle(&req("/a/b/c"), SimTime::EPOCH).body_string(), "ab");
+        assert_eq!(router.handle(&req("/a/x"), SimTime::EPOCH).body_string(), "a");
+        assert_eq!(router.handle(&req("/z"), SimTime::EPOCH).body_string(), "root");
+    }
+
+    #[test]
+    fn replacement() {
+        let mut router = Router::new();
+        router.route("/", ok("first"));
+        router.route("/", ok("second"));
+        assert_eq!(router.handle(&req("/"), SimTime::EPOCH).body_string(), "second");
+    }
+}

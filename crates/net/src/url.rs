@@ -1,0 +1,272 @@
+//! A small URL type covering what the simulation needs: `http`/`https`
+//! scheme, host, optional port, path and query.
+
+use std::fmt;
+
+/// Error returned by [`Url::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUrlError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseUrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid url: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseUrlError {}
+
+fn err(message: impl Into<String>) -> ParseUrlError {
+    ParseUrlError { message: message.into() }
+}
+
+/// An absolute HTTP(S) URL.
+///
+/// ```
+/// use cp_net::Url;
+/// let u = Url::parse("http://shop.example:8080/cat/item?id=3").unwrap();
+/// assert_eq!(u.scheme(), "http");
+/// assert_eq!(u.host(), "shop.example");
+/// assert_eq!(u.port(), Some(8080));
+/// assert_eq!(u.path(), "/cat/item");
+/// assert_eq!(u.query(), Some("id=3"));
+/// assert_eq!(u.to_string(), "http://shop.example:8080/cat/item?id=3");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Url {
+    scheme: String,
+    host: String,
+    port: Option<u16>,
+    path: String,
+    query: Option<String>,
+}
+
+impl Url {
+    /// Parses an absolute URL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUrlError`] when the scheme is missing/unsupported, the
+    /// host is empty, or the port is not numeric.
+    pub fn parse(input: &str) -> Result<Url, ParseUrlError> {
+        let input = input.trim();
+        let (scheme, rest) = input.split_once("://").ok_or_else(|| err("missing scheme"))?;
+        let scheme = scheme.to_ascii_lowercase();
+        if scheme != "http" && scheme != "https" {
+            return Err(err(format!("unsupported scheme {scheme:?}")));
+        }
+        let (authority, path_query) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return Err(err("empty host"));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p.parse().map_err(|_| err(format!("invalid port {p:?}")))?;
+                (h, Some(port))
+            }
+            None => (authority, None),
+        };
+        if host.is_empty() {
+            return Err(err("empty host"));
+        }
+        let (path, query) = match path_query.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (path_query.to_string(), None),
+        };
+        Ok(Url { scheme, host: host.to_ascii_lowercase(), port, path, query })
+    }
+
+    /// Builds a URL from parts, normalizing the path to start with `/`.
+    pub fn from_parts(scheme: &str, host: &str, path: &str) -> Url {
+        let path = if path.starts_with('/') { path.to_string() } else { format!("/{path}") };
+        Url {
+            scheme: scheme.to_ascii_lowercase(),
+            host: host.to_ascii_lowercase(),
+            port: None,
+            path,
+            query: None,
+        }
+    }
+
+    /// The scheme (`http` or `https`).
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// The lower-cased host.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The explicit port, if any.
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// The path (always starts with `/`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The query string without the `?`, if any.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// Whether this is an `https` URL.
+    pub fn is_secure(&self) -> bool {
+        self.scheme == "https"
+    }
+
+    /// Resolves a reference against this URL: absolute URLs pass through,
+    /// `/rooted` paths replace the path, other strings are treated as
+    /// relative to the current directory.
+    ///
+    /// ```
+    /// use cp_net::Url;
+    /// let base = Url::parse("http://a.example/dir/page").unwrap();
+    /// assert_eq!(base.join("/img/x.png").to_string(), "http://a.example/img/x.png");
+    /// assert_eq!(base.join("other").to_string(), "http://a.example/dir/other");
+    /// assert_eq!(base.join("http://b.example/").host(), "b.example");
+    /// ```
+    pub fn join(&self, reference: &str) -> Url {
+        if let Ok(abs) = Url::parse(reference) {
+            return abs;
+        }
+        let mut out = self.clone();
+        out.query = None;
+        if let Some(stripped) = reference.strip_prefix('/') {
+            let (p, q) = split_pq(stripped);
+            out.path = format!("/{p}");
+            out.query = q;
+        } else {
+            let dir = match self.path.rfind('/') {
+                Some(i) => &self.path[..=i],
+                None => "/",
+            };
+            let (p, q) = split_pq(reference);
+            out.path = format!("{dir}{p}");
+            out.query = q;
+        }
+        out
+    }
+}
+
+fn split_pq(s: &str) -> (String, Option<String>) {
+    match s.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (s.to_string(), None),
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.host)?;
+        if let Some(p) = self.port {
+            write!(f, ":{p}")?;
+        }
+        f.write_str(&self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Url {
+    type Err = ParseUrlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Url::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal() {
+        let u = Url::parse("http://a.example").unwrap();
+        assert_eq!(u.path(), "/");
+        assert_eq!(u.port(), None);
+        assert_eq!(u.query(), None);
+    }
+
+    #[test]
+    fn parse_full() {
+        let u = Url::parse("HTTPS://Host.Example:443/a/b?x=1&y=2").unwrap();
+        assert_eq!(u.scheme(), "https");
+        assert!(u.is_secure());
+        assert_eq!(u.host(), "host.example");
+        assert_eq!(u.port(), Some(443));
+        assert_eq!(u.query(), Some("x=1&y=2"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Url::parse("not a url").is_err());
+        assert!(Url::parse("ftp://x/").is_err());
+        assert!(Url::parse("http://").is_err());
+        assert!(Url::parse("http://h:notaport/").is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for s in ["http://a.example/", "https://b.example:8443/x?q=1", "http://c.example/p/q"] {
+            assert_eq!(Url::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn join_variants() {
+        let base = Url::parse("http://a.example/dir/sub/page?old=1").unwrap();
+        assert_eq!(base.join("/root").to_string(), "http://a.example/root");
+        assert_eq!(base.join("sib?n=2").to_string(), "http://a.example/dir/sub/sib?n=2");
+        assert_eq!(base.join("https://other.example/x").to_string(), "https://other.example/x");
+    }
+
+    #[test]
+    fn from_parts_normalizes() {
+        assert_eq!(Url::from_parts("http", "H.X", "p").to_string(), "http://h.x/p");
+    }
+
+    #[test]
+    fn join_from_root_page() {
+        let base = Url::parse("http://a.example/").unwrap();
+        assert_eq!(base.join("x").to_string(), "http://a.example/x");
+        assert_eq!(base.join("/y/z").to_string(), "http://a.example/y/z");
+    }
+
+    #[test]
+    fn join_drops_base_query() {
+        let base = Url::parse("http://a.example/p?q=1").unwrap();
+        assert_eq!(base.join("/n").query(), None);
+        assert_eq!(base.join("n?r=2").query(), Some("r=2"));
+    }
+
+    #[test]
+    fn join_preserves_scheme_and_port() {
+        let base = Url::parse("https://a.example:8443/d/p").unwrap();
+        let joined = base.join("/other");
+        assert_eq!(joined.scheme(), "https");
+        assert_eq!(joined.port(), Some(8443));
+    }
+
+    #[test]
+    fn whitespace_trimmed_on_parse() {
+        assert_eq!(Url::parse("  http://a.example/x  ").unwrap().path(), "/x");
+    }
+
+    #[test]
+    fn from_str_trait() {
+        let u: Url = "http://a.example/p".parse().unwrap();
+        assert_eq!(u.host(), "a.example");
+        assert!("nope".parse::<Url>().is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Alignment distance between ordered trees (Jiang, Wang & Zhang 1995).
+//!
+//! The paper's §4.1.1 survey lists four constrained tree-distance families:
+//! alignment distance, isolated-subtree distance, top-down distance (the
+//! one RSTM belongs to) and bottom-up distance. This module implements the
+//! alignment distance: the minimum cost of an *alignment* — overlay the two
+//! trees after inserting blank nodes so they become isomorphic, paying one
+//! unit per blank pairing and per differing label pair. Alignment distance
+//! equals edit distance restricted so that all insertions precede all
+//! deletions, hence it always upper-bounds the Zhang–Shasha edit distance.
+//!
+//! The recurrences follow the original formulation: two forests align by
+//! deleting/inserting a boundary tree, pairing the boundary trees' roots,
+//! or pairing one boundary root with a blank while its child forest absorbs
+//! a span of the opposite forest. Memoization is on forest spans, giving
+//! the classical `O(|A|·|B|·(deg A + deg B)²)` behaviour on ordinary trees.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::tree::TreeView;
+
+const LAMBDA_COST: usize = 1; // cost of aligning a node with a blank
+
+fn label_cost(a: &str, b: &str) -> usize {
+    usize::from(a != b)
+}
+
+struct Ctx<'a, A: TreeView, B: TreeView>
+where
+    A::Node: Hash,
+    B::Node: Hash,
+{
+    a: &'a A,
+    b: &'a B,
+    forest_memo: HashMap<(Vec<A::Node>, Vec<B::Node>), usize>,
+    del_memo: HashMap<A::Node, usize>,
+    ins_memo: HashMap<B::Node, usize>,
+}
+
+impl<A: TreeView, B: TreeView> Ctx<'_, A, B>
+where
+    A::Node: Hash,
+    B::Node: Hash,
+{
+    fn delete_cost(&mut self, n: A::Node) -> usize {
+        if let Some(&c) = self.del_memo.get(&n) {
+            return c;
+        }
+        let c = LAMBDA_COST
+            + self.a.children(n).into_iter().map(|k| self.delete_cost(k)).sum::<usize>();
+        self.del_memo.insert(n, c);
+        c
+    }
+
+    fn insert_cost(&mut self, n: B::Node) -> usize {
+        if let Some(&c) = self.ins_memo.get(&n) {
+            return c;
+        }
+        let c = LAMBDA_COST
+            + self.b.children(n).into_iter().map(|k| self.insert_cost(k)).sum::<usize>();
+        self.ins_memo.insert(n, c);
+        c
+    }
+
+    fn align_forests(&mut self, fa: &[A::Node], fb: &[B::Node]) -> usize {
+        if fa.is_empty() {
+            return fb.iter().map(|&t| self.insert_cost(t)).sum();
+        }
+        if fb.is_empty() {
+            return fa.iter().map(|&t| self.delete_cost(t)).sum();
+        }
+        let key = (fa.to_vec(), fb.to_vec());
+        if let Some(&c) = self.forest_memo.get(&key) {
+            return c;
+        }
+
+        let la = *fa.last().expect("nonempty");
+        let lb = *fb.last().expect("nonempty");
+        let ra = &fa[..fa.len() - 1];
+        let rb = &fb[..fb.len() - 1];
+        let ca = self.a.children(la);
+        let cb = self.b.children(lb);
+
+        // Delete / insert the boundary tree.
+        let mut best = self.align_forests(ra, fb) + self.delete_cost(la);
+        best = best.min(self.align_forests(fa, rb) + self.insert_cost(lb));
+
+        // Pair the two boundary roots.
+        let paired = self.align_forests(ra, rb)
+            + label_cost(self.a.label(la), self.b.label(lb))
+            + self.align_forests(&ca, &cb);
+        best = best.min(paired);
+
+        // la's root pairs with a blank: its child forest absorbs a suffix
+        // span of fb.
+        for k in 0..=fb.len() {
+            let cost = self.align_forests(ra, &fb[..k])
+                + LAMBDA_COST
+                + self.align_forests(&ca, &fb[k..]);
+            best = best.min(cost);
+        }
+        // Symmetric: lb's root pairs with a blank.
+        for k in 0..=fa.len() {
+            let cost = self.align_forests(&fa[..k], rb)
+                + LAMBDA_COST
+                + self.align_forests(&fa[k..], &cb);
+            best = best.min(cost);
+        }
+
+        self.forest_memo.insert(key, best);
+        best
+    }
+}
+
+/// Computes the alignment distance between `a` and `b` with unit costs.
+///
+/// An empty tree is at distance `|other|`.
+///
+/// ```
+/// use cp_treediff::{SimpleTree, alignment_distance, zhang_shasha_distance};
+/// let a = SimpleTree::parse("a(b(c,d),e)").unwrap();
+/// let b = SimpleTree::parse("a(b(c),e)").unwrap();
+/// assert_eq!(alignment_distance(&a, &b), 1);
+/// // Alignment distance always upper-bounds the general edit distance:
+/// let x = SimpleTree::parse("a(x(b,c))").unwrap();
+/// let y = SimpleTree::parse("a(b,c)").unwrap();
+/// assert!(alignment_distance(&x, &y) >= zhang_shasha_distance(&x, &y));
+/// ```
+pub fn alignment_distance<A, B>(a: &A, b: &B) -> usize
+where
+    A: TreeView,
+    B: TreeView,
+    A::Node: Hash,
+    B::Node: Hash,
+{
+    let mut ctx = Ctx {
+        a,
+        b,
+        forest_memo: HashMap::new(),
+        del_memo: HashMap::new(),
+        ins_memo: HashMap::new(),
+    };
+    match (a.root(), b.root()) {
+        (None, None) => 0,
+        (Some(r), None) => ctx.delete_cost(r),
+        (None, Some(r)) => ctx.insert_cost(r),
+        (Some(ra), Some(rb)) => ctx.align_forests(&[ra], &[rb]),
+    }
+}
+
+/// Normalized alignment similarity: `1 − dist / (|A| + |B|)`, in `[0, 1]`.
+pub fn alignment_sim<A, B>(a: &A, b: &B) -> f64
+where
+    A: TreeView,
+    B: TreeView,
+    A::Node: Hash,
+    B::Node: Hash,
+{
+    let total = crate::metrics::tree_size(a) + crate::metrics::tree_size(b);
+    if total == 0 {
+        return 1.0;
+    }
+    (1.0 - alignment_distance(a, b) as f64 / total as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selkow::selkow_distance;
+    use crate::tree::SimpleTree;
+    use crate::zhang_shasha::zhang_shasha_distance;
+
+    fn t(s: &str) -> SimpleTree {
+        SimpleTree::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identity_and_relabel() {
+        let a = t("a(b,c)");
+        assert_eq!(alignment_distance(&a, &a), 0);
+        assert_eq!(alignment_distance(&t("a"), &t("b")), 1);
+    }
+
+    #[test]
+    fn leaf_insertion() {
+        assert_eq!(alignment_distance(&t("a(b)"), &t("a(b,c)")), 1);
+    }
+
+    #[test]
+    fn internal_node_insertion() {
+        // Wrapping children in a new node costs 1 in alignment too.
+        assert_eq!(alignment_distance(&t("a(b,c)"), &t("a(x(b,c))")), 1);
+        assert_eq!(alignment_distance(&t("a(x(b,c))"), &t("a(b,c)")), 1);
+    }
+
+    #[test]
+    fn against_empty() {
+        let e = SimpleTree::empty();
+        assert_eq!(alignment_distance(&e, &t("a(b,c)")), 3);
+        assert_eq!(alignment_distance(&t("a(b,c)"), &e), 3);
+        assert_eq!(alignment_distance(&e, &e), 0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = t("a(b(c),d,e(f))");
+        let b = t("a(d,b(c,f))");
+        assert_eq!(alignment_distance(&a, &b), alignment_distance(&b, &a));
+    }
+
+    #[test]
+    fn jwz_classic_separation_example() {
+        // Jiang–Wang–Zhang's example where alignment (4) exceeds edit
+        // distance (2): pushing b,c down under different new parents.
+        let a = t("r(x(a,b),x(c,d))");
+        let b = t("r(x(a),x(b,c),x(d))");
+        let zs = zhang_shasha_distance(&a, &b);
+        let al = alignment_distance(&a, &b);
+        assert!(al >= zs, "alignment {al} must be >= edit {zs}");
+    }
+
+    #[test]
+    fn relaxation_order_holds() {
+        // edit <= alignment <= selkow for DOM-ish cases.
+        let cases = [
+            ("html(body(div(p),div(q)))", "html(body(div(p,q)))"),
+            ("a(b(c,d),e)", "a(b(c),e(f))"),
+            ("a(x(b,c))", "a(b,c)"),
+            ("r(a,b,c)", "r(c,b,a)"),
+        ];
+        for (x, y) in cases {
+            let (tx, ty) = (t(x), t(y));
+            let zs = zhang_shasha_distance(&tx, &ty);
+            let al = alignment_distance(&tx, &ty);
+            let sk = selkow_distance(&tx, &ty);
+            assert!(zs <= al && al <= sk, "{x} vs {y}: zs={zs} al={al} sk={sk}");
+        }
+    }
+
+    #[test]
+    fn sim_bounds() {
+        let a = t("a(b(c),d)");
+        assert_eq!(alignment_sim(&a, &a), 1.0);
+        let s = alignment_sim(&a, &t("z(q)"));
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,203 @@
+//! Bottom-up tree distance (Valiente 2001), the `O(|A| + |B|)` baseline.
+//!
+//! The paper rejects bottom-up distance for DOM comparison because "most of
+//! the differences come from the leaf nodes" (§4.1.2), making it an
+//! inaccurate metric for perceivable page change — a claim experiment E4
+//! reproduces. The algorithm here follows Valiente's construction: build the
+//! compacted shared-forest DAG by hashing canonical subtree shapes, then
+//! greedily map the largest identical subtrees between the two trees.
+
+use std::collections::HashMap;
+
+use crate::metrics::tree_size;
+use crate::tree::TreeView;
+
+/// A canonical identifier of a subtree shape (label + child shapes).
+type ShapeId = u64;
+
+fn canonical_ids<T: TreeView>(
+    tree: &T,
+    interner: &mut HashMap<(String, Vec<ShapeId>), ShapeId>,
+) -> Vec<(ShapeId, usize)> {
+    // Returns (shape id, subtree size) for every node, in preorder.
+    fn rec<T: TreeView>(
+        tree: &T,
+        n: T::Node,
+        interner: &mut HashMap<(String, Vec<ShapeId>), ShapeId>,
+        out: &mut Vec<(ShapeId, usize)>,
+    ) -> (ShapeId, usize) {
+        let slot = out.len();
+        out.push((0, 0)); // placeholder, preorder position
+        let mut child_ids = Vec::new();
+        let mut size = 1usize;
+        for c in tree.children(n) {
+            let (cid, csize) = rec(tree, c, interner, out);
+            child_ids.push(cid);
+            size += csize;
+        }
+        let key = (tree.label(n).to_string(), child_ids);
+        let next = interner.len() as ShapeId;
+        let id = *interner.entry(key).or_insert(next);
+        out[slot] = (id, size);
+        (id, size)
+    }
+    let mut out = Vec::new();
+    if let Some(r) = tree.root() {
+        rec(tree, r, interner, &mut out);
+    }
+    out
+}
+
+/// Computes the size (in nodes) of a maximum **bottom-up mapping** between
+/// `a` and `b`: a set of disjoint, identical subtrees paired between the two
+/// trees, maximizing the total number of mapped nodes.
+///
+/// Greedy largest-first pairing over the shared-shape DAG, which is optimal
+/// for disjoint identical-subtree packing between two trees.
+///
+/// ```
+/// use cp_treediff::{SimpleTree, bottom_up_matching};
+/// let a = SimpleTree::parse("r(a(x,y),b)").unwrap();
+/// let b = SimpleTree::parse("r(a(x,y),c)").unwrap();
+/// // The a(x,y) subtree (3 nodes) is shared; the roots differ in their
+/// // children so the full trees do not map.
+/// assert_eq!(bottom_up_matching(&a, &b), 3);
+/// ```
+pub fn bottom_up_matching<A: TreeView, B: TreeView>(a: &A, b: &B) -> usize {
+    let mut interner = HashMap::new();
+    let ids_a = canonical_ids(a, &mut interner);
+    let ids_b = canonical_ids(b, &mut interner);
+    if ids_a.is_empty() || ids_b.is_empty() {
+        return 0;
+    }
+
+    // Count how many *maximal* occurrences of each shape are available on
+    // each side. We process sizes from large to small; once a subtree is
+    // mapped, its descendants are consumed.
+    // Preorder + size lets us mark consumed ranges: in preorder, the subtree
+    // of position i spans [i, i+size).
+    let mut order: Vec<usize> = (0..ids_a.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(ids_a[i].1));
+
+    // For side B: bucket positions by shape, largest shapes first.
+    let mut b_by_shape: HashMap<ShapeId, Vec<usize>> = HashMap::new();
+    for (i, &(id, _)) in ids_b.iter().enumerate() {
+        b_by_shape.entry(id).or_default().push(i);
+    }
+
+    let mut used_a = vec![false; ids_a.len()];
+    let mut used_b = vec![false; ids_b.len()];
+    let mut mapped = 0usize;
+
+    for i in order {
+        if used_a[i] {
+            continue;
+        }
+        let (shape, size) = ids_a[i];
+        let Some(cands) = b_by_shape.get_mut(&shape) else { continue };
+        // Find an unused occurrence on the B side.
+        let mut found = None;
+        while let Some(&j) = cands.last() {
+            if used_b[j] {
+                cands.pop();
+                continue;
+            }
+            found = Some(j);
+            cands.pop();
+            break;
+        }
+        let Some(j) = found else { continue };
+        // Consume both subtrees (preorder ranges).
+        for k in i..i + size {
+            used_a[k] = true;
+        }
+        let bsize = ids_b[j].1;
+        debug_assert_eq!(bsize, size, "identical shapes must have identical sizes");
+        for k in j..j + bsize {
+            used_b[k] = true;
+        }
+        mapped += size;
+    }
+    mapped
+}
+
+/// A normalized bottom-up similarity: `2·mapped / (|A| + |B|)`, in `[0, 1]`,
+/// `1.0` for two empty trees.
+///
+/// This is the natural similarity induced by Valiente's bottom-up distance.
+pub fn bottom_up_sim<A: TreeView, B: TreeView>(a: &A, b: &B) -> f64 {
+    let total = tree_size(a) + tree_size(b);
+    if total == 0 {
+        return 1.0;
+    }
+    (2.0 * bottom_up_matching(a, b) as f64 / total as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::SimpleTree;
+
+    fn t(s: &str) -> SimpleTree {
+        SimpleTree::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_fully_mapped() {
+        let a = t("a(b(c,d),e)");
+        assert_eq!(bottom_up_matching(&a, &a), 5);
+        assert_eq!(bottom_up_sim(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn no_shared_shapes() {
+        let a = t("a(b)");
+        let b = t("x(y)");
+        assert_eq!(bottom_up_matching(&a, &b), 0);
+        assert_eq!(bottom_up_sim(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn shared_subtree_only() {
+        let a = t("r(a(x,y),b)");
+        let b = t("q(a(x,y),c)");
+        assert_eq!(bottom_up_matching(&a, &b), 3);
+    }
+
+    #[test]
+    fn leaf_change_destroys_ancestor_mapping() {
+        // The paper's point: one changed leaf unmaps the entire ancestor
+        // chain in a bottom-up mapping.
+        let a = t("html(body(div(p(ad1)),div(x)))");
+        let b = t("html(body(div(p(ad2)),div(x)))");
+        let mapped = bottom_up_matching(&a, &b);
+        // Only div(x) (2 nodes) survives; the p/div/body/html chain over the
+        // changed ad does not map.
+        assert_eq!(mapped, 2);
+        assert!(bottom_up_sim(&a, &b) < 0.5);
+    }
+
+    #[test]
+    fn repeated_subtrees_pair_up() {
+        let a = t("r(a(x),a(x),a(x))");
+        let b = t("r(a(x),a(x))");
+        // Two of the three a(x) (2 nodes each) can map.
+        assert_eq!(bottom_up_matching(&a, &b), 4);
+    }
+
+    #[test]
+    fn empty_trees() {
+        let e = SimpleTree::empty();
+        let a = t("a");
+        assert_eq!(bottom_up_matching(&e, &a), 0);
+        assert_eq!(bottom_up_sim(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn mapping_bounded() {
+        let a = t("a(b(c,d),e)");
+        let b = t("a(b(c,d),e(f,g))");
+        let m = bottom_up_matching(&a, &b);
+        assert!(m <= 5);
+    }
+}

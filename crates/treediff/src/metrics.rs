@@ -1,0 +1,189 @@
+//! Normalized similarity metrics (Formula 1 and Formula 2 of the paper).
+
+use crate::stm::rstm;
+use crate::tree::TreeView;
+
+/// The Jaccard similarity coefficient `|A ∩ B| / |A ∪ B|` (Formula 1),
+/// expressed over pre-computed sizes: `intersection / (size_a + size_b -
+/// intersection)`.
+///
+/// Returns `1.0` when both sets are empty (two empty sets are identical) and
+/// clamps to `[0, 1]` against floating-point drift.
+///
+/// ```
+/// use cp_treediff::jaccard;
+/// assert_eq!(jaccard(2, 3, 3), 0.5);    // |A∩B|=2, |A|=3, |B|=3 → 2/4
+/// assert_eq!(jaccard(0, 0, 0), 1.0);    // both empty
+/// assert_eq!(jaccard(0, 5, 5), 0.0);
+/// ```
+pub fn jaccard(intersection: usize, size_a: usize, size_b: usize) -> f64 {
+    debug_assert!(intersection <= size_a && intersection <= size_b, "intersection larger than a set");
+    let union = size_a + size_b - intersection;
+    if union == 0 {
+        return 1.0;
+    }
+    (intersection as f64 / union as f64).clamp(0.0, 1.0)
+}
+
+/// `N(A, l)`: the number of nodes of `tree` that RSTM can count at level
+/// bound `l` — non-leaf, countable nodes in the upper `l` levels, reachable
+/// without passing through a leaf/non-countable node.
+///
+/// Equal to `RSTM(A, A, l)` but computed in a single `O(n)` preorder walk, as
+/// the paper notes under Formula 2.
+///
+/// ```
+/// use cp_treediff::{SimpleTree, countable_nodes};
+/// let a = SimpleTree::parse("a(b(c),~script(x),d)").unwrap();
+/// // a counts; b counts (non-leaf, level 2); c,d are leaves; script is not visible.
+/// assert_eq!(countable_nodes(&a, 5), 2);
+/// ```
+pub fn countable_nodes<T: TreeView>(tree: &T, max_level: usize) -> usize {
+    fn rec<T: TreeView>(tree: &T, n: T::Node, level: usize, max_level: usize) -> usize {
+        let current = level + 1;
+        if current > max_level || !tree.countable(n) {
+            return 0;
+        }
+        let kids = tree.children(n);
+        if kids.is_empty() {
+            return 0;
+        }
+        1 + kids.into_iter().map(|c| rec(tree, c, current, max_level)).sum::<usize>()
+    }
+    match tree.root() {
+        Some(r) => rec(tree, r, 0, max_level),
+        None => 0,
+    }
+}
+
+/// Total number of nodes in the tree (used by the unrestricted baselines).
+pub fn tree_size<T: TreeView>(tree: &T) -> usize {
+    fn rec<T: TreeView>(tree: &T, n: T::Node) -> usize {
+        1 + tree.children(n).into_iter().map(|c| rec(tree, c)).sum::<usize>()
+    }
+    match tree.root() {
+        Some(r) => rec(tree, r),
+        None => 0,
+    }
+}
+
+/// `NTreeSim(A, B, l)` — the normalized DOM-tree similarity metric of
+/// Formula 2:
+///
+/// ```text
+/// NTreeSim(A,B,l) = RSTM(A,B,l) / (N(A,l) + N(B,l) − RSTM(A,B,l))
+/// ```
+///
+/// Result is in `[0, 1]`; `1.0` means the upper `l` levels of visible
+/// structure are indistinguishable. Two trees with *no* countable structure
+/// (e.g. both empty) are defined as fully similar (`1.0`).
+///
+/// ```
+/// use cp_treediff::{SimpleTree, n_tree_sim};
+/// let a = SimpleTree::parse("html(body(div(p(x)),div(q(y))))").unwrap();
+/// assert_eq!(n_tree_sim(&a, &a, 5), 1.0);
+/// let b = SimpleTree::parse("html(body(div(p(x))))").unwrap();
+/// let sim = n_tree_sim(&a, &b, 5);
+/// assert!(sim < 1.0 && sim > 0.0);
+/// ```
+pub fn n_tree_sim<A: TreeView, B: TreeView>(a: &A, b: &B, max_level: usize) -> f64 {
+    let matched = rstm(a, b, max_level);
+    let na = countable_nodes(a, max_level);
+    let nb = countable_nodes(b, max_level);
+    jaccard(matched, na, nb)
+}
+
+/// Convenience alias of [`n_tree_sim`] for two trees of the same type,
+/// matching the paper's `NTreeSim(A, B, l)` call signature in Figure 5.
+pub fn n_tree_sim_trees<T: TreeView>(a: &T, b: &T, max_level: usize) -> f64 {
+    n_tree_sim(a, b, max_level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::SimpleTree;
+
+    fn t(s: &str) -> SimpleTree {
+        SimpleTree::parse(s).unwrap()
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        assert!((jaccard(1, 2, 2) - (1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(jaccard(3, 3, 3), 1.0);
+    }
+
+    #[test]
+    fn countable_matches_rstm_self() {
+        for s in [
+            "a(b(c),d(e),f)",
+            "html(head(title(x)),body(div(p(y),p(z)),~script(w)))",
+            "a",
+            "a(b,c,d)",
+            "a(~x(b(c)),d(e))",
+        ] {
+            let tree = t(s);
+            for l in 1..8 {
+                assert_eq!(
+                    countable_nodes(&tree, l),
+                    rstm(&tree, &tree, l),
+                    "N(A,l) must equal RSTM(A,A,l) for {s} at l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_size_counts_everything() {
+        assert_eq!(tree_size(&t("a(b(c),~x,d)")), 5);
+        assert_eq!(tree_size(&SimpleTree::empty()), 0);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let a = t("html(body(div(p(x)),div(p(y))))");
+        assert_eq!(n_tree_sim(&a, &a, 5), 1.0);
+    }
+
+    #[test]
+    fn all_leaf_trees_are_trivially_similar() {
+        // A root with only leaves has no countable node beyond... none at all:
+        // the root is non-leaf so it counts. Two such trees with same label:
+        let a = t("a(x,y)");
+        let b = t("a(p,q)");
+        assert_eq!(n_tree_sim(&a, &b, 5), 1.0); // identical upper structure
+    }
+
+    #[test]
+    fn disjoint_structure_is_zero() {
+        let a = t("a(b(x))");
+        let b = t("z(b(x))");
+        assert_eq!(n_tree_sim(&a, &b, 5), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_empty_is_one() {
+        let e = SimpleTree::empty();
+        assert_eq!(n_tree_sim(&e, &e, 5), 1.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_zero_when_structure_exists() {
+        let e = SimpleTree::empty();
+        let a = t("a(b(c))");
+        assert_eq!(n_tree_sim(&e, &a, 5), 0.0);
+    }
+
+    #[test]
+    fn sim_monotone_with_removed_panels() {
+        // Removing more top-level panels lowers similarity monotonically.
+        let full = t("html(body(d1(p(x)),d2(p(y)),d3(p(z)),d4(p(w))))");
+        let m1 = t("html(body(d1(p(x)),d2(p(y)),d3(p(z))))");
+        let m2 = t("html(body(d1(p(x)),d2(p(y))))");
+        let s0 = n_tree_sim(&full, &full, 5);
+        let s1 = n_tree_sim(&full, &m1, 5);
+        let s2 = n_tree_sim(&full, &m2, 5);
+        assert!(s0 > s1 && s1 > s2, "{s0} {s1} {s2}");
+    }
+}

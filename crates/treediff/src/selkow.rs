@@ -1,0 +1,145 @@
+//! Selkow's top-down tree-to-tree editing distance (1977).
+//!
+//! The paper cites Selkow as the origin of the *top-down distance* family
+//! that RSTM belongs to (§4.1.2). We include the classical algorithm as a
+//! baseline: it computes the minimum-cost edit script under the top-down
+//! constraint, where inserting or deleting a node drags its whole subtree
+//! along (cost = subtree size) and relabeling a node costs 1.
+
+use crate::metrics::tree_size;
+use crate::tree::TreeView;
+
+/// Computes Selkow's top-down edit distance between `a` and `b`.
+///
+/// Costs: inserting/deleting a subtree costs its node count; changing one
+/// node's label into another costs 1; matching identical labels costs 0.
+/// Editing may only happen top-down: a node can be touched only if its parent
+/// was matched (possibly with a relabel).
+///
+/// An empty tree is at distance `|other|` from any other tree.
+///
+/// ```
+/// use cp_treediff::{SimpleTree, selkow_distance};
+/// let a = SimpleTree::parse("a(b,c)").unwrap();
+/// let b = SimpleTree::parse("a(b,c)").unwrap();
+/// assert_eq!(selkow_distance(&a, &b), 0);
+/// let c = SimpleTree::parse("a(b)").unwrap();
+/// assert_eq!(selkow_distance(&a, &c), 1); // delete leaf c
+/// ```
+pub fn selkow_distance<A: TreeView, B: TreeView>(a: &A, b: &B) -> usize {
+    match (a.root(), b.root()) {
+        (None, None) => 0,
+        (Some(ra), None) => subtree_size(a, ra),
+        (None, Some(rb)) => subtree_size(b, rb),
+        (Some(ra), Some(rb)) => dist_rec(a, b, ra, rb),
+    }
+}
+
+fn subtree_size<T: TreeView>(t: &T, n: T::Node) -> usize {
+    1 + t.children(n).into_iter().map(|c| subtree_size(t, c)).sum::<usize>()
+}
+
+fn dist_rec<A: TreeView, B: TreeView>(a: &A, b: &B, na: A::Node, nb: B::Node) -> usize {
+    let relabel = usize::from(a.label(na) != b.label(nb));
+    let ca = a.children(na);
+    let cb = b.children(nb);
+    let m = ca.len();
+    let n = cb.len();
+    // Sequence edit distance over the child forests where substitution cost
+    // is the recursive distance, and ins/del cost is the subtree size.
+    let mut table = vec![vec![0usize; n + 1]; m + 1];
+    for i in 1..=m {
+        table[i][0] = table[i - 1][0] + subtree_size(a, ca[i - 1]);
+    }
+    for j in 1..=n {
+        table[0][j] = table[0][j - 1] + subtree_size(b, cb[j - 1]);
+    }
+    for i in 1..=m {
+        for j in 1..=n {
+            let del = table[i - 1][j] + subtree_size(a, ca[i - 1]);
+            let ins = table[i][j - 1] + subtree_size(b, cb[j - 1]);
+            let sub = table[i - 1][j - 1] + dist_rec(a, b, ca[i - 1], cb[j - 1]);
+            table[i][j] = del.min(ins).min(sub);
+        }
+    }
+    relabel + table[m][n]
+}
+
+/// A normalized similarity derived from [`selkow_distance`]:
+/// `1 − dist / (|A| + |B|)`, in `[0, 1]`, `1.0` for two empty trees.
+pub fn selkow_sim<A: TreeView, B: TreeView>(a: &A, b: &B) -> f64 {
+    let total = tree_size(a) + tree_size(b);
+    if total == 0 {
+        return 1.0;
+    }
+    let d = selkow_distance(a, b) as f64;
+    (1.0 - d / total as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::SimpleTree;
+
+    fn t(s: &str) -> SimpleTree {
+        SimpleTree::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_distance_zero() {
+        let a = t("a(b(c,d),e)");
+        assert_eq!(selkow_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn relabel_root() {
+        assert_eq!(selkow_distance(&t("a"), &t("b")), 1);
+    }
+
+    #[test]
+    fn insert_subtree_costs_size() {
+        let a = t("a");
+        let b = t("a(b(c,d))");
+        assert_eq!(selkow_distance(&a, &b), 3);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = t("a(b(c),d)");
+        let b = t("a(d,b(c,e))");
+        assert_eq!(selkow_distance(&a, &b), selkow_distance(&b, &a));
+    }
+
+    #[test]
+    fn against_empty() {
+        let e = SimpleTree::empty();
+        let a = t("a(b,c)");
+        assert_eq!(selkow_distance(&e, &a), 3);
+        assert_eq!(selkow_distance(&a, &e), 3);
+        assert_eq!(selkow_distance(&e, &e), 0);
+    }
+
+    #[test]
+    fn triangle_inequality_samples() {
+        let xs = [t("a(b,c)"), t("a(b(x),c)"), t("a(c)"), t("z(q(r))")];
+        for i in &xs {
+            for j in &xs {
+                for k in &xs {
+                    let dij = selkow_distance(i, j);
+                    let djk = selkow_distance(j, k);
+                    let dik = selkow_distance(i, k);
+                    assert!(dik <= dij + djk);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sim_bounds() {
+        let a = t("a(b(c),d)");
+        let b = t("x(y)");
+        let s = selkow_sim(&a, &b);
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(selkow_sim(&a, &a), 1.0);
+    }
+}

@@ -1,0 +1,388 @@
+//! Simple Tree Matching (Yang 1991) and the paper's Restricted STM (Figure 2).
+//!
+//! Both algorithms compute the number of pairs in a **maximum top-down
+//! mapping** between two rooted labeled ordered trees: a mapping in which a
+//! pair of non-root nodes may match only if their parents match (Definition 3
+//! in the paper). STM considers every node; RSTM additionally
+//!
+//! 1. stops at a maximum depth (`maxLevel`), because cookie-caused changes
+//!    surface at the *upper* levels of the DOM while page-dynamics noise
+//!    (rotating ads, tickers) lives near the leaves, and
+//! 2. refuses to count leaf nodes and non-visible nodes (comments, scripts),
+//!    which carry no perceivable structure.
+
+use crate::tree::TreeView;
+
+/// Computes the number of pairs in a maximum top-down mapping between `a`
+/// and `b` — Yang's Simple Tree Matching algorithm.
+///
+/// Runs in `O(|A| · |B|)` time. Returns `0` if either tree is empty or the
+/// root labels differ.
+///
+/// ```
+/// use cp_treediff::{SimpleTree, stm};
+/// let a = SimpleTree::parse("a(b(c,b),c(d,e,f,e,d),g(h,i,j))").unwrap();
+/// let b = SimpleTree::parse("a(b,c(d,e),g(f,h))").unwrap();
+/// assert_eq!(stm(&a, &b), 7); // the worked example of Figure 3
+/// ```
+pub fn stm<A: TreeView, B: TreeView>(a: &A, b: &B) -> usize {
+    match (a.root(), b.root()) {
+        (Some(ra), Some(rb)) => stm_rec(a, b, ra, rb),
+        _ => 0,
+    }
+}
+
+fn stm_rec<A: TreeView, B: TreeView>(a: &A, b: &B, na: A::Node, nb: B::Node) -> usize {
+    if a.label(na) != b.label(nb) {
+        return 0;
+    }
+    let ca = a.children(na);
+    let cb = b.children(nb);
+    forest_match(ca.len(), cb.len(), |i, j| stm_rec(a, b, ca[i], cb[j])) + 1
+}
+
+/// The inner dynamic program shared by STM and RSTM: a weighted
+/// longest-common-subsequence over the two child forests, where the weight of
+/// pairing child `i` with child `j` is `w(i, j)`.
+fn forest_match(m: usize, n: usize, mut w: impl FnMut(usize, usize) -> usize) -> usize {
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    // M[i][j] = best matching between the first i subtrees of A and the
+    // first j subtrees of B. Rolling single-row representation.
+    let mut prev = vec![0usize; n + 1];
+    let mut cur = vec![0usize; n + 1];
+    for i in 1..=m {
+        for j in 1..=n {
+            let pair = prev[j - 1] + w(i - 1, j - 1);
+            cur[j] = cur[j - 1].max(prev[j]).max(pair);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    prev[n]
+}
+
+/// The **Restricted Simple Tree Matching** algorithm of Figure 2.
+///
+/// Like [`stm`], but a matched pair is only *counted* when both nodes are
+/// non-leaf, [countable](TreeView::countable) (visible), and within the upper
+/// `max_level` levels of their trees (the root is level 1). Subtrees rooted
+/// at nodes that fail those conditions are not explored at all, which both
+/// suppresses leaf-level noise and bounds the cost.
+///
+/// With `max_level = usize::MAX` and all nodes countable non-leaves, RSTM
+/// equals STM.
+///
+/// ```
+/// use cp_treediff::{SimpleTree, rstm};
+/// let a = SimpleTree::parse("a(b(c),d(e))").unwrap();
+/// let b = SimpleTree::parse("a(b(c),d(e))").unwrap();
+/// // With level 1, only the roots can count — and they do (non-leaf, visible).
+/// assert_eq!(rstm(&a, &b, 1), 1);
+/// // With level 2, b and d count too (c and e are leaves and never count).
+/// assert_eq!(rstm(&a, &b, 2), 3);
+/// ```
+pub fn rstm<A: TreeView, B: TreeView>(a: &A, b: &B, max_level: usize) -> usize {
+    match (a.root(), b.root()) {
+        (Some(ra), Some(rb)) => rstm_rec(a, b, ra, rb, 0, max_level),
+        _ => 0,
+    }
+}
+
+fn rstm_rec<A: TreeView, B: TreeView>(
+    a: &A,
+    b: &B,
+    na: A::Node,
+    nb: B::Node,
+    level: usize,
+    max_level: usize,
+) -> usize {
+    // Figure 2 lines 1-3: roots with different symbols do not match at all.
+    if a.label(na) != b.label(nb) {
+        return 0;
+    }
+    // Figure 2 lines 4-8: the pair only counts if both nodes are internal,
+    // visible and within the level bound; otherwise the subtree contributes 0.
+    let current_level = level + 1;
+    let ca = a.children(na);
+    let cb = b.children(nb);
+    if ca.is_empty() || cb.is_empty() || !a.countable(na) || !b.countable(nb) || current_level > max_level {
+        return 0;
+    }
+    forest_match(ca.len(), cb.len(), |i, j| rstm_rec(a, b, ca[i], cb[j], current_level, max_level)) + 1
+}
+
+/// Like [`stm`], but also returns the matched node pairs of one maximum
+/// top-down mapping (recovered by backtracking the dynamic program).
+///
+/// The pairs are reported in preorder of tree `a`. Useful for debugging and
+/// for verifying worked examples:
+///
+/// ```
+/// use cp_treediff::{SimpleTree, stm_with_mapping, TreeView};
+/// let a = SimpleTree::parse("a(b,c)").unwrap();
+/// let b = SimpleTree::parse("a(c)").unwrap();
+/// let (count, pairs) = stm_with_mapping(&a, &b);
+/// assert_eq!(count, 2);
+/// assert_eq!(pairs.len(), 2);
+/// assert_eq!(a.label(pairs[1].0), "c");
+/// ```
+pub fn stm_with_mapping<A: TreeView, B: TreeView>(a: &A, b: &B) -> (usize, Vec<(A::Node, B::Node)>) {
+    let mut pairs = Vec::new();
+    let count = match (a.root(), b.root()) {
+        (Some(ra), Some(rb)) => mapping_rec(a, b, ra, rb, usize::MAX, 0, false, &mut pairs),
+        _ => 0,
+    };
+    (count, pairs)
+}
+
+/// Like [`rstm`], but also returns the matched (counted) node pairs.
+pub fn rstm_with_mapping<A: TreeView, B: TreeView>(
+    a: &A,
+    b: &B,
+    max_level: usize,
+) -> (usize, Vec<(A::Node, B::Node)>) {
+    let mut pairs = Vec::new();
+    let count = match (a.root(), b.root()) {
+        (Some(ra), Some(rb)) => mapping_rec(a, b, ra, rb, max_level, 0, true, &mut pairs),
+        _ => 0,
+    };
+    (count, pairs)
+}
+
+fn mapping_rec<A: TreeView, B: TreeView>(
+    a: &A,
+    b: &B,
+    na: A::Node,
+    nb: B::Node,
+    max_level: usize,
+    level: usize,
+    restricted: bool,
+    pairs: &mut Vec<(A::Node, B::Node)>,
+) -> usize {
+    if a.label(na) != b.label(nb) {
+        return 0;
+    }
+    let current_level = level + 1;
+    let ca = a.children(na);
+    let cb = b.children(nb);
+    if restricted
+        && (ca.is_empty() || cb.is_empty() || !a.countable(na) || !b.countable(nb) || current_level > max_level)
+    {
+        return 0;
+    }
+    pairs.push((na, nb));
+    let m = ca.len();
+    let n = cb.len();
+    if m == 0 || n == 0 {
+        return 1;
+    }
+    // Full DP table (needed for backtracking). Weights computed into a side
+    // table so each child pair recurses exactly once.
+    let mut weight = vec![vec![0usize; n]; m];
+    let mut scratch: Vec<(A::Node, B::Node)> = Vec::new();
+    let mut sub_pairs: Vec<Vec<Vec<(A::Node, B::Node)>>> = vec![vec![Vec::new(); n]; m];
+    for i in 0..m {
+        for j in 0..n {
+            scratch.clear();
+            weight[i][j] = mapping_rec(a, b, ca[i], cb[j], max_level, current_level, restricted, &mut scratch);
+            sub_pairs[i][j] = scratch.clone();
+        }
+    }
+    let mut table = vec![vec![0usize; n + 1]; m + 1];
+    for i in 1..=m {
+        for j in 1..=n {
+            table[i][j] = table[i][j - 1]
+                .max(table[i - 1][j])
+                .max(table[i - 1][j - 1] + weight[i - 1][j - 1]);
+        }
+    }
+    // Backtrack.
+    let (mut i, mut j) = (m, n);
+    let mut chosen: Vec<(usize, usize)> = Vec::new();
+    while i > 0 && j > 0 {
+        if table[i][j] == table[i - 1][j - 1] + weight[i - 1][j - 1] && weight[i - 1][j - 1] > 0 {
+            chosen.push((i - 1, j - 1));
+            i -= 1;
+            j -= 1;
+        } else if table[i][j] == table[i - 1][j] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    chosen.reverse();
+    for (ci, cj) in chosen {
+        pairs.extend(sub_pairs[ci][cj].iter().copied());
+    }
+    table[m][n] + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::SimpleTree;
+
+    fn t(s: &str) -> SimpleTree {
+        SimpleTree::parse(s).unwrap()
+    }
+
+    #[test]
+    fn figure3_example_returns_seven() {
+        // Tree A (14 nodes) and tree B (8 nodes) from Figure 3 of the paper.
+        let a = t("a(b(c,b),c(d,e,f,e,d),g(h,i,j))");
+        let b = t("a(b,c(d,e),g(f,h))");
+        assert_eq!(stm(&a, &b), 7);
+        assert_eq!(stm(&b, &a), 7);
+    }
+
+    #[test]
+    fn figure3_mapping_pairs() {
+        let a = t("a(b(c,b),c(d,e,f,e,d),g(h,i,j))");
+        let b = t("a(b,c(d,e),g(f,h))");
+        let (count, pairs) = stm_with_mapping(&a, &b);
+        assert_eq!(count, 7);
+        assert_eq!(pairs.len(), 7);
+        // Every pair must have equal labels.
+        for (na, nb) in &pairs {
+            assert_eq!(a.label(*na), b.label(*nb));
+        }
+        // The multiset of matched labels from the worked example.
+        let mut labels: Vec<&str> = pairs.iter().map(|(na, _)| a.label(*na)).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, ["a", "b", "c", "d", "e", "g", "h"]);
+    }
+
+    #[test]
+    fn different_roots_do_not_match() {
+        assert_eq!(stm(&t("a(b,c)"), &t("x(b,c)")), 0);
+        assert_eq!(rstm(&t("a(b,c)"), &t("x(b,c)"), 5), 0);
+    }
+
+    #[test]
+    fn identical_trees_match_fully() {
+        let a = t("a(b(c,d),e(f),g)");
+        assert_eq!(stm(&a, &a), 7);
+    }
+
+    #[test]
+    fn empty_trees() {
+        let e = SimpleTree::empty();
+        let a = t("a");
+        assert_eq!(stm(&e, &a), 0);
+        assert_eq!(stm(&a, &e), 0);
+        assert_eq!(stm(&e, &e), 0);
+        assert_eq!(rstm(&e, &e, 3), 0);
+    }
+
+    #[test]
+    fn order_is_significant() {
+        // a(b,c) vs a(c,b): besides the root, only one child can match while
+        // preserving sibling order.
+        assert_eq!(stm(&t("a(b,c)"), &t("a(c,b)")), 2);
+        assert_eq!(stm(&t("a(b,c)"), &t("a(b,c)")), 3);
+    }
+
+    #[test]
+    fn rstm_level_restriction() {
+        let a = t("a(b(c(d(e))))");
+        // Chain tree: each internal node is non-leaf. Level 1 counts only the
+        // root, level 3 counts a,b,c; e is a leaf and d's pair at level 4 is
+        // cut off when max_level = 3.
+        assert_eq!(rstm(&a, &a, 1), 1);
+        assert_eq!(rstm(&a, &a, 2), 2);
+        assert_eq!(rstm(&a, &a, 3), 3);
+        assert_eq!(rstm(&a, &a, 4), 4); // d is non-leaf (child e), level 4
+        assert_eq!(rstm(&a, &a, 5), 4); // e is a leaf: never counted
+        assert_eq!(rstm(&a, &a, 50), 4);
+    }
+
+    #[test]
+    fn rstm_ignores_leaves() {
+        let a = t("a(b,c)");
+        // b and c are leaves; only the root counts.
+        assert_eq!(rstm(&a, &a, 5), 1);
+    }
+
+    #[test]
+    fn rstm_ignores_uncountable_nodes() {
+        let a = t("a(~script(x,y),b(c))");
+        let b = t("a(~script(p,q),b(c))");
+        // script is non-visible: its subtree contributes nothing, so the
+        // change inside it is invisible to RSTM.
+        assert_eq!(rstm(&a, &b, 5), 2); // a + b
+        // But full STM sees script itself matching (labels equal).
+        assert!(stm(&a, &b) >= 3);
+    }
+
+    #[test]
+    fn rstm_prunes_below_uncountable() {
+        // A countable node nested inside an uncountable one must not count:
+        // the recursion stops at the uncountable node.
+        let a = t("a(~div(span(x)),b(c))");
+        assert_eq!(rstm(&a, &a, 10), 2); // a + b only
+    }
+
+    #[test]
+    fn rstm_equals_stm_when_unrestricted_on_internal_trees() {
+        // For trees whose matched pairs are all internal+countable, RSTM with
+        // a huge level differs from STM only by the leaf pairs.
+        let a = t("a(b(x),c(y))");
+        let b = t("a(b(x),c(z))");
+        // STM: a,b,x,c = 4. RSTM: a,b,c = 3 (x,y leaves).
+        assert_eq!(stm(&a, &b), 4);
+        assert_eq!(rstm(&a, &b, usize::MAX), 3);
+    }
+
+    #[test]
+    fn noise_at_leaf_level_invisible_to_rstm() {
+        // Rotating-ad style noise: deep leaf content differs, structure same.
+        let a = t("html(body(div(p(ad1),p(ad2)),div(x)))");
+        let b = t("html(body(div(p(ad9),p(ad7)),div(x)))");
+        let same = rstm(&a, &a, 4);
+        assert_eq!(rstm(&a, &b, 4), same);
+    }
+
+    #[test]
+    fn structural_change_visible_to_rstm() {
+        // A cookie-caused change: a whole top-level panel disappears.
+        let a = t("html(body(div(nav(x)),div(main(y)),div(panel(z))))");
+        let b = t("html(body(div(nav(x)),div(main(y))))");
+        assert!(rstm(&a, &b, 5) < rstm(&a, &a, 5));
+    }
+
+    #[test]
+    fn stm_bounded_by_min_size() {
+        let a = t("a(b(c,d),e)");
+        let b = t("a(b(c,d),e(f,g),h)");
+        let pairs = stm(&a, &b);
+        assert!(pairs <= 5.min(8));
+    }
+
+    #[test]
+    fn rstm_mapping_matches_count() {
+        let a = t("html(body(div(p(x),q),div(r(s))))");
+        let b = t("html(body(div(p(x)),div(r(s)),footer))");
+        let (count, pairs) = rstm_with_mapping(&a, &b, 4);
+        assert_eq!(count, rstm(&a, &b, 4));
+        assert_eq!(count, pairs.len());
+    }
+
+    #[test]
+    fn forest_match_is_order_preserving_lcs() {
+        // Weighted LCS sanity: crossing pairs cannot both be chosen.
+        let a = t("r(a,b)");
+        let b = t("r(b,a)");
+        // A maximum mapping keeps only one of a/b plus the root.
+        assert_eq!(stm(&a, &b), 2);
+    }
+
+    #[test]
+    fn repeated_labels_prefer_best_alignment() {
+        let a = t("r(x(1,2,3),x)");
+        let b = t("r(x(1,2,3))");
+        // The DP must align b's x with a's *first* x to pick up the children.
+        assert_eq!(stm(&a, &b), 5);
+    }
+}

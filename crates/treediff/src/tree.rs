@@ -1,0 +1,385 @@
+//! The [`TreeView`] abstraction and an owned [`SimpleTree`] implementation.
+//!
+//! Every algorithm in this crate is written against [`TreeView`], a read-only
+//! view of a rooted, labeled, ordered tree. Browser DOM trees, synthetic test
+//! trees, and the [`SimpleTree`] type below all implement it.
+
+use std::fmt;
+
+/// A read-only view of a rooted, labeled, ordered tree.
+///
+/// The three properties required by the paper's algorithms (§4.1):
+///
+/// * **rooted** — [`root`](TreeView::root) returns the single root node (or
+///   `None` for an empty tree);
+/// * **labeled** — every node carries a string label
+///   ([`label`](TreeView::label)); for a DOM this is the node name;
+/// * **ordered** — [`children`](TreeView::children) returns children in
+///   document order, and the left-to-right order is significant.
+///
+/// [`countable`](TreeView::countable) implements the *visibility* restriction
+/// of RSTM (Figure 2, line 5): comment nodes, script nodes and other nodes
+/// with no visual effect return `false` and are skipped by the restricted
+/// matcher. The default implementation counts every node.
+pub trait TreeView {
+    /// Node handle. Must be cheap to copy (an arena index, typically).
+    type Node: Copy + Eq;
+
+    /// The root node, or `None` if the tree is empty.
+    fn root(&self) -> Option<Self::Node>;
+
+    /// The children of `n`, in document order.
+    fn children(&self, n: Self::Node) -> Vec<Self::Node>;
+
+    /// The label of `n` (element name for a DOM node).
+    fn label(&self, n: Self::Node) -> &str;
+
+    /// Whether `n` participates in restricted matching (visible, non-comment,
+    /// non-script). Leaf-ness is checked separately by the algorithms.
+    fn countable(&self, n: Self::Node) -> bool {
+        let _ = n;
+        true
+    }
+}
+
+/// An owned rooted labeled ordered tree, mainly used in tests, benches and
+/// documentation examples.
+///
+/// Construct one programmatically with [`SimpleTree::new`] /
+/// [`SimpleTree::add_child`], or parse the compact notation used throughout
+/// this crate's tests with [`SimpleTree::parse`]:
+///
+/// ```
+/// use cp_treediff::{SimpleTree, TreeView};
+///
+/// let t = SimpleTree::parse("a(b(c,d),e)").unwrap();
+/// let root = t.root().unwrap();
+/// assert_eq!(t.label(root), "a");
+/// assert_eq!(t.children(root).len(), 2);
+/// assert_eq!(t.len(), 5);
+/// ```
+///
+/// A label prefixed with `~` is marked *non-countable* (it models a comment
+/// or script node for RSTM):
+///
+/// ```
+/// use cp_treediff::{SimpleTree, TreeView};
+/// let t = SimpleTree::parse("a(~script(x),b)").unwrap();
+/// let kids = t.children(t.root().unwrap());
+/// assert!(!t.countable(kids[0]));
+/// assert!(t.countable(kids[1]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimpleTree {
+    nodes: Vec<SimpleNode>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SimpleNode {
+    label: String,
+    countable: bool,
+    children: Vec<usize>,
+}
+
+/// Error returned by [`SimpleTree::parse`] for malformed tree notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTreeError {
+    /// Byte offset of the problem in the input.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid tree notation at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseTreeError {}
+
+impl SimpleTree {
+    /// Creates a tree containing a single root node with the given label.
+    pub fn new(root_label: impl Into<String>) -> Self {
+        let mut t = SimpleTree { nodes: Vec::new() };
+        t.push_node(root_label.into(), true);
+        t
+    }
+
+    /// Creates an empty tree (no root).
+    pub fn empty() -> Self {
+        SimpleTree { nodes: Vec::new() }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a child with `label` under `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a valid node id of this tree.
+    pub fn add_child(&mut self, parent: usize, label: impl Into<String>) -> usize {
+        let id = self.push_node(label.into(), true);
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Adds a *non-countable* child (models a comment/script node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a valid node id of this tree.
+    pub fn add_uncountable_child(&mut self, parent: usize, label: impl Into<String>) -> usize {
+        let id = self.push_node(label.into(), false);
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    fn push_node(&mut self, label: String, countable: bool) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(SimpleNode { label, countable, children: Vec::new() });
+        id
+    }
+
+    /// Parses the compact notation `label(child,child(...),...)`.
+    ///
+    /// Labels are runs of characters other than `(`, `)` and `,`; leading
+    /// whitespace is trimmed; a leading `~` marks the node non-countable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTreeError`] on unbalanced parentheses, empty labels, or
+    /// trailing garbage.
+    pub fn parse(input: &str) -> Result<Self, ParseTreeError> {
+        let mut tree = SimpleTree::empty();
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let root = parse_node(&mut tree, bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(ParseTreeError { position: pos, message: "trailing input after root".into() });
+        }
+        debug_assert_eq!(root, 0);
+        Ok(tree)
+    }
+
+    /// Serializes back into the compact notation accepted by [`parse`].
+    ///
+    /// [`parse`]: SimpleTree::parse
+    pub fn to_notation(&self) -> String {
+        let mut out = String::new();
+        if let Some(root) = self.root() {
+            self.write_notation(root, &mut out);
+        }
+        out
+    }
+
+    fn write_notation(&self, n: usize, out: &mut String) {
+        if !self.nodes[n].countable {
+            out.push('~');
+        }
+        out.push_str(&self.nodes[n].label);
+        if !self.nodes[n].children.is_empty() {
+            out.push('(');
+            for (i, &c) in self.nodes[n].children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                self.write_notation(c, out);
+            }
+            out.push(')');
+        }
+    }
+
+    /// Preorder traversal of all node ids.
+    pub fn preorder(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        if let Some(root) = self.root() {
+            let mut stack = vec![root];
+            while let Some(n) = stack.pop() {
+                out.push(n);
+                for &c in self.nodes[n].children.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum depth of the tree (root = depth 1; empty tree = 0).
+    pub fn depth(&self) -> usize {
+        fn rec(t: &SimpleTree, n: usize) -> usize {
+            1 + t.nodes[n].children.iter().map(|&c| rec(t, c)).max().unwrap_or(0)
+        }
+        self.root().map(|r| rec(self, r)).unwrap_or(0)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_node(tree: &mut SimpleTree, bytes: &[u8], pos: &mut usize) -> Result<usize, ParseTreeError> {
+    skip_ws(bytes, pos);
+    let mut countable = true;
+    if *pos < bytes.len() && bytes[*pos] == b'~' {
+        countable = false;
+        *pos += 1;
+    }
+    let start = *pos;
+    while *pos < bytes.len() && !matches!(bytes[*pos], b'(' | b')' | b',') {
+        *pos += 1;
+    }
+    let label = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| ParseTreeError { position: start, message: "label is not UTF-8".into() })?
+        .trim()
+        .to_string();
+    if label.is_empty() {
+        return Err(ParseTreeError { position: start, message: "empty label".into() });
+    }
+    let id = tree.push_node(label, countable);
+    if *pos < bytes.len() && bytes[*pos] == b'(' {
+        *pos += 1; // consume '('
+        loop {
+            let child = parse_node(tree, bytes, pos)?;
+            tree.nodes[id].children.push(child);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => {
+                    *pos += 1;
+                }
+                Some(b')') => {
+                    *pos += 1;
+                    break;
+                }
+                _ => {
+                    return Err(ParseTreeError {
+                        position: *pos,
+                        message: "expected ',' or ')'".into(),
+                    })
+                }
+            }
+        }
+    }
+    Ok(id)
+}
+
+impl TreeView for SimpleTree {
+    type Node = usize;
+
+    fn root(&self) -> Option<usize> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    fn children(&self, n: usize) -> Vec<usize> {
+        self.nodes[n].children.clone()
+    }
+
+    fn label(&self, n: usize) -> &str {
+        &self.nodes[n].label
+    }
+
+    fn countable(&self, n: usize) -> bool {
+        self.nodes[n].countable
+    }
+}
+
+impl fmt::Display for SimpleTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_single_node() {
+        let t = SimpleTree::parse("html").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.label(t.root().unwrap()), "html");
+    }
+
+    #[test]
+    fn parse_nested() {
+        let t = SimpleTree::parse("a(b(c,d),e)").unwrap();
+        assert_eq!(t.len(), 5);
+        let root = t.root().unwrap();
+        let kids = t.children(root);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(t.label(kids[0]), "b");
+        assert_eq!(t.label(kids[1]), "e");
+        assert_eq!(t.children(kids[0]).len(), 2);
+    }
+
+    #[test]
+    fn parse_whitespace_tolerant() {
+        let t = SimpleTree::parse(" a ( b , c ) ").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.label(0), "a");
+    }
+
+    #[test]
+    fn parse_uncountable_marker() {
+        let t = SimpleTree::parse("a(~comment,b)").unwrap();
+        let kids = t.children(0);
+        assert!(!t.countable(kids[0]));
+        assert!(t.countable(kids[1]));
+        assert!(t.countable(0));
+    }
+
+    #[test]
+    fn parse_rejects_unbalanced() {
+        assert!(SimpleTree::parse("a(b").is_err());
+        assert!(SimpleTree::parse("a(b))").is_err());
+        assert!(SimpleTree::parse("a(,b)").is_err());
+        assert!(SimpleTree::parse("").is_err());
+    }
+
+    #[test]
+    fn notation_round_trip() {
+        for s in ["a", "a(b)", "a(b(c,d),e)", "a(~x(y),b)"] {
+            let t = SimpleTree::parse(s).unwrap();
+            assert_eq!(t.to_notation(), s);
+        }
+    }
+
+    #[test]
+    fn preorder_order() {
+        let t = SimpleTree::parse("a(b(c),d)").unwrap();
+        let order: Vec<&str> = t.preorder().into_iter().map(|n| t.label(n)).collect();
+        assert_eq!(order, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn depth_computation() {
+        assert_eq!(SimpleTree::parse("a").unwrap().depth(), 1);
+        assert_eq!(SimpleTree::parse("a(b(c(d)))").unwrap().depth(), 4);
+        assert_eq!(SimpleTree::empty().depth(), 0);
+    }
+
+    #[test]
+    fn programmatic_construction() {
+        let mut t = SimpleTree::new("root");
+        let b = t.add_child(0, "b");
+        t.add_child(b, "c");
+        t.add_uncountable_child(0, "script");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.to_notation(), "root(b(c),~script)");
+    }
+}

@@ -1,0 +1,229 @@
+//! Zhang–Shasha ordered tree edit distance — the classical *unrestricted*
+//! tree edit distance (Tai's problem, §4.1.1 of the paper).
+//!
+//! The paper surveys the edit-distance family and argues the generic
+//! problem's cost is too high for online use, motivating the top-down
+//! restriction. We include the canonical Zhang–Shasha algorithm as the
+//! reference point: unit-cost insert/delete/relabel, `O(n² · min(depth,
+//! leaves)²)` time — asymptotically and practically far heavier than RSTM,
+//! which experiment E4 quantifies.
+
+use crate::tree::TreeView;
+
+struct Flattened {
+    labels: Vec<String>,
+    /// `l[i]`: postorder index of the leftmost leaf descendant of node `i`.
+    l: Vec<usize>,
+    keyroots: Vec<usize>,
+}
+
+fn flatten<T: TreeView>(tree: &T) -> Flattened {
+    let mut labels = Vec::new();
+    let mut l = Vec::new();
+
+    fn rec<T: TreeView>(
+        tree: &T,
+        node: T::Node,
+        labels: &mut Vec<String>,
+        l: &mut Vec<usize>,
+    ) -> usize {
+        let children = tree.children(node);
+        let mut leftmost = None;
+        for c in children {
+            let cl = rec(tree, c, labels, l);
+            if leftmost.is_none() {
+                leftmost = Some(cl);
+            }
+        }
+        let idx = labels.len();
+        labels.push(tree.label(node).to_string());
+        let own_l = leftmost.unwrap_or(idx);
+        l.push(own_l);
+        own_l
+    }
+
+    if let Some(root) = tree.root() {
+        rec(tree, root, &mut labels, &mut l);
+    }
+
+    // Keyroots: for each distinct l-value, the highest-postorder node.
+    let mut keyroots = Vec::new();
+    for i in 0..l.len() {
+        let is_keyroot = !(i + 1..l.len()).any(|j| l[j] == l[i]);
+        if is_keyroot {
+            keyroots.push(i);
+        }
+    }
+    Flattened { labels, l, keyroots }
+}
+
+/// Computes the Zhang–Shasha tree edit distance between `a` and `b` with
+/// unit costs for insert, delete and relabel.
+///
+/// An empty tree is at distance `|other|` from any tree.
+///
+/// ```
+/// use cp_treediff::{SimpleTree, zhang_shasha_distance};
+/// let a = SimpleTree::parse("f(d(a,c(b)),e)").unwrap();
+/// let b = SimpleTree::parse("f(c(d(a,b)),e)").unwrap();
+/// // The classical worked example: distance 2.
+/// assert_eq!(zhang_shasha_distance(&a, &b), 2);
+/// ```
+pub fn zhang_shasha_distance<A: TreeView, B: TreeView>(a: &A, b: &B) -> usize {
+    let fa = flatten(a);
+    let fb = flatten(b);
+    let (n, m) = (fa.labels.len(), fb.labels.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+
+    let mut treedist = vec![vec![0usize; m]; n];
+
+    for &i in &fa.keyroots {
+        for &j in &fb.keyroots {
+            forest_dist(&fa, &fb, i, j, &mut treedist);
+        }
+    }
+    treedist[n - 1][m - 1]
+}
+
+fn forest_dist(fa: &Flattened, fb: &Flattened, i: usize, j: usize, treedist: &mut [Vec<usize>]) {
+    let li = fa.l[i];
+    let lj = fb.l[j];
+    let rows = i - li + 2;
+    let cols = j - lj + 2;
+    // fd[x][y]: distance between forest fa[li .. li+x-1] and fb[lj .. lj+y-1].
+    let mut fd = vec![vec![0usize; cols]; rows];
+    for x in 1..rows {
+        fd[x][0] = fd[x - 1][0] + 1; // delete
+    }
+    for y in 1..cols {
+        fd[0][y] = fd[0][y - 1] + 1; // insert
+    }
+    for x in 1..rows {
+        for y in 1..cols {
+            let di = li + x - 1; // node index in a
+            let dj = lj + y - 1; // node index in b
+            if fa.l[di] == li && fb.l[dj] == lj {
+                // Both forests are whole trees rooted at di/dj.
+                let relabel = usize::from(fa.labels[di] != fb.labels[dj]);
+                fd[x][y] = (fd[x - 1][y] + 1)
+                    .min(fd[x][y - 1] + 1)
+                    .min(fd[x - 1][y - 1] + relabel);
+                treedist[di][dj] = fd[x][y];
+            } else {
+                let xa = fa.l[di].saturating_sub(li);
+                let ya = fb.l[dj].saturating_sub(lj);
+                fd[x][y] = (fd[x - 1][y] + 1)
+                    .min(fd[x][y - 1] + 1)
+                    .min(fd[xa][ya] + treedist[di][dj]);
+            }
+        }
+    }
+}
+
+/// A normalized similarity derived from the Zhang–Shasha distance:
+/// `1 − dist / (|A| + |B|)`, in `[0, 1]`, `1.0` for two empty trees.
+pub fn zhang_shasha_sim<A: TreeView, B: TreeView>(a: &A, b: &B) -> f64 {
+    let total = crate::metrics::tree_size(a) + crate::metrics::tree_size(b);
+    if total == 0 {
+        return 1.0;
+    }
+    (1.0 - zhang_shasha_distance(a, b) as f64 / total as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selkow::selkow_distance;
+    use crate::tree::SimpleTree;
+
+    fn t(s: &str) -> SimpleTree {
+        SimpleTree::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_zero() {
+        let a = t("a(b(c,d),e)");
+        assert_eq!(zhang_shasha_distance(&a, &a), 0);
+        assert_eq!(zhang_shasha_sim(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn classic_worked_example() {
+        // Zhang & Shasha's original paper example: d(T1, T2) = 2.
+        let a = t("f(d(a,c(b)),e)");
+        let b = t("f(c(d(a,b)),e)");
+        assert_eq!(zhang_shasha_distance(&a, &b), 2);
+    }
+
+    #[test]
+    fn single_relabel() {
+        assert_eq!(zhang_shasha_distance(&t("a(b,c)"), &t("a(b,x)")), 1);
+        assert_eq!(zhang_shasha_distance(&t("a"), &t("b")), 1);
+    }
+
+    #[test]
+    fn insert_delete_leaf() {
+        assert_eq!(zhang_shasha_distance(&t("a(b)"), &t("a(b,c)")), 1);
+        assert_eq!(zhang_shasha_distance(&t("a(b,c)"), &t("a(b)")), 1);
+    }
+
+    #[test]
+    fn delete_internal_node() {
+        // Removing an inner node and splicing its children costs 1 in the
+        // general model (Selkow would charge the whole subtree).
+        let a = t("a(x(b,c))");
+        let b = t("a(b,c)");
+        assert_eq!(zhang_shasha_distance(&a, &b), 1);
+        assert!(selkow_distance(&a, &b) > 1);
+    }
+
+    #[test]
+    fn against_empty() {
+        let e = SimpleTree::empty();
+        let a = t("a(b,c)");
+        assert_eq!(zhang_shasha_distance(&e, &a), 3);
+        assert_eq!(zhang_shasha_distance(&a, &e), 3);
+        assert_eq!(zhang_shasha_distance(&e, &e), 0);
+        assert_eq!(zhang_shasha_sim(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = t("a(b(c),d,e(f,g))");
+        let b = t("a(d,b(c,f),g)");
+        assert_eq!(zhang_shasha_distance(&a, &b), zhang_shasha_distance(&b, &a));
+    }
+
+    #[test]
+    fn never_exceeds_selkow() {
+        // The general edit distance is a relaxation of Selkow's top-down
+        // distance: it can never cost more.
+        let cases = [
+            ("a(b(c,d),e)", "a(b(c),e(f))"),
+            ("html(body(div(p),div(q)))", "html(body(div(p,q)))"),
+            ("a(b,c,d)", "x(y)"),
+            ("a(a(a(a)))", "a(a)"),
+        ];
+        for (x, y) in cases {
+            let (tx, ty) = (t(x), t(y));
+            assert!(
+                zhang_shasha_distance(&tx, &ty) <= selkow_distance(&tx, &ty),
+                "{x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_by_sizes() {
+        let a = t("a(b(c,d),e)");
+        let b = t("x(y(z))");
+        let d = zhang_shasha_distance(&a, &b);
+        assert!(d <= 5 + 3);
+        assert!(d >= 2); // size difference lower bound
+    }
+}

@@ -1,0 +1,103 @@
+//! The 15 top-level categories of 2007's `directory.google.com`, from which
+//! the paper sampled its test sites (§5.2.1).
+
+use std::fmt;
+
+/// A Google Directory top-level category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Category {
+    Arts,
+    Business,
+    Computers,
+    Games,
+    Health,
+    Home,
+    KidsAndTeens,
+    News,
+    Recreation,
+    Reference,
+    Regional,
+    Science,
+    Shopping,
+    Society,
+    Sports,
+}
+
+impl Category {
+    /// All 15 categories, in directory order.
+    pub const ALL: [Category; 15] = [
+        Category::Arts,
+        Category::Business,
+        Category::Computers,
+        Category::Games,
+        Category::Health,
+        Category::Home,
+        Category::KidsAndTeens,
+        Category::News,
+        Category::Recreation,
+        Category::Reference,
+        Category::Regional,
+        Category::Science,
+        Category::Shopping,
+        Category::Society,
+        Category::Sports,
+    ];
+
+    /// A short lowercase slug usable in synthetic domain names.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Category::Arts => "arts",
+            Category::Business => "business",
+            Category::Computers => "computers",
+            Category::Games => "games",
+            Category::Health => "health",
+            Category::Home => "home",
+            Category::KidsAndTeens => "kids",
+            Category::News => "news",
+            Category::Recreation => "recreation",
+            Category::Reference => "reference",
+            Category::Regional => "regional",
+            Category::Science => "science",
+            Category::Shopping => "shopping",
+            Category::Society => "society",
+            Category::Sports => "sports",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Category::KidsAndTeens => "Kids and Teens",
+            other => {
+                return write!(f, "{other:?}");
+            }
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_categories() {
+        assert_eq!(Category::ALL.len(), 15);
+    }
+
+    #[test]
+    fn slugs_unique() {
+        let mut slugs: Vec<&str> = Category::ALL.iter().map(|c| c.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), 15);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Category::KidsAndTeens.to_string(), "Kids and Teens");
+        assert_eq!(Category::Shopping.to_string(), "Shopping");
+    }
+}

@@ -1,0 +1,45 @@
+//! A seeded synthetic Web for evaluating CookiePicker.
+//!
+//! The paper evaluates against live 2007 Web sites drawn from
+//! `directory.google.com`. Those sites (and that Web) no longer exist, so
+//! this crate generates them: each [`SiteSpec`] describes a
+//! deterministic website with
+//!
+//! * a set of cookies with **ground-truth roles** ([`CookieRole`]): trackers
+//!   and analytics cookies that never affect rendering, and *useful* cookies
+//!   (preference / sign-up / performance) that visibly change pages when
+//!   absent — the three usage classes observed in Table 2;
+//! * **page-dynamics noise** (rotating ads, tickers, timestamps) confined to
+//!   the leaf levels of the DOM, exactly the noise RSTM's level restriction
+//!   and CVCE's same-context forgiveness are designed to reject (§4.1.3);
+//! * optionally, **structural noise bursts** — front-page layout rotations
+//!   that occasionally alter the upper DOM levels. These produce the false
+//!   "useful" marks the paper reports for 3 of its 30 sites;
+//! * a latency profile, including the chronically slow origins behind the
+//!   ~10 s outliers of Table 1.
+//!
+//! [`population`] builds the exact site populations of the paper's two
+//! experiments (Table 1's S1–S30 and Table 2's P1–P6) plus the 5,000-site
+//! population of the authors' cookie measurement study.
+//!
+//! Ground truth is available to experiments via
+//! [`SiteSpec::useful_cookie_names`](spec::SiteSpec::useful_cookie_names) —
+//! this replaces the paper's "careful manual verification".
+//!
+//! [`CookieRole`]: spec::CookieRole
+//! [`SiteSpec`]: spec::SiteSpec
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod corpus;
+pub mod population;
+pub mod render;
+pub mod server;
+pub mod spec;
+
+pub use category::Category;
+pub use population::{measurement_population, random_site, table1_population, table2_population};
+pub use server::SiteServer;
+pub use spec::{CookieRole, CookieSpec, EffectSize, LatencyProfile, NoiseSpec, PageSelector, SiteLayout, SiteSpec};

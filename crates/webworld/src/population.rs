@@ -1,0 +1,377 @@
+//! Site populations mirroring the paper's experimental setups.
+//!
+//! * [`table1_population`] — the 30 sites (S1–S30) of the first experiment:
+//!   two per directory category, 103 persistent cookies in total, with the
+//!   same per-site cookie counts as Table 1, useful cookies at S6 and S16,
+//!   heavy page dynamics at S1/S10/S27 (the paper's three false-"useful"
+//!   sites) and chronically slow origins at S4/S17/S28.
+//! * [`table2_population`] — the 6 sites (P1–P6) whose persistent cookies
+//!   are really useful, with the usage mix of Table 2 (3× preference,
+//!   2× sign-up, 1× performance) and P5/P6 carrying extra useless cookies
+//!   that ride along in the same requests.
+//! * [`measurement_population`] — a large population with the lifetime
+//!   distribution of the authors' 5,000-site measurement study (>60% of
+//!   first-party persistent cookies expiring in a year or more).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cp_cookies::SimDuration;
+
+use crate::category::Category;
+use crate::spec::{CookieRole, CookieSpec, EffectSize, LatencyProfile, NoiseSpec, SiteLayout, SiteSpec};
+
+/// Per-site persistent-cookie counts from Table 1 (S1…S30; total 103).
+pub const TABLE1_COOKIE_COUNTS: [usize; 30] = [
+    2, 4, 5, 4, 4, 2, 1, 3, 1, 1, 2, 4, 1, 9, 2, 25, 4, 1, 3, 6, 3, 1, 4, 1, 3, 1, 1, 1, 2, 2,
+];
+
+/// Indices (0-based) of the sites whose page dynamics occasionally change
+/// the upper DOM levels — the mechanism behind the paper's false "useful"
+/// marks at S1, S10 and S27.
+pub const TABLE1_BURSTY_SITES: [usize; 3] = [0, 9, 26];
+
+/// Indices (0-based) of the chronically slow origins (S4, S17, S28).
+pub const TABLE1_SLOW_SITES: [usize; 3] = [3, 16, 27];
+
+/// Builds the 30-site population of the paper's first experiment.
+///
+/// Site `i` (0-based) is `S{i+1}` in Table 1. Ground truth:
+///
+/// * S6 sets two useful preference cookies (`pref_main`, `pref_aux`);
+/// * S16 sets one useful preference cookie scoped to `/prefs` among 24
+///   path-scoped trackers — so the useful cookie travels alone in its
+///   request group;
+/// * every other persistent cookie is a tracker or analytics beacon.
+pub fn table1_population(seed: u64) -> Vec<SiteSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sites = Vec::with_capacity(30);
+    for (i, &count) in TABLE1_COOKIE_COUNTS.iter().enumerate() {
+        let category = Category::ALL[i / 2];
+        let domain = format!("{}{}.example", category.slug(), (i % 2) + 1);
+        let mut site = SiteSpec::new(domain, category, seed.wrapping_add(i as u64 * 7919));
+        site.richness = 2 + (rng.gen::<u64>() % 3) as usize;
+        site.layout = match i % 3 {
+            0 => SiteLayout::Classic,
+            1 => SiteLayout::Portal,
+            _ => SiteLayout::Minimal,
+        };
+
+        match i {
+            5 => {
+                // S6: two really-useful preference cookies.
+                assert_eq!(count, 2);
+                site = site
+                    .with_cookie(CookieSpec::useful("pref_main", CookieRole::Preference, EffectSize::Medium))
+                    .with_cookie(CookieSpec::useful("pref_aux", CookieRole::Preference, EffectSize::Small));
+            }
+            15 => {
+                // S16: 25 persistent cookies; one useful preference cookie
+                // scoped to its own section, 24 path-scoped trackers.
+                assert_eq!(count, 25);
+                site = site.with_cookie(
+                    CookieSpec::useful("prefs_layout", CookieRole::Preference, EffectSize::Medium)
+                        .scoped("/prefs"),
+                );
+                for k in 0..24 {
+                    site = site
+                        .with_cookie(CookieSpec::tracker(format!("sec{k}_trk")).scoped(format!("/sec{k}")));
+                }
+            }
+            _ => {
+                for k in 0..count {
+                    let name = if k % 2 == 0 { format!("trk{k}") } else { format!("ga{k}") };
+                    let mut c = CookieSpec::tracker(name);
+                    if k % 2 == 1 {
+                        c.role = CookieRole::Analytics;
+                    }
+                    // Lifetime spread (the measurement study's shape).
+                    c.lifetime = Some(lifetime_sample(&mut rng));
+                    site = site.with_cookie(c);
+                }
+            }
+        }
+        // Every site also keeps a session cookie (not under test).
+        site = site.with_cookie(CookieSpec::session("jsession"));
+
+        if TABLE1_BURSTY_SITES.contains(&i) {
+            site = site.with_noise(NoiseSpec::bursty(0.18));
+        }
+        // A few sites hide their container behind a temporary entry
+        // redirect (FORCUM step 1 must locate the real container page).
+        if i % 7 == 3 {
+            site = site.with_entry_redirect();
+        }
+        if TABLE1_SLOW_SITES.contains(&i) {
+            site = site.with_latency(LatencyProfile::Slow);
+        }
+        sites.push(site);
+    }
+    sites
+}
+
+/// Builds the 6-site population of the paper's second experiment (Table 2).
+///
+/// | Site | Usage        | Cookies set                         | Really useful |
+/// |------|--------------|--------------------------------------|---------------|
+/// | P1   | Preference   | 1 preference                         | 1 |
+/// | P2   | Performance  | 1 query-cache                        | 1 |
+/// | P3   | Sign-up      | 1 uid (scoped `/member`)             | 1 |
+/// | P4   | Preference   | 1 theme                              | 1 |
+/// | P5   | Sign-up      | 1 uid + 8 trackers, all on `/`       | 1 |
+/// | P6   | Preference   | 2 preference + 3 trackers, on `/`    | 2 |
+pub fn table2_population(seed: u64) -> Vec<SiteSpec> {
+    let cats = [
+        Category::Society,
+        Category::Reference,
+        Category::Computers,
+        Category::Arts,
+        Category::Shopping,
+        Category::Games,
+    ];
+    let mut sites = Vec::with_capacity(6);
+
+    let mk = |i: usize| -> SiteSpec {
+        SiteSpec::new(format!("p{}.example", i + 1), cats[i], seed.wrapping_add(1000 + i as u64 * 104_729))
+    };
+
+    // P1: preference, large effect.
+    sites.push(mk(0).with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Large)));
+    // P2: performance (cached recent query results).
+    sites.push(mk(1).with_cookie(CookieSpec::useful("qcache", CookieRole::Performance, EffectSize::Large)));
+    // P3: sign-up, effect confined to the member area.
+    sites.push(mk(2).with_cookie(
+        CookieSpec::useful("uid", CookieRole::SignUp, EffectSize::Medium).scoped("/member"),
+    ));
+    // P4: preference, large effect.
+    sites.push(mk(3).with_cookie(CookieSpec::useful("theme", CookieRole::Preference, EffectSize::Large)));
+    // P5: members-only site — sign-up wall everywhere — plus 8 trackers that
+    // ride in the same requests (the paper's piggyback false positives).
+    let mut p5 = mk(4).with_cookie(CookieSpec::useful("uid", CookieRole::SignUp, EffectSize::Large));
+    for k in 0..8 {
+        p5 = p5.with_cookie(CookieSpec::tracker(format!("trk{k}")));
+    }
+    sites.push(p5);
+    // P6: two preference cookies plus 3 trackers in the same requests.
+    let mut p6 = mk(5)
+        .with_cookie(CookieSpec::useful("pref_nav", CookieRole::Preference, EffectSize::Medium))
+        .with_cookie(CookieSpec::useful("pref_items", CookieRole::Performance, EffectSize::Small));
+    for k in 0..3 {
+        p6 = p6.with_cookie(CookieSpec::tracker(format!("trk{k}")));
+    }
+    sites.push(p6);
+
+    sites
+}
+
+fn lifetime_sample<R: Rng + ?Sized>(rng: &mut R) -> SimDuration {
+    // The measurement study's headline: >60% of first-party persistent
+    // cookies expire after one year or more.
+    let roll = rng.gen::<f64>();
+    let days = if roll < 0.35 {
+        365
+    } else if roll < 0.55 {
+        365 * 10
+    } else if roll < 0.65 {
+        365 * 30
+    } else if roll < 0.80 {
+        180
+    } else if roll < 0.92 {
+        30
+    } else {
+        7
+    };
+    SimDuration::from_days(days)
+}
+
+/// Generates a random site with ground-truth cookie roles — for fuzz-style
+/// integration tests and open-ended simulations.
+///
+/// The site has 1–6 persistent cookies (mostly trackers, sometimes one
+/// useful preference/sign-up/performance cookie with a clearly perceivable
+/// effect), a random layout, leaf-level noise only (no structural bursts),
+/// and normal latency — so detector invariants (never miss a useful cookie;
+/// never mark a burst-free tracker-only site) are testable against it.
+pub fn random_site(seed: u64, index: usize) -> SiteSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let category = Category::ALL[index % Category::ALL.len()];
+    let mut site = SiteSpec::new(
+        format!("{}-r{}.example", category.slug(), index),
+        category,
+        seed.wrapping_add(index as u64 * 31_337),
+    );
+    site.richness = 2 + (rng.gen::<u64>() % 3) as usize;
+    site.layout = match rng.gen_range(0..3) {
+        0 => SiteLayout::Classic,
+        1 => SiteLayout::Portal,
+        _ => SiteLayout::Minimal,
+    };
+    if rng.gen::<f64>() < 0.15 {
+        site = site.with_entry_redirect();
+    }
+
+    let trackers = rng.gen_range(1..=4);
+    for k in 0..trackers {
+        let mut c = CookieSpec::tracker(format!("t{k}"));
+        if k % 2 == 1 {
+            c.role = CookieRole::Analytics;
+        }
+        c.lifetime = Some(lifetime_sample(&mut rng));
+        site = site.with_cookie(c);
+    }
+    // Sometimes one genuinely useful cookie with a clearly visible effect.
+    if rng.gen::<f64>() < 0.4 {
+        let effect = if rng.gen::<bool>() { EffectSize::Medium } else { EffectSize::Large };
+        let c = match rng.gen_range(0..3) {
+            0 => CookieSpec::useful("u_pref", CookieRole::Preference, effect),
+            1 => {
+                let c = CookieSpec::useful("u_auth", CookieRole::SignUp, effect);
+                if rng.gen::<bool>() {
+                    c.scoped("/account")
+                } else {
+                    c
+                }
+            }
+            _ => CookieSpec::useful("u_cache", CookieRole::Performance, EffectSize::Large),
+        };
+        site = site.with_cookie(c);
+    }
+    if rng.gen::<f64>() < 0.5 {
+        site = site.with_cookie(CookieSpec::session("sid"));
+    }
+    site
+}
+
+/// Builds a large spec-only population with the lifetime distribution of
+/// the authors' measurement study (used by experiment E5).
+pub fn measurement_population(seed: u64, n: usize) -> Vec<SiteSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let category = Category::ALL[i % Category::ALL.len()];
+            let mut site = SiteSpec::new(
+                format!("{}-m{}.example", category.slug(), i),
+                category,
+                seed.wrapping_add(i as u64),
+            );
+            let persistent = 1 + (rng.gen::<u64>() % 5) as usize;
+            for k in 0..persistent {
+                let mut c = CookieSpec::tracker(format!("c{k}"));
+                c.lifetime = Some(lifetime_sample(&mut rng));
+                if k == 0 && rng.gen::<f64>() < 0.08 {
+                    c.role = CookieRole::Preference;
+                }
+                site = site.with_cookie(c);
+            }
+            if rng.gen::<f64>() < 0.5 {
+                site = site.with_cookie(CookieSpec::session("sid"));
+            }
+            site
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_match_paper() {
+        let sites = table1_population(1);
+        assert_eq!(sites.len(), 30);
+        let total: usize = sites.iter().map(|s| s.persistent_count()).sum();
+        assert_eq!(total, 103, "Table 1 reports 103 persistent cookies");
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.persistent_count(), TABLE1_COOKIE_COUNTS[i], "site S{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn table1_ground_truth_matches_paper() {
+        let sites = table1_population(1);
+        let real_useful: usize = sites.iter().map(|s| s.useful_cookie_names().len()).sum();
+        assert_eq!(real_useful, 3, "Table 1 reports 3 really-useful cookies");
+        assert_eq!(sites[5].useful_cookie_names().len(), 2, "S6");
+        assert_eq!(sites[15].useful_cookie_names().len(), 1, "S16");
+    }
+
+    #[test]
+    fn table1_two_sites_per_category() {
+        let sites = table1_population(1);
+        for cat in Category::ALL {
+            assert_eq!(sites.iter().filter(|s| s.category == cat).count(), 2);
+        }
+    }
+
+    #[test]
+    fn table1_bursty_and_slow_flags() {
+        let sites = table1_population(1);
+        for i in TABLE1_BURSTY_SITES {
+            assert!(sites[i].noise.structural_burst_prob > 0.0);
+        }
+        for i in TABLE1_SLOW_SITES {
+            assert_eq!(sites[i].latency, LatencyProfile::Slow);
+        }
+        assert_eq!(sites[4].noise.structural_burst_prob, 0.0);
+    }
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let sites = table2_population(1);
+        assert_eq!(sites.len(), 6);
+        let marked_candidates: Vec<usize> = sites.iter().map(|s| s.persistent_count()).collect();
+        assert_eq!(marked_candidates, vec![1, 1, 1, 1, 9, 5]);
+        let real: Vec<usize> = sites.iter().map(|s| s.useful_cookie_names().len()).collect();
+        assert_eq!(real, vec![1, 1, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn table2_domains_unique() {
+        let sites = table2_population(1);
+        let mut domains: Vec<&str> = sites.iter().map(|s| s.domain.as_str()).collect();
+        domains.sort_unstable();
+        domains.dedup();
+        assert_eq!(domains.len(), 6);
+    }
+
+    #[test]
+    fn measurement_population_lifetime_distribution() {
+        let sites = measurement_population(7, 5_000);
+        assert_eq!(sites.len(), 5_000);
+        let year = SimDuration::from_days(365);
+        let (mut total, mut long) = (0usize, 0usize);
+        for s in &sites {
+            for c in &s.cookies {
+                if let Some(lt) = c.lifetime {
+                    total += 1;
+                    if lt >= year {
+                        long += 1;
+                    }
+                }
+            }
+        }
+        let frac = long as f64 / total as f64;
+        assert!(frac > 0.60, "paper: >60% live ≥ 1 year; got {frac:.3}");
+        assert!(frac < 0.75, "distribution should not be degenerate; got {frac:.3}");
+    }
+
+    #[test]
+    fn random_sites_deterministic_and_bounded() {
+        for i in 0..20 {
+            let a = random_site(9, i);
+            let b = random_site(9, i);
+            assert_eq!(a, b, "random_site must be deterministic");
+            assert!(a.persistent_count() >= 1 && a.persistent_count() <= 5);
+            assert!(a.useful_cookie_names().len() <= 1);
+            assert_eq!(a.noise.structural_burst_prob, 0.0, "fuzz sites are burst-free");
+        }
+        assert_ne!(random_site(9, 0), random_site(9, 1));
+    }
+
+    #[test]
+    fn populations_are_deterministic() {
+        assert_eq!(table1_population(3), table1_population(3));
+        assert_eq!(table2_population(3), table2_population(3));
+        assert_eq!(measurement_population(3, 100), measurement_population(3, 100));
+    }
+}

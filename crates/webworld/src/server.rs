@@ -1,0 +1,263 @@
+//! [`SiteServer`] — a [`Server`] implementation that serves a
+//! [`SiteSpec`]'s pages and sets its cookies.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cp_cookies::date::format_http_date;
+use cp_cookies::{parse_cookie_header, SimTime};
+use cp_net::{LatencyModel, Request, Response, Server, StatusCode};
+
+use crate::render::{render_page, RenderInput};
+use crate::spec::{LatencyProfile, SiteSpec};
+
+/// Serves one synthetic website.
+///
+/// * Container pages render via [`render_page`] with the request's cookies.
+/// * `/static/*` serves stylesheet/script/image stand-ins (no cookies set),
+///   so the browser's object-fetch pipeline has something to download.
+/// * Every container response re-issues the site's cookies whose `Path`
+///   scope covers the request path, exactly like a 2007 CGI app.
+///
+/// Noise is drawn from an internal seeded RNG: a fixed spec seed reproduces
+/// the same noise sequence across runs.
+pub struct SiteServer {
+    spec: SiteSpec,
+    noise: Mutex<StdRng>,
+    evade_hidden_requests: bool,
+}
+
+impl SiteServer {
+    /// Creates a server for `spec`.
+    pub fn new(spec: SiteSpec) -> Self {
+        let seed = spec.seed ^ 0xa5a5_5a5a_dead_beef;
+        SiteServer { spec, noise: Mutex::new(StdRng::seed_from_u64(seed)), evade_hidden_requests: false }
+    }
+
+    /// Enables the §5.3 evasion: the operator detects CookiePicker's hidden
+    /// request (via its marker header) and serves the *cookie-enabled* page
+    /// variant anyway, so no difference is ever observable.
+    pub fn with_hidden_request_evasion(mut self) -> Self {
+        self.evade_hidden_requests = true;
+        self
+    }
+
+    /// The site specification served.
+    pub fn spec(&self) -> &SiteSpec {
+        &self.spec
+    }
+
+    /// The latency model matching the spec's profile.
+    pub fn latency_model(&self) -> LatencyModel {
+        match self.spec.latency {
+            LatencyProfile::Normal => LatencyModel::default(),
+            LatencyProfile::Slow => LatencyModel::slow_site(),
+            LatencyProfile::Fast => LatencyModel::fast(),
+        }
+    }
+
+    fn serve_static(&self, req: &Request, path: &str) -> Response {
+        // Static assets are immutable: they carry a strong ETag and honour
+        // If-None-Match with 304, like any 2007 Apache.
+        let etag = format!("\"{:016x}\"", self.spec.seed ^ path.len() as u64 ^ fnv(path));
+        if req.headers.get("if-none-match") == Some(etag.as_str()) {
+            let mut r = Response::new(StatusCode::NOT_MODIFIED);
+            r.headers.set("ETag", etag);
+            return r;
+        }
+        let body = match path.rsplit('.').next() {
+            Some("css") => "body { font-family: serif; } .ad { color: gray; }".repeat(8),
+            Some("js") => "function init() { return 42; }\n".repeat(10),
+            _ => "BINARYIMAGEDATA".repeat(64),
+        };
+        let mut r = Response::new(StatusCode::OK);
+        r.headers.set("Content-Type", "application/octet-stream");
+        r.headers.set("ETag", etag);
+        r.body = body.into();
+        r
+    }
+
+    fn set_cookie_headers(&self, resp: &mut Response, path: &str, now: SimTime) {
+        for c in &self.spec.cookies {
+            if !c.scope.matches(path) {
+                continue;
+            }
+            let value = format!("{}{:08x}", &c.name[..1.min(c.name.len())], self.spec.seed ^ c.name.len() as u64);
+            let mut header = format!("{}={}; Path={}", c.name, value, c.scope.cookie_path());
+            if let Some(lifetime) = c.lifetime {
+                header.push_str(&format!("; Expires={}", format_http_date(now + lifetime)));
+            }
+            resp.add_set_cookie(header);
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Server for SiteServer {
+    fn handle(&self, req: &Request, now: SimTime) -> Response {
+        let path = req.url.path();
+        if path.starts_with("/static/") {
+            return self.serve_static(req, path);
+        }
+        if self.spec.entry_redirect && path == "/" {
+            // A temporary "replacement page" in front of the real container.
+            return Response::redirect("/home");
+        }
+        let mut cookies = req
+            .cookie_header()
+            .map(parse_cookie_header)
+            .unwrap_or_default();
+
+        // §5.3 evasion: a colluding operator that recognizes the hidden
+        // request pretends all of its cookies were present.
+        if self.evade_hidden_requests && req.headers.contains("x-requested-with") {
+            for c in &self.spec.cookies {
+                if c.scope.matches(path) && !cookies.iter().any(|(n, _)| n == &c.name) {
+                    cookies.push((c.name.clone(), "evaded".to_string()));
+                }
+            }
+        }
+
+        let input = RenderInput { spec: &self.spec, path, cookies: &cookies, now };
+        let html = render_page(&input, &mut *self.noise.lock());
+        let mut resp = Response::html(StatusCode::OK, html);
+        self.set_cookie_headers(&mut resp, path, now);
+        resp
+    }
+}
+
+impl std::fmt::Debug for SiteServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiteServer").field("domain", &self.spec.domain).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::Category;
+    use crate::spec::{CookieRole, CookieSpec, EffectSize};
+    use cp_net::{Method, Url};
+
+    fn server() -> SiteServer {
+        SiteServer::new(
+            SiteSpec::new("t.example", Category::News, 5)
+                .with_cookie(CookieSpec::tracker("trk"))
+                .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium))
+                .with_cookie(CookieSpec::useful("auth", CookieRole::SignUp, EffectSize::Large).scoped("/account")),
+        )
+    }
+
+    fn get(url: &str) -> Request {
+        Request::new(Method::Get, Url::parse(url).unwrap())
+    }
+
+    #[test]
+    fn container_page_sets_matching_cookies() {
+        let s = server();
+        let resp = s.handle(&get("http://t.example/"), SimTime::EPOCH);
+        let cookies = resp.set_cookies();
+        // trk and pref are root-scoped; auth only under /account.
+        assert_eq!(cookies.len(), 2);
+        assert!(cookies.iter().any(|c| c.starts_with("trk=")));
+        assert!(cookies.iter().any(|c| c.starts_with("pref=")));
+        let resp = s.handle(&get("http://t.example/account/home"), SimTime::EPOCH);
+        assert_eq!(resp.set_cookies().len(), 3);
+        assert!(resp.set_cookies().iter().any(|c| c.starts_with("auth=") && c.contains("Path=/account")));
+    }
+
+    #[test]
+    fn persistent_cookies_have_expires() {
+        let s = server();
+        let resp = s.handle(&get("http://t.example/"), SimTime::EPOCH);
+        for c in resp.set_cookies() {
+            assert!(c.contains("Expires="), "tracker/pref are persistent: {c}");
+        }
+    }
+
+    #[test]
+    fn static_assets_serve_without_cookies() {
+        let s = server();
+        let resp = s.handle(&get("http://t.example/static/site.css"), SimTime::EPOCH);
+        assert!(resp.status.is_success());
+        assert!(resp.set_cookies().is_empty());
+        assert!(!resp.body.is_empty());
+        assert!(resp.headers.contains("etag"));
+    }
+
+    #[test]
+    fn static_assets_honour_if_none_match() {
+        let s = server();
+        let first = s.handle(&get("http://t.example/static/app.js"), SimTime::EPOCH);
+        let etag = first.headers.get("etag").unwrap().to_string();
+        let mut revalidate = get("http://t.example/static/app.js");
+        revalidate.headers.set("If-None-Match", etag.clone());
+        let second = s.handle(&revalidate, SimTime::EPOCH);
+        assert_eq!(second.status, StatusCode::NOT_MODIFIED);
+        assert!(second.body.is_empty());
+        // A different etag still yields the full body.
+        let mut stale = get("http://t.example/static/app.js");
+        stale.headers.set("If-None-Match", "\"deadbeef\"");
+        assert!(s.handle(&stale, SimTime::EPOCH).status.is_success());
+    }
+
+    #[test]
+    fn cookie_in_request_changes_render() {
+        let s = server();
+        let mut with = get("http://t.example/page/1");
+        with.headers.set("Cookie", "pref=x");
+        let with_body = s.handle(&with, SimTime::EPOCH).body_string();
+        let without_body = s.handle(&get("http://t.example/page/1"), SimTime::EPOCH).body_string();
+        assert!(with_body.contains("id=\"sidebar\""));
+        assert!(!without_body.contains("id=\"sidebar\""));
+    }
+
+    #[test]
+    fn evasion_hides_cookie_effect_from_hidden_request() {
+        let s = SiteServer::new(
+            SiteSpec::new("e.example", Category::Shopping, 6)
+                .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium)),
+        )
+        .with_hidden_request_evasion();
+        let mut hidden = get("http://e.example/");
+        hidden.headers.set("X-Requested-With", "CookiePicker");
+        // No cookie attached, but the evading server renders as if present.
+        let body = s.handle(&hidden, SimTime::EPOCH).body_string();
+        assert!(body.contains("id=\"sidebar\""));
+    }
+
+    #[test]
+    fn entry_redirect_serves_302_then_container() {
+        let s = SiteServer::new(
+            SiteSpec::new("r.example", Category::News, 8)
+                .with_cookie(CookieSpec::tracker("t"))
+                .with_entry_redirect(),
+        );
+        let resp = s.handle(&get("http://r.example/"), SimTime::EPOCH);
+        assert!(resp.status.is_redirect());
+        assert_eq!(resp.headers.get("location"), Some("/home"));
+        let resp = s.handle(&get("http://r.example/home"), SimTime::EPOCH);
+        assert!(resp.status.is_success());
+        assert!(!resp.set_cookies().is_empty());
+    }
+
+    #[test]
+    fn cookie_values_are_stable() {
+        let s = server();
+        let a = s.handle(&get("http://t.example/"), SimTime::EPOCH);
+        let b = s.handle(&get("http://t.example/"), SimTime::from_secs(60));
+        let val = |resp: &Response| {
+            resp.set_cookies().iter().find(|c| c.starts_with("trk=")).unwrap().split(';').next().unwrap().to_string()
+        };
+        assert_eq!(val(&a), val(&b), "re-issued cookie value must be stable");
+    }
+}

@@ -1,0 +1,59 @@
+//! The §5.3 evasion scenario: a site operator who insists on long-term
+//! tracking detects CookiePicker's hidden request and serves it the
+//! cookie-enabled page variant, so no difference is ever observable — the
+//! tracker gets classified "useless" anyway (which only *blocks* it, so the
+//! operator gains nothing), but a *useful* cookie on an evading site would
+//! be missed, costing one recovery click.
+//!
+//! Run with: `cargo run --example evasion`
+
+use std::sync::Arc;
+
+use cookiepicker::browser::Browser;
+use cookiepicker::cookies::CookiePolicy;
+use cookiepicker::core::{CookiePicker, CookiePickerConfig};
+use cookiepicker::net::{SimNetwork, Url};
+use cookiepicker::webworld::{
+    Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec,
+};
+
+fn train(evading: bool) -> Result<(bool, usize), Box<dyn std::error::Error>> {
+    let spec = SiteSpec::new("evader.example", Category::Business, 55)
+        .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium));
+    let server = if evading {
+        SiteServer::new(spec).with_hidden_request_evasion()
+    } else {
+        SiteServer::new(spec)
+    };
+    let mut net = SimNetwork::new(6);
+    net.register("evader.example", server);
+
+    let mut browser = Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 13);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+    for i in 0..6 {
+        let url = Url::parse(&format!("http://evader.example/page/{i}"))?;
+        browser.visit_with(&url, &mut picker)?;
+        browser.think();
+    }
+    let marked = browser.jar.iter().any(|c| c.name == "pref" && c.useful());
+    Ok((marked, picker.records().len()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (marked, probes) = train(false)?;
+    println!("honest site:   pref marked useful = {marked} ({probes} probes)");
+
+    let (marked, probes) = train(true)?;
+    println!("evading site:  pref marked useful = {marked} ({probes} probes)");
+    println!();
+    println!("The evading operator recognizes the hidden request (it carries the");
+    println!("X-Requested-With header a Firefox-extension XHR adds) and renders the");
+    println!("cookie-enabled variant for it. Both page versions now match, so the");
+    println!("difference test stays silent and the preference cookie is missed —");
+    println!("the user fixes it with one backward-error-recovery click (§3.3).");
+    println!();
+    println!("The paper argues (§5.3) most operators will not bother: evading only");
+    println!("protects cookies that do nothing visible, i.e. trackers, and blocking");
+    println!("those costs the *user* nothing.");
+    Ok(())
+}

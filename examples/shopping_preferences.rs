@@ -1,0 +1,67 @@
+//! The paper's motivating scenario (§1): an online shop whose preference
+//! cookie personalizes the page, alongside trackers the user would rather
+//! not keep. Shows the full lifecycle: training, finalization, and browsing
+//! on with the `UsefulOnly` policy — preferences intact, trackers gone.
+//!
+//! Run with: `cargo run --example shopping_preferences`
+
+use std::sync::Arc;
+
+use cookiepicker::browser::Browser;
+use cookiepicker::cookies::CookiePolicy;
+use cookiepicker::core::{CookiePicker, CookiePickerConfig, TestGroupStrategy};
+use cookiepicker::net::{SimNetwork, Url};
+use cookiepicker::webworld::{
+    Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = SiteSpec::new("shop.example", Category::Shopping, 404)
+        .with_cookie(CookieSpec::useful("layout_pref", CookieRole::Preference, EffectSize::Large))
+        .with_cookie(CookieSpec::tracker("campaign_id"))
+        .with_cookie(CookieSpec::tracker("affiliate"))
+        .with_cookie(CookieSpec::session("basket"));
+    let mut net = SimNetwork::new(3);
+    net.register("shop.example", SiteServer::new(spec));
+    let net = Arc::new(net);
+
+    let mut browser = Browser::new(Arc::clone(&net), CookiePolicy::AcceptAll, 11);
+    // Per-cookie testing avoids piggyback marks on the trackers.
+    let mut picker = CookiePicker::new(
+        CookiePickerConfig::default().with_strategy(TestGroupStrategy::PerCookie),
+    );
+
+    println!("== training phase ==");
+    for i in 0..10 {
+        let url = Url::parse(&format!("http://shop.example/page/{}", i % 5))?;
+        let view = browser.visit_with(&url, &mut picker)?;
+        let personalized = view.html().contains("personalized");
+        println!("  view {:2}: personalized layout: {personalized}", i + 1);
+        browser.think();
+    }
+
+    let now = browser.now();
+    println!("\n== verdicts ==");
+    for c in browser.jar.cookies_for_site("shop.example", now) {
+        if c.is_persistent() {
+            println!("  {:12} → {}", c.name, if c.useful() { "USEFUL (kept)" } else { "useless (will be removed)" });
+        }
+    }
+
+    let removed = picker.finalize_site("shop.example", &mut browser.jar);
+    println!("\nremoved from jar: {removed:?}");
+
+    // Browse on under the CookiePicker policy: only useful persistent
+    // cookies are sent. The personalization must survive.
+    browser.set_policy(CookiePolicy::UsefulOnly);
+    println!("\n== browsing with UsefulOnly policy ==");
+    let view = browser
+        .visit(&Url::parse("http://shop.example/page/1")?)
+        ?;
+    let sent = view.container_request.cookie_header().unwrap_or("(none)").to_string();
+    println!("  cookie header sent: {sent}");
+    println!("  page still personalized: {}", view.html().contains("personalized"));
+    assert!(view.html().contains("personalized"), "preference must survive the cleanup");
+    assert!(!sent.contains("campaign_id"), "tracker must not be sent");
+    Ok(())
+}

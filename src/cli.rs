@@ -1,0 +1,389 @@
+//! The `cookiepicker` command-line interface.
+//!
+//! Subcommands:
+//!
+//! * `classify <regular.html> <hidden.html>` — run the paper's decision
+//!   algorithm on two page versions read from disk, optionally explaining
+//!   which structure/text drove the verdict;
+//! * `simulate` — train CookiePicker over a seeded synthetic population and
+//!   print a privacy audit;
+//! * `jar <jar.json>` — inspect a persisted cookie jar.
+//!
+//! Argument parsing is hand-rolled (no external dependency) and returns a
+//! typed [`Command`], so it is unit-testable.
+
+use std::fmt;
+
+use cookiepicker_core::{decide, explain, CookiePickerConfig};
+use cp_cookies::{CookieJar, SimTime};
+use cp_html::parse_document;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Compare two HTML files with the decision algorithm.
+    Classify {
+        /// Path to the regular (cookies-enabled) version.
+        regular: String,
+        /// Path to the hidden (cookies-disabled) version.
+        hidden: String,
+        /// Thresholds/level overrides.
+        config: CookiePickerConfig,
+        /// Whether to print the structural/text diff report.
+        explain: bool,
+    },
+    /// Run a seeded population simulation and print the audit.
+    Simulate {
+        /// Population seed.
+        seed: u64,
+        /// Number of sites (capped at the Table-1 population size).
+        sites: usize,
+    },
+    /// Inspect a persisted jar file.
+    Jar {
+        /// Path to the JSON jar.
+        path: String,
+        /// Restrict output to one site.
+        site: Option<String>,
+        /// Print the privacy audit instead of the cookie list.
+        summary: bool,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Error produced by [`parse_args`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parses command-line arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a usage hint on unknown subcommands, missing
+/// operands, or malformed flag values.
+pub fn parse_args<I, S>(args: I) -> Result<Command, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args: Vec<String> = args.into_iter().map(Into::into).collect();
+    let Some(sub) = args.first() else { return Ok(Command::Help) };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "classify" => {
+            let mut config = CookiePickerConfig::default();
+            let mut explain = false;
+            let mut files = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--explain" => explain = true,
+                    "--thresh1" => config.thresh1 = flag_value(&mut it, "--thresh1")?,
+                    "--thresh2" => config.thresh2 = flag_value(&mut it, "--thresh2")?,
+                    "--level" => config.max_level = flag_value(&mut it, "--level")?,
+                    other if other.starts_with("--") => {
+                        return Err(err(format!("unknown flag {other}")))
+                    }
+                    file => files.push(file.to_string()),
+                }
+            }
+            if files.len() != 2 {
+                return Err(err("classify needs exactly two HTML files"));
+            }
+            Ok(Command::Classify {
+                regular: files.remove(0),
+                hidden: files.remove(0),
+                config,
+                explain,
+            })
+        }
+        "simulate" => {
+            let mut seed = 1u64;
+            let mut sites = 30usize;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--seed" => seed = flag_value(&mut it, "--seed")?,
+                    "--sites" => sites = flag_value(&mut it, "--sites")?,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Simulate { seed, sites })
+        }
+        "jar" => {
+            let mut path = None;
+            let mut site = None;
+            let mut summary = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--site" => site = Some(flag_value::<String>(&mut it, "--site")?),
+                    "--summary" => summary = true,
+                    other if other.starts_with("--") => {
+                        return Err(err(format!("unknown flag {other}")))
+                    }
+                    file => path = Some(file.to_string()),
+                }
+            }
+            let path = path.ok_or_else(|| err("jar needs a file path"))?;
+            Ok(Command::Jar { path, site, summary })
+        }
+        other => Err(err(format!("unknown subcommand {other:?}; try `cookiepicker help`"))),
+    }
+}
+
+fn flag_value<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, CliError> {
+    let v = it.next().ok_or_else(|| err(format!("{flag} needs a value")))?;
+    v.parse().map_err(|_| err(format!("invalid value {v:?} for {flag}")))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+cookiepicker — automatic cookie usage setting (DSN 2007 reproduction)
+
+USAGE:
+    cookiepicker classify <regular.html> <hidden.html> [--thresh1 F] [--thresh2 F] [--level N] [--explain]
+    cookiepicker simulate [--seed N] [--sites N]
+    cookiepicker jar <jar.json> [--site HOST] [--summary]
+    cookiepicker help
+";
+
+/// Executes a parsed command, writing human output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for I/O problems or malformed inputs.
+pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            write!(out, "{USAGE}").map_err(|e| err(e.to_string()))?;
+        }
+        Command::Classify { regular, hidden, config, explain: want_explain } => {
+            let read = |p: &str| {
+                std::fs::read_to_string(p).map_err(|e| err(format!("cannot read {p}: {e}")))
+            };
+            let reg_doc = parse_document(&read(&regular)?);
+            let hid_doc = parse_document(&read(&hidden)?);
+            let d = decide(&reg_doc, &hid_doc, &config);
+            writeln!(out, "NTreeSim(A,B,{}) = {:.4}", config.max_level, d.tree_sim)
+                .map_err(|e| err(e.to_string()))?;
+            writeln!(out, "NTextSim(S1,S2) = {:.4}", d.text_sim).map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "verdict: {}",
+                if d.cookies_caused_difference {
+                    "difference caused by cookies (USEFUL)"
+                } else {
+                    "difference is page-dynamics noise (useless)"
+                }
+            )
+            .map_err(|e| err(e.to_string()))?;
+            if want_explain {
+                let report = explain(&reg_doc, &hid_doc, &config);
+                writeln!(out, "\nunmatched structure in regular version:")
+                    .map_err(|e| err(e.to_string()))?;
+                for p in &report.unmatched_regular {
+                    writeln!(out, "  - {p}").map_err(|e| err(e.to_string()))?;
+                }
+                writeln!(out, "unmatched structure in hidden version:")
+                    .map_err(|e| err(e.to_string()))?;
+                for p in &report.unmatched_hidden {
+                    writeln!(out, "  - {p}").map_err(|e| err(e.to_string()))?;
+                }
+                writeln!(out, "text contexts only in regular: {:?}", report.contexts_only_regular)
+                    .map_err(|e| err(e.to_string()))?;
+                writeln!(out, "text contexts only in hidden: {:?}", report.contexts_only_hidden)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+        }
+        Command::Simulate { seed, sites } => {
+            let population: Vec<_> =
+                cp_webworld::table1_population(seed).into_iter().take(sites).collect();
+            writeln!(out, "training CookiePicker on {} synthetic sites (seed {seed})...", population.len())
+                .map_err(|e| err(e.to_string()))?;
+            let mut total = 0usize;
+            let mut kept = 0usize;
+            for spec in &population {
+                let r = crate::simulate_site(spec, seed);
+                writeln!(
+                    out,
+                    "  {:24} {:2} persistent -> keep {:2}, remove {:2}",
+                    spec.domain,
+                    r.persistent,
+                    r.marked_useful,
+                    r.persistent - r.marked_useful
+                )
+                .map_err(|e| err(e.to_string()))?;
+                total += r.persistent;
+                kept += r.marked_useful;
+            }
+            writeln!(out, "audit: {total} persistent cookies, {kept} kept, {} removable", total - kept)
+                .map_err(|e| err(e.to_string()))?;
+        }
+        Command::Jar { path, site, summary } => {
+            let json =
+                std::fs::read_to_string(&path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            let jar = CookieJar::from_json(&json).map_err(|e| err(format!("invalid jar: {e}")))?;
+            let now = SimTime::EPOCH;
+            if summary {
+                let audit = cp_cookies::audit_jar(&jar, now);
+                writeln!(out, "cookies: {} total, {} session, {} persistent", audit.total, audit.session, audit.persistent)
+                    .map_err(|e| err(e.to_string()))?;
+                writeln!(out, "useful: {}, removable tracking surface: {}", audit.useful, audit.removable)
+                    .map_err(|e| err(e.to_string()))?;
+                writeln!(out, "living >= 1 year: {} ({:.1}%)", audit.year_plus, 100.0 * audit.year_plus_share())
+                    .map_err(|e| err(e.to_string()))?;
+                for (label, count) in &audit.lifetime_histogram {
+                    writeln!(out, "  {label:12} {count}").map_err(|e| err(e.to_string()))?;
+                }
+                return Ok(());
+            }
+            for c in jar.iter() {
+                if let Some(s) = &site {
+                    if !c.domain_matches(s) {
+                        continue;
+                    }
+                }
+                writeln!(
+                    out,
+                    "{:30} {:12} persistent={} useful={} expired={}",
+                    c.domain,
+                    c.name,
+                    c.is_persistent(),
+                    c.useful(),
+                    c.is_expired(now)
+                )
+                .map_err(|e| err(e.to_string()))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_help_variants() {
+        assert_eq!(parse_args(Vec::<String>::new()).unwrap(), Command::Help);
+        assert_eq!(parse_args(["help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_classify() {
+        let cmd = parse_args(["classify", "a.html", "b.html", "--explain", "--thresh1", "0.7", "--level", "3"])
+            .unwrap();
+        let Command::Classify { regular, hidden, config, explain } = cmd else { panic!() };
+        assert_eq!(regular, "a.html");
+        assert_eq!(hidden, "b.html");
+        assert!(explain);
+        assert_eq!(config.thresh1, 0.7);
+        assert_eq!(config.max_level, 3);
+        assert_eq!(config.thresh2, 0.85, "unset flags keep defaults");
+    }
+
+    #[test]
+    fn parse_classify_errors() {
+        assert!(parse_args(["classify", "only-one.html"]).is_err());
+        assert!(parse_args(["classify", "a", "b", "--thresh1"]).is_err());
+        assert!(parse_args(["classify", "a", "b", "--thresh1", "NaNope"]).is_err());
+        assert!(parse_args(["classify", "a", "b", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn parse_simulate_and_jar() {
+        assert_eq!(
+            parse_args(["simulate", "--seed", "9", "--sites", "5"]).unwrap(),
+            Command::Simulate { seed: 9, sites: 5 }
+        );
+        assert_eq!(
+            parse_args(["jar", "cookies.json", "--site", "a.example"]).unwrap(),
+            Command::Jar { path: "cookies.json".into(), site: Some("a.example".into()), summary: false }
+        );
+        assert!(matches!(
+            parse_args(["jar", "cookies.json", "--summary"]).unwrap(),
+            Command::Jar { summary: true, .. }
+        ));
+        assert!(parse_args(["jar"]).is_err());
+        assert!(parse_args(["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn classify_runs_on_files() {
+        let dir = std::env::temp_dir().join(format!("cp-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.html");
+        let b = dir.join("b.html");
+        std::fs::write(&a, "<body><div id=s><ul><li>one</li><li>two</li></ul></div><p>base</p></body>").unwrap();
+        std::fs::write(&b, "<body><p>base</p></body>").unwrap();
+        let cmd = parse_args([
+            "classify",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--explain",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("NTreeSim"));
+        assert!(text.contains("USEFUL"), "{text}");
+        assert!(text.contains("unmatched structure"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn classify_identical_files_is_noise() {
+        let dir = std::env::temp_dir().join(format!("cp-cli-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("same.html");
+        std::fs::write(&a, "<body><p>hello</p></body>").unwrap();
+        let cmd =
+            parse_args(["classify", a.to_str().unwrap(), a.to_str().unwrap()]).unwrap();
+        let mut out = Vec::new();
+        run(cmd, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("noise"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jar_subcommand_reads_persisted_jar() {
+        use cp_cookies::Cookie;
+        let dir = std::env::temp_dir().join(format!("cp-cli-test3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut jar = CookieJar::new();
+        jar.store(Cookie::new("k", "v", "x.example", SimTime::EPOCH), SimTime::EPOCH);
+        let path = dir.join("jar.json");
+        std::fs::write(&path, jar.to_json()).unwrap();
+        let cmd = parse_args(["jar", path.to_str().unwrap()]).unwrap();
+        let mut out = Vec::new();
+        run(cmd, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("x.example"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_cli_error() {
+        let cmd = parse_args(["classify", "/nonexistent/a", "/nonexistent/b"]).unwrap();
+        let mut out = Vec::new();
+        assert!(run(cmd, &mut out).is_err());
+    }
+}

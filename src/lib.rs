@@ -1,0 +1,50 @@
+//! # CookiePicker
+//!
+//! Facade crate for the CookiePicker reproduction (DSN 2007). Re-exports the
+//! public API of every workspace crate. See the README for an overview and
+//! `examples/` for runnable scenarios.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use cookiepicker_core as core;
+pub use cp_browser as browser;
+pub use cp_cookies as cookies;
+pub use cp_doppelganger as doppelganger;
+pub use cp_html as html;
+pub use cp_net as net;
+pub use cp_treediff as treediff;
+pub use cp_webworld as webworld;
+
+/// Summary of one simulated training run (used by the CLI's `simulate`).
+#[derive(Debug, Clone)]
+pub struct SimulatedSite {
+    /// Persistent cookies the site ended up with.
+    pub persistent: usize,
+    /// Cookies CookiePicker marked useful.
+    pub marked_useful: usize,
+}
+
+/// Trains CookiePicker on one site spec and summarizes the outcome — a
+/// dependency-light sibling of `cp_bench::run_site_training` for the CLI.
+pub fn simulate_site(spec: &cp_webworld::SiteSpec, seed: u64) -> SimulatedSite {
+    use std::sync::Arc;
+    let server = cp_webworld::SiteServer::new(spec.clone());
+    let latency = server.latency_model();
+    let mut net = cp_net::SimNetwork::new(seed ^ spec.seed);
+    net.register_with_latency(spec.domain.clone(), server, latency);
+    let mut browser =
+        cp_browser::Browser::new(Arc::new(net), cp_cookies::CookiePolicy::AcceptAll, seed);
+    let mut picker =
+        cookiepicker_core::CookiePicker::new(cookiepicker_core::CookiePickerConfig::default());
+    let paths = spec.page_paths();
+    for i in 0..paths.len() * 2 + 4 {
+        let url = cp_net::Url::parse(&format!("http://{}{}", spec.domain, paths[i % paths.len()]))
+            .expect("valid url");
+        browser.visit_with(&url, &mut picker).expect("visit");
+        browser.think();
+    }
+    let (persistent, marked_useful) = browser.jar.site_stats(&spec.domain, browser.now());
+    SimulatedSite { persistent, marked_useful }
+}

@@ -1,0 +1,56 @@
+//! Fuzz-style integration: CookiePicker invariants over randomly generated
+//! sites (burst-free, clearly-visible effects).
+//!
+//! * A useful cookie with a Medium/Large effect is never missed under the
+//!   paper's grouping (the zero-recovery property of §5.2).
+//! * A burst-free site with only trackers never gets a mark (the
+//!   false-positive-free property of the 25 clean Table-1 sites).
+
+use cp_bench::{run_site_training, TrainingOptions};
+use cookiepicker::webworld::random_site;
+
+#[test]
+fn random_sites_uphold_detector_invariants() {
+    for i in 0..16usize {
+        let spec = random_site(42, i);
+        let r = run_site_training(&spec, &TrainingOptions::default());
+
+        // Invariant 1: never miss a (clearly visible) useful cookie.
+        assert!(
+            !r.missed_useful(),
+            "site {} ({:?} layout) missed {:?}; marked {:?}",
+            spec.domain,
+            spec.layout,
+            spec.useful_cookie_names(),
+            r.marked_names
+        );
+
+        // Invariant 2: tracker-only burst-free sites stay clean.
+        if spec.useful_cookie_names().is_empty() {
+            assert_eq!(
+                r.marked_useful, 0,
+                "site {} marked trackers {:?} despite having no useful cookie",
+                spec.domain, r.marked_names
+            );
+        }
+
+        // Sanity: the jar saw every persistent cookie the spec defines
+        // (all scopes are visited by page_paths).
+        assert_eq!(r.persistent, spec.persistent_count(), "site {}", spec.domain);
+    }
+}
+
+#[test]
+fn random_sites_across_seeds() {
+    for seed in [7u64, 99, 12345] {
+        for i in 0..5usize {
+            let spec = random_site(seed, i);
+            let opts = TrainingOptions { seed, ..TrainingOptions::default() };
+            let r = run_site_training(&spec, &opts);
+            assert!(!r.missed_useful(), "seed {seed} site {}", spec.domain);
+            if spec.useful_cookie_names().is_empty() {
+                assert_eq!(r.marked_useful, 0, "seed {seed} site {}", spec.domain);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Longer-horizon integration scenarios: organic surfing, browser
+//! restarts with a persisted jar, path-scoped grouping, and noise-burst
+//! false positives.
+
+use std::sync::Arc;
+
+use cookiepicker::browser::{Browser, RandomSurfer};
+use cookiepicker::cookies::{CookieJar, CookiePolicy};
+use cookiepicker::core::{CookiePicker, CookiePickerConfig, TestGroupStrategy};
+use cookiepicker::net::{SimNetwork, Url};
+use cookiepicker::webworld::{
+    table1_population, Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec,
+};
+
+fn network_for(spec: SiteSpec, seed: u64) -> (Arc<SimNetwork>, Url) {
+    let domain = spec.domain.clone();
+    let mut net = SimNetwork::new(seed);
+    net.register(domain.clone(), SiteServer::new(spec));
+    (Arc::new(net), Url::parse(&format!("http://{domain}/")).unwrap())
+}
+
+#[test]
+fn organic_surfing_trains_cookiepicker() {
+    // FORCUM training driven by a random surfer following real page links,
+    // rather than a scripted path list.
+    let spec = SiteSpec::new("organic.example", Category::Recreation, 301)
+        .with_cookie(CookieSpec::tracker("trk"))
+        .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium));
+    let (net, entry) = network_for(spec, 31);
+    let mut browser = Browser::new(net, CookiePolicy::AcceptAll, 32);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+    let mut surfer = RandomSurfer::new(33);
+
+    let visited = surfer.surf(&mut browser, &entry, 15, &mut picker).unwrap();
+    assert_eq!(visited.len(), 15);
+    assert!(
+        browser.jar.iter().any(|c| c.name == "pref" && c.useful()),
+        "surfing must discover the useful preference cookie"
+    );
+}
+
+#[test]
+fn jar_persists_across_browser_restart() {
+    // Train, persist the jar (cookies.txt style), restart the browser with
+    // the restored jar: marks survive and training does not regress them.
+    let spec = SiteSpec::new("restart.example", Category::Business, 302)
+        .with_cookie(CookieSpec::tracker("trk"))
+        .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Large));
+    let (net, entry) = network_for(spec, 41);
+
+    let saved = {
+        let mut browser = Browser::new(Arc::clone(&net), CookiePolicy::AcceptAll, 42);
+        // Per-cookie probing keeps the tracker unmarked (no piggyback).
+        let mut picker = CookiePicker::new(
+            CookiePickerConfig::default().with_strategy(TestGroupStrategy::PerCookie),
+        );
+        for i in 0..8 {
+            browser.visit_with(&entry.join(&format!("/page/{i}")), &mut picker).unwrap();
+            browser.think();
+        }
+        assert!(browser.jar.iter().any(|c| c.name == "pref" && c.useful()));
+        browser.jar.to_json()
+    };
+
+    // "Restart": new browser process, jar loaded from disk.
+    let mut browser = Browser::new(net, CookiePolicy::UsefulOnly, 43);
+    browser.jar = CookieJar::from_json(&saved).unwrap();
+    let view = browser.visit(&entry).unwrap();
+    let header = view.container_request.cookie_header().unwrap_or("").to_string();
+    assert!(header.contains("pref="), "restored mark keeps the preference flowing: {header}");
+    assert!(!header.contains("trk="), "unmarked tracker stays blocked under UsefulOnly");
+    assert!(view.html().contains("personalized"));
+}
+
+#[test]
+fn s16_path_scoping_isolates_request_groups() {
+    // The S16 configuration: 25 persistent cookies, 24 path-scoped
+    // trackers, 1 useful preference cookie on its own section. The
+    // request-scoped group test must mark exactly one cookie.
+    let sites = table1_population(1);
+    let s16 = sites[15].clone();
+    assert_eq!(s16.persistent_count(), 25);
+    let (net, _) = network_for(s16.clone(), 51);
+    let mut browser = Browser::new(net, CookiePolicy::AcceptAll, 52);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+
+    for path in s16.page_paths().iter().cycle().take(s16.page_paths().len() * 2 + 4) {
+        let url = Url::parse(&format!("http://{}{path}", s16.domain)).unwrap();
+        browser.visit_with(&url, &mut picker).unwrap();
+        browser.think();
+    }
+    let marked: Vec<String> =
+        browser.jar.iter().filter(|c| c.useful()).map(|c| c.name.clone()).collect();
+    assert_eq!(marked, vec!["prefs_layout".to_string()], "only the scoped useful cookie");
+
+    // Every probe's group was small: path scoping kept trackers apart.
+    for r in picker.records() {
+        assert!(r.group.len() <= 2, "groups stay tiny under path scoping: {:?}", r.group);
+    }
+}
+
+#[test]
+fn bursty_site_produces_false_positive_marks() {
+    // The S1/S10/S27 mechanism end-to-end: enough page views on a bursty
+    // site mark its trackers even though they have no render effect.
+    let sites = table1_population(1);
+    let s1 = sites[0].clone();
+    assert!(s1.noise.structural_burst_prob > 0.0);
+    assert!(s1.useful_cookie_names().is_empty());
+    let (net, entry) = network_for(s1.clone(), 61);
+    let mut browser = Browser::new(net, CookiePolicy::AcceptAll, 62);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+    for i in 0..30 {
+        browser.visit_with(&entry.join(&format!("/page/{}", i % 8)), &mut picker).unwrap();
+        browser.think();
+    }
+    let marked = browser.jar.iter().filter(|c| c.useful()).count();
+    assert!(marked > 0, "bursty dynamics should eventually cause a false mark");
+}
+
+#[test]
+fn entry_redirect_training_still_works() {
+    // FORCUM step 1: the hidden request must target the real container
+    // (post-redirect), or every probe would compare a 302 stub against the
+    // rendered page.
+    let spec = SiteSpec::new("redirected.example", Category::Reference, 303)
+        .with_cookie(CookieSpec::tracker("trk"))
+        .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium))
+        .with_entry_redirect();
+    let (net, entry) = network_for(spec, 71);
+    let mut browser = Browser::new(net, CookiePolicy::AcceptAll, 72);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+
+    for _ in 0..6 {
+        let view = browser.visit_with(&entry, &mut picker).unwrap();
+        assert_eq!(view.url.path(), "/home", "browser followed the entry redirect");
+        assert_eq!(view.redirects, 1);
+        browser.think();
+    }
+    assert!(browser.jar.iter().any(|c| c.name == "pref" && c.useful()));
+    // The hidden requests targeted the real container, never "/".
+    for r in picker.records() {
+        assert_eq!(r.path, "/home");
+    }
+}
+
+#[test]
+fn multi_site_browsing_keeps_training_separate() {
+    let spec_a = SiteSpec::new("alpha.example", Category::Arts, 304)
+        .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium));
+    let spec_b = SiteSpec::new("beta.example", Category::Science, 305)
+        .with_cookie(CookieSpec::tracker("trk"));
+    let mut net = SimNetwork::new(81);
+    net.register("alpha.example", SiteServer::new(spec_a));
+    net.register("beta.example", SiteServer::new(spec_b));
+    let mut browser = Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 82);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+
+    for i in 0..6 {
+        for host in ["alpha.example", "beta.example"] {
+            let url = Url::parse(&format!("http://{host}/page/{i}")).unwrap();
+            browser.visit_with(&url, &mut picker).unwrap();
+            browser.think();
+        }
+    }
+    assert!(browser.jar.iter().any(|c| c.domain == "alpha.example" && c.useful()));
+    assert!(browser.jar.iter().all(|c| c.domain != "beta.example" || !c.useful()));
+    assert!(picker.forcum().site("alpha.example").is_some());
+    assert!(picker.forcum().site("beta.example").is_some());
+}

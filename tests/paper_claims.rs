@@ -1,0 +1,121 @@
+//! End-to-end regression tests pinning the paper's headline results
+//! (Tables 1 and 2 and the §2 measurement claim) on the default seeds.
+//!
+//! These are the claims EXPERIMENTS.md reports; if a refactor breaks the
+//! reproduction shape, these tests fail first.
+
+use cookiepicker::webworld::{
+    measurement_population, table1_population, table2_population,
+};
+use cp_bench::{run_site_training, TrainingOptions};
+
+#[test]
+fn table1_headline_numbers() {
+    let sites = table1_population(1);
+    let results: Vec<_> =
+        sites.iter().map(|s| run_site_training(s, &TrainingOptions::default())).collect();
+
+    let persistent: usize = results.iter().map(|r| r.persistent).sum();
+    let marked: usize = results.iter().map(|r| r.marked_useful).sum();
+    let real: usize = results.iter().map(|r| r.real_useful).sum();
+    assert_eq!(persistent, 103, "Table 1 total persistent cookies");
+    assert_eq!(real, 3, "Table 1 real useful cookies");
+    assert_eq!(marked, 7, "Table 1 marked-useful cookies");
+
+    let fully_disabled = results.iter().filter(|r| r.marked_useful == 0).count();
+    assert_eq!(fully_disabled, 25, "25 of 30 sites fully disabled");
+
+    // The three false-useful sites are exactly the bursty-dynamics ones.
+    let false_sites: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.marked_useful > 0 && r.real_useful == 0)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(false_sites, vec![0, 9, 26], "S1, S10, S27");
+
+    // Error kind 2 must not occur: every real useful cookie is marked.
+    for (i, r) in results.iter().enumerate() {
+        assert!(!r.missed_useful(), "S{} missed a useful cookie", i + 1);
+    }
+
+    // The slow sites dominate the duration column.
+    let avg = |r: &cp_bench::SiteRunResult| r.avg_duration_ms();
+    let slow_avg = (avg(&results[3]) + avg(&results[16]) + avg(&results[27])) / 3.0;
+    let normal_avg: f64 = results
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| ![3usize, 16, 27].contains(i))
+        .map(|(_, r)| avg(r))
+        .sum::<f64>()
+        / 27.0;
+    assert!(
+        slow_avg > normal_avg * 3.0,
+        "slow sites must stand out: slow {slow_avg:.0} ms vs normal {normal_avg:.0} ms"
+    );
+
+    // Detection is over an order of magnitude below the ~10 s think time.
+    let det: f64 =
+        results.iter().map(|r| r.avg_detection_ms()).sum::<f64>() / results.len() as f64;
+    assert!(det < 1_000.0, "avg detection {det:.1} ms must stay far below think time");
+}
+
+#[test]
+fn table2_headline_numbers() {
+    let sites = table2_population(1);
+    let results: Vec<_> =
+        sites.iter().map(|s| run_site_training(s, &TrainingOptions::default())).collect();
+
+    let marked: Vec<usize> = results.iter().map(|r| r.marked_useful).collect();
+    let real: Vec<usize> = results.iter().map(|r| r.real_useful).collect();
+    assert_eq!(marked, vec![1, 1, 1, 1, 9, 5], "Table 2 marked column");
+    assert_eq!(real, vec![1, 1, 1, 1, 1, 2], "Table 2 real column");
+
+    for (i, r) in results.iter().enumerate() {
+        assert!(!r.missed_useful(), "P{} missed a useful cookie", i + 1);
+        // Similarity scores on the marking probes sit well below 0.85.
+        for rec in r.marking_records() {
+            assert!(rec.decision.tree_sim <= 0.85, "P{} tree {:.3}", i + 1, rec.decision.tree_sim);
+            assert!(rec.decision.text_sim <= 0.85, "P{} text {:.3}", i + 1, rec.decision.text_sim);
+        }
+        assert!(!r.marking_records().is_empty(), "P{} must have marking probes", i + 1);
+    }
+}
+
+#[test]
+fn measurement_claim_over_sixty_percent_year_plus() {
+    let sites = measurement_population(1, 5_000);
+    let year = 365u64 * 86_400_000;
+    let (mut total, mut long) = (0usize, 0usize);
+    for s in &sites {
+        for c in &s.cookies {
+            if let Some(lt) = c.lifetime {
+                total += 1;
+                long += usize::from(lt.as_millis() >= year);
+            }
+        }
+    }
+    let frac = long as f64 / total as f64;
+    assert!(frac > 0.60 && frac < 0.80, "measurement-study share: {frac:.3}");
+}
+
+#[test]
+fn table1_shape_holds_across_seeds() {
+    // The *shape* (not the exact FP count) must be seed-robust: no missed
+    // useful cookies, trackers-only sites stay clean, totals fixed.
+    for seed in [2u64, 3, 4] {
+        let sites = table1_population(seed);
+        let opts = TrainingOptions { seed, ..TrainingOptions::default() };
+        let results: Vec<_> = sites.iter().map(|s| run_site_training(s, &opts)).collect();
+        let persistent: usize = results.iter().map(|r| r.persistent).sum();
+        assert_eq!(persistent, 103, "seed {seed}");
+        for (i, r) in results.iter().enumerate() {
+            assert!(!r.missed_useful(), "seed {seed}: S{} missed useful", i + 1);
+            // Non-bursty tracker-only sites must never produce marks.
+            let bursty = [0usize, 9, 26].contains(&i);
+            if r.real_useful == 0 && !bursty {
+                assert_eq!(r.marked_useful, 0, "seed {seed}: S{} false positive", i + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Robustness: CookiePicker must survive hostile and broken servers —
+//! malformed HTML, empty bodies, server errors, invalid cookies — without
+//! panicking or inventing marks.
+
+use std::sync::Arc;
+
+use cookiepicker::browser::Browser;
+use cookiepicker::cookies::{CookiePolicy, SimTime};
+use cookiepicker::core::{CookiePicker, CookiePickerConfig};
+use cookiepicker::net::{Request, Response, Server, SimNetwork, StatusCode, Url};
+
+struct ScriptedServer {
+    pages: Vec<(&'static str, Response)>,
+}
+
+impl Server for ScriptedServer {
+    fn handle(&self, req: &Request, _now: SimTime) -> Response {
+        self.pages
+            .iter()
+            .find(|(p, _)| *p == req.url.path())
+            .map(|(_, r)| r.clone())
+            .unwrap_or_else(Response::not_found)
+    }
+}
+
+fn browser_with(pages: Vec<(&'static str, Response)>) -> Browser {
+    let mut net = SimNetwork::new(1);
+    net.register("hostile.example", ScriptedServer { pages });
+    Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 2)
+}
+
+fn train(browser: &mut Browser, picker: &mut CookiePicker, paths: &[&str], rounds: usize) {
+    for _ in 0..rounds {
+        for p in paths {
+            let url = Url::parse(&format!("http://hostile.example{p}")).unwrap();
+            browser.visit_with(&url, picker).unwrap();
+            browser.think();
+        }
+    }
+}
+
+fn cookie_response(body: &str) -> Response {
+    let mut r = Response::html(StatusCode::OK, body);
+    r.add_set_cookie("sticky=1; Expires=Tue, 01 Jan 2008 00:00:00 GMT");
+    r
+}
+
+#[test]
+fn malformed_html_never_panics() {
+    let soup = "<table><div><p>txt</table></p></div><b><i></b></i><<<>&&&<a href=";
+    let mut browser = browser_with(vec![("/", cookie_response(soup)), ("/x", cookie_response(soup))]);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+    train(&mut browser, &mut picker, &["/", "/x"], 3);
+    // Stable malformed pages: identical regular/hidden versions → no marks.
+    assert!(browser.jar.iter().all(|c| !c.useful()));
+}
+
+#[test]
+fn empty_body_pages_are_not_cookie_evidence() {
+    let mut browser =
+        browser_with(vec![("/", cookie_response("")), ("/x", cookie_response(""))]);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+    train(&mut browser, &mut picker, &["/", "/x"], 3);
+    // Empty vs empty: both detectors see "fully similar" → no marks.
+    assert!(browser.jar.iter().all(|c| !c.useful()));
+    assert!(!picker.records().is_empty());
+    for r in picker.records() {
+        assert_eq!(r.decision.tree_sim, 1.0);
+        assert_eq!(r.decision.text_sim, 1.0);
+    }
+}
+
+#[test]
+fn server_error_pages_handled() {
+    let mut err = Response::html(StatusCode::INTERNAL_SERVER_ERROR, "<h1>oops</h1>");
+    err.add_set_cookie("sticky=1; Expires=Tue, 01 Jan 2008 00:00:00 GMT");
+    let mut browser = browser_with(vec![("/", err.clone()), ("/x", err)]);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+    train(&mut browser, &mut picker, &["/", "/x"], 2);
+    assert!(browser.jar.iter().all(|c| !c.useful()));
+}
+
+#[test]
+fn invalid_set_cookie_headers_ignored() {
+    let mut r = Response::html(StatusCode::OK, "<p>page</p>");
+    r.add_set_cookie("=novalue");
+    r.add_set_cookie("no pair at all");
+    r.add_set_cookie("bad name=x");
+    r.add_set_cookie("good=1");
+    r.add_set_cookie("foreign=1; Domain=evil.net");
+    let mut browser = browser_with(vec![("/", r)]);
+    browser.visit(&Url::parse("http://hostile.example/").unwrap()).unwrap();
+    let names: Vec<&str> = browser.jar.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, ["good"], "only the valid, same-site cookie is stored");
+}
+
+#[test]
+fn redirect_loop_terminates() {
+    struct Loopy;
+    impl Server for Loopy {
+        fn handle(&self, req: &Request, _now: SimTime) -> Response {
+            // / → /a → /b → /a → ... forever.
+            match req.url.path() {
+                "/a" => Response::redirect("/b"),
+                _ => Response::redirect("/a"),
+            }
+        }
+    }
+    let mut net = SimNetwork::new(3);
+    net.register("loop.example", Loopy);
+    let mut browser = Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 4);
+    let view = browser.visit(&Url::parse("http://loop.example/").unwrap()).unwrap();
+    // The browser gives up after its redirect budget and uses the last
+    // response as the container.
+    assert!(view.redirects <= 5);
+    assert!(view.container_response.status.is_redirect());
+}
+
+#[test]
+fn flapping_server_content_is_noise_only_if_leaf_level() {
+    // A server that alternates its *whole layout* every request: this is
+    // indistinguishable from a cookie effect (the burst pathology), so a
+    // mark may happen — but nothing must panic and the mark must be of the
+    // documented kind.
+    struct Flapper;
+    impl Server for Flapper {
+        fn handle(&self, req: &Request, now: SimTime) -> Response {
+            let layout_a = now.as_millis() % 2 == 0;
+            let body = if layout_a {
+                "<body><div><ul><li>a</li><li>b</li></ul></div><table><tr><td>x</td></tr></table></body>"
+            } else {
+                "<body><form><p><input></p></form><ol><li>z</li></ol></body>"
+            };
+            let mut r = Response::html(StatusCode::OK, body);
+            if req.url.path() == "/" {
+                r.add_set_cookie("sticky=1; Expires=Tue, 01 Jan 2008 00:00:00 GMT");
+            }
+            r
+        }
+    }
+    let mut net = SimNetwork::new(5);
+    net.register("flap.example", Flapper);
+    let mut browser = Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 6);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+    for _ in 0..6 {
+        browser.visit_with(&Url::parse("http://flap.example/").unwrap(), &mut picker).unwrap();
+        browser.think();
+    }
+    // No panic; records exist; any mark is a (documented) false positive.
+    assert!(!picker.records().is_empty());
+}
+
+#[test]
+fn site_without_cookies_needs_no_probes() {
+    let mut browser = browser_with(vec![("/", Response::html(StatusCode::OK, "<p>clean</p>"))]);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+    for _ in 0..3 {
+        browser.visit_with(&Url::parse("http://hostile.example/").unwrap(), &mut picker).unwrap();
+        browser.think();
+    }
+    assert!(picker.records().is_empty(), "no cookies → no hidden requests");
+    assert_eq!(browser.network().stats().requests, 3);
+}
