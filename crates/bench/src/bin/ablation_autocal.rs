@@ -10,12 +10,11 @@
 //! Usage: `ablation_autocal [seed]`.
 
 use cookiepicker_core::{decide, fit_thresholds, CookiePickerConfig, SimSample};
-use cp_bench::{run_site_training, TextTable, TrainingOptions};
+use cp_bench::{run_sites_parallel, TextTable, TrainingOptions};
 use cp_cookies::SimTime;
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{table1_population, table2_population, SiteSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
 
 fn render(spec: &SiteSpec, path: &str, cookies: &[(String, String)], k: u64) -> cp_html::Document {
     let input = RenderInput { spec, path, cookies, now: SimTime::from_secs(k) };
@@ -95,20 +94,8 @@ fn main() {
             CookiePickerConfig::default().with_thresholds(fit.thresh1, fit.thresh2),
         ),
     ] {
-        let results: Vec<_> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = all_sites
-                .iter()
-                .map(|spec| {
-                    let config = config.clone();
-                    scope.spawn(move |_| {
-                        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
-                        run_site_training(spec, &opts)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("run")).collect::<Vec<_>>()
-        })
-        .expect("scope");
+        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
+        let results: Vec<_> = run_sites_parallel(&all_sites, &opts);
         let mut false_useful = 0usize;
         let mut missed = 0usize;
         for r in &results {

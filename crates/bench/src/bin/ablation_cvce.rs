@@ -18,8 +18,7 @@ use cp_cookies::SimTime;
 use cp_html::NodeId;
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{Category, CookieRole, CookieSpec, EffectSize, SiteSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
 
 fn extract(html: &str) -> cookiepicker_core::ContentSet {
     let doc = cp_html::parse_document(html);

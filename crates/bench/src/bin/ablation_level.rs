@@ -9,7 +9,7 @@
 //! Usage: `ablation_level [seed]`.
 
 use cookiepicker_core::CookiePickerConfig;
-use cp_bench::{run_site_training, TextTable, TrainingOptions};
+use cp_bench::{run_sites_parallel, TextTable, TrainingOptions};
 use cp_webworld::{table1_population, table2_population};
 
 fn main() {
@@ -27,20 +27,8 @@ fn main() {
     println!("== A2: RSTM level-bound sweep (seed {seed}) ==\n");
     for level in [1usize, 2, 3, 4, 5, 6, 8, 10, 12] {
         let config = CookiePickerConfig::default().with_max_level(level);
-        let results: Vec<_> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = all
-                .iter()
-                .map(|spec| {
-                    let config = config.clone();
-                    scope.spawn(move |_| {
-                        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
-                        run_site_training(spec, &opts)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("run")).collect::<Vec<_>>()
-        })
-        .expect("scope");
+        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
+        let results: Vec<_> = run_sites_parallel(&all, &opts);
 
         let mut false_useful = 0usize;
         let mut missed = 0usize;

@@ -11,7 +11,7 @@
 //! Usage: `ablation_strategy [seed]`.
 
 use cookiepicker_core::{CookiePickerConfig, TestGroupStrategy};
-use cp_bench::{run_site_training, TextTable, TrainingOptions};
+use cp_bench::{run_sites_parallel, TextTable, TrainingOptions};
 use cp_webworld::{table1_population, table2_population};
 
 fn main() {
@@ -35,20 +35,8 @@ fn main() {
         ("GroupBisect", TestGroupStrategy::GroupBisect),
     ] {
         let config = CookiePickerConfig::default().with_strategy(strategy);
-        let results: Vec<_> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = all
-                .iter()
-                .map(|spec| {
-                    let config = config.clone();
-                    scope.spawn(move |_| {
-                        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
-                        run_site_training(spec, &opts)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("run")).collect::<Vec<_>>()
-        })
-        .expect("scope");
+        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
+        let results: Vec<_> = run_sites_parallel(&all, &opts);
 
         let verbose = std::env::var_os("CP_VERBOSE").is_some();
         let (mut marked, mut real_marked, mut false_marked, mut missed, mut probes) =

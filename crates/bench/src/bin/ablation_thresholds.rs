@@ -15,7 +15,7 @@
 //! Usage: `ablation_thresholds [seed]`.
 
 use cookiepicker_core::CookiePickerConfig;
-use cp_bench::{run_site_training, TextTable, TrainingOptions};
+use cp_bench::{run_sites_parallel, TextTable, TrainingOptions};
 use cp_webworld::{table1_population, table2_population};
 
 fn main() {
@@ -34,20 +34,8 @@ fn main() {
     println!("== A1: threshold sweep (Thresh1 = Thresh2, seed {seed}) ==\n");
     for thresh in [0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95] {
         let config = CookiePickerConfig::default().with_thresholds(thresh, thresh);
-        let results: Vec<_> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = all
-                .iter()
-                .map(|spec| {
-                    let config = config.clone();
-                    scope.spawn(move |_| {
-                        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
-                        run_site_training(spec, &opts)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("run")).collect::<Vec<_>>()
-        })
-        .expect("scope");
+        let opts = TrainingOptions { seed, config, ..TrainingOptions::default() };
+        let results: Vec<_> = run_sites_parallel(&all, &opts);
 
         let mut false_useful = 0usize;
         let mut missed = 0usize;

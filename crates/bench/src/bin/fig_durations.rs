@@ -8,7 +8,7 @@
 //!
 //! Usage: `fig_durations [seed]`.
 
-use cp_bench::{run_site_training, TextTable, TrainingOptions};
+use cp_bench::{run_sites_parallel, TextTable, TrainingOptions};
 use cp_webworld::table1_population;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -23,19 +23,8 @@ fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
     let sites = table1_population(seed);
 
-    let results: Vec<_> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = sites
-            .iter()
-            .map(|spec| {
-                scope.spawn(move |_| {
-                    let opts = TrainingOptions { seed, ..TrainingOptions::default() };
-                    run_site_training(spec, &opts)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("run")).collect::<Vec<_>>()
-    })
-    .expect("scope");
+    let opts = TrainingOptions { seed, ..TrainingOptions::default() };
+    let results: Vec<_> = run_sites_parallel(&sites, &opts);
 
     let mut detection: Vec<f64> = Vec::new();
     let mut duration: Vec<f64> = Vec::new();

@@ -22,8 +22,7 @@ use cp_cookies::SimTime;
 use cp_treediff::{bottom_up_matching, rstm, selkow_distance, stm, tree_size, zhang_shasha_distance};
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{Category, CookieSpec, SiteSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
 
 /// Times `f` averaged over enough iterations to be measurable.
 fn time_us(f: impl Fn() -> usize) -> f64 {

@@ -13,7 +13,7 @@
 //!
 //! Usage: `table1 [seed]` (default seed 1).
 
-use cp_bench::{run_site_training, SiteRunResult, TextTable, TrainingOptions};
+use cp_bench::{run_sites_parallel, table1_rows_json, write_results_json, SiteRunResult, TextTable, TrainingOptions};
 use cp_webworld::table1_population;
 
 fn main() {
@@ -21,19 +21,8 @@ fn main() {
     let sites = table1_population(seed);
 
     // Sites are independent: run them on worker threads.
-    let results: Vec<SiteRunResult> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = sites
-            .iter()
-            .map(|spec| {
-                scope.spawn(move |_| {
-                    let opts = TrainingOptions { seed, ..TrainingOptions::default() };
-                    run_site_training(spec, &opts)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("site run panicked")).collect()
-    })
-    .expect("scope");
+    let opts = TrainingOptions { seed, ..TrainingOptions::default() };
+    let results: Vec<SiteRunResult> = run_sites_parallel(&sites, &opts);
 
     let mut table = TextTable::new(&[
         "Web Site",
@@ -117,27 +106,7 @@ fn main() {
     );
 
     // Machine-readable dump for EXPERIMENTS.md bookkeeping.
-    let rows: Vec<serde_json::Value> = results
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            serde_json::json!({
-                "site": format!("S{}", i + 1),
-                "host": r.spec.domain,
-                "persistent": r.persistent,
-                "marked_useful": r.marked_useful,
-                "real_useful": r.real_useful,
-                "avg_detection_ms": r.avg_detection_ms(),
-                "avg_duration_ms": r.avg_duration_ms(),
-                "probes": r.records.len(),
-            })
-        })
-        .collect();
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join("table1.json");
-        if std::fs::write(&path, serde_json::to_string_pretty(&rows).expect("json")).is_ok() {
-            println!("\n(json written to {})", path.display());
-        }
+    if let Some(path) = write_results_json("table1.json", &table1_rows_json(&results)) {
+        println!("\n(json written to {})", path.display());
     }
 }

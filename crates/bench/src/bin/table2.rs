@@ -13,7 +13,9 @@
 //!
 //! Usage: `table2 [seed]` (default seed 1).
 
-use cp_bench::{run_site_training, TextTable, TrainingOptions};
+use cp_bench::{run_site_training, write_results_json, TextTable, TrainingOptions};
+use cp_runtime::json;
+use cp_runtime::json::Json;
 use cp_webworld::{table2_population, CookieRole};
 
 fn usage_label(spec: &cp_webworld::SiteSpec) -> &'static str {
@@ -73,14 +75,14 @@ fn main() {
             format!("{text_sim:.3}"),
             usage_label(spec).to_string(),
         ]);
-        rows_json.push(serde_json::json!({
+        rows_json.push(json!({
             "site": label,
-            "host": spec.domain,
+            "host": spec.domain.clone(),
             "marked_useful": r.marked_useful,
             "real_useful": r.real_useful,
             "n_tree_sim": tree_sim,
             "n_text_sim": text_sim,
-            "usage": usage_label(spec),
+            "usage": usage_label(spec)
         }));
     }
     table.row(&[
@@ -102,11 +104,7 @@ fn main() {
         if missed_any { "YES (regression!)" } else { "none" }
     );
 
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join("table2.json");
-        if std::fs::write(&path, serde_json::to_string_pretty(&rows_json).expect("json")).is_ok() {
-            println!("\n(json written to {})", path.display());
-        }
+    if let Some(path) = write_results_json("table2.json", &Json::Array(rows_json)) {
+        println!("\n(json written to {})", path.display());
     }
 }

@@ -1,0 +1,81 @@
+//! Shared experiment plumbing: the parallel site fan-out used by every
+//! multi-site binary, and the machine-readable JSON dumps kept under
+//! `results/` for EXPERIMENTS.md bookkeeping.
+
+use std::path::{Path, PathBuf};
+
+use cp_runtime::json::Json;
+use cp_runtime::{json, par};
+use cp_webworld::{table1_population, SiteSpec};
+
+use crate::harness::{run_site_training, SiteRunResult, TrainingOptions};
+
+/// Trains CookiePicker on every site on worker threads (sites are
+/// independent). Results come back in site order regardless of how the
+/// OS schedules the workers, so a fixed seed yields identical output.
+pub fn run_sites_parallel(sites: &[SiteSpec], opts: &TrainingOptions) -> Vec<SiteRunResult> {
+    par::par_map(sites, None, |spec| run_site_training(spec, opts))
+}
+
+/// The machine-readable Table 1 rows (one object per site, S1..).
+pub fn table1_rows_json(results: &[SiteRunResult]) -> Json {
+    Json::Array(
+        results
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                json!({
+                    "site": format!("S{}", i + 1),
+                    "host": r.spec.domain.clone(),
+                    "persistent": r.persistent,
+                    "marked_useful": r.marked_useful,
+                    "real_useful": r.real_useful,
+                    "avg_detection_ms": r.avg_detection_ms(),
+                    "avg_duration_ms": r.avg_duration_ms(),
+                    "probes": r.records.len()
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Runs the full Table 1 experiment for `seed` and renders the
+/// seed-determined outcome as pretty-printed JSON: the rows of
+/// [`table1_rows_json`] minus the two wall-clock columns
+/// (`avg_detection_ms` / `avg_duration_ms` are *measured* with
+/// `Instant::now`, so they vary run to run even on one machine). Every
+/// other column is a pure function of the seed, so two same-seed calls
+/// return byte-identical strings — the property the determinism test pins.
+pub fn table1_outcome_json_pretty(seed: u64) -> String {
+    let sites = table1_population(seed);
+    let opts = TrainingOptions { seed, ..TrainingOptions::default() };
+    let results = run_sites_parallel(&sites, &opts);
+    Json::Array(
+        results
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                json!({
+                    "site": format!("S{}", i + 1),
+                    "host": r.spec.domain.clone(),
+                    "persistent": r.persistent,
+                    "marked_useful": r.marked_useful,
+                    "real_useful": r.real_useful,
+                    "probes": r.records.len()
+                })
+            })
+            .collect(),
+    )
+    .to_pretty()
+}
+
+/// Writes `value` pretty-printed to `results/<file_name>`, creating the
+/// directory if needed. Returns the path on success, `None` on any I/O
+/// failure (the experiment output on stdout is the primary artifact).
+pub fn write_results_json(file_name: &str, value: &Json) -> Option<PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(file_name);
+    std::fs::write(&path, value.to_pretty()).ok()?;
+    Some(path)
+}

@@ -5,8 +5,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
 pub mod harness;
 pub mod table;
 
+pub use experiments::{
+    run_sites_parallel, table1_outcome_json_pretty, table1_rows_json, write_results_json,
+};
 pub use harness::{run_site_training, SiteRunResult, TrainingOptions};
 pub use table::TextTable;

@@ -6,8 +6,7 @@ use cookiepicker_core::{decide, CookiePickerConfig};
 use cp_cookies::SimTime;
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{table1_population, table2_population, SiteSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
 
 fn render(spec: &SiteSpec, path: &str, cookies: &[(String, String)], noise_seed: u64) -> cp_html::Document {
     let input = RenderInput { spec, path, cookies, now: SimTime::from_secs(noise_seed) };

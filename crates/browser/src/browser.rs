@@ -2,8 +2,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
 
 use cp_cookies::{
     encode_cookie_header, parse_set_cookie, same_site, CookieJar, CookiePolicy, Party, SimDuration,

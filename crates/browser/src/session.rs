@@ -7,8 +7,7 @@
 //! the front page), thinking between clicks — organic coverage for FORCUM
 //! training instead of a fixed path list.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cp_runtime::rng::{Rng, SeedableRng, StdRng};
 
 use cp_net::{NetError, Url};
 

@@ -5,7 +5,7 @@
 //! more than 10 seconds on average. We model think time as a log-normal
 //! distribution, the standard fit for inter-click gaps.
 
-use rand::Rng;
+use cp_runtime::rng::Rng;
 
 use cp_cookies::SimDuration;
 
@@ -13,10 +13,10 @@ use cp_cookies::SimDuration;
 ///
 /// ```
 /// use cp_browser::ThinkTimeModel;
-/// use rand::SeedableRng;
+/// use cp_runtime::rng::SeedableRng;
 ///
 /// let model = ThinkTimeModel::default();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = cp_runtime::rng::StdRng::seed_from_u64(1);
 /// let mean_ms: u64 = (0..500).map(|_| model.sample(&mut rng).as_millis()).sum::<u64>() / 500;
 /// assert!(mean_ms > 10_000, "average think time exceeds 10 s, got {mean_ms} ms");
 /// ```
@@ -60,8 +60,7 @@ impl ThinkTimeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cp_runtime::rng::{SeedableRng, StdRng};
 
     #[test]
     fn samples_within_clamps() {

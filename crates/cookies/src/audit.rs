@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use serde::Serialize;
+use cp_runtime::json::{Json, ToJson};
 
 use crate::jar::CookieJar;
 use crate::time::{SimDuration, SimTime};
@@ -22,7 +22,7 @@ pub const LIFETIME_BUCKETS: [(&str, u64); 5] = [
 ];
 
 /// A privacy audit of one cookie jar at an instant.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JarAudit {
     /// Total live cookies.
     pub total: usize,
@@ -41,6 +41,21 @@ pub struct JarAudit {
     pub lifetime_histogram: Vec<(String, usize)>,
     /// Cookies per domain, sorted by count (descending, then name).
     pub by_domain: Vec<(String, usize)>,
+}
+
+impl ToJson for JarAudit {
+    fn to_json(&self) -> Json {
+        let pairs = |v: &[(String, usize)]| Json::Array(v.iter().map(Json::from).collect());
+        Json::object()
+            .set("total", self.total)
+            .set("session", self.session)
+            .set("persistent", self.persistent)
+            .set("useful", self.useful)
+            .set("removable", self.removable)
+            .set("year_plus", self.year_plus)
+            .set("lifetime_histogram", pairs(&self.lifetime_histogram))
+            .set("by_domain", pairs(&self.by_domain))
+    }
 }
 
 impl JarAudit {

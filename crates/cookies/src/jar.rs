@@ -7,7 +7,7 @@
 //! disabled useless cookies will be removed from the Web browser's cookie
 //! jar").
 
-use serde::{Deserialize, Serialize};
+use cp_runtime::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::model::Cookie;
 use crate::time::SimTime;
@@ -29,9 +29,22 @@ pub const MAX_TOTAL: usize = 10_000;
 /// assert_eq!(jar.len(), 2);
 /// assert_eq!(jar.cookies_for("x.com", "/", now).len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CookieJar {
     cookies: Vec<Cookie>,
+}
+
+impl ToJson for CookieJar {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("cookies", Json::Array(self.cookies.iter().map(ToJson::to_json).collect()))
+    }
+}
+
+impl FromJson for CookieJar {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(CookieJar { cookies: Vec::<Cookie>::from_json(value.require("cookies")?)? })
+    }
 }
 
 impl CookieJar {
@@ -185,16 +198,16 @@ impl CookieJar {
     /// assert_eq!(restored.len(), 1);
     /// ```
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("jar serialization is infallible")
+        ToJson::to_json(self).to_compact()
     }
 
     /// Restores a jar from [`to_json`](CookieJar::to_json) output.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error for malformed input.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns a [`JsonError`] for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        FromJson::from_json(&Json::parse(json)?)
     }
 
     /// Convenience counters for a site: `(persistent, marked_useful)`.

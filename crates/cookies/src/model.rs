@@ -2,13 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use cp_runtime::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::time::SimTime;
 
 /// Whether a cookie (or a request) is first-party or third-party relative to
 /// the page the user is visiting (§2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Party {
     /// Created by / sent to the site the user is currently visiting.
     First,
@@ -25,6 +25,26 @@ impl fmt::Display for Party {
     }
 }
 
+// Enum-variant-name encoding, like the derived serde representation.
+impl ToJson for Party {
+    fn to_json(&self) -> Json {
+        Json::from(match self {
+            Party::First => "First",
+            Party::Third => "Third",
+        })
+    }
+}
+
+impl FromJson for Party {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("First") => Ok(Party::First),
+            Some("Third") => Ok(Party::Third),
+            _ => Err(JsonError::msg("expected `First` or `Third`")),
+        }
+    }
+}
+
 /// A browser cookie record.
 ///
 /// Besides the standard Netscape/RFC 2109 fields this carries the paper's
@@ -32,7 +52,7 @@ impl fmt::Display for Party {
 /// only move `false → true` during the FORCUM training process (§3.2,
 /// step 5) — enforced by [`mark_useful`](Cookie::mark_useful) being the only
 /// public mutator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cookie {
     /// Cookie name.
     pub name: String,
@@ -158,6 +178,39 @@ impl Cookie {
     /// path).
     pub fn identity(&self) -> (&str, &str, &str) {
         (&self.name, &self.domain, &self.path)
+    }
+}
+
+impl ToJson for Cookie {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("name", &self.name)
+            .set("value", &self.value)
+            .set("domain", &self.domain)
+            .set("host_only", self.host_only)
+            .set("path", &self.path)
+            .set("expires", self.expires.as_ref().map(ToJson::to_json))
+            .set("secure", self.secure)
+            .set("http_only", self.http_only)
+            .set("created", self.created.to_json())
+            .set("useful", self.useful)
+    }
+}
+
+impl FromJson for Cookie {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Cookie {
+            name: String::from_json(value.require("name")?)?,
+            value: String::from_json(value.require("value")?)?,
+            domain: String::from_json(value.require("domain")?)?,
+            host_only: bool::from_json(value.require("host_only")?)?,
+            path: String::from_json(value.require("path")?)?,
+            expires: Option::<SimTime>::from_json(value.require("expires")?)?,
+            secure: bool::from_json(value.require("secure")?)?,
+            http_only: bool::from_json(value.require("http_only")?)?,
+            created: SimTime::from_json(value.require("created")?)?,
+            useful: bool::from_json(value.require("useful")?)?,
+        })
     }
 }
 

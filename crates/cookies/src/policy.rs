@@ -6,12 +6,12 @@
 //! [`CookiePolicy::UsefulOnly`] is the CookiePicker answer: send such a
 //! cookie only once the FORCUM process has marked it useful.
 
-use serde::{Deserialize, Serialize};
+use cp_runtime::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::model::{Cookie, Party};
 
 /// A cookie acceptance/transmission policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CookiePolicy {
     /// Accept and send everything (browser default of the era).
     #[default]
@@ -38,6 +38,16 @@ impl CookiePolicy {
         }
     }
 
+    /// The policy's canonical name (also its JSON encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            CookiePolicy::AcceptAll => "AcceptAll",
+            CookiePolicy::BlockThirdParty => "BlockThirdParty",
+            CookiePolicy::BlockAll => "BlockAll",
+            CookiePolicy::UsefulOnly => "UsefulOnly",
+        }
+    }
+
     /// Whether a stored cookie should be attached to an outgoing request.
     pub fn should_send(self, cookie: &Cookie, party: Party) -> bool {
         match self {
@@ -47,6 +57,24 @@ impl CookiePolicy {
             CookiePolicy::UsefulOnly => {
                 party == Party::First && (!cookie.is_persistent() || cookie.useful())
             }
+        }
+    }
+}
+
+impl ToJson for CookiePolicy {
+    fn to_json(&self) -> Json {
+        Json::from(self.name())
+    }
+}
+
+impl FromJson for CookiePolicy {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("AcceptAll") => Ok(CookiePolicy::AcceptAll),
+            Some("BlockThirdParty") => Ok(CookiePolicy::BlockThirdParty),
+            Some("BlockAll") => Ok(CookiePolicy::BlockAll),
+            Some("UsefulOnly") => Ok(CookiePolicy::UsefulOnly),
+            _ => Err(JsonError::msg("unknown cookie policy")),
         }
     }
 }

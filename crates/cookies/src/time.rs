@@ -8,7 +8,7 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
+use cp_runtime::json::{FromJson, Json, JsonError, ToJson};
 
 /// An absolute instant on the simulated clock, in milliseconds since the
 /// simulation epoch (which the experiments anchor at 2007-01-01 00:00:00 UTC
@@ -22,16 +22,38 @@ use serde::{Deserialize, Serialize};
 /// assert!(later > t);
 /// assert_eq!(later - t, SimDuration::from_secs(2));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in milliseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
+
+// Both types serialize as their raw millisecond count, matching the
+// newtype representation the jar's JSON format has always used.
+impl ToJson for SimTime {
+    fn to_json(&self) -> Json {
+        Json::from(self.0)
+    }
+}
+
+impl FromJson for SimTime {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        u64::from_json(value).map(SimTime)
+    }
+}
+
+impl ToJson for SimDuration {
+    fn to_json(&self) -> Json {
+        Json::from(self.0)
+    }
+}
+
+impl FromJson for SimDuration {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        u64::from_json(value).map(SimDuration)
+    }
+}
 
 impl SimTime {
     /// The simulation epoch (t = 0).

@@ -1,9 +1,9 @@
 //! CookiePicker configuration.
 
-use serde::{Deserialize, Serialize};
+use cp_runtime::json::{FromJson, Json, JsonError, ToJson};
 
 /// How the cookies under test are grouped per page view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TestGroupStrategy {
     /// Test **all not-yet-useful persistent cookies that were attached to
     /// the regular request** as one group (§3.2, step 2: the hidden request
@@ -34,7 +34,7 @@ pub enum TestGroupStrategy {
 /// The defaults are the paper's evaluation settings:
 /// `Thresh1 = Thresh2 = 0.85`, `l = 5` levels compared starting from the
 /// `<body>` node (§5.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CookiePickerConfig {
     /// `Thresh1`: NTreeSim at or below this ⇒ structural difference.
     pub thresh1: f64,
@@ -68,6 +68,54 @@ impl Default for CookiePickerConfig {
             stability_window: 40,
             xhr_header: true,
         }
+    }
+}
+
+impl ToJson for TestGroupStrategy {
+    fn to_json(&self) -> Json {
+        Json::from(match self {
+            TestGroupStrategy::SentCookies => "SentCookies",
+            TestGroupStrategy::PerCookie => "PerCookie",
+            TestGroupStrategy::GroupBisect => "GroupBisect",
+        })
+    }
+}
+
+impl FromJson for TestGroupStrategy {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("SentCookies") => Ok(TestGroupStrategy::SentCookies),
+            Some("PerCookie") => Ok(TestGroupStrategy::PerCookie),
+            Some("GroupBisect") => Ok(TestGroupStrategy::GroupBisect),
+            _ => Err(JsonError::msg("unknown test-group strategy")),
+        }
+    }
+}
+
+impl ToJson for CookiePickerConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("thresh1", self.thresh1)
+            .set("thresh2", self.thresh2)
+            .set("max_level", self.max_level)
+            .set("compare_from_body", self.compare_from_body)
+            .set("strategy", self.strategy.to_json())
+            .set("stability_window", self.stability_window)
+            .set("xhr_header", self.xhr_header)
+    }
+}
+
+impl FromJson for CookiePickerConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(CookiePickerConfig {
+            thresh1: f64::from_json(value.require("thresh1")?)?,
+            thresh2: f64::from_json(value.require("thresh2")?)?,
+            max_level: usize::from_json(value.require("max_level")?)?,
+            compare_from_body: bool::from_json(value.require("compare_from_body")?)?,
+            strategy: TestGroupStrategy::from_json(value.require("strategy")?)?,
+            stability_window: usize::from_json(value.require("stability_window")?)?,
+            xhr_header: bool::from_json(value.require("xhr_header")?)?,
+        })
     }
 }
 

@@ -188,30 +188,27 @@ pub fn n_text_sim(s1: &ContentSet, s2: &ContentSet) -> f64 {
     let mut forgiven = 0usize;
 
     for (ctx, texts1) in &s1.by_context {
-        match s2.by_context.get(ctx) {
-            Some(texts2) => {
-                // Multiset intersection of the texts under this context.
-                let mut counts: HashMap<&str, usize> = HashMap::new();
-                for t in texts2 {
-                    *counts.entry(t.as_str()).or_default() += 1;
-                }
-                let mut shared = 0usize;
-                for t in texts1 {
-                    if let Some(c) = counts.get_mut(t.as_str()) {
-                        if *c > 0 {
-                            *c -= 1;
-                            shared += 1;
-                        }
+        if let Some(texts2) = s2.by_context.get(ctx) {
+            // Multiset intersection of the texts under this context.
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for t in texts2 {
+                *counts.entry(t.as_str()).or_default() += 1;
+            }
+            let mut shared = 0usize;
+            for t in texts1 {
+                if let Some(c) = counts.get_mut(t.as_str()) {
+                    if *c > 0 {
+                        *c -= 1;
+                        shared += 1;
                     }
                 }
-                intersection += shared;
-                // Replacements: unmatched strings under a context both
-                // versions share. Both sides' replaced strings are forgiven.
-                let u1 = texts1.len() - shared;
-                let u2 = texts2.len() - shared;
-                forgiven += u1.min(u2) * 2;
             }
-            None => {}
+            intersection += shared;
+            // Replacements: unmatched strings under a context both
+            // versions share. Both sides' replaced strings are forgiven.
+            let u1 = texts1.len() - shared;
+            let u2 = texts2.len() - shared;
+            forgiven += u1.min(u2) * 2;
         }
     }
 

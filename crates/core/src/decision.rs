@@ -3,15 +3,15 @@
 use std::time::Instant;
 
 use cp_html::Document;
+use cp_runtime::json::{Json, ToJson};
 use cp_treediff::n_tree_sim;
-use serde::Serialize;
 
 use crate::config::CookiePickerConfig;
 use crate::cvce::{content_extract, n_text_sim};
 use crate::domview::DomTreeView;
 
 /// The outcome of comparing a regular and a hidden page version.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Decision {
     /// `NTreeSim(A, B, l)` — Formula 2.
     pub tree_sim: f64,
@@ -24,6 +24,16 @@ pub struct Decision {
     /// Wall-clock time the detection algorithms took (the paper's
     /// "Detection Time" column, averaging 14.6 ms on 2007 hardware).
     pub detection_micros: u64,
+}
+
+impl ToJson for Decision {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("tree_sim", self.tree_sim)
+            .set("text_sim", self.text_sim)
+            .set("cookies_caused_difference", self.cookies_caused_difference)
+            .set("detection_micros", self.detection_micros)
+    }
 }
 
 /// Runs both detection algorithms on the two page versions and applies

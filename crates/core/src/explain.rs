@@ -11,7 +11,7 @@ use std::collections::HashSet;
 
 use cp_html::Document;
 use cp_treediff::{rstm_with_mapping, TreeView};
-use serde::Serialize;
+use cp_runtime::json::{Json, ToJson};
 
 use crate::config::CookiePickerConfig;
 use crate::cvce::content_extract;
@@ -19,7 +19,7 @@ use crate::decision::{decide, Decision};
 use crate::domview::DomTreeView;
 
 /// A human-readable account of one regular-vs-hidden comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DiffReport {
     /// The verdict and scores.
     pub decision: Decision,
@@ -32,6 +32,17 @@ pub struct DiffReport {
     pub contexts_only_regular: Vec<String>,
     /// Text contexts present only in the hidden version.
     pub contexts_only_hidden: Vec<String>,
+}
+
+impl ToJson for DiffReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("decision", self.decision.to_json())
+            .set("unmatched_regular", self.unmatched_regular.clone())
+            .set("unmatched_hidden", self.unmatched_hidden.clone())
+            .set("contexts_only_regular", self.contexts_only_regular.clone())
+            .set("contexts_only_hidden", self.contexts_only_hidden.clone())
+    }
 }
 
 impl DiffReport {

@@ -8,10 +8,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use serde::Serialize;
+use cp_runtime::json::{Json, ToJson};
 
 /// Training state for one site.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SiteTraining {
     /// Page views observed while training was active.
     pub pages_seen: usize,
@@ -28,17 +28,45 @@ pub struct SiteTraining {
 }
 
 impl SiteTraining {
-    fn new() -> Self {
+    // Not `Default`: a freshly-contacted site starts with training active.
+    fn fresh() -> Self {
         SiteTraining { active: true, ..SiteTraining::default() }
     }
 }
 
 /// Training state across all sites.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ForcumState {
     sites: HashMap<String, SiteTraining>,
     /// Stability window: page views without change before training stops.
     pub stability_window: usize,
+}
+
+impl ToJson for SiteTraining {
+    fn to_json(&self) -> Json {
+        // Sets serialize sorted so the encoding is deterministic.
+        let mut known: Vec<&str> = self.known_cookies.iter().map(String::as_str).collect();
+        known.sort_unstable();
+        Json::object()
+            .set("pages_seen", self.pages_seen)
+            .set("stable_streak", self.stable_streak)
+            .set("active", self.active)
+            .set("known_cookies", known.into_iter().map(Json::from).collect::<Vec<_>>())
+            .set("hidden_requests", self.hidden_requests)
+            .set("marks", self.marks)
+    }
+}
+
+impl ToJson for ForcumState {
+    fn to_json(&self) -> Json {
+        let sites = self
+            .sites
+            .iter()
+            .fold(Json::object(), |acc, (host, site)| acc.set(host.clone(), site.to_json()));
+        Json::object()
+            .set("sites", sites)
+            .set("stability_window", self.stability_window)
+    }
 }
 
 impl ForcumState {
@@ -55,13 +83,13 @@ impl ForcumState {
     /// Whether FORCUM is currently active for `host` (a never-seen host is
     /// active by definition — training starts on first contact).
     pub fn is_active(&self, host: &str) -> bool {
-        self.sites.get(host).map_or(true, |s| s.active)
+        self.sites.get(host).is_none_or(|s| s.active)
     }
 
     /// Manually (re)starts training for a site — the paper's "turned on …
     /// manually by a user if she wants to continue the training process".
     pub fn restart(&mut self, host: &str) {
-        let site = self.sites.entry(host.to_string()).or_insert_with(SiteTraining::new);
+        let site = self.sites.entry(host.to_string()).or_insert_with(SiteTraining::fresh);
         site.active = true;
         site.stable_streak = 0;
     }
@@ -80,7 +108,7 @@ impl ForcumState {
         hidden_issued: bool,
     ) -> bool {
         let window = self.stability_window;
-        let site = self.sites.entry(host.to_string()).or_insert_with(SiteTraining::new);
+        let site = self.sites.entry(host.to_string()).or_insert_with(SiteTraining::fresh);
 
         let mut new_cookie = false;
         for name in cookie_names {

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
+use cp_runtime::json::{Json, ToJson};
 
 use cp_browser::{BrowserExtension, PageContext};
 use cp_cookies::parse_cookie_header;
@@ -16,7 +16,7 @@ use crate::forcum::ForcumState;
 use crate::recovery::RecoveryLog;
 
 /// One detection event: a hidden request issued and judged.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DetectionRecord {
     /// Site host.
     pub host: String,
@@ -34,7 +34,7 @@ pub struct DetectionRecord {
 }
 
 /// A per-site training summary (see [`CookiePicker::summary_for`]).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TrainingSummary {
     /// The site host.
     pub host: String,
@@ -48,6 +48,30 @@ pub struct TrainingSummary {
     pub avg_duration_ms: f64,
     /// Whether FORCUM is still active for the site.
     pub training_active: bool,
+}
+
+impl ToJson for DetectionRecord {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("host", &self.host)
+            .set("path", &self.path)
+            .set("group", self.group.clone())
+            .set("decision", self.decision.to_json())
+            .set("hidden_latency_ms", self.hidden_latency_ms)
+            .set("duration_ms", self.duration_ms)
+    }
+}
+
+impl ToJson for TrainingSummary {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("host", &self.host)
+            .set("probes", self.probes)
+            .set("marking_probes", self.marking_probes)
+            .set("avg_detection_ms", self.avg_detection_ms)
+            .set("avg_duration_ms", self.avg_duration_ms)
+            .set("training_active", self.training_active)
+    }
 }
 
 /// The CookiePicker browser extension.
@@ -547,8 +571,7 @@ mod tests {
         assert_eq!(hidden.cookie_header(), Some("keep=3"));
         assert!(hidden.headers.contains("x-requested-with"));
 
-        let mut cfg = CookiePickerConfig::default();
-        cfg.xhr_header = false;
+        let cfg = CookiePickerConfig { xhr_header: false, ..CookiePickerConfig::default() };
         let stealth = CookiePicker::new(cfg);
         let hidden = stealth.build_hidden_request(&req, &["keep".into()]);
         assert!(!hidden.headers.contains("x-requested-with"));

@@ -10,21 +10,34 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
+use cp_runtime::json::{Json, ToJson};
 
 /// A log of backward-error-recovery events.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RecoveryLog {
     events: Vec<RecoveryEvent>,
 }
 
 /// One recovery-button click.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RecoveryEvent {
     /// The site recovered on.
     pub host: String,
     /// The cookie names re-marked useful.
     pub cookies: Vec<String>,
+}
+
+impl ToJson for RecoveryEvent {
+    fn to_json(&self) -> Json {
+        Json::object().set("host", &self.host).set("cookies", self.cookies.clone())
+    }
+}
+
+impl ToJson for RecoveryLog {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("events", Json::Array(self.events.iter().map(ToJson::to_json).collect()))
+    }
 }
 
 impl RecoveryLog {

@@ -1,11 +1,11 @@
 //! Per-site experiment reporting structures (the rows of Tables 1 and 2).
 
-use serde::Serialize;
+use cp_runtime::json::{Json, ToJson};
 
 use crate::picker::DetectionRecord;
 
 /// One row of a Table-1-style report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SiteOutcome {
     /// Site label (e.g. `S1`) and host.
     pub label: String,
@@ -25,6 +25,20 @@ pub struct SiteOutcome {
     pub avg_duration_ms: f64,
     /// Number of hidden-request probes.
     pub probes: usize,
+}
+
+impl ToJson for SiteOutcome {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("label", &self.label)
+            .set("host", &self.host)
+            .set("persistent", self.persistent)
+            .set("marked_useful", self.marked_useful)
+            .set("real_useful", self.real_useful)
+            .set("avg_detection_ms", self.avg_detection_ms)
+            .set("avg_duration_ms", self.avg_duration_ms)
+            .set("probes", self.probes)
+    }
 }
 
 impl SiteOutcome {

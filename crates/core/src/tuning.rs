@@ -8,12 +8,12 @@
 //! invariant "never miss a useful cookie" on the samples, which minimizes
 //! the false-useful rate achievable without misses.
 
-use serde::Serialize;
+use cp_runtime::json::{Json, ToJson};
 
 use crate::config::CookiePickerConfig;
 
 /// One observed similarity pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimSample {
     /// `NTreeSim` of the pair.
     pub tree_sim: f64,
@@ -29,7 +29,7 @@ impl SimSample {
 }
 
 /// The result of [`fit_thresholds`].
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FittedThresholds {
     /// Recommended `Thresh1` (NTreeSim).
     pub thresh1: f64,
@@ -41,6 +41,22 @@ pub struct FittedThresholds {
     /// Whether the samples are separable: zero misses *and* zero false
     /// positives simultaneously.
     pub separable: bool,
+}
+
+impl ToJson for SimSample {
+    fn to_json(&self) -> Json {
+        Json::object().set("tree_sim", self.tree_sim).set("text_sim", self.text_sim)
+    }
+}
+
+impl ToJson for FittedThresholds {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("thresh1", self.thresh1)
+            .set("thresh2", self.thresh2)
+            .set("residual_false_rate", self.residual_false_rate)
+            .set("separable", self.separable)
+    }
 }
 
 impl FittedThresholds {

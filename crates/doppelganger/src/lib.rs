@@ -21,14 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+use cp_runtime::json::{Json, ToJson};
 
 use cp_browser::{extract_object_urls, BrowserExtension, PageContext};
 use cp_html::parse_document;
 use cp_net::Request;
 
 /// One fork-window mirror of a page view.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MirrorRecord {
     /// Site host.
     pub host: String,
@@ -42,6 +42,18 @@ pub struct MirrorRecord {
     pub differed: bool,
     /// Whether the user was prompted to compare windows.
     pub prompted: bool,
+}
+
+impl ToJson for MirrorRecord {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("host", &self.host)
+            .set("path", &self.path)
+            .set("requests", self.requests)
+            .set("latency_ms", self.latency_ms)
+            .set("differed", self.differed)
+            .set("prompted", self.prompted)
+    }
 }
 
 /// How the simulated user answers a Doppelganger prompt.

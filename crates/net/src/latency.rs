@@ -6,7 +6,7 @@
 //! transfer time, multiplicative jitter, and an optional heavy "slow site"
 //! tail.
 
-use rand::Rng;
+use cp_runtime::rng::Rng;
 
 use cp_cookies::SimDuration;
 
@@ -17,9 +17,9 @@ use cp_cookies::SimDuration;
 ///
 /// ```
 /// use cp_net::LatencyModel;
-/// use rand::SeedableRng;
+/// use cp_runtime::rng::SeedableRng;
 /// let model = LatencyModel::default();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = cp_runtime::rng::StdRng::seed_from_u64(1);
 /// let lat = model.sample(&mut rng, 20_000);
 /// assert!(lat.as_millis() >= 1);
 /// ```
@@ -89,8 +89,7 @@ impl LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cp_runtime::rng::{SeedableRng, StdRng};
 
     #[test]
     fn deterministic_given_seed() {

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use bytes::Bytes;
-
 use crate::headers::HeaderMap;
 use crate::url::Url;
 
@@ -72,13 +70,13 @@ pub struct Request {
     /// by the browser).
     pub headers: HeaderMap,
     /// Request body (empty for `GET`).
-    pub body: Bytes,
+    pub body: Vec<u8>,
 }
 
 impl Request {
     /// Creates a body-less request.
     pub fn new(method: Method, url: Url) -> Self {
-        Request { method, url, headers: HeaderMap::new(), body: Bytes::new() }
+        Request { method, url, headers: HeaderMap::new(), body: Vec::new() }
     }
 
     /// Convenience `GET` constructor.
@@ -115,20 +113,20 @@ pub struct Response {
     /// Response headers (including any `Set-Cookie`s).
     pub headers: HeaderMap,
     /// Response body.
-    pub body: Bytes,
+    pub body: Vec<u8>,
 }
 
 impl Response {
     /// Creates a response with the given status and an empty body.
     pub fn new(status: StatusCode) -> Self {
-        Response { status, headers: HeaderMap::new(), body: Bytes::new() }
+        Response { status, headers: HeaderMap::new(), body: Vec::new() }
     }
 
     /// Creates a `text/html` response.
     pub fn html(status: StatusCode, body: impl Into<String>) -> Self {
         let mut r = Response::new(status);
         r.headers.set("Content-Type", "text/html; charset=utf-8");
-        r.body = Bytes::from(body.into());
+        r.body = body.into().into_bytes();
         r
     }
 

@@ -5,9 +5,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
+use cp_runtime::sync::Mutex;
 
 use cp_cookies::{SimDuration, SimTime};
 

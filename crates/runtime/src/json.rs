@@ -1,0 +1,796 @@
+//! Minimal JSON: a value type, a strict parser, compact and pretty writers,
+//! and the [`ToJson`]/[`FromJson`] traits the report types implement by
+//! hand (no derive machinery).
+//!
+//! Output formatting deliberately matches what the experiment fixtures in
+//! `results/*.json` were produced with: object keys sorted (the map is a
+//! `BTreeMap`), pretty output indented two spaces, floats printed as their
+//! shortest round-trippable decimal with a `.0` suffix for integral values.
+//! Re-serializing a parsed fixture is byte-identical, which the tier-1 suite
+//! checks.
+//!
+//! ```
+//! use cp_runtime::json::Json;
+//! use cp_runtime::json;
+//!
+//! let v = json!({ "site": "S1", "probes": 9, "avg_ms": 14.5 });
+//! assert_eq!(v.to_string(), r#"{"avg_ms":14.5,"probes":9,"site":"S1"}"#);
+//! let back = Json::parse(&v.to_string()).unwrap();
+//! assert_eq!(back, v);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional or exponent part.
+    Int(i64),
+    /// A number with fractional or exponent part.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; `BTreeMap` keeps keys sorted, matching the fixtures.
+    Object(BTreeMap<String, Json>),
+}
+
+/// Error produced by [`Json::parse`] or a [`FromJson`] conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input where parsing failed (0 for conversion
+    /// errors).
+    pub offset: usize,
+}
+
+impl JsonError {
+    /// A conversion (non-positional) error.
+    pub fn msg(message: impl Into<String>) -> Self {
+        JsonError { message: message.into(), offset: 0 }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can be reconstructed from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Parses the value, rejecting structurally wrong input.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+impl Json {
+    /// Creates an empty object (builder entry point).
+    pub fn object() -> Json {
+        Json::Object(BTreeMap::new())
+    }
+
+    /// Builder-style insertion; does nothing on non-objects.
+    pub fn set(mut self, key: impl Into<String>, value: impl Into<Json>) -> Json {
+        if let Json::Object(map) = &mut self {
+            map.insert(key.into(), value.into());
+        }
+        self
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Required-member lookup, with a descriptive error for [`FromJson`]
+    /// impls.
+    pub fn require(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key).ok_or_else(|| JsonError::msg(format!("missing field `{key}`")))
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` (integral floats included).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Float(f) if f.fract() == 0.0 && f.abs() < 9.2e18 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The value as `f64` (ints widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Parses a complete JSON document (trailing non-whitespace rejected).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    /// Compact rendering (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering: two-space indent, one member per line (the fixture
+    /// format).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => write_f64(out, *f),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// `Display` renders compactly.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// Float policy: non-finite values become `null` (JSON has no NaN/inf);
+/// finite values use the shortest round-trippable decimal, with `.0`
+/// appended to integral values so a float never reads back as an int.
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return Err(self.err("invalid number"));
+        }
+        // Leading zeros are invalid JSON ("01"), a lone zero is fine.
+        if self.bytes[int_start] == b'0' && self.pos - int_start > 1 {
+            return Err(self.err("leading zero"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("invalid number"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("invalid number"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("number out of range"))
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Json::Int(i)),
+                // Integers beyond i64 degrade to float, like most parsers.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Float)
+                    .map_err(|_| self.err("number out of range")),
+            }
+        }
+    }
+}
+
+// ---- Into<Json> conversions used by the builder and the `json!` macro ----
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<&String> for Json {
+    fn from(s: &String) -> Json {
+        Json::Str(s.clone())
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+
+impl From<f32> for Json {
+    fn from(f: f32) -> Json {
+        Json::Float(f as f64)
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Json {
+            fn from(i: $t) -> Json {
+                Json::Int(i as i64)
+            }
+        }
+    )*};
+}
+impl_from_int!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        match i64::try_from(i) {
+            Ok(v) => Json::Int(v),
+            Err(_) => Json::Float(i as f64),
+        }
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json> + Clone> From<&[T]> for Json {
+    fn from(v: &[T]) -> Json {
+        Json::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        match v {
+            Some(x) => x.into(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<A: Into<Json> + Clone, B: Into<Json> + Clone> From<&(A, B)> for Json {
+    fn from(pair: &(A, B)) -> Json {
+        Json::Array(vec![pair.0.clone().into(), pair.1.clone().into()])
+    }
+}
+
+impl From<&Json> for Json {
+    fn from(j: &Json) -> Json {
+        j.clone()
+    }
+}
+
+// ---- FromJson for primitives (building blocks for struct impls) ----
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_bool().ok_or_else(|| JsonError::msg("expected bool"))
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_u64().ok_or_else(|| JsonError::msg("expected unsigned integer"))
+    }
+}
+
+impl FromJson for i64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_i64().ok_or_else(|| JsonError::msg("expected integer"))
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        u64::from_json(value).and_then(|v| {
+            usize::try_from(v).map_err(|_| JsonError::msg("integer out of range"))
+        })
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_f64().ok_or_else(|| JsonError::msg("expected number"))
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_str().map(str::to_string).ok_or_else(|| JsonError::msg("expected string"))
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value
+            .as_array()
+            .ok_or_else(|| JsonError::msg("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+/// Builds a [`Json`] value with a literal-like syntax.
+///
+/// Object values and array elements are arbitrary expressions implementing
+/// `Into<Json>`; nest objects by nesting `json!` calls.
+///
+/// ```
+/// use cp_runtime::json;
+/// let row = json!({
+///     "site": format!("S{}", 1),
+///     "probes": 9,
+///     "nested": json!([1, 2, 3]),
+/// });
+/// assert_eq!(row.get("probes").and_then(|p| p.as_u64()), Some(9));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::json::Json::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::json::Json::Array(vec![ $( $crate::json::Json::from($item) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $( map.insert($key.to_string(), $crate::json::Json::from($value)); )*
+        $crate::json::Json::Object(map)
+    }};
+    ($other:expr) => { $crate::json::Json::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_compact(), "null");
+        assert_eq!(Json::Bool(true).to_compact(), "true");
+        assert_eq!(Json::Int(-3).to_compact(), "-3");
+        assert_eq!(Json::Float(1.0).to_compact(), "1.0");
+        assert_eq!(Json::Float(14.776444444444444).to_compact(), "14.776444444444444");
+        assert_eq!(Json::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Str("a\"b\\c\nd".into()).to_compact(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn pretty_matches_fixture_style() {
+        let v = json!([json!({ "a": 1, "b": 2.5 })]);
+        assert_eq!(v.to_pretty(), "[\n  {\n    \"a\": 1,\n    \"b\": 2.5\n  }\n]");
+        assert_eq!(Json::Array(vec![]).to_pretty(), "[]");
+        assert_eq!(Json::object().to_pretty(), "{}");
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let v = json!({ "zeta": 1, "alpha": 2, "mid": 3 });
+        assert_eq!(v.to_compact(), r#"{"alpha":2,"mid":3,"zeta":1}"#);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let src = r#"{"a":[1,2.5,-3,true,false,null,"x\ny"],"b":{"c":"\u0041\ud83d\ude00"}}"#;
+        let v = Json::parse(src).unwrap();
+        let re = Json::parse(&v.to_compact()).unwrap();
+        assert_eq!(v, re);
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_str().unwrap(),
+            "A\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "not json", "{", "[1,]", "{\"a\":}", "01", "1.", "1e", "\"\\x\"", "tru",
+            "{\"a\":1} extra", "[1 2]", "\u{1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("0.5").unwrap(), Json::Float(0.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("0").unwrap(), Json::Int(0));
+        // Beyond i64 degrades to float.
+        assert!(matches!(Json::parse("99999999999999999999").unwrap(), Json::Float(_)));
+    }
+
+    #[test]
+    fn builder_api() {
+        let v = Json::object().set("k", 1).set("s", "x");
+        assert_eq!(v.to_compact(), r#"{"k":1,"s":"x"}"#);
+        assert_eq!(v.require("k").unwrap(), &Json::Int(1));
+        assert!(v.require("missing").is_err());
+    }
+
+    #[test]
+    fn from_json_primitives() {
+        assert_eq!(u64::from_json(&Json::Int(5)).unwrap(), 5);
+        assert!(u64::from_json(&Json::Int(-5)).is_err());
+        assert_eq!(Option::<u64>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(Vec::<u64>::from_json(&Json::parse("[1,2]").unwrap()).unwrap(), vec![1, 2]);
+        assert_eq!(String::from_json(&Json::Str("s".into())).unwrap(), "s");
+    }
+
+    #[test]
+    fn float_never_reads_back_as_int() {
+        let v = Json::Float(3.0);
+        let re = Json::parse(&v.to_compact()).unwrap();
+        assert_eq!(re, v);
+    }
+
+    #[test]
+    fn option_and_u64_conversions() {
+        assert_eq!(Json::from(None::<u64>), Json::Null);
+        assert_eq!(Json::from(Some(3u64)), Json::Int(3));
+        assert_eq!(Json::from(u64::MAX), Json::Float(u64::MAX as f64));
+    }
+}

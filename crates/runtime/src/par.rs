@@ -1,0 +1,134 @@
+//! Scoped data-parallel helpers built on `std::thread::scope`.
+//!
+//! Replaces the `crossbeam::scope` fan-outs in the experiment bins: each
+//! input item is processed exactly once, results come back in input order,
+//! and the number of OS threads is capped (one thread per item does not
+//! scale to the measurement-study populations).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default worker cap: the machine's available parallelism (at least 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` on a pool of scoped worker threads
+/// and returns the results **in input order**.
+///
+/// `max_workers` caps the pool (`None` ⇒ [`default_workers`]); the pool
+/// never exceeds `items.len()`. Workers pull indices from a shared atomic
+/// counter, so uneven per-item cost balances automatically. A panic in `f`
+/// propagates after the scope joins.
+///
+/// ```
+/// use cp_runtime::par::par_map_indexed;
+/// let squares = par_map_indexed(&[1u64, 2, 3, 4], None, |i, x| (i, x * x));
+/// assert_eq!(squares, vec![(0, 1), (1, 4), (2, 9), (3, 16)]);
+/// ```
+pub fn par_map_indexed<T, U, F>(items: &[T], max_workers: Option<usize>, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = max_workers.unwrap_or_else(default_workers).clamp(1, items.len());
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                if !local.is_empty() {
+                    collected
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .append(&mut local);
+                }
+            });
+        }
+    });
+
+    let mut pairs = collected.into_inner().unwrap_or_else(|e| e.into_inner());
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+/// [`par_map_indexed`] without the index.
+pub fn par_map<T, U, F>(items: &[T], max_workers: Option<usize>, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items, max_workers, |_, item| f(item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..200).collect();
+        let out = par_map_indexed(&items, Some(8), |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn each_item_processed_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<u32> = (0..97).collect();
+        let out = par_map(&items, Some(5), |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 97);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 97);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map(&empty, None, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u8], Some(16), |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_cap_of_one_is_sequential() {
+        let items: Vec<usize> = (0..10).collect();
+        assert_eq!(par_map(&items, Some(1), |&x| x), items);
+    }
+
+    #[test]
+    #[should_panic] // std::thread::scope re-panics with its own payload
+    fn panics_propagate() {
+        let items = [1u8, 2, 3];
+        let _ = par_map(&items, Some(2), |&x| {
+            if x == 2 {
+                panic!("worker panic propagates");
+            }
+            x
+        });
+    }
+}

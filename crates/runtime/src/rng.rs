@@ -1,0 +1,463 @@
+//! Seedable pseudo-random number generation.
+//!
+//! A drop-in replacement for the subset of the `rand` crate the workspace
+//! uses, built on SplitMix64 (seeding) and xoshiro256++ (the stream). Both
+//! algorithms are public-domain reference designs by Blackman & Vigna; the
+//! stream is deterministic across platforms, which is what the experiment
+//! harness needs: every table in the paper reproduction is exactly
+//! re-runnable from a `u64` seed.
+//!
+//! ```
+//! use cp_runtime::rng::{Rng, SeedableRng, StdRng};
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let i = rng.gen_range(10..20);
+//! assert!((10..20).contains(&i));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny, fast generator used here to expand a `u64` seed into
+/// the 256-bit xoshiro state (the expansion recommended by the xoshiro
+/// authors, so that nearby seeds yield unrelated streams).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the workspace's standard generator.
+///
+/// 256 bits of state, period 2^256 − 1, passes BigCrush; more than enough
+/// statistical quality for population sampling, latency jitter, and
+/// think-time models while staying a handful of shifts and adds.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+/// The workspace's default RNG (named for call-site compatibility with
+/// `rand::rngs::StdRng`).
+pub type StdRng = Xoshiro256pp;
+
+#[inline]
+const fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator from explicit state. All-zero state is mapped to
+    /// a fixed non-zero state (all-zero is the one forbidden fixed point).
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            s = [0x9e37_79b9_7f4a_7c15, 0x6a09_e667_f3bc_c909, 0xbb67_ae85_84ca_a73b, 1];
+        }
+        Xoshiro256pp { s }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = rotl(self.s[3], 45);
+        result
+    }
+}
+
+/// Construction from a `u64` seed (mirrors `rand::SeedableRng` narrowly).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp::from_state([sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()])
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from an [`Rng`] via [`Rng::gen`].
+pub trait FromRandom {
+    /// Draws one value.
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRandom for u64 {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// `(x >> 11) * 2^-53` construction).
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types that support uniform range sampling.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from the inclusive span `[low, high]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as u64).wrapping_sub(low as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "gen_range: empty range");
+        low + f64::from_random(rng) * (high - low)
+    }
+}
+
+/// Unbiased uniform draw from `[0, n)` by widening multiply + rejection
+/// (Lemire's method), `n >= 1`.
+fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n >= 1);
+    let mut wide = (rng.next_u64() as u128) * (n as u128);
+    if (wide as u64) < n {
+        // Rejection threshold: (2^64 - n) mod n. Only computed on the slow
+        // path, which triggers with probability < n / 2^64.
+        let threshold = n.wrapping_neg() % n;
+        while (wide as u64) < threshold {
+            wide = (rng.next_u64() as u128) * (n as u128);
+        }
+    }
+    (wide >> 64) as u64
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Dec> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_inclusive(rng, self.start, self.end.dec())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Helper for half-open integer ranges: the largest value strictly below
+/// `self`.
+pub trait Dec {
+    /// `self - 1` for integers; identity for floats (the float upper bound
+    /// is already exclusive by construction of the `[0,1)` multiplier).
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_dec_int {
+    ($($t:ty),*) => {$(impl Dec for $t { fn dec(self) -> Self { self - 1 } })*};
+}
+impl_dec_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Dec for f64 {
+    fn dec(self) -> Self {
+        self
+    }
+}
+
+/// The `rand::Rng`-like trait: everything downstream code needs from a
+/// generator, object-safe in its core method so `&mut R` forwarding and
+/// `?Sized` bounds keep working at existing call sites.
+pub trait Rng {
+    /// Next raw 64-bit output — the single required method.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniform value of type `T` (`u64`, `u32`, `f64`, `f32`,
+    /// `bool`).
+    fn gen<T: FromRandom>(&mut self) -> T {
+        T::from_random(self)
+    }
+
+    /// Draws uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::from_random(self) < p
+    }
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = uniform_u64_below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples `n` distinct elements (by index) without replacement,
+    /// preserving draw order. Returns fewer than `n` if the slice is
+    /// shorter.
+    fn sample<T: Clone>(&mut self, slice: &[T], n: usize) -> Vec<T> {
+        let n = n.min(slice.len());
+        // Partial Fisher–Yates over an index vector: O(len) setup, O(n) draws.
+        let mut idx: Vec<usize> = (0..slice.len()).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let j = i + uniform_u64_below(self, (idx.len() - i) as u64) as usize;
+            idx.swap(i, j);
+            out.push(slice[idx[i]].clone());
+        }
+        out
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256pp::next_u64(self)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_pinned_stream() {
+        // Pinned regression vector: the first output for the all-ones state
+        // is fully determined by the update rule (rotl(1 + 1, 23) + 1).
+        // Any change to the stream silently invalidates every recorded
+        // experiment seed, so the head of the stream is frozen here.
+        let mut rng = Xoshiro256pp::from_state([1, 1, 1, 1]);
+        assert_eq!(rng.next_u64(), (2u64 << 23) + 1);
+        let tail: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(tail, XOSHIRO_TAIL);
+    }
+
+    // Pinned from a verified run; outputs 2 and 3 were additionally checked
+    // by hand against the update rule. See `xoshiro_pinned_stream`.
+    const XOSHIRO_TAIL: [u64; 3] = [8388609, 16, 599233839366160];
+
+    #[test]
+    fn splitmix_pinned_stream() {
+        // Same freezing rationale as `xoshiro_pinned_stream`.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), SPLITMIX_HEAD);
+    }
+
+    // SplitMix64(0) first output, fixed by the algorithm constants.
+    const SPLITMIX_HEAD: u64 = 16294208416658607535;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn zero_state_is_escaped() {
+        let mut rng = Xoshiro256pp::from_state([0; 4]);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..9);
+            assert!((3..9).contains(&x));
+            let y = rng.gen_range(1..=4u64);
+            assert!((1..=4).contains(&y));
+            let z = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&z));
+            let f = rng.gen_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_single_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(rng.gen_range(7..8), 7);
+        assert_eq!(rng.gen_range(7..=7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_empty_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: usize = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every bucket should be hit: {seen:?}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // With 50 elements the identity permutation is vanishingly unlikely.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pool: Vec<u32> = (0..20).collect();
+        let picked = rng.sample(&pool, 8);
+        assert_eq!(picked.len(), 8);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "samples must be distinct");
+        assert!(picked.iter().all(|x| pool.contains(x)));
+        assert_eq!(rng.sample(&pool, 100).len(), 20, "clamped to slice length");
+    }
+
+    #[test]
+    fn forwarding_through_mut_ref() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = draw(&mut rng);
+        let mut r: &mut StdRng = &mut rng;
+        let _ = draw(&mut r);
+    }
+
+    #[test]
+    fn gen_bool_probability_sanity() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "~25% expected, got {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Lock wrappers with the ergonomics the codebase had under `parking_lot`:
+//! `lock()` / `read()` / `write()` return guards directly, no
+//! `Result`-unwrapping at every call site.
+//!
+//! Poisoning is deliberately ignored (`into_inner` on a poisoned lock): the
+//! simulation holds locks only around tiny regions (an RNG draw, a stats
+//! bump), and a panic there already aborts the experiment run that owns the
+//! data.
+
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock; see the module docs for the poisoning policy.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a lock around `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A readers-writer lock with the same guard-returning API.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock around `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(*l.read(), vec![1, 2]);
+        assert_eq!(l.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn mutex_survives_poison() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        // parking_lot-style: a poisoned lock still hands out its data.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn shared_across_scoped_threads() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 4_000);
+    }
+}

@@ -26,6 +26,8 @@ fn label_cost(a: &str, b: &str) -> usize {
     usize::from(a != b)
 }
 
+type ForestMemo<A, B> = HashMap<(Vec<<A as TreeView>::Node>, Vec<<B as TreeView>::Node>), usize>;
+
 struct Ctx<'a, A: TreeView, B: TreeView>
 where
     A::Node: Hash,
@@ -33,7 +35,7 @@ where
 {
     a: &'a A,
     b: &'a B,
-    forest_memo: HashMap<(Vec<A::Node>, Vec<B::Node>), usize>,
+    forest_memo: ForestMemo<A, B>,
     del_memo: HashMap<A::Node, usize>,
     ins_memo: HashMap<B::Node, usize>,
 }

@@ -108,14 +108,10 @@ pub fn bottom_up_matching<A: TreeView, B: TreeView>(a: &A, b: &B) -> usize {
         }
         let Some(j) = found else { continue };
         // Consume both subtrees (preorder ranges).
-        for k in i..i + size {
-            used_a[k] = true;
-        }
+        used_a[i..i + size].fill(true);
         let bsize = ids_b[j].1;
         debug_assert_eq!(bsize, size, "identical shapes must have identical sizes");
-        for k in j..j + bsize {
-            used_b[k] = true;
-        }
+        used_b[j..j + bsize].fill(true);
         mapped += size;
     }
     mapped

@@ -4,7 +4,7 @@
 //! site renders the same base content on every run while still looking like
 //! prose to the CVCE text extractor.
 
-use rand::Rng;
+use cp_runtime::rng::Rng;
 
 /// The word list backing all generated copy.
 pub const WORDS: &[&str] = &[
@@ -68,8 +68,7 @@ pub fn paragraph<R: Rng + ?Sized>(rng: &mut R, sentences: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cp_runtime::rng::{SeedableRng, StdRng};
 
     #[test]
     fn deterministic_given_seed() {

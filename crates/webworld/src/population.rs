@@ -13,8 +13,7 @@
 //!   distribution of the authors' 5,000-site measurement study (>60% of
 //!   first-party persistent cookies expiring in a year or more).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cp_runtime::rng::{Rng, SeedableRng, StdRng};
 
 use cp_cookies::SimDuration;
 

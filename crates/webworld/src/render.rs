@@ -7,8 +7,7 @@
 //! present — which is exactly the contrast CookiePicker's hidden request
 //! probes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cp_runtime::rng::{Rng, SeedableRng, StdRng};
 
 use cp_cookies::SimTime;
 use cp_html::entities::escape_text;

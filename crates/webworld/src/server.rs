@@ -1,9 +1,8 @@
 //! [`SiteServer`] — a [`Server`] implementation that serves a
 //! [`SiteSpec`]'s pages and sets its cookies.
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
+use cp_runtime::sync::Mutex;
 
 use cp_cookies::date::format_http_date;
 use cp_cookies::{parse_cookie_header, SimTime};

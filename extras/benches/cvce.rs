@@ -8,8 +8,7 @@ use cp_cookies::SimTime;
 use cp_html::NodeId;
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{Category, CookieSpec, SiteSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
 
 fn doc(richness: usize, noise_seed: u64) -> cp_html::Document {
     let mut spec = SiteSpec::new("bench.example", Category::Society, 5)

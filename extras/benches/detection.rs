@@ -8,8 +8,7 @@ use cookiepicker_core::{decide, CookiePickerConfig};
 use cp_cookies::SimTime;
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{Category, CookieRole, CookieSpec, EffectSize, SiteSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
 
 fn pair(richness: usize) -> (cp_html::Document, cp_html::Document) {
     let mut spec = SiteSpec::new("bench.example", Category::Shopping, 9)

@@ -7,8 +7,7 @@ use cp_cookies::SimTime;
 use cp_html::{parse_document, tokenize};
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{Category, CookieSpec, SiteSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
 
 fn page(richness: usize) -> String {
     let mut spec = SiteSpec::new("bench.example", Category::News, 3)

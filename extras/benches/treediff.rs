@@ -8,8 +8,7 @@ use cp_cookies::SimTime;
 use cp_treediff::{alignment_distance, bottom_up_matching, n_tree_sim, rstm, selkow_distance, stm, zhang_shasha_distance};
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{Category, CookieSpec, SiteSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cp_runtime::rng::{SeedableRng, StdRng};
 
 fn page_pair(richness: usize) -> (cp_html::Document, cp_html::Document) {
     let mut spec = SiteSpec::new("bench.example", Category::Reference, 7)

@@ -1,0 +1,4 @@
+//! Empty library target. This package exists only to host the property
+//! tests (`tests/`) and Criterion benchmarks (`benches/`) that depend on
+//! registry crates — see Cargo.toml for why they live outside the
+//! workspace.

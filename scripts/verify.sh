@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the workspace must build and test fully offline.
+#
+# The build graph is hermetic by design (no registry dependencies — see
+# DESIGN.md §6), so this runs with the network explicitly disabled to catch
+# any accidental reintroduction of a crates.io dependency.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --workspace
+cargo test -q --workspace
+
+echo "verify: build + tests passed offline"

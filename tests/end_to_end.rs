@@ -64,8 +64,7 @@ fn forcum_goes_dormant_and_reactivates_on_new_cookie() {
     let spec = SiteSpec::new("dormant.example", Category::Science, 101)
         .with_cookie(CookieSpec::tracker("only"));
     let (mut browser, url) = world(spec, 3, 4);
-    let mut config = CookiePickerConfig::default();
-    config.stability_window = 5;
+    let config = CookiePickerConfig { stability_window: 5, ..CookiePickerConfig::default() };
     let mut picker = CookiePicker::new(config);
 
     train(&mut browser, &mut picker, &url, 16);

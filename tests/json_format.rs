@@ -1,0 +1,45 @@
+//! Format compatibility for the machine-readable experiment dumps.
+//!
+//! The `results/*.json` fixtures are the interface EXPERIMENTS.md
+//! bookkeeping reads; the writer in `cp-runtime` must keep emitting the
+//! exact bytes that format uses (sorted keys, two-space indent, shortest
+//! round-trip floats with a `.0` suffix on integral values). Parsing a
+//! fixture and pretty-printing it back must therefore be the identity.
+
+use std::path::Path;
+
+use cp_runtime::json::Json;
+
+fn roundtrip_fixture(name: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results").join(name);
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let value = Json::parse(&raw).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+    assert_eq!(value.to_pretty(), raw, "{} did not round-trip byte-identically", name);
+}
+
+#[test]
+fn table1_fixture_round_trips() {
+    roundtrip_fixture("table1.json");
+}
+
+#[test]
+fn table2_fixture_round_trips() {
+    roundtrip_fixture("table2.json");
+}
+
+#[test]
+fn table1_fixture_schema() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/table1.json");
+    let raw = std::fs::read_to_string(path).unwrap();
+    let rows = Json::parse(&raw).unwrap();
+    let rows = rows.as_array().expect("top level is an array");
+    assert_eq!(rows.len(), 30, "one row per site S1..S30");
+    for row in rows {
+        for key in
+            ["site", "host", "persistent", "marked_useful", "real_useful", "avg_detection_ms", "avg_duration_ms", "probes"]
+        {
+            assert!(row.get(key).is_some(), "row missing key {key}");
+        }
+    }
+}

@@ -125,7 +125,7 @@ fn flapping_server_content_is_noise_only_if_leaf_level() {
     struct Flapper;
     impl Server for Flapper {
         fn handle(&self, req: &Request, now: SimTime) -> Response {
-            let layout_a = now.as_millis() % 2 == 0;
+            let layout_a = now.as_millis().is_multiple_of(2);
             let body = if layout_a {
                 "<body><div><ul><li>a</li><li>b</li></ul></div><table><tr><td>x</td></tr></table></body>"
             } else {
