@@ -12,9 +12,9 @@
 use cookiepicker_core::{decide, fit_thresholds, CookiePickerConfig, SimSample};
 use cp_bench::{run_sites_parallel, TextTable, TrainingOptions};
 use cp_cookies::SimTime;
+use cp_runtime::rng::{SeedableRng, StdRng};
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{table1_population, table2_population, SiteSpec};
-use cp_runtime::rng::{SeedableRng, StdRng};
 
 fn render(spec: &SiteSpec, path: &str, cookies: &[(String, String)], k: u64) -> cp_html::Document {
     let input = RenderInput { spec, path, cookies, now: SimTime::from_secs(k) };
@@ -81,11 +81,8 @@ fn main() {
     );
 
     // --- replay both populations under fitted vs paper thresholds ---------
-    let mut table = TextTable::new(&[
-        "Thresholds",
-        "False-useful cookies",
-        "Missed useful cookies",
-    ]);
+    let mut table =
+        TextTable::new(&["Thresholds", "False-useful cookies", "Missed useful cookies"]);
     let all_sites: Vec<_> = t1.iter().chain(t2.iter()).cloned().collect();
     for (label, config) in [
         ("paper 0.85/0.85".to_string(), cfg.clone()),
@@ -100,8 +97,7 @@ fn main() {
         let mut missed = 0usize;
         for r in &results {
             let truth = r.spec.useful_cookie_names();
-            false_useful +=
-                r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
+            false_useful += r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
             missed += truth.iter().filter(|t| !r.marked_names.iter().any(|m| m == *t)).count();
         }
         table.row(&[label, false_useful.to_string(), missed.to_string()]);

@@ -16,9 +16,9 @@ use cookiepicker_core::{content_extract, n_text_sim, n_text_sim_strict};
 use cp_bench::TextTable;
 use cp_cookies::SimTime;
 use cp_html::NodeId;
+use cp_runtime::rng::{SeedableRng, StdRng};
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{Category, CookieRole, CookieSpec, EffectSize, SiteSpec};
-use cp_runtime::rng::{SeedableRng, StdRng};
 
 fn extract(html: &str) -> cookiepicker_core::ContentSet {
     let doc = cp_html::parse_document(html);
@@ -39,12 +39,8 @@ fn main() {
 
     let pref = [("pref".to_string(), "v".to_string())];
     let render = |cookies: &[(String, String)], noise_seed: u64, t: u64| -> String {
-        let input = RenderInput {
-            spec: &spec,
-            path: "/page/3",
-            cookies,
-            now: SimTime::from_secs(t),
-        };
+        let input =
+            RenderInput { spec: &spec, path: "/page/3", cookies, now: SimTime::from_secs(t) };
         render_page(&input, &mut StdRng::seed_from_u64(noise_seed))
     };
 
@@ -56,7 +52,8 @@ fn main() {
         "strict pairs below 0.85",
     ]);
 
-    for (label, is_noise_pair) in [("noise (ads/ticker rotate)", true), ("cookie disabled", false)] {
+    for (label, is_noise_pair) in [("noise (ads/ticker rotate)", true), ("cookie disabled", false)]
+    {
         let (mut with_s, mut strict, mut strict_below) = (0.0f64, 0.0f64, 0usize);
         for k in 0..trials {
             let a = extract(&render(&pref, seed + k, 60 + k));

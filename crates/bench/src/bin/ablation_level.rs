@@ -14,8 +14,7 @@ use cp_webworld::{table1_population, table2_population};
 
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let all: Vec<_> =
-        table1_population(seed).into_iter().chain(table2_population(seed)).collect();
+    let all: Vec<_> = table1_population(seed).into_iter().chain(table2_population(seed)).collect();
 
     let mut table = TextTable::new(&[
         "l (levels)",
@@ -35,8 +34,7 @@ fn main() {
         let (mut det_sum, mut det_n) = (0.0f64, 0usize);
         for r in &results {
             let truth = r.spec.useful_cookie_names();
-            false_useful +=
-                r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
+            false_useful += r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
             missed += truth.iter().filter(|t| !r.marked_names.iter().any(|m| m == *t)).count();
             for rec in &r.records {
                 det_sum += rec.decision.detection_micros as f64 / 1_000.0;

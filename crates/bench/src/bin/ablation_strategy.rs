@@ -16,8 +16,7 @@ use cp_webworld::{table1_population, table2_population};
 
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let all: Vec<_> =
-        table1_population(seed).into_iter().chain(table2_population(seed)).collect();
+    let all: Vec<_> = table1_population(seed).into_iter().chain(table2_population(seed)).collect();
 
     let mut table = TextTable::new(&[
         "Strategy",
@@ -45,8 +44,7 @@ fn main() {
             let truth = r.spec.useful_cookie_names();
             marked += r.marked_names.len();
             real_marked += r.marked_names.iter().filter(|m| truth.contains(&m.as_str())).count();
-            false_marked +=
-                r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
+            false_marked += r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
             let missing: Vec<&&str> =
                 truth.iter().filter(|t| !r.marked_names.iter().any(|m| &m == t)).collect();
             if verbose && !missing.is_empty() {

@@ -43,10 +43,8 @@ fn main() {
         for r in &results {
             let truth = r.spec.useful_cookie_names();
             let truth: Vec<&str> = truth.to_vec();
-            false_useful +=
-                r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
-            let missing =
-                truth.iter().filter(|t| !r.marked_names.iter().any(|m| m == *t)).count();
+            false_useful += r.marked_names.iter().filter(|m| !truth.contains(&m.as_str())).count();
+            let missing = truth.iter().filter(|t| !r.marked_names.iter().any(|m| m == *t)).count();
             missed += missing;
             recovery_sites += usize::from(missing > 0);
         }

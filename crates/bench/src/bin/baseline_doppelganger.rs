@@ -52,14 +52,16 @@ fn main() {
             // Measure the no-extension traffic of the same session first.
             let mut plain = Browser::new(Arc::clone(&net), CookiePolicy::AcceptAll, seed);
             for v in 0..views_per_site {
-                let url = Url::parse(&format!("http://{}{}", spec.domain, paths[v % paths.len()])).unwrap();
+                let url = Url::parse(&format!("http://{}{}", spec.domain, paths[v % paths.len()]))
+                    .unwrap();
                 plain.visit(&url).unwrap();
                 plain.think();
             }
             net.stats()
         };
         for v in 0..views_per_site {
-            let url = Url::parse(&format!("http://{}{}", spec.domain, paths[v % paths.len()])).unwrap();
+            let url =
+                Url::parse(&format!("http://{}{}", spec.domain, paths[v % paths.len()])).unwrap();
             browser.visit_with(&url, &mut picker).unwrap();
             browser.think();
             total_views += 1;
@@ -100,14 +102,16 @@ fn main() {
         let baseline = {
             let mut plain = Browser::new(Arc::clone(&net), CookiePolicy::AcceptAll, seed);
             for v in 0..views_per_site {
-                let url = Url::parse(&format!("http://{}{}", spec.domain, paths[v % paths.len()])).unwrap();
+                let url = Url::parse(&format!("http://{}{}", spec.domain, paths[v % paths.len()]))
+                    .unwrap();
                 plain.visit(&url).unwrap();
                 plain.think();
             }
             net.stats()
         };
         for v in 0..views_per_site {
-            let url = Url::parse(&format!("http://{}{}", spec.domain, paths[v % paths.len()])).unwrap();
+            let url =
+                Url::parse(&format!("http://{}{}", spec.domain, paths[v % paths.len()])).unwrap();
             browser.visit_with(&url, &mut dg).unwrap();
             browser.think();
         }

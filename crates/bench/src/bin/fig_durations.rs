@@ -42,9 +42,15 @@ fn main() {
         detection.len()
     );
     let mut table = TextTable::new(&["Percentile", "Detection (ms)", "Duration (ms)"]);
-    for (label, p) in
-        [("p10", 0.10), ("p25", 0.25), ("p50", 0.50), ("p75", 0.75), ("p90", 0.90), ("p99", 0.99), ("max", 1.0)]
-    {
+    for (label, p) in [
+        ("p10", 0.10),
+        ("p25", 0.25),
+        ("p50", 0.50),
+        ("p75", 0.75),
+        ("p90", 0.90),
+        ("p99", 0.99),
+        ("max", 1.0),
+    ] {
         table.row(&[
             label.to_string(),
             format!("{:.3}", percentile(&detection, p)),

@@ -19,10 +19,12 @@ use std::time::Instant;
 use cookiepicker_core::DomTreeView;
 use cp_bench::TextTable;
 use cp_cookies::SimTime;
-use cp_treediff::{bottom_up_matching, rstm, selkow_distance, stm, tree_size, zhang_shasha_distance};
+use cp_runtime::rng::{SeedableRng, StdRng};
+use cp_treediff::{
+    bottom_up_matching, rstm, selkow_distance, stm, tree_size, zhang_shasha_distance,
+};
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{Category, CookieSpec, SiteSpec};
-use cp_runtime::rng::{SeedableRng, StdRng};
 
 /// Times `f` averaged over enough iterations to be measurable.
 fn time_us(f: impl Fn() -> usize) -> f64 {
@@ -58,7 +60,12 @@ fn main() {
         spec.noise.ad_slots = 4;
 
         let render = |noise_seed: u64, t: u64| {
-            let input = RenderInput { spec: &spec, path: "/page/1", cookies: &[], now: SimTime::from_secs(t) };
+            let input = RenderInput {
+                spec: &spec,
+                path: "/page/1",
+                cookies: &[],
+                now: SimTime::from_secs(t),
+            };
             cp_html::parse_document(&render_page(&input, &mut StdRng::seed_from_u64(noise_seed)))
         };
         // The realistic probe pair: same page, different dynamics.

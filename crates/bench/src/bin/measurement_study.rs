@@ -66,6 +66,8 @@ fn main() {
     }
     print!("{}", table.render());
     let frac = 100.0 * ge_year as f64 / persistent.max(1) as f64;
-    println!("\nPersistent cookies expiring in >= 1 year: {ge_year} ({frac:.1}%)   [paper: above 60%]");
+    println!(
+        "\nPersistent cookies expiring in >= 1 year: {ge_year} ({frac:.1}%)   [paper: above 60%]"
+    );
     assert!(frac > 60.0, "population must reproduce the >60% headline");
 }

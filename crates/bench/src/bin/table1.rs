@@ -13,7 +13,10 @@
 //!
 //! Usage: `table1 [seed]` (default seed 1).
 
-use cp_bench::{run_sites_parallel, table1_rows_json, write_results_json, SiteRunResult, TextTable, TrainingOptions};
+use cp_bench::{
+    run_sites_parallel, table1_rows_json, write_results_json, SiteRunResult, TextTable,
+    TrainingOptions,
+};
 use cp_webworld::table1_population;
 
 fn main() {

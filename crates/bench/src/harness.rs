@@ -101,9 +101,7 @@ pub fn run_site_training(spec: &SiteSpec, options: &TrainingOptions) -> SiteRunR
     while views < target_views {
         let path = &paths[i % paths.len()];
         let url = Url::parse(&format!("http://{}{}", spec.domain, path)).expect("valid url");
-        browser
-            .visit_with(&url, &mut picker)
-            .unwrap_or_else(|e| panic!("visit {url} failed: {e}"));
+        browser.visit_with(&url, &mut picker).unwrap_or_else(|e| panic!("visit {url} failed: {e}"));
         browser.think();
         views += 1;
         i += 1;
@@ -165,8 +163,8 @@ mod tests {
 
     #[test]
     fn deterministic_runs() {
-        let spec = SiteSpec::new("h3.example", Category::Arts, 79)
-            .with_cookie(CookieSpec::tracker("a"));
+        let spec =
+            SiteSpec::new("h3.example", Category::Arts, 79).with_cookie(CookieSpec::tracker("a"));
         let opts = TrainingOptions::default();
         let r1 = run_site_training(&spec, &opts);
         let r2 = run_site_training(&spec, &opts);

@@ -4,11 +4,16 @@
 
 use cookiepicker_core::{decide, CookiePickerConfig};
 use cp_cookies::SimTime;
+use cp_runtime::rng::{SeedableRng, StdRng};
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{table1_population, table2_population, SiteSpec};
-use cp_runtime::rng::{SeedableRng, StdRng};
 
-fn render(spec: &SiteSpec, path: &str, cookies: &[(String, String)], noise_seed: u64) -> cp_html::Document {
+fn render(
+    spec: &SiteSpec,
+    path: &str,
+    cookies: &[(String, String)],
+    noise_seed: u64,
+) -> cp_html::Document {
     let input = RenderInput { spec, path, cookies, now: SimTime::from_secs(noise_seed) };
     cp_html::parse_document(&render_page(&input, &mut StdRng::seed_from_u64(noise_seed)))
 }
@@ -33,8 +38,7 @@ fn s6_preference_cookies_detectable_individually_and_jointly() {
         assert!(
             d.cookies_caused_difference,
             "{label}: tree={:.3} text={:.3} must be detected",
-            d.tree_sim,
-            d.text_sim
+            d.tree_sim, d.text_sim
         );
         assert!(d.tree_sim >= 0.2, "{label}: effect should not dwarf the page");
     }

@@ -461,10 +461,7 @@ mod tests {
         let page = Url::parse("http://site.example/deep/page").unwrap();
         let urls = extract_object_urls(&dom, &page);
         let strs: Vec<String> = urls.iter().map(Url::to_string).collect();
-        assert_eq!(
-            strs,
-            vec!["http://cdn.example/assets/logo.png", "http://cdn.example/abs.png"]
-        );
+        assert_eq!(strs, vec!["http://cdn.example/assets/logo.png", "http://cdn.example/abs.png"]);
     }
 
     #[test]
@@ -478,11 +475,7 @@ mod tests {
         let strs: Vec<String> = urls.iter().map(Url::to_string).collect();
         assert_eq!(
             strs,
-            vec![
-                "http://h.example/a.png",
-                "http://h.example/dir/s.js",
-                "http://h.example/c.css"
-            ]
+            vec!["http://h.example/a.png", "http://h.example/dir/s.js", "http://h.example/c.css"]
         );
     }
 }

@@ -216,7 +216,13 @@ mod tests {
 
     #[test]
     fn garbage_rejected() {
-        for bad in ["", "yesterday", "Tue, xx Jan 2007 00:00:00 GMT", "Tue, 02 Foo 2007 00:00:00 GMT", "Tue, 02 Jan 2007 25:00:00 GMT"] {
+        for bad in [
+            "",
+            "yesterday",
+            "Tue, xx Jan 2007 00:00:00 GMT",
+            "Tue, 02 Foo 2007 00:00:00 GMT",
+            "Tue, 02 Jan 2007 25:00:00 GMT",
+        ] {
             assert_eq!(parse_http_date(bad), None, "should reject {bad:?}");
         }
     }

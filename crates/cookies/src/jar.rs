@@ -72,10 +72,7 @@ impl CookieJar {
     /// cookie identity, not the value — re-issuing a cookie must not reset
     /// training).
     pub fn store(&mut self, mut cookie: Cookie, now: SimTime) -> Option<Cookie> {
-        let existing = self
-            .cookies
-            .iter()
-            .position(|c| c.identity() == cookie.identity());
+        let existing = self.cookies.iter().position(|c| c.identity() == cookie.identity());
         if cookie.is_expired(now) {
             return existing.map(|i| self.cookies.remove(i));
         }
@@ -113,12 +110,8 @@ impl CookieJar {
         }
         // Global cap: evict the globally oldest.
         if self.cookies.len() >= MAX_TOTAL {
-            if let Some(i) = self
-                .cookies
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| c.created)
-                .map(|(i, _)| i)
+            if let Some(i) =
+                self.cookies.iter().enumerate().min_by_key(|(_, c)| c.created).map(|(i, _)| i)
             {
                 self.cookies.remove(i);
             }
@@ -133,14 +126,9 @@ impl CookieJar {
     /// The cookies to attach to a request for `host`/`path` at `now`, in
     /// RFC 6265 order: longer paths first, then older creation time first.
     pub fn cookies_for(&self, host: &str, path: &str, now: SimTime) -> Vec<&Cookie> {
-        let mut out: Vec<&Cookie> = self
-            .cookies
-            .iter()
-            .filter(|c| c.matches_request(host, path, now))
-            .collect();
-        out.sort_by(|a, b| {
-            b.path.len().cmp(&a.path.len()).then(a.created.cmp(&b.created))
-        });
+        let mut out: Vec<&Cookie> =
+            self.cookies.iter().filter(|c| c.matches_request(host, path, now)).collect();
+        out.sort_by(|a, b| b.path.len().cmp(&a.path.len()).then(a.created.cmp(&b.created)));
         out
     }
 
@@ -151,10 +139,7 @@ impl CookieJar {
 
     /// All cookies whose domain matches `host` (any path), unexpired.
     pub fn cookies_for_site(&self, host: &str, now: SimTime) -> Vec<&Cookie> {
-        self.cookies
-            .iter()
-            .filter(|c| !c.is_expired(now) && c.domain_matches(host))
-            .collect()
+        self.cookies.iter().filter(|c| !c.is_expired(now) && c.domain_matches(host)).collect()
     }
 
     /// Marks the named cookies of `host` as useful (FORCUM step 5 /

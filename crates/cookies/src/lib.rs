@@ -87,7 +87,8 @@ pub fn registrable_domain(host: &str) -> String {
     let n = labels.len();
     // e.g. ["www", "a", "co", "uk"] → second-to-last is "co" and the TLD is
     // short: keep three labels.
-    if labels[n - 2].len() <= 3 && SECOND_LEVEL.contains(&labels[n - 2]) && labels[n - 1].len() <= 3 {
+    if labels[n - 2].len() <= 3 && SECOND_LEVEL.contains(&labels[n - 2]) && labels[n - 1].len() <= 3
+    {
         labels[n - 3..].join(".")
     } else {
         labels[n - 2..].join(".")

@@ -216,7 +216,15 @@ impl FromJson for Cookie {
 
 impl fmt::Display for Cookie {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}={} [{}{}; path={}]", self.name, self.value, self.domain, if self.is_persistent() { "; persistent" } else { "" }, self.path)
+        write!(
+            f,
+            "{}={} [{}{}; path={}]",
+            self.name,
+            self.value,
+            self.domain,
+            if self.is_persistent() { "; persistent" } else { "" },
+            self.path
+        )
     }
 }
 

@@ -29,7 +29,9 @@ pub enum ParseCookieError {
 impl fmt::Display for ParseCookieError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseCookieError::MissingPair => f.write_str("set-cookie header has no name=value pair"),
+            ParseCookieError::MissingPair => {
+                f.write_str("set-cookie header has no name=value pair")
+            }
             ParseCookieError::InvalidName(n) => write!(f, "invalid cookie name {n:?}"),
             ParseCookieError::DomainMismatch { attribute, host } => {
                 write!(f, "domain attribute {attribute:?} does not match request host {host:?}")
@@ -42,9 +44,7 @@ impl std::error::Error for ParseCookieError {}
 
 fn valid_name(name: &str) -> bool {
     !name.is_empty()
-        && name
-            .bytes()
-            .all(|b| b.is_ascii_graphic() && !matches!(b, b';' | b',' | b'=' | b'"'))
+        && name.bytes().all(|b| b.is_ascii_graphic() && !matches!(b, b';' | b',' | b'=' | b'"'))
 }
 
 /// Parses a `Set-Cookie` header received from `host` at time `now`.
@@ -177,11 +177,7 @@ pub fn parse_cookie_header(header: &str) -> Vec<(String, String)> {
 /// assert_eq!(encode_cookie_header([&a, &b]), "a=1; b=2");
 /// ```
 pub fn encode_cookie_header<'a>(cookies: impl IntoIterator<Item = &'a Cookie>) -> String {
-    cookies
-        .into_iter()
-        .map(|c| format!("{}={}", c.name, c.value))
-        .collect::<Vec<_>>()
-        .join("; ")
+    cookies.into_iter().map(|c| format!("{}={}", c.name, c.value)).collect::<Vec<_>>().join("; ")
 }
 
 #[cfg(test)]
@@ -204,12 +200,9 @@ mod tests {
 
     #[test]
     fn expires_attribute() {
-        let c = parse_set_cookie(
-            "k=v; Expires=Tue, 01 Jan 2008 00:00:00 GMT",
-            HOST,
-            SimTime::EPOCH,
-        )
-        .unwrap();
+        let c =
+            parse_set_cookie("k=v; Expires=Tue, 01 Jan 2008 00:00:00 GMT", HOST, SimTime::EPOCH)
+                .unwrap();
         assert_eq!(c.expires, Some(civil_to_sim(2008, 1, 1, 0, 0, 0)));
     }
 
@@ -254,8 +247,8 @@ mod tests {
 
     #[test]
     fn flags_and_path() {
-        let c = parse_set_cookie("k=v; Secure; HttpOnly; Path=/account", HOST, SimTime::EPOCH)
-            .unwrap();
+        let c =
+            parse_set_cookie("k=v; Secure; HttpOnly; Path=/account", HOST, SimTime::EPOCH).unwrap();
         assert!(c.secure);
         assert!(c.http_only);
         assert_eq!(c.path, "/account");

@@ -69,8 +69,12 @@ fn noise_container(name: &str) -> bool {
 /// token or id.
 fn ad_container(doc: &Document, id: NodeId) -> bool {
     let has_ad_token = |v: &str| {
-        v.split([' ', '-', '_'])
-            .any(|tok| matches!(tok.to_ascii_lowercase().as_str(), "ad" | "ads" | "advert" | "advertisement" | "sponsor" | "sponsored"))
+        v.split([' ', '-', '_']).any(|tok| {
+            matches!(
+                tok.to_ascii_lowercase().as_str(),
+                "ad" | "ads" | "advert" | "advertisement" | "sponsor" | "sponsored"
+            )
+        })
     };
     doc.attr(id, "class").is_some_and(has_ad_token) || doc.attr(id, "id").is_some_and(has_ad_token)
 }
@@ -91,8 +95,18 @@ pub fn looks_like_datetime(text: &str) -> bool {
         }
     }
     const MONTHS: [&str; 12] = [
-        "january", "february", "march", "april", "may", "june", "july", "august", "september",
-        "october", "november", "december",
+        "january",
+        "february",
+        "march",
+        "april",
+        "may",
+        "june",
+        "july",
+        "august",
+        "september",
+        "october",
+        "november",
+        "december",
     ];
     let has_month = MONTHS.iter().any(|m| lower.contains(m));
     let has_year = lower.split(|c: char| !c.is_ascii_digit()).any(|d| d.len() == 4);
@@ -133,7 +147,10 @@ fn extract_rec(doc: &Document, node: NodeId, context: &mut String, set: &mut Con
             set.insert(context.clone(), text);
         }
         NodeData::Element { name, .. } => {
-            if noise_container(name) || ad_container(doc, node) || !cp_html::is_node_visible(doc, node) {
+            if noise_container(name)
+                || ad_container(doc, node)
+                || !cp_html::is_node_visible(doc, node)
+            {
                 return;
             }
             let saved = context.len();
@@ -285,7 +302,9 @@ mod tests {
 
     #[test]
     fn ad_containers_dropped() {
-        let s = set(r#"<body><div class="ad-slot"><p>BUY NOW</p></div><div id="ads"><p>x</p></div><p>keep</p></body>"#);
+        let s = set(
+            r#"<body><div class="ad-slot"><p>BUY NOW</p></div><div id="ads"><p>x</p></div><p>keep</p></body>"#,
+        );
         assert_eq!(s.len(), 1);
     }
 

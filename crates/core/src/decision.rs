@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use cp_html::Document;
-use cp_runtime::json::{Json, ToJson};
+use cp_runtime::json::{FromJson, Json, JsonError, ToJson};
 use cp_treediff::n_tree_sim;
 
 use crate::config::CookiePickerConfig;
@@ -33,6 +33,19 @@ impl ToJson for Decision {
             .set("text_sim", self.text_sim)
             .set("cookies_caused_difference", self.cookies_caused_difference)
             .set("detection_micros", self.detection_micros)
+    }
+}
+
+impl FromJson for Decision {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Decision {
+            tree_sim: f64::from_json(value.require("tree_sim")?)?,
+            text_sim: f64::from_json(value.require("text_sim")?)?,
+            cookies_caused_difference: bool::from_json(
+                value.require("cookies_caused_difference")?,
+            )?,
+            detection_micros: u64::from_json(value.require("detection_micros")?)?,
+        })
     }
 }
 
@@ -147,6 +160,19 @@ mod tests {
         let d = decide(&doc, &doc, &config());
         // Sub-millisecond on modern hardware, but strictly measured.
         assert!(d.detection_micros < 1_000_000);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = Decision {
+            tree_sim: 0.5,
+            text_sim: 0.25,
+            cookies_caused_difference: true,
+            detection_micros: 123,
+        };
+        let back = Decision::from_json(&Json::parse(&d.to_json().to_compact()).unwrap()).unwrap();
+        assert_eq!(back, d);
+        assert!(Decision::from_json(&Json::parse("{}").unwrap()).is_err());
     }
 
     #[test]

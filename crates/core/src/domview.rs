@@ -191,8 +191,11 @@ mod tests {
 
     #[test]
     fn id_aware_view_distinguishes_renamed_panels() {
-        let a = parse_document("<body><div id=ads><p>t</p></div><div><ul><li>x</li></ul></div></body>");
-        let b = parse_document("<body><div id=recs><p>t</p></div><div><ul><li>x</li></ul></div></body>");
+        let a =
+            parse_document("<body><div id=ads><p>t</p></div><div><ul><li>x</li></ul></div></body>");
+        let b = parse_document(
+            "<body><div id=recs><p>t</p></div><div><ul><li>x</li></ul></div></body>",
+        );
         // Plain labels: identical structure.
         assert_eq!(n_tree_sim(&DomTreeView::from_body(&a), &DomTreeView::from_body(&b), 5), 1.0);
         // Id-aware labels: the renamed panel's subtree no longer matches.
@@ -210,7 +213,9 @@ mod tests {
 
     #[test]
     fn display_none_subtree_not_counted() {
-        let d1 = parse_document(r#"<body><div style="display:none"><p>a</p><p>b</p></div><div><p>x</p></div></body>"#);
+        let d1 = parse_document(
+            r#"<body><div style="display:none"><p>a</p><p>b</p></div><div><p>x</p></div></body>"#,
+        );
         let v = DomTreeView::from_body(&d1);
         // body + visible div + its p = 3.
         assert_eq!(countable_nodes(&v, 5), 3);

@@ -10,8 +10,8 @@
 use std::collections::HashSet;
 
 use cp_html::Document;
-use cp_treediff::{rstm_with_mapping, TreeView};
 use cp_runtime::json::{Json, ToJson};
+use cp_treediff::{rstm_with_mapping, TreeView};
 
 use crate::config::CookiePickerConfig;
 use crate::cvce::content_extract;

@@ -63,9 +63,7 @@ impl ToJson for ForcumState {
             .sites
             .iter()
             .fold(Json::object(), |acc, (host, site)| acc.set(host.clone(), site.to_json()));
-        Json::object()
-            .set("sites", sites)
-            .set("stability_window", self.stability_window)
+        Json::object().set("sites", sites).set("stability_window", self.stability_window)
     }
 }
 

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use cp_runtime::json::{Json, ToJson};
+use cp_runtime::json::{FromJson, Json, JsonError, ToJson};
 
 use cp_browser::{BrowserExtension, PageContext};
 use cp_cookies::parse_cookie_header;
@@ -71,6 +71,32 @@ impl ToJson for TrainingSummary {
             .set("avg_detection_ms", self.avg_detection_ms)
             .set("avg_duration_ms", self.avg_duration_ms)
             .set("training_active", self.training_active)
+    }
+}
+
+impl FromJson for DetectionRecord {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(DetectionRecord {
+            host: String::from_json(value.require("host")?)?,
+            path: String::from_json(value.require("path")?)?,
+            group: Vec::<String>::from_json(value.require("group")?)?,
+            decision: Decision::from_json(value.require("decision")?)?,
+            hidden_latency_ms: u64::from_json(value.require("hidden_latency_ms")?)?,
+            duration_ms: f64::from_json(value.require("duration_ms")?)?,
+        })
+    }
+}
+
+impl FromJson for TrainingSummary {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(TrainingSummary {
+            host: String::from_json(value.require("host")?)?,
+            probes: usize::from_json(value.require("probes")?)?,
+            marking_probes: usize::from_json(value.require("marking_probes")?)?,
+            avg_detection_ms: f64::from_json(value.require("avg_detection_ms")?)?,
+            avg_duration_ms: f64::from_json(value.require("avg_duration_ms")?)?,
+            training_active: bool::from_json(value.require("training_active")?)?,
+        })
     }
 }
 
@@ -231,11 +257,8 @@ impl CookiePicker {
         if remaining.is_empty() {
             hidden.headers.remove("cookie");
         } else {
-            let header = remaining
-                .iter()
-                .map(|(n, v)| format!("{n}={v}"))
-                .collect::<Vec<_>>()
-                .join("; ");
+            let header =
+                remaining.iter().map(|(n, v)| format!("{n}={v}")).collect::<Vec<_>>().join("; ");
             hidden.headers.set("Cookie", header);
         }
         if self.config.xhr_header {
@@ -314,7 +337,8 @@ impl BrowserExtension for CookiePicker {
             self.last_disabled.insert(host.clone(), group.clone());
         }
 
-        let duration_ms = outcome.latency.as_millis() as f64 + decision.detection_micros as f64 / 1_000.0;
+        let duration_ms =
+            outcome.latency.as_millis() as f64 + decision.detection_micros as f64 / 1_000.0;
         self.records.push(DetectionRecord {
             host: host.clone(),
             path,
@@ -386,7 +410,8 @@ mod tests {
             browser.visit_with(&page, &mut picker).unwrap();
             browser.think();
         }
-        let marked: Vec<String> = browser.jar.iter().filter(|c| c.useful()).map(|c| c.name.clone()).collect();
+        let marked: Vec<String> =
+            browser.jar.iter().filter(|c| c.useful()).map(|c| c.name.clone()).collect();
         assert!(marked.contains(&"pref".to_string()));
         assert!(marked.contains(&"trk".to_string()), "piggyback mark expected");
     }
@@ -576,6 +601,47 @@ mod tests {
         let hidden = stealth.build_hidden_request(&req, &["keep".into()]);
         assert!(!hidden.headers.contains("x-requested-with"));
         assert_eq!(hidden.cookie_header(), Some("trk_a=1; trk_b=2"));
+    }
+
+    #[test]
+    fn record_and_summary_json_round_trip() {
+        let record = DetectionRecord {
+            host: "a.example".into(),
+            path: "/p".into(),
+            group: vec!["trk".into(), "pref".into()],
+            decision: Decision {
+                tree_sim: 0.1,
+                text_sim: 0.2,
+                cookies_caused_difference: true,
+                detection_micros: 77,
+            },
+            hidden_latency_ms: 9,
+            duration_ms: 9.077,
+        };
+        let back =
+            DetectionRecord::from_json(&Json::parse(&record.to_json().to_compact()).unwrap())
+                .unwrap();
+        assert_eq!(back.host, record.host);
+        assert_eq!(back.group, record.group);
+        assert_eq!(back.decision, record.decision);
+        assert_eq!(back.duration_ms, record.duration_ms);
+
+        let summary = TrainingSummary {
+            host: "a.example".into(),
+            probes: 4,
+            marking_probes: 1,
+            avg_detection_ms: 0.5,
+            avg_duration_ms: 10.25,
+            training_active: false,
+        };
+        let back =
+            TrainingSummary::from_json(&Json::parse(&summary.to_json().to_compact()).unwrap())
+                .unwrap();
+        assert_eq!(back.probes, summary.probes);
+        assert_eq!(back.marking_probes, summary.marking_probes);
+        assert_eq!(back.avg_duration_ms, summary.avg_duration_ms);
+        assert!(!back.training_active);
+        assert!(TrainingSummary::from_json(&Json::parse("{\"host\":\"x\"}").unwrap()).is_err());
     }
 
     #[test]

@@ -35,8 +35,7 @@ impl ToJson for RecoveryEvent {
 
 impl ToJson for RecoveryLog {
     fn to_json(&self) -> Json {
-        Json::object()
-            .set("events", Json::Array(self.events.iter().map(ToJson::to_json).collect()))
+        Json::object().set("events", Json::Array(self.events.iter().map(ToJson::to_json).collect()))
     }
 }
 

@@ -107,7 +107,12 @@ pub fn fit_thresholds(noise: &[SimSample], effects: &[SimSample]) -> FittedThres
     let thresh1 = (max_tree + MARGIN).min(1.0);
     let thresh2 = (max_text + MARGIN).min(1.0);
     let residual_false_rate = false_rate(noise, thresh1, thresh2);
-    FittedThresholds { thresh1, thresh2, residual_false_rate, separable: residual_false_rate == 0.0 }
+    FittedThresholds {
+        thresh1,
+        thresh2,
+        residual_false_rate,
+        separable: residual_false_rate == 0.0,
+    }
 }
 
 /// Fraction of noise samples a `(thresh1, thresh2)` pair would misread as
@@ -116,8 +121,7 @@ pub fn false_rate(noise: &[SimSample], thresh1: f64, thresh2: f64) -> f64 {
     if noise.is_empty() {
         return 0.0;
     }
-    let bad =
-        noise.iter().filter(|s| s.tree_sim <= thresh1 && s.text_sim <= thresh2).count();
+    let bad = noise.iter().filter(|s| s.tree_sim <= thresh1 && s.text_sim <= thresh2).count();
     bad as f64 / noise.len() as f64
 }
 

@@ -184,7 +184,8 @@ mod tests {
 
     #[test]
     fn fork_fetches_all_objects() {
-        let spec = SiteSpec::new("d.example", Category::News, 41).with_cookie(CookieSpec::tracker("t"));
+        let spec =
+            SiteSpec::new("d.example", Category::News, 41).with_cookie(CookieSpec::tracker("t"));
         let (mut browser, url) = world(spec);
         let mut dg = Doppelganger::default();
         browser.visit_with(&url, &mut dg).unwrap();
@@ -196,7 +197,8 @@ mod tests {
     fn noise_triggers_prompts() {
         // Rotating ad text differs between the two windows → Doppelganger
         // must bother the user even though no cookie matters.
-        let spec = SiteSpec::new("n.example", Category::Arts, 42).with_cookie(CookieSpec::tracker("t"));
+        let spec =
+            SiteSpec::new("n.example", Category::Arts, 42).with_cookie(CookieSpec::tracker("t"));
         let (mut browser, url) = world(spec);
         let mut dg = Doppelganger::new(PromptPolicy::AlwaysIgnore);
         for i in 0..5 {
@@ -222,7 +224,8 @@ mod tests {
 
     #[test]
     fn overhead_far_exceeds_single_request() {
-        let spec = SiteSpec::new("o.example", Category::Games, 44).with_cookie(CookieSpec::tracker("t"));
+        let spec =
+            SiteSpec::new("o.example", Category::Games, 44).with_cookie(CookieSpec::tracker("t"));
         let (mut browser, url) = world(spec);
         let mut dg = Doppelganger::default();
         let views = 4;

@@ -125,8 +125,7 @@ impl Document {
         attrs: Vec<(String, String)>,
     ) -> NodeId {
         let name = name.into().to_ascii_lowercase();
-        let attrs =
-            attrs.into_iter().map(|(k, v)| (k.to_ascii_lowercase(), v)).collect::<Vec<_>>();
+        let attrs = attrs.into_iter().map(|(k, v)| (k.to_ascii_lowercase(), v)).collect::<Vec<_>>();
         self.push(NodeData::Element { name, attrs })
     }
 
@@ -218,10 +217,9 @@ impl Document {
     /// Attribute lookup (name is matched case-insensitively).
     pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
         match self.data(id) {
-            NodeData::Element { attrs, .. } => attrs
-                .iter()
-                .find(|(k, _)| k.eq_ignore_ascii_case(name))
-                .map(|(_, v)| v.as_str()),
+            NodeData::Element { attrs, .. } => {
+                attrs.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+            }
             _ => None,
         }
     }
@@ -410,8 +408,7 @@ mod tests {
         doc.append_child(p1, t1);
         let p2 = doc.create_element("p", vec![]);
         doc.append_child(body, p2);
-        let names: Vec<String> =
-            doc.preorder_all().map(|n| doc.node_name(n).to_string()).collect();
+        let names: Vec<String> = doc.preorder_all().map(|n| doc.node_name(n).to_string()).collect();
         assert_eq!(names, ["#document", "html", "body", "p", "#text", "p"]);
     }
 

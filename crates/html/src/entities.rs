@@ -168,9 +168,7 @@ fn decode_reference(name: &str) -> Option<String> {
     }
     // Named references are case-sensitive in HTML5 but legacy pages often use
     // odd casing; we accept an exact match first, then a lowercase fallback.
-    lookup_named(name)
-        .or_else(|| lookup_named(&name.to_ascii_lowercase()))
-        .map(|s| s.to_string())
+    lookup_named(name).or_else(|| lookup_named(&name.to_ascii_lowercase())).map(|s| s.to_string())
 }
 
 /// Escapes `<`, `>` and `&` for text-node serialization.

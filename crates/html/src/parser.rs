@@ -20,8 +20,20 @@ use crate::tokenizer::{tokenize, Token};
 fn is_void(name: &str) -> bool {
     matches!(
         name,
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
-            | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -34,9 +46,31 @@ fn is_head_content(name: &str) -> bool {
 fn closes_p(name: &str) -> bool {
     matches!(
         name,
-        "address" | "article" | "aside" | "blockquote" | "div" | "dl" | "fieldset" | "footer"
-            | "form" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "header" | "hr" | "main"
-            | "nav" | "ol" | "p" | "pre" | "section" | "table" | "ul"
+        "address"
+            | "article"
+            | "aside"
+            | "blockquote"
+            | "div"
+            | "dl"
+            | "fieldset"
+            | "footer"
+            | "form"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "header"
+            | "hr"
+            | "main"
+            | "nav"
+            | "ol"
+            | "p"
+            | "pre"
+            | "section"
+            | "table"
+            | "ul"
     )
 }
 
@@ -189,7 +223,12 @@ impl TreeBuilder {
         self.doc.append_child(cur, t);
     }
 
-    fn process_start(&mut self, name: &str, attrs: Vec<crate::tokenizer::Attribute>, self_closing: bool) {
+    fn process_start(
+        &mut self,
+        name: &str,
+        attrs: Vec<crate::tokenizer::Attribute>,
+        self_closing: bool,
+    ) {
         let attrs: Vec<(String, String)> = attrs.into_iter().map(|a| (a.name, a.value)).collect();
         match name {
             "html" => {

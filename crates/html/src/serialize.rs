@@ -6,8 +6,20 @@ use crate::entities::{escape_attr, escape_text};
 fn is_void(name: &str) -> bool {
     matches!(
         name,
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
-            | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -50,10 +62,8 @@ fn write_node(doc: &Document, id: NodeId, out: &mut String) {
             out.push_str("-->");
         }
         NodeData::Text(text) => {
-            let parent_raw = doc
-                .parent(id)
-                .and_then(|p| doc.tag_name(p).map(is_raw_text))
-                .unwrap_or(false);
+            let parent_raw =
+                doc.parent(id).and_then(|p| doc.tag_name(p).map(is_raw_text)).unwrap_or(false);
             if parent_raw {
                 out.push_str(text);
             } else {
@@ -95,10 +105,7 @@ mod tests {
     fn round_trip_simple() {
         let doc = parse_document("<!DOCTYPE html><html><head></head><body><p>x</p></body></html>");
         let html = serialize(&doc, NodeId::DOCUMENT);
-        assert_eq!(
-            html,
-            "<!DOCTYPE html><html><head></head><body><p>x</p></body></html>"
-        );
+        assert_eq!(html, "<!DOCTYPE html><html><head></head><body><p>x</p></body></html>");
     }
 
     #[test]

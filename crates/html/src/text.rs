@@ -14,10 +14,41 @@ use crate::visibility::is_node_visible;
 fn is_block(name: &str) -> bool {
     matches!(
         name,
-        "address" | "article" | "aside" | "blockquote" | "body" | "dd" | "div" | "dl" | "dt"
-            | "fieldset" | "figure" | "footer" | "form" | "h1" | "h2" | "h3" | "h4" | "h5"
-            | "h6" | "header" | "hr" | "legend" | "li" | "main" | "nav" | "ol" | "p" | "pre"
-            | "section" | "table" | "td" | "th" | "tr" | "ul" | "html"
+        "address"
+            | "article"
+            | "aside"
+            | "blockquote"
+            | "body"
+            | "dd"
+            | "div"
+            | "dl"
+            | "dt"
+            | "fieldset"
+            | "figure"
+            | "footer"
+            | "form"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "header"
+            | "hr"
+            | "legend"
+            | "li"
+            | "main"
+            | "nav"
+            | "ol"
+            | "p"
+            | "pre"
+            | "section"
+            | "table"
+            | "td"
+            | "th"
+            | "tr"
+            | "ul"
+            | "html"
     )
 }
 
@@ -41,8 +72,7 @@ pub fn inner_text(doc: &Document, root: NodeId) -> String {
     let mut out = String::new();
     walk(doc, root, &mut out);
     // Normalize: trim lines, drop empties.
-    let lines: Vec<&str> =
-        out.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+    let lines: Vec<&str> = out.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
     lines.join("\n")
 }
 

@@ -262,7 +262,10 @@ impl<'a> Tokenizer<'a> {
         self.pos += "<!doctype".len();
         self.skip_whitespace();
         let start = self.pos;
-        while self.pos < self.bytes.len() && !self.bytes[self.pos].is_ascii_whitespace() && self.bytes[self.pos] != b'>' {
+        while self.pos < self.bytes.len()
+            && !self.bytes[self.pos].is_ascii_whitespace()
+            && self.bytes[self.pos] != b'>'
+        {
             self.pos += 1;
         }
         let name = self.input[start..self.pos].to_ascii_lowercase();
@@ -511,8 +514,21 @@ mod tests {
     #[test]
     fn never_panics_on_garbage() {
         for garbage in [
-            "<", "</", "<!", "<!-", "<a b=\"", "<a b='", "\u{0}<>\u{ffff}", "<<<>>>", "&#;",
-            "&#x;", "<a/ b>", "< a>", "<a =>", "<!doctype", "<![CDATA[",
+            "<",
+            "</",
+            "<!",
+            "<!-",
+            "<a b=\"",
+            "<a b='",
+            "\u{0}<>\u{ffff}",
+            "<<<>>>",
+            "&#;",
+            "&#x;",
+            "<a/ b>",
+            "< a>",
+            "<a =>",
+            "<!doctype",
+            "<![CDATA[",
         ] {
             let _ = tokenize(garbage);
         }

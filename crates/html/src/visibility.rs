@@ -22,8 +22,17 @@ use crate::dom::{Document, NodeData, NodeId};
 pub fn is_invisible_element_name(name: &str) -> bool {
     matches!(
         name,
-        "script" | "style" | "head" | "meta" | "link" | "base" | "title" | "noscript"
-            | "template" | "noframes" | "param"
+        "script"
+            | "style"
+            | "head"
+            | "meta"
+            | "link"
+            | "base"
+            | "title"
+            | "noscript"
+            | "template"
+            | "noframes"
+            | "param"
     )
 }
 
@@ -44,7 +53,9 @@ pub fn is_node_visible(doc: &Document, id: NodeId) -> bool {
             if doc.attr(id, "hidden").is_some() {
                 return false;
             }
-            if name == "input" && doc.attr(id, "type").is_some_and(|t| t.eq_ignore_ascii_case("hidden")) {
+            if name == "input"
+                && doc.attr(id, "type").is_some_and(|t| t.eq_ignore_ascii_case("hidden"))
+            {
                 return false;
             }
             if let Some(style) = doc.attr(id, "style") {
@@ -99,7 +110,8 @@ mod tests {
 
     #[test]
     fn hidden_attribute_and_inputs() {
-        let doc = parse_document(r#"<div hidden>x</div><input type=hidden name=n><input type=text>"#);
+        let doc =
+            parse_document(r#"<div hidden>x</div><input type=hidden name=n><input type=text>"#);
         let div = doc.find_element(NodeId::DOCUMENT, "div").unwrap();
         assert!(!is_node_visible(&doc, div));
         let inputs = doc.find_all(NodeId::DOCUMENT, "input");
@@ -109,7 +121,8 @@ mod tests {
 
     #[test]
     fn inline_display_none() {
-        let doc = parse_document(r#"<div style="display: none">x</div><div style="color:red">y</div>"#);
+        let doc =
+            parse_document(r#"<div style="display: none">x</div><div style="color:red">y</div>"#);
         let divs = doc.find_all(NodeId::DOCUMENT, "div");
         assert!(!is_node_visible(&doc, divs[0]));
         assert!(is_node_visible(&doc, divs[1]));

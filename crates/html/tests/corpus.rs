@@ -5,9 +5,7 @@ use cp_html::{inner_text, parse_document, select, serialize, NodeId};
 
 fn tags(html: &str) -> Vec<String> {
     let doc = parse_document(html);
-    doc.preorder_all()
-        .filter_map(|n| doc.tag_name(n).map(str::to_string))
-        .collect()
+    doc.preorder_all().filter_map(|n| doc.tag_name(n).map(str::to_string)).collect()
 }
 
 #[test]
@@ -150,18 +148,16 @@ fn real_world_head_section() {
     );
     let head = doc.head().unwrap();
     let in_head = |tag: &str| {
-        doc.find_all(NodeId::DOCUMENT, tag)
-            .iter()
-            .all(|&n| {
-                let mut cur = doc.parent(n);
-                while let Some(p) = cur {
-                    if p == head {
-                        return true;
-                    }
-                    cur = doc.parent(p);
+        doc.find_all(NodeId::DOCUMENT, tag).iter().all(|&n| {
+            let mut cur = doc.parent(n);
+            while let Some(p) = cur {
+                if p == head {
+                    return true;
                 }
-                false
-            })
+                cur = doc.parent(p);
+            }
+            false
+        })
     };
     for tag in ["meta", "title", "link", "style", "script"] {
         assert!(in_head(tag), "{tag} should be in head");
@@ -171,9 +167,8 @@ fn real_world_head_section() {
 
 #[test]
 fn unclosed_everything_still_structured() {
-    let doc = parse_document(
-        "<html><body><div class=a><p>one<div class=b><p>two<table><tr><td>cell",
-    );
+    let doc =
+        parse_document("<html><body><div class=a><p>one<div class=b><p>two<table><tr><td>cell");
     assert_eq!(doc.find_all(NodeId::DOCUMENT, "div").len(), 2);
     assert_eq!(doc.find_all(NodeId::DOCUMENT, "p").len(), 2);
     assert_eq!(doc.find_all(NodeId::DOCUMENT, "td").len(), 1);

@@ -131,7 +131,13 @@ mod tests {
 
     #[test]
     fn never_zero() {
-        let model = LatencyModel { base_ms: 0.0, per_kb_ms: 0.0, jitter: 0.0, slow_probability: 0.0, slow_extra_ms: 0.0 };
+        let model = LatencyModel {
+            base_ms: 0.0,
+            per_kb_ms: 0.0,
+            jitter: 0.0,
+            slow_probability: 0.0,
+            slow_extra_ms: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         assert!(model.sample(&mut rng, 0).as_millis() >= 1);
     }

@@ -150,8 +150,7 @@ impl SimNetwork {
     /// host.
     pub fn fetch(&self, req: &Request, now: SimTime) -> Result<FetchOutcome, NetError> {
         let host = req.url.host();
-        let entry =
-            self.hosts.get(host).ok_or_else(|| NetError::UnknownHost(host.to_string()))?;
+        let entry = self.hosts.get(host).ok_or_else(|| NetError::UnknownHost(host.to_string()))?;
         if let Some(log) = self.log.lock().as_mut() {
             log.push(LoggedRequest {
                 host: host.to_string(),

@@ -506,9 +506,7 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         if is_float {
-            text.parse::<f64>()
-                .map(Json::Float)
-                .map_err(|_| self.err("number out of range"))
+            text.parse::<f64>().map(Json::Float).map_err(|_| self.err("number out of range"))
         } else {
             match text.parse::<i64>() {
                 Ok(i) => Ok(Json::Int(i)),
@@ -635,9 +633,8 @@ impl FromJson for i64 {
 
 impl FromJson for usize {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
-        u64::from_json(value).and_then(|v| {
-            usize::try_from(v).map_err(|_| JsonError::msg("integer out of range"))
-        })
+        u64::from_json(value)
+            .and_then(|v| usize::try_from(v).map_err(|_| JsonError::msg("integer out of range")))
     }
 }
 
@@ -736,17 +733,24 @@ mod tests {
         let v = Json::parse(src).unwrap();
         let re = Json::parse(&v.to_compact()).unwrap();
         assert_eq!(v, re);
-        assert_eq!(
-            v.get("b").unwrap().get("c").unwrap().as_str().unwrap(),
-            "A\u{1F600}"
-        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str().unwrap(), "A\u{1F600}");
     }
 
     #[test]
     fn parse_rejects_garbage() {
         for bad in [
-            "not json", "{", "[1,]", "{\"a\":}", "01", "1.", "1e", "\"\\x\"", "tru",
-            "{\"a\":1} extra", "[1 2]", "\u{1}",
+            "not json",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "tru",
+            "{\"a\":1} extra",
+            "[1 2]",
+            "\u{1}",
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }

@@ -13,6 +13,7 @@
 //! | [`json`] | `serde`/`serde_json` | [`json::Json`] value, strict parser, fixture-compatible writers, [`json!`] builder macro |
 //! | [`par`]  | `crossbeam::scope` | [`par::par_map_indexed`] — ordered scoped fan-out with a worker cap |
 //! | [`sync`] | `parking_lot`      | guard-returning `Mutex` / `RwLock` |
+//! | [`metrics`] | `prometheus`    | atomic `Counter` / `Gauge` / latency `Histogram` for the service layer |
 //!
 //! Determinism is the design center: the PRNG stream is pinned by tests,
 //! JSON output is byte-stable (sorted keys, shortest float repr), and
@@ -20,6 +21,7 @@
 //! scheduling — so one seed always produces one report, byte for byte.
 
 pub mod json;
+pub mod metrics;
 pub mod par;
 pub mod rng;
 pub mod sync;

@@ -54,10 +54,7 @@ where
                     local.push((i, f(i, &items[i])));
                 }
                 if !local.is_empty() {
-                    collected
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .append(&mut local);
+                    collected.lock().unwrap_or_else(|e| e.into_inner()).append(&mut local);
                 }
             });
         }

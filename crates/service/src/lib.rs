@@ -1,0 +1,32 @@
+//! # cp-serve — the CookiePicker decision service
+//!
+//! A std-only, multi-threaded HTTP/1.1 server that puts the detection
+//! engine behind real TCP:
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `POST /v1/classify` | Figure-5 decision on a caller-provided page pair |
+//! | `POST /v1/visit` | One FORCUM training step against the embedded world |
+//! | `GET /v1/sites/{host}` | Training summary for a site |
+//! | `GET /healthz` | Liveness |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `POST /v1/shutdown` | Graceful shutdown (drains in-flight work) |
+//!
+//! Layering: [`http`] is the wire (strict incremental HTTP/1.1 parser,
+//! typed errors, never a panic), [`store`] is the host-sharded training
+//! state, [`world`] is the embedded deterministic site population,
+//! [`metrics`] is the atomic registry, [`server`] wires them behind a
+//! bounded-queue worker pool, and [`loadgen`] is the seeded closed-loop
+//! client that benchmarks the whole stack.
+
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+pub mod store;
+pub mod world;
+
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use server::{start, ServeConfig, ServerHandle};
+pub use store::ShardedStore;
+pub use world::EmbeddedWorld;

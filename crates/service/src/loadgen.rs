@@ -1,0 +1,444 @@
+//! A deterministic closed-loop load generator for cp-serve.
+//!
+//! `threads` client threads drive real TCP connections with keep-alive.
+//! The visit mix is seeded and *partitioned*: thread `t` owns the sites
+//! whose index satisfies `idx % threads == t`, so every site sees its
+//! visits in one thread's deterministic order. Combined with the embedded
+//! world's per-request noise derivation, two runs with the same seed
+//! against same-seed servers produce identical decision counters — the
+//! property `tests/serve_determinism.rs` pins.
+//!
+//! Latency is measured per request on the client (request written →
+//! response parsed); the report carries exact p50/p95/p99 over all
+//! samples, plus the client-side verdict tally to cross-check against the
+//! server's `/metrics` counters.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cp_runtime::json::{Json, ToJson};
+use cp_runtime::rng::{Rng, SeedableRng, StdRng};
+use cp_webworld::table1_population;
+
+use crate::http::{write_request, HttpConn, HttpError, HttpResponse, Limits};
+use crate::metrics::scrape_counter;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server host.
+    pub host: String,
+    /// Server port.
+    pub port: u16,
+    /// Client threads (each with its own connection and RNG stream).
+    pub threads: usize,
+    /// Total requests across all threads.
+    pub requests: u64,
+    /// Seed: must match the server's `--seed` for the visit mix to make
+    /// sense (hosts come from the same Table-1 population).
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            threads: 4,
+            requests: 10_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Aggregated run report.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests completed (responses parsed).
+    pub requests: u64,
+    /// Responses by status class.
+    pub status_2xx: u64,
+    /// 4xx responses (should be 0 under the standard mix).
+    pub status_4xx: u64,
+    /// 5xx responses (must be 0).
+    pub status_5xx: u64,
+    /// Transport failures (connect/read/write errors).
+    pub transport_errors: u64,
+    /// Wall-clock duration of the run, milliseconds.
+    pub elapsed_ms: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Client-measured latency percentiles, microseconds.
+    pub p50_micros: u64,
+    /// 95th percentile.
+    pub p95_micros: u64,
+    /// 99th percentile.
+    pub p99_micros: u64,
+    /// Worst observed latency.
+    pub max_micros: u64,
+    /// Client-side tally of `useful` verdicts (visits that probed + classify calls).
+    pub client_useful: u64,
+    /// Client-side tally of `noise` verdicts.
+    pub client_noise: u64,
+    /// Server-side `cp_decisions_total{verdict="useful"}` scraped after the run.
+    pub server_useful: u64,
+    /// Server-side `cp_decisions_total{verdict="noise"}`.
+    pub server_noise: u64,
+    /// Whether the client tally matches the server counters exactly.
+    pub counters_match: bool,
+}
+
+impl ToJson for LoadgenReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("requests", self.requests)
+            .set("status_2xx", self.status_2xx)
+            .set("status_4xx", self.status_4xx)
+            .set("status_5xx", self.status_5xx)
+            .set("transport_errors", self.transport_errors)
+            .set("elapsed_ms", self.elapsed_ms)
+            .set("throughput_rps", self.throughput_rps)
+            .set(
+                "latency_micros",
+                Json::object()
+                    .set("p50", self.p50_micros)
+                    .set("p95", self.p95_micros)
+                    .set("p99", self.p99_micros)
+                    .set("max", self.max_micros),
+            )
+            .set(
+                "decisions",
+                Json::object()
+                    .set("client_useful", self.client_useful)
+                    .set("client_noise", self.client_noise)
+                    .set("server_useful", self.server_useful)
+                    .set("server_noise", self.server_noise)
+                    .set("counters_match", self.counters_match),
+            )
+    }
+}
+
+/// A keep-alive HTTP client over one TCP connection; reconnects once per
+/// request on transport failure.
+pub struct Client {
+    host: String,
+    port: u16,
+    conn: Option<HttpConn<TcpStream>>,
+}
+
+impl Client {
+    /// Creates a client for `host:port` (connects lazily).
+    pub fn new(host: &str, port: u16) -> Self {
+        Client { host: host.to_string(), port, conn: None }
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut HttpConn<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect((self.host.as_str(), self.port))?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(HttpConn::new(stream, Limits::default()));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request and reads the response, retrying once on a stale
+    /// keep-alive connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<HttpResponse, HttpError> {
+        for attempt in 0..2 {
+            let host = format!("{}:{}", self.host, self.port);
+            let result = (|| {
+                let conn = self.connect().map_err(HttpError::Io)?;
+                write_request(conn.stream_mut(), method, target, &host, body)
+                    .map_err(HttpError::Io)?;
+                conn.read_response()
+            })();
+            match result {
+                Ok(response) => {
+                    let close = response
+                        .headers
+                        .get("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                    if close {
+                        self.conn = None;
+                    }
+                    return Ok(response);
+                }
+                Err(err) if attempt == 0 => {
+                    // The server may have timed this connection out between
+                    // requests; reconnect once before reporting the error.
+                    self.conn = None;
+                    let _ = err;
+                }
+                Err(err) => {
+                    self.conn = None;
+                    return Err(err);
+                }
+            }
+        }
+        unreachable!("loop returns on second attempt")
+    }
+}
+
+/// Deterministic (regular, hidden) page pairs for the classify slice of
+/// the mix: index 0 differs structurally (useful), 1 and 2 do not.
+const CLASSIFY_PAIRS: [(&str, &str); 3] = [
+    (
+        "<html><body><h1>Home</h1><ul><li>saved item</li><li>saved item</li></ul>\
+         <div><p>personalized shelf</p><p>another row</p></div></body></html>",
+        "<html><body><h1>Home</h1><p>log in to see your items</p></body></html>",
+    ),
+    (
+        "<html><body><h1>News</h1><p>story one</p><p>story two</p></body></html>",
+        "<html><body><h1>News</h1><p>story one</p><p>story two</p></body></html>",
+    ),
+    (
+        "<html><body><div><p>banner A</p><p>content</p></div></body></html>",
+        "<html><body><div><p>banner B</p><p>content</p></div></body></html>",
+    ),
+];
+
+struct ThreadTally {
+    samples: Vec<u64>,
+    status_2xx: u64,
+    status_4xx: u64,
+    status_5xx: u64,
+    transport_errors: u64,
+    useful: u64,
+    noise: u64,
+}
+
+/// Runs the load and returns the aggregated report. The final `/metrics`
+/// scrape (for the counter cross-check) happens after every client thread
+/// has finished.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
+    let threads = config.threads.max(1);
+    let hosts: Vec<String> = table1_population(config.seed).into_iter().map(|s| s.domain).collect();
+    let started = Instant::now();
+
+    let tallies: Vec<ThreadTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let quota = config.requests / threads as u64
+                    + u64::from((t as u64) < config.requests % threads as u64);
+                // Thread t owns every (threads)-th site: per-site visit
+                // order is single-threaded, hence deterministic.
+                let owned: Vec<&str> = hosts
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, _)| idx % threads == t)
+                    .map(|(_, h)| h.as_str())
+                    .collect();
+                let config = &*config;
+                scope.spawn(move || client_thread(config, t as u64, quota, &owned))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    let mut samples = Vec::new();
+    let mut report = LoadgenReport {
+        requests: 0,
+        status_2xx: 0,
+        status_4xx: 0,
+        status_5xx: 0,
+        transport_errors: 0,
+        elapsed_ms,
+        throughput_rps: 0.0,
+        p50_micros: 0,
+        p95_micros: 0,
+        p99_micros: 0,
+        max_micros: 0,
+        client_useful: 0,
+        client_noise: 0,
+        server_useful: 0,
+        server_noise: 0,
+        counters_match: false,
+    };
+    for tally in tallies {
+        report.requests += tally.samples.len() as u64;
+        report.status_2xx += tally.status_2xx;
+        report.status_4xx += tally.status_4xx;
+        report.status_5xx += tally.status_5xx;
+        report.transport_errors += tally.transport_errors;
+        report.client_useful += tally.useful;
+        report.client_noise += tally.noise;
+        samples.extend(tally.samples);
+    }
+    samples.sort_unstable();
+    report.p50_micros = percentile(&samples, 0.50);
+    report.p95_micros = percentile(&samples, 0.95);
+    report.p99_micros = percentile(&samples, 0.99);
+    report.max_micros = samples.last().copied().unwrap_or(0);
+    report.throughput_rps =
+        if elapsed_ms > 0.0 { report.requests as f64 / (elapsed_ms / 1_000.0) } else { 0.0 };
+
+    // Cross-check the server's verdict counters against the client tally.
+    let mut client = Client::new(&config.host, config.port);
+    let exposition = client.request("GET", "/metrics", b"")?.body_string();
+    report.server_useful =
+        scrape_counter(&exposition, "cp_decisions_total{verdict=\"useful\"}").unwrap_or(0);
+    report.server_noise =
+        scrape_counter(&exposition, "cp_decisions_total{verdict=\"noise\"}").unwrap_or(0);
+    report.counters_match =
+        report.server_useful == report.client_useful && report.server_noise == report.client_noise;
+    Ok(report)
+}
+
+fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> ThreadTally {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut client = Client::new(&config.host, config.port);
+    let mut jars: HashMap<String, Vec<String>> = HashMap::new();
+    let mut tally = ThreadTally {
+        samples: Vec::with_capacity(quota as usize),
+        status_2xx: 0,
+        status_4xx: 0,
+        status_5xx: 0,
+        transport_errors: 0,
+        useful: 0,
+        noise: 0,
+    };
+
+    for _ in 0..quota {
+        let roll = rng.gen_range(0..100u64);
+        let (method, target, body): (&str, String, String) = if roll < 86 && !owned.is_empty() {
+            let host = owned[rng.gen_range(0..owned.len())];
+            let path = match rng.gen_range(0..5u64) {
+                0 => "/".to_string(),
+                n => format!("/page/{n}"),
+            };
+            let mut payload = Json::object().set("host", host).set("path", path.as_str());
+            if let Some(jar) = jars.get(host) {
+                if !jar.is_empty() {
+                    payload = payload.set("cookie", jar.join("; "));
+                }
+            }
+            ("POST", "/v1/visit".to_string(), payload.to_compact())
+        } else if roll < 90 {
+            ("GET", "/healthz".to_string(), String::new())
+        } else if roll < 94 && !owned.is_empty() {
+            let host = owned[rng.gen_range(0..owned.len())];
+            ("GET", format!("/v1/sites/{host}"), String::new())
+        } else {
+            let (regular, hidden) = CLASSIFY_PAIRS[rng.gen_range(0..CLASSIFY_PAIRS.len())];
+            let payload = Json::object().set("regular", regular).set("hidden", hidden);
+            ("POST", "/v1/classify".to_string(), payload.to_compact())
+        };
+
+        let sent = Instant::now();
+        match client.request(method, &target, body.as_bytes()) {
+            Ok(response) => {
+                tally.samples.push(sent.elapsed().as_micros() as u64);
+                match response.status {
+                    200..=299 => tally.status_2xx += 1,
+                    500..=599 => tally.status_5xx += 1,
+                    _ => tally.status_4xx += 1,
+                }
+                if response.status == 200 {
+                    observe_verdicts(&response, target.as_str(), &mut tally, &mut jars);
+                }
+            }
+            Err(_) => tally.transport_errors += 1,
+        }
+    }
+    tally
+}
+
+/// Updates the client-side verdict tally and cookie jars from a response.
+fn observe_verdicts(
+    response: &HttpResponse,
+    target: &str,
+    tally: &mut ThreadTally,
+    jars: &mut HashMap<String, Vec<String>>,
+) {
+    let Ok(json) = Json::parse(&response.body_string()) else { return };
+    if target == "/v1/visit" {
+        if let Some(record) = json.get("record").filter(|r| **r != Json::Null) {
+            match record
+                .get("decision")
+                .and_then(|d| d.get("cookies_caused_difference"))
+                .and_then(Json::as_bool)
+            {
+                Some(true) => tally.useful += 1,
+                Some(false) => tally.noise += 1,
+                None => {}
+            }
+        }
+        if let (Some(host), Some(set_cookies)) = (
+            json.get("host").and_then(Json::as_str),
+            json.get("set_cookies").and_then(Json::as_array),
+        ) {
+            let jar = jars.entry(host.to_string()).or_default();
+            for cookie in set_cookies.iter().filter_map(Json::as_str) {
+                if !jar.iter().any(|c| c == cookie) {
+                    jar.push(cookie.to_string());
+                }
+            }
+        }
+    } else if target == "/v1/classify" {
+        match json.get("cookies_caused_difference").and_then(Json::as_bool) {
+            Some(true) => tally.useful += 1,
+            Some(false) => tally.noise += 1,
+            None => {}
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    // Nearest-rank: the smallest value with at least q of the mass below it.
+    let rank = (sorted.len() as f64 * q).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{start, ServeConfig};
+
+    #[test]
+    fn percentiles_are_exact() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 0.50), 50);
+        assert_eq!(percentile(&samples, 0.95), 95);
+        assert_eq!(percentile(&samples, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[42], 0.99), 42);
+    }
+
+    #[test]
+    fn small_run_against_live_server() {
+        let server = start(ServeConfig { seed: 7, workers: 2, ..ServeConfig::default() }).unwrap();
+        let report = run(&LoadgenConfig {
+            port: server.port(),
+            threads: 2,
+            requests: 200,
+            seed: 7,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.requests, 200);
+        assert_eq!(report.status_5xx, 0);
+        assert_eq!(report.transport_errors, 0);
+        assert_eq!(report.status_4xx, 0, "standard mix never 4xxes");
+        assert!(
+            report.counters_match,
+            "client tally {}/{} vs server {}/{}",
+            report.client_useful, report.client_noise, report.server_useful, report.server_noise
+        );
+        assert!(report.p50_micros <= report.p95_micros);
+        assert!(report.p95_micros <= report.p99_micros);
+        let json = report.to_json().to_compact();
+        assert!(json.contains("\"counters_match\":true"));
+    }
+}

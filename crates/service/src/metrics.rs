@@ -1,0 +1,244 @@
+//! Service metrics and their Prometheus text rendering.
+//!
+//! A fixed, allocation-free registry: every series the server exports is a
+//! named field, bumped through atomics ([`cp_runtime::metrics`]) on the hot
+//! path. `GET /metrics` renders the classic text exposition format:
+//!
+//! ```text
+//! cp_requests_total{endpoint="visit"} 9000
+//! cp_request_duration_micros_bucket{endpoint="visit",le="1000"} 4123
+//! cp_decisions_total{verdict="useful"} 211
+//! cp_queue_depth 0
+//! ```
+
+use std::fmt::Write as _;
+
+use cp_runtime::metrics::{Counter, Gauge, Histogram};
+
+/// The endpoints the server distinguishes in its per-endpoint series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /v1/classify`.
+    Classify,
+    /// `POST /v1/visit`.
+    Visit,
+    /// `GET /v1/sites/{host}`.
+    Sites,
+    /// `POST /v1/shutdown`.
+    Shutdown,
+    /// Anything else (404s, bad requests).
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, in rendering order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Classify,
+        Endpoint::Visit,
+        Endpoint::Sites,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    /// The `endpoint` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Classify => "classify",
+            Endpoint::Visit => "visit",
+            Endpoint::Sites => "sites",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL.iter().position(|e| *e == self).expect("endpoint in ALL")
+    }
+}
+
+/// One endpoint's request counter + latency histogram.
+#[derive(Debug, Default)]
+pub struct EndpointSeries {
+    /// Requests routed to this endpoint.
+    pub requests: Counter,
+    /// Handling latency (request parsed → response built), in microseconds.
+    pub latency: Histogram,
+}
+
+/// The server's metric registry.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    endpoints: [EndpointSeries; 7],
+    /// Responses by status class.
+    pub responses_2xx: Counter,
+    /// 4xx responses (bad requests, 404s, 413s).
+    pub responses_4xx: Counter,
+    /// 5xx responses (handler panics).
+    pub responses_5xx: Counter,
+    /// Detection verdicts: difference attributed to cookies.
+    pub decisions_useful: Counter,
+    /// Detection verdicts: page-dynamics noise.
+    pub decisions_noise: Counter,
+    /// Connections queued for a worker right now.
+    pub queue_depth: Gauge,
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: Counter,
+    /// Connections rejected because the accept queue was full.
+    pub rejected_total: Counter,
+}
+
+impl ServiceMetrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        ServiceMetrics::default()
+    }
+
+    /// The series for `endpoint`.
+    pub fn endpoint(&self, endpoint: Endpoint) -> &EndpointSeries {
+        &self.endpoints[endpoint.index()]
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, micros: u64) {
+        let series = self.endpoint(endpoint);
+        series.requests.inc();
+        series.latency.observe(micros);
+        match status {
+            200..=299 => self.responses_2xx.inc(),
+            500..=599 => self.responses_5xx.inc(),
+            _ => self.responses_4xx.inc(),
+        }
+    }
+
+    /// Records one decision verdict.
+    pub fn record_verdict(&self, useful: bool) {
+        if useful {
+            self.decisions_useful.inc();
+        } else {
+            self.decisions_noise.inc();
+        }
+    }
+
+    /// Renders the Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("# TYPE cp_requests_total counter\n");
+        for e in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "cp_requests_total{{endpoint=\"{}\"}} {}",
+                e.label(),
+                self.endpoint(e).requests.get()
+            );
+        }
+        out.push_str("# TYPE cp_request_duration_micros histogram\n");
+        for e in Endpoint::ALL {
+            let series = self.endpoint(e);
+            if series.requests.get() == 0 {
+                continue; // keep the exposition small: no series for idle endpoints
+            }
+            for (bound, cumulative) in series.latency.snapshot() {
+                let le = if bound == u64::MAX { "+Inf".to_string() } else { bound.to_string() };
+                let _ = writeln!(
+                    out,
+                    "cp_request_duration_micros_bucket{{endpoint=\"{}\",le=\"{le}\"}} {cumulative}",
+                    e.label()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "cp_request_duration_micros_sum{{endpoint=\"{}\"}} {}",
+                e.label(),
+                series.latency.sum_micros()
+            );
+            let _ = writeln!(
+                out,
+                "cp_request_duration_micros_count{{endpoint=\"{}\"}} {}",
+                e.label(),
+                series.latency.count()
+            );
+        }
+        out.push_str("# TYPE cp_responses_total counter\n");
+        for (class, counter) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            let _ = writeln!(out, "cp_responses_total{{class=\"{class}\"}} {}", counter.get());
+        }
+        out.push_str("# TYPE cp_decisions_total counter\n");
+        let _ = writeln!(
+            out,
+            "cp_decisions_total{{verdict=\"useful\"}} {}",
+            self.decisions_useful.get()
+        );
+        let _ =
+            writeln!(out, "cp_decisions_total{{verdict=\"noise\"}} {}", self.decisions_noise.get());
+        out.push_str("# TYPE cp_queue_depth gauge\n");
+        let _ = writeln!(out, "cp_queue_depth {}", self.queue_depth.get());
+        out.push_str("# TYPE cp_connections_total counter\n");
+        let _ = writeln!(out, "cp_connections_total {}", self.connections_total.get());
+        out.push_str("# TYPE cp_rejected_total counter\n");
+        let _ = writeln!(out, "cp_rejected_total {}", self.rejected_total.get());
+        out
+    }
+}
+
+/// Parses a counter value out of a Prometheus exposition, e.g.
+/// `scrape_counter(text, "cp_decisions_total{verdict=\"useful\"}")`.
+/// Returns `None` when the exact series line is absent.
+pub fn scrape_counter(exposition: &str, series: &str) -> Option<u64> {
+    exposition.lines().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_to_series() {
+        let m = ServiceMetrics::new();
+        m.record(Endpoint::Visit, 200, 500);
+        m.record(Endpoint::Visit, 400, 100);
+        m.record(Endpoint::Classify, 500, 100);
+        assert_eq!(m.endpoint(Endpoint::Visit).requests.get(), 2);
+        assert_eq!(m.responses_2xx.get(), 1);
+        assert_eq!(m.responses_4xx.get(), 1);
+        assert_eq!(m.responses_5xx.get(), 1);
+        assert_eq!(m.endpoint(Endpoint::Visit).latency.count(), 2);
+    }
+
+    #[test]
+    fn prometheus_text_is_scrapable() {
+        let m = ServiceMetrics::new();
+        m.record(Endpoint::Healthz, 200, 42);
+        m.record_verdict(true);
+        m.record_verdict(false);
+        m.record_verdict(false);
+        m.queue_depth.set(3);
+        let text = m.render_prometheus();
+        assert_eq!(scrape_counter(&text, "cp_requests_total{endpoint=\"healthz\"}"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_requests_total{endpoint=\"visit\"}"), Some(0));
+        assert_eq!(scrape_counter(&text, "cp_decisions_total{verdict=\"useful\"}"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_decisions_total{verdict=\"noise\"}"), Some(2));
+        assert_eq!(scrape_counter(&text, "cp_queue_depth"), Some(3));
+        assert!(
+            text.contains("cp_request_duration_micros_bucket{endpoint=\"healthz\",le=\"100\"} 1")
+        );
+        assert!(text.contains("le=\"+Inf\""));
+        assert_eq!(scrape_counter(&text, "nope"), None);
+        // Idle endpoints emit no histogram series.
+        assert!(!text.contains("cp_request_duration_micros_count{endpoint=\"visit\"}"));
+    }
+}

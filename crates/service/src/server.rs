@@ -1,0 +1,485 @@
+//! The cp-serve server: acceptor, worker pool, routing, shutdown.
+//!
+//! One acceptor thread pulls connections off a `TcpListener` and feeds a
+//! *bounded* queue (`std::sync::mpsc::sync_channel`); `workers` threads
+//! pull connections, speak HTTP/1.1 with keep-alive, and route requests.
+//! When the queue is full the acceptor answers `503` inline instead of
+//! queueing — load shedding, never unbounded memory.
+//!
+//! Shutdown is graceful: the flag flips, a self-connect wakes the blocked
+//! `accept`, the acceptor drops its sender, and each worker finishes the
+//! request it is handling (plus everything already queued) before exiting.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cookiepicker_core::{decide, CookiePickerConfig};
+use cp_html::parse_document;
+use cp_runtime::json::{FromJson, Json, ToJson};
+use cp_runtime::sync::Mutex;
+
+use crate::http::{write_response, HttpConn, HttpError, HttpRequest, Limits};
+use crate::metrics::{Endpoint, ServiceMetrics};
+use crate::store::ShardedStore;
+use crate::world::EmbeddedWorld;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind (the service is loopback-only by default).
+    pub host: String,
+    /// Port to bind; `0` picks a free port.
+    pub port: u16,
+    /// Seed for the embedded site population.
+    pub seed: u64,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Shards in the training store.
+    pub shards: usize,
+    /// Bounded accept-queue capacity; overflow is answered `503`.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Message size caps.
+    pub limits: Limits,
+    /// Detection configuration used by `/v1/classify` and `/v1/visit`.
+    pub picker: CookiePickerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            seed: 7,
+            workers: 4,
+            shards: 16,
+            queue_capacity: 128,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+            picker: CookiePickerConfig::default(),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    world: EmbeddedWorld,
+    store: ShardedStore,
+    metrics: ServiceMetrics,
+    picker: CookiePickerConfig,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flips the shutdown flag; the first caller also wakes the acceptor
+    /// out of its blocking `accept` with a throwaway self-connect.
+    fn begin_shutdown(&self) {
+        if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.shared.addr.port()
+    }
+
+    /// The server's metric registry.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.shared.metrics
+    }
+
+    /// Requests a graceful shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the acceptor and every worker have exited. Call
+    /// [`shutdown`](Self::shutdown) first (or `POST /v1/shutdown`).
+    pub fn wait(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.wait();
+    }
+}
+
+/// Binds and starts the service.
+pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        world: EmbeddedWorld::new(config.seed),
+        store: ShardedStore::new(config.shards, config.picker.stability_window),
+        metrics: ServiceMetrics::new(),
+        picker: config.picker.clone(),
+        shutting_down: AtomicBool::new(false),
+        addr,
+    });
+
+    let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            let limits = config.limits;
+            std::thread::spawn(move || worker_loop(&shared, &rx, limits))
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let read_timeout = config.read_timeout;
+        let write_timeout = config.write_timeout;
+        std::thread::spawn(move || {
+            accept_loop(&shared, &listener, &tx, read_timeout, write_timeout)
+        })
+    };
+
+    Ok(ServerHandle { shared, acceptor: Some(acceptor), workers })
+}
+
+fn accept_loop(
+    shared: &Shared,
+    listener: &TcpListener,
+    tx: &SyncSender<TcpStream>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) if shared.shutting_down.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break; // the wake-up self-connect, or a late arrival: drop it
+        }
+        shared.metrics.connections_total.inc();
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        let _ = stream.set_write_timeout(Some(write_timeout));
+        let _ = stream.set_nodelay(true);
+        match tx.try_send(stream) {
+            Ok(()) => shared.metrics.queue_depth.inc(),
+            Err(TrySendError::Full(mut stream)) => {
+                shared.metrics.rejected_total.inc();
+                let body = error_json("server overloaded");
+                let _ = write_response(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    &body,
+                    false,
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // `tx` drops here; workers drain whatever is still queued, then exit.
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>, limits: Limits) {
+    loop {
+        // The lock guards only the dequeue, never connection handling.
+        let stream = rx.lock().recv();
+        match stream {
+            Ok(stream) => {
+                shared.metrics.queue_depth.dec();
+                handle_connection(shared, stream, limits);
+            }
+            Err(_) => break, // sender gone and queue drained
+        }
+    }
+}
+
+/// Serves one connection: requests until the peer closes, keep-alive ends,
+/// an unrecoverable error occurs, or shutdown begins.
+fn handle_connection(shared: &Shared, stream: TcpStream, limits: Limits) {
+    let mut conn = HttpConn::new(stream, limits);
+    loop {
+        let request = match conn.read_request() {
+            Ok(request) => request,
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::BodyTooLarge) => {
+                respond_error(shared, &mut conn, 413, "Payload Too Large", "body too large");
+                return;
+            }
+            Err(err) => {
+                // Malformed / HeadTooLarge / BadVersion → 400, then close:
+                // framing may be lost, so the connection cannot continue.
+                let msg = err.to_string();
+                respond_error(shared, &mut conn, 400, "Bad Request", &msg);
+                return;
+            }
+        };
+        let started = Instant::now();
+        let (endpoint, status, reason, content_type, body) = route(shared, &request);
+        let keep_alive =
+            request.keep_alive() && !shared.shutting_down.load(Ordering::SeqCst) && status < 500;
+        // Record BEFORE writing: anyone who has seen the response (e.g. a
+        // load generator cross-checking /metrics after its last request)
+        // must also see its counters.
+        shared.metrics.record(endpoint, status, started.elapsed().as_micros() as u64);
+        let write_ok =
+            write_response(conn.stream_mut(), status, reason, content_type, &body, keep_alive)
+                .is_ok();
+        if !keep_alive || !write_ok {
+            return;
+        }
+    }
+}
+
+fn respond_error(
+    shared: &Shared,
+    conn: &mut HttpConn<TcpStream>,
+    status: u16,
+    reason: &str,
+    msg: &str,
+) {
+    let body = error_json(msg);
+    shared.metrics.record(Endpoint::Other, status, 0);
+    let _ = write_response(conn.stream_mut(), status, reason, "application/json", &body, false);
+}
+
+type Routed = (Endpoint, u16, &'static str, &'static str, Vec<u8>);
+
+/// Routes one request to its handler.
+fn route(shared: &Shared, request: &HttpRequest) -> Routed {
+    let method = request.method.as_str();
+    let target = request.target.as_str();
+    match (method, target) {
+        ("GET", "/healthz") => {
+            let body = Json::object()
+                .set("status", "ok")
+                .set("seed", shared.world.seed())
+                .set("sites_trained", shared.store.site_count())
+                .to_compact()
+                .into_bytes();
+            (Endpoint::Healthz, 200, "OK", "application/json", body)
+        }
+        ("GET", "/metrics") => {
+            let body = shared.metrics.render_prometheus().into_bytes();
+            (Endpoint::Metrics, 200, "OK", "text/plain; version=0.0.4", body)
+        }
+        ("POST", "/v1/classify") => classify(shared, &request.body),
+        ("POST", "/v1/visit") => visit(shared, &request.body),
+        ("GET", t) if t.starts_with("/v1/sites/") => site_summary(shared, &t["/v1/sites/".len()..]),
+        ("POST", "/v1/shutdown") => {
+            shared.begin_shutdown();
+            let body = Json::object().set("status", "shutting down").to_compact().into_bytes();
+            (Endpoint::Shutdown, 200, "OK", "application/json", body)
+        }
+        _ => (Endpoint::Other, 404, "Not Found", "application/json", error_json("no such route")),
+    }
+}
+
+/// `POST /v1/classify`: run the Figure-5 decision on a caller-provided
+/// page pair. Body: `{"regular": html, "hidden": html, "config"?: {...}}`.
+fn classify(shared: &Shared, body: &[u8]) -> Routed {
+    let parsed = match parse_json_body(body) {
+        Ok(json) => json,
+        Err(msg) => return bad_request(Endpoint::Classify, msg),
+    };
+    let (regular, hidden) = match (
+        parsed.get("regular").and_then(Json::as_str),
+        parsed.get("hidden").and_then(Json::as_str),
+    ) {
+        (Some(r), Some(h)) => (r, h),
+        _ => return bad_request(Endpoint::Classify, "body needs string fields regular and hidden"),
+    };
+    let config = match parsed.get("config") {
+        Some(json) => match CookiePickerConfig::from_json(json) {
+            Ok(config) => config,
+            Err(_) => return bad_request(Endpoint::Classify, "invalid config object"),
+        },
+        None => shared.picker.clone(),
+    };
+    let decision = decide(&parse_document(regular), &parse_document(hidden), &config);
+    shared.metrics.record_verdict(decision.cookies_caused_difference);
+    let body = decision.to_json().to_compact().into_bytes();
+    (Endpoint::Classify, 200, "OK", "application/json", body)
+}
+
+/// `POST /v1/visit`: one FORCUM training step against the embedded world.
+/// Body: `{"host": h, "path"?: "/", "cookie"?: "a=1; b=2"}`.
+fn visit(shared: &Shared, body: &[u8]) -> Routed {
+    let parsed = match parse_json_body(body) {
+        Ok(json) => json,
+        Err(msg) => return bad_request(Endpoint::Visit, msg),
+    };
+    let host = match parsed.get("host").and_then(Json::as_str) {
+        Some(host) => host,
+        None => return bad_request(Endpoint::Visit, "body needs a string field host"),
+    };
+    if shared.world.site(host).is_none() {
+        return (Endpoint::Visit, 404, "Not Found", "application/json", error_json("unknown host"));
+    }
+    let path = parsed.get("path").and_then(Json::as_str).unwrap_or("/");
+    let cookie = parsed.get("cookie").and_then(Json::as_str);
+    let outcome = shared
+        .store
+        .with_entry(host, |entry| shared.world.visit(entry, host, path, cookie, &shared.picker))
+        .expect("host existence checked above");
+    if let Some(record) = &outcome.record {
+        shared.metrics.record_verdict(record.decision.cookies_caused_difference);
+    }
+    (Endpoint::Visit, 200, "OK", "application/json", outcome.to_json().to_compact().into_bytes())
+}
+
+/// `GET /v1/sites/{host}`: the training summary for a visited site.
+fn site_summary(shared: &Shared, host: &str) -> Routed {
+    match shared.store.read_entry(host, |entry| entry.summary(host)) {
+        Some(summary) => (
+            Endpoint::Sites,
+            200,
+            "OK",
+            "application/json",
+            summary.to_json().to_compact().into_bytes(),
+        ),
+        None if shared.world.site(host).is_some() => (
+            Endpoint::Sites,
+            404,
+            "Not Found",
+            "application/json",
+            error_json("site not yet visited"),
+        ),
+        None => (Endpoint::Sites, 404, "Not Found", "application/json", error_json("unknown host")),
+    }
+}
+
+fn parse_json_body(body: &[u8]) -> Result<Json, &'static str> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8")?;
+    Json::parse(text).map_err(|_| "body is not valid json")
+}
+
+fn bad_request(endpoint: Endpoint, msg: &str) -> Routed {
+    (endpoint, 400, "Bad Request", "application/json", error_json(msg))
+}
+
+fn error_json(msg: &str) -> Vec<u8> {
+    Json::object().set("error", msg).to_compact().into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::write_request;
+
+    fn request(
+        addr: SocketAddr,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> crate::http::HttpResponse {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut conn = HttpConn::new(stream, Limits::default());
+        write_request(conn.stream_mut(), method, target, "127.0.0.1", body).unwrap();
+        conn.read_response().unwrap()
+    }
+
+    fn test_server() -> ServerHandle {
+        start(ServeConfig {
+            workers: 2,
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn healthz_and_metrics() {
+        let server = test_server();
+        let resp = request(server.addr(), "GET", "/healthz", b"");
+        assert_eq!(resp.status, 200);
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("ok"));
+        let resp = request(server.addr(), "GET", "/metrics", b"");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_string().contains("cp_requests_total{endpoint=\"healthz\"} 1"));
+    }
+
+    #[test]
+    fn visit_then_site_summary() {
+        let server = test_server();
+        let body = br#"{"host":"news1.example","path":"/"}"#;
+        let resp = request(server.addr(), "POST", "/v1/visit", body);
+        assert_eq!(resp.status, 200, "{}", resp.body_string());
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("host").and_then(Json::as_str), Some("news1.example"));
+        let resp = request(server.addr(), "GET", "/v1/sites/news1.example", b"");
+        assert_eq!(resp.status, 200);
+        let resp = request(server.addr(), "GET", "/v1/sites/never-visited.example", b"");
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn classify_round_trip() {
+        let server = test_server();
+        let payload = Json::object()
+            .set("regular", "<html><body><p>with pref</p><div>extra</div></body></html>")
+            .set("hidden", "<html><body><p>plain</p></body></html>")
+            .to_compact();
+        let resp = request(server.addr(), "POST", "/v1/classify", payload.as_bytes());
+        assert_eq!(resp.status, 200, "{}", resp.body_string());
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert!(json.get("cookies_caused_difference").and_then(Json::as_bool).is_some());
+        assert!(json.get("tree_sim").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn malformed_and_unknown() {
+        let server = test_server();
+        assert_eq!(request(server.addr(), "POST", "/v1/classify", b"not json").status, 400);
+        assert_eq!(request(server.addr(), "POST", "/v1/visit", b"{}").status, 400);
+        assert_eq!(
+            request(server.addr(), "POST", "/v1/visit", br#"{"host":"nope.example"}"#).status,
+            404
+        );
+        assert_eq!(request(server.addr(), "GET", "/nope", b"").status, 404);
+    }
+
+    #[test]
+    fn graceful_shutdown_via_endpoint() {
+        let mut server = test_server();
+        let resp = request(server.addr(), "POST", "/v1/shutdown", b"");
+        assert_eq!(resp.status, 200);
+        server.wait(); // must return: acceptor woken, workers drained
+        assert!(server.shared.shutting_down.load(Ordering::SeqCst));
+    }
+}

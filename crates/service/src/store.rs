@@ -1,0 +1,178 @@
+//! The sharded training store.
+//!
+//! Per-site FORCUM training state lives in `N` shards, each an
+//! `RwLock<HashMap<host, SiteEntry>>`; a host hashes to exactly one shard,
+//! so concurrent visits to *different* sites never contend on a lock, and
+//! visits to the *same* site serialize only with each other. Reads
+//! (`GET /v1/sites/{host}`, summaries) take the shard's read lock.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cookiepicker_core::{ForcumState, TrainingSummary};
+use cp_runtime::sync::RwLock;
+
+/// Per-site state: the FORCUM lifecycle plus the service-side accumulators
+/// backing [`TrainingSummary`].
+#[derive(Debug, Default)]
+pub struct SiteEntry {
+    /// FORCUM training state (keyed internally by this site's host).
+    pub forcum: ForcumState,
+    /// Cookie names marked useful so far.
+    pub marked: BTreeSet<String>,
+    /// Hidden-request probes issued.
+    pub probes: usize,
+    /// Probes whose decision attributed the difference to cookies.
+    pub marking_probes: usize,
+    /// Sum of detection times, in microseconds.
+    pub detection_micros_total: u64,
+    /// Sum of full visit-step durations, in milliseconds.
+    pub duration_ms_total: f64,
+}
+
+impl SiteEntry {
+    fn new(stability_window: usize) -> Self {
+        SiteEntry { forcum: ForcumState::new(stability_window), ..SiteEntry::default() }
+    }
+
+    /// Builds the API summary for `host`.
+    pub fn summary(&self, host: &str) -> TrainingSummary {
+        let denom = self.probes.max(1) as f64;
+        TrainingSummary {
+            host: host.to_string(),
+            probes: self.probes,
+            marking_probes: self.marking_probes,
+            avg_detection_ms: self.detection_micros_total as f64 / 1_000.0 / denom,
+            avg_duration_ms: self.duration_ms_total / denom,
+            training_active: self.forcum.is_active(host),
+        }
+    }
+}
+
+/// A host-sharded map of [`SiteEntry`]s.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<RwLock<HashMap<String, SiteEntry>>>,
+    stability_window: usize,
+}
+
+impl ShardedStore {
+    /// Creates a store with `shards` shards (rounded up to at least 1).
+    pub fn new(shards: usize, stability_window: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedStore {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            stability_window,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `host` hashes to (FNV-1a, stable across runs).
+    pub fn shard_of(&self, host: &str) -> usize {
+        (fnv1a(host) % self.shards.len() as u64) as usize
+    }
+
+    /// Runs `f` with exclusive access to `host`'s entry, creating the entry
+    /// on first contact. Only `host`'s shard is locked.
+    pub fn with_entry<R>(&self, host: &str, f: impl FnOnce(&mut SiteEntry) -> R) -> R {
+        let mut shard = self.shards[self.shard_of(host)].write();
+        let entry =
+            shard.entry(host.to_string()).or_insert_with(|| SiteEntry::new(self.stability_window));
+        f(entry)
+    }
+
+    /// Runs `f` with shared access to `host`'s entry, or returns `None` if
+    /// the site has never been visited.
+    pub fn read_entry<R>(&self, host: &str, f: impl FnOnce(&SiteEntry) -> R) -> Option<R> {
+        let shard = self.shards[self.shard_of(host)].read();
+        shard.get(host).map(f)
+    }
+
+    /// Total number of sites with state, across all shards.
+    pub fn site_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_create_on_first_contact() {
+        let store = ShardedStore::new(8, 5);
+        assert_eq!(store.site_count(), 0);
+        assert!(store.read_entry("a.example", |_| ()).is_none());
+        store.with_entry("a.example", |e| {
+            assert!(e.forcum.is_active("a.example"));
+            e.probes = 3;
+        });
+        assert_eq!(store.site_count(), 1);
+        assert_eq!(store.read_entry("a.example", |e| e.probes), Some(3));
+    }
+
+    #[test]
+    fn sharding_is_stable_and_in_range() {
+        let store = ShardedStore::new(8, 5);
+        for host in ["a.example", "b.example", "news1.example", "x"] {
+            let s = store.shard_of(host);
+            assert!(s < 8);
+            assert_eq!(s, store.shard_of(host), "stable hash");
+        }
+        // Degenerate constructions still work.
+        assert_eq!(ShardedStore::new(0, 5).shard_count(), 1);
+    }
+
+    #[test]
+    fn summary_from_accumulators() {
+        let store = ShardedStore::new(4, 2);
+        store.with_entry("s.example", |e| {
+            e.probes = 4;
+            e.marking_probes = 1;
+            e.detection_micros_total = 8_000;
+            e.duration_ms_total = 40.0;
+            e.forcum.observe("s.example", ["c".to_string()], 0, true);
+        });
+        let summary = store.read_entry("s.example", |e| e.summary("s.example")).unwrap();
+        assert_eq!(summary.probes, 4);
+        assert_eq!(summary.marking_probes, 1);
+        assert_eq!(summary.avg_detection_ms, 2.0);
+        assert_eq!(summary.avg_duration_ms, 10.0);
+        assert!(summary.training_active);
+        // Zero-probe summaries divide by max(1).
+        let empty = SiteEntry::new(3).summary("fresh.example");
+        assert_eq!(empty.avg_detection_ms, 0.0);
+    }
+
+    #[test]
+    fn concurrent_visits_to_distinct_sites() {
+        let store = std::sync::Arc::new(ShardedStore::new(16, 5));
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let store = store.clone();
+                s.spawn(move || {
+                    let host = format!("site{t}.example");
+                    for _ in 0..500 {
+                        store.with_entry(&host, |e| e.probes += 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.site_count(), 8);
+        for t in 0..8 {
+            assert_eq!(store.read_entry(&format!("site{t}.example"), |e| e.probes), Some(500));
+        }
+    }
+}

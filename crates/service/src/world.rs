@@ -1,0 +1,372 @@
+//! The embedded synthetic Web the service trains against.
+//!
+//! `POST /v1/visit` runs one FORCUM step: render the regular page for the
+//! visited host with the cookies the client presented, render the hidden
+//! version with the not-yet-marked persistent cookies stripped, run the
+//! Figure-5 decision, and update the site's training state in the sharded
+//! store.
+//!
+//! Unlike `cp_webworld::SiteServer` (which draws page-dynamics noise from
+//! one shared RNG, making renders depend on global request order), the
+//! embedded world derives the noise RNG from `(site seed, path, variant)`
+//! — every render is a pure function of the request, so a fixed visit mix
+//! produces identical decision counters no matter how worker threads
+//! interleave. That is both the scalability story (no global RNG lock on
+//! the hot path) and what makes `loadgen` runs reproducible.
+
+use std::collections::HashMap;
+
+use cookiepicker_core::{decide, CookiePickerConfig, DetectionRecord};
+use cp_cookies::{parse_cookie_header, SimTime};
+use cp_html::parse_document;
+use cp_runtime::json::{Json, ToJson};
+use cp_runtime::rng::{SeedableRng, StdRng};
+use cp_webworld::render::{render_page, RenderInput};
+use cp_webworld::{table1_population, SiteSpec};
+
+/// Noise-stream salts for the two page variants of one visit. Distinct
+/// salts mean the regular and hidden renders see *different* page-dynamics
+/// noise — exactly the adversarial condition the detectors must reject.
+const REGULAR_SALT: u64 = 0x5245_4755_4c41_5221;
+const HIDDEN_SALT: u64 = 0x4849_4444_454e_5f21;
+
+/// The outcome of one `/v1/visit` FORCUM step.
+#[derive(Debug, Clone)]
+pub struct VisitOutcome {
+    /// Visited host.
+    pub host: String,
+    /// Visited path (after entry-redirect resolution).
+    pub path: String,
+    /// The probe record, when a hidden request was issued (a visit with no
+    /// testable cookies performs no probe).
+    pub record: Option<DetectionRecord>,
+    /// Cookie names newly marked useful by this visit.
+    pub marked_now: Vec<String>,
+    /// Total cookies marked useful for this site so far.
+    pub marked_total: usize,
+    /// Whether FORCUM training is still active for the site.
+    pub training_active: bool,
+    /// `name=value` cookies the site (re-)issues for this path — the
+    /// client's jar for its next visit.
+    pub set_cookies: Vec<String>,
+}
+
+impl ToJson for VisitOutcome {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("host", &self.host)
+            .set("path", &self.path)
+            .set("probed", self.record.is_some())
+            .set("record", self.record.as_ref().map(ToJson::to_json))
+            .set("marked_now", self.marked_now.clone())
+            .set("marked_total", self.marked_total)
+            .set("training_active", self.training_active)
+            .set("set_cookies", self.set_cookies.clone())
+    }
+}
+
+/// The seeded site population the service embeds.
+#[derive(Debug)]
+pub struct EmbeddedWorld {
+    sites: HashMap<String, SiteSpec>,
+    seed: u64,
+}
+
+impl EmbeddedWorld {
+    /// Builds the Table-1 population for `seed`, keyed by host.
+    pub fn new(seed: u64) -> Self {
+        let sites = table1_population(seed).into_iter().map(|s| (s.domain.clone(), s)).collect();
+        EmbeddedWorld { sites, seed }
+    }
+
+    /// The population seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The site spec for `host`, if it exists in this world.
+    pub fn site(&self, host: &str) -> Option<&SiteSpec> {
+        self.sites.get(host)
+    }
+
+    /// All hosts, sorted (stable iteration for tooling).
+    pub fn hosts(&self) -> Vec<&str> {
+        let mut hosts: Vec<&str> = self.sites.keys().map(String::as_str).collect();
+        hosts.sort_unstable();
+        hosts
+    }
+
+    /// Renders one page variant deterministically: noise comes from a
+    /// stream derived from `(site seed, path, salt)`, never shared state.
+    fn render(
+        &self,
+        spec: &SiteSpec,
+        path: &str,
+        cookies: &[(String, String)],
+        salt: u64,
+    ) -> String {
+        let mut noise = StdRng::seed_from_u64(mix(spec.seed, path, salt));
+        let input = RenderInput { spec, path, cookies, now: SimTime::EPOCH };
+        render_page(&input, &mut noise)
+    }
+
+    /// Runs one FORCUM step against `entry` (the site's store entry).
+    ///
+    /// Returns `None` when `host` is not part of this world.
+    pub fn visit(
+        &self,
+        entry: &mut crate::store::SiteEntry,
+        host: &str,
+        path: &str,
+        cookie_header: Option<&str>,
+        config: &CookiePickerConfig,
+    ) -> Option<VisitOutcome> {
+        let spec = self.sites.get(host)?;
+        // FORCUM step 1: resolve the entry redirect to the real container.
+        let path = if spec.entry_redirect && path == "/" { "/home" } else { path };
+
+        let sent: Vec<(String, String)> =
+            cookie_header.map(parse_cookie_header).unwrap_or_default();
+        let sent_names: Vec<String> = sent.iter().map(|(n, _)| n.clone()).collect();
+
+        // Step 2: the test group — persistent cookies that were attached to
+        // the request and are not yet marked useful (SentCookies strategy).
+        let group: Vec<String> = sent_names
+            .iter()
+            .filter(|name| {
+                !entry.marked.contains(*name)
+                    && spec.cookies.iter().any(|c| &c.name == *name && c.is_persistent())
+            })
+            .cloned()
+            .collect();
+
+        // Cookies the site (re-)issues on this path: what the client should
+        // present next time, and FORCUM's new-cookie signal.
+        let set_cookies: Vec<String> = spec
+            .cookies
+            .iter()
+            .filter(|c| c.scope.matches(path))
+            .map(|c| format!("{}={}", c.name, cookie_value(spec, &c.name)))
+            .collect();
+        let mut observed = sent_names.clone();
+        observed.extend(
+            set_cookies.iter().filter_map(|sc| sc.split_once('=')).map(|(n, _)| n.to_string()),
+        );
+
+        let training_was_active = entry.forcum.is_active(host);
+        let mut marked_now = Vec::new();
+        let mut record = None;
+
+        if training_was_active && !group.is_empty() {
+            let regular = self.render(spec, path, &sent, REGULAR_SALT);
+            // Steps 2–3: the hidden request strips the group's cookies and
+            // builds the hidden DOM with the same parser.
+            let hidden_cookies: Vec<(String, String)> =
+                sent.iter().filter(|(n, _)| !group.contains(n)).cloned().collect();
+            let hidden = self.render(spec, path, &hidden_cookies, HIDDEN_SALT);
+
+            // Step 4: identify usefulness.
+            let decision = decide(&parse_document(&regular), &parse_document(&hidden), config);
+
+            // Step 5: mark useful cookies.
+            if decision.cookies_caused_difference {
+                for name in &group {
+                    if entry.marked.insert(name.clone()) {
+                        marked_now.push(name.clone());
+                    }
+                }
+            }
+            entry.probes += 1;
+            entry.marking_probes += usize::from(decision.cookies_caused_difference);
+            entry.detection_micros_total += decision.detection_micros;
+            let duration_ms = decision.detection_micros as f64 / 1_000.0;
+            entry.duration_ms_total += duration_ms;
+            record = Some(DetectionRecord {
+                host: host.to_string(),
+                path: path.to_string(),
+                group,
+                decision,
+                hidden_latency_ms: 0,
+                duration_ms,
+            });
+        }
+
+        let training_active =
+            entry.forcum.observe(host, observed, marked_now.len(), record.is_some());
+
+        Some(VisitOutcome {
+            host: host.to_string(),
+            path: path.to_string(),
+            record,
+            marked_now,
+            marked_total: entry.marked.len(),
+            training_active,
+            set_cookies,
+        })
+    }
+}
+
+/// Stable per-site cookie value (mirrors the jar-friendly values
+/// `SiteServer` issues: deterministic in the site seed and cookie name).
+pub fn cookie_value(spec: &SiteSpec, name: &str) -> String {
+    format!("{}{:08x}", &name[..1.min(name.len())], spec.seed ^ name.len() as u64)
+}
+
+fn mix(seed: u64, path: &str, salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.rotate_left(23) ^ salt;
+    for b in path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ShardedStore;
+
+    fn world_and_store() -> (EmbeddedWorld, ShardedStore) {
+        (EmbeddedWorld::new(7), ShardedStore::new(8, 40))
+    }
+
+    fn visit(
+        world: &EmbeddedWorld,
+        store: &ShardedStore,
+        host: &str,
+        path: &str,
+        cookies: Option<&str>,
+    ) -> Option<VisitOutcome> {
+        let config = CookiePickerConfig::default();
+        store.with_entry(host, |e| world.visit(e, host, path, cookies, &config))
+    }
+
+    #[test]
+    fn population_has_thirty_sites() {
+        let world = EmbeddedWorld::new(7);
+        assert_eq!(world.hosts().len(), 30);
+        assert!(world.site("nonexistent.example").is_none());
+    }
+
+    #[test]
+    fn unknown_host_is_none() {
+        let (world, store) = world_and_store();
+        assert!(visit(&world, &store, "nope.example", "/", None).is_none());
+    }
+
+    #[test]
+    fn first_visit_sets_cookies_but_probes_nothing() {
+        let (world, store) = world_and_store();
+        let host = world.hosts()[0].to_string();
+        let out = visit(&world, &store, &host, "/", None).unwrap();
+        assert!(out.record.is_none(), "no cookies presented → no probe");
+        assert!(!out.set_cookies.is_empty(), "site issues its cookies");
+        assert!(out.training_active);
+    }
+
+    #[test]
+    fn presented_cookies_trigger_a_probe() {
+        let (world, store) = world_and_store();
+        let host = world.hosts()[0].to_string();
+        let first = visit(&world, &store, &host, "/", None).unwrap();
+        let jar = first.set_cookies.join("; ");
+        let second = visit(&world, &store, &host, "/page/1", Some(&jar)).unwrap();
+        let record = second.record.expect("persistent cookies under test");
+        assert!(!record.group.is_empty());
+        assert_eq!(record.host, host);
+    }
+
+    #[test]
+    fn useful_cookies_get_marked_trackers_do_not() {
+        let (world, store) = world_and_store();
+        // S6 (index 5) carries two really-useful preference cookies.
+        let specs = table1_population(7);
+        let useful_site = specs[5].domain.clone();
+        let tracker_site = specs[2].domain.clone();
+        for host in [&useful_site, &tracker_site] {
+            let mut jar: Vec<String> = Vec::new();
+            for i in 0..8 {
+                let path = if i == 0 { "/".to_string() } else { format!("/page/{i}") };
+                let header = jar.join("; ");
+                let out = visit(
+                    &world,
+                    &store,
+                    host,
+                    &path,
+                    if header.is_empty() { None } else { Some(&header) },
+                )
+                .unwrap();
+                for sc in &out.set_cookies {
+                    if !jar.contains(sc) {
+                        jar.push(sc.clone());
+                    }
+                }
+            }
+        }
+        let marked_useful = store.read_entry(&useful_site, |e| e.marked.len()).unwrap();
+        let marked_tracker = store.read_entry(&tracker_site, |e| e.marked.len()).unwrap();
+        assert!(marked_useful > 0, "S6's preference cookies must be marked");
+        assert_eq!(marked_tracker, 0, "pure trackers must not be marked");
+    }
+
+    #[test]
+    fn visits_are_deterministic() {
+        let run = || {
+            let (world, store) = world_and_store();
+            let mut verdicts = (0u32, 0u32);
+            for host in world.hosts() {
+                let mut jar: Vec<String> = Vec::new();
+                for i in 0..4 {
+                    let path = if i == 0 { "/".to_string() } else { format!("/page/{i}") };
+                    let header = jar.join("; ");
+                    let out = visit(
+                        &world,
+                        &store,
+                        host,
+                        &path,
+                        if header.is_empty() { None } else { Some(&header) },
+                    )
+                    .unwrap();
+                    if let Some(r) = &out.record {
+                        if r.decision.cookies_caused_difference {
+                            verdicts.0 += 1;
+                        } else {
+                            verdicts.1 += 1;
+                        }
+                    }
+                    for sc in &out.set_cookies {
+                        if !jar.contains(sc) {
+                            jar.push(sc.clone());
+                        }
+                    }
+                }
+            }
+            verdicts
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed + same visit mix → same verdict counts");
+        assert!(a.0 + a.1 > 0);
+    }
+
+    #[test]
+    fn entry_redirect_resolves_to_container() {
+        let (world, store) = world_and_store();
+        let specs = table1_population(7);
+        if let Some(spec) = specs.iter().find(|s| s.entry_redirect) {
+            let out = visit(&world, &store, &spec.domain, "/", None).unwrap();
+            assert_eq!(out.path, "/home");
+        }
+    }
+
+    #[test]
+    fn outcome_json_shape() {
+        let (world, store) = world_and_store();
+        let host = world.hosts()[0].to_string();
+        let out = visit(&world, &store, &host, "/", None).unwrap();
+        let json = out.to_json();
+        assert_eq!(json.get("host").and_then(Json::as_str), Some(host.as_str()));
+        assert_eq!(json.get("probed").and_then(Json::as_bool), Some(false));
+        assert_eq!(json.get("record"), Some(&Json::Null));
+        assert!(json.get("set_cookies").and_then(Json::as_array).is_some());
+    }
+}

@@ -97,16 +97,14 @@ where
         // la's root pairs with a blank: its child forest absorbs a suffix
         // span of fb.
         for k in 0..=fb.len() {
-            let cost = self.align_forests(ra, &fb[..k])
-                + LAMBDA_COST
-                + self.align_forests(&ca, &fb[k..]);
+            let cost =
+                self.align_forests(ra, &fb[..k]) + LAMBDA_COST + self.align_forests(&ca, &fb[k..]);
             best = best.min(cost);
         }
         // Symmetric: lb's root pairs with a blank.
         for k in 0..=fa.len() {
-            let cost = self.align_forests(&fa[..k], rb)
-                + LAMBDA_COST
-                + self.align_forests(&fa[k..], &cb);
+            let cost =
+                self.align_forests(&fa[..k], rb) + LAMBDA_COST + self.align_forests(&fa[k..], &cb);
             best = best.min(cost);
         }
 

@@ -111,7 +111,8 @@ where
             let base = self.ins_forest(y);
             for &k in &cb {
                 let sub = self.ins_forest(k);
-                let alt = base - self.ins_tree(k) + (UNIT + sub) - sub + self.forest_dist_nodes(x, k);
+                let alt =
+                    base - self.ins_tree(k) + (UNIT + sub) - sub + self.forest_dist_nodes(x, k);
                 // = base − ins_tree(k) + UNIT + forest_dist(x within k)
                 best = best.min(alt);
             }

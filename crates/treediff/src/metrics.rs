@@ -17,7 +17,10 @@ use crate::tree::TreeView;
 /// assert_eq!(jaccard(0, 5, 5), 0.0);
 /// ```
 pub fn jaccard(intersection: usize, size_a: usize, size_b: usize) -> f64 {
-    debug_assert!(intersection <= size_a && intersection <= size_b, "intersection larger than a set");
+    debug_assert!(
+        intersection <= size_a && intersection <= size_b,
+        "intersection larger than a set"
+    );
     let union = size_a + size_b - intersection;
     if union == 0 {
         return 1.0;

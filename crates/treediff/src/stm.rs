@@ -107,10 +107,16 @@ fn rstm_rec<A: TreeView, B: TreeView>(
     let current_level = level + 1;
     let ca = a.children(na);
     let cb = b.children(nb);
-    if ca.is_empty() || cb.is_empty() || !a.countable(na) || !b.countable(nb) || current_level > max_level {
+    if ca.is_empty()
+        || cb.is_empty()
+        || !a.countable(na)
+        || !b.countable(nb)
+        || current_level > max_level
+    {
         return 0;
     }
-    forest_match(ca.len(), cb.len(), |i, j| rstm_rec(a, b, ca[i], cb[j], current_level, max_level)) + 1
+    forest_match(ca.len(), cb.len(), |i, j| rstm_rec(a, b, ca[i], cb[j], current_level, max_level))
+        + 1
 }
 
 /// Like [`stm`], but also returns the matched node pairs of one maximum
@@ -172,7 +178,11 @@ fn mapping_rec<A: TreeView, B: TreeView>(
     let ca = a.children(na);
     let cb = b.children(nb);
     if restricted
-        && (ca.is_empty() || cb.is_empty() || !a.countable(na) || !b.countable(nb) || current_level > max_level)
+        && (ca.is_empty()
+            || cb.is_empty()
+            || !a.countable(na)
+            || !b.countable(nb)
+            || current_level > max_level)
     {
         return 0;
     }
@@ -190,7 +200,8 @@ fn mapping_rec<A: TreeView, B: TreeView>(
     for i in 0..m {
         for j in 0..n {
             scratch.clear();
-            weight[i][j] = mapping_rec(a, b, ca[i], cb[j], max_level, current_level, restricted, &mut scratch);
+            weight[i][j] =
+                mapping_rec(a, b, ca[i], cb[j], max_level, current_level, restricted, &mut scratch);
             sub_pairs[i][j] = scratch.clone();
         }
     }
@@ -316,7 +327,7 @@ mod tests {
         // script is non-visible: its subtree contributes nothing, so the
         // change inside it is invisible to RSTM.
         assert_eq!(rstm(&a, &b, 5), 2); // a + b
-        // But full STM sees script itself matching (labels equal).
+                                        // But full STM sees script itself matching (labels equal).
         assert!(stm(&a, &b) >= 3);
     }
 

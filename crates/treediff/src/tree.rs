@@ -165,7 +165,10 @@ impl SimpleTree {
         let root = parse_node(&mut tree, bytes, &mut pos)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(ParseTreeError { position: pos, message: "trailing input after root".into() });
+            return Err(ParseTreeError {
+                position: pos,
+                message: "trailing input after root".into(),
+            });
         }
         debug_assert_eq!(root, 0);
         Ok(tree)
@@ -229,7 +232,11 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_node(tree: &mut SimpleTree, bytes: &[u8], pos: &mut usize) -> Result<usize, ParseTreeError> {
+fn parse_node(
+    tree: &mut SimpleTree,
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<usize, ParseTreeError> {
     skip_ws(bytes, pos);
     let mut countable = true;
     if *pos < bytes.len() && bytes[*pos] == b'~' {

@@ -110,16 +110,13 @@ fn forest_dist(fa: &Flattened, fb: &Flattened, i: usize, j: usize, treedist: &mu
             if fa.l[di] == li && fb.l[dj] == lj {
                 // Both forests are whole trees rooted at di/dj.
                 let relabel = usize::from(fa.labels[di] != fb.labels[dj]);
-                fd[x][y] = (fd[x - 1][y] + 1)
-                    .min(fd[x][y - 1] + 1)
-                    .min(fd[x - 1][y - 1] + relabel);
+                fd[x][y] = (fd[x - 1][y] + 1).min(fd[x][y - 1] + 1).min(fd[x - 1][y - 1] + relabel);
                 treedist[di][dj] = fd[x][y];
             } else {
                 let xa = fa.l[di].saturating_sub(li);
                 let ya = fb.l[dj].saturating_sub(lj);
-                fd[x][y] = (fd[x - 1][y] + 1)
-                    .min(fd[x][y - 1] + 1)
-                    .min(fd[xa][ya] + treedist[di][dj]);
+                fd[x][y] =
+                    (fd[x - 1][y] + 1).min(fd[x][y - 1] + 1).min(fd[xa][ya] + treedist[di][dj]);
             }
         }
     }
@@ -211,10 +208,7 @@ mod tests {
         ];
         for (x, y) in cases {
             let (tx, ty) = (t(x), t(y));
-            assert!(
-                zhang_shasha_distance(&tx, &ty) <= selkow_distance(&tx, &ty),
-                "{x} vs {y}"
-            );
+            assert!(zhang_shasha_distance(&tx, &ty) <= selkow_distance(&tx, &ty), "{x} vs {y}");
         }
     }
 

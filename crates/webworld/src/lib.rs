@@ -42,4 +42,7 @@ pub mod spec;
 pub use category::Category;
 pub use population::{measurement_population, random_site, table1_population, table2_population};
 pub use server::SiteServer;
-pub use spec::{CookieRole, CookieSpec, EffectSize, LatencyProfile, NoiseSpec, PageSelector, SiteLayout, SiteSpec};
+pub use spec::{
+    CookieRole, CookieSpec, EffectSize, LatencyProfile, NoiseSpec, PageSelector, SiteLayout,
+    SiteSpec,
+};

@@ -18,12 +18,13 @@ use cp_runtime::rng::{Rng, SeedableRng, StdRng};
 use cp_cookies::SimDuration;
 
 use crate::category::Category;
-use crate::spec::{CookieRole, CookieSpec, EffectSize, LatencyProfile, NoiseSpec, SiteLayout, SiteSpec};
+use crate::spec::{
+    CookieRole, CookieSpec, EffectSize, LatencyProfile, NoiseSpec, SiteLayout, SiteSpec,
+};
 
 /// Per-site persistent-cookie counts from Table 1 (S1…S30; total 103).
-pub const TABLE1_COOKIE_COUNTS: [usize; 30] = [
-    2, 4, 5, 4, 4, 2, 1, 3, 1, 1, 2, 4, 1, 9, 2, 25, 4, 1, 3, 6, 3, 1, 4, 1, 3, 1, 1, 1, 2, 2,
-];
+pub const TABLE1_COOKIE_COUNTS: [usize; 30] =
+    [2, 4, 5, 4, 4, 2, 1, 3, 1, 1, 2, 4, 1, 9, 2, 25, 4, 1, 3, 6, 3, 1, 4, 1, 3, 1, 1, 1, 2, 2];
 
 /// Indices (0-based) of the sites whose page dynamics occasionally change
 /// the upper DOM levels — the mechanism behind the paper's false "useful"
@@ -61,8 +62,16 @@ pub fn table1_population(seed: u64) -> Vec<SiteSpec> {
                 // S6: two really-useful preference cookies.
                 assert_eq!(count, 2);
                 site = site
-                    .with_cookie(CookieSpec::useful("pref_main", CookieRole::Preference, EffectSize::Medium))
-                    .with_cookie(CookieSpec::useful("pref_aux", CookieRole::Preference, EffectSize::Small));
+                    .with_cookie(CookieSpec::useful(
+                        "pref_main",
+                        CookieRole::Preference,
+                        EffectSize::Medium,
+                    ))
+                    .with_cookie(CookieSpec::useful(
+                        "pref_aux",
+                        CookieRole::Preference,
+                        EffectSize::Small,
+                    ));
             }
             15 => {
                 // S16: 25 persistent cookies; one useful preference cookie
@@ -73,8 +82,9 @@ pub fn table1_population(seed: u64) -> Vec<SiteSpec> {
                         .scoped("/prefs"),
                 );
                 for k in 0..24 {
-                    site = site
-                        .with_cookie(CookieSpec::tracker(format!("sec{k}_trk")).scoped(format!("/sec{k}")));
+                    site = site.with_cookie(
+                        CookieSpec::tracker(format!("sec{k}_trk")).scoped(format!("/sec{k}")),
+                    );
                 }
             }
             _ => {
@@ -131,22 +141,39 @@ pub fn table2_population(seed: u64) -> Vec<SiteSpec> {
     let mut sites = Vec::with_capacity(6);
 
     let mk = |i: usize| -> SiteSpec {
-        SiteSpec::new(format!("p{}.example", i + 1), cats[i], seed.wrapping_add(1000 + i as u64 * 104_729))
+        SiteSpec::new(
+            format!("p{}.example", i + 1),
+            cats[i],
+            seed.wrapping_add(1000 + i as u64 * 104_729),
+        )
     };
 
     // P1: preference, large effect.
-    sites.push(mk(0).with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Large)));
+    sites.push(mk(0).with_cookie(CookieSpec::useful(
+        "pref",
+        CookieRole::Preference,
+        EffectSize::Large,
+    )));
     // P2: performance (cached recent query results).
-    sites.push(mk(1).with_cookie(CookieSpec::useful("qcache", CookieRole::Performance, EffectSize::Large)));
+    sites.push(mk(1).with_cookie(CookieSpec::useful(
+        "qcache",
+        CookieRole::Performance,
+        EffectSize::Large,
+    )));
     // P3: sign-up, effect confined to the member area.
     sites.push(mk(2).with_cookie(
         CookieSpec::useful("uid", CookieRole::SignUp, EffectSize::Medium).scoped("/member"),
     ));
     // P4: preference, large effect.
-    sites.push(mk(3).with_cookie(CookieSpec::useful("theme", CookieRole::Preference, EffectSize::Large)));
+    sites.push(mk(3).with_cookie(CookieSpec::useful(
+        "theme",
+        CookieRole::Preference,
+        EffectSize::Large,
+    )));
     // P5: members-only site — sign-up wall everywhere — plus 8 trackers that
     // ride in the same requests (the paper's piggyback false positives).
-    let mut p5 = mk(4).with_cookie(CookieSpec::useful("uid", CookieRole::SignUp, EffectSize::Large));
+    let mut p5 =
+        mk(4).with_cookie(CookieSpec::useful("uid", CookieRole::SignUp, EffectSize::Large));
     for k in 0..8 {
         p5 = p5.with_cookie(CookieSpec::tracker(format!("trk{k}")));
     }

@@ -59,7 +59,11 @@ pub fn render_page<R: Rng + ?Sized>(input: &RenderInput<'_>, noise_rng: &mut R) 
 
     let mut html = String::with_capacity(8 * 1024);
     html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n");
-    html.push_str(&format!("<title>{} - {}</title>\n", escape_text(&site_title), escape_text(&page_title)));
+    html.push_str(&format!(
+        "<title>{} - {}</title>\n",
+        escape_text(&site_title),
+        escape_text(&page_title)
+    ));
     html.push_str("<meta charset=\"utf-8\">\n");
     html.push_str("<link rel=\"stylesheet\" href=\"/static/site.css\">\n");
     // A script whose body changes per render: invisible to both detectors.
@@ -82,7 +86,10 @@ pub fn render_page<R: Rng + ?Sized>(input: &RenderInput<'_>, noise_rng: &mut R) 
         html.push_str("<div id=\"headlines\">\n");
         for _ in 0..3 {
             html.push_str("<div class=\"headline\">\n");
-            html.push_str(&format!("<h3><a href=\"/page/2\">{}</a></h3>\n", escape_text(&corpus::title(&mut hrng, 3))));
+            html.push_str(&format!(
+                "<h3><a href=\"/page/2\">{}</a></h3>\n",
+                escape_text(&corpus::title(&mut hrng, 3))
+            ));
             html.push_str(&format!("<p>{}</p>\n", escape_text(&corpus::sentence(&mut hrng))));
             html.push_str("</div>\n");
         }
@@ -133,10 +140,8 @@ pub fn render_page<R: Rng + ?Sized>(input: &RenderInput<'_>, noise_rng: &mut R) 
     html.push_str("<div id=\"content\">\n");
     html.push_str(&format!("<h2>{}</h2>\n", escape_text(&page_title)));
 
-    let signup = spec
-        .cookies
-        .iter()
-        .find(|c| c.role == CookieRole::SignUp && c.scope.matches(input.path));
+    let signup =
+        spec.cookies.iter().find(|c| c.role == CookieRole::SignUp && c.scope.matches(input.path));
     if let Some(su) = signup {
         if has_cookie(input, &su.name) {
             render_account_panel(&mut html, spec, &su.name);
@@ -295,7 +300,10 @@ fn render_breaking(html: &mut String, noise_rng: &mut (impl Rng + ?Sized)) {
     }
     html.push_str("<ul class=\"more\">\n");
     for _ in 0..4 {
-        html.push_str(&format!("<li><a href=\"#\">{}</a></li>\n", escape_text(&corpus::title(noise_rng, 2))));
+        html.push_str(&format!(
+            "<li><a href=\"#\">{}</a></li>\n",
+            escape_text(&corpus::title(noise_rng, 2))
+        ));
     }
     html.push_str("</ul>\n</div>\n");
 }
@@ -427,7 +435,9 @@ fn render_recent_results(html: &mut String, spec: &SiteSpec, cookie: &str, effec
         }
         html.push_str("</ol>\n</div>\n");
     }
-    html.push_str("<p class=\"cache-note\">Results served from your personal cache directory.</p>\n</div>\n");
+    html.push_str(
+        "<p class=\"cache-note\">Results served from your personal cache directory.</p>\n</div>\n",
+    );
 }
 
 fn render_account_panel(html: &mut String, spec: &SiteSpec, cookie: &str) {
@@ -475,7 +485,11 @@ fn render_signup_wall(html: &mut String, spec: &SiteSpec) {
         html.push_str(&format!("<li>{}</li>\n", escape_text(&corpus::sentence(&mut rng))));
     }
     html.push_str("</ul>\n<div class=\"signup-help\">\n<h4>Why sign up</h4>\n");
-    html.push_str(&format!("<p>{}</p>\n<p>{}</p>\n", escape_text(&corpus::sentence(&mut rng)), escape_text(&corpus::sentence(&mut rng))));
+    html.push_str(&format!(
+        "<p>{}</p>\n<p>{}</p>\n",
+        escape_text(&corpus::sentence(&mut rng)),
+        escape_text(&corpus::sentence(&mut rng))
+    ));
     html.push_str("</div>\n</div>\n");
 }
 
@@ -532,7 +546,12 @@ mod tests {
             .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium))
     }
 
-    fn render(spec: &SiteSpec, path: &str, cookies: &[(String, String)], noise_seed: u64) -> String {
+    fn render(
+        spec: &SiteSpec,
+        path: &str,
+        cookies: &[(String, String)],
+        noise_seed: u64,
+    ) -> String {
         let input = RenderInput { spec, path, cookies, now: SimTime::from_secs(60) };
         let mut rng = StdRng::seed_from_u64(noise_seed);
         render_page(&input, &mut rng)

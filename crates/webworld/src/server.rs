@@ -31,7 +31,11 @@ impl SiteServer {
     /// Creates a server for `spec`.
     pub fn new(spec: SiteSpec) -> Self {
         let seed = spec.seed ^ 0xa5a5_5a5a_dead_beef;
-        SiteServer { spec, noise: Mutex::new(StdRng::seed_from_u64(seed)), evade_hidden_requests: false }
+        SiteServer {
+            spec,
+            noise: Mutex::new(StdRng::seed_from_u64(seed)),
+            evade_hidden_requests: false,
+        }
     }
 
     /// Enables the §5.3 evasion: the operator detects CookiePicker's hidden
@@ -82,7 +86,11 @@ impl SiteServer {
             if !c.scope.matches(path) {
                 continue;
             }
-            let value = format!("{}{:08x}", &c.name[..1.min(c.name.len())], self.spec.seed ^ c.name.len() as u64);
+            let value = format!(
+                "{}{:08x}",
+                &c.name[..1.min(c.name.len())],
+                self.spec.seed ^ c.name.len() as u64
+            );
             let mut header = format!("{}={}; Path={}", c.name, value, c.scope.cookie_path());
             if let Some(lifetime) = c.lifetime {
                 header.push_str(&format!("; Expires={}", format_http_date(now + lifetime)));
@@ -111,10 +119,7 @@ impl Server for SiteServer {
             // A temporary "replacement page" in front of the real container.
             return Response::redirect("/home");
         }
-        let mut cookies = req
-            .cookie_header()
-            .map(parse_cookie_header)
-            .unwrap_or_default();
+        let mut cookies = req.cookie_header().map(parse_cookie_header).unwrap_or_default();
 
         // §5.3 evasion: a colluding operator that recognizes the hidden
         // request pretends all of its cookies were present.
@@ -152,7 +157,10 @@ mod tests {
             SiteSpec::new("t.example", Category::News, 5)
                 .with_cookie(CookieSpec::tracker("trk"))
                 .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium))
-                .with_cookie(CookieSpec::useful("auth", CookieRole::SignUp, EffectSize::Large).scoped("/account")),
+                .with_cookie(
+                    CookieSpec::useful("auth", CookieRole::SignUp, EffectSize::Large)
+                        .scoped("/account"),
+                ),
         )
     }
 
@@ -171,7 +179,10 @@ mod tests {
         assert!(cookies.iter().any(|c| c.starts_with("pref=")));
         let resp = s.handle(&get("http://t.example/account/home"), SimTime::EPOCH);
         assert_eq!(resp.set_cookies().len(), 3);
-        assert!(resp.set_cookies().iter().any(|c| c.starts_with("auth=") && c.contains("Path=/account")));
+        assert!(resp
+            .set_cookies()
+            .iter()
+            .any(|c| c.starts_with("auth=") && c.contains("Path=/account")));
     }
 
     #[test]
@@ -222,11 +233,11 @@ mod tests {
 
     #[test]
     fn evasion_hides_cookie_effect_from_hidden_request() {
-        let s = SiteServer::new(
-            SiteSpec::new("e.example", Category::Shopping, 6)
-                .with_cookie(CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium)),
-        )
-        .with_hidden_request_evasion();
+        let s =
+            SiteServer::new(SiteSpec::new("e.example", Category::Shopping, 6).with_cookie(
+                CookieSpec::useful("pref", CookieRole::Preference, EffectSize::Medium),
+            ))
+            .with_hidden_request_evasion();
         let mut hidden = get("http://e.example/");
         hidden.headers.set("X-Requested-With", "CookiePicker");
         // No cookie attached, but the evading server renders as if present.
@@ -255,7 +266,14 @@ mod tests {
         let a = s.handle(&get("http://t.example/"), SimTime::EPOCH);
         let b = s.handle(&get("http://t.example/"), SimTime::from_secs(60));
         let val = |resp: &Response| {
-            resp.set_cookies().iter().find(|c| c.starts_with("trk=")).unwrap().split(';').next().unwrap().to_string()
+            resp.set_cookies()
+                .iter()
+                .find(|c| c.starts_with("trk="))
+                .unwrap()
+                .split(';')
+                .next()
+                .unwrap()
+                .to_string()
         };
         assert_eq!(val(&a), val(&b), "re-issued cookie value must be stable");
     }

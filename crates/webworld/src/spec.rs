@@ -386,8 +386,9 @@ mod tests {
 
     #[test]
     fn page_paths_include_scoped_pages() {
-        let site = SiteSpec::new("x.example", Category::News, 1)
-            .with_cookie(CookieSpec::useful("auth", CookieRole::SignUp, EffectSize::Large).scoped("/account"));
+        let site = SiteSpec::new("x.example", Category::News, 1).with_cookie(
+            CookieSpec::useful("auth", CookieRole::SignUp, EffectSize::Large).scoped("/account"),
+        );
         let paths = site.page_paths();
         assert!(paths.contains(&"/".to_string()));
         assert!(paths.contains(&"/account/home".to_string()));

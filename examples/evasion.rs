@@ -13,9 +13,7 @@ use cookiepicker::browser::Browser;
 use cookiepicker::cookies::CookiePolicy;
 use cookiepicker::core::{CookiePicker, CookiePickerConfig};
 use cookiepicker::net::{SimNetwork, Url};
-use cookiepicker::webworld::{
-    Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec,
-};
+use cookiepicker::webworld::{Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec};
 
 fn train(evading: bool) -> Result<(bool, usize), Box<dyn std::error::Error>> {
     let spec = SiteSpec::new("evader.example", Category::Business, 55)

@@ -9,9 +9,7 @@ use cookiepicker::browser::Browser;
 use cookiepicker::cookies::CookiePolicy;
 use cookiepicker::core::{CookiePicker, CookiePickerConfig, TestGroupStrategy};
 use cookiepicker::net::{SimNetwork, Url};
-use cookiepicker::webworld::{
-    Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec,
-};
+use cookiepicker::webworld::{Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A website that sets three cookies: a long-lived tracker, an

@@ -11,9 +11,7 @@ use cookiepicker::browser::Browser;
 use cookiepicker::cookies::CookiePolicy;
 use cookiepicker::core::{CookiePicker, CookiePickerConfig, TestGroupStrategy};
 use cookiepicker::net::{SimNetwork, Url};
-use cookiepicker::webworld::{
-    Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec,
-};
+use cookiepicker::webworld::{Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = SiteSpec::new("shop.example", Category::Shopping, 404)
@@ -44,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== verdicts ==");
     for c in browser.jar.cookies_for_site("shop.example", now) {
         if c.is_persistent() {
-            println!("  {:12} → {}", c.name, if c.useful() { "USEFUL (kept)" } else { "useless (will be removed)" });
+            println!(
+                "  {:12} → {}",
+                c.name,
+                if c.useful() { "USEFUL (kept)" } else { "useless (will be removed)" }
+            );
         }
     }
 
@@ -55,9 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cookies are sent. The personalization must survive.
     browser.set_policy(CookiePolicy::UsefulOnly);
     println!("\n== browsing with UsefulOnly policy ==");
-    let view = browser
-        .visit(&Url::parse("http://shop.example/page/1")?)
-        ?;
+    let view = browser.visit(&Url::parse("http://shop.example/page/1")?)?;
     let sent = view.container_request.cookie_header().unwrap_or("(none)").to_string();
     println!("  cookie header sent: {sent}");
     println!("  page still personalized: {}", view.html().contains("personalized"));

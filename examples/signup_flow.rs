@@ -11,9 +11,7 @@ use cookiepicker::browser::Browser;
 use cookiepicker::cookies::CookiePolicy;
 use cookiepicker::core::{CookiePicker, CookiePickerConfig, TestGroupStrategy};
 use cookiepicker::net::{SimNetwork, Url};
-use cookiepicker::webworld::{
-    Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec,
-};
+use cookiepicker::webworld::{Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = SiteSpec::new("members.example", Category::Society, 77)
@@ -34,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sign up (first visit to the member area sets the uid cookie) ...
     let member_home = Url::parse("http://members.example/member/home")?;
     let view = browser.visit_with(&member_home, &mut picker)?;
-    println!("first member-area visit shows sign-up wall: {}", view.html().contains("signup-error"));
+    println!(
+        "first member-area visit shows sign-up wall: {}",
+        view.html().contains("signup-error")
+    );
     browser.think();
 
     // ... and keep browsing; CookiePicker probes the uid cookie by

@@ -10,7 +10,8 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+cargo fmt --check
 cargo build --release --workspace
 cargo test -q --workspace
 
-echo "verify: build + tests passed offline"
+echo "verify: fmt + build + tests passed offline"

@@ -7,7 +7,10 @@
 //!   which structure/text drove the verdict;
 //! * `simulate` — train CookiePicker over a seeded synthetic population and
 //!   print a privacy audit;
-//! * `jar <jar.json>` — inspect a persisted cookie jar.
+//! * `jar <jar.json>` — inspect a persisted cookie jar;
+//! * `serve` — run the cp-serve decision service over real TCP;
+//! * `loadgen` — drive a running service with a seeded request mix and
+//!   report throughput + latency percentiles as JSON.
 //!
 //! Argument parsing is hand-rolled (no external dependency) and returns a
 //! typed [`Command`], so it is unit-testable.
@@ -17,6 +20,7 @@ use std::fmt;
 use cookiepicker_core::{decide, explain, CookiePickerConfig};
 use cp_cookies::{CookieJar, SimTime};
 use cp_html::parse_document;
+use cp_runtime::json::ToJson;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +35,9 @@ pub enum Command {
         config: CookiePickerConfig,
         /// Whether to print the structural/text diff report.
         explain: bool,
+        /// Emit the decision as JSON (the same serialization the service's
+        /// `/v1/classify` endpoint returns).
+        json: bool,
     },
     /// Run a seeded population simulation and print the audit.
     Simulate {
@@ -47,6 +54,36 @@ pub enum Command {
         site: Option<String>,
         /// Print the privacy audit instead of the cookie list.
         summary: bool,
+    },
+    /// Run the decision service.
+    Serve {
+        /// Port to bind on 127.0.0.1 (0 picks a free port).
+        port: u16,
+        /// Embedded-world population seed.
+        seed: u64,
+        /// Worker threads.
+        workers: usize,
+        /// Training-store shards.
+        shards: usize,
+        /// Bounded accept-queue capacity.
+        queue: usize,
+        /// Per-connection read/write timeout, milliseconds.
+        timeout_ms: u64,
+    },
+    /// Drive a running service with a seeded load mix.
+    Loadgen {
+        /// Server host.
+        host: String,
+        /// Server port.
+        port: u16,
+        /// Client threads.
+        threads: usize,
+        /// Total requests across all threads.
+        requests: u64,
+        /// Mix seed (must match the server's seed).
+        seed: u64,
+        /// Also write the JSON report to this file.
+        out: Option<String>,
     },
     /// Print usage.
     Help,
@@ -86,11 +123,13 @@ where
         "classify" => {
             let mut config = CookiePickerConfig::default();
             let mut explain = false;
+            let mut json = false;
             let mut files = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--explain" => explain = true,
+                    "--json" => json = true,
                     "--thresh1" => config.thresh1 = flag_value(&mut it, "--thresh1")?,
                     "--thresh2" => config.thresh2 = flag_value(&mut it, "--thresh2")?,
                     "--level" => config.max_level = flag_value(&mut it, "--level")?,
@@ -108,6 +147,7 @@ where
                 hidden: files.remove(0),
                 config,
                 explain,
+                json,
             })
         }
         "simulate" => {
@@ -141,6 +181,51 @@ where
             let path = path.ok_or_else(|| err("jar needs a file path"))?;
             Ok(Command::Jar { path, site, summary })
         }
+        "serve" => {
+            let mut port = 7070u16;
+            let mut seed = 7u64;
+            let mut workers = 4usize;
+            let mut shards = 16usize;
+            let mut queue = 128usize;
+            let mut timeout_ms = 5_000u64;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--port" => port = flag_value(&mut it, "--port")?,
+                    "--seed" => seed = flag_value(&mut it, "--seed")?,
+                    "--workers" => workers = flag_value(&mut it, "--workers")?,
+                    "--shards" => shards = flag_value(&mut it, "--shards")?,
+                    "--queue" => queue = flag_value(&mut it, "--queue")?,
+                    "--timeout-ms" => timeout_ms = flag_value(&mut it, "--timeout-ms")?,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Serve { port, seed, workers, shards, queue, timeout_ms })
+        }
+        "loadgen" => {
+            let mut host = "127.0.0.1".to_string();
+            let mut port = 0u16;
+            let mut threads = 4usize;
+            let mut requests = 10_000u64;
+            let mut seed = 7u64;
+            let mut out = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--host" => host = flag_value(&mut it, "--host")?,
+                    "--port" => port = flag_value(&mut it, "--port")?,
+                    "--threads" => threads = flag_value(&mut it, "--threads")?,
+                    "--requests" => requests = flag_value(&mut it, "--requests")?,
+                    "--seed" => seed = flag_value(&mut it, "--seed")?,
+                    "--out" => out = Some(flag_value::<String>(&mut it, "--out")?),
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            if port == 0 {
+                return Err(err("loadgen needs --port pointing at a running server"));
+            }
+            Ok(Command::Loadgen { host, port, threads, requests, seed, out })
+        }
         other => Err(err(format!("unknown subcommand {other:?}; try `cookiepicker help`"))),
     }
 }
@@ -158,9 +243,11 @@ pub const USAGE: &str = "\
 cookiepicker — automatic cookie usage setting (DSN 2007 reproduction)
 
 USAGE:
-    cookiepicker classify <regular.html> <hidden.html> [--thresh1 F] [--thresh2 F] [--level N] [--explain]
+    cookiepicker classify <regular.html> <hidden.html> [--thresh1 F] [--thresh2 F] [--level N] [--explain] [--json]
     cookiepicker simulate [--seed N] [--sites N]
     cookiepicker jar <jar.json> [--site HOST] [--summary]
+    cookiepicker serve [--port N] [--seed N] [--workers N] [--shards N] [--queue N] [--timeout-ms N]
+    cookiepicker loadgen --port N [--host H] [--threads N] [--requests N] [--seed N] [--out FILE]
     cookiepicker help
 ";
 
@@ -174,13 +261,18 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
         Command::Help => {
             write!(out, "{USAGE}").map_err(|e| err(e.to_string()))?;
         }
-        Command::Classify { regular, hidden, config, explain: want_explain } => {
+        Command::Classify { regular, hidden, config, explain: want_explain, json } => {
             let read = |p: &str| {
                 std::fs::read_to_string(p).map_err(|e| err(format!("cannot read {p}: {e}")))
             };
             let reg_doc = parse_document(&read(&regular)?);
             let hid_doc = parse_document(&read(&hidden)?);
             let d = decide(&reg_doc, &hid_doc, &config);
+            if json {
+                // Exactly the serialization `/v1/classify` returns.
+                writeln!(out, "{}", d.to_json().to_compact()).map_err(|e| err(e.to_string()))?;
+                return Ok(());
+            }
             writeln!(out, "NTreeSim(A,B,{}) = {:.4}", config.max_level, d.tree_sim)
                 .map_err(|e| err(e.to_string()))?;
             writeln!(out, "NTextSim(S1,S2) = {:.4}", d.text_sim).map_err(|e| err(e.to_string()))?;
@@ -215,8 +307,12 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
         Command::Simulate { seed, sites } => {
             let population: Vec<_> =
                 cp_webworld::table1_population(seed).into_iter().take(sites).collect();
-            writeln!(out, "training CookiePicker on {} synthetic sites (seed {seed})...", population.len())
-                .map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "training CookiePicker on {} synthetic sites (seed {seed})...",
+                population.len()
+            )
+            .map_err(|e| err(e.to_string()))?;
             let mut total = 0usize;
             let mut kept = 0usize;
             for spec in &population {
@@ -233,22 +329,39 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 total += r.persistent;
                 kept += r.marked_useful;
             }
-            writeln!(out, "audit: {total} persistent cookies, {kept} kept, {} removable", total - kept)
-                .map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "audit: {total} persistent cookies, {kept} kept, {} removable",
+                total - kept
+            )
+            .map_err(|e| err(e.to_string()))?;
         }
         Command::Jar { path, site, summary } => {
-            let json =
-                std::fs::read_to_string(&path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            let json = std::fs::read_to_string(&path)
+                .map_err(|e| err(format!("cannot read {path}: {e}")))?;
             let jar = CookieJar::from_json(&json).map_err(|e| err(format!("invalid jar: {e}")))?;
             let now = SimTime::EPOCH;
             if summary {
                 let audit = cp_cookies::audit_jar(&jar, now);
-                writeln!(out, "cookies: {} total, {} session, {} persistent", audit.total, audit.session, audit.persistent)
-                    .map_err(|e| err(e.to_string()))?;
-                writeln!(out, "useful: {}, removable tracking surface: {}", audit.useful, audit.removable)
-                    .map_err(|e| err(e.to_string()))?;
-                writeln!(out, "living >= 1 year: {} ({:.1}%)", audit.year_plus, 100.0 * audit.year_plus_share())
-                    .map_err(|e| err(e.to_string()))?;
+                writeln!(
+                    out,
+                    "cookies: {} total, {} session, {} persistent",
+                    audit.total, audit.session, audit.persistent
+                )
+                .map_err(|e| err(e.to_string()))?;
+                writeln!(
+                    out,
+                    "useful: {}, removable tracking surface: {}",
+                    audit.useful, audit.removable
+                )
+                .map_err(|e| err(e.to_string()))?;
+                writeln!(
+                    out,
+                    "living >= 1 year: {} ({:.1}%)",
+                    audit.year_plus,
+                    100.0 * audit.year_plus_share()
+                )
+                .map_err(|e| err(e.to_string()))?;
                 for (label, count) in &audit.lifetime_histogram {
                     writeln!(out, "  {label:12} {count}").map_err(|e| err(e.to_string()))?;
                 }
@@ -272,6 +385,43 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 .map_err(|e| err(e.to_string()))?;
             }
         }
+        Command::Serve { port, seed, workers, shards, queue, timeout_ms } => {
+            let timeout = std::time::Duration::from_millis(timeout_ms);
+            let config = cp_serve::ServeConfig {
+                port,
+                seed,
+                workers,
+                shards,
+                queue_capacity: queue,
+                read_timeout: timeout,
+                write_timeout: timeout,
+                ..cp_serve::ServeConfig::default()
+            };
+            let mut server =
+                cp_serve::start(config).map_err(|e| err(format!("cannot bind: {e}")))?;
+            writeln!(
+                out,
+                "cp-serve listening on http://{} (seed {seed}, {workers} workers, {shards} shards)",
+                server.addr()
+            )
+            .map_err(|e| err(e.to_string()))?;
+            // Flush so wrappers (bench scripts) can scrape the port before
+            // the server exits.
+            out.flush().map_err(|e| err(e.to_string()))?;
+            server.wait();
+            writeln!(out, "cp-serve: drained and stopped").map_err(|e| err(e.to_string()))?;
+        }
+        Command::Loadgen { host, port, threads, requests, seed, out: out_path } => {
+            let config = cp_serve::LoadgenConfig { host, port, threads, requests, seed };
+            let report =
+                cp_serve::loadgen::run(&config).map_err(|e| err(format!("loadgen: {e}")))?;
+            let json = report.to_json().to_pretty();
+            writeln!(out, "{json}").map_err(|e| err(e.to_string()))?;
+            if let Some(path) = out_path {
+                std::fs::write(&path, format!("{json}\n"))
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            }
+        }
     }
     Ok(())
 }
@@ -289,12 +439,22 @@ mod tests {
 
     #[test]
     fn parse_classify() {
-        let cmd = parse_args(["classify", "a.html", "b.html", "--explain", "--thresh1", "0.7", "--level", "3"])
-            .unwrap();
-        let Command::Classify { regular, hidden, config, explain } = cmd else { panic!() };
+        let cmd = parse_args([
+            "classify",
+            "a.html",
+            "b.html",
+            "--explain",
+            "--thresh1",
+            "0.7",
+            "--level",
+            "3",
+        ])
+        .unwrap();
+        let Command::Classify { regular, hidden, config, explain, json } = cmd else { panic!() };
         assert_eq!(regular, "a.html");
         assert_eq!(hidden, "b.html");
         assert!(explain);
+        assert!(!json);
         assert_eq!(config.thresh1, 0.7);
         assert_eq!(config.max_level, 3);
         assert_eq!(config.thresh2, 0.85, "unset flags keep defaults");
@@ -316,7 +476,11 @@ mod tests {
         );
         assert_eq!(
             parse_args(["jar", "cookies.json", "--site", "a.example"]).unwrap(),
-            Command::Jar { path: "cookies.json".into(), site: Some("a.example".into()), summary: false }
+            Command::Jar {
+                path: "cookies.json".into(),
+                site: Some("a.example".into()),
+                summary: false
+            }
         );
         assert!(matches!(
             parse_args(["jar", "cookies.json", "--summary"]).unwrap(),
@@ -327,20 +491,76 @@ mod tests {
     }
 
     #[test]
+    fn parse_serve_and_loadgen() {
+        assert_eq!(
+            parse_args(["serve", "--port", "0", "--seed", "7", "--workers", "2"]).unwrap(),
+            Command::Serve {
+                port: 0,
+                seed: 7,
+                workers: 2,
+                shards: 16,
+                queue: 128,
+                timeout_ms: 5_000
+            }
+        );
+        assert_eq!(
+            parse_args(["loadgen", "--port", "7070", "--requests", "500", "--out", "r.json"])
+                .unwrap(),
+            Command::Loadgen {
+                host: "127.0.0.1".into(),
+                port: 7070,
+                threads: 4,
+                requests: 500,
+                seed: 7,
+                out: Some("r.json".into()),
+            }
+        );
+        assert!(parse_args(["serve", "--bogus"]).is_err());
+        assert!(parse_args(["loadgen", "--threads", "2"]).is_err(), "loadgen requires --port");
+    }
+
+    #[test]
+    fn usage_lists_every_subcommand() {
+        for sub in ["classify", "simulate", "jar", "serve", "loadgen", "help"] {
+            assert!(
+                USAGE.lines().any(|l| l.trim_start().starts_with(&format!("cookiepicker {sub}"))),
+                "USAGE must document {sub}"
+            );
+        }
+    }
+
+    #[test]
+    fn classify_json_emits_service_serialization() {
+        let dir = std::env::temp_dir().join(format!("cp-cli-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.html");
+        std::fs::write(&a, "<body><p>same</p></body>").unwrap();
+        let cmd =
+            parse_args(["classify", a.to_str().unwrap(), a.to_str().unwrap(), "--json"]).unwrap();
+        let mut out = Vec::new();
+        run(cmd, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let parsed = cp_runtime::json::Json::parse(text.trim()).unwrap();
+        use cp_runtime::json::FromJson;
+        let decision = cookiepicker_core::Decision::from_json(&parsed).unwrap();
+        assert!(!decision.cookies_caused_difference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn classify_runs_on_files() {
         let dir = std::env::temp_dir().join(format!("cp-cli-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let a = dir.join("a.html");
         let b = dir.join("b.html");
-        std::fs::write(&a, "<body><div id=s><ul><li>one</li><li>two</li></ul></div><p>base</p></body>").unwrap();
-        std::fs::write(&b, "<body><p>base</p></body>").unwrap();
-        let cmd = parse_args([
-            "classify",
-            a.to_str().unwrap(),
-            b.to_str().unwrap(),
-            "--explain",
-        ])
+        std::fs::write(
+            &a,
+            "<body><div id=s><ul><li>one</li><li>two</li></ul></div><p>base</p></body>",
+        )
         .unwrap();
+        std::fs::write(&b, "<body><p>base</p></body>").unwrap();
+        let cmd = parse_args(["classify", a.to_str().unwrap(), b.to_str().unwrap(), "--explain"])
+            .unwrap();
         let mut out = Vec::new();
         run(cmd, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
@@ -356,8 +576,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let a = dir.join("same.html");
         std::fs::write(&a, "<body><p>hello</p></body>").unwrap();
-        let cmd =
-            parse_args(["classify", a.to_str().unwrap(), a.to_str().unwrap()]).unwrap();
+        let cmd = parse_args(["classify", a.to_str().unwrap(), a.to_str().unwrap()]).unwrap();
         let mut out = Vec::new();
         run(cmd, &mut out).unwrap();
         assert!(String::from_utf8(out).unwrap().contains("noise"));

@@ -14,6 +14,7 @@ pub use cp_cookies as cookies;
 pub use cp_doppelganger as doppelganger;
 pub use cp_html as html;
 pub use cp_net as net;
+pub use cp_serve as serve;
 pub use cp_treediff as treediff;
 pub use cp_webworld as webworld;
 

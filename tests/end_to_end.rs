@@ -7,9 +7,7 @@ use cookiepicker::browser::Browser;
 use cookiepicker::cookies::{CookiePolicy, SimTime};
 use cookiepicker::core::{CookiePicker, CookiePickerConfig, TestGroupStrategy};
 use cookiepicker::net::{SimNetwork, Url};
-use cookiepicker::webworld::{
-    Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec,
-};
+use cookiepicker::webworld::{Category, CookieRole, CookieSpec, EffectSize, SiteServer, SiteSpec};
 
 fn world(spec: SiteSpec, net_seed: u64, browser_seed: u64) -> (Browser, Url) {
     let domain = spec.domain.clone();
@@ -108,10 +106,7 @@ fn third_party_cookies_isolated_from_first_party_site() {
             _req: &cookiepicker::net::Request,
             _now: SimTime,
         ) -> cookiepicker::net::Response {
-            let mut r = cookiepicker::net::Response::html(
-                cookiepicker::net::StatusCode::OK,
-                "gif",
-            );
+            let mut r = cookiepicker::net::Response::html(cookiepicker::net::StatusCode::OK, "gif");
             r.add_set_cookie("track=me; Expires=Tue, 01 Jan 2008 00:00:00 GMT");
             r
         }
@@ -191,8 +186,11 @@ fn jar_state_consistent_after_training() {
     }
     // site_stats agrees with a manual count.
     let (persistent, useful) = browser.jar.site_stats("consist.example", now);
-    let manual_persistent =
-        browser.jar.iter().filter(|c| c.is_persistent() && c.domain_matches("consist.example")).count();
+    let manual_persistent = browser
+        .jar
+        .iter()
+        .filter(|c| c.is_persistent() && c.domain_matches("consist.example"))
+        .count();
     assert_eq!(persistent, manual_persistent);
     assert!(useful <= persistent);
 }

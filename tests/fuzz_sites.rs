@@ -6,8 +6,8 @@
 //! * A burst-free site with only trackers never gets a mark (the
 //!   false-positive-free property of the 25 clean Table-1 sites).
 
-use cp_bench::{run_site_training, TrainingOptions};
 use cookiepicker::webworld::random_site;
+use cp_bench::{run_site_training, TrainingOptions};
 
 #[test]
 fn random_sites_uphold_detector_invariants() {

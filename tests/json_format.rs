@@ -36,9 +36,16 @@ fn table1_fixture_schema() {
     let rows = rows.as_array().expect("top level is an array");
     assert_eq!(rows.len(), 30, "one row per site S1..S30");
     for row in rows {
-        for key in
-            ["site", "host", "persistent", "marked_useful", "real_useful", "avg_detection_ms", "avg_duration_ms", "probes"]
-        {
+        for key in [
+            "site",
+            "host",
+            "persistent",
+            "marked_useful",
+            "real_useful",
+            "avg_detection_ms",
+            "avg_duration_ms",
+            "probes",
+        ] {
             assert!(row.get(key).is_some(), "row missing key {key}");
         }
     }

@@ -4,9 +4,7 @@
 //! These are the claims EXPERIMENTS.md reports; if a refactor breaks the
 //! reproduction shape, these tests fail first.
 
-use cookiepicker::webworld::{
-    measurement_population, table1_population, table2_population,
-};
+use cookiepicker::webworld::{measurement_population, table1_population, table2_population};
 use cp_bench::{run_site_training, TrainingOptions};
 
 #[test]
@@ -55,8 +53,7 @@ fn table1_headline_numbers() {
     );
 
     // Detection is over an order of magnitude below the ~10 s think time.
-    let det: f64 =
-        results.iter().map(|r| r.avg_detection_ms()).sum::<f64>() / results.len() as f64;
+    let det: f64 = results.iter().map(|r| r.avg_detection_ms()).sum::<f64>() / results.len() as f64;
     assert!(det < 1_000.0, "avg detection {det:.1} ms must stay far below think time");
 }
 

@@ -48,7 +48,8 @@ fn cookie_response(body: &str) -> Response {
 #[test]
 fn malformed_html_never_panics() {
     let soup = "<table><div><p>txt</table></p></div><b><i></b></i><<<>&&&<a href=";
-    let mut browser = browser_with(vec![("/", cookie_response(soup)), ("/x", cookie_response(soup))]);
+    let mut browser =
+        browser_with(vec![("/", cookie_response(soup)), ("/x", cookie_response(soup))]);
     let mut picker = CookiePicker::new(CookiePickerConfig::default());
     train(&mut browser, &mut picker, &["/", "/x"], 3);
     // Stable malformed pages: identical regular/hidden versions → no marks.
@@ -57,8 +58,7 @@ fn malformed_html_never_panics() {
 
 #[test]
 fn empty_body_pages_are_not_cookie_evidence() {
-    let mut browser =
-        browser_with(vec![("/", cookie_response("")), ("/x", cookie_response(""))]);
+    let mut browser = browser_with(vec![("/", cookie_response("")), ("/x", cookie_response(""))]);
     let mut picker = CookiePicker::new(CookiePickerConfig::default());
     train(&mut browser, &mut picker, &["/", "/x"], 3);
     // Empty vs empty: both detectors see "fully similar" → no marks.

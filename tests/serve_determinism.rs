@@ -1,0 +1,67 @@
+//! The reproducibility contract: two loadgen runs with the same seed,
+//! against two same-seed servers, produce *identical* decision and
+//! verdict counters in `/metrics` — wall-clock metrics excluded.
+//!
+//! This holds because (a) the embedded world derives page-dynamics noise
+//! from `(site seed, path, variant)` rather than shared RNG state, so
+//! every render is a pure function of the request, and (b) loadgen
+//! partitions sites across client threads, so each site sees its visits
+//! in one thread's deterministic order regardless of scheduling.
+
+use cookiepicker::serve::loadgen::{run, LoadgenConfig};
+use cookiepicker::serve::metrics::scrape_counter;
+use cookiepicker::serve::{start, ServeConfig};
+
+/// Counter series that must be identical between same-seed runs. Latency
+/// histograms and throughput are wall-clock and deliberately excluded.
+const PINNED_SERIES: &[&str] = &[
+    "cp_decisions_total{verdict=\"useful\"}",
+    "cp_decisions_total{verdict=\"noise\"}",
+    "cp_requests_total{endpoint=\"classify\"}",
+    "cp_requests_total{endpoint=\"visit\"}",
+    "cp_requests_total{endpoint=\"sites\"}",
+    "cp_requests_total{endpoint=\"healthz\"}",
+    "cp_responses_total{class=\"2xx\"}",
+    "cp_responses_total{class=\"4xx\"}",
+    "cp_responses_total{class=\"5xx\"}",
+];
+
+fn one_run(seed: u64, requests: u64, threads: usize) -> (Vec<u64>, u64, u64) {
+    let server =
+        start(ServeConfig { seed, workers: 3, ..ServeConfig::default() }).expect("bind port 0");
+    let report = run(&LoadgenConfig {
+        port: server.port(),
+        threads,
+        requests,
+        seed,
+        ..LoadgenConfig::default()
+    })
+    .expect("loadgen run");
+    assert_eq!(report.status_5xx, 0, "no server errors");
+    assert_eq!(report.transport_errors, 0);
+    assert!(report.counters_match, "server verdict counters must match the client tally");
+    let exposition = server.metrics().render_prometheus();
+    let counters = PINNED_SERIES
+        .iter()
+        .map(|series| scrape_counter(&exposition, series).unwrap_or(u64::MAX))
+        .collect();
+    (counters, report.client_useful, report.client_noise)
+}
+
+#[test]
+fn same_seed_runs_produce_identical_counters() {
+    let (counters_a, useful_a, noise_a) = one_run(7, 600, 3);
+    let (counters_b, useful_b, noise_b) = one_run(7, 600, 3);
+    assert_eq!(counters_a, counters_b, "series order: {PINNED_SERIES:?}");
+    assert_eq!((useful_a, noise_a), (useful_b, noise_b));
+    assert!(useful_a + noise_a > 0, "the mix must exercise the decision engine");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Sanity check that the pin above is not vacuous: a different seed
+    // changes the population and the mix, so counters should differ.
+    let (counters_a, ..) = one_run(7, 600, 3);
+    let (counters_c, ..) = one_run(8, 600, 3);
+    assert_ne!(counters_a, counters_c);
+}
