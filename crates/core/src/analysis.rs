@@ -1,0 +1,178 @@
+//! The compiled per-page analysis: everything `decide` needs from a page,
+//! derived once and reusable across comparisons.
+//!
+//! [`decide`](crate::decision::decide) consumes a page twice — as a tree
+//! (RSTM over the DOM structure) and as a content set (CVCE over its
+//! visible text). Both derivations depend only on the page and the
+//! `compare_from_body` flag, never on the *other* page of a comparison, so
+//! they can be compiled ahead of time into a [`PageAnalysis`]: a
+//! [`DetectTree`] arena plus a [`CompiledContentSet`]. `cp-serve` keys
+//! these by the FNV-1a hash of the body bytes and caches them, so repeated
+//! bodies skip parsing and extraction entirely.
+
+use cp_html::{Document, NodeData, NodeId};
+use cp_treediff::{DetectTree, DetectTreeBuilder, TreeView as _};
+
+use crate::cvce::{
+    ad_attrs, noise_container, sink_text, CompiledContentSet, ContentSink, HashSink,
+};
+use crate::domview::DomTreeView;
+
+/// The compiled form of one page version: ready for any number of
+/// [`decide_analyzed`](crate::decision::decide_analyzed) comparisons
+/// without touching the source `Document` again.
+#[derive(Debug, Clone, Default)]
+pub struct PageAnalysis {
+    tree: DetectTree,
+    content: CompiledContentSet,
+}
+
+impl PageAnalysis {
+    /// Compiles a parsed document. `compare_from_body` selects the same
+    /// comparison root `decide` uses: the `<body>` subtree (falling back to
+    /// `<html>`, then the document) or the whole document.
+    pub fn from_document(doc: &Document, compare_from_body: bool) -> Self {
+        let view = if compare_from_body {
+            DomTreeView::from_body(doc)
+        } else {
+            DomTreeView::from_document(doc)
+        };
+        let root = view.root().unwrap_or(NodeId::DOCUMENT);
+        // One fused traversal builds both derivations: the tree arena sees
+        // every node, the content sink sees the Figure-4 filtered subset,
+        // and each element's visibility is judged exactly once for both.
+        let mut builder = DetectTreeBuilder::with_capacity(doc.len());
+        let mut sink = HashSink::new();
+        let mut syms = Symbols { text: builder.intern("#text"), elements: [None; 16] };
+        compile_rec(doc, root, &mut builder, &mut sink, &mut syms, true);
+        PageAnalysis { tree: builder.finish(), content: sink.finish() }
+    }
+
+    /// Parses and compiles raw markup in one step.
+    pub fn from_html(html: &str, compare_from_body: bool) -> Self {
+        PageAnalysis::from_document(&cp_html::parse_document(html), compare_from_body)
+    }
+
+    /// The compiled tree (RSTM input).
+    pub fn tree(&self) -> &DetectTree {
+        &self.tree
+    }
+
+    /// The compiled content set (CVCE input).
+    pub fn content(&self) -> &CompiledContentSet {
+        &self.content
+    }
+}
+
+/// Symbol shortcuts threaded through the fused walk: the `#text` symbol is
+/// interned once up front (text nodes are the most common node kind by
+/// far), and a small direct-mapped cache keyed on name length and first
+/// byte resolves repeated element names without an intern-table probe —
+/// real pages use a handful of distinct tags, so this hits almost always.
+struct Symbols<'a> {
+    text: u32,
+    elements: [Option<(&'a str, u32)>; 16],
+}
+
+impl<'a> Symbols<'a> {
+    fn element(&mut self, name: &'a str, builder: &mut DetectTreeBuilder) -> u32 {
+        let slot = (name.len() ^ (name.as_bytes().first().copied().unwrap_or(0) as usize)) & 15;
+        match self.elements[slot] {
+            Some((n, s)) if n == name => s,
+            _ => {
+                let s = builder.intern(name);
+                self.elements[slot] = Some((name, s));
+                s
+            }
+        }
+    }
+}
+
+/// The fused walk: every node becomes a tree-arena entry (mirroring
+/// `DetectTree::from_view` over a `DomTreeView` — same labels, same
+/// `countable` judgement), while text flows into the content sink exactly
+/// as `content_compile`'s recursive walk would emit it. `content` is false
+/// once any ancestor failed the Figure-4 element filter, which is where the
+/// reference walk stops recursing for content purposes.
+fn compile_rec<'a>(
+    doc: &'a Document,
+    node: NodeId,
+    builder: &mut DetectTreeBuilder,
+    sink: &mut HashSink,
+    syms: &mut Symbols<'a>,
+    content: bool,
+) {
+    match doc.data(node) {
+        NodeData::Text(text) => {
+            builder.leaf_sym(syms.text, false);
+            if content {
+                sink_text(text, sink);
+            }
+        }
+        NodeData::Element { name, attrs } => {
+            let visible = cp_html::element_visible(name, attrs);
+            let sym = syms.element(name, builder);
+            builder.enter_sym(sym, visible);
+            let content = content && visible && !noise_container(name) && !ad_attrs(attrs);
+            if content {
+                sink.enter(name);
+            }
+            for &c in doc.children(node) {
+                compile_rec(doc, c, builder, sink, syms, content);
+            }
+            if content {
+                sink.leave();
+            }
+            builder.leave();
+        }
+        NodeData::Document => {
+            builder.enter("#document", false);
+            for &c in doc.children(node) {
+                compile_rec(doc, c, builder, sink, syms, content);
+            }
+            builder.leave();
+        }
+        NodeData::Comment(_) | NodeData::Doctype { .. } => {
+            let sym = builder.intern(doc.node_name(node));
+            builder.leaf_sym(sym, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_html::parse_document;
+    use cp_treediff::{countable_nodes, countable_nodes_detect};
+
+    #[test]
+    fn body_root_matches_domview_choice() {
+        let doc = parse_document("<body><div><p>text here</p></div></body>");
+        let a = PageAnalysis::from_document(&doc, true);
+        let view = DomTreeView::from_body(&doc);
+        for level in 1..6 {
+            assert_eq!(countable_nodes_detect(a.tree(), level), countable_nodes(&view, level));
+        }
+        assert_eq!(a.content().len(), 1);
+    }
+
+    #[test]
+    fn document_root_sees_the_whole_tree() {
+        let doc = parse_document("<body><p>x1</p></body>");
+        let from_body = PageAnalysis::from_document(&doc, true);
+        let from_doc = PageAnalysis::from_document(&doc, false);
+        // The document-rooted tree is strictly taller (document + html
+        // wrappers above body).
+        assert!(from_doc.tree().len() > from_body.tree().len());
+        assert_eq!(from_doc.content().len(), from_body.content().len());
+    }
+
+    #[test]
+    fn from_html_equals_from_document() {
+        let html = "<body><div><p>same page</p></div></body>";
+        let a = PageAnalysis::from_html(html, true);
+        let b = PageAnalysis::from_document(&parse_document(html), true);
+        assert_eq!(a.content(), b.content());
+        assert_eq!(a.tree().len(), b.tree().len());
+    }
+}

@@ -4,10 +4,11 @@ use std::time::Instant;
 
 use cp_html::Document;
 use cp_runtime::json::{FromJson, Json, JsonError, ToJson};
-use cp_treediff::n_tree_sim;
+use cp_treediff::{n_tree_sim, n_tree_sim_detect, MatchScratch};
 
+use crate::analysis::PageAnalysis;
 use crate::config::CookiePickerConfig;
-use crate::cvce::{content_extract, n_text_sim};
+use crate::cvce::{content_extract, n_text_sim, n_text_sim_compiled};
 use crate::domview::DomTreeView;
 
 /// The outcome of comparing a regular and a hidden page version.
@@ -68,6 +69,67 @@ impl FromJson for Decision {
 /// ```
 pub fn decide(regular: &Document, hidden: &Document, config: &CookiePickerConfig) -> Decision {
     let start = Instant::now();
+    let a = PageAnalysis::from_document(regular, config.compare_from_body);
+    let b = PageAnalysis::from_document(hidden, config.compare_from_body);
+    with_scratch(|scratch| decide_compiled(&a, &b, config, scratch, start))
+}
+
+/// [`decide`] over pre-compiled analyses: when both pages are already in
+/// [`PageAnalysis`] form (e.g. served from `cp-serve`'s page cache), the
+/// comparison skips parsing and extraction entirely and only runs the two
+/// similarity kernels. `detection_micros` then covers just those kernels.
+pub fn decide_analyzed(
+    a: &PageAnalysis,
+    b: &PageAnalysis,
+    config: &CookiePickerConfig,
+) -> Decision {
+    let start = Instant::now();
+    with_scratch(|scratch| decide_compiled(a, b, config, scratch, start))
+}
+
+/// Runs `f` with this thread's reusable [`MatchScratch`], so repeated
+/// decisions stop allocating DP workspace once the buffers are warm.
+fn with_scratch<R>(f: impl FnOnce(&mut MatchScratch) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<MatchScratch> =
+            std::cell::RefCell::new(MatchScratch::new());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        // Only reachable if `f` somehow re-enters a decision; correctness
+        // over speed in that case.
+        Err(_) => f(&mut MatchScratch::new()),
+    })
+}
+
+fn decide_compiled(
+    a: &PageAnalysis,
+    b: &PageAnalysis,
+    config: &CookiePickerConfig,
+    scratch: &mut MatchScratch,
+    start: Instant,
+) -> Decision {
+    let tree_sim = n_tree_sim_detect(a.tree(), b.tree(), config.max_level, scratch);
+    let text_sim = n_text_sim_compiled(a.content(), b.content());
+    let cookies_caused_difference = tree_sim <= config.thresh1 && text_sim <= config.thresh2;
+    Decision {
+        tree_sim,
+        text_sim,
+        cookies_caused_difference,
+        detection_micros: start.elapsed().as_micros() as u64,
+    }
+}
+
+/// The uncompiled reference implementation of [`decide`]: string-labeled
+/// tree views and `HashMap`-based content sets, exactly as Figure 5 reads.
+/// Kept as the debug oracle — the equivalence suite and the detect
+/// benchmark both pit `decide` against it.
+pub fn decide_reference(
+    regular: &Document,
+    hidden: &Document,
+    config: &CookiePickerConfig,
+) -> Decision {
+    let start = Instant::now();
 
     let (view_a, view_b) = if config.compare_from_body {
         (DomTreeView::from_body(regular), DomTreeView::from_body(hidden))
@@ -91,7 +153,7 @@ pub fn decide(regular: &Document, hidden: &Document, config: &CookiePickerConfig
     }
 }
 
-// Re-export used by `decide`'s signature resolution above.
+// Re-export used by `decide_reference`'s root selection above.
 use cp_treediff::TreeView as _;
 
 #[cfg(test)]
@@ -173,6 +235,47 @@ mod tests {
         let back = Decision::from_json(&Json::parse(&d.to_json().to_compact()).unwrap()).unwrap();
         assert_eq!(back, d);
         assert!(Decision::from_json(&Json::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn compiled_decide_equals_reference() {
+        let pages = [
+            "<body><div><p>hello world</p></div></body>",
+            "<body><div id=s><ul><li>a</li><li>b</li></ul></div><div><p>main text</p></div></body>",
+            "<body><div><p>main text</p></div></body>",
+            "<body></body>",
+        ];
+        for pa in pages {
+            for pb in pages {
+                for cfg in [config(), CookiePickerConfig { compare_from_body: false, ..config() }] {
+                    let (a, b) = (parse_document(pa), parse_document(pb));
+                    let compiled = decide(&a, &b, &cfg);
+                    let reference = decide_reference(&a, &b, &cfg);
+                    assert_eq!(compiled.tree_sim.to_bits(), reference.tree_sim.to_bits());
+                    assert_eq!(compiled.text_sim.to_bits(), reference.text_sim.to_bits());
+                    assert_eq!(
+                        compiled.cookies_caused_difference,
+                        reference.cookies_caused_difference
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decide_analyzed_equals_decide() {
+        let a = parse_document("<body><div><p>alpha beta</p></div></body>");
+        let b = parse_document("<body><div><p>alpha</p></div><span>extra</span></body>");
+        let cfg = config();
+        let (pa, pb) = (
+            PageAnalysis::from_document(&a, cfg.compare_from_body),
+            PageAnalysis::from_document(&b, cfg.compare_from_body),
+        );
+        let fresh = decide(&a, &b, &cfg);
+        let cached = decide_analyzed(&pa, &pb, &cfg);
+        assert_eq!(fresh.tree_sim.to_bits(), cached.tree_sim.to_bits());
+        assert_eq!(fresh.text_sim.to_bits(), cached.text_sim.to_bits());
+        assert_eq!(fresh.cookies_caused_difference, cached.cookies_caused_difference);
     }
 
     #[test]

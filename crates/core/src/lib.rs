@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod config;
 pub mod cvce;
 pub mod decision;
@@ -67,9 +68,13 @@ pub mod recovery;
 pub mod report;
 pub mod tuning;
 
+pub use analysis::PageAnalysis;
 pub use config::{CookiePickerConfig, TestGroupStrategy};
-pub use cvce::{content_extract, n_text_sim, n_text_sim_strict, ContentSet};
-pub use decision::{decide, Decision};
+pub use cvce::{
+    content_compile, content_extract, fnv1a64, n_text_sim, n_text_sim_compiled, n_text_sim_strict,
+    n_text_sim_strict_compiled, CompiledContentSet, ContentSet,
+};
+pub use decision::{decide, decide_analyzed, decide_reference, Decision};
 pub use domview::{DomTreeView, IdAwareDomView};
 pub use explain::{explain, DiffReport};
 pub use forcum::{ForcumState, SiteTraining};

@@ -1,7 +1,7 @@
 //! The CookiePicker extension: the five FORCUM steps wired into the
 //! browser's page-load hook.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cp_runtime::json::{FromJson, Json, JsonError, ToJson};
 
@@ -208,12 +208,18 @@ impl CookiePicker {
 
     fn select_group(&mut self, ctx: &PageContext<'_>, sent_names: &[String]) -> Vec<String> {
         let host = ctx.view.top_host();
+        // Hash-set dedup: sent_names can repeat, and a linear
+        // `candidates.contains` per name is quadratic in cookie count.
+        let mut seen: HashSet<&str> = HashSet::with_capacity(sent_names.len());
         let mut candidates: Vec<String> = Vec::new();
         for name in sent_names {
+            if !seen.insert(name.as_str()) {
+                continue;
+            }
             let is_candidate = ctx.jar.iter().any(|c| {
                 c.name == *name && c.domain_matches(host) && c.is_persistent() && !c.useful()
             });
-            if is_candidate && !candidates.contains(name) {
+            if is_candidate {
                 candidates.push(name.clone());
             }
         }
@@ -231,10 +237,13 @@ impl CookiePicker {
             TestGroupStrategy::GroupBisect => {
                 // Prefer a queued subgroup whose cookies are present in this
                 // request; fall back to the full candidate set.
+                let candidate_set: HashSet<&str> = candidates.iter().map(String::as_str).collect();
                 if let Some(queue) = self.bisect_queue.get_mut(host) {
                     while let Some(sub) = queue.pop() {
-                        let usable: Vec<String> =
-                            sub.into_iter().filter(|n| candidates.contains(n)).collect();
+                        let usable: Vec<String> = sub
+                            .into_iter()
+                            .filter(|n| candidate_set.contains(n.as_str()))
+                            .collect();
                         if !usable.is_empty() {
                             return usable;
                         }
@@ -247,12 +256,13 @@ impl CookiePicker {
 
     fn build_hidden_request(&self, regular: &Request, group: &[String]) -> Request {
         let mut hidden = regular.clone();
+        let disabled: HashSet<&str> = group.iter().map(String::as_str).collect();
         let remaining: Vec<(String, String)> = regular
             .cookie_header()
             .map(parse_cookie_header)
             .unwrap_or_default()
             .into_iter()
-            .filter(|(n, _)| !group.contains(n))
+            .filter(|(n, _)| !disabled.contains(n.as_str()))
             .collect();
         if remaining.is_empty() {
             hidden.headers.remove("cookie");

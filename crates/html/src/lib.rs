@@ -51,4 +51,4 @@ pub use select::{select, select_first, Selector};
 pub use serialize::serialize;
 pub use text::inner_text;
 pub use tokenizer::{tokenize, Attribute, Token};
-pub use visibility::{is_invisible_element_name, is_node_visible};
+pub use visibility::{element_visible, is_invisible_element_name, is_node_visible};

@@ -46,25 +46,69 @@ pub fn is_node_visible(doc: &Document, id: NodeId) -> bool {
     match doc.data(id) {
         NodeData::Comment(_) | NodeData::Doctype { .. } => false,
         NodeData::Document | NodeData::Text(_) => true,
-        NodeData::Element { name, .. } => {
-            if is_invisible_element_name(name) {
-                return false;
-            }
-            if doc.attr(id, "hidden").is_some() {
-                return false;
-            }
-            if name == "input"
-                && doc.attr(id, "type").is_some_and(|t| t.eq_ignore_ascii_case("hidden"))
-            {
-                return false;
-            }
-            if let Some(style) = doc.attr(id, "style") {
-                let lowered: String = style.to_ascii_lowercase().split_whitespace().collect();
-                if lowered.contains("display:none") || lowered.contains("visibility:hidden") {
-                    return false;
+        NodeData::Element { name, attrs } => element_visible(name, attrs),
+    }
+}
+
+/// The element case of [`is_node_visible`], judged from the name and the
+/// attribute list directly — one pass over the attributes instead of one
+/// scan per interesting attribute, for callers (like the compiled page
+/// analysis) that already hold the element data.
+///
+/// Duplicate attributes follow [`Document::attr`] semantics: the first
+/// occurrence of a name wins.
+pub fn element_visible(name: &str, attrs: &[(String, String)]) -> bool {
+    if is_invisible_element_name(name) {
+        return false;
+    }
+    let (mut hidden, mut ty, mut style) = (false, None, None);
+    for (k, v) in attrs {
+        match k.as_str() {
+            "hidden" => hidden = true,
+            "type" if ty.is_none() => ty = Some(v.as_str()),
+            "style" if style.is_none() => style = Some(v.as_str()),
+            _ => {}
+        }
+    }
+    if hidden {
+        return false;
+    }
+    if name == "input" && ty.is_some_and(|t| t.eq_ignore_ascii_case("hidden")) {
+        return false;
+    }
+    !style.is_some_and(style_hides)
+}
+
+/// Whether an inline style declares `display:none` or `visibility:hidden`,
+/// judged on the style with all whitespace removed and ASCII case folded —
+/// exactly the string `style.to_ascii_lowercase().split_whitespace()
+/// .collect::<String>()` would contain, but without building it.
+fn style_hides(style: &str) -> bool {
+    contains_filtered(style, b"display:none") || contains_filtered(style, b"visibility:hidden")
+}
+
+/// Substring search for an ASCII-lowercase `needle` in `style` viewed as a
+/// whitespace-stripped, ASCII-lowercased character stream.
+fn contains_filtered(style: &str, needle: &[u8]) -> bool {
+    let mut stream = style.chars().filter(|c| !c.is_whitespace());
+    loop {
+        let mut probe = stream.clone();
+        let mut matched = 0;
+        while matched < needle.len() {
+            match probe.next() {
+                Some(c) if c.is_ascii() && c.to_ascii_lowercase() as u8 == needle[matched] => {
+                    matched += 1;
                 }
+                Some(_) => break,
+                // The stream ran out mid-needle; no later start can fit.
+                None => return false,
             }
-            true
+        }
+        if matched == needle.len() {
+            return true;
+        }
+        if stream.next().is_none() {
+            return false;
         }
     }
 }

@@ -1,0 +1,180 @@
+//! The page-analysis cache: compiled [`PageAnalysis`] values keyed by the
+//! FNV-1a hash of the page body bytes.
+//!
+//! Both `/v1/classify` bodies and `EmbeddedWorld` renders repeat heavily —
+//! the world is deterministic, so the same `(site, path, cookies)` triple
+//! renders the same bytes forever, and classify clients tend to replay the
+//! same page pairs. Caching the *compiled* analysis (not the decision) is
+//! what makes reuse safe: a `PageAnalysis` depends only on the body and
+//! the `compare_from_body` flag, never on the opposing page or the
+//! thresholds, so any comparison may use a cached entry and still produce
+//! a bit-identical decision.
+//!
+//! Keys are `fnv1a64(body) ^ root_salt` where the salt separates the
+//! body-rooted from the document-rooted compilation of the same bytes —
+//! the only configuration axis that changes what is compiled.
+//!
+//! Eviction is least-recently-used over a small fixed capacity. The scan
+//! is `O(capacity)` on insert only; lookups are one hash probe under a
+//! mutex held for nanoseconds (the expensive parse + extract runs
+//! *outside* the lock, so concurrent misses on distinct bodies do not
+//! serialize — two racing misses on the *same* body both build, and the
+//! loser's identical value is dropped).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cookiepicker_core::{fnv1a64, PageAnalysis};
+use cp_runtime::sync::Mutex;
+
+/// Key salt for analyses rooted at `<body>` (`compare_from_body = true`).
+const BODY_ROOT_SALT: u64 = 0x424f_4459_524f_4f54;
+/// Key salt for analyses rooted at the document.
+const DOC_ROOT_SALT: u64 = 0x444f_4352_4f4f_5421;
+
+struct Entry {
+    analysis: Arc<PageAnalysis>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// A bounded LRU cache of compiled page analyses. See the module docs.
+pub struct AnalysisCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl AnalysisCache {
+    /// Creates a cache holding at most `capacity` analyses (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        AnalysisCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+        }
+    }
+
+    /// Number of cached analyses.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the compiled analysis for `html`, building and inserting it
+    /// on miss. The second element reports whether this was a hit.
+    pub fn get_or_analyze(&self, html: &str, compare_from_body: bool) -> (Arc<PageAnalysis>, bool) {
+        let salt = if compare_from_body { BODY_ROOT_SALT } else { DOC_ROOT_SALT };
+        let key = fnv1a64(html.as_bytes()) ^ salt;
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                return (Arc::clone(&entry.analysis), true);
+            }
+        }
+        // Miss: compile outside the lock so other threads proceed.
+        let analysis = Arc::new(PageAnalysis::from_html(html, compare_from_body));
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner
+            .map
+            .entry(key)
+            .or_insert_with(|| Entry { analysis: Arc::clone(&analysis), last_used: tick });
+        entry.last_used = tick;
+        let result = Arc::clone(&entry.analysis);
+        if inner.map.len() > self.capacity {
+            // The just-touched entry carries the newest tick, so the
+            // minimum is always some other entry.
+            let victim = inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                inner.map.remove(&victim);
+            }
+        }
+        (result, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE_A: &str = "<body><div><p>page alpha</p></div></body>";
+    const PAGE_B: &str = "<body><div><p>page bravo</p></div></body>";
+    const PAGE_C: &str = "<body><div><p>page charlie</p></div></body>";
+
+    #[test]
+    fn hit_returns_the_same_analysis() {
+        let cache = AnalysisCache::new(8);
+        let (first, hit1) = cache.get_or_analyze(PAGE_A, true);
+        let (second, hit2) = cache.get_or_analyze(PAGE_A, true);
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&first, &second), "a hit must not rebuild");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn root_flag_is_part_of_the_key() {
+        let cache = AnalysisCache::new(8);
+        let (body_rooted, _) = cache.get_or_analyze(PAGE_A, true);
+        let (doc_rooted, hit) = cache.get_or_analyze(PAGE_A, false);
+        assert!(!hit, "same bytes, different root: distinct entries");
+        assert!(!Arc::ptr_eq(&body_rooted, &doc_rooted));
+        assert!(doc_rooted.tree().len() > body_rooted.tree().len());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = AnalysisCache::new(2);
+        cache.get_or_analyze(PAGE_A, true);
+        cache.get_or_analyze(PAGE_B, true);
+        // Touch A so B becomes the LRU entry...
+        let (_, hit_a) = cache.get_or_analyze(PAGE_A, true);
+        assert!(hit_a);
+        // ...then C's insert must evict B, not A.
+        let (_, hit_c) = cache.get_or_analyze(PAGE_C, true);
+        assert!(!hit_c);
+        assert_eq!(cache.len(), 2);
+        let (_, hit_a_again) = cache.get_or_analyze(PAGE_A, true);
+        let (_, hit_b_again) = cache.get_or_analyze(PAGE_B, true);
+        assert!(hit_a_again, "recently used entry survived");
+        assert!(!hit_b_again, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let cache = AnalysisCache::new(0);
+        cache.get_or_analyze(PAGE_A, true);
+        cache.get_or_analyze(PAGE_B, true);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache = Arc::new(AnalysisCache::new(16));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        for page in [PAGE_A, PAGE_B, PAGE_C] {
+                            let (analysis, _) = cache.get_or_analyze(page, true);
+                            assert_eq!(analysis.content().len(), 1);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 3);
+    }
+}

@@ -19,6 +19,7 @@
 //! bounded-queue worker pool, and [`loadgen`] is the seeded closed-loop
 //! client that benchmarks the whole stack.
 
+pub mod cache;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
@@ -26,6 +27,7 @@ pub mod server;
 pub mod store;
 pub mod world;
 
+pub use cache::AnalysisCache;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use store::ShardedStore;

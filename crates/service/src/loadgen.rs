@@ -22,7 +22,7 @@ use cp_runtime::rng::{Rng, SeedableRng, StdRng};
 use cp_webworld::table1_population;
 
 use crate::http::{write_request, HttpConn, HttpError, HttpResponse, Limits};
-use crate::metrics::scrape_counter;
+use crate::metrics::{quantile_from_buckets, scrape_counter, scrape_histogram};
 
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
@@ -87,6 +87,16 @@ pub struct LoadgenReport {
     pub server_noise: u64,
     /// Whether the client tally matches the server counters exactly.
     pub counters_match: bool,
+    /// Detection timings recorded by the server (`cp_detection_micros` count).
+    pub detection_count: u64,
+    /// Server-side detection latency median, from the histogram buckets.
+    pub detection_p50_micros: f64,
+    /// Server-side detection latency 99th percentile.
+    pub detection_p99_micros: f64,
+    /// Analysis-cache hits scraped after the run.
+    pub cache_hits: u64,
+    /// Analysis-cache misses scraped after the run.
+    pub cache_misses: u64,
 }
 
 impl ToJson for LoadgenReport {
@@ -115,6 +125,15 @@ impl ToJson for LoadgenReport {
                     .set("server_useful", self.server_useful)
                     .set("server_noise", self.server_noise)
                     .set("counters_match", self.counters_match),
+            )
+            .set(
+                "detection",
+                Json::object()
+                    .set("count", self.detection_count)
+                    .set("p50_micros", self.detection_p50_micros)
+                    .set("p99_micros", self.detection_p99_micros)
+                    .set("cache_hits", self.cache_hits)
+                    .set("cache_misses", self.cache_misses),
             )
     }
 }
@@ -262,6 +281,11 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         server_useful: 0,
         server_noise: 0,
         counters_match: false,
+        detection_count: 0,
+        detection_p50_micros: 0.0,
+        detection_p99_micros: 0.0,
+        cache_hits: 0,
+        cache_misses: 0,
     };
     for tally in tallies {
         report.requests += tally.samples.len() as u64;
@@ -290,6 +314,18 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         scrape_counter(&exposition, "cp_decisions_total{verdict=\"noise\"}").unwrap_or(0);
     report.counters_match =
         report.server_useful == report.client_useful && report.server_noise == report.client_noise;
+    // Server-side detection timings: the histogram covers every decide()
+    // the server ran, including the cached path's analysis lookups.
+    let buckets = scrape_histogram(&exposition, "cp_detection_micros");
+    report.detection_count = buckets.last().map(|(_, total)| *total).unwrap_or(0);
+    if report.detection_count > 0 {
+        report.detection_p50_micros = quantile_from_buckets(&buckets, 0.50);
+        report.detection_p99_micros = quantile_from_buckets(&buckets, 0.99);
+    }
+    report.cache_hits =
+        scrape_counter(&exposition, "cp_analysis_cache_total{result=\"hit\"}").unwrap_or(0);
+    report.cache_misses =
+        scrape_counter(&exposition, "cp_analysis_cache_total{result=\"miss\"}").unwrap_or(0);
     Ok(report)
 }
 
@@ -438,6 +474,14 @@ mod tests {
         );
         assert!(report.p50_micros <= report.p95_micros);
         assert!(report.p95_micros <= report.p99_micros);
+        assert_eq!(
+            report.detection_count,
+            report.client_useful + report.client_noise,
+            "one detection timing per decision"
+        );
+        assert!(report.detection_p50_micros <= report.detection_p99_micros);
+        assert!(report.cache_misses > 0, "first sight of each body is a miss");
+        assert!(report.cache_hits > 0, "the mix replays bodies, so some must hit");
         let json = report.to_json().to_compact();
         assert!(json.contains("\"counters_match\":true"));
     }

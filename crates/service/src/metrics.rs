@@ -73,8 +73,15 @@ pub struct EndpointSeries {
     pub latency: Histogram,
 }
 
+/// Bucket bounds for the detection-time histogram, in microseconds. Powers
+/// of two: detection times span roughly three orders of magnitude between
+/// a cache-hit re-comparison and a cold parse of a large page, and
+/// power-of-two buckets keep relative error constant across that range.
+pub const DETECTION_BUCKETS_MICROS: [u64; 14] =
+    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
 /// The server's metric registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServiceMetrics {
     endpoints: [EndpointSeries; 7],
     /// Responses by status class.
@@ -87,6 +94,13 @@ pub struct ServiceMetrics {
     pub decisions_useful: Counter,
     /// Detection verdicts: page-dynamics noise.
     pub decisions_noise: Counter,
+    /// Server-side detection time (`decide` proper, excluding transport
+    /// and body parsing), in microseconds.
+    pub detection: Histogram,
+    /// Page-analysis cache hits (body already compiled).
+    pub cache_hits: Counter,
+    /// Page-analysis cache misses (parse + extract ran).
+    pub cache_misses: Counter,
     /// Connections queued for a worker right now.
     pub queue_depth: Gauge,
     /// Connections accepted over the server's lifetime.
@@ -95,10 +109,29 @@ pub struct ServiceMetrics {
     pub rejected_total: Counter,
 }
 
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics::new()
+    }
+}
+
 impl ServiceMetrics {
     /// Creates a zeroed registry.
     pub fn new() -> Self {
-        ServiceMetrics::default()
+        ServiceMetrics {
+            endpoints: Default::default(),
+            responses_2xx: Counter::new(),
+            responses_4xx: Counter::new(),
+            responses_5xx: Counter::new(),
+            decisions_useful: Counter::new(),
+            decisions_noise: Counter::new(),
+            detection: Histogram::with_bounds(&DETECTION_BUCKETS_MICROS),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            queue_depth: Gauge::new(),
+            connections_total: Counter::new(),
+            rejected_total: Counter::new(),
+        }
     }
 
     /// The series for `endpoint`.
@@ -124,6 +157,15 @@ impl ServiceMetrics {
             self.decisions_useful.inc();
         } else {
             self.decisions_noise.inc();
+        }
+    }
+
+    /// Records one page-analysis cache lookup.
+    pub fn record_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.inc();
+        } else {
+            self.cache_misses.inc();
         }
     }
 
@@ -182,6 +224,20 @@ impl ServiceMetrics {
         );
         let _ =
             writeln!(out, "cp_decisions_total{{verdict=\"noise\"}} {}", self.decisions_noise.get());
+        out.push_str("# TYPE cp_detection_micros histogram\n");
+        if self.detection.count() > 0 {
+            for (bound, cumulative) in self.detection.snapshot() {
+                let le = if bound == u64::MAX { "+Inf".to_string() } else { bound.to_string() };
+                let _ = writeln!(out, "cp_detection_micros_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "cp_detection_micros_sum {}", self.detection.sum_micros());
+            let _ = writeln!(out, "cp_detection_micros_count {}", self.detection.count());
+        }
+        out.push_str("# TYPE cp_analysis_cache_total counter\n");
+        let _ =
+            writeln!(out, "cp_analysis_cache_total{{result=\"hit\"}} {}", self.cache_hits.get());
+        let _ =
+            writeln!(out, "cp_analysis_cache_total{{result=\"miss\"}} {}", self.cache_misses.get());
         out.push_str("# TYPE cp_queue_depth gauge\n");
         let _ = writeln!(out, "cp_queue_depth {}", self.queue_depth.get());
         out.push_str("# TYPE cp_connections_total counter\n");
@@ -200,6 +256,52 @@ pub fn scrape_counter(exposition: &str, series: &str) -> Option<u64> {
         let rest = line.strip_prefix(series)?;
         rest.trim().parse().ok()
     })
+}
+
+/// Parses the cumulative buckets of a label-free histogram out of a
+/// Prometheus exposition: `scrape_histogram(text, "cp_detection_micros")`
+/// returns `(upper_bound, cumulative_count)` pairs in exposition order,
+/// with `+Inf` mapped to `u64::MAX`. Empty when the histogram was not
+/// rendered (no observations).
+pub fn scrape_histogram(exposition: &str, name: &str) -> Vec<(u64, u64)> {
+    let prefix = format!("{name}_bucket{{le=\"");
+    let mut buckets = Vec::new();
+    for line in exposition.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else { continue };
+        let Some((le, value)) = rest.split_once("\"}") else { continue };
+        let bound = if le == "+Inf" { Some(u64::MAX) } else { le.parse().ok() };
+        if let (Some(bound), Ok(cumulative)) = (bound, value.trim().parse()) {
+            buckets.push((bound, cumulative));
+        }
+    }
+    buckets
+}
+
+/// Estimates a quantile from cumulative histogram buckets (as returned by
+/// [`scrape_histogram`]), linearly interpolating within the winning bucket
+/// — the scrape-side mirror of `Histogram::quantile_micros`. Returns `0.0`
+/// for an empty histogram.
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], q: f64) -> f64 {
+    let total = buckets.last().map(|&(_, c)| c).unwrap_or(0);
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut lower = 0u64;
+    let mut below = 0u64;
+    for &(bound, cumulative) in buckets {
+        if cumulative >= rank {
+            let in_bucket = cumulative - below;
+            let upper = if bound == u64::MAX { lower.saturating_mul(2).max(1) } else { bound };
+            let fraction = (rank - below) as f64 / in_bucket.max(1) as f64;
+            return lower as f64 + fraction * (upper.saturating_sub(lower)) as f64;
+        }
+        below = cumulative;
+        if bound != u64::MAX {
+            lower = bound;
+        }
+    }
+    lower as f64
 }
 
 #[cfg(test)]
@@ -240,5 +342,48 @@ mod tests {
         assert_eq!(scrape_counter(&text, "nope"), None);
         // Idle endpoints emit no histogram series.
         assert!(!text.contains("cp_request_duration_micros_count{endpoint=\"visit\"}"));
+    }
+
+    #[test]
+    fn detection_histogram_and_cache_counters_render() {
+        let m = ServiceMetrics::new();
+        let empty = m.render_prometheus();
+        // Idle detection histogram emits no buckets, but the cache
+        // counters always render (zero is meaningful there).
+        assert!(!empty.contains("cp_detection_micros_bucket"));
+        assert_eq!(scrape_counter(&empty, "cp_analysis_cache_total{result=\"hit\"}"), Some(0));
+
+        m.detection.observe(3);
+        m.detection.observe(100);
+        m.record_cache(true);
+        m.record_cache(false);
+        m.record_cache(false);
+        let text = m.render_prometheus();
+        assert!(text.contains("cp_detection_micros_bucket{le=\"4\"} 1"));
+        assert!(text.contains("cp_detection_micros_bucket{le=\"+Inf\"} 2"));
+        assert_eq!(scrape_counter(&text, "cp_detection_micros_count"), Some(2));
+        assert_eq!(scrape_counter(&text, "cp_analysis_cache_total{result=\"hit\"}"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_analysis_cache_total{result=\"miss\"}"), Some(2));
+    }
+
+    #[test]
+    fn scrape_histogram_round_trips_the_rendering() {
+        let m = ServiceMetrics::new();
+        for micros in [1, 3, 3, 50, 5000, 100_000] {
+            m.detection.observe(micros);
+        }
+        let text = m.render_prometheus();
+        let buckets = scrape_histogram(&text, "cp_detection_micros");
+        assert_eq!(buckets, m.detection.snapshot());
+        assert_eq!(buckets.last().unwrap(), &(u64::MAX, 6));
+        // Quantiles estimated from the scrape agree with the histogram's
+        // own interpolation.
+        for q in [0.5, 0.9, 0.99] {
+            let scraped = quantile_from_buckets(&buckets, q);
+            let native = m.detection.quantile_micros(q);
+            assert!((scraped - native).abs() < 1e-9, "q={q}: {scraped} vs {native}");
+        }
+        assert_eq!(quantile_from_buckets(&[], 0.5), 0.0);
+        assert!(scrape_histogram(&text, "cp_request_duration_micros").is_empty());
     }
 }

@@ -17,11 +17,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cookiepicker_core::{decide, CookiePickerConfig};
-use cp_html::parse_document;
+use cookiepicker_core::{decide_analyzed, CookiePickerConfig};
 use cp_runtime::json::{FromJson, Json, ToJson};
 use cp_runtime::sync::Mutex;
 
+use crate::cache::AnalysisCache;
 use crate::http::{write_response, HttpConn, HttpError, HttpRequest, Limits};
 use crate::metrics::{Endpoint, ServiceMetrics};
 use crate::store::ShardedStore;
@@ -50,6 +50,8 @@ pub struct ServeConfig {
     pub limits: Limits,
     /// Detection configuration used by `/v1/classify` and `/v1/visit`.
     pub picker: CookiePickerConfig,
+    /// Page-analysis cache capacity (compiled pages kept for reuse).
+    pub cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +67,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(5),
             limits: Limits::default(),
             picker: CookiePickerConfig::default(),
+            cache_capacity: 512,
         }
     }
 }
@@ -75,6 +78,7 @@ struct Shared {
     store: ShardedStore,
     metrics: ServiceMetrics,
     picker: CookiePickerConfig,
+    cache: AnalysisCache,
     shutting_down: AtomicBool,
     addr: SocketAddr,
 }
@@ -145,6 +149,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         store: ShardedStore::new(config.shards, config.picker.stability_window),
         metrics: ServiceMetrics::new(),
         picker: config.picker.clone(),
+        cache: AnalysisCache::new(config.cache_capacity),
         shutting_down: AtomicBool::new(false),
         addr,
     });
@@ -329,7 +334,18 @@ fn classify(shared: &Shared, body: &[u8]) -> Routed {
         },
         None => shared.picker.clone(),
     };
-    let decision = decide(&parse_document(regular), &parse_document(hidden), &config);
+    // Compiled pipeline: analyses come from the page cache (repeated
+    // bodies skip parse + extract), the decision runs over them.
+    // `detection_micros` covers lookup/compile + both kernels, so it stays
+    // comparable to the uncached path's parse-to-verdict measurement.
+    let started = Instant::now();
+    let (analysis_regular, hit) = shared.cache.get_or_analyze(regular, config.compare_from_body);
+    shared.metrics.record_cache(hit);
+    let (analysis_hidden, hit) = shared.cache.get_or_analyze(hidden, config.compare_from_body);
+    shared.metrics.record_cache(hit);
+    let mut decision = decide_analyzed(&analysis_regular, &analysis_hidden, &config);
+    decision.detection_micros = started.elapsed().as_micros() as u64;
+    shared.metrics.detection.observe(decision.detection_micros);
     shared.metrics.record_verdict(decision.cookies_caused_difference);
     let body = decision.to_json().to_compact().into_bytes();
     (Endpoint::Classify, 200, "OK", "application/json", body)
@@ -353,7 +369,17 @@ fn visit(shared: &Shared, body: &[u8]) -> Routed {
     let cookie = parsed.get("cookie").and_then(Json::as_str);
     let outcome = shared
         .store
-        .with_entry(host, |entry| shared.world.visit(entry, host, path, cookie, &shared.picker))
+        .with_entry(host, |entry| {
+            shared.world.visit(
+                entry,
+                host,
+                path,
+                cookie,
+                &shared.picker,
+                &shared.cache,
+                &shared.metrics,
+            )
+        })
         .expect("host existence checked above");
     if let Some(record) = &outcome.record {
         shared.metrics.record_verdict(record.decision.cookies_caused_difference);

@@ -14,15 +14,18 @@
 //! interleave. That is both the scalability story (no global RNG lock on
 //! the hot path) and what makes `loadgen` runs reproducible.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
-use cookiepicker_core::{decide, CookiePickerConfig, DetectionRecord};
+use cookiepicker_core::{decide_analyzed, CookiePickerConfig, DetectionRecord};
 use cp_cookies::{parse_cookie_header, SimTime};
-use cp_html::parse_document;
 use cp_runtime::json::{Json, ToJson};
 use cp_runtime::rng::{SeedableRng, StdRng};
 use cp_webworld::render::{render_page, RenderInput};
 use cp_webworld::{table1_population, SiteSpec};
+
+use crate::cache::AnalysisCache;
+use crate::metrics::ServiceMetrics;
 
 /// Noise-stream salts for the two page variants of one visit. Distinct
 /// salts mean the regular and hidden renders see *different* page-dynamics
@@ -112,7 +115,13 @@ impl EmbeddedWorld {
 
     /// Runs one FORCUM step against `entry` (the site's store entry).
     ///
+    /// Page analyses come from (and feed) `analyses` — the world is
+    /// deterministic, so the same `(site, path, cookies)` renders the same
+    /// bytes and repeated visits skip parse + extract. Cache traffic and
+    /// detection time are recorded on `metrics`.
+    ///
     /// Returns `None` when `host` is not part of this world.
+    #[allow(clippy::too_many_arguments)] // one handler's worth of context
     pub fn visit(
         &self,
         entry: &mut crate::store::SiteEntry,
@@ -120,6 +129,8 @@ impl EmbeddedWorld {
         path: &str,
         cookie_header: Option<&str>,
         config: &CookiePickerConfig,
+        analyses: &AnalysisCache,
+        metrics: &ServiceMetrics,
     ) -> Option<VisitOutcome> {
         let spec = self.sites.get(host)?;
         // FORCUM step 1: resolve the entry redirect to the real container.
@@ -161,12 +172,21 @@ impl EmbeddedWorld {
             let regular = self.render(spec, path, &sent, REGULAR_SALT);
             // Steps 2–3: the hidden request strips the group's cookies and
             // builds the hidden DOM with the same parser.
+            let disabled: HashSet<&str> = group.iter().map(String::as_str).collect();
             let hidden_cookies: Vec<(String, String)> =
-                sent.iter().filter(|(n, _)| !group.contains(n)).cloned().collect();
+                sent.iter().filter(|(n, _)| !disabled.contains(n.as_str())).cloned().collect();
             let hidden = self.render(spec, path, &hidden_cookies, HIDDEN_SALT);
 
-            // Step 4: identify usefulness.
-            let decision = decide(&parse_document(&regular), &parse_document(&hidden), config);
+            // Step 4: identify usefulness, through the page-analysis cache.
+            let detection_started = Instant::now();
+            let (analysis_regular, hit) =
+                analyses.get_or_analyze(&regular, config.compare_from_body);
+            metrics.record_cache(hit);
+            let (analysis_hidden, hit) = analyses.get_or_analyze(&hidden, config.compare_from_body);
+            metrics.record_cache(hit);
+            let mut decision = decide_analyzed(&analysis_regular, &analysis_hidden, config);
+            decision.detection_micros = detection_started.elapsed().as_micros() as u64;
+            metrics.detection.observe(decision.detection_micros);
 
             // Step 5: mark useful cookies.
             if decision.cookies_caused_difference {
@@ -238,7 +258,10 @@ mod tests {
         cookies: Option<&str>,
     ) -> Option<VisitOutcome> {
         let config = CookiePickerConfig::default();
-        store.with_entry(host, |e| world.visit(e, host, path, cookies, &config))
+        let analyses = AnalysisCache::new(64);
+        let metrics = ServiceMetrics::new();
+        store
+            .with_entry(host, |e| world.visit(e, host, path, cookies, &config, &analyses, &metrics))
     }
 
     #[test]

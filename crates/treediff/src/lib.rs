@@ -45,6 +45,7 @@
 pub mod alignment;
 pub mod bottom_up;
 pub mod constrained;
+pub mod detect;
 pub mod metrics;
 pub mod selkow;
 pub mod stm;
@@ -54,6 +55,10 @@ pub mod zhang_shasha;
 pub use alignment::{alignment_distance, alignment_sim};
 pub use bottom_up::{bottom_up_matching, bottom_up_sim};
 pub use constrained::{constrained_distance, constrained_sim};
+pub use detect::{
+    countable_nodes_detect, n_tree_sim_detect, rstm_detect, DetectTree, DetectTreeBuilder,
+    MatchScratch, SymbolTable,
+};
 pub use metrics::{countable_nodes, jaccard, n_tree_sim, n_tree_sim_trees, tree_size};
 pub use selkow::{selkow_distance, selkow_sim};
 pub use stm::{rstm, rstm_with_mapping, stm, stm_with_mapping};

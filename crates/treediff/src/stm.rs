@@ -27,40 +27,61 @@ use crate::tree::TreeView;
 /// ```
 pub fn stm<A: TreeView, B: TreeView>(a: &A, b: &B) -> usize {
     match (a.root(), b.root()) {
-        (Some(ra), Some(rb)) => stm_rec(a, b, ra, rb),
+        (Some(ra), Some(rb)) => stm_rec(a, b, ra, rb, &mut Vec::new()),
         _ => 0,
     }
 }
 
-fn stm_rec<A: TreeView, B: TreeView>(a: &A, b: &B, na: A::Node, nb: B::Node) -> usize {
+fn stm_rec<A: TreeView, B: TreeView>(
+    a: &A,
+    b: &B,
+    na: A::Node,
+    nb: B::Node,
+    ws: &mut Vec<usize>,
+) -> usize {
     if a.label(na) != b.label(nb) {
         return 0;
     }
     let ca = a.children(na);
     let cb = b.children(nb);
-    forest_match(ca.len(), cb.len(), |i, j| stm_rec(a, b, ca[i], cb[j])) + 1
+    forest_match(ca.len(), cb.len(), ws, |i, j, ws| stm_rec(a, b, ca[i], cb[j], ws)) + 1
 }
 
 /// The inner dynamic program shared by STM and RSTM: a weighted
 /// longest-common-subsequence over the two child forests, where the weight of
-/// pairing child `i` with child `j` is `w(i, j)`.
-fn forest_match(m: usize, n: usize, mut w: impl FnMut(usize, usize) -> usize) -> usize {
+/// pairing child `i` with child `j` is `w(i, j, ws)`.
+///
+/// The DP rows are carved out of the tail of the shared workspace `ws` with
+/// stack discipline — the weight callback may grow `ws` past what this call
+/// reserved (for its own nested forests) as long as it truncates back, so one
+/// buffer serves the whole recursion and nothing is allocated per node pair
+/// once the workspace is warm.
+fn forest_match(
+    m: usize,
+    n: usize,
+    ws: &mut Vec<usize>,
+    mut w: impl FnMut(usize, usize, &mut Vec<usize>) -> usize,
+) -> usize {
     if m == 0 || n == 0 {
         return 0;
     }
     // M[i][j] = best matching between the first i subtrees of A and the
-    // first j subtrees of B. Rolling single-row representation.
-    let mut prev = vec![0usize; n + 1];
-    let mut cur = vec![0usize; n + 1];
+    // first j subtrees of B. Rolling two-row representation, addressed by
+    // offsets into the workspace rather than separate vectors.
+    let base = ws.len();
+    ws.resize(base + 2 * (n + 1), 0);
+    let (mut prev, mut cur) = (base, base + n + 1);
     for i in 1..=m {
         for j in 1..=n {
-            let pair = prev[j - 1] + w(i - 1, j - 1);
-            cur[j] = cur[j - 1].max(prev[j]).max(pair);
+            let pair = ws[prev + j - 1] + w(i - 1, j - 1, ws);
+            ws[cur + j] = ws[cur + j - 1].max(ws[prev + j]).max(pair);
         }
         std::mem::swap(&mut prev, &mut cur);
-        cur[0] = 0;
+        ws[cur] = 0;
     }
-    prev[n]
+    let result = ws[prev + n];
+    ws.truncate(base);
+    result
 }
 
 /// The **Restricted Simple Tree Matching** algorithm of Figure 2.
@@ -85,7 +106,7 @@ fn forest_match(m: usize, n: usize, mut w: impl FnMut(usize, usize) -> usize) ->
 /// ```
 pub fn rstm<A: TreeView, B: TreeView>(a: &A, b: &B, max_level: usize) -> usize {
     match (a.root(), b.root()) {
-        (Some(ra), Some(rb)) => rstm_rec(a, b, ra, rb, 0, max_level),
+        (Some(ra), Some(rb)) => rstm_rec(a, b, ra, rb, 0, max_level, &mut Vec::new()),
         _ => 0,
     }
 }
@@ -97,6 +118,7 @@ fn rstm_rec<A: TreeView, B: TreeView>(
     nb: B::Node,
     level: usize,
     max_level: usize,
+    ws: &mut Vec<usize>,
 ) -> usize {
     // Figure 2 lines 1-3: roots with different symbols do not match at all.
     if a.label(na) != b.label(nb) {
@@ -115,8 +137,9 @@ fn rstm_rec<A: TreeView, B: TreeView>(
     {
         return 0;
     }
-    forest_match(ca.len(), cb.len(), |i, j| rstm_rec(a, b, ca[i], cb[j], current_level, max_level))
-        + 1
+    forest_match(ca.len(), cb.len(), ws, |i, j, ws| {
+        rstm_rec(a, b, ca[i], cb[j], current_level, max_level, ws)
+    }) + 1
 }
 
 /// Like [`stm`], but also returns the matched node pairs of one maximum

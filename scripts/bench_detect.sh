@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Detection benchmark: time reference vs compiled vs cached decide() over
+# the seeded Table-1 corpus and record the report to BENCH_detect.json.
+#
+# The binary asserts every compiled decision bit-identical to the
+# reference before the clock starts, so a passing run is also an
+# equivalence check. The full profile additionally gates on the headline
+# claim: compiled decide() must be at least 2x the reference at the
+# median on this corpus.
+#
+# Usage: scripts/bench_detect.sh [seed] [sites] [iters]
+#   SMOKE=1 scripts/bench_detect.sh   # tiny CI profile (~2s): 6 sites,
+#                                     # 5 iters, report goes to /tmp,
+#                                     # no speedup gate (CI machines are
+#                                     # noisy), repo untouched
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SEED="${1:-7}"
+SITES="${2:-20}"
+ITERS="${3:-30}"
+OUT="BENCH_detect.json"
+MIN_SPEEDUP="2.0"
+if [ "${SMOKE:-0}" = "1" ]; then
+    SITES=6
+    ITERS=5
+    OUT="$(mktemp /tmp/bench_detect.XXXXXX.json)"
+    MIN_SPEEDUP=""
+fi
+
+export CARGO_NET_OFFLINE=true
+cargo build --release --quiet -p cp-bench
+
+target/release/bench_detect "$SEED" "$SITES" "$ITERS" "$OUT"
+
+if [ -n "$MIN_SPEEDUP" ]; then
+    awk -v min="$MIN_SPEEDUP" '
+        /"speedup_median"/ {
+            gsub(/[^0-9.]/, "", $2)
+            if ($2 + 0 < min + 0) {
+                printf "bench_detect: speedup_median %s is below the %sx gate\n", $2, min
+                exit 1
+            }
+            found = 1
+        }
+        END { if (!found) { print "bench_detect: no speedup_median in report"; exit 1 } }
+    ' "$OUT"
+fi
+
+echo "bench_detect: report written to $OUT"

@@ -19,6 +19,14 @@ if [ "${SMOKE:-0}" = "1" ]; then
     OUT="$(mktemp /tmp/bench_serve.XXXXXX.json)"
 fi
 
+# In the full profile the loadgen overwrites the committed report, so
+# capture the previous throughput first — it becomes the regression
+# baseline checked after the run.
+PREV_RPS=""
+if [ "$OUT" = "BENCH_serve.json" ] && [ -f "$OUT" ]; then
+    PREV_RPS="$(sed -n 's/.*"throughput_rps": \([0-9.]*\).*/\1/p' "$OUT")"
+fi
+
 export CARGO_NET_OFFLINE=true
 cargo build --release --quiet
 BIN=target/release/cookiepicker
@@ -57,5 +65,19 @@ trap - EXIT INT TERM
 # verdict counters matched the client tally.
 grep -q '"status_5xx": 0' "$OUT" || { echo "bench_serve: 5xx responses"; cat "$OUT"; exit 1; }
 grep -q '"counters_match": true' "$OUT" || { echo "bench_serve: counter mismatch"; cat "$OUT"; exit 1; }
+
+# Throughput must not fall off a cliff versus the committed report. The
+# 0.8 factor absorbs machine-to-machine variance while still catching a
+# real regression in the serve or detection path.
+if [ -n "$PREV_RPS" ]; then
+    NEW_RPS="$(sed -n 's/.*"throughput_rps": \([0-9.]*\).*/\1/p' "$OUT")"
+    awk -v new="$NEW_RPS" -v old="$PREV_RPS" 'BEGIN {
+        if (new + 0 < 0.8 * (old + 0)) {
+            printf "bench_serve: throughput regressed: %s rps vs committed %s rps\n", new, old
+            exit 1
+        }
+        printf "bench_serve: throughput %s rps (committed baseline %s rps)\n", new, old
+    }'
+fi
 
 echo "bench_serve: report written to $OUT"

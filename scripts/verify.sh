@@ -14,4 +14,9 @@ cargo fmt --check
 cargo build --release --workspace
 cargo test -q --workspace
 
-echo "verify: fmt + build + tests passed offline"
+# Detection bench smoke: times nothing meaningful in CI but proves the
+# compiled pipeline still reproduces the reference bit-for-bit (the
+# binary gates on equivalence before any timing).
+SMOKE=1 ./scripts/bench_detect.sh
+
+echo "verify: fmt + build + tests + detect smoke passed offline"
