@@ -36,6 +36,11 @@ pub struct PageContext<'a> {
     /// concurrently with user think time, so it normally does not delay the
     /// next navigation.
     pub elapsed: SimDuration,
+    /// The think time the user will spend on this page (pre-drawn; the
+    /// browser's next [`think`](Browser::think) consumes the same value).
+    /// Extensions budget hidden-request deadlines against it so their work
+    /// stays hidden inside the pause.
+    pub think_budget: SimDuration,
 }
 
 impl PageContext<'_> {
@@ -66,6 +71,11 @@ pub struct Browser {
     policy: CookiePolicy,
     clock: SimTime,
     think: ThinkTimeModel,
+    /// The think time already drawn for the current page, if any — drawn
+    /// early by [`visit_with`](Browser::visit_with) so extensions can budget
+    /// against it, then consumed by [`think`](Browser::think). Keeping draw
+    /// order identical either way preserves the seeded RNG stream.
+    pending_think: Option<SimDuration>,
     rng: StdRng,
     user_agent: String,
     /// ETag cache for embedded objects (conditional GETs on revisit).
@@ -83,6 +93,7 @@ impl Browser {
             policy,
             clock: SimTime::EPOCH,
             think: ThinkTimeModel::default(),
+            pending_think: None,
             rng: StdRng::seed_from_u64(seed),
             user_agent: "Mozilla/5.0 (X11; U; Linux) Gecko/20061025 Firefox/1.5.0.8".to_string(),
             object_cache: std::collections::HashMap::new(),
@@ -125,7 +136,7 @@ impl Browser {
     /// Simulates the user thinking before the next click, advancing the
     /// clock; returns the sampled think time.
     pub fn think(&mut self) -> SimDuration {
-        let t = self.think.sample(&mut self.rng);
+        let t = self.pending_think.take().unwrap_or_else(|| self.think.sample(&mut self.rng));
         self.clock += t;
         t
     }
@@ -211,7 +222,7 @@ impl Browser {
                     slowest = slowest.max(out.latency);
                     fetched += 1;
                 }
-                Err(NetError::UnknownHost(_)) => { /* broken embed; skip */ }
+                Err(_) => { /* broken embed or flaky transport; skip */ }
             }
         }
         self.clock += slowest;
@@ -235,6 +246,16 @@ impl Browser {
         ext: &mut E,
     ) -> Result<PageView, NetError> {
         let view = self.visit(url)?;
+        // Pre-draw the user's think time for this page so the extension can
+        // budget its hidden work against the pause it will hide inside.
+        let think_budget = match self.pending_think {
+            Some(t) => t,
+            None => {
+                let t = self.think.sample(&mut self.rng);
+                self.pending_think = Some(t);
+                t
+            }
+        };
         let mut jar = std::mem::take(&mut self.jar);
         let mut ctx = PageContext {
             view: &view,
@@ -243,6 +264,7 @@ impl Browser {
             network: &self.network,
             now: self.clock,
             elapsed: SimDuration::ZERO,
+            think_budget,
         };
         ext.on_page_loaded(&mut ctx);
         let elapsed = ctx.elapsed;

@@ -25,6 +25,8 @@ pub struct SiteTraining {
     pub hidden_requests: usize,
     /// Usefulness marks applied on this site.
     pub marks: usize,
+    /// Page views whose probe was inconclusive and judgement deferred.
+    pub deferrals: usize,
 }
 
 impl SiteTraining {
@@ -54,6 +56,7 @@ impl ToJson for SiteTraining {
             .set("known_cookies", known.into_iter().map(Json::from).collect::<Vec<_>>())
             .set("hidden_requests", self.hidden_requests)
             .set("marks", self.marks)
+            .set("deferrals", self.deferrals)
     }
 }
 
@@ -134,6 +137,35 @@ impl ForcumState {
         }
         site.active
     }
+
+    /// Records a page view on `host` whose hidden probe was *inconclusive*
+    /// (failed or suspect fetch). The view is evidence of nothing, so the
+    /// stability streak neither advances nor resets — training simply runs
+    /// longer under faults instead of stabilizing on missing data — and no
+    /// marks are applied. New cookies still register (and reactivate a
+    /// dormant site), exactly as in [`observe`](Self::observe).
+    ///
+    /// Returns whether training is active after the update.
+    pub fn defer(&mut self, host: &str, cookie_names: impl IntoIterator<Item = String>) -> bool {
+        let site = self.sites.entry(host.to_string()).or_insert_with(SiteTraining::fresh);
+        let mut new_cookie = false;
+        for name in cookie_names {
+            new_cookie |= site.known_cookies.insert(name);
+        }
+        if new_cookie && !site.active {
+            site.active = true;
+        }
+        if !site.active {
+            return false;
+        }
+        site.pages_seen += 1;
+        site.hidden_requests += 1;
+        site.deferrals += 1;
+        if new_cookie {
+            site.stable_streak = 0;
+        }
+        site.active
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +233,37 @@ mod tests {
         state.observe("a.example", names(&["x"]), 0, true);
         assert!(!state.is_active("a.example"));
         assert!(state.is_active("b.example"));
+    }
+
+    #[test]
+    fn defer_freezes_the_streak() {
+        let mut state = ForcumState::new(2);
+        state.observe("a.example", names(&["x"]), 0, true);
+        let streak_before = state.site("a.example").unwrap().stable_streak;
+        // Any number of deferrals: the streak must not move either way.
+        for _ in 0..5 {
+            assert!(state.defer("a.example", names(&["x"])));
+        }
+        let site = state.site("a.example").unwrap();
+        assert_eq!(site.stable_streak, streak_before, "deferral is evidence of nothing");
+        assert_eq!(site.deferrals, 5);
+        assert_eq!(site.hidden_requests, 6);
+        assert!(site.active, "training never stabilizes on missing data");
+    }
+
+    #[test]
+    fn defer_still_registers_new_cookies() {
+        let mut state = ForcumState::new(1);
+        state.observe("a.example", names(&["x"]), 0, true);
+        state.observe("a.example", names(&["x"]), 0, true);
+        assert!(!state.is_active("a.example"));
+        // A new cookie in a deferred view reactivates the dormant site.
+        assert!(state.defer("a.example", names(&["x", "fresh"])));
+        assert!(state.is_active("a.example"));
+        // And the next deferral on the known set does not advance the streak.
+        let streak = state.site("a.example").unwrap().stable_streak;
+        state.defer("a.example", names(&["x", "fresh"]));
+        assert_eq!(state.site("a.example").unwrap().stable_streak, streak);
     }
 
     #[test]

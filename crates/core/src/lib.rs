@@ -64,6 +64,7 @@ pub mod domview;
 pub mod explain;
 pub mod forcum;
 pub mod picker;
+pub mod probe;
 pub mod recovery;
 pub mod report;
 pub mod tuning;
@@ -78,6 +79,7 @@ pub use decision::{decide, decide_analyzed, decide_reference, Decision};
 pub use domview::{DomTreeView, IdAwareDomView};
 pub use explain::{explain, DiffReport};
 pub use forcum::{ForcumState, SiteTraining};
-pub use picker::{CookiePicker, DetectionRecord, TrainingSummary};
+pub use picker::{CookiePicker, DetectionRecord, InconclusiveProbe, TrainingSummary};
+pub use probe::{InconclusiveReason, ProbeOutcome, ProbeReport, RetryPolicy};
 pub use recovery::RecoveryLog;
 pub use tuning::{fit_thresholds, FittedThresholds, SimSample};

@@ -4,15 +4,17 @@
 use std::collections::{HashMap, HashSet};
 
 use cp_runtime::json::{FromJson, Json, JsonError, ToJson};
+use cp_runtime::rng::{Rng, SeedableRng, StdRng};
 
 use cp_browser::{BrowserExtension, PageContext};
-use cp_cookies::parse_cookie_header;
+use cp_cookies::{parse_cookie_header, SimDuration};
 use cp_html::parse_document;
-use cp_net::Request;
+use cp_net::{NetError, Request};
 
 use crate::config::{CookiePickerConfig, TestGroupStrategy};
 use crate::decision::{decide, Decision};
 use crate::forcum::ForcumState;
+use crate::probe::{InconclusiveReason, ProbeOutcome, ProbeReport, RetryPolicy};
 use crate::recovery::RecoveryLog;
 
 /// One detection event: a hidden request issued and judged.
@@ -33,6 +35,22 @@ pub struct DetectionRecord {
     pub duration_ms: f64,
 }
 
+/// One probe that produced no verdict: the hidden fetch failed or came
+/// back suspect, and FORCUM deferred judgement for that page view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InconclusiveProbe {
+    /// Site host.
+    pub host: String,
+    /// Container-page path.
+    pub path: String,
+    /// The cookie names that would have been disabled.
+    pub group: Vec<String>,
+    /// Why no trustworthy hidden page was obtained.
+    pub reason: InconclusiveReason,
+    /// Fetch attempts made before giving up.
+    pub attempts: u32,
+}
+
 /// A per-site training summary (see [`CookiePicker::summary_for`]).
 #[derive(Debug, Clone)]
 pub struct TrainingSummary {
@@ -42,6 +60,8 @@ pub struct TrainingSummary {
     pub probes: usize,
     /// Probes whose decision attributed the difference to cookies.
     pub marking_probes: usize,
+    /// Probes that produced no verdict (failed/suspect hidden fetch).
+    pub deferred_probes: usize,
     /// Mean detection time in milliseconds.
     pub avg_detection_ms: f64,
     /// Mean CookiePicker duration (hidden latency + detection) in ms.
@@ -68,6 +88,7 @@ impl ToJson for TrainingSummary {
             .set("host", &self.host)
             .set("probes", self.probes)
             .set("marking_probes", self.marking_probes)
+            .set("deferred_probes", self.deferred_probes)
             .set("avg_detection_ms", self.avg_detection_ms)
             .set("avg_duration_ms", self.avg_duration_ms)
             .set("training_active", self.training_active)
@@ -93,6 +114,13 @@ impl FromJson for TrainingSummary {
             host: String::from_json(value.require("host")?)?,
             probes: usize::from_json(value.require("probes")?)?,
             marking_probes: usize::from_json(value.require("marking_probes")?)?,
+            // Optional for wire compatibility with summaries minted before
+            // the fault-injection work.
+            deferred_probes: value
+                .get("deferred_probes")
+                .map(usize::from_json)
+                .transpose()?
+                .unwrap_or(0),
             avg_detection_ms: f64::from_json(value.require("avg_detection_ms")?)?,
             avg_duration_ms: f64::from_json(value.require("avg_duration_ms")?)?,
             training_active: bool::from_json(value.require("training_active")?)?,
@@ -121,7 +149,17 @@ pub struct CookiePicker {
     bisect_queue: HashMap<String, Vec<Vec<String>>>,
     last_disabled: HashMap<String, Vec<String>>,
     recovery: RecoveryLog,
+    retry: RetryPolicy,
+    /// Seeded source for backoff jitter. Only consulted when a hidden fetch
+    /// fails, so fault-free runs never draw from it.
+    retry_rng: StdRng,
+    inconclusive: Vec<InconclusiveProbe>,
+    retries_total: u64,
 }
+
+/// Fixed seed for the backoff-jitter stream: drawn only on failures, so
+/// it does not need to vary per experiment to keep runs reproducible.
+const RETRY_JITTER_SEED: u64 = 0x5245_5452_594a_4954;
 
 impl CookiePicker {
     /// Creates a picker with the given configuration.
@@ -135,7 +173,37 @@ impl CookiePicker {
             bisect_queue: HashMap::new(),
             last_disabled: HashMap::new(),
             recovery: RecoveryLog::default(),
+            retry: RetryPolicy::default(),
+            retry_rng: StdRng::seed_from_u64(RETRY_JITTER_SEED),
+            inconclusive: Vec::new(),
+            retries_total: 0,
         }
+    }
+
+    /// Replaces the hidden-request retry/deadline policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The active retry/deadline policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// All probes that produced no verdict, in order.
+    pub fn inconclusive(&self) -> &[InconclusiveProbe] {
+        &self.inconclusive
+    }
+
+    /// Inconclusive probes for one site.
+    pub fn inconclusive_for(&self, host: &str) -> Vec<&InconclusiveProbe> {
+        self.inconclusive.iter().filter(|p| p.host == host).collect()
+    }
+
+    /// Total hidden-fetch retries performed across all probes.
+    pub fn retries_total(&self) -> u64 {
+        self.retries_total
     }
 
     /// The active configuration.
@@ -178,6 +246,7 @@ impl CookiePicker {
             host: host.to_string(),
             probes,
             marking_probes,
+            deferred_probes: self.inconclusive.iter().filter(|p| p.host == host).count(),
             avg_detection_ms: det_sum / denom,
             avg_duration_ms: dur_sum / denom,
             training_active: self.forcum.is_active(host),
@@ -276,6 +345,82 @@ impl CookiePicker {
         }
         hidden
     }
+
+    /// The jittered backoff before retry number `retry` (1-based): the base
+    /// doubles per retry, scaled by a seeded jitter factor.
+    fn backoff_before(&mut self, retry: u32) -> SimDuration {
+        let base = self.retry.backoff.as_millis() << (retry - 1).min(16);
+        let factor = 1.0 + self.retry.jitter * (self.retry_rng.gen::<f64>() * 2.0 - 1.0);
+        SimDuration::from_millis(((base as f64) * factor.max(0.0)) as u64)
+    }
+
+    /// Issues the hidden request with deadline and bounded retry, and runs
+    /// Figure 5 on success. The whole probe is budgeted against the user's
+    /// think pause (`ctx.think_budget`, floored by the retry policy): each
+    /// attempt gets the remaining budget as its fetch deadline, failed
+    /// attempts and backoff pauses consume it, and when it runs out the
+    /// probe resolves to [`ProbeOutcome::Inconclusive`].
+    fn probe_hidden(&mut self, ctx: &PageContext<'_>, hidden_req: &Request) -> ProbeReport {
+        let budget = ctx.think_budget.max(self.retry.deadline_floor).as_millis();
+        let mut left = budget;
+        let mut attempts = 0u32;
+        let mut reason = InconclusiveReason::Deadline;
+        while attempts <= self.retry.max_retries {
+            if attempts > 0 {
+                let backoff = self.backoff_before(attempts).as_millis();
+                if backoff >= left {
+                    break;
+                }
+                left -= backoff;
+            }
+            attempts += 1;
+            let deadline = SimDuration::from_millis(left);
+            match ctx.network.fetch_with_deadline(hidden_req, ctx.now, Some(deadline)) {
+                Ok(outcome) => {
+                    let cost = outcome.latency.as_millis().min(left);
+                    left -= cost;
+                    if outcome.response.status.is_success() {
+                        // Step 3: build the hidden DOM with the same parser.
+                        let hidden_dom = parse_document(&outcome.response.body_string());
+                        // Step 4: identify usefulness.
+                        let decision = decide(&ctx.view.dom, &hidden_dom, &self.config);
+                        return ProbeReport {
+                            outcome: ProbeOutcome::Decided(decision),
+                            attempts,
+                            spent: SimDuration::from_millis(budget - left),
+                            hidden_latency: outcome.latency,
+                        };
+                    }
+                    // An error page is not the cookie-disabled rendering:
+                    // comparing it would mis-attribute the difference to
+                    // the cookies. Treat as transient and retry.
+                    reason = InconclusiveReason::ServerError;
+                }
+                Err(err) => {
+                    if !err.is_transient() {
+                        reason = InconclusiveReason::Transport;
+                        break;
+                    }
+                    let cost = err.elapsed().as_millis().min(left);
+                    left -= cost;
+                    reason = match err {
+                        NetError::DeadlineExceeded { .. } => InconclusiveReason::Deadline,
+                        NetError::TruncatedBody { .. } => InconclusiveReason::Truncated,
+                        _ => InconclusiveReason::Transport,
+                    };
+                }
+            }
+            if left == 0 {
+                break;
+            }
+        }
+        ProbeReport {
+            outcome: ProbeOutcome::Inconclusive(reason),
+            attempts,
+            spent: SimDuration::from_millis(budget - left),
+            hidden_latency: SimDuration::ZERO,
+        }
+    }
 }
 
 impl BrowserExtension for CookiePicker {
@@ -311,19 +456,30 @@ impl BrowserExtension for CookiePicker {
             return;
         }
 
-        // Step 2 (cont.): the single hidden request for the container page.
+        // Step 2 (cont.): the single hidden request for the container page,
+        // with deadline + bounded retry budgeted against the think pause.
         let hidden_req = self.build_hidden_request(&ctx.view.container_request, &group);
-        let Ok(outcome) = ctx.network.fetch(&hidden_req, ctx.now) else {
-            self.forcum.observe(&host, observed, 0, false);
-            return;
+        let report = self.probe_hidden(ctx, &hidden_req);
+        ctx.advance(report.spent);
+        self.retries_total += u64::from(report.attempts.saturating_sub(1));
+
+        let decision = match report.outcome {
+            ProbeOutcome::Decided(decision) => decision,
+            ProbeOutcome::Inconclusive(reason) => {
+                // Degradation ladder: no trustworthy hidden page means the
+                // view proves nothing. Defer — never judge — so `useful`
+                // stays monotone (false → true only on real evidence).
+                self.inconclusive.push(InconclusiveProbe {
+                    host: host.clone(),
+                    path,
+                    group,
+                    reason,
+                    attempts: report.attempts,
+                });
+                self.forcum.defer(&host, observed);
+                return;
+            }
         };
-        ctx.advance(outcome.latency);
-
-        // Step 3: build the hidden DOM with the same parser.
-        let hidden_dom = parse_document(&outcome.response.body_string());
-
-        // Step 4: identify usefulness.
-        let decision = decide(&ctx.view.dom, &hidden_dom, &self.config);
 
         // Step 5: mark (or, under GroupBisect, refine the group first).
         let mut marked = 0;
@@ -348,13 +504,13 @@ impl BrowserExtension for CookiePicker {
         }
 
         let duration_ms =
-            outcome.latency.as_millis() as f64 + decision.detection_micros as f64 / 1_000.0;
+            report.spent.as_millis() as f64 + decision.detection_micros as f64 / 1_000.0;
         self.records.push(DetectionRecord {
             host: host.clone(),
             path,
             group,
             decision,
-            hidden_latency_ms: outcome.latency.as_millis(),
+            hidden_latency_ms: report.hidden_latency.as_millis(),
             duration_ms,
         });
         // An in-progress bisection counts as training progress: the streak
@@ -640,6 +796,7 @@ mod tests {
             host: "a.example".into(),
             probes: 4,
             marking_probes: 1,
+            deferred_probes: 2,
             avg_detection_ms: 0.5,
             avg_duration_ms: 10.25,
             training_active: false,
@@ -649,9 +806,146 @@ mod tests {
                 .unwrap();
         assert_eq!(back.probes, summary.probes);
         assert_eq!(back.marking_probes, summary.marking_probes);
+        assert_eq!(back.deferred_probes, summary.deferred_probes);
         assert_eq!(back.avg_duration_ms, summary.avg_duration_ms);
         assert!(!back.training_active);
         assert!(TrainingSummary::from_json(&Json::parse("{\"host\":\"x\"}").unwrap()).is_err());
+        // Summaries minted before fault injection lack the deferral count.
+        let legacy = Json::object()
+            .set("host", "a.example")
+            .set("probes", 4usize)
+            .set("marking_probes", 1usize)
+            .set("avg_detection_ms", 0.5)
+            .set("avg_duration_ms", 10.25)
+            .set("training_active", false);
+        assert_eq!(TrainingSummary::from_json(&legacy).unwrap().deferred_probes, 0);
+    }
+
+    fn faulted_world(spec: SiteSpec, rates: cp_net::FaultRates) -> (Browser, Url) {
+        let domain = spec.domain.clone();
+        let mut net = SimNetwork::new(11);
+        net.register(domain.clone(), SiteServer::new(spec));
+        // Fault only the hidden (XHR-marked) class: container pages render,
+        // probes fail.
+        net.set_fault_plan(cp_net::FaultPlan::new(77).with_hidden(rates));
+        let browser = Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 3);
+        (browser, Url::parse(&format!("http://{domain}/")).unwrap())
+    }
+
+    fn train(browser: &mut Browser, url: &Url, picker: &mut CookiePicker, pages: usize) {
+        for i in 0..pages {
+            let page = url.join(&format!("/page/{i}"));
+            browser.visit_with(&page, picker).unwrap();
+            browser.think();
+        }
+    }
+
+    #[test]
+    fn suspect_hidden_page_never_compared() {
+        // 100% 5xx on the hidden class: every probe must resolve to
+        // Inconclusive(ServerError) — the error page is never run through
+        // Figure 5, so nothing gets marked, rightly or wrongly.
+        let rates = cp_net::FaultRates { http_5xx: 1.0, ..cp_net::FaultRates::NONE };
+        let (mut browser, url) = faulted_world(pref_site(), rates);
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        train(&mut browser, &url, &mut picker, 6);
+        assert!(picker.records().is_empty(), "no verdicts from suspect pages");
+        assert!(!picker.inconclusive().is_empty());
+        for probe in picker.inconclusive() {
+            assert_eq!(probe.reason, InconclusiveReason::ServerError);
+            assert!(probe.attempts > 1, "5xx is retried before deferring");
+        }
+        assert!(browser.jar.iter().all(|c| !c.useful()), "deferral marks nothing");
+        assert!(picker.forcum().is_active("p.example"), "training does not stabilize blind");
+        assert!(picker.retries_total() > 0);
+    }
+
+    #[test]
+    fn truncated_hidden_body_defers_with_reason() {
+        let rates = cp_net::FaultRates { truncate: 1.0, ..cp_net::FaultRates::NONE };
+        let (mut browser, url) = faulted_world(pref_site(), rates);
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        train(&mut browser, &url, &mut picker, 4);
+        assert!(picker.records().is_empty());
+        assert!(picker.inconclusive().iter().all(|p| p.reason == InconclusiveReason::Truncated));
+        assert!(browser.jar.iter().all(|c| !c.useful()));
+    }
+
+    #[test]
+    fn dropped_hidden_fetch_defers_as_transport() {
+        let rates = cp_net::FaultRates { drop: 0.5, reset: 0.5, ..cp_net::FaultRates::NONE };
+        let (mut browser, url) = faulted_world(pref_site(), rates);
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        train(&mut browser, &url, &mut picker, 6);
+        assert!(picker.records().is_empty());
+        for probe in picker.inconclusive() {
+            assert_eq!(probe.reason, InconclusiveReason::Transport);
+        }
+        let summary = picker.summary_for("p.example");
+        assert_eq!(summary.probes, 0);
+        assert!(summary.deferred_probes > 0);
+        assert_eq!(
+            picker.forcum().site("p.example").unwrap().deferrals,
+            picker.inconclusive().len()
+        );
+    }
+
+    #[test]
+    fn injected_latency_exceeds_think_budget_and_defers() {
+        // 45 s of injected latency on every hidden attempt: the probe's
+        // deadline (think budget, floored at 60 s) splits across retries and
+        // eventually exhausts.
+        let rates = cp_net::FaultRates {
+            extra_latency: 1.0,
+            extra_latency_ms: 120_000,
+            ..cp_net::FaultRates::NONE
+        };
+        let (mut browser, url) = faulted_world(pref_site(), rates);
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        train(&mut browser, &url, &mut picker, 4);
+        assert!(picker.records().is_empty());
+        assert!(picker.inconclusive().iter().all(|p| p.reason == InconclusiveReason::Deadline));
+    }
+
+    #[test]
+    fn partial_faults_delay_but_never_flip_decisions() {
+        // A 30% hidden-class fault rate: some probes defer, the rest decide.
+        // The decided set must match the fault-free oracle's verdicts, and
+        // marks must be a subset of the oracle's marks.
+        let oracle_marks = {
+            let (mut browser, url) = world(pref_site());
+            let mut picker = CookiePicker::new(CookiePickerConfig::default());
+            train(&mut browser, &url, &mut picker, 10);
+            let mut marks: Vec<String> =
+                browser.jar.iter().filter(|c| c.useful()).map(|c| c.name.clone()).collect();
+            marks.sort();
+            marks
+        };
+        let (mut browser, url) = faulted_world(pref_site(), cp_net::FaultRates::uniform(0.3));
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        train(&mut browser, &url, &mut picker, 10);
+        let mut chaos_marks: Vec<String> =
+            browser.jar.iter().filter(|c| c.useful()).map(|c| c.name.clone()).collect();
+        chaos_marks.sort();
+        assert!(
+            chaos_marks.iter().all(|m| oracle_marks.contains(m)),
+            "chaos marks {chaos_marks:?} ⊄ oracle marks {oracle_marks:?}"
+        );
+    }
+
+    #[test]
+    fn probe_time_stays_within_budget() {
+        // Even with every attempt timing out, the probe consumes at most
+        // its deadline budget of simulated time.
+        let rates = cp_net::FaultRates { drop: 1.0, ..cp_net::FaultRates::NONE };
+        let (mut browser, url) = faulted_world(pref_site(), rates);
+        let mut picker = CookiePicker::new(CookiePickerConfig::default());
+        let before = browser.now();
+        train(&mut browser, &url, &mut picker, 3);
+        // 3 visits, each ≤ budget(≈ think time, floor 60 s) of probe work
+        // plus page loads and think pauses; just sanity-bound the total.
+        let elapsed = browser.now() - before;
+        assert!(elapsed < cp_cookies::SimDuration::from_secs(3 * (120 + 120 + 60)), "{elapsed}");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod headers;
 pub mod latency;
 pub mod message;
@@ -39,6 +40,7 @@ pub mod network;
 pub mod server;
 pub mod url;
 
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRates};
 pub use headers::HeaderMap;
 pub use latency::LatencyModel;
 pub use message::{Method, Request, Response, StatusCode};

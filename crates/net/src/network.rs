@@ -10,9 +10,14 @@ use cp_runtime::sync::Mutex;
 
 use cp_cookies::{SimDuration, SimTime};
 
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::latency::LatencyModel;
-use crate::message::{Request, Response};
+use crate::message::{Request, Response, StatusCode};
 use crate::server::Server;
+
+/// How long a client waits on a dropped request before giving up, when the
+/// caller supplied no deadline of its own.
+const DROP_TIMEOUT: SimDuration = SimDuration::from_secs(30);
 
 /// Error returned by [`SimNetwork::fetch`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,12 +27,88 @@ pub enum NetError {
         /// The host that could not be resolved.
         String,
     ),
+    /// The request (or its response) vanished in transit; the client gave
+    /// up after `waited`.
+    Dropped {
+        /// The destination host.
+        host: String,
+        /// How long the client waited before timing out.
+        waited: SimDuration,
+    },
+    /// The connection was reset mid-exchange.
+    ConnectionReset {
+        /// The destination host.
+        host: String,
+        /// Time into the exchange when the reset hit.
+        after: SimDuration,
+    },
+    /// The response did not arrive within the caller's deadline.
+    DeadlineExceeded {
+        /// The destination host.
+        host: String,
+        /// The deadline that was exceeded.
+        deadline: SimDuration,
+    },
+    /// The response body arrived shorter than its declared length.
+    TruncatedBody {
+        /// The destination host.
+        host: String,
+        /// Time into the exchange when the stream ended.
+        after: SimDuration,
+        /// Bytes actually received.
+        received: usize,
+        /// Bytes the response declared.
+        expected: usize,
+    },
+}
+
+impl NetError {
+    /// The host the failed exchange targeted.
+    pub fn host(&self) -> &str {
+        match self {
+            NetError::UnknownHost(h) => h,
+            NetError::Dropped { host, .. }
+            | NetError::ConnectionReset { host, .. }
+            | NetError::DeadlineExceeded { host, .. }
+            | NetError::TruncatedBody { host, .. } => host,
+        }
+    }
+
+    /// Whether retrying the same request can plausibly succeed. Resolution
+    /// failures are permanent; everything else is substrate weather.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, NetError::UnknownHost(_))
+    }
+
+    /// The simulated time the failed attempt consumed before the client
+    /// observed the failure (zero for resolution failures).
+    pub fn elapsed(&self) -> SimDuration {
+        match self {
+            NetError::UnknownHost(_) => SimDuration::ZERO,
+            NetError::Dropped { waited, .. } => *waited,
+            NetError::ConnectionReset { after, .. } => *after,
+            NetError::DeadlineExceeded { deadline, .. } => *deadline,
+            NetError::TruncatedBody { after, .. } => *after,
+        }
+    }
 }
 
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::UnknownHost(h) => write!(f, "unknown host {h:?}"),
+            NetError::Dropped { host, waited } => {
+                write!(f, "request to {host} dropped (timed out after {waited})")
+            }
+            NetError::ConnectionReset { host, after } => {
+                write!(f, "connection to {host} reset after {after}")
+            }
+            NetError::DeadlineExceeded { host, deadline } => {
+                write!(f, "request to {host} exceeded its {deadline} deadline")
+            }
+            NetError::TruncatedBody { host, received, expected, .. } => {
+                write!(f, "response from {host} truncated ({received} of {expected} bytes)")
+            }
         }
     }
 }
@@ -85,6 +166,7 @@ pub struct SimNetwork {
     rng: Mutex<StdRng>,
     stats: Mutex<NetworkStats>,
     log: Mutex<Option<Vec<LoggedRequest>>>,
+    fault: Option<FaultInjector>,
 }
 
 impl SimNetwork {
@@ -95,7 +177,26 @@ impl SimNetwork {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             stats: Mutex::new(NetworkStats::default()),
             log: Mutex::new(None),
+            fault: None,
         }
+    }
+
+    /// Installs a fault plan: subsequent fetches may fail or degrade per the
+    /// plan's seeded rates. Fault decisions draw from their own hash-derived
+    /// RNG, so the latency stream is unchanged — a plan with all-zero rates
+    /// reproduces fault-free runs bit for bit.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultInjector::new(plan));
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(FaultInjector::plan)
     }
 
     /// Turns on per-request logging (off by default; the log grows without
@@ -147,8 +248,26 @@ impl SimNetwork {
     /// # Errors
     ///
     /// [`NetError::UnknownHost`] if no server is registered for the URL's
-    /// host.
+    /// host; with a fault plan installed, any other [`NetError`] variant per
+    /// the plan's rates.
     pub fn fetch(&self, req: &Request, now: SimTime) -> Result<FetchOutcome, NetError> {
+        self.fetch_with_deadline(req, now, None)
+    }
+
+    /// [`fetch`](Self::fetch) with a client-side response deadline: if the
+    /// exchange's sampled latency exceeds `deadline`, the client abandons it
+    /// and gets [`NetError::DeadlineExceeded`] after exactly `deadline` of
+    /// simulated waiting.
+    ///
+    /// # Errors
+    ///
+    /// As [`fetch`](Self::fetch), plus [`NetError::DeadlineExceeded`].
+    pub fn fetch_with_deadline(
+        &self,
+        req: &Request,
+        now: SimTime,
+        deadline: Option<SimDuration>,
+    ) -> Result<FetchOutcome, NetError> {
         let host = req.url.host();
         let entry = self.hosts.get(host).ok_or_else(|| NetError::UnknownHost(host.to_string()))?;
         if let Some(log) = self.log.lock().as_mut() {
@@ -160,13 +279,73 @@ impl SimNetwork {
                 at: now,
             });
         }
-        let response = entry.server.handle(req, now);
-        let latency = entry.latency.sample(&mut *self.rng.lock(), response.body.len());
+        let fault = self.fault.as_ref().and_then(|inj| {
+            inj.sample(host, req.url.path(), req.headers.contains("x-requested-with"))
+        });
+
+        // Faults that kill the exchange before any response bytes flow. The
+        // request itself still went out, so upstream traffic is accounted.
+        match fault {
+            Some(FaultKind::Drop) => {
+                self.count(req, None);
+                let waited = deadline.map_or(DROP_TIMEOUT, |d| d.min(DROP_TIMEOUT));
+                return Err(NetError::Dropped { host: host.to_string(), waited });
+            }
+            Some(FaultKind::Reset(after)) => {
+                self.count(req, None);
+                return Err(NetError::ConnectionReset { host: host.to_string(), after });
+            }
+            _ => {}
+        }
+
+        let mut response = entry.server.handle(req, now);
+        let mut latency = entry.latency.sample(&mut *self.rng.lock(), response.body.len());
+        match fault {
+            Some(FaultKind::ExtraLatency(extra)) => latency += extra,
+            Some(FaultKind::Http5xx(status)) => {
+                response = Response::html(
+                    StatusCode(status),
+                    format!("<html><body><h1>{status} upstream error</h1></body></html>"),
+                );
+            }
+            _ => {}
+        }
+
+        if let Some(d) = deadline {
+            if latency > d {
+                // The client hangs up at the deadline; the response is
+                // abandoned on the wire.
+                self.count(req, None);
+                return Err(NetError::DeadlineExceeded { host: host.to_string(), deadline: d });
+            }
+        }
+
+        if matches!(fault, Some(FaultKind::Truncate)) {
+            let expected = response.body.len();
+            let received = expected / 2;
+            let mut stats = self.stats.lock();
+            stats.requests += 1;
+            stats.bytes_up += req.wire_size() as u64;
+            stats.bytes_down += received as u64;
+            return Err(NetError::TruncatedBody {
+                host: host.to_string(),
+                after: latency,
+                received,
+                expected,
+            });
+        }
+
+        self.count(req, Some(&response));
+        Ok(FetchOutcome { response, latency })
+    }
+
+    fn count(&self, req: &Request, response: Option<&Response>) {
         let mut stats = self.stats.lock();
         stats.requests += 1;
         stats.bytes_up += req.wire_size() as u64;
-        stats.bytes_down += response.wire_size() as u64;
-        Ok(FetchOutcome { response, latency })
+        if let Some(response) = response {
+            stats.bytes_down += response.wire_size() as u64;
+        }
     }
 
     /// A snapshot of the cumulative traffic statistics.
@@ -274,6 +453,106 @@ mod tests {
         net.register("a.example", echo_server());
         net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap();
         assert!(net.take_request_log().is_empty());
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_bit_identical_to_no_plan() {
+        use crate::fault::FaultPlan;
+        let run = |plan: Option<FaultPlan>| {
+            let mut net = SimNetwork::new(42);
+            net.register("a.example", echo_server());
+            if let Some(plan) = plan {
+                net.set_fault_plan(plan);
+            }
+            (0..20)
+                .map(|_| net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap().latency)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::new(9))));
+    }
+
+    #[test]
+    fn injected_faults_surface_as_taxonomy_errors() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let with_rates = |rates: FaultRates| {
+            let mut net = SimNetwork::new(1);
+            net.register("a.example", echo_server());
+            net.set_fault_plan(FaultPlan::new(5).with_default(rates));
+            net
+        };
+
+        let net = with_rates(FaultRates { drop: 1.0, ..FaultRates::NONE });
+        let err = net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap_err();
+        assert!(matches!(err, NetError::Dropped { .. }), "{err}");
+        assert!(err.is_transient());
+        assert_eq!(err.host(), "a.example");
+        assert_eq!(err.elapsed(), SimDuration::from_secs(30), "default drop timeout");
+        assert_eq!(net.stats().requests, 1, "failed attempts still count as traffic");
+        assert_eq!(net.stats().bytes_down, 0);
+
+        let net = with_rates(FaultRates { reset: 1.0, ..FaultRates::NONE });
+        let err = net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap_err();
+        assert!(matches!(err, NetError::ConnectionReset { .. }), "{err}");
+        assert!(err.elapsed() > SimDuration::ZERO);
+
+        let net = with_rates(FaultRates { http_5xx: 1.0, ..FaultRates::NONE });
+        let out = net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap();
+        assert!(!out.response.status.is_success(), "5xx is a response, not an error");
+        assert!((500..=503).contains(&out.response.status.0));
+
+        let net = with_rates(FaultRates { truncate: 1.0, ..FaultRates::NONE });
+        let err = net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap_err();
+        let NetError::TruncatedBody { received, expected, .. } = &err else {
+            panic!("expected truncation, got {err}");
+        };
+        assert!(received < expected);
+        assert!(net.stats().bytes_down < net.stats().bytes_up + *expected as u64);
+    }
+
+    #[test]
+    fn deadline_trips_on_injected_latency_only() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let mut net = SimNetwork::new(3);
+        net.register("a.example", echo_server());
+        let budget = Some(SimDuration::from_secs(60));
+        let ok = net.fetch_with_deadline(&get("http://a.example/"), SimTime::EPOCH, budget);
+        assert!(ok.is_ok(), "natural latency is far under a 60 s budget");
+
+        net.set_fault_plan(FaultPlan::new(2).with_default(FaultRates {
+            extra_latency: 1.0,
+            extra_latency_ms: 120_000,
+            ..FaultRates::NONE
+        }));
+        let err =
+            net.fetch_with_deadline(&get("http://a.example/"), SimTime::EPOCH, budget).unwrap_err();
+        assert_eq!(
+            err,
+            NetError::DeadlineExceeded {
+                host: "a.example".into(),
+                deadline: SimDuration::from_secs(60)
+            }
+        );
+        assert_eq!(err.elapsed(), SimDuration::from_secs(60), "the client waits out the deadline");
+        // Without a deadline the same fault just makes the fetch slow.
+        let out = net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap();
+        assert!(out.latency >= SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn hidden_class_rates_spare_regular_traffic() {
+        use crate::fault::FaultPlan;
+        let mut net = SimNetwork::new(8);
+        net.register("a.example", echo_server());
+        net.set_fault_plan(
+            FaultPlan::new(8).with_hidden(crate::fault::FaultRates {
+                drop: 1.0,
+                ..crate::fault::FaultRates::NONE
+            }),
+        );
+        assert!(net.fetch(&get("http://a.example/"), SimTime::EPOCH).is_ok());
+        let mut hidden = get("http://a.example/");
+        hidden.headers.set("X-Requested-With", "XMLHttpRequest");
+        assert!(net.fetch(&hidden, SimTime::EPOCH).is_err());
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub use cache::AnalysisCache;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use store::ShardedStore;
-pub use world::EmbeddedWorld;
+pub use world::{ChaosConfig, EmbeddedWorld};

@@ -97,6 +97,19 @@ pub struct LoadgenReport {
     pub cache_hits: u64,
     /// Analysis-cache misses scraped after the run.
     pub cache_misses: u64,
+    /// Visits answered `inconclusive` (chaos-faulted hidden fetches).
+    pub deferred_probes: u64,
+    /// Client-side request retries (stale keep-alive recoveries).
+    pub client_retries: u64,
+    /// Client-side connections abandoned after a transport failure.
+    pub client_reconnects: u64,
+    /// Server-side `cp_retry_total` (hidden-fetch retries) after the run.
+    pub server_retry_total: u64,
+    /// Server-side successful hidden fetches after the run.
+    pub hidden_fetch_ok: u64,
+    /// Sorted, deduplicated `"host cookie"` lines for every mark observed —
+    /// the chaos gate diffs these against a fault-free oracle run.
+    pub marks: Vec<String>,
 }
 
 impl ToJson for LoadgenReport {
@@ -135,21 +148,48 @@ impl ToJson for LoadgenReport {
                     .set("cache_hits", self.cache_hits)
                     .set("cache_misses", self.cache_misses),
             )
+            .set(
+                "robustness",
+                Json::object()
+                    .set("deferred_probes", self.deferred_probes)
+                    .set("client_retries", self.client_retries)
+                    .set("client_reconnects", self.client_reconnects)
+                    .set("server_retry_total", self.server_retry_total)
+                    .set("hidden_fetch_ok", self.hidden_fetch_ok),
+            )
+            .set("marks", self.marks.clone())
     }
 }
 
-/// A keep-alive HTTP client over one TCP connection; reconnects once per
-/// request on transport failure.
+/// Pause before re-sending a request on a fresh connection — long enough
+/// for the server's close to finish propagating, short enough to be noise
+/// in any latency sample.
+const RETRY_BACKOFF: Duration = Duration::from_millis(5);
+
+/// A keep-alive HTTP client over one TCP connection.
+///
+/// Failure handling is phase-aware. A connect- or write-phase failure on a
+/// *reused* connection means the server timed the keep-alive out between
+/// requests and nothing reached its handler, so any method is safe to
+/// re-send once on a fresh connection. A read-phase failure arrives after
+/// the request went out — the server may already have processed it — so
+/// only idempotent GETs retry; re-sending a POST could double-apply a
+/// training step.
 pub struct Client {
     host: String,
     port: u16,
     conn: Option<HttpConn<TcpStream>>,
+    /// Requests re-sent after a transport failure.
+    pub retries: u64,
+    /// Broken connections abandoned (each retry implies one, but a
+    /// non-retried failure also counts).
+    pub reconnects: u64,
 }
 
 impl Client {
     /// Creates a client for `host:port` (connects lazily).
     pub fn new(host: &str, port: u16) -> Self {
-        Client { host: host.to_string(), port, conn: None }
+        Client { host: host.to_string(), port, conn: None, retries: 0, reconnects: 0 }
     }
 
     fn connect(&mut self) -> std::io::Result<&mut HttpConn<TcpStream>> {
@@ -163,23 +203,38 @@ impl Client {
         Ok(self.conn.as_mut().expect("just connected"))
     }
 
-    /// Sends one request and reads the response, retrying once on a stale
-    /// keep-alive connection.
+    /// Sends one request and reads the response, retrying once where that
+    /// is safe (see the type docs for the phase rules).
     pub fn request(
         &mut self,
         method: &str,
         target: &str,
         body: &[u8],
     ) -> Result<HttpResponse, HttpError> {
-        for attempt in 0..2 {
-            let host = format!("{}:{}", self.host, self.port);
-            let result = (|| {
+        let host = format!("{}:{}", self.host, self.port);
+        let mut retried = false;
+        loop {
+            let reused = self.conn.is_some();
+            let write_result = (|| {
                 let conn = self.connect().map_err(HttpError::Io)?;
-                write_request(conn.stream_mut(), method, target, &host, body)
-                    .map_err(HttpError::Io)?;
-                conn.read_response()
+                write_request(conn.stream_mut(), method, target, &host, body).map_err(HttpError::Io)
             })();
-            match result {
+            let read_result = match write_result {
+                Ok(()) => self.conn.as_mut().expect("connected above").read_response(),
+                Err(err) => {
+                    self.conn = None;
+                    self.reconnects += 1;
+                    // Nothing reached the handler: retry any method once.
+                    if reused && !retried {
+                        retried = true;
+                        self.retries += 1;
+                        std::thread::sleep(RETRY_BACKOFF);
+                        continue;
+                    }
+                    return Err(err);
+                }
+            };
+            match read_result {
                 Ok(response) => {
                     let close = response
                         .headers
@@ -190,19 +245,20 @@ impl Client {
                     }
                     return Ok(response);
                 }
-                Err(err) if attempt == 0 => {
-                    // The server may have timed this connection out between
-                    // requests; reconnect once before reporting the error.
-                    self.conn = None;
-                    let _ = err;
-                }
                 Err(err) => {
                     self.conn = None;
+                    self.reconnects += 1;
+                    // The request went out; only idempotent GETs re-send.
+                    if reused && !retried && method == "GET" {
+                        retried = true;
+                        self.retries += 1;
+                        std::thread::sleep(RETRY_BACKOFF);
+                        continue;
+                    }
                     return Err(err);
                 }
             }
         }
-        unreachable!("loop returns on second attempt")
     }
 }
 
@@ -232,6 +288,11 @@ struct ThreadTally {
     transport_errors: u64,
     useful: u64,
     noise: u64,
+    deferred: u64,
+    retries: u64,
+    reconnects: u64,
+    /// `"host cookie"` lines for every cookie marked useful during the run.
+    marks: Vec<String>,
 }
 
 /// Runs the load and returns the aggregated report. The final `/metrics`
@@ -286,6 +347,12 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         detection_p99_micros: 0.0,
         cache_hits: 0,
         cache_misses: 0,
+        deferred_probes: 0,
+        client_retries: 0,
+        client_reconnects: 0,
+        server_retry_total: 0,
+        hidden_fetch_ok: 0,
+        marks: Vec::new(),
     };
     for tally in tallies {
         report.requests += tally.samples.len() as u64;
@@ -295,8 +362,14 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         report.transport_errors += tally.transport_errors;
         report.client_useful += tally.useful;
         report.client_noise += tally.noise;
+        report.deferred_probes += tally.deferred;
+        report.client_retries += tally.retries;
+        report.client_reconnects += tally.reconnects;
+        report.marks.extend(tally.marks);
         samples.extend(tally.samples);
     }
+    report.marks.sort_unstable();
+    report.marks.dedup();
     samples.sort_unstable();
     report.p50_micros = percentile(&samples, 0.50);
     report.p95_micros = percentile(&samples, 0.95);
@@ -326,6 +399,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         scrape_counter(&exposition, "cp_analysis_cache_total{result=\"hit\"}").unwrap_or(0);
     report.cache_misses =
         scrape_counter(&exposition, "cp_analysis_cache_total{result=\"miss\"}").unwrap_or(0);
+    report.server_retry_total = scrape_counter(&exposition, "cp_retry_total").unwrap_or(0);
+    report.hidden_fetch_ok =
+        scrape_counter(&exposition, "cp_hidden_fetch_total{result=\"ok\"}").unwrap_or(0);
     Ok(report)
 }
 
@@ -341,6 +417,10 @@ fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> 
         transport_errors: 0,
         useful: 0,
         noise: 0,
+        deferred: 0,
+        retries: 0,
+        reconnects: 0,
+        marks: Vec::new(),
     };
 
     for _ in 0..quota {
@@ -385,6 +465,8 @@ fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> 
             Err(_) => tally.transport_errors += 1,
         }
     }
+    tally.retries = client.retries;
+    tally.reconnects = client.reconnects;
     tally
 }
 
@@ -407,6 +489,15 @@ fn observe_verdicts(
                 Some(false) => tally.noise += 1,
                 None => {}
             }
+        }
+        tally.deferred += u64::from(json.get("inconclusive").and_then(Json::as_str).is_some());
+        if let (Some(host), Some(marked_now)) = (
+            json.get("host").and_then(Json::as_str),
+            json.get("marked_now").and_then(Json::as_array),
+        ) {
+            tally
+                .marks
+                .extend(marked_now.iter().filter_map(Json::as_str).map(|n| format!("{host} {n}")));
         }
         if let (Some(host), Some(set_cookies)) = (
             json.get("host").and_then(Json::as_str),
@@ -482,7 +573,49 @@ mod tests {
         assert!(report.detection_p50_micros <= report.detection_p99_micros);
         assert!(report.cache_misses > 0, "first sight of each body is a miss");
         assert!(report.cache_hits > 0, "the mix replays bodies, so some must hit");
+        // Fault-free run: no deferrals, no server-side hidden-fetch
+        // retries, and every probe's hidden fetch succeeded.
+        assert_eq!(report.deferred_probes, 0);
+        assert_eq!(report.server_retry_total, 0);
+        // Every decided visit probe had an ok hidden fetch; the verdict
+        // tally is strictly larger because classify calls also count.
+        assert!(report.hidden_fetch_ok > 0);
+        assert!(report.hidden_fetch_ok <= report.client_useful + report.client_noise);
+        assert!(report.marks.windows(2).all(|w| w[0] < w[1]), "marks sorted and deduplicated");
         let json = report.to_json().to_compact();
         assert!(json.contains("\"counters_match\":true"));
+        assert!(json.contains("\"deferred_probes\":0"));
+    }
+
+    #[test]
+    fn chaos_run_defers_and_marks_subset_of_oracle() {
+        let oracle_server =
+            start(ServeConfig { seed: 7, workers: 2, ..ServeConfig::default() }).unwrap();
+        let chaos_server = start(ServeConfig {
+            seed: 7,
+            workers: 2,
+            chaos_fault_rate: 0.25,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let run_against = |port: u16| {
+            run(&LoadgenConfig {
+                port,
+                threads: 2,
+                requests: 600,
+                seed: 7,
+                ..LoadgenConfig::default()
+            })
+            .unwrap()
+        };
+        let oracle = run_against(oracle_server.port());
+        let chaos = run_against(chaos_server.port());
+        assert_eq!(chaos.status_5xx, 0, "faults degrade to deferrals, never 5xx");
+        assert_eq!(chaos.transport_errors, 0);
+        assert!(chaos.deferred_probes > 0, "25% fault rate must defer some probes");
+        assert!(chaos.counters_match, "verdicts only counted for decided probes");
+        for mark in &chaos.marks {
+            assert!(oracle.marks.contains(mark), "chaos run invented mark {mark}");
+        }
     }
 }

@@ -12,8 +12,26 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use cp_runtime::metrics::{Counter, Gauge, Histogram};
+
+/// `result` label values for `cp_hidden_fetch_total`, in rendering order.
+pub const HIDDEN_FETCH_RESULTS: [&str; 6] =
+    ["ok", "drop", "reset", "http_5xx", "truncated", "deadline"];
+
+/// `reason` label values for `cp_probe_inconclusive_total`, in rendering
+/// order — mirrors `cookiepicker_core::InconclusiveReason::ALL`.
+pub const INCONCLUSIVE_REASONS: [&str; 4] = ["transport", "deadline", "server_error", "truncated"];
+
+/// `cause` label values for `cp_conn_closed_total`, in rendering order.
+/// `client` covers clean peer closes and client-requested closes
+/// (HTTP/1.0, `Connection: close`); `timeout` a stalled read (slowloris,
+/// half-sent body); `error` protocol violations (400/413); `shed` the
+/// acceptor's inline 503; `drain` keep-alives ended by shutdown;
+/// `write_failed` a response the peer stopped reading.
+pub const CONN_CLOSE_CAUSES: [&str; 6] =
+    ["client", "timeout", "error", "shed", "drain", "write_failed"];
 
 /// The endpoints the server distinguishes in its per-endpoint series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +125,18 @@ pub struct ServiceMetrics {
     pub connections_total: Counter,
     /// Connections rejected because the accept queue was full.
     pub rejected_total: Counter,
+    /// Hidden-fetch outcomes by result, indexed by [`HIDDEN_FETCH_RESULTS`].
+    hidden_fetch: [Counter; 6],
+    /// Deferred probes by reason, indexed by [`INCONCLUSIVE_REASONS`].
+    probe_inconclusive: [Counter; 4],
+    /// Hidden-fetch retries issued (attempts beyond the first).
+    pub retry_total: Counter,
+    /// Detections that overran the configured deadline.
+    pub deadline_exceeded_total: Counter,
+    /// Detection-deadline threshold, in microseconds (`u64::MAX` = off).
+    detection_deadline_micros: AtomicU64,
+    /// Connection closes by cause, indexed by [`CONN_CLOSE_CAUSES`].
+    conn_closed: [Counter; 6],
 }
 
 impl Default for ServiceMetrics {
@@ -131,6 +161,12 @@ impl ServiceMetrics {
             queue_depth: Gauge::new(),
             connections_total: Counter::new(),
             rejected_total: Counter::new(),
+            hidden_fetch: Default::default(),
+            probe_inconclusive: Default::default(),
+            retry_total: Counter::new(),
+            deadline_exceeded_total: Counter::new(),
+            detection_deadline_micros: AtomicU64::new(u64::MAX),
+            conn_closed: Default::default(),
         }
     }
 
@@ -167,6 +203,58 @@ impl ServiceMetrics {
         } else {
             self.cache_misses.inc();
         }
+    }
+
+    /// Sets the detection-deadline threshold. Detections observed through
+    /// [`record_detection`](Self::record_detection) that take longer bump
+    /// `cp_deadline_exceeded_total`. `u64::MAX` (the default) disables it.
+    pub fn set_detection_deadline_micros(&self, micros: u64) {
+        self.detection_deadline_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// Observes one detection time and checks it against the deadline.
+    pub fn record_detection(&self, micros: u64) {
+        self.detection.observe(micros);
+        if micros > self.detection_deadline_micros.load(Ordering::Relaxed) {
+            self.deadline_exceeded_total.inc();
+        }
+    }
+
+    /// Records one hidden-fetch outcome; `result` must be a
+    /// [`HIDDEN_FETCH_RESULTS`] label (anything else is ignored).
+    pub fn record_hidden_fetch(&self, result: &str) {
+        if let Some(i) = HIDDEN_FETCH_RESULTS.iter().position(|r| *r == result) {
+            self.hidden_fetch[i].inc();
+        }
+    }
+
+    /// Records one deferred probe; `reason` must be an
+    /// [`INCONCLUSIVE_REASONS`] label (anything else is ignored).
+    pub fn record_inconclusive(&self, reason: &str) {
+        if let Some(i) = INCONCLUSIVE_REASONS.iter().position(|r| *r == reason) {
+            self.probe_inconclusive[i].inc();
+        }
+    }
+
+    /// Records one connection close; `cause` must be a
+    /// [`CONN_CLOSE_CAUSES`] label (anything else is ignored).
+    pub fn record_conn_closed(&self, cause: &str) {
+        if let Some(i) = CONN_CLOSE_CAUSES.iter().position(|c| *c == cause) {
+            self.conn_closed[i].inc();
+        }
+    }
+
+    /// The current value of one `cp_hidden_fetch_total` series.
+    pub fn hidden_fetch_count(&self, result: &str) -> u64 {
+        HIDDEN_FETCH_RESULTS
+            .iter()
+            .position(|r| *r == result)
+            .map_or(0, |i| self.hidden_fetch[i].get())
+    }
+
+    /// The current value of one `cp_conn_closed_total` series.
+    pub fn conn_closed_count(&self, cause: &str) -> u64 {
+        CONN_CLOSE_CAUSES.iter().position(|c| *c == cause).map_or(0, |i| self.conn_closed[i].get())
     }
 
     /// Renders the Prometheus text exposition.
@@ -233,6 +321,22 @@ impl ServiceMetrics {
             let _ = writeln!(out, "cp_detection_micros_sum {}", self.detection.sum_micros());
             let _ = writeln!(out, "cp_detection_micros_count {}", self.detection.count());
         }
+        out.push_str("# TYPE cp_hidden_fetch_total counter\n");
+        for (label, counter) in HIDDEN_FETCH_RESULTS.iter().zip(&self.hidden_fetch) {
+            let _ = writeln!(out, "cp_hidden_fetch_total{{result=\"{label}\"}} {}", counter.get());
+        }
+        out.push_str("# TYPE cp_probe_inconclusive_total counter\n");
+        for (label, counter) in INCONCLUSIVE_REASONS.iter().zip(&self.probe_inconclusive) {
+            let _ = writeln!(
+                out,
+                "cp_probe_inconclusive_total{{reason=\"{label}\"}} {}",
+                counter.get()
+            );
+        }
+        out.push_str("# TYPE cp_retry_total counter\n");
+        let _ = writeln!(out, "cp_retry_total {}", self.retry_total.get());
+        out.push_str("# TYPE cp_deadline_exceeded_total counter\n");
+        let _ = writeln!(out, "cp_deadline_exceeded_total {}", self.deadline_exceeded_total.get());
         out.push_str("# TYPE cp_analysis_cache_total counter\n");
         let _ =
             writeln!(out, "cp_analysis_cache_total{{result=\"hit\"}} {}", self.cache_hits.get());
@@ -244,6 +348,10 @@ impl ServiceMetrics {
         let _ = writeln!(out, "cp_connections_total {}", self.connections_total.get());
         out.push_str("# TYPE cp_rejected_total counter\n");
         let _ = writeln!(out, "cp_rejected_total {}", self.rejected_total.get());
+        out.push_str("# TYPE cp_conn_closed_total counter\n");
+        for (label, counter) in CONN_CLOSE_CAUSES.iter().zip(&self.conn_closed) {
+            let _ = writeln!(out, "cp_conn_closed_total{{cause=\"{label}\"}} {}", counter.get());
+        }
         out
     }
 }
@@ -364,6 +472,71 @@ mod tests {
         assert_eq!(scrape_counter(&text, "cp_detection_micros_count"), Some(2));
         assert_eq!(scrape_counter(&text, "cp_analysis_cache_total{result=\"hit\"}"), Some(1));
         assert_eq!(scrape_counter(&text, "cp_analysis_cache_total{result=\"miss\"}"), Some(2));
+    }
+
+    #[test]
+    fn fault_series_render_with_zeros_and_count_by_label() {
+        let m = ServiceMetrics::new();
+        let empty = m.render_prometheus();
+        // Zero is meaningful for all fault series (it says "no faults"),
+        // so every label renders even on an untouched registry.
+        for label in HIDDEN_FETCH_RESULTS {
+            let series = format!("cp_hidden_fetch_total{{result=\"{label}\"}}");
+            assert_eq!(scrape_counter(&empty, &series), Some(0), "{series}");
+        }
+        for label in INCONCLUSIVE_REASONS {
+            let series = format!("cp_probe_inconclusive_total{{reason=\"{label}\"}}");
+            assert_eq!(scrape_counter(&empty, &series), Some(0), "{series}");
+        }
+        for label in CONN_CLOSE_CAUSES {
+            let series = format!("cp_conn_closed_total{{cause=\"{label}\"}}");
+            assert_eq!(scrape_counter(&empty, &series), Some(0), "{series}");
+        }
+        assert_eq!(scrape_counter(&empty, "cp_retry_total"), Some(0));
+        assert_eq!(scrape_counter(&empty, "cp_deadline_exceeded_total"), Some(0));
+
+        m.record_hidden_fetch("ok");
+        m.record_hidden_fetch("ok");
+        m.record_hidden_fetch("truncated");
+        m.record_hidden_fetch("bogus"); // unknown labels are ignored
+        m.record_inconclusive("server_error");
+        m.record_conn_closed("timeout");
+        m.record_conn_closed("shed");
+        m.retry_total.inc();
+        let text = m.render_prometheus();
+        assert_eq!(scrape_counter(&text, "cp_hidden_fetch_total{result=\"ok\"}"), Some(2));
+        assert_eq!(scrape_counter(&text, "cp_hidden_fetch_total{result=\"truncated\"}"), Some(1));
+        assert_eq!(m.hidden_fetch_count("ok"), 2);
+        assert_eq!(m.hidden_fetch_count("bogus"), 0);
+        assert_eq!(
+            scrape_counter(&text, "cp_probe_inconclusive_total{reason=\"server_error\"}"),
+            Some(1)
+        );
+        assert_eq!(scrape_counter(&text, "cp_conn_closed_total{cause=\"timeout\"}"), Some(1));
+        assert_eq!(m.conn_closed_count("shed"), 1);
+        assert_eq!(scrape_counter(&text, "cp_retry_total"), Some(1));
+    }
+
+    #[test]
+    fn detection_deadline_counts_overruns_only() {
+        let m = ServiceMetrics::new();
+        // Default deadline is off: nothing can exceed u64::MAX.
+        m.record_detection(u64::MAX - 1);
+        assert_eq!(m.deadline_exceeded_total.get(), 0);
+        m.set_detection_deadline_micros(1_000);
+        m.record_detection(999);
+        m.record_detection(1_000); // at the deadline is still on time
+        m.record_detection(1_001);
+        m.record_detection(50_000);
+        assert_eq!(m.deadline_exceeded_total.get(), 2);
+        assert_eq!(m.detection.count(), 5);
+    }
+
+    #[test]
+    fn inconclusive_labels_match_core_taxonomy() {
+        let labels: Vec<&str> =
+            cookiepicker_core::InconclusiveReason::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels, INCONCLUSIVE_REASONS);
     }
 
     #[test]

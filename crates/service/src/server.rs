@@ -25,7 +25,11 @@ use crate::cache::AnalysisCache;
 use crate::http::{write_response, HttpConn, HttpError, HttpRequest, Limits};
 use crate::metrics::{Endpoint, ServiceMetrics};
 use crate::store::ShardedStore;
-use crate::world::EmbeddedWorld;
+use crate::world::{ChaosConfig, EmbeddedWorld};
+
+/// Salt mixed into the population seed to derive the chaos seed, so the
+/// fault stream is decorrelated from (but still determined by) `--seed`.
+const CHAOS_SEED_SALT: u64 = 0xC4A0_5EED_FA17_5EED;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -52,6 +56,14 @@ pub struct ServeConfig {
     pub picker: CookiePickerConfig,
     /// Page-analysis cache capacity (compiled pages kept for reuse).
     pub cache_capacity: usize,
+    /// Chaos mode: hidden-fetch fault rate in `[0, 1]`. `0.0` (the
+    /// default) disables fault injection entirely — the fault-free path
+    /// is byte-identical to a build without chaos.
+    pub chaos_fault_rate: f64,
+    /// When set, detections slower than this bump
+    /// `cp_deadline_exceeded_total` (observability only — the result is
+    /// still served).
+    pub detection_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +80,8 @@ impl Default for ServeConfig {
             limits: Limits::default(),
             picker: CookiePickerConfig::default(),
             cache_capacity: 512,
+            chaos_fault_rate: 0.0,
+            detection_deadline: None,
         }
     }
 }
@@ -144,10 +158,21 @@ impl Drop for ServerHandle {
 pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
+    let world = if config.chaos_fault_rate > 0.0 {
+        let chaos =
+            ChaosConfig::uniform(config.seed ^ CHAOS_SEED_SALT, config.chaos_fault_rate.min(1.0));
+        EmbeddedWorld::with_chaos(config.seed, chaos)
+    } else {
+        EmbeddedWorld::new(config.seed)
+    };
+    let metrics = ServiceMetrics::new();
+    if let Some(deadline) = config.detection_deadline {
+        metrics.set_detection_deadline_micros(deadline.as_micros().min(u64::MAX as u128) as u64);
+    }
     let shared = Arc::new(Shared {
-        world: EmbeddedWorld::new(config.seed),
+        world,
         store: ShardedStore::new(config.shards, config.picker.stability_window),
-        metrics: ServiceMetrics::new(),
+        metrics,
         picker: config.picker.clone(),
         cache: AnalysisCache::new(config.cache_capacity),
         shutting_down: AtomicBool::new(false),
@@ -202,6 +227,7 @@ fn accept_loop(
             Ok(()) => shared.metrics.queue_depth.inc(),
             Err(TrySendError::Full(mut stream)) => {
                 shared.metrics.rejected_total.inc();
+                shared.metrics.record_conn_closed("shed");
                 let body = error_json("server overloaded");
                 let _ = write_response(
                     &mut stream,
@@ -233,15 +259,31 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>, limits: Limits)
 }
 
 /// Serves one connection: requests until the peer closes, keep-alive ends,
-/// an unrecoverable error occurs, or shutdown begins.
+/// an unrecoverable error occurs, or shutdown begins. Every exit path
+/// records its cause in `cp_conn_closed_total`.
 fn handle_connection(shared: &Shared, stream: TcpStream, limits: Limits) {
     let mut conn = HttpConn::new(stream, limits);
     loop {
         let request = match conn.read_request() {
             Ok(request) => request,
-            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+            Err(HttpError::Closed) => {
+                // Clean EOF on an idle keep-alive: the client hung up.
+                shared.metrics.record_conn_closed("client");
+                return;
+            }
+            Err(HttpError::Io(e)) => {
+                // A read timeout mid-message is a stalled peer (slowloris,
+                // half-sent body); anything else is a transport fault.
+                let cause = match e.kind() {
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => "timeout",
+                    _ => "error",
+                };
+                shared.metrics.record_conn_closed(cause);
+                return;
+            }
             Err(HttpError::BodyTooLarge) => {
                 respond_error(shared, &mut conn, 413, "Payload Too Large", "body too large");
+                shared.metrics.record_conn_closed("error");
                 return;
             }
             Err(err) => {
@@ -249,13 +291,14 @@ fn handle_connection(shared: &Shared, stream: TcpStream, limits: Limits) {
                 // framing may be lost, so the connection cannot continue.
                 let msg = err.to_string();
                 respond_error(shared, &mut conn, 400, "Bad Request", &msg);
+                shared.metrics.record_conn_closed("error");
                 return;
             }
         };
         let started = Instant::now();
         let (endpoint, status, reason, content_type, body) = route(shared, &request);
-        let keep_alive =
-            request.keep_alive() && !shared.shutting_down.load(Ordering::SeqCst) && status < 500;
+        let draining = shared.shutting_down.load(Ordering::SeqCst);
+        let keep_alive = request.keep_alive() && !draining && status < 500;
         // Record BEFORE writing: anyone who has seen the response (e.g. a
         // load generator cross-checking /metrics after its last request)
         // must also see its counters.
@@ -263,7 +306,19 @@ fn handle_connection(shared: &Shared, stream: TcpStream, limits: Limits) {
         let write_ok =
             write_response(conn.stream_mut(), status, reason, content_type, &body, keep_alive)
                 .is_ok();
-        if !keep_alive || !write_ok {
+        if !write_ok {
+            shared.metrics.record_conn_closed("write_failed");
+            return;
+        }
+        if !keep_alive {
+            let cause = if !request.keep_alive() {
+                "client" // HTTP/1.0 or an explicit `Connection: close`
+            } else if draining {
+                "drain"
+            } else {
+                "error" // 5xx: close so the peer re-syncs on a fresh conn
+            };
+            shared.metrics.record_conn_closed(cause);
             return;
         }
     }
@@ -345,7 +400,7 @@ fn classify(shared: &Shared, body: &[u8]) -> Routed {
     shared.metrics.record_cache(hit);
     let mut decision = decide_analyzed(&analysis_regular, &analysis_hidden, &config);
     decision.detection_micros = started.elapsed().as_micros() as u64;
-    shared.metrics.detection.observe(decision.detection_micros);
+    shared.metrics.record_detection(decision.detection_micros);
     shared.metrics.record_verdict(decision.cookies_caused_difference);
     let body = decision.to_json().to_compact().into_bytes();
     (Endpoint::Classify, 200, "OK", "application/json", body)
@@ -498,6 +553,98 @@ mod tests {
             404
         );
         assert_eq!(request(server.addr(), "GET", "/nope", b"").status, 404);
+    }
+
+    #[test]
+    fn close_causes_are_accounted() {
+        let server = test_server();
+        // A normal keep-alive request, then the client hangs up → "client".
+        {
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut conn = HttpConn::new(stream, Limits::default());
+            write_request(conn.stream_mut(), "GET", "/healthz", "127.0.0.1", b"").unwrap();
+            assert_eq!(conn.read_response().unwrap().status, 200);
+        }
+        // A malformed request → 400 and a close with cause "error".
+        {
+            use std::io::Write as _;
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut conn = HttpConn::new(stream, Limits::default());
+            conn.stream_mut().write_all(b"BOGUS\r\n\r\n").unwrap();
+            assert_eq!(conn.read_response().unwrap().status, 400);
+        }
+        // The worker observes both closes asynchronously; poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let (client, error) = (
+                server.metrics().conn_closed_count("client"),
+                server.metrics().conn_closed_count("error"),
+            );
+            if client >= 1 && error >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "close causes not accounted: client={client} error={error}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn chaos_rate_defers_some_visits() {
+        let server = start(ServeConfig {
+            workers: 2,
+            chaos_fault_rate: 0.9,
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        // For every site: an initial visit collects the jar, then two
+        // cookie-bearing visits probe. At a 90% fault rate with 2 retries
+        // each probe defers with p≈0.46, so across ~60 probes the seeded
+        // fault stream is certain to defer some.
+        let hosts: Vec<String> =
+            EmbeddedWorld::new(7).hosts().iter().map(|h| h.to_string()).collect();
+        let mut deferred = 0u64;
+        for host in &hosts {
+            let body = Json::object().set("host", host.as_str()).to_compact();
+            let first = request(server.addr(), "POST", "/v1/visit", body.as_bytes());
+            let json = Json::parse(&first.body_string()).unwrap();
+            let jar: Vec<String> = json
+                .get("set_cookies")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect();
+            for i in 1..=2 {
+                let body = Json::object()
+                    .set("host", host.as_str())
+                    .set("path", format!("/page/{i}"))
+                    .set("cookie", jar.join("; "))
+                    .to_compact();
+                let resp = request(server.addr(), "POST", "/v1/visit", body.as_bytes());
+                assert_eq!(resp.status, 200, "{}", resp.body_string());
+                let json = Json::parse(&resp.body_string()).unwrap();
+                if json.get("inconclusive").and_then(Json::as_str).is_some() {
+                    assert_eq!(json.get("probed").and_then(Json::as_bool), Some(false));
+                    deferred += 1;
+                }
+            }
+        }
+        assert!(deferred > 0, "90% fault rate over ~60 probes must defer at least one");
+        let metrics = request(server.addr(), "GET", "/metrics", b"").body_string();
+        let total: u64 = crate::metrics::INCONCLUSIVE_REASONS
+            .iter()
+            .filter_map(|r| {
+                let series = format!("cp_probe_inconclusive_total{{reason=\"{r}\"}}");
+                crate::metrics::scrape_counter(&metrics, &series)
+            })
+            .sum();
+        assert_eq!(total, deferred, "deferrals and inconclusive counters agree");
     }
 
     #[test]

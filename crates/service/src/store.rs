@@ -23,6 +23,8 @@ pub struct SiteEntry {
     pub probes: usize,
     /// Probes whose decision attributed the difference to cookies.
     pub marking_probes: usize,
+    /// Probes deferred because the (simulated) hidden fetch was faulted.
+    pub deferred_probes: usize,
     /// Sum of detection times, in microseconds.
     pub detection_micros_total: u64,
     /// Sum of full visit-step durations, in milliseconds.
@@ -41,6 +43,7 @@ impl SiteEntry {
             host: host.to_string(),
             probes: self.probes,
             marking_probes: self.marking_probes,
+            deferred_probes: self.deferred_probes,
             avg_detection_ms: self.detection_micros_total as f64 / 1_000.0 / denom,
             avg_duration_ms: self.duration_ms_total / denom,
             training_active: self.forcum.is_active(host),

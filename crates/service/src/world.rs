@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use cookiepicker_core::{decide_analyzed, CookiePickerConfig, DetectionRecord};
 use cp_cookies::{parse_cookie_header, SimTime};
+use cp_net::{FaultKind, FaultRates};
 use cp_runtime::json::{Json, ToJson};
 use cp_runtime::rng::{SeedableRng, StdRng};
 use cp_webworld::render::{render_page, RenderInput};
@@ -32,6 +33,57 @@ use crate::metrics::ServiceMetrics;
 /// noise — exactly the adversarial condition the detectors must reject.
 const REGULAR_SALT: u64 = 0x5245_4755_4c41_5221;
 const HIDDEN_SALT: u64 = 0x4849_4444_454e_5f21;
+
+/// Chaos mode: deterministic fault injection for the embedded world's
+/// hidden fetches. Each probe's fate is a pure function of
+/// `(seed, host, path, probe sequence, attempt)`, so a chaos run is as
+/// reproducible as a fault-free one — and a rate-zero config is
+/// behaviorally identical to no chaos at all.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for the per-fetch fault rolls (independent of the world seed).
+    pub seed: u64,
+    /// Fault rates applied to hidden fetches.
+    pub rates: FaultRates,
+    /// Retries after a faulted hidden fetch before the probe defers.
+    pub retries: u32,
+}
+
+impl ChaosConfig {
+    /// A config injecting faults at `rate` (split across fault kinds, as in
+    /// [`FaultRates::uniform`]) with the default retry budget.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        ChaosConfig { seed, rates: FaultRates::uniform(rate), retries: 2 }
+    }
+}
+
+/// The `cp_hidden_fetch_total` result label and the inconclusive reason a
+/// fault kind maps to.
+fn fault_labels(kind: &FaultKind) -> (&'static str, &'static str) {
+    match kind {
+        FaultKind::Drop => ("drop", "transport"),
+        FaultKind::Reset(_) => ("reset", "transport"),
+        FaultKind::Http5xx(_) => ("http_5xx", "server_error"),
+        FaultKind::Truncate => ("truncated", "truncated"),
+        FaultKind::ExtraLatency(_) => ("deadline", "deadline"),
+    }
+}
+
+/// FNV-1a over the chaos seed and the probe's identity. `seq` is the
+/// site's probe ordinal (decided + deferred), so a deferred probe re-rolls
+/// its fate on the next visit instead of failing forever.
+fn chaos_key(seed: u64, host: &str, path: &str, seq: u64, attempt: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in host.bytes().chain([0xFF]).chain(path.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for b in seq.to_le_bytes().into_iter().chain(attempt.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// The outcome of one `/v1/visit` FORCUM step.
 #[derive(Debug, Clone)]
@@ -52,6 +104,10 @@ pub struct VisitOutcome {
     /// `name=value` cookies the site (re-)issues for this path — the
     /// client's jar for its next visit.
     pub set_cookies: Vec<String>,
+    /// When the hidden fetch was faulted (chaos mode) and the probe
+    /// deferred, the inconclusive-reason label; `None` for decided visits
+    /// and visits that probe nothing.
+    pub inconclusive: Option<String>,
 }
 
 impl ToJson for VisitOutcome {
@@ -65,6 +121,7 @@ impl ToJson for VisitOutcome {
             .set("marked_total", self.marked_total)
             .set("training_active", self.training_active)
             .set("set_cookies", self.set_cookies.clone())
+            .set("inconclusive", self.inconclusive.as_ref().map(|r| Json::from(r.as_str())))
     }
 }
 
@@ -73,13 +130,31 @@ impl ToJson for VisitOutcome {
 pub struct EmbeddedWorld {
     sites: HashMap<String, SiteSpec>,
     seed: u64,
+    chaos: Option<ChaosConfig>,
 }
 
 impl EmbeddedWorld {
     /// Builds the Table-1 population for `seed`, keyed by host.
     pub fn new(seed: u64) -> Self {
         let sites = table1_population(seed).into_iter().map(|s| (s.domain.clone(), s)).collect();
-        EmbeddedWorld { sites, seed }
+        EmbeddedWorld { sites, seed, chaos: None }
+    }
+
+    /// Builds the population with chaos mode on.
+    pub fn with_chaos(seed: u64, chaos: ChaosConfig) -> Self {
+        let mut world = EmbeddedWorld::new(seed);
+        world.chaos = Some(chaos);
+        world
+    }
+
+    /// Turns chaos mode on (`Some`) or off (`None`).
+    pub fn set_chaos(&mut self, chaos: Option<ChaosConfig>) {
+        self.chaos = chaos;
+    }
+
+    /// The active chaos config, if any.
+    pub fn chaos(&self) -> Option<&ChaosConfig> {
+        self.chaos.as_ref()
     }
 
     /// The population seed.
@@ -169,6 +244,44 @@ impl EmbeddedWorld {
         let mut record = None;
 
         if training_was_active && !group.is_empty() {
+            // Chaos gate: the hidden fetch's fate is decided before any
+            // rendering. A faulted fetch is retried (fresh roll per
+            // attempt); if every attempt faults, the probe is
+            // inconclusive and judgement defers — the suspect hidden page
+            // is never compared, so a fault can delay a mark but never
+            // flip one.
+            if let Some(chaos) = &self.chaos {
+                let seq = (entry.probes + entry.deferred_probes) as u64;
+                let mut fate = None;
+                for attempt in 0..=chaos.retries {
+                    if attempt > 0 {
+                        metrics.retry_total.inc();
+                    }
+                    let key = chaos_key(chaos.seed, host, path, seq, attempt);
+                    fate = chaos.rates.sample(&mut StdRng::seed_from_u64(key));
+                    if fate.is_none() {
+                        break;
+                    }
+                }
+                if let Some(kind) = fate {
+                    let (result, reason) = fault_labels(&kind);
+                    metrics.record_hidden_fetch(result);
+                    metrics.record_inconclusive(reason);
+                    entry.deferred_probes += 1;
+                    let training_active = entry.forcum.defer(host, observed);
+                    return Some(VisitOutcome {
+                        host: host.to_string(),
+                        path: path.to_string(),
+                        record: None,
+                        marked_now: Vec::new(),
+                        marked_total: entry.marked.len(),
+                        training_active,
+                        set_cookies,
+                        inconclusive: Some(reason.to_string()),
+                    });
+                }
+            }
+            metrics.record_hidden_fetch("ok");
             let regular = self.render(spec, path, &sent, REGULAR_SALT);
             // Steps 2–3: the hidden request strips the group's cookies and
             // builds the hidden DOM with the same parser.
@@ -186,7 +299,7 @@ impl EmbeddedWorld {
             metrics.record_cache(hit);
             let mut decision = decide_analyzed(&analysis_regular, &analysis_hidden, config);
             decision.detection_micros = detection_started.elapsed().as_micros() as u64;
-            metrics.detection.observe(decision.detection_micros);
+            metrics.record_detection(decision.detection_micros);
 
             // Step 5: mark useful cookies.
             if decision.cookies_caused_difference {
@@ -222,6 +335,7 @@ impl EmbeddedWorld {
             marked_total: entry.marked.len(),
             training_active,
             set_cookies,
+            inconclusive: None,
         })
     }
 }
@@ -390,6 +504,96 @@ mod tests {
         assert_eq!(json.get("host").and_then(Json::as_str), Some(host.as_str()));
         assert_eq!(json.get("probed").and_then(Json::as_bool), Some(false));
         assert_eq!(json.get("record"), Some(&Json::Null));
+        assert_eq!(json.get("inconclusive"), Some(&Json::Null));
         assert!(json.get("set_cookies").and_then(Json::as_array).is_some());
+    }
+
+    /// Drives every site through `rounds` passes over the same paths and
+    /// returns (sorted "host cookie" marks, deferred visits, metrics).
+    fn drive(world: &EmbeddedWorld, rounds: usize) -> (Vec<String>, usize, ServiceMetrics) {
+        let store = ShardedStore::new(8, 40);
+        let config = CookiePickerConfig::default();
+        let analyses = AnalysisCache::new(256);
+        let metrics = ServiceMetrics::new();
+        let mut marks = Vec::new();
+        let mut deferred = 0;
+        for host in world.hosts() {
+            let mut jar: Vec<String> = Vec::new();
+            for round in 0..rounds {
+                for i in 0..6 {
+                    let path = if i == 0 { "/".to_string() } else { format!("/page/{i}") };
+                    let header = jar.join("; ");
+                    let out = store
+                        .with_entry(host, |e| {
+                            world.visit(
+                                e,
+                                host,
+                                &path,
+                                if header.is_empty() { None } else { Some(&header) },
+                                &config,
+                                &analyses,
+                                &metrics,
+                            )
+                        })
+                        .unwrap();
+                    deferred += usize::from(out.inconclusive.is_some());
+                    marks.extend(out.marked_now.iter().map(|n| format!("{host} {n}")));
+                    for sc in &out.set_cookies {
+                        if !jar.contains(sc) {
+                            jar.push(sc.clone());
+                        }
+                    }
+                    let _ = round;
+                }
+            }
+        }
+        marks.sort_unstable();
+        (marks, deferred, metrics)
+    }
+
+    #[test]
+    fn zero_rate_chaos_is_identical_to_no_chaos() {
+        let plain = drive(&EmbeddedWorld::new(7), 2);
+        let zero = drive(&EmbeddedWorld::with_chaos(7, ChaosConfig::uniform(99, 0.0)), 2);
+        assert_eq!(plain.0, zero.0, "rate 0.0 must not perturb a single decision");
+        assert_eq!(zero.1, 0);
+        assert_eq!(zero.2.hidden_fetch_count("ok"), plain.2.hidden_fetch_count("ok"));
+    }
+
+    #[test]
+    fn chaos_defers_probes_but_never_invents_marks() {
+        let (oracle, oracle_deferred, _) = drive(&EmbeddedWorld::new(7), 3);
+        assert_eq!(oracle_deferred, 0, "fault-free run defers nothing");
+        let chaos = ChaosConfig::uniform(0xC4A05, 0.3);
+        let (marks, deferred, metrics) = drive(&EmbeddedWorld::with_chaos(7, chaos.clone()), 3);
+        assert!(deferred > 0, "30% fault rate over ~540 probes must defer some");
+        for mark in &marks {
+            assert!(oracle.contains(mark), "chaos run invented mark {mark}");
+        }
+        let inconclusive: u64 = crate::metrics::INCONCLUSIVE_REASONS
+            .iter()
+            .map(|r| {
+                let text = metrics.render_prometheus();
+                let series = format!("cp_probe_inconclusive_total{{reason=\"{r}\"}}");
+                crate::metrics::scrape_counter(&text, &series).unwrap()
+            })
+            .sum();
+        assert_eq!(inconclusive, deferred as u64, "every deferral is accounted by reason");
+
+        // Same seed, same visit mix → bit-identical chaos run.
+        let again = drive(&EmbeddedWorld::with_chaos(7, chaos), 3);
+        assert_eq!((marks, deferred), (again.0, again.1));
+    }
+
+    #[test]
+    fn chaos_retry_rerolls_fate_across_visits() {
+        // A deferred probe must not be doomed to fail forever: the fault
+        // roll keys on the site's probe ordinal, so the same (host, path)
+        // can succeed on a later round.
+        let world = EmbeddedWorld::with_chaos(7, ChaosConfig::uniform(1, 0.5));
+        let (marks, deferred, metrics) = drive(&world, 4);
+        assert!(deferred > 0);
+        assert!(!marks.is_empty(), "even at 50% faults, retries + rerolls land marks");
+        assert!(metrics.retry_total.get() > 0, "faulted attempts trigger retries");
     }
 }

