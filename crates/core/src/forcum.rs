@@ -34,6 +34,34 @@ impl SiteTraining {
     fn fresh() -> Self {
         SiteTraining { active: true, ..SiteTraining::default() }
     }
+
+    /// Rebuilds a training record from persisted parts (snapshot restore).
+    pub fn from_parts(
+        pages_seen: usize,
+        stable_streak: usize,
+        active: bool,
+        known_cookies: impl IntoIterator<Item = String>,
+        hidden_requests: usize,
+        marks: usize,
+        deferrals: usize,
+    ) -> Self {
+        SiteTraining {
+            pages_seen,
+            stable_streak,
+            active,
+            known_cookies: known_cookies.into_iter().collect(),
+            hidden_requests,
+            marks,
+            deferrals,
+        }
+    }
+
+    /// The cookie names seen so far, sorted (deterministic encoding order).
+    pub fn known_cookies_sorted(&self) -> Vec<&str> {
+        let mut known: Vec<&str> = self.known_cookies.iter().map(String::as_str).collect();
+        known.sort_unstable();
+        known
+    }
 }
 
 /// Training state across all sites.
@@ -47,8 +75,7 @@ pub struct ForcumState {
 impl ToJson for SiteTraining {
     fn to_json(&self) -> Json {
         // Sets serialize sorted so the encoding is deterministic.
-        let mut known: Vec<&str> = self.known_cookies.iter().map(String::as_str).collect();
-        known.sort_unstable();
+        let known = self.known_cookies_sorted();
         Json::object()
             .set("pages_seen", self.pages_seen)
             .set("stable_streak", self.stable_streak)
@@ -79,6 +106,11 @@ impl ForcumState {
     /// The training record for `host`, if the site has been seen.
     pub fn site(&self, host: &str) -> Option<&SiteTraining> {
         self.sites.get(host)
+    }
+
+    /// Installs a persisted training record for `host` (snapshot restore).
+    pub fn insert_site(&mut self, host: &str, site: SiteTraining) {
+        self.sites.insert(host.to_string(), site);
     }
 
     /// Whether FORCUM is currently active for `host` (a never-seen host is

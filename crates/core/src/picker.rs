@@ -56,7 +56,7 @@ pub struct InconclusiveProbe {
 pub struct TrainingSummary {
     /// The site host.
     pub host: String,
-    /// Hidden-request probes issued for this site.
+    /// Hidden-request probes issued for this site (decided + deferred).
     pub probes: usize,
     /// Probes whose decision attributed the difference to cookies.
     pub marking_probes: usize,
@@ -232,21 +232,26 @@ impl CookiePicker {
     }
 
     /// Summarizes one site's training run.
+    ///
+    /// `probes` counts every hidden request issued (decided + deferred);
+    /// the averages divide by *decided* probes only, since a deferred
+    /// probe records no detection time or duration.
     pub fn summary_for(&self, host: &str) -> TrainingSummary {
         let records: Vec<&DetectionRecord> =
             self.records.iter().filter(|r| r.host == host).collect();
-        let probes = records.len();
+        let decided = records.len();
+        let deferred = self.inconclusive.iter().filter(|p| p.host == host).count();
         let marking_probes =
             records.iter().filter(|r| r.decision.cookies_caused_difference).count();
         let (det_sum, dur_sum) = records.iter().fold((0.0f64, 0.0f64), |(d, t), r| {
             (d + r.decision.detection_micros as f64 / 1_000.0, t + r.duration_ms)
         });
-        let denom = probes.max(1) as f64;
+        let denom = decided.max(1) as f64;
         TrainingSummary {
             host: host.to_string(),
-            probes,
+            probes: decided + deferred,
             marking_probes,
-            deferred_probes: self.inconclusive.iter().filter(|p| p.host == host).count(),
+            deferred_probes: deferred,
             avg_detection_ms: det_sum / denom,
             avg_duration_ms: dur_sum / denom,
             training_active: self.forcum.is_active(host),
@@ -882,8 +887,9 @@ mod tests {
             assert_eq!(probe.reason, InconclusiveReason::Transport);
         }
         let summary = picker.summary_for("p.example");
-        assert_eq!(summary.probes, 0);
         assert!(summary.deferred_probes > 0);
+        assert_eq!(summary.probes, summary.deferred_probes, "all issued probes deferred");
+        assert_eq!(summary.avg_detection_ms, 0.0, "no decided probe, no detection time");
         assert_eq!(
             picker.forcum().site("p.example").unwrap().deferrals,
             picker.inconclusive().len()

@@ -8,13 +8,16 @@
 //! | `POST /v1/classify` | Figure-5 decision on a caller-provided page pair |
 //! | `POST /v1/visit` | One FORCUM training step against the embedded world |
 //! | `GET /v1/sites/{host}` | Training summary for a site |
-//! | `GET /healthz` | Liveness |
+//! | `GET /v1/marks` | Sorted `host cookie` dump of every useful mark |
+//! | `GET /healthz` | Liveness + recovery status |
 //! | `GET /metrics` | Prometheus text exposition |
-//! | `POST /v1/shutdown` | Graceful shutdown (drains in-flight work) |
+//! | `POST /v1/shutdown` | Graceful shutdown (drains, flushes, snapshots) |
 //!
 //! Layering: [`http`] is the wire (strict incremental HTTP/1.1 parser,
 //! typed errors, never a panic), [`store`] is the host-sharded training
-//! state, [`world`] is the embedded deterministic site population,
+//! state, [`storage`]/[`wal`]/[`snapshot`] make it crash-safe (per-shard
+//! write-ahead logs + atomic snapshots over a fault-injectable write
+//! layer), [`world`] is the embedded deterministic site population,
 //! [`metrics`] is the atomic registry, [`server`] wires them behind a
 //! bounded-queue worker pool, and [`loadgen`] is the seeded closed-loop
 //! client that benchmarks the whole stack.
@@ -24,11 +27,16 @@ pub mod http;
 pub mod loadgen;
 pub mod metrics;
 pub mod server;
+pub mod snapshot;
+pub mod storage;
 pub mod store;
+pub mod wal;
 pub mod world;
 
 pub use cache::AnalysisCache;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{start, ServeConfig, ServerHandle};
-pub use store::ShardedStore;
+pub use storage::StorageFaults;
+pub use store::{DurabilityConfig, RecoveryStats, ShardedStore};
+pub use wal::FsyncPolicy;
 pub use world::{ChaosConfig, EmbeddedWorld};

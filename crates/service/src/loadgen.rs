@@ -107,6 +107,17 @@ pub struct LoadgenReport {
     pub server_retry_total: u64,
     /// Server-side successful hidden fetches after the run.
     pub hidden_fetch_ok: u64,
+    /// Whether the final `/metrics` scrape succeeded. `false` when the
+    /// server died mid-run (the crash harness kills it on purpose): the
+    /// client-side tallies and marks are still valid, every `server_*`
+    /// field is zero.
+    pub metrics_scraped: bool,
+    /// Server-side `cp_wal_records_total` after the run (0 for in-memory
+    /// servers).
+    pub server_wal_records: u64,
+    /// Injected storage faults the server survived during the run
+    /// (`cp_wal_faults_total` summed over kinds).
+    pub server_wal_faults: u64,
     /// Sorted, deduplicated `"host cookie"` lines for every mark observed —
     /// the chaos gate diffs these against a fault-free oracle run.
     pub marks: Vec<String>,
@@ -155,8 +166,11 @@ impl ToJson for LoadgenReport {
                     .set("client_retries", self.client_retries)
                     .set("client_reconnects", self.client_reconnects)
                     .set("server_retry_total", self.server_retry_total)
-                    .set("hidden_fetch_ok", self.hidden_fetch_ok),
+                    .set("hidden_fetch_ok", self.hidden_fetch_ok)
+                    .set("wal_records", self.server_wal_records)
+                    .set("wal_faults", self.server_wal_faults),
             )
+            .set("metrics_scraped", self.metrics_scraped)
             .set("marks", self.marks.clone())
     }
 }
@@ -352,6 +366,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         client_reconnects: 0,
         server_retry_total: 0,
         hidden_fetch_ok: 0,
+        metrics_scraped: false,
+        server_wal_records: 0,
+        server_wal_faults: 0,
         marks: Vec::new(),
     };
     for tally in tallies {
@@ -378,30 +395,46 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
     report.throughput_rps =
         if elapsed_ms > 0.0 { report.requests as f64 / (elapsed_ms / 1_000.0) } else { 0.0 };
 
-    // Cross-check the server's verdict counters against the client tally.
+    // Cross-check the server's counters against the client tally. The
+    // scrape is best-effort: a server that died mid-run (the crash
+    // harness kills one on purpose) still yields a report — the client
+    // tallies and marks above are exactly what that harness consumes.
     let mut client = Client::new(&config.host, config.port);
-    let exposition = client.request("GET", "/metrics", b"")?.body_string();
-    report.server_useful =
-        scrape_counter(&exposition, "cp_decisions_total{verdict=\"useful\"}").unwrap_or(0);
-    report.server_noise =
-        scrape_counter(&exposition, "cp_decisions_total{verdict=\"noise\"}").unwrap_or(0);
-    report.counters_match =
-        report.server_useful == report.client_useful && report.server_noise == report.client_noise;
-    // Server-side detection timings: the histogram covers every decide()
-    // the server ran, including the cached path's analysis lookups.
-    let buckets = scrape_histogram(&exposition, "cp_detection_micros");
-    report.detection_count = buckets.last().map(|(_, total)| *total).unwrap_or(0);
-    if report.detection_count > 0 {
-        report.detection_p50_micros = quantile_from_buckets(&buckets, 0.50);
-        report.detection_p99_micros = quantile_from_buckets(&buckets, 0.99);
+    if let Ok(response) = client.request("GET", "/metrics", b"") {
+        let exposition = response.body_string();
+        report.metrics_scraped = true;
+        report.server_useful =
+            scrape_counter(&exposition, "cp_decisions_total{verdict=\"useful\"}").unwrap_or(0);
+        report.server_noise =
+            scrape_counter(&exposition, "cp_decisions_total{verdict=\"noise\"}").unwrap_or(0);
+        report.counters_match = report.server_useful == report.client_useful
+            && report.server_noise == report.client_noise;
+        // Server-side detection timings: the histogram covers every
+        // decide() the server ran, including the cached path's analysis
+        // lookups.
+        let buckets = scrape_histogram(&exposition, "cp_detection_micros");
+        report.detection_count = buckets.last().map(|(_, total)| *total).unwrap_or(0);
+        if report.detection_count > 0 {
+            report.detection_p50_micros = quantile_from_buckets(&buckets, 0.50);
+            report.detection_p99_micros = quantile_from_buckets(&buckets, 0.99);
+        }
+        report.cache_hits =
+            scrape_counter(&exposition, "cp_analysis_cache_total{result=\"hit\"}").unwrap_or(0);
+        report.cache_misses =
+            scrape_counter(&exposition, "cp_analysis_cache_total{result=\"miss\"}").unwrap_or(0);
+        report.server_retry_total = scrape_counter(&exposition, "cp_retry_total").unwrap_or(0);
+        report.hidden_fetch_ok =
+            scrape_counter(&exposition, "cp_hidden_fetch_total{result=\"ok\"}").unwrap_or(0);
+        report.server_wal_records =
+            scrape_counter(&exposition, "cp_wal_records_total").unwrap_or(0);
+        report.server_wal_faults = crate::metrics::WAL_FAULT_KINDS
+            .iter()
+            .map(|kind| {
+                let series = format!("cp_wal_faults_total{{kind=\"{kind}\"}}");
+                scrape_counter(&exposition, &series).unwrap_or(0)
+            })
+            .sum();
     }
-    report.cache_hits =
-        scrape_counter(&exposition, "cp_analysis_cache_total{result=\"hit\"}").unwrap_or(0);
-    report.cache_misses =
-        scrape_counter(&exposition, "cp_analysis_cache_total{result=\"miss\"}").unwrap_or(0);
-    report.server_retry_total = scrape_counter(&exposition, "cp_retry_total").unwrap_or(0);
-    report.hidden_fetch_ok =
-        scrape_counter(&exposition, "cp_hidden_fetch_total{result=\"ok\"}").unwrap_or(0);
     Ok(report)
 }
 
@@ -582,9 +615,36 @@ mod tests {
         assert!(report.hidden_fetch_ok > 0);
         assert!(report.hidden_fetch_ok <= report.client_useful + report.client_noise);
         assert!(report.marks.windows(2).all(|w| w[0] < w[1]), "marks sorted and deduplicated");
+        assert!(report.metrics_scraped);
+        assert_eq!(report.server_wal_records, 0, "in-memory server journals nothing");
+        assert_eq!(report.server_wal_faults, 0);
         let json = report.to_json().to_compact();
         assert!(json.contains("\"counters_match\":true"));
         assert!(json.contains("\"deferred_probes\":0"));
+        assert!(json.contains("\"metrics_scraped\":true"));
+    }
+
+    #[test]
+    fn run_survives_a_dead_server() {
+        // Bind-then-drop to get a port nothing listens on: every request
+        // fails at the transport, and the final scrape fails too — the
+        // report must still come back (the crash harness depends on it).
+        let port = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let report = run(&LoadgenConfig {
+            port,
+            threads: 2,
+            requests: 8,
+            seed: 7,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.transport_errors, 8);
+        assert!(!report.metrics_scraped, "no server, no scrape");
+        assert!(!report.counters_match);
     }
 
     #[test]

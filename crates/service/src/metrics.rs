@@ -33,6 +33,10 @@ pub const INCONCLUSIVE_REASONS: [&str; 4] = ["transport", "deadline", "server_er
 pub const CONN_CLOSE_CAUSES: [&str; 6] =
     ["client", "timeout", "error", "shed", "drain", "write_failed"];
 
+/// `kind` label values for `cp_wal_faults_total`, in rendering order —
+/// the injected storage-fault taxonomy (`crate::storage::StorageFaults`).
+pub const WAL_FAULT_KINDS: [&str; 4] = ["short_write", "torn_write", "enospc", "fsync"];
+
 /// The endpoints the server distinguishes in its per-endpoint series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
@@ -46,6 +50,8 @@ pub enum Endpoint {
     Visit,
     /// `GET /v1/sites/{host}`.
     Sites,
+    /// `GET /v1/marks`.
+    Marks,
     /// `POST /v1/shutdown`.
     Shutdown,
     /// Anything else (404s, bad requests).
@@ -54,12 +60,13 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in rendering order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Classify,
         Endpoint::Visit,
         Endpoint::Sites,
+        Endpoint::Marks,
         Endpoint::Shutdown,
         Endpoint::Other,
     ];
@@ -72,6 +79,7 @@ impl Endpoint {
             Endpoint::Classify => "classify",
             Endpoint::Visit => "visit",
             Endpoint::Sites => "sites",
+            Endpoint::Marks => "marks",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Other => "other",
         }
@@ -98,10 +106,18 @@ pub struct EndpointSeries {
 pub const DETECTION_BUCKETS_MICROS: [u64; 14] =
     [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
 
+/// Bucket bounds for the WAL fsync-latency histogram, in microseconds.
+/// Wider than the detection buckets: an fsync is tens of microseconds on
+/// a warm SSD page cache but can stall for hundreds of milliseconds when
+/// the device queue backs up, and both tails matter for the fsync-policy
+/// trade-off.
+pub const WAL_FSYNC_BUCKETS_MICROS: [u64; 12] =
+    [8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144];
+
 /// The server's metric registry.
 #[derive(Debug)]
 pub struct ServiceMetrics {
-    endpoints: [EndpointSeries; 7],
+    endpoints: [EndpointSeries; 8],
     /// Responses by status class.
     pub responses_2xx: Counter,
     /// 4xx responses (bad requests, 404s, 413s).
@@ -137,6 +153,18 @@ pub struct ServiceMetrics {
     detection_deadline_micros: AtomicU64,
     /// Connection closes by cause, indexed by [`CONN_CLOSE_CAUSES`].
     conn_closed: [Counter; 6],
+    /// WAL records appended (and therefore durably acked).
+    pub wal_records_total: Counter,
+    /// WAL fsync latency, in microseconds.
+    pub wal_fsync: Histogram,
+    /// Snapshots written, by `result` (`ok` / `error`).
+    snapshot: [Counter; 2],
+    /// Injected storage faults handled, indexed by [`WAL_FAULT_KINDS`].
+    wal_faults: [Counter; 4],
+    /// WAL records replayed by the last startup recovery.
+    pub recovery_records_replayed: Gauge,
+    /// Torn-tail bytes discarded by the last startup recovery.
+    pub recovery_torn_tail_bytes: Gauge,
 }
 
 impl Default for ServiceMetrics {
@@ -167,6 +195,12 @@ impl ServiceMetrics {
             deadline_exceeded_total: Counter::new(),
             detection_deadline_micros: AtomicU64::new(u64::MAX),
             conn_closed: Default::default(),
+            wal_records_total: Counter::new(),
+            wal_fsync: Histogram::with_bounds(&WAL_FSYNC_BUCKETS_MICROS),
+            snapshot: Default::default(),
+            wal_faults: Default::default(),
+            recovery_records_replayed: Gauge::new(),
+            recovery_torn_tail_bytes: Gauge::new(),
         }
     }
 
@@ -241,6 +275,33 @@ impl ServiceMetrics {
     pub fn record_conn_closed(&self, cause: &str) {
         if let Some(i) = CONN_CLOSE_CAUSES.iter().position(|c| *c == cause) {
             self.conn_closed[i].inc();
+        }
+    }
+
+    /// Records one handled storage fault; `kind` must be a
+    /// [`WAL_FAULT_KINDS`] label (anything else is ignored).
+    pub fn record_wal_fault(&self, kind: &str) {
+        if let Some(i) = WAL_FAULT_KINDS.iter().position(|k| *k == kind) {
+            self.wal_faults[i].inc();
+        }
+    }
+
+    /// Total injected storage faults handled, across all kinds.
+    pub fn wal_fault_total(&self) -> u64 {
+        self.wal_faults.iter().map(Counter::get).sum()
+    }
+
+    /// Records one snapshot attempt.
+    pub fn record_snapshot(&self, ok: bool) {
+        self.snapshot[usize::from(!ok)].inc();
+    }
+
+    /// The current value of one `cp_snapshot_total` series.
+    pub fn snapshot_count(&self, result: &str) -> u64 {
+        match result {
+            "ok" => self.snapshot[0].get(),
+            "error" => self.snapshot[1].get(),
+            _ => 0,
         }
     }
 
@@ -352,6 +413,31 @@ impl ServiceMetrics {
         for (label, counter) in CONN_CLOSE_CAUSES.iter().zip(&self.conn_closed) {
             let _ = writeln!(out, "cp_conn_closed_total{{cause=\"{label}\"}} {}", counter.get());
         }
+        out.push_str("# TYPE cp_wal_records_total counter\n");
+        let _ = writeln!(out, "cp_wal_records_total {}", self.wal_records_total.get());
+        out.push_str("# TYPE cp_wal_fsync_micros histogram\n");
+        if self.wal_fsync.count() > 0 {
+            for (bound, cumulative) in self.wal_fsync.snapshot() {
+                let le = if bound == u64::MAX { "+Inf".to_string() } else { bound.to_string() };
+                let _ = writeln!(out, "cp_wal_fsync_micros_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "cp_wal_fsync_micros_sum {}", self.wal_fsync.sum_micros());
+            let _ = writeln!(out, "cp_wal_fsync_micros_count {}", self.wal_fsync.count());
+        }
+        out.push_str("# TYPE cp_snapshot_total counter\n");
+        for (result, counter) in ["ok", "error"].iter().zip(&self.snapshot) {
+            let _ = writeln!(out, "cp_snapshot_total{{result=\"{result}\"}} {}", counter.get());
+        }
+        out.push_str("# TYPE cp_wal_faults_total counter\n");
+        for (label, counter) in WAL_FAULT_KINDS.iter().zip(&self.wal_faults) {
+            let _ = writeln!(out, "cp_wal_faults_total{{kind=\"{label}\"}} {}", counter.get());
+        }
+        out.push_str("# TYPE cp_recovery_records_replayed gauge\n");
+        let _ =
+            writeln!(out, "cp_recovery_records_replayed {}", self.recovery_records_replayed.get());
+        out.push_str("# TYPE cp_recovery_torn_tail_bytes gauge\n");
+        let _ =
+            writeln!(out, "cp_recovery_torn_tail_bytes {}", self.recovery_torn_tail_bytes.get());
         out
     }
 }
@@ -530,6 +616,47 @@ mod tests {
         m.record_detection(50_000);
         assert_eq!(m.deadline_exceeded_total.get(), 2);
         assert_eq!(m.detection.count(), 5);
+    }
+
+    #[test]
+    fn durability_series_render_with_zeros() {
+        let m = ServiceMetrics::new();
+        let empty = m.render_prometheus();
+        // Durability counters always render: zero says "no records / no
+        // faults / no snapshots", which is meaningful. The fsync histogram
+        // follows the idle-histogram rule (no buckets until observed).
+        assert_eq!(scrape_counter(&empty, "cp_wal_records_total"), Some(0));
+        assert_eq!(scrape_counter(&empty, "cp_snapshot_total{result=\"ok\"}"), Some(0));
+        assert_eq!(scrape_counter(&empty, "cp_snapshot_total{result=\"error\"}"), Some(0));
+        for kind in WAL_FAULT_KINDS {
+            let series = format!("cp_wal_faults_total{{kind=\"{kind}\"}}");
+            assert_eq!(scrape_counter(&empty, &series), Some(0), "{series}");
+        }
+        assert_eq!(scrape_counter(&empty, "cp_recovery_records_replayed"), Some(0));
+        assert_eq!(scrape_counter(&empty, "cp_recovery_torn_tail_bytes"), Some(0));
+        assert!(!empty.contains("cp_wal_fsync_micros_bucket"));
+
+        m.wal_records_total.add(5);
+        m.wal_fsync.observe(40);
+        m.record_snapshot(true);
+        m.record_snapshot(true);
+        m.record_snapshot(false);
+        m.record_wal_fault("torn_write");
+        m.record_wal_fault("enospc");
+        m.record_wal_fault("bogus"); // unknown kinds are ignored
+        m.recovery_records_replayed.set(17);
+        m.recovery_torn_tail_bytes.set(3);
+        let text = m.render_prometheus();
+        assert_eq!(scrape_counter(&text, "cp_wal_records_total"), Some(5));
+        assert_eq!(scrape_counter(&text, "cp_wal_fsync_micros_count"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_snapshot_total{result=\"ok\"}"), Some(2));
+        assert_eq!(scrape_counter(&text, "cp_snapshot_total{result=\"error\"}"), Some(1));
+        assert_eq!(m.snapshot_count("ok"), 2);
+        assert_eq!(m.snapshot_count("error"), 1);
+        assert_eq!(scrape_counter(&text, "cp_wal_faults_total{kind=\"torn_write\"}"), Some(1));
+        assert_eq!(m.wal_fault_total(), 2);
+        assert_eq!(scrape_counter(&text, "cp_recovery_records_replayed"), Some(17));
+        assert_eq!(scrape_counter(&text, "cp_recovery_torn_tail_bytes"), Some(3));
     }
 
     #[test]

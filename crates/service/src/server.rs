@@ -11,6 +11,7 @@
 //! request it is handling (plus everything already queued) before exiting.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -24,8 +25,10 @@ use cp_runtime::sync::Mutex;
 use crate::cache::AnalysisCache;
 use crate::http::{write_response, HttpConn, HttpError, HttpRequest, Limits};
 use crate::metrics::{Endpoint, ServiceMetrics};
-use crate::store::ShardedStore;
-use crate::world::{ChaosConfig, EmbeddedWorld};
+use crate::storage::StorageFaults;
+use crate::store::{DurabilityConfig, RecoveryStats, ShardedStore, DEFAULT_SNAPSHOT_EVERY};
+use crate::wal::FsyncPolicy;
+use crate::world::{ChaosConfig, EmbeddedWorld, VisitPlan};
 
 /// Salt mixed into the population seed to derive the chaos seed, so the
 /// fault stream is decorrelated from (but still determined by) `--seed`.
@@ -64,6 +67,18 @@ pub struct ServeConfig {
     /// `cp_deadline_exceeded_total` (observability only — the result is
     /// still served).
     pub detection_deadline: Option<Duration>,
+    /// When set, the training store is durable: per-shard WALs and
+    /// snapshots live under this directory and are recovered on start.
+    pub data_dir: Option<PathBuf>,
+    /// When WAL appends are forced to stable storage (durable mode only).
+    pub fsync: FsyncPolicy,
+    /// Events between automatic per-shard checkpoints (durable mode only).
+    pub snapshot_every: u64,
+    /// Injected storage-fault rate in `[0, 1]` for the durable write
+    /// layer. `0.0` (the default) means the real filesystem, untouched.
+    pub storage_fault_rate: f64,
+    /// Seed for the storage-fault stream (independent of `--seed`).
+    pub storage_fault_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +97,11 @@ impl Default for ServeConfig {
             cache_capacity: 512,
             chaos_fault_rate: 0.0,
             detection_deadline: None,
+            data_dir: None,
+            fsync: FsyncPolicy::default(),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            storage_fault_rate: 0.0,
+            storage_fault_seed: 0,
         }
     }
 }
@@ -90,10 +110,14 @@ impl Default for ServeConfig {
 struct Shared {
     world: EmbeddedWorld,
     store: ShardedStore,
-    metrics: ServiceMetrics,
+    metrics: Arc<ServiceMetrics>,
     picker: CookiePickerConfig,
     cache: AnalysisCache,
     shutting_down: AtomicBool,
+    /// Set by whichever exit path runs the final checkpoint first, so a
+    /// `wait()` + `Drop` pair checkpoints exactly once.
+    checkpointed: AtomicBool,
+    recovery: RecoveryStats,
     addr: SocketAddr,
 }
 
@@ -135,7 +159,15 @@ impl ServerHandle {
         self.shared.begin_shutdown();
     }
 
-    /// Blocks until the acceptor and every worker have exited. Call
+    /// What recovery replayed when the server opened its store (all
+    /// zeros for in-memory servers).
+    pub fn recovery(&self) -> RecoveryStats {
+        self.shared.recovery
+    }
+
+    /// Blocks until the acceptor and every worker have exited, then (for
+    /// durable stores) flushes the WALs and writes a final snapshot so a
+    /// clean restart replays zero records. Call
     /// [`shutdown`](Self::shutdown) first (or `POST /v1/shutdown`).
     pub fn wait(&mut self) {
         if let Some(acceptor) = self.acceptor.take() {
@@ -143,6 +175,12 @@ impl ServerHandle {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // All workers are gone: no more mutations, safe to checkpoint.
+        if !self.shared.checkpointed.swap(true, Ordering::SeqCst) {
+            if let Err(e) = self.shared.store.checkpoint() {
+                eprintln!("cp-serve: final checkpoint failed: {e}");
+            }
         }
     }
 }
@@ -165,17 +203,35 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
     } else {
         EmbeddedWorld::new(config.seed)
     };
-    let metrics = ServiceMetrics::new();
+    let metrics = Arc::new(ServiceMetrics::new());
     if let Some(deadline) = config.detection_deadline {
         metrics.set_detection_deadline_micros(deadline.as_micros().min(u64::MAX as u128) as u64);
     }
+    let durability = config.data_dir.as_ref().map(|dir| DurabilityConfig {
+        dir: dir.clone(),
+        fsync: config.fsync,
+        snapshot_every: config.snapshot_every.max(1),
+        faults: (config.storage_fault_rate > 0.0).then(|| {
+            StorageFaults::uniform(config.storage_fault_seed, config.storage_fault_rate.min(1.0))
+        }),
+    });
+    let (store, recovery) = ShardedStore::open(
+        config.shards,
+        config.picker.stability_window,
+        durability,
+        Arc::clone(&metrics),
+    )?;
+    metrics.recovery_records_replayed.set(recovery.records_replayed.min(i64::MAX as u64) as i64);
+    metrics.recovery_torn_tail_bytes.set(recovery.torn_tail_bytes.min(i64::MAX as u64) as i64);
     let shared = Arc::new(Shared {
         world,
-        store: ShardedStore::new(config.shards, config.picker.stability_window),
+        store,
         metrics,
         picker: config.picker.clone(),
         cache: AnalysisCache::new(config.cache_capacity),
         shutting_down: AtomicBool::new(false),
+        checkpointed: AtomicBool::new(false),
+        recovery,
         addr,
     });
 
@@ -344,17 +400,36 @@ fn route(shared: &Shared, request: &HttpRequest) -> Routed {
     let target = request.target.as_str();
     match (method, target) {
         ("GET", "/healthz") => {
-            let body = Json::object()
+            let mut body = Json::object()
                 .set("status", "ok")
                 .set("seed", shared.world.seed())
                 .set("sites_trained", shared.store.site_count())
-                .to_compact()
-                .into_bytes();
-            (Endpoint::Healthz, 200, "OK", "application/json", body)
+                .set("durable", shared.store.is_durable());
+            if shared.store.is_durable() {
+                let r = shared.recovery;
+                body = body.set(
+                    "recovery",
+                    Json::object()
+                        .set("snapshots_loaded", r.snapshots_loaded)
+                        .set("records_replayed", r.records_replayed)
+                        .set("torn_tail_bytes", r.torn_tail_bytes)
+                        .set("recovery_ms", r.recovery_micros as f64 / 1_000.0),
+                );
+            }
+            (Endpoint::Healthz, 200, "OK", "application/json", body.to_compact().into_bytes())
         }
         ("GET", "/metrics") => {
             let body = shared.metrics.render_prometheus().into_bytes();
             (Endpoint::Metrics, 200, "OK", "text/plain; version=0.0.4", body)
+        }
+        ("GET", "/v1/marks") => {
+            // The crash harness's comparable artifact: every useful mark,
+            // one sorted `host cookie` line each.
+            let mut lines = shared.store.marks().join("\n");
+            if !lines.is_empty() {
+                lines.push('\n');
+            }
+            (Endpoint::Marks, 200, "OK", "text/plain; charset=utf-8", lines.into_bytes())
         }
         ("POST", "/v1/classify") => classify(shared, &request.body),
         ("POST", "/v1/visit") => visit(shared, &request.body),
@@ -422,20 +497,38 @@ fn visit(shared: &Shared, body: &[u8]) -> Routed {
     }
     let path = parsed.get("path").and_then(Json::as_str).unwrap_or("/");
     let cookie = parsed.get("cookie").and_then(Json::as_str);
-    let outcome = shared
-        .store
-        .with_entry(host, |entry| {
-            shared.world.visit(
-                entry,
-                host,
-                path,
-                cookie,
-                &shared.picker,
-                &shared.cache,
-                &shared.metrics,
-            )
-        })
-        .expect("host existence checked above");
+    // Plan → journal → apply → respond. The WAL append inside `transact`
+    // is the ack barrier: if it fails, no state changed and the client
+    // sees 503 — never an acked-but-lost visit.
+    let outcome = shared.store.transact(
+        host,
+        |entry| match shared.world.plan_visit(
+            entry,
+            host,
+            path,
+            cookie,
+            &shared.picker,
+            &shared.cache,
+            &shared.metrics,
+        ) {
+            Some(plan) => (Some(plan.event.clone()), Some(plan)),
+            None => (None, None),
+        },
+        |entry, marked_now, plan: Option<VisitPlan>| plan.map(|p| p.finish(entry, marked_now)),
+    );
+    let outcome = match outcome {
+        Ok(outcome) => outcome.expect("host existence checked above"),
+        Err(e) => {
+            eprintln!("cp-serve: visit to {host} not journaled: {e}");
+            return (
+                Endpoint::Visit,
+                503,
+                "Service Unavailable",
+                "application/json",
+                error_json("durability unavailable"),
+            );
+        }
+    };
     if let Some(record) = &outcome.record {
         shared.metrics.record_verdict(record.decision.cookies_caused_difference);
     }
@@ -645,6 +738,52 @@ mod tests {
             })
             .sum();
         assert_eq!(total, deferred, "deferrals and inconclusive counters agree");
+    }
+
+    #[test]
+    fn marks_endpoint_and_healthz_durability_fields() {
+        let server = test_server();
+        let resp = request(server.addr(), "GET", "/v1/marks", b"");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_string(), "", "fresh store has no marks");
+        let resp = request(server.addr(), "GET", "/healthz", b"");
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("durable").and_then(Json::as_bool), Some(false));
+        assert!(json.get("recovery").is_none(), "in-memory servers report no recovery");
+    }
+
+    #[test]
+    fn durable_server_checkpoints_on_shutdown_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("cp-serve-durable-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = |dir: &PathBuf| ServeConfig {
+            workers: 2,
+            data_dir: Some(dir.clone()),
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            ..ServeConfig::default()
+        };
+        let mut server = start(config(&dir)).unwrap();
+        assert_eq!(server.recovery().records_replayed, 0);
+        assert_eq!(server.recovery().snapshots_loaded, 0, "first start has nothing on disk");
+        let body = br#"{"host":"news1.example","path":"/"}"#;
+        assert_eq!(request(server.addr(), "POST", "/v1/visit", body).status, 200);
+        server.shutdown();
+        server.wait();
+        drop(server);
+
+        let server = start(config(&dir)).unwrap();
+        let recovery = server.recovery();
+        assert_eq!(recovery.records_replayed, 0, "clean shutdown → snapshot covers the WAL");
+        assert_eq!(recovery.snapshots_loaded, ServeConfig::default().shards);
+        let resp = request(server.addr(), "GET", "/healthz", b"");
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("durable").and_then(Json::as_bool), Some(true));
+        assert_eq!(json.get("sites_trained").and_then(Json::as_f64), Some(1.0));
+        let recovery_json = json.get("recovery").expect("durable healthz reports recovery");
+        assert_eq!(recovery_json.get("records_replayed").and_then(Json::as_f64), Some(0.0));
+        drop(server);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,15 +1,36 @@
-//! The sharded training store.
+//! The sharded training store, optionally crash-safe.
 //!
 //! Per-site FORCUM training state lives in `N` shards, each an
 //! `RwLock<HashMap<host, SiteEntry>>`; a host hashes to exactly one shard,
 //! so concurrent visits to *different* sites never contend on a lock, and
 //! visits to the *same* site serialize only with each other. Reads
 //! (`GET /v1/sites/{host}`, summaries) take the shard's read lock.
+//!
+//! With a [`DurabilityConfig`], every mutation is a [`VisitEvent`] that
+//! goes through [`transact`](ShardedStore::transact): the event is
+//! appended to the shard's WAL *before* it is applied in memory (and so
+//! before any response can be written — the ack barrier), and every
+//! `snapshot_every` events the shard is checkpointed into an atomic
+//! snapshot and its WAL truncated. [`open`](ShardedStore::open) recovers
+//! by loading each shard's snapshot and replaying the WAL records the
+//! snapshot does not already cover.
+//!
+//! Lock order is always shard → WAL; both `transact` and
+//! [`checkpoint`](ShardedStore::checkpoint) follow it.
 
 use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use cookiepicker_core::{ForcumState, TrainingSummary};
-use cp_runtime::sync::RwLock;
+use cp_runtime::sync::{Mutex, RwLock};
+
+use crate::metrics::ServiceMetrics;
+use crate::snapshot::{load_snapshot, write_snapshot};
+use crate::storage::StorageFaults;
+use crate::wal::{read_log, wal_path, EventKind, FsyncPolicy, VisitEvent, Wal};
 
 /// Per-site state: the FORCUM lifecycle plus the service-side accumulators
 /// backing [`TrainingSummary`].
@@ -19,7 +40,7 @@ pub struct SiteEntry {
     pub forcum: ForcumState,
     /// Cookie names marked useful so far.
     pub marked: BTreeSet<String>,
-    /// Hidden-request probes issued.
+    /// Hidden-request probes issued (decided + deferred).
     pub probes: usize,
     /// Probes whose decision attributed the difference to cookies.
     pub marking_probes: usize,
@@ -36,9 +57,50 @@ impl SiteEntry {
         SiteEntry { forcum: ForcumState::new(stability_window), ..SiteEntry::default() }
     }
 
-    /// Builds the API summary for `host`.
+    /// Applies one event to this entry — the single mutation path, shared
+    /// by the live visit handler and WAL replay, so a replayed entry is
+    /// bit-identical to the entry the events originally built.
+    ///
+    /// Returns the cookie names newly marked useful.
+    pub fn apply(&mut self, event: &VisitEvent) -> Vec<String> {
+        let host = event.host.as_str();
+        match &event.kind {
+            EventKind::Observe => {
+                self.forcum.observe(host, event.observed.iter().cloned(), 0, false);
+                Vec::new()
+            }
+            EventKind::Defer => {
+                self.probes += 1;
+                self.deferred_probes += 1;
+                self.forcum.defer(host, event.observed.iter().cloned());
+                Vec::new()
+            }
+            EventKind::Probe { group, marking, detection_micros, duration_ms } => {
+                let mut marked_now = Vec::new();
+                if *marking {
+                    for name in group {
+                        if self.marked.insert(name.clone()) {
+                            marked_now.push(name.clone());
+                        }
+                    }
+                }
+                self.probes += 1;
+                self.marking_probes += usize::from(*marking);
+                self.detection_micros_total += detection_micros;
+                self.duration_ms_total += duration_ms;
+                self.forcum.observe(host, event.observed.iter().cloned(), marked_now.len(), true);
+                marked_now
+            }
+        }
+    }
+
+    /// Builds the API summary for `host`. Averages divide by *decided*
+    /// probes only: deferred probes record no detection time (the suspect
+    /// hidden page is never compared), so counting them in the
+    /// denominator would understate both averages under faults.
     pub fn summary(&self, host: &str) -> TrainingSummary {
-        let denom = self.probes.max(1) as f64;
+        let decided = self.probes - self.deferred_probes;
+        let denom = decided.max(1) as f64;
         TrainingSummary {
             host: host.to_string(),
             probes: self.probes,
@@ -51,21 +113,227 @@ impl SiteEntry {
     }
 }
 
+/// How a store persists itself.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the per-shard WALs and snapshots.
+    pub dir: PathBuf,
+    /// When WAL appends are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Events between automatic per-shard checkpoints.
+    pub snapshot_every: u64,
+    /// Injected storage faults (tests / chaos harness), if any.
+    pub faults: Option<StorageFaults>,
+}
+
+impl DurabilityConfig {
+    /// A config with the default group-commit policy and checkpoint
+    /// interval, no injected faults.
+    pub fn new(dir: PathBuf) -> Self {
+        DurabilityConfig {
+            dir,
+            fsync: FsyncPolicy::Batch,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            faults: None,
+        }
+    }
+}
+
+/// Default events between automatic per-shard checkpoints.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 4096;
+
+/// What [`ShardedStore::open`] recovered from disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Shards restored from a snapshot file.
+    pub snapshots_loaded: usize,
+    /// WAL records replayed on top of the snapshots.
+    pub records_replayed: u64,
+    /// Torn/corrupt trailing WAL bytes discarded.
+    pub torn_tail_bytes: u64,
+    /// Wall-clock recovery time, in microseconds.
+    pub recovery_micros: u64,
+}
+
+/// The durability side of a store: one WAL per shard plus checkpoint
+/// bookkeeping. Absent entirely for in-memory stores.
+#[derive(Debug)]
+struct Durable {
+    config: DurabilityConfig,
+    wals: Vec<Mutex<Wal>>,
+    /// Events appended since the shard's last checkpoint.
+    since_snapshot: Vec<AtomicU64>,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl Durable {
+    /// Checkpoints shard `idx`: snapshot the entries, then truncate the
+    /// WAL they came from. `flush` additionally fsyncs the WAL first
+    /// (graceful shutdown wants the log durable even if the snapshot
+    /// write fails).
+    ///
+    /// Caller holds the shard lock; this takes the WAL lock (shard → WAL
+    /// order). Crash-safety of the sequence: the snapshot names the exact
+    /// `(generation, records)` prefix it folds in, so a crash (or a
+    /// failure) anywhere between the snapshot rename and the WAL reset
+    /// replays nothing twice and loses nothing.
+    fn checkpoint_shard(
+        &self,
+        idx: usize,
+        entries: &HashMap<String, SiteEntry>,
+        flush: bool,
+    ) -> std::io::Result<()> {
+        let mut wal = self.wals[idx].lock();
+        if flush {
+            wal.sync()?;
+        }
+        write_snapshot(
+            &self.config.dir,
+            idx,
+            entries,
+            wal.generation(),
+            wal.records(),
+            self.config.faults,
+            snapshot_fault_tag(idx),
+            &self.metrics,
+        )?;
+        wal.reset()
+    }
+
+    /// Bumps the shard's event counter and checkpoints when it crosses
+    /// the configured interval. Errors are absorbed into
+    /// `cp_snapshot_total{result="error"}` — a failed checkpoint costs
+    /// nothing but WAL length, so the visit itself still succeeds.
+    fn maybe_checkpoint(&self, idx: usize, entries: &HashMap<String, SiteEntry>) {
+        let since = self.since_snapshot[idx].fetch_add(1, Ordering::Relaxed) + 1;
+        if since < self.config.snapshot_every {
+            return;
+        }
+        // Reset the counter even when the checkpoint fails: retrying on
+        // every subsequent event would turn one bad disk into a write
+        // storm. The next interval will try again.
+        self.since_snapshot[idx].store(0, Ordering::Relaxed);
+        let ok = self.checkpoint_shard(idx, entries, false).is_ok();
+        self.metrics.record_snapshot(ok);
+    }
+}
+
+/// Fault-stream tag for shard `idx`'s WAL file.
+fn wal_fault_tag(idx: usize) -> u64 {
+    idx as u64
+}
+
+/// Fault-stream tag for shard `idx`'s snapshot file (disjoint from the
+/// WAL tags so the two files draw independent fault streams).
+fn snapshot_fault_tag(idx: usize) -> u64 {
+    (1 << 32) | idx as u64
+}
+
 /// A host-sharded map of [`SiteEntry`]s.
 #[derive(Debug)]
 pub struct ShardedStore {
     shards: Vec<RwLock<HashMap<String, SiteEntry>>>,
     stability_window: usize,
+    durable: Option<Durable>,
 }
 
 impl ShardedStore {
-    /// Creates a store with `shards` shards (rounded up to at least 1).
+    /// Creates a purely in-memory store with `shards` shards (rounded up
+    /// to at least 1).
     pub fn new(shards: usize, stability_window: usize) -> Self {
         let shards = shards.max(1);
         ShardedStore {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             stability_window,
+            durable: None,
         }
+    }
+
+    /// Opens a store, recovering from `durability.dir` when durability is
+    /// configured: per shard, load the snapshot (if any), replay the WAL
+    /// records it does not cover, discard the torn tail, and reopen the
+    /// log for appending. Recovered state is exactly the acked prefix —
+    /// a record either fully round-trips its checksum or is discarded.
+    pub fn open(
+        shards: usize,
+        stability_window: usize,
+        durability: Option<DurabilityConfig>,
+        metrics: Arc<ServiceMetrics>,
+    ) -> std::io::Result<(Self, RecoveryStats)> {
+        let mut store = ShardedStore::new(shards, stability_window);
+        let Some(config) = durability else {
+            return Ok((store, RecoveryStats::default()));
+        };
+        let started = Instant::now();
+        std::fs::create_dir_all(&config.dir)?;
+        let mut stats = RecoveryStats::default();
+        let mut wals = Vec::with_capacity(store.shards.len());
+        let mut since_snapshot = Vec::with_capacity(store.shards.len());
+        for idx in 0..store.shards.len() {
+            let snap = load_snapshot(&config.dir, idx, stability_window)?;
+            let (entries, snap_generation, covered) = match snap {
+                Some(s) => {
+                    stats.snapshots_loaded += 1;
+                    (s.entries, s.wal_generation, s.wal_covered)
+                }
+                None => (HashMap::new(), 0, 0),
+            };
+            let path = wal_path(&config.dir, idx);
+            let contents = read_log(&path)?;
+            stats.torn_tail_bytes += contents.torn;
+            // Same generation → the snapshot already contains the first
+            // `covered` records. A different generation means the WAL was
+            // truncated after that snapshot: everything in it is new.
+            let skip = if contents.generation == snap_generation {
+                covered.min(contents.events.len() as u64) as usize
+            } else {
+                0
+            };
+            for event in &contents.events {
+                if store.shard_of(&event.host) != idx {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "wal {} holds a record for {} which hashes to shard {} — \
+                             was the store created with a different shard count?",
+                            path.display(),
+                            event.host,
+                            store.shard_of(&event.host)
+                        ),
+                    ));
+                }
+            }
+            {
+                let mut shard = store.shards[idx].write();
+                *shard = entries;
+                for event in &contents.events[skip..] {
+                    let entry = shard
+                        .entry(event.host.clone())
+                        .or_insert_with(|| SiteEntry::new(stability_window));
+                    entry.apply(event);
+                    stats.records_replayed += 1;
+                }
+            }
+            let wal = Wal::open(
+                &path,
+                &contents,
+                snap_generation + 1,
+                config.fsync,
+                config.faults,
+                wal_fault_tag(idx),
+                &metrics,
+            )?;
+            since_snapshot.push(AtomicU64::new(wal.records()));
+            wals.push(Mutex::new(wal));
+        }
+        stats.recovery_micros = started.elapsed().as_micros() as u64;
+        store.durable = Some(Durable { config, wals, since_snapshot, metrics });
+        Ok((store, stats))
+    }
+
+    /// Whether this store persists its mutations.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
     }
 
     /// Number of shards.
@@ -78,8 +346,71 @@ impl ShardedStore {
         (fnv1a(host) % self.shards.len() as u64) as usize
     }
 
+    /// Runs one durable mutation against `host`'s entry, creating the
+    /// entry on first contact. Only `host`'s shard is locked, for the
+    /// whole sequence:
+    ///
+    /// 1. `plan` inspects the entry and produces the [`VisitEvent`] to
+    ///    apply (or `None` for a read-only visit) plus whatever context
+    ///    `finish` needs;
+    /// 2. the event is appended to the shard's WAL — **the ack barrier**:
+    ///    an `Err` here aborts the visit before any state changes;
+    /// 3. the event is applied to the entry;
+    /// 4. `finish` builds the result from the updated entry;
+    /// 5. the shard is checkpointed if its interval came due.
+    pub fn transact<P, R>(
+        &self,
+        host: &str,
+        plan: impl FnOnce(&SiteEntry) -> (Option<VisitEvent>, P),
+        finish: impl FnOnce(&SiteEntry, Vec<String>, P) -> R,
+    ) -> std::io::Result<R> {
+        let idx = self.shard_of(host);
+        let mut shard = self.shards[idx].write();
+        let entry =
+            shard.entry(host.to_string()).or_insert_with(|| SiteEntry::new(self.stability_window));
+        let (event, context) = plan(entry);
+        let marked_now = match &event {
+            Some(event) => {
+                debug_assert_eq!(event.host, host, "event host must match the locked entry");
+                if let Some(durable) = &self.durable {
+                    durable.wals[idx].lock().append(event)?;
+                }
+                entry.apply(event)
+            }
+            None => Vec::new(),
+        };
+        let result = finish(entry, marked_now, context);
+        if event.is_some() {
+            if let Some(durable) = &self.durable {
+                durable.maybe_checkpoint(idx, &shard);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Flushes every WAL and checkpoints every shard — the graceful
+    /// shutdown path. After a clean checkpoint, a restart replays zero
+    /// records. Keeps going on per-shard errors and returns the first.
+    pub fn checkpoint(&self) -> std::io::Result<()> {
+        let Some(durable) = &self.durable else { return Ok(()) };
+        let mut first_err = None;
+        for idx in 0..self.shards.len() {
+            let shard = self.shards[idx].read();
+            let result = durable.checkpoint_shard(idx, &shard, true);
+            durable.metrics.record_snapshot(result.is_ok());
+            if result.is_ok() {
+                durable.since_snapshot[idx].store(0, Ordering::Relaxed);
+            } else if first_err.is_none() {
+                first_err = result.err();
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    }
+
     /// Runs `f` with exclusive access to `host`'s entry, creating the entry
-    /// on first contact. Only `host`'s shard is locked.
+    /// on first contact. Only `host`'s shard is locked. Mutations made here
+    /// are **not** journaled — durable stores must go through
+    /// [`transact`](Self::transact).
     pub fn with_entry<R>(&self, host: &str, f: impl FnOnce(&mut SiteEntry) -> R) -> R {
         let mut shard = self.shards[self.shard_of(host)].write();
         let entry =
@@ -98,6 +429,20 @@ impl ShardedStore {
     pub fn site_count(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
+
+    /// Every useful mark, as sorted `host cookie` lines — the comparable
+    /// artifact the crash harness diffs across kill/recover cycles.
+    pub fn marks(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (host, entry) in shard.iter() {
+                out.extend(entry.marked.iter().map(|name| format!("{host} {name}")));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
 }
 
 fn fnv1a(s: &str) -> u64 {
@@ -112,6 +457,33 @@ fn fnv1a(s: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn tmp_data_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cp-store-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn observe_event(host: &str, names: &[&str]) -> VisitEvent {
+        VisitEvent {
+            host: host.to_string(),
+            observed: names.iter().map(|s| s.to_string()).collect(),
+            kind: EventKind::Observe,
+        }
+    }
+
+    fn probe_event(host: &str, group: &[&str], marking: bool, micros: u64) -> VisitEvent {
+        VisitEvent {
+            host: host.to_string(),
+            observed: group.iter().map(|s| s.to_string()).collect(),
+            kind: EventKind::Probe {
+                group: group.iter().map(|s| s.to_string()).collect(),
+                marking,
+                detection_micros: micros,
+                duration_ms: micros as f64 / 1_000.0,
+            },
+        }
+    }
 
     #[test]
     fn entries_create_on_first_contact() {
@@ -160,6 +532,59 @@ mod tests {
     }
 
     #[test]
+    fn summary_averages_exclude_deferred_probes() {
+        // Two decided probes took 8 ms of detection in total; two deferred
+        // probes recorded nothing. The average is per *decided* probe —
+        // 4 ms — not diluted to 2 ms by the deferrals.
+        let mut entry = SiteEntry::new(5);
+        entry.apply(&probe_event("s.example", &["a"], false, 3_000));
+        entry.apply(&probe_event("s.example", &["a"], true, 5_000));
+        entry.apply(&VisitEvent {
+            host: "s.example".into(),
+            observed: vec!["a".into()],
+            kind: EventKind::Defer,
+        });
+        entry.apply(&VisitEvent {
+            host: "s.example".into(),
+            observed: vec!["a".into()],
+            kind: EventKind::Defer,
+        });
+        let summary = entry.summary("s.example");
+        assert_eq!(summary.probes, 4, "probes counts decided + deferred");
+        assert_eq!(summary.deferred_probes, 2);
+        assert_eq!(summary.avg_detection_ms, 4.0, "denominator excludes deferred probes");
+        assert_eq!(summary.avg_duration_ms, 4.0);
+        // All-deferred sites report zero averages, not NaN.
+        let mut all_deferred = SiteEntry::new(5);
+        all_deferred.apply(&VisitEvent {
+            host: "d.example".into(),
+            observed: vec![],
+            kind: EventKind::Defer,
+        });
+        let summary = all_deferred.summary("d.example");
+        assert_eq!(summary.probes, 1);
+        assert_eq!(summary.avg_detection_ms, 0.0);
+    }
+
+    #[test]
+    fn apply_is_the_single_mutation_path() {
+        let mut entry = SiteEntry::new(3);
+        assert_eq!(entry.apply(&observe_event("a.example", &["sid"])), Vec::<String>::new());
+        let marked = entry.apply(&probe_event("a.example", &["sid", "theme"], true, 100));
+        assert_eq!(marked, vec!["sid".to_string(), "theme".to_string()]);
+        // Re-marking is idempotent: already-marked names are not "new".
+        let marked = entry.apply(&probe_event("a.example", &["sid"], true, 100));
+        assert_eq!(marked, Vec::<String>::new());
+        assert_eq!(entry.marked.len(), 2);
+        assert_eq!(entry.probes, 2);
+        assert_eq!(entry.marking_probes, 2);
+        let site = entry.forcum.site("a.example").unwrap();
+        assert_eq!(site.pages_seen, 3);
+        assert_eq!(site.hidden_requests, 2);
+        assert_eq!(site.marks, 2);
+    }
+
+    #[test]
     fn concurrent_visits_to_distinct_sites() {
         let store = std::sync::Arc::new(ShardedStore::new(16, 5));
         std::thread::scope(|s| {
@@ -177,5 +602,161 @@ mod tests {
         for t in 0..8 {
             assert_eq!(store.read_entry(&format!("site{t}.example"), |e| e.probes), Some(500));
         }
+    }
+
+    #[test]
+    fn transact_journals_and_recovers() {
+        let dir = tmp_data_dir("transact");
+        let metrics = Arc::new(ServiceMetrics::new());
+        let config = DurabilityConfig::new(dir.clone());
+        let (store, stats) =
+            ShardedStore::open(4, 5, Some(config.clone()), Arc::clone(&metrics)).unwrap();
+        assert_eq!(stats.records_replayed, 0);
+        assert_eq!(stats.snapshots_loaded, 0);
+        assert_eq!(stats.torn_tail_bytes, 0);
+        assert!(store.is_durable());
+        let marked = store
+            .transact(
+                "a.example",
+                |_| (Some(probe_event("a.example", &["sid"], true, 500)), ()),
+                |entry, marked_now, ()| {
+                    assert_eq!(entry.marked.len(), 1);
+                    marked_now
+                },
+            )
+            .unwrap();
+        assert_eq!(marked, vec!["sid".to_string()]);
+        store
+            .transact(
+                "b.example",
+                |_| (Some(observe_event("b.example", &["tr"])), ()),
+                |_, _, ()| (),
+            )
+            .unwrap();
+        // A plan that returns no event journals nothing.
+        store.transact("a.example", |_| (None, ()), |_, _, ()| ()).unwrap();
+        assert_eq!(metrics.wal_records_total.get(), 2);
+        assert_eq!(store.marks(), vec!["a.example sid".to_string()]);
+        // Simulated crash: drop without checkpoint, reopen from disk.
+        drop(store);
+        let metrics = Arc::new(ServiceMetrics::new());
+        let (recovered, stats) = ShardedStore::open(4, 5, Some(config), metrics).unwrap();
+        assert_eq!(stats.records_replayed, 2);
+        assert_eq!(stats.torn_tail_bytes, 0);
+        assert_eq!(recovered.marks(), vec!["a.example sid".to_string()]);
+        assert_eq!(recovered.read_entry("a.example", |e| e.probes), Some(1));
+        assert_eq!(recovered.read_entry("b.example", |e| e.probes), Some(0));
+    }
+
+    #[test]
+    fn checkpoint_makes_restart_replay_nothing() {
+        let dir = tmp_data_dir("checkpoint");
+        let metrics = Arc::new(ServiceMetrics::new());
+        let config = DurabilityConfig::new(dir.clone());
+        let (store, _) =
+            ShardedStore::open(2, 5, Some(config.clone()), Arc::clone(&metrics)).unwrap();
+        for i in 0..20u64 {
+            let host = format!("s{}.example", i % 5);
+            store
+                .transact(
+                    &host,
+                    |_| (Some(probe_event(&host, &[&format!("c{i}")], i % 2 == 0, i)), ()),
+                    |_, _, ()| (),
+                )
+                .unwrap();
+        }
+        let marks = store.marks();
+        let summary = store.read_entry("s0.example", |e| e.summary("s0.example")).unwrap();
+        store.checkpoint().unwrap();
+        assert_eq!(metrics.snapshot_count("ok"), 2, "one snapshot per shard");
+        drop(store);
+        let metrics = Arc::new(ServiceMetrics::new());
+        let (reopened, stats) =
+            ShardedStore::open(2, 5, Some(config.clone()), Arc::clone(&metrics)).unwrap();
+        assert_eq!(stats.records_replayed, 0, "clean restart replays zero records");
+        assert_eq!(stats.snapshots_loaded, 2);
+        assert_eq!(reopened.marks(), marks);
+        let again = reopened.read_entry("s0.example", |e| e.summary("s0.example")).unwrap();
+        assert_eq!(again.probes, summary.probes);
+        assert_eq!(again.avg_detection_ms, summary.avg_detection_ms);
+        // Work after the checkpoint lands in the fresh WAL generation and
+        // replays on the next recovery.
+        reopened
+            .transact(
+                "s9.example",
+                |_| (Some(probe_event("s9.example", &["z"], true, 7)), ()),
+                |_, _, ()| (),
+            )
+            .unwrap();
+        drop(reopened);
+        let (last, stats) =
+            ShardedStore::open(2, 5, Some(config), Arc::new(ServiceMetrics::new())).unwrap();
+        assert_eq!(stats.records_replayed, 1);
+        assert!(last.marks().contains(&"s9.example z".to_string()));
+    }
+
+    #[test]
+    fn automatic_checkpoint_triggers_on_interval() {
+        let dir = tmp_data_dir("interval");
+        let metrics = Arc::new(ServiceMetrics::new());
+        let mut config = DurabilityConfig::new(dir);
+        config.snapshot_every = 4;
+        let (store, _) = ShardedStore::open(1, 5, Some(config), Arc::clone(&metrics)).unwrap();
+        for i in 0..9u64 {
+            store
+                .transact(
+                    "host.example",
+                    |_| (Some(observe_event("host.example", &[])), ()),
+                    |_, _, ()| (),
+                )
+                .unwrap();
+            let _ = i;
+        }
+        assert_eq!(metrics.snapshot_count("ok"), 2, "9 events at interval 4 → 2 checkpoints");
+    }
+
+    #[test]
+    fn double_recovery_is_idempotent() {
+        // Recovering twice from the same directory (the second time after
+        // the first recovery truncated the torn tail) yields identical
+        // state — recovery itself must not mutate what it recovers.
+        let dir = tmp_data_dir("double");
+        let config = DurabilityConfig::new(dir.clone());
+        let (store, _) =
+            ShardedStore::open(2, 5, Some(config.clone()), Arc::new(ServiceMetrics::new()))
+                .unwrap();
+        for i in 0..10u64 {
+            let host = format!("h{}.example", i % 3);
+            store
+                .transact(&host, |_| (Some(probe_event(&host, &["k"], true, i)), ()), |_, _, ()| ())
+                .unwrap();
+        }
+        drop(store);
+        let (a, stats_a) =
+            ShardedStore::open(2, 5, Some(config.clone()), Arc::new(ServiceMetrics::new()))
+                .unwrap();
+        let marks_a = a.marks();
+        drop(a);
+        let (b, stats_b) =
+            ShardedStore::open(2, 5, Some(config), Arc::new(ServiceMetrics::new())).unwrap();
+        assert_eq!(stats_a.records_replayed, stats_b.records_replayed);
+        assert_eq!(marks_a, b.marks());
+    }
+
+    #[test]
+    fn shard_count_mismatch_fails_loudly() {
+        let dir = tmp_data_dir("mismatch");
+        let config = DurabilityConfig::new(dir.clone());
+        let (store, _) =
+            ShardedStore::open(8, 5, Some(config.clone()), Arc::new(ServiceMetrics::new()))
+                .unwrap();
+        for host in ["a.example", "b.example", "c.example", "d.example"] {
+            store.transact(host, |_| (Some(observe_event(host, &[])), ()), |_, _, ()| ()).unwrap();
+        }
+        drop(store);
+        let err = ShardedStore::open(3, 5, Some(config), Arc::new(ServiceMetrics::new()))
+            .expect_err("reopening with a different shard count must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("different shard count"), "{err}");
     }
 }

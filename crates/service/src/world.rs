@@ -27,6 +27,8 @@ use cp_webworld::{table1_population, SiteSpec};
 
 use crate::cache::AnalysisCache;
 use crate::metrics::ServiceMetrics;
+use crate::store::SiteEntry;
+use crate::wal::{EventKind, VisitEvent};
 
 /// Noise-stream salts for the two page variants of one visit. Distinct
 /// salts mean the regular and hidden renders see *different* page-dynamics
@@ -188,25 +190,29 @@ impl EmbeddedWorld {
         render_page(&input, &mut noise)
     }
 
-    /// Runs one FORCUM step against `entry` (the site's store entry).
+    /// Plans one FORCUM step against `entry` **without mutating it**: all
+    /// rendering, comparison, and fault rolls happen here, and the result
+    /// is the single [`VisitEvent`] to apply. The durable visit path
+    /// journals that event between plan and apply — the WAL append is the
+    /// ack barrier, so planning must be free of store side effects.
     ///
-    /// Page analyses come from (and feed) `analyses` — the world is
-    /// deterministic, so the same `(site, path, cookies)` renders the same
-    /// bytes and repeated visits skip parse + extract. Cache traffic and
-    /// detection time are recorded on `metrics`.
+    /// Every visit to a known host yields exactly one event: `Observe`
+    /// when nothing is probed, `Defer` when the (simulated) hidden fetch
+    /// faulted, `Probe` when a decision was reached. Cache traffic,
+    /// detection time, and fault labels are recorded on `metrics`.
     ///
     /// Returns `None` when `host` is not part of this world.
     #[allow(clippy::too_many_arguments)] // one handler's worth of context
-    pub fn visit(
+    pub fn plan_visit(
         &self,
-        entry: &mut crate::store::SiteEntry,
+        entry: &SiteEntry,
         host: &str,
         path: &str,
         cookie_header: Option<&str>,
         config: &CookiePickerConfig,
         analyses: &AnalysisCache,
         metrics: &ServiceMetrics,
-    ) -> Option<VisitOutcome> {
+    ) -> Option<VisitPlan> {
         let spec = self.sites.get(host)?;
         // FORCUM step 1: resolve the entry redirect to the real container.
         let path = if spec.entry_redirect && path == "/" { "/home" } else { path };
@@ -239,11 +245,7 @@ impl EmbeddedWorld {
             set_cookies.iter().filter_map(|sc| sc.split_once('=')).map(|(n, _)| n.to_string()),
         );
 
-        let training_was_active = entry.forcum.is_active(host);
-        let mut marked_now = Vec::new();
-        let mut record = None;
-
-        if training_was_active && !group.is_empty() {
+        if entry.forcum.is_active(host) && !group.is_empty() {
             // Chaos gate: the hidden fetch's fate is decided before any
             // rendering. A faulted fetch is retried (fresh roll per
             // attempt); if every attempt faults, the probe is
@@ -251,7 +253,7 @@ impl EmbeddedWorld {
             // is never compared, so a fault can delay a mark but never
             // flip one.
             if let Some(chaos) = &self.chaos {
-                let seq = (entry.probes + entry.deferred_probes) as u64;
+                let seq = entry.probes as u64;
                 let mut fate = None;
                 for attempt in 0..=chaos.retries {
                     if attempt > 0 {
@@ -267,15 +269,14 @@ impl EmbeddedWorld {
                     let (result, reason) = fault_labels(&kind);
                     metrics.record_hidden_fetch(result);
                     metrics.record_inconclusive(reason);
-                    entry.deferred_probes += 1;
-                    let training_active = entry.forcum.defer(host, observed);
-                    return Some(VisitOutcome {
-                        host: host.to_string(),
-                        path: path.to_string(),
+                    return Some(VisitPlan {
+                        event: VisitEvent {
+                            host: host.to_string(),
+                            observed,
+                            kind: EventKind::Defer,
+                        },
                         record: None,
-                        marked_now: Vec::new(),
-                        marked_total: entry.marked.len(),
-                        training_active,
+                        path: path.to_string(),
                         set_cookies,
                         inconclusive: Some(reason.to_string()),
                     });
@@ -301,42 +302,94 @@ impl EmbeddedWorld {
             decision.detection_micros = detection_started.elapsed().as_micros() as u64;
             metrics.record_detection(decision.detection_micros);
 
-            // Step 5: mark useful cookies.
-            if decision.cookies_caused_difference {
-                for name in &group {
-                    if entry.marked.insert(name.clone()) {
-                        marked_now.push(name.clone());
-                    }
-                }
-            }
-            entry.probes += 1;
-            entry.marking_probes += usize::from(decision.cookies_caused_difference);
-            entry.detection_micros_total += decision.detection_micros;
-            let duration_ms = decision.detection_micros as f64 / 1_000.0;
-            entry.duration_ms_total += duration_ms;
-            record = Some(DetectionRecord {
+            let marking = decision.cookies_caused_difference;
+            let detection_micros = decision.detection_micros;
+            let duration_ms = detection_micros as f64 / 1_000.0;
+            // Step 5 (marking useful cookies) happens in `SiteEntry::apply`.
+            let record = DetectionRecord {
                 host: host.to_string(),
                 path: path.to_string(),
-                group,
+                group: group.clone(),
                 decision,
                 hidden_latency_ms: 0,
                 duration_ms,
+            };
+            return Some(VisitPlan {
+                event: VisitEvent {
+                    host: host.to_string(),
+                    observed,
+                    kind: EventKind::Probe { group, marking, detection_micros, duration_ms },
+                },
+                record: Some(record),
+                path: path.to_string(),
+                set_cookies,
+                inconclusive: None,
             });
         }
 
-        let training_active =
-            entry.forcum.observe(host, observed, marked_now.len(), record.is_some());
-
-        Some(VisitOutcome {
-            host: host.to_string(),
+        Some(VisitPlan {
+            event: VisitEvent { host: host.to_string(), observed, kind: EventKind::Observe },
+            record: None,
             path: path.to_string(),
-            record,
-            marked_now,
-            marked_total: entry.marked.len(),
-            training_active,
             set_cookies,
             inconclusive: None,
         })
+    }
+
+    /// Runs one FORCUM step against `entry`: plan, apply, finish. The
+    /// in-memory convenience path (and what the durable path decomposes
+    /// into around its WAL append).
+    ///
+    /// Returns `None` when `host` is not part of this world.
+    #[allow(clippy::too_many_arguments)] // one handler's worth of context
+    pub fn visit(
+        &self,
+        entry: &mut SiteEntry,
+        host: &str,
+        path: &str,
+        cookie_header: Option<&str>,
+        config: &CookiePickerConfig,
+        analyses: &AnalysisCache,
+        metrics: &ServiceMetrics,
+    ) -> Option<VisitOutcome> {
+        let plan = self.plan_visit(entry, host, path, cookie_header, config, analyses, metrics)?;
+        let marked_now = entry.apply(&plan.event);
+        Some(plan.finish(entry, marked_now))
+    }
+}
+
+/// A planned visit: the [`VisitEvent`] to apply plus everything the
+/// response needs that is not derivable from the updated entry.
+#[derive(Debug, Clone)]
+pub struct VisitPlan {
+    /// The single store mutation this visit performs.
+    pub event: VisitEvent,
+    /// The probe record, when a hidden request was issued and decided.
+    pub record: Option<DetectionRecord>,
+    /// Visited path (after entry-redirect resolution).
+    pub path: String,
+    /// `name=value` cookies the site (re-)issues for this path.
+    pub set_cookies: Vec<String>,
+    /// Inconclusive-reason label when the probe deferred.
+    pub inconclusive: Option<String>,
+}
+
+impl VisitPlan {
+    /// Builds the [`VisitOutcome`] from the entry *after*
+    /// [`SiteEntry::apply`] consumed this plan's event; `marked_now` is
+    /// what `apply` returned.
+    pub fn finish(self, entry: &SiteEntry, marked_now: Vec<String>) -> VisitOutcome {
+        let training_active = entry.forcum.is_active(&self.event.host);
+        VisitOutcome {
+            host: self.event.host,
+            path: self.path,
+            record: self.record,
+            marked_now,
+            marked_total: entry.marked.len(),
+            training_active,
+            set_cookies: self.set_cookies,
+            inconclusive: self.inconclusive,
+        }
     }
 }
 

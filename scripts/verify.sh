@@ -23,4 +23,9 @@ SMOKE=1 ./scripts/bench_detect.sh
 # zero invented marks, zero panics, and a clean transport tally.
 SMOKE=1 ./scripts/chaos.sh
 
-echo "verify: fmt + build + tests + detect smoke + chaos smoke passed offline"
+# Crash smoke: kill -9 a durable server mid-load under injected storage
+# faults — gates on no acked mark lost, zero invented marks, deterministic
+# recovery, and a replay-free clean restart.
+SMOKE=1 ./scripts/crash.sh
+
+echo "verify: fmt + build + tests + detect smoke + chaos smoke + crash smoke passed offline"

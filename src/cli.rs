@@ -71,6 +71,28 @@ pub enum Command {
         timeout_ms: u64,
         /// Chaos mode: hidden-fetch fault rate in `[0, 1]` (0 disables).
         chaos_rate: f64,
+        /// Durable mode: directory for per-shard WALs + snapshots.
+        data_dir: Option<String>,
+        /// WAL fsync policy (`always` / `batch` / `never`).
+        fsync: cp_serve::FsyncPolicy,
+        /// Events between automatic per-shard checkpoints.
+        snapshot_every: u64,
+        /// Injected storage-fault rate in `[0, 1]` (0 = real filesystem).
+        storage_fault_rate: f64,
+        /// Seed for the storage-fault stream.
+        storage_fault_seed: u64,
+    },
+    /// One HTTP request against a running service (the crash harness's
+    /// portable substitute for curl/nc).
+    Get {
+        /// Server host.
+        host: String,
+        /// Server port.
+        port: u16,
+        /// Send a bodyless POST instead of a GET.
+        post: bool,
+        /// Request target, e.g. `/v1/marks`.
+        path: String,
     },
     /// Drive a running service with a seeded load mix.
     Loadgen {
@@ -194,6 +216,11 @@ where
             let mut queue = 128usize;
             let mut timeout_ms = 5_000u64;
             let mut chaos_rate = 0.0f64;
+            let mut data_dir = None;
+            let mut fsync = cp_serve::FsyncPolicy::default();
+            let mut snapshot_every = cp_serve::store::DEFAULT_SNAPSHOT_EVERY;
+            let mut storage_fault_rate = 0.0f64;
+            let mut storage_fault_seed = 0u64;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -204,13 +231,69 @@ where
                     "--queue" => queue = flag_value(&mut it, "--queue")?,
                     "--timeout-ms" => timeout_ms = flag_value(&mut it, "--timeout-ms")?,
                     "--chaos-rate" => chaos_rate = flag_value(&mut it, "--chaos-rate")?,
+                    "--data-dir" => data_dir = Some(flag_value::<String>(&mut it, "--data-dir")?),
+                    "--fsync" => {
+                        let v: String = flag_value(&mut it, "--fsync")?;
+                        fsync = cp_serve::FsyncPolicy::parse(&v).ok_or_else(|| {
+                            err(format!("invalid --fsync {v:?}; use always, batch, or never"))
+                        })?;
+                    }
+                    "--snapshot-every" => snapshot_every = flag_value(&mut it, "--snapshot-every")?,
+                    "--storage-fault-rate" => {
+                        storage_fault_rate = flag_value(&mut it, "--storage-fault-rate")?
+                    }
+                    "--storage-fault-seed" => {
+                        storage_fault_seed = flag_value(&mut it, "--storage-fault-seed")?
+                    }
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
             if !(0.0..=1.0).contains(&chaos_rate) {
                 return Err(err("--chaos-rate must be in [0, 1]"));
             }
-            Ok(Command::Serve { port, seed, workers, shards, queue, timeout_ms, chaos_rate })
+            if !(0.0..=1.0).contains(&storage_fault_rate) {
+                return Err(err("--storage-fault-rate must be in [0, 1]"));
+            }
+            if data_dir.is_none() && storage_fault_rate > 0.0 {
+                return Err(err("--storage-fault-rate needs --data-dir (nothing to fault)"));
+            }
+            Ok(Command::Serve {
+                port,
+                seed,
+                workers,
+                shards,
+                queue,
+                timeout_ms,
+                chaos_rate,
+                data_dir,
+                fsync,
+                snapshot_every,
+                storage_fault_rate,
+                storage_fault_seed,
+            })
+        }
+        "get" => {
+            let mut host = "127.0.0.1".to_string();
+            let mut port = 0u16;
+            let mut post = false;
+            let mut path = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--host" => host = flag_value(&mut it, "--host")?,
+                    "--port" => port = flag_value(&mut it, "--port")?,
+                    "--post" => post = true,
+                    other if other.starts_with("--") => {
+                        return Err(err(format!("unknown flag {other}")))
+                    }
+                    target => path = Some(target.to_string()),
+                }
+            }
+            if port == 0 {
+                return Err(err("get needs --port pointing at a running server"));
+            }
+            let path = path.ok_or_else(|| err("get needs a request path, e.g. /v1/marks"))?;
+            Ok(Command::Get { host, port, post, path })
         }
         "loadgen" => {
             let mut host = "127.0.0.1".to_string();
@@ -261,7 +344,10 @@ USAGE:
     cookiepicker simulate [--seed N] [--sites N]
     cookiepicker jar <jar.json> [--site HOST] [--summary]
     cookiepicker serve [--port N] [--seed N] [--workers N] [--shards N] [--queue N] [--timeout-ms N] [--chaos-rate F]
+                       [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]
+                       [--storage-fault-rate F] [--storage-fault-seed N]
     cookiepicker loadgen --port N [--host H] [--threads N] [--requests N] [--seed N] [--out FILE] [--marks-out FILE]
+    cookiepicker get --port N [--host H] [--post] PATH
     cookiepicker help
 ";
 
@@ -399,8 +485,22 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 .map_err(|e| err(e.to_string()))?;
             }
         }
-        Command::Serve { port, seed, workers, shards, queue, timeout_ms, chaos_rate } => {
+        Command::Serve {
+            port,
+            seed,
+            workers,
+            shards,
+            queue,
+            timeout_ms,
+            chaos_rate,
+            data_dir,
+            fsync,
+            snapshot_every,
+            storage_fault_rate,
+            storage_fault_seed,
+        } => {
             let timeout = std::time::Duration::from_millis(timeout_ms);
+            let durable = data_dir.is_some();
             let config = cp_serve::ServeConfig {
                 port,
                 seed,
@@ -410,21 +510,51 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 read_timeout: timeout,
                 write_timeout: timeout,
                 chaos_fault_rate: chaos_rate,
+                data_dir: data_dir.map(std::path::PathBuf::from),
+                fsync,
+                snapshot_every,
+                storage_fault_rate,
+                storage_fault_seed,
                 ..cp_serve::ServeConfig::default()
             };
             let mut server =
-                cp_serve::start(config).map_err(|e| err(format!("cannot bind: {e}")))?;
+                cp_serve::start(config).map_err(|e| err(format!("cannot start: {e}")))?;
             writeln!(
                 out,
                 "cp-serve listening on http://{} (seed {seed}, {workers} workers, {shards} shards)",
                 server.addr()
             )
             .map_err(|e| err(e.to_string()))?;
+            if durable {
+                let r = server.recovery();
+                writeln!(
+                    out,
+                    "cp-serve durable (fsync {}): recovered {} snapshots, replayed {} records, \
+                     discarded {} torn bytes in {:.1} ms",
+                    fsync.label(),
+                    r.snapshots_loaded,
+                    r.records_replayed,
+                    r.torn_tail_bytes,
+                    r.recovery_micros as f64 / 1_000.0
+                )
+                .map_err(|e| err(e.to_string()))?;
+            }
             // Flush so wrappers (bench scripts) can scrape the port before
             // the server exits.
             out.flush().map_err(|e| err(e.to_string()))?;
             server.wait();
             writeln!(out, "cp-serve: drained and stopped").map_err(|e| err(e.to_string()))?;
+        }
+        Command::Get { host, port, post, path } => {
+            let mut client = cp_serve::loadgen::Client::new(&host, port);
+            let method = if post { "POST" } else { "GET" };
+            let response = client
+                .request(method, &path, b"")
+                .map_err(|e| err(format!("{method} {path} failed: {e}")))?;
+            if response.status >= 400 {
+                return Err(err(format!("{method} {path} -> {}", response.status)));
+            }
+            write!(out, "{}", response.body_string()).map_err(|e| err(e.to_string()))?;
         }
         Command::Loadgen { host, port, threads, requests, seed, out: out_path, marks_out } => {
             let config = cp_serve::LoadgenConfig { host, port, threads, requests, seed };
@@ -525,20 +655,17 @@ mod tests {
                 queue: 128,
                 timeout_ms: 5_000,
                 chaos_rate: 0.0,
+                data_dir: None,
+                fsync: cp_serve::FsyncPolicy::Batch,
+                snapshot_every: cp_serve::store::DEFAULT_SNAPSHOT_EVERY,
+                storage_fault_rate: 0.0,
+                storage_fault_seed: 0,
             }
         );
-        assert_eq!(
+        assert!(matches!(
             parse_args(["serve", "--chaos-rate", "0.1"]).unwrap(),
-            Command::Serve {
-                port: 7070,
-                seed: 7,
-                workers: 4,
-                shards: 16,
-                queue: 128,
-                timeout_ms: 5_000,
-                chaos_rate: 0.1,
-            }
-        );
+            Command::Serve { port: 7070, chaos_rate, .. } if chaos_rate == 0.1
+        ));
         assert_eq!(
             parse_args(["loadgen", "--port", "7070", "--requests", "500", "--out", "r.json"])
                 .unwrap(),
@@ -562,8 +689,70 @@ mod tests {
     }
 
     #[test]
+    fn parse_serve_durability_flags() {
+        let cmd = parse_args([
+            "serve",
+            "--data-dir",
+            "/tmp/cp-data",
+            "--fsync",
+            "always",
+            "--snapshot-every",
+            "64",
+            "--storage-fault-rate",
+            "0.05",
+            "--storage-fault-seed",
+            "42",
+        ])
+        .unwrap();
+        let Command::Serve {
+            data_dir,
+            fsync,
+            snapshot_every,
+            storage_fault_rate,
+            storage_fault_seed,
+            ..
+        } = cmd
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(data_dir.as_deref(), Some("/tmp/cp-data"));
+        assert_eq!(fsync, cp_serve::FsyncPolicy::Always);
+        assert_eq!(snapshot_every, 64);
+        assert_eq!(storage_fault_rate, 0.05);
+        assert_eq!(storage_fault_seed, 42);
+        assert!(parse_args(["serve", "--fsync", "sometimes"]).is_err(), "unknown policy");
+        assert!(
+            parse_args(["serve", "--data-dir", "/tmp/d", "--storage-fault-rate", "1.5"]).is_err(),
+            "rate must be in [0, 1]"
+        );
+        assert!(
+            parse_args(["serve", "--storage-fault-rate", "0.1"]).is_err(),
+            "storage faults need a data dir"
+        );
+    }
+
+    #[test]
+    fn parse_get() {
+        assert_eq!(
+            parse_args(["get", "--port", "7070", "/v1/marks"]).unwrap(),
+            Command::Get {
+                host: "127.0.0.1".into(),
+                port: 7070,
+                post: false,
+                path: "/v1/marks".into()
+            }
+        );
+        assert!(matches!(
+            parse_args(["get", "--port", "7070", "--post", "/v1/shutdown"]).unwrap(),
+            Command::Get { post: true, .. }
+        ));
+        assert!(parse_args(["get", "/v1/marks"]).is_err(), "get requires --port");
+        assert!(parse_args(["get", "--port", "7070"]).is_err(), "get requires a path");
+    }
+
+    #[test]
     fn usage_lists_every_subcommand() {
-        for sub in ["classify", "simulate", "jar", "serve", "loadgen", "help"] {
+        for sub in ["classify", "simulate", "jar", "serve", "loadgen", "get", "help"] {
             assert!(
                 USAGE.lines().any(|l| l.trim_start().starts_with(&format!("cookiepicker {sub}"))),
                 "USAGE must document {sub}"

@@ -149,6 +149,67 @@ fn graceful_shutdown_drains_and_joins() {
 }
 
 #[test]
+fn durable_restart_replays_zero_records_and_keeps_marks() {
+    // Satellite of the durability PR: a graceful shutdown flushes the WAL
+    // and snapshots, so a clean restart replays *zero* records and serves
+    // the identical mark set.
+    let dir = std::env::temp_dir().join(format!("cp-smoke-durable-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = || ServeConfig {
+        workers: 2,
+        data_dir: Some(dir.clone()),
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    };
+    let mut server = start(config()).expect("bind durable server");
+    // Train every embedded site: the first visit collects its cookie jar,
+    // two follow-ups probe with cookies attached so marks can land.
+    let hosts: Vec<String> =
+        cookiepicker::serve::EmbeddedWorld::new(7).hosts().iter().map(|h| h.to_string()).collect();
+    for host in &hosts {
+        let body = Json::object().set("host", host.as_str()).to_compact();
+        let first = one_shot(&server, "POST", "/v1/visit", body.as_bytes());
+        assert_eq!(first.status, 200, "{}", first.body_string());
+        let json = Json::parse(&first.body_string()).unwrap();
+        let jar: Vec<String> = json
+            .get("set_cookies")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_string)
+            .collect();
+        for i in 1..=2 {
+            let body = Json::object()
+                .set("host", host.as_str())
+                .set("path", format!("/page/{i}"))
+                .set("cookie", jar.join("; "))
+                .to_compact();
+            assert_eq!(one_shot(&server, "POST", "/v1/visit", body.as_bytes()).status, 200);
+        }
+    }
+    let marks_before = one_shot(&server, "GET", "/v1/marks", b"").body_string();
+    assert!(!marks_before.is_empty(), "training across all sites must mark something");
+    assert_eq!(one_shot(&server, "POST", "/v1/shutdown", b"").status, 200);
+    server.wait(); // flushes the WAL and writes the final snapshot
+    drop(server);
+
+    let server = start(config()).expect("restart on the same data dir");
+    let metrics = one_shot(&server, "GET", "/metrics", b"").body_string();
+    assert!(
+        metrics.contains("cp_recovery_records_replayed 0"),
+        "clean restart must replay zero records:\n{metrics}"
+    );
+    let health = Json::parse(&one_shot(&server, "GET", "/healthz", b"").body_string()).unwrap();
+    assert_eq!(health.get("durable").and_then(Json::as_bool), Some(true));
+    let marks_after = one_shot(&server, "GET", "/v1/marks", b"").body_string();
+    assert_eq!(marks_after, marks_before, "marks survive a clean restart byte-for-byte");
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn full_queue_sheds_load_with_503() {
     // 1 worker, 1-slot queue: occupy the worker, fill the queue, then watch
     // the next connection get a 503 instead of queueing unboundedly.
