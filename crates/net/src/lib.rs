@@ -44,6 +44,6 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRates};
 pub use headers::HeaderMap;
 pub use latency::LatencyModel;
 pub use message::{Method, Request, Response, StatusCode};
-pub use network::{FetchOutcome, LoggedRequest, NetError, NetworkStats, SimNetwork};
+pub use network::{FetchOutcome, HostResolver, LoggedRequest, NetError, NetworkStats, SimNetwork};
 pub use server::{Router, Server};
 pub use url::{ParseUrlError, Url};

@@ -157,12 +157,29 @@ struct HostEntry {
     latency: LatencyModel,
 }
 
+/// Resolves hosts that are not in a [`SimNetwork`]'s explicit registry.
+///
+/// This is how a network backs onto a *lazily derived* world: instead of
+/// registering millions of servers up front, install a resolver that
+/// derives a server for any host it recognizes. Resolution order in
+/// [`SimNetwork::fetch_with_deadline`] is explicit registry first, then the
+/// resolver; a host neither knows yields [`NetError::UnknownHost`].
+///
+/// Implementations are expected to be deterministic (same host → same
+/// server) and to do their own memoization if derivation is costly.
+pub trait HostResolver: Send + Sync {
+    /// Returns the origin server and latency model for `host`, or `None`
+    /// if the host does not exist in the resolver's world.
+    fn resolve(&self, host: &str) -> Option<(Arc<dyn Server>, LatencyModel)>;
+}
+
 /// An in-process network connecting a browser to registered origin servers.
 ///
 /// Deterministic: latency draws come from a single seeded RNG, so a fixed
 /// seed and request sequence reproduce identical timings.
 pub struct SimNetwork {
     hosts: HashMap<String, HostEntry>,
+    resolver: Option<Arc<dyn HostResolver>>,
     rng: Mutex<StdRng>,
     stats: Mutex<NetworkStats>,
     log: Mutex<Option<Vec<LoggedRequest>>>,
@@ -174,11 +191,24 @@ impl SimNetwork {
     pub fn new(seed: u64) -> Self {
         SimNetwork {
             hosts: HashMap::new(),
+            resolver: None,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             stats: Mutex::new(NetworkStats::default()),
             log: Mutex::new(None),
             fault: None,
         }
+    }
+
+    /// Installs a fallback [`HostResolver`] consulted for hosts absent from
+    /// the explicit registry. Explicit registrations always win.
+    pub fn set_resolver(&mut self, resolver: Arc<dyn HostResolver>) {
+        self.resolver = Some(resolver);
+    }
+
+    /// Builder-style [`SimNetwork::set_resolver`].
+    pub fn with_resolver(mut self, resolver: Arc<dyn HostResolver>) -> Self {
+        self.set_resolver(resolver);
+        self
     }
 
     /// Installs a fault plan: subsequent fetches may fail or degrade per the
@@ -269,7 +299,16 @@ impl SimNetwork {
         deadline: Option<SimDuration>,
     ) -> Result<FetchOutcome, NetError> {
         let host = req.url.host();
-        let entry = self.hosts.get(host).ok_or_else(|| NetError::UnknownHost(host.to_string()))?;
+        // Explicit registrations win; the resolver is the lazy fallback.
+        // A host neither knows fails with UnknownHost — resolution misses
+        // are explicit, never silently-empty sites.
+        let (server, latency_model) = match self.hosts.get(host) {
+            Some(entry) => (Arc::clone(&entry.server), entry.latency.clone()),
+            None => match self.resolver.as_ref().and_then(|r| r.resolve(host)) {
+                Some(resolved) => resolved,
+                None => return Err(NetError::UnknownHost(host.to_string())),
+            },
+        };
         if let Some(log) = self.log.lock().as_mut() {
             log.push(LoggedRequest {
                 host: host.to_string(),
@@ -298,8 +337,8 @@ impl SimNetwork {
             _ => {}
         }
 
-        let mut response = entry.server.handle(req, now);
-        let mut latency = entry.latency.sample(&mut *self.rng.lock(), response.body.len());
+        let mut response = server.handle(req, now);
+        let mut latency = latency_model.sample(&mut *self.rng.lock(), response.body.len());
         match fault {
             Some(FaultKind::ExtraLatency(extra)) => latency += extra,
             Some(FaultKind::Http5xx(status)) => {
@@ -396,6 +435,34 @@ mod tests {
     #[test]
     fn unknown_host_errors() {
         let net = SimNetwork::new(1);
+        let err = net.fetch(&get("http://nowhere.example/"), SimTime::EPOCH).unwrap_err();
+        assert_eq!(err, NetError::UnknownHost("nowhere.example".into()));
+    }
+
+    /// Resolves every `*.derived.example` host to a shared echo server.
+    struct DerivedWorld;
+    impl HostResolver for DerivedWorld {
+        fn resolve(&self, host: &str) -> Option<(Arc<dyn Server>, LatencyModel)> {
+            host.ends_with(".derived.example")
+                .then(|| (Arc::new(echo_server()) as Arc<dyn Server>, LatencyModel::fast()))
+        }
+    }
+
+    #[test]
+    fn resolver_backfills_unregistered_hosts() {
+        let mut net = SimNetwork::new(1);
+        net.register("a.example", |_: &Request, _: SimTime| {
+            Response::html(StatusCode::OK, "<p>registered</p>")
+        });
+        net.set_resolver(Arc::new(DerivedWorld));
+        // Registered hosts still win over the resolver.
+        let out = net.fetch(&get("http://a.example/"), SimTime::EPOCH).unwrap();
+        assert!(out.response.body_string().contains("registered"));
+        // Unregistered-but-resolvable hosts are served lazily.
+        let out = net.fetch(&get("http://x.derived.example/p"), SimTime::EPOCH).unwrap();
+        assert!(out.response.body_string().contains("/p"));
+        assert_eq!(net.stats().requests, 2);
+        // Hosts outside the resolver's world stay explicit errors.
         let err = net.fetch(&get("http://nowhere.example/"), SimTime::EPOCH).unwrap_err();
         assert_eq!(err, NetError::UnknownHost("nowhere.example".into()));
     }

@@ -313,6 +313,83 @@ impl<R: Rng + ?Sized> Rng for &mut R {
     }
 }
 
+/// Zipf(s) sampler over ranks `1..=n` using Devroye's rejection method.
+///
+/// Memory and setup are O(1) regardless of `n`, so it scales to worlds of
+/// millions of hosts where a cumulative-weight table would not. Sampling is
+/// rejection against the majorizing density `g(x) = 1` on `[1, 2)` and
+/// `g(x) = (x - 1)^-s` on `[2, n + 1)`; the acceptance rate is bounded
+/// below by a constant for every `s ≥ 0`, so expected draws per sample
+/// are O(1) too.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// Total mass under the majorizer: `1 + H(n)`.
+    t: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over ranks `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `s` is negative or not finite.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0, got {s}");
+        Zipf { n, s, t: 1.0 + zipf_h(n as f64, s) }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one rank in `1..=n`; rank 1 is the most probable.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u: f64 = rng.gen::<f64>() * self.t;
+            let (x, gx) = if u < 1.0 {
+                // The flat head of the majorizer always lands on rank 1.
+                (1.0 + u, 1.0)
+            } else {
+                let w = zipf_h_inv(u - 1.0, self.s);
+                (1.0 + w, w.powf(-self.s))
+            };
+            let k = x.floor().min(self.n as f64).max(1.0);
+            // Accept with probability f(k) / g(x) where f(k) = k^-s.
+            let fk = k.powf(-self.s);
+            if rng.gen::<f64>() * gx <= fk {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// `H(u) = ∫₁ᵘ x^-s dx` — the mass of the majorizer tail over `[2, 1 + u)`.
+fn zipf_h(u: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        u.ln()
+    } else {
+        (u.powf(1.0 - s) - 1.0) / (1.0 - s)
+    }
+}
+
+/// Inverse of [`zipf_h`] in its first argument.
+fn zipf_h_inv(y: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        y.exp()
+    } else {
+        (1.0 + y * (1.0 - s)).powf(1.0 / (1.0 - s))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,6 +527,54 @@ mod tests {
         let _ = draw(&mut rng);
         let mut r: &mut StdRng = &mut rng;
         let _ = draw(&mut r);
+    }
+
+    #[test]
+    fn zipf_deterministic_and_in_range() {
+        let z = Zipf::new(1_000_000, 1.1);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..200).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..200).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&k| (1..=1_000_000).contains(&k)));
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(10_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ones = 0usize;
+        let mut tail = 0usize;
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            if k == 1 {
+                ones += 1;
+            }
+            if k > 100 {
+                tail += 1;
+            }
+        }
+        // For s = 1, n = 10^4: P(1) = 1/H_n ≈ 0.102, P(k > 100) ≈ 0.47.
+        assert!((1_500..2_600).contains(&ones), "rank-1 mass off: {ones}");
+        assert!(tail > 6_000, "tail mass collapsed: {tail}");
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((1_700..2_300).contains(&c), "uniform buckets off: {counts:?}");
+        }
     }
 
     #[test]

@@ -34,9 +34,10 @@ pub mod wal;
 pub mod world;
 
 pub use cache::AnalysisCache;
+pub use cp_webworld::{Universe, WorldKind};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use storage::StorageFaults;
 pub use store::{DurabilityConfig, RecoveryStats, ShardedStore};
 pub use wal::FsyncPolicy;
-pub use world::{ChaosConfig, EmbeddedWorld};
+pub use world::{ChaosConfig, DerivedSite, EmbeddedWorld, DEFAULT_SITE_CACHE};

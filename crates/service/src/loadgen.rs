@@ -18,8 +18,8 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use cp_runtime::json::{Json, ToJson};
-use cp_runtime::rng::{Rng, SeedableRng, StdRng};
-use cp_webworld::table1_population;
+use cp_runtime::rng::{Rng, SeedableRng, StdRng, Zipf};
+use cp_webworld::{table1_population, uniform_host};
 
 use crate::http::{write_request, HttpConn, HttpError, HttpResponse, Limits};
 use crate::metrics::{quantile_from_buckets, scrape_counter, scrape_histogram};
@@ -38,6 +38,17 @@ pub struct LoadgenConfig {
     /// Seed: must match the server's `--seed` for the visit mix to make
     /// sense (hosts come from the same Table-1 population).
     pub seed: u64,
+    /// When `Some(n)`, visit hosts are drawn from a `uniform:n` world
+    /// (`{slug}-u{i}.example`) with a Zipf-ranked index instead of the
+    /// Table-1 partition — for driving `serve --world uniform:N`. The
+    /// per-thread draw sequence is still seeded, but with sampled hosts
+    /// shared across threads the server-side mark state interleaves, so
+    /// cross-run counter identity is only guaranteed in the default
+    /// (partitioned Table-1) mode.
+    pub hosts: Option<u64>,
+    /// Zipf exponent for [`LoadgenConfig::hosts`] sampling (rank 1 — index
+    /// 0 — is the hottest host). Ignored when `hosts` is `None`.
+    pub zipf: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -48,6 +59,8 @@ impl Default for LoadgenConfig {
             threads: 4,
             requests: 10_000,
             seed: 7,
+            hosts: None,
+            zipf: 1.0,
         }
     }
 }
@@ -314,7 +327,13 @@ struct ThreadTally {
 /// has finished.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
     let threads = config.threads.max(1);
-    let hosts: Vec<String> = table1_population(config.seed).into_iter().map(|s| s.domain).collect();
+    // Zipf mode samples hosts per request; the Table-1 partition is only
+    // built (and only meaningful) in the default mode.
+    let hosts: Vec<String> = if config.hosts.is_some() {
+        Vec::new()
+    } else {
+        table1_population(config.seed).into_iter().map(|s| s.domain).collect()
+    };
     let started = Instant::now();
 
     let tallies: Vec<ThreadTally> = std::thread::scope(|scope| {
@@ -438,8 +457,20 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
     Ok(report)
 }
 
+/// One host draw: Zipf-ranked uniform-world host, or a uniform pick from
+/// the thread's Table-1 partition. The partition path draws exactly one
+/// `gen_range`, byte-identical to the pre-Zipf sequence.
+fn pick_host(sampler: &Option<Zipf>, owned: &[&str], rng: &mut StdRng) -> String {
+    match sampler {
+        Some(zipf) => uniform_host(zipf.sample(rng) - 1),
+        None => owned[rng.gen_range(0..owned.len())].to_string(),
+    }
+}
+
 fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> ThreadTally {
     let mut rng = StdRng::seed_from_u64(config.seed ^ (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let sampler = config.hosts.map(|n| Zipf::new(n, config.zipf));
+    let has_sites = sampler.is_some() || !owned.is_empty();
     let mut client = Client::new(&config.host, config.port);
     let mut jars: HashMap<String, Vec<String>> = HashMap::new();
     let mut tally = ThreadTally {
@@ -458,14 +489,14 @@ fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> 
 
     for _ in 0..quota {
         let roll = rng.gen_range(0..100u64);
-        let (method, target, body): (&str, String, String) = if roll < 86 && !owned.is_empty() {
-            let host = owned[rng.gen_range(0..owned.len())];
+        let (method, target, body): (&str, String, String) = if roll < 86 && has_sites {
+            let host = pick_host(&sampler, owned, &mut rng);
             let path = match rng.gen_range(0..5u64) {
                 0 => "/".to_string(),
                 n => format!("/page/{n}"),
             };
-            let mut payload = Json::object().set("host", host).set("path", path.as_str());
-            if let Some(jar) = jars.get(host) {
+            let mut payload = Json::object().set("host", host.as_str()).set("path", path.as_str());
+            if let Some(jar) = jars.get(&host) {
                 if !jar.is_empty() {
                     payload = payload.set("cookie", jar.join("; "));
                 }
@@ -473,8 +504,8 @@ fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> 
             ("POST", "/v1/visit".to_string(), payload.to_compact())
         } else if roll < 90 {
             ("GET", "/healthz".to_string(), String::new())
-        } else if roll < 94 && !owned.is_empty() {
-            let host = owned[rng.gen_range(0..owned.len())];
+        } else if roll < 94 && has_sites {
+            let host = pick_host(&sampler, owned, &mut rng);
             ("GET", format!("/v1/sites/{host}"), String::new())
         } else {
             let (regular, hidden) = CLASSIFY_PAIRS[rng.gen_range(0..CLASSIFY_PAIRS.len())];
@@ -577,6 +608,51 @@ mod tests {
     }
 
     #[test]
+    fn zipf_host_sampling_is_pinned_for_a_fixed_seed() {
+        // Mirrors client_thread's per-thread rng derivation for thread 0 so
+        // the sampled host sequence is exactly what a run would visit.
+        let config = LoadgenConfig {
+            seed: 7,
+            hosts: Some(1_000_000),
+            zipf: 1.1,
+            ..LoadgenConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 1u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let sampler = config.hosts.map(|n| Zipf::new(n, config.zipf));
+        let drawn: Vec<String> = (0..8).map(|_| pick_host(&sampler, &[], &mut rng)).collect();
+        assert_eq!(
+            drawn,
+            [
+                "health-u79.example",
+                "arts-u0.example",
+                "computers-u212.example",
+                "sports-u119.example",
+                "kids-u6.example",
+                "regional-u100.example",
+                "kids-u111.example",
+                "science-u11.example",
+            ]
+        );
+        // The sampled distribution must stay head-heavy: rank 1 gets ~12.6%
+        // of the mass at s=1.1 over a million hosts, and ranks beyond 1000
+        // still collect a meaningful tail share.
+        let zipf = sampler.unwrap();
+        let mut rank1 = 0u64;
+        let mut over1000 = 0u64;
+        for _ in 0..10_000 {
+            let rank = zipf.sample(&mut rng);
+            assert!((1..=1_000_000).contains(&rank));
+            if rank == 1 {
+                rank1 += 1;
+            }
+            if rank > 1000 {
+                over1000 += 1;
+            }
+        }
+        assert_eq!((rank1, over1000), (1259, 3084), "distribution pinned for seed 7");
+    }
+
+    #[test]
     fn small_run_against_live_server() {
         let server = start(ServeConfig { seed: 7, workers: 2, ..ServeConfig::default() }).unwrap();
         let report = run(&LoadgenConfig {
@@ -622,6 +698,31 @@ mod tests {
         assert!(json.contains("\"counters_match\":true"));
         assert!(json.contains("\"deferred_probes\":0"));
         assert!(json.contains("\"metrics_scraped\":true"));
+    }
+
+    #[test]
+    fn zipf_run_against_a_uniform_world() {
+        let server = start(ServeConfig {
+            seed: 7,
+            workers: 2,
+            world: cp_webworld::WorldKind::Uniform(10_000),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let report = run(&LoadgenConfig {
+            port: server.port(),
+            threads: 2,
+            requests: 300,
+            seed: 7,
+            hosts: Some(10_000),
+            zipf: 1.1,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.requests, 300);
+        assert_eq!(report.status_5xx, 0, "derived sites must never error");
+        assert_eq!(report.transport_errors, 0);
+        assert!(report.status_2xx > 0);
     }
 
     #[test]

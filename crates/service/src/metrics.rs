@@ -24,6 +24,9 @@ pub const HIDDEN_FETCH_RESULTS: [&str; 6] =
 /// order — mirrors `cookiepicker_core::InconclusiveReason::ALL`.
 pub const INCONCLUSIVE_REASONS: [&str; 4] = ["transport", "deadline", "server_error", "truncated"];
 
+/// `result` label values for `cp_site_derive_total`, in rendering order.
+pub const SITE_DERIVE_RESULTS: [&str; 3] = ["hit", "miss", "unknown"];
+
 /// `cause` label values for `cp_conn_closed_total`, in rendering order.
 /// `client` covers clean peer closes and client-requested closes
 /// (HTTP/1.0, `Connection: close`); `timeout` a stalled read (slowloris,
@@ -135,6 +138,11 @@ pub struct ServiceMetrics {
     pub cache_hits: Counter,
     /// Page-analysis cache misses (parse + extract ran).
     pub cache_misses: Counter,
+    /// Site lookups by result, indexed by [`SITE_DERIVE_RESULTS`].
+    site_derive: [Counter; 3],
+    /// Time to derive one site from the universe (cache misses only), in
+    /// microseconds.
+    pub site_derive_micros: Histogram,
     /// Connections queued for a worker right now.
     pub queue_depth: Gauge,
     /// Connections accepted over the server's lifetime.
@@ -186,6 +194,8 @@ impl ServiceMetrics {
             detection: Histogram::with_bounds(&DETECTION_BUCKETS_MICROS),
             cache_hits: Counter::new(),
             cache_misses: Counter::new(),
+            site_derive: Default::default(),
+            site_derive_micros: Histogram::with_bounds(&DETECTION_BUCKETS_MICROS),
             queue_depth: Gauge::new(),
             connections_total: Counter::new(),
             rejected_total: Counter::new(),
@@ -260,6 +270,27 @@ impl ServiceMetrics {
         if let Some(i) = HIDDEN_FETCH_RESULTS.iter().position(|r| *r == result) {
             self.hidden_fetch[i].inc();
         }
+    }
+
+    /// Records one site lookup against the lazy world; `result` must be a
+    /// [`SITE_DERIVE_RESULTS`] label (anything else is ignored). `micros`
+    /// is the derivation time for cache misses (`None` when nothing was
+    /// derived, so the histogram measures derivation proper).
+    pub fn record_site_derive(&self, result: &str, micros: Option<u64>) {
+        if let Some(i) = SITE_DERIVE_RESULTS.iter().position(|r| *r == result) {
+            self.site_derive[i].inc();
+        }
+        if let Some(micros) = micros {
+            self.site_derive_micros.observe(micros);
+        }
+    }
+
+    /// The current value of one `cp_site_derive_total` series.
+    pub fn site_derive_count(&self, result: &str) -> u64 {
+        SITE_DERIVE_RESULTS
+            .iter()
+            .position(|r| *r == result)
+            .map_or(0, |i| self.site_derive[i].get())
     }
 
     /// Records one deferred probe; `reason` must be an
@@ -403,6 +434,21 @@ impl ServiceMetrics {
             writeln!(out, "cp_analysis_cache_total{{result=\"hit\"}} {}", self.cache_hits.get());
         let _ =
             writeln!(out, "cp_analysis_cache_total{{result=\"miss\"}} {}", self.cache_misses.get());
+        out.push_str("# TYPE cp_site_derive_total counter\n");
+        for (label, counter) in SITE_DERIVE_RESULTS.iter().zip(&self.site_derive) {
+            let _ = writeln!(out, "cp_site_derive_total{{result=\"{label}\"}} {}", counter.get());
+        }
+        out.push_str("# TYPE cp_site_derive_micros histogram\n");
+        if self.site_derive_micros.count() > 0 {
+            for (bound, cumulative) in self.site_derive_micros.snapshot() {
+                let le = if bound == u64::MAX { "+Inf".to_string() } else { bound.to_string() };
+                let _ = writeln!(out, "cp_site_derive_micros_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ =
+                writeln!(out, "cp_site_derive_micros_sum {}", self.site_derive_micros.sum_micros());
+            let _ =
+                writeln!(out, "cp_site_derive_micros_count {}", self.site_derive_micros.count());
+        }
         out.push_str("# TYPE cp_queue_depth gauge\n");
         let _ = writeln!(out, "cp_queue_depth {}", self.queue_depth.get());
         out.push_str("# TYPE cp_connections_total counter\n");

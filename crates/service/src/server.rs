@@ -28,7 +28,8 @@ use crate::metrics::{Endpoint, ServiceMetrics};
 use crate::storage::StorageFaults;
 use crate::store::{DurabilityConfig, RecoveryStats, ShardedStore, DEFAULT_SNAPSHOT_EVERY};
 use crate::wal::FsyncPolicy;
-use crate::world::{ChaosConfig, EmbeddedWorld, VisitPlan};
+use crate::world::{ChaosConfig, EmbeddedWorld, VisitPlan, DEFAULT_SITE_CACHE};
+use cp_webworld::WorldKind;
 
 /// Salt mixed into the population seed to derive the chaos seed, so the
 /// fault stream is decorrelated from (but still determined by) `--seed`.
@@ -43,6 +44,12 @@ pub struct ServeConfig {
     pub port: u16,
     /// Seed for the embedded site population.
     pub seed: u64,
+    /// Which world the universe enumerates: the paper's Table-1 sites
+    /// (default) or `uniform:N` procedural hosts derived on demand.
+    pub world: WorldKind,
+    /// Derived-site cache capacity — the only per-world memory that scales
+    /// with traffic rather than world size.
+    pub site_cache_capacity: usize,
     /// Worker threads handling connections.
     pub workers: usize,
     /// Shards in the training store.
@@ -87,6 +94,8 @@ impl Default for ServeConfig {
             host: "127.0.0.1".to_string(),
             port: 0,
             seed: 7,
+            world: WorldKind::Table1,
+            site_cache_capacity: DEFAULT_SITE_CACHE,
             workers: 4,
             shards: 16,
             queue_capacity: 128,
@@ -196,13 +205,13 @@ impl Drop for ServerHandle {
 pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind((config.host.as_str(), config.port))?;
     let addr = listener.local_addr()?;
-    let world = if config.chaos_fault_rate > 0.0 {
+    let mut world =
+        EmbeddedWorld::with_world(config.seed, config.world, config.site_cache_capacity);
+    if config.chaos_fault_rate > 0.0 {
         let chaos =
             ChaosConfig::uniform(config.seed ^ CHAOS_SEED_SALT, config.chaos_fault_rate.min(1.0));
-        EmbeddedWorld::with_chaos(config.seed, chaos)
-    } else {
-        EmbeddedWorld::new(config.seed)
-    };
+        world.set_chaos(Some(chaos));
+    }
     let metrics = Arc::new(ServiceMetrics::new());
     if let Some(deadline) = config.detection_deadline {
         metrics.set_detection_deadline_micros(deadline.as_micros().min(u64::MAX as u128) as u64);
@@ -403,6 +412,8 @@ fn route(shared: &Shared, request: &HttpRequest) -> Routed {
             let mut body = Json::object()
                 .set("status", "ok")
                 .set("seed", shared.world.seed())
+                .set("world", shared.world.universe().kind().to_string())
+                .set("hosts", shared.world.host_count())
                 .set("sites_trained", shared.store.site_count())
                 .set("durable", shared.store.is_durable());
             if shared.store.is_durable() {
@@ -433,6 +444,9 @@ fn route(shared: &Shared, request: &HttpRequest) -> Routed {
         }
         ("POST", "/v1/classify") => classify(shared, &request.body),
         ("POST", "/v1/visit") => visit(shared, &request.body),
+        ("GET", t) if t == "/v1/sites" || t.starts_with("/v1/sites?") => {
+            sites_list(shared, t.strip_prefix("/v1/sites").and_then(|q| q.strip_prefix('?')))
+        }
         ("GET", t) if t.starts_with("/v1/sites/") => site_summary(shared, &t["/v1/sites/".len()..]),
         ("POST", "/v1/shutdown") => {
             shared.begin_shutdown();
@@ -492,7 +506,7 @@ fn visit(shared: &Shared, body: &[u8]) -> Routed {
         Some(host) => host,
         None => return bad_request(Endpoint::Visit, "body needs a string field host"),
     };
-    if shared.world.site(host).is_none() {
+    if !shared.world.contains(host) {
         return (Endpoint::Visit, 404, "Not Found", "application/json", error_json("unknown host"));
     }
     let path = parsed.get("path").and_then(Json::as_str).unwrap_or("/");
@@ -535,6 +549,43 @@ fn visit(shared: &Shared, body: &[u8]) -> Routed {
     (Endpoint::Visit, 200, "OK", "application/json", outcome.to_json().to_compact().into_bytes())
 }
 
+/// Default and maximum page sizes for `GET /v1/sites`. The cap is what
+/// makes the route safe on a million-host world: no request enumerates
+/// more than one bounded page.
+const SITES_PAGE_DEFAULT: usize = 50;
+const SITES_PAGE_MAX: usize = 500;
+
+/// `GET /v1/sites[?after=<host>&limit=<n>]`: keyset pagination over the
+/// world's enumerable hosts in canonical order. `after` is the last host
+/// of the previous page; the response's `next` is the cursor for the
+/// following page (`null` once exhausted).
+fn sites_list(shared: &Shared, query: Option<&str>) -> Routed {
+    let mut after: Option<&str> = None;
+    let mut limit = SITES_PAGE_DEFAULT;
+    for pair in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("after", v)) => after = Some(v),
+            Some(("limit", v)) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => limit = n.min(SITES_PAGE_MAX),
+                _ => return bad_request(Endpoint::Sites, "limit must be a positive integer"),
+            },
+            _ => return bad_request(Endpoint::Sites, "unknown query parameter"),
+        }
+    }
+    let Some(hosts) = shared.world.hosts_after(after, limit) else {
+        return bad_request(Endpoint::Sites, "unknown after cursor");
+    };
+    let next = if hosts.len() == limit { hosts.last().cloned() } else { None };
+    let body = Json::object()
+        .set("total", shared.world.host_count())
+        .set("count", hosts.len())
+        .set("next", next.map_or(Json::Null, Json::from))
+        .set("hosts", hosts)
+        .to_compact()
+        .into_bytes();
+    (Endpoint::Sites, 200, "OK", "application/json", body)
+}
+
 /// `GET /v1/sites/{host}`: the training summary for a visited site.
 fn site_summary(shared: &Shared, host: &str) -> Routed {
     match shared.store.read_entry(host, |entry| entry.summary(host)) {
@@ -545,7 +596,7 @@ fn site_summary(shared: &Shared, host: &str) -> Routed {
             "application/json",
             summary.to_json().to_compact().into_bytes(),
         ),
-        None if shared.world.site(host).is_some() => (
+        None if shared.world.contains(host) => (
             Endpoint::Sites,
             404,
             "Not Found",

@@ -15,6 +15,8 @@
 //! the hot path) and what makes `loadgen` runs reproducible.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cookiepicker_core::{decide_analyzed, CookiePickerConfig, DetectionRecord};
@@ -22,8 +24,10 @@ use cp_cookies::{parse_cookie_header, SimTime};
 use cp_net::{FaultKind, FaultRates};
 use cp_runtime::json::{Json, ToJson};
 use cp_runtime::rng::{SeedableRng, StdRng};
+use cp_runtime::sync::Mutex;
 use cp_webworld::render::{render_page, RenderInput};
-use cp_webworld::{table1_population, SiteSpec};
+use cp_webworld::universe::{Universe, WorldKind};
+use cp_webworld::SiteSpec;
 
 use crate::cache::AnalysisCache;
 use crate::metrics::ServiceMetrics;
@@ -127,22 +131,154 @@ impl ToJson for VisitOutcome {
     }
 }
 
-/// The seeded site population the service embeds.
+/// Default capacity of the derived-site LRU: comfortably holds the paper
+/// populations and a hot Zipf head, bounded regardless of world size.
+pub const DEFAULT_SITE_CACHE: usize = 1024;
+
+/// A site spec derived from the universe plus everything per-visit code
+/// would otherwise recompute per request — today the canonical page paths,
+/// which [`SiteSpec::page_paths`] allocates fresh on every call.
 #[derive(Debug)]
+pub struct DerivedSite {
+    /// The derived (or pinned-overlay) spec.
+    pub spec: Arc<SiteSpec>,
+    /// `spec.page_paths()`, computed once when the site enters the cache.
+    pub paths: Vec<String>,
+}
+
+/// How a site lookup was satisfied — the `result` label on
+/// `cp_site_derive_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeriveOutcome {
+    /// Served from the derived-site cache.
+    Hit,
+    /// Derived from the universe and cached.
+    Miss,
+    /// The host does not exist in the universe.
+    Unknown,
+}
+
+impl DeriveOutcome {
+    /// The Prometheus label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeriveOutcome::Hit => "hit",
+            DeriveOutcome::Miss => "miss",
+            DeriveOutcome::Unknown => "unknown",
+        }
+    }
+}
+
+struct SiteCacheEntry {
+    site: Arc<DerivedSite>,
+    last_used: u64,
+}
+
+struct SiteCacheInner {
+    map: HashMap<String, SiteCacheEntry>,
+    tick: u64,
+}
+
+/// Bounded LRU of derived sites, keyed by host — the same tick-stamped
+/// eviction scheme as [`AnalysisCache`]. This is what makes a
+/// `uniform:1000000` world O(cache) memory: only the hosts actually
+/// visited recently are materialized.
+struct SiteCache {
+    inner: Mutex<SiteCacheInner>,
+    capacity: usize,
+}
+
+impl SiteCache {
+    fn new(capacity: usize) -> Self {
+        SiteCache {
+            inner: Mutex::new(SiteCacheInner { map: HashMap::new(), tick: 0 }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up `host`, deriving from `universe` on a miss. Returns the
+    /// site (if the host exists), how the lookup was satisfied, and the
+    /// derivation time in microseconds (0 for hits).
+    fn get_or_derive(
+        &self,
+        universe: &Universe,
+        host: &str,
+    ) -> (Option<Arc<DerivedSite>>, DeriveOutcome, u64) {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(host) {
+                entry.last_used = tick;
+                return (Some(Arc::clone(&entry.site)), DeriveOutcome::Hit, 0);
+            }
+        }
+        // Derive outside the lock: misses on distinct hosts proceed in
+        // parallel; a racing double-derive is benign (pure function).
+        let started = Instant::now();
+        let Some(spec) = universe.derive(host) else {
+            return (None, DeriveOutcome::Unknown, 0);
+        };
+        let paths = spec.page_paths();
+        let site = Arc::new(DerivedSite { spec, paths });
+        let micros = started.elapsed().as_micros() as u64;
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner
+            .map
+            .entry(host.to_string())
+            .or_insert_with(|| SiteCacheEntry { site: Arc::clone(&site), last_used: tick });
+        if inner.map.len() > self.capacity {
+            if let Some(oldest) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(host, _)| host.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        (Some(site), DeriveOutcome::Miss, micros)
+    }
+}
+
+/// The seeded world the service trains against: a lazy [`Universe`] plus a
+/// bounded cache of the sites actually being visited. No `SiteSpec` is
+/// materialized at startup beyond the 36 pinned paper overlays, so startup
+/// cost and resident memory are independent of the world size.
 pub struct EmbeddedWorld {
-    sites: HashMap<String, SiteSpec>,
+    universe: Arc<Universe>,
+    cache: SiteCache,
     seed: u64,
     chaos: Option<ChaosConfig>,
 }
 
+impl fmt::Debug for EmbeddedWorld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EmbeddedWorld")
+            .field("seed", &self.seed)
+            .field("world", &self.universe.kind())
+            .field("chaos", &self.chaos)
+            .finish()
+    }
+}
+
 impl EmbeddedWorld {
-    /// Builds the Table-1 population for `seed`, keyed by host.
+    /// The Table-1 world for `seed` (the service default).
     pub fn new(seed: u64) -> Self {
-        let sites = table1_population(seed).into_iter().map(|s| (s.domain.clone(), s)).collect();
-        EmbeddedWorld { sites, seed, chaos: None }
+        EmbeddedWorld::with_world(seed, WorldKind::Table1, DEFAULT_SITE_CACHE)
     }
 
-    /// Builds the population with chaos mode on.
+    /// A world of the given kind with a derived-site cache of
+    /// `cache_capacity` entries.
+    pub fn with_world(seed: u64, kind: WorldKind, cache_capacity: usize) -> Self {
+        EmbeddedWorld {
+            universe: Arc::new(Universe::new(seed, kind)),
+            cache: SiteCache::new(cache_capacity),
+            seed,
+            chaos: None,
+        }
+    }
+
+    /// Builds the Table-1 world with chaos mode on.
     pub fn with_chaos(seed: u64, chaos: ChaosConfig) -> Self {
         let mut world = EmbeddedWorld::new(seed);
         world.chaos = Some(chaos);
@@ -164,16 +300,50 @@ impl EmbeddedWorld {
         self.seed
     }
 
-    /// The site spec for `host`, if it exists in this world.
-    pub fn site(&self, host: &str) -> Option<&SiteSpec> {
-        self.sites.get(host)
+    /// The universe this world derives from.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
     }
 
-    /// All hosts, sorted (stable iteration for tooling).
-    pub fn hosts(&self) -> Vec<&str> {
-        let mut hosts: Vec<&str> = self.sites.keys().map(String::as_str).collect();
-        hosts.sort_unstable();
-        hosts
+    /// Whether `host` exists in this world, without deriving its spec.
+    pub fn contains(&self, host: &str) -> bool {
+        self.universe.contains(host)
+    }
+
+    /// The derived site for `host`, if it exists in this world.
+    pub fn site(&self, host: &str) -> Option<Arc<DerivedSite>> {
+        self.cache.get_or_derive(&self.universe, host).0
+    }
+
+    /// [`EmbeddedWorld::site`], recording the lookup on `metrics`
+    /// (`cp_site_derive_total{result}`; `cp_site_derive_micros` on actual
+    /// derivations).
+    pub fn site_recorded(&self, host: &str, metrics: &ServiceMetrics) -> Option<Arc<DerivedSite>> {
+        let (site, outcome, micros) = self.cache.get_or_derive(&self.universe, host);
+        metrics.record_site_derive(
+            outcome.label(),
+            (outcome == DeriveOutcome::Miss).then_some(micros),
+        );
+        site
+    }
+
+    /// Number of enumerable hosts (pinned Table-2 hosts excluded, exactly
+    /// as in the materialized world).
+    pub fn host_count(&self) -> u64 {
+        self.universe.host_count()
+    }
+
+    /// Keyset pagination over the enumerable hosts: up to `limit` hosts
+    /// strictly after `after`. `None` for an unknown cursor.
+    pub fn hosts_after(&self, after: Option<&str>, limit: usize) -> Option<Vec<String>> {
+        self.universe.hosts_after(after, limit)
+    }
+
+    /// All enumerable hosts in canonical order. O(world size) — for tests
+    /// and small-world tooling; request paths must use
+    /// [`EmbeddedWorld::hosts_after`].
+    pub fn hosts(&self) -> Vec<String> {
+        self.universe.hosts_after(None, usize::MAX).expect("no cursor")
     }
 
     /// Renders one page variant deterministically: noise comes from a
@@ -213,7 +383,8 @@ impl EmbeddedWorld {
         analyses: &AnalysisCache,
         metrics: &ServiceMetrics,
     ) -> Option<VisitPlan> {
-        let spec = self.sites.get(host)?;
+        let site = self.site_recorded(host, metrics)?;
+        let spec: &SiteSpec = &site.spec;
         // FORCUM step 1: resolve the entry redirect to the real container.
         let path = if spec.entry_redirect && path == "/" { "/home" } else { path };
 
@@ -412,6 +583,7 @@ fn mix(seed: u64, path: &str, salt: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::store::ShardedStore;
+    use cp_webworld::table1_population;
 
     fn world_and_store() -> (EmbeddedWorld, ShardedStore) {
         (EmbeddedWorld::new(7), ShardedStore::new(8, 40))
@@ -504,7 +676,7 @@ mod tests {
         let run = || {
             let (world, store) = world_and_store();
             let mut verdicts = (0u32, 0u32);
-            for host in world.hosts() {
+            for host in &world.hosts() {
                 let mut jar: Vec<String> = Vec::new();
                 for i in 0..4 {
                     let path = if i == 0 { "/".to_string() } else { format!("/page/{i}") };
@@ -570,7 +742,7 @@ mod tests {
         let metrics = ServiceMetrics::new();
         let mut marks = Vec::new();
         let mut deferred = 0;
-        for host in world.hosts() {
+        for host in &world.hosts() {
             let mut jar: Vec<String> = Vec::new();
             for round in 0..rounds {
                 for i in 0..6 {

@@ -38,6 +38,7 @@ pub mod population;
 pub mod render;
 pub mod server;
 pub mod spec;
+pub mod universe;
 
 pub use category::Category;
 pub use population::{measurement_population, random_site, table1_population, table2_population};
@@ -46,3 +47,4 @@ pub use spec::{
     CookieRole, CookieSpec, EffectSize, LatencyProfile, NoiseSpec, PageSelector, SiteLayout,
     SiteSpec,
 };
+pub use universe::{uniform_host, Universe, UniverseResolver, WorldKind};

@@ -221,11 +221,23 @@ fn lifetime_sample<R: Rng + ?Sized>(rng: &mut R) -> SimDuration {
 pub fn random_site(seed: u64, index: usize) -> SiteSpec {
     let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let category = Category::ALL[index % Category::ALL.len()];
-    let mut site = SiteSpec::new(
+    let site = SiteSpec::new(
         format!("{}-r{}.example", category.slug(), index),
         category,
         seed.wrapping_add(index as u64 * 31_337),
     );
+    procedural_shape(&mut rng, site)
+}
+
+/// Draws the shared procedural site shape: richness, layout, entry redirect,
+/// 1–4 trackers/analytics with sampled lifetimes, sometimes one useful
+/// cookie, sometimes a session cookie — always burst-free.
+///
+/// Both the index-keyed [`random_site`] population and the host-keyed
+/// uniform universe ([`crate::universe::Universe`]) feed a seeded RNG into
+/// this exact draw sequence, so their sites have identical statistics; only
+/// the keying differs.
+pub(crate) fn procedural_shape(rng: &mut StdRng, mut site: SiteSpec) -> SiteSpec {
     site.richness = 2 + (rng.gen::<u64>() % 3) as usize;
     site.layout = match rng.gen_range(0..3) {
         0 => SiteLayout::Classic,
@@ -242,7 +254,7 @@ pub fn random_site(seed: u64, index: usize) -> SiteSpec {
         if k % 2 == 1 {
             c.role = CookieRole::Analytics;
         }
-        c.lifetime = Some(lifetime_sample(&mut rng));
+        c.lifetime = Some(lifetime_sample(rng));
         site = site.with_cookie(c);
     }
     // Sometimes one genuinely useful cookie with a clearly visible effect.

@@ -2,6 +2,7 @@
 //! website.
 
 use cp_cookies::SimDuration;
+use cp_runtime::json::{Json, ToJson};
 
 use crate::category::Category;
 
@@ -339,6 +340,69 @@ impl SiteSpec {
             paths.push(format!("/page/{i}"));
         }
         paths
+    }
+}
+
+impl ToJson for CookieSpec {
+    fn to_json(&self) -> Json {
+        let role = match self.role {
+            CookieRole::Tracking => "tracking",
+            CookieRole::Analytics => "analytics",
+            CookieRole::Preference => "preference",
+            CookieRole::SignUp => "sign_up",
+            CookieRole::Performance => "performance",
+            CookieRole::SessionState => "session_state",
+        };
+        let effect = match self.effect {
+            EffectSize::Small => "small",
+            EffectSize::Medium => "medium",
+            EffectSize::Large => "large",
+        };
+        Json::object()
+            .set("name", self.name.as_str())
+            .set("role", role)
+            .set("lifetime_ms", self.lifetime.map_or(Json::Null, |d| Json::from(d.as_millis())))
+            .set("scope", self.scope.cookie_path())
+            .set("effect", effect)
+    }
+}
+
+impl ToJson for NoiseSpec {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("ad_slots", self.ad_slots)
+            .set("timestamp", self.timestamp)
+            .set("ticker", self.ticker)
+            .set("dynamic_teasers", self.dynamic_teasers)
+            .set("structural_burst_prob", self.structural_burst_prob)
+    }
+}
+
+impl ToJson for SiteSpec {
+    fn to_json(&self) -> Json {
+        let latency = match self.latency {
+            LatencyProfile::Normal => "normal",
+            LatencyProfile::Slow => "slow",
+            LatencyProfile::Fast => "fast",
+        };
+        let layout = match self.layout {
+            SiteLayout::Classic => "classic",
+            SiteLayout::Portal => "portal",
+            SiteLayout::Minimal => "minimal",
+        };
+        Json::object()
+            .set("domain", self.domain.as_str())
+            .set("category", self.category.slug())
+            .set("pages", self.pages)
+            .set("cookies", self.cookies.iter().map(ToJson::to_json).collect::<Vec<_>>())
+            .set("noise", self.noise.to_json())
+            .set("latency", latency)
+            .set("layout", layout)
+            .set("richness", self.richness)
+            .set("entry_redirect", self.entry_redirect)
+            // Hex keeps all 64 bits exact (JSON numbers would round trip
+            // through f64 for seeds above 2^63).
+            .set("seed", format!("0x{:016x}", self.seed))
     }
 }
 

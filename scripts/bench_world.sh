@@ -1,0 +1,171 @@
+#!/usr/bin/env sh
+# World-scaling benchmark: start cp-serve on a lazily derived uniform
+# world, drive it with Zipf-distributed host sampling, and record the
+# scaling report (derive p50/p99, RSS ceiling, throughput vs the
+# committed BENCH_serve baseline) to BENCH_world.json.
+#
+# Gates:
+#   * the million-host server answers the Zipf mix with zero 5xx;
+#   * resident memory stays bounded (O(site cache), not O(world));
+#   * table1-world throughput stays >= 0.8x the BENCH_serve baseline.
+#
+# Usage: scripts/bench_world.sh [requests] [threads] [seed]
+#   SMOKE=1 scripts/bench_world.sh   # tiny CI profile: 100k hosts, 2k
+#                                    # requests, report goes to /tmp
+set -eu
+
+cd "$(dirname "$0")/.."
+
+REQUESTS="${1:-20000}"
+THREADS="${2:-4}"
+SEED="${3:-7}"
+HOSTS=1000000
+ZIPF=1.1
+# A materialized million-site world would need gigabytes; the lazy
+# universe must stay within a flat cache-sized budget.
+RSS_CEILING_KB=262144
+OUT="BENCH_world.json"
+if [ "${SMOKE:-0}" = "1" ]; then
+    REQUESTS=2000
+    HOSTS=100000
+    OUT="$(mktemp /tmp/bench_world.XXXXXX.json)"
+fi
+
+export CARGO_NET_OFFLINE=true
+cargo build --release --quiet
+BIN=target/release/cookiepicker
+
+SERVE_LOG="$(mktemp /tmp/cp_world.XXXXXX.log)"
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT INT TERM
+
+# Starts the server with the given --world and scrapes the bound port
+# from the (flushed) banner into $PORT.
+start_server() {
+    : >"$SERVE_LOG"
+    "$BIN" serve --port 0 --seed "$SEED" --workers "$THREADS" --world "$1" >"$SERVE_LOG" &
+    SERVE_PID=$!
+    PORT=""
+    for _ in $(seq 1 50); do
+        PORT="$(sed -n 's/.*listening on http:\/\/[0-9.]*:\([0-9]*\).*/\1/p' "$SERVE_LOG")"
+        [ -n "$PORT" ] && break
+        sleep 0.1
+    done
+    [ -n "$PORT" ] || { echo "bench_world: server did not start"; cat "$SERVE_LOG"; exit 1; }
+}
+
+stop_server() {
+    "$BIN" get --port "$PORT" --post /v1/shutdown >/dev/null 2>&1 || true
+    wait "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=""
+}
+
+rss_kb() {
+    if [ -r "/proc/$SERVE_PID/status" ]; then
+        awk '/^VmRSS:/ {print $2}' "/proc/$SERVE_PID/status"
+    else
+        echo 0
+    fi
+}
+
+# ---- Phase 1: Zipf load against the lazily derived uniform world ------
+start_server "uniform:$HOSTS"
+RSS_START_KB="$(rss_kb)"
+
+ZIPF_REPORT="$(mktemp /tmp/cp_world_zipf.XXXXXX.json)"
+"$BIN" loadgen --port "$PORT" --threads "$THREADS" --requests "$REQUESTS" \
+    --seed "$SEED" --hosts "$HOSTS" --zipf "$ZIPF" --out "$ZIPF_REPORT"
+
+RSS_END_KB="$(rss_kb)"
+METRICS="$(mktemp /tmp/cp_world_metrics.XXXXXX.txt)"
+"$BIN" get --port "$PORT" /metrics >"$METRICS"
+stop_server
+
+grep -q '"status_5xx": 0' "$ZIPF_REPORT" \
+    || { echo "bench_world: 5xx under Zipf load"; cat "$ZIPF_REPORT"; exit 1; }
+grep -q '"transport_errors": 0' "$ZIPF_REPORT" \
+    || { echo "bench_world: transport errors"; cat "$ZIPF_REPORT"; exit 1; }
+
+# Derivation latency percentiles from the cp_site_derive_micros histogram
+# (upper bucket bounds, so p50/p99 are conservative ceilings).
+DERIVE_STATS="$(awk '
+    /^cp_site_derive_micros_bucket/ {
+        le = $0; sub(/.*le="/, "", le); sub(/".*/, "", le)
+        n = $2; i++; bound[i] = le; cum[i] = n
+    }
+    /^cp_site_derive_micros_count/ { count = $2 }
+    END {
+        if (count + 0 == 0) { print "0 0 0"; exit }
+        for (j = 1; j <= i; j++) {
+            if (!p50 && cum[j] >= 0.5 * count) p50 = bound[j]
+            if (!p99 && cum[j] >= 0.99 * count) p99 = bound[j]
+        }
+        # -1 = beyond the largest finite bucket (keeps the JSON numeric).
+        if (p50 == "+Inf") p50 = -1
+        if (p99 == "+Inf") p99 = -1
+        print p50, p99, count
+    }' "$METRICS")"
+DERIVE_P50="$(echo "$DERIVE_STATS" | cut -d' ' -f1)"
+DERIVE_P99="$(echo "$DERIVE_STATS" | cut -d' ' -f2)"
+DERIVE_COUNT="$(echo "$DERIVE_STATS" | cut -d' ' -f3)"
+[ "$DERIVE_COUNT" -gt 0 ] || { echo "bench_world: no derivations observed"; exit 1; }
+
+if [ "$RSS_END_KB" -gt 0 ] && [ "$RSS_END_KB" -gt "$RSS_CEILING_KB" ]; then
+    echo "bench_world: RSS $RSS_END_KB kB exceeds ceiling $RSS_CEILING_KB kB"
+    exit 1
+fi
+
+ZIPF_RPS="$(sed -n 's/.*"throughput_rps": \([0-9.]*\).*/\1/p' "$ZIPF_REPORT")"
+
+# ---- Phase 2: table1 world throughput vs the BENCH_serve baseline -----
+start_server "table1"
+T1_REPORT="$(mktemp /tmp/cp_world_t1.XXXXXX.json)"
+"$BIN" loadgen --port "$PORT" --threads "$THREADS" --requests "$REQUESTS" \
+    --seed "$SEED" --out "$T1_REPORT"
+stop_server
+trap - EXIT INT TERM
+
+grep -q '"status_5xx": 0' "$T1_REPORT" \
+    || { echo "bench_world: 5xx on table1 world"; cat "$T1_REPORT"; exit 1; }
+grep -q '"counters_match": true' "$T1_REPORT" \
+    || { echo "bench_world: counter mismatch on table1 world"; cat "$T1_REPORT"; exit 1; }
+
+T1_RPS="$(sed -n 's/.*"throughput_rps": \([0-9.]*\).*/\1/p' "$T1_REPORT")"
+BASELINE_RPS=""
+[ -f BENCH_serve.json ] \
+    && BASELINE_RPS="$(sed -n 's/.*"throughput_rps": \([0-9.]*\).*/\1/p' BENCH_serve.json)"
+
+# The lazy universe must not tax the hot path: only the full profile
+# gates the ratio (the smoke profile is too short to time anything).
+if [ -n "$BASELINE_RPS" ] && [ "${SMOKE:-0}" != "1" ]; then
+    awk -v new="$T1_RPS" -v old="$BASELINE_RPS" 'BEGIN {
+        if (new + 0 < 0.8 * (old + 0)) {
+            printf "bench_world: table1 throughput regressed: %s rps vs baseline %s rps\n", new, old
+            exit 1
+        }
+        printf "bench_world: table1 throughput %s rps (baseline %s rps)\n", new, old
+    }'
+fi
+
+cat >"$OUT" <<JSON
+{
+  "world_hosts": $HOSTS,
+  "zipf_exponent": $ZIPF,
+  "requests": $REQUESTS,
+  "threads": $THREADS,
+  "seed": $SEED,
+  "derive_p50_micros_le": $DERIVE_P50,
+  "derive_p99_micros_le": $DERIVE_P99,
+  "derive_count": $DERIVE_COUNT,
+  "rss_start_kb": $RSS_START_KB,
+  "rss_end_kb": $RSS_END_KB,
+  "rss_ceiling_kb": $RSS_CEILING_KB,
+  "zipf_throughput_rps": ${ZIPF_RPS:-0},
+  "table1_throughput_rps": ${T1_RPS:-0},
+  "bench_serve_baseline_rps": ${BASELINE_RPS:-0}
+}
+JSON
+
+rm -f "$ZIPF_REPORT" "$T1_REPORT" "$METRICS" "$SERVE_LOG"
+echo "bench_world: ${HOSTS}-host world, derive p50<=${DERIVE_P50}us p99<=${DERIVE_P99}us, RSS ${RSS_END_KB} kB"
+echo "bench_world: report written to $OUT"

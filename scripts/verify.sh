@@ -19,6 +19,10 @@ cargo test -q --workspace
 # binary gates on equivalence before any timing).
 SMOKE=1 ./scripts/bench_detect.sh
 
+# World smoke: a lazily derived 100k-host world under Zipf load — gates
+# on zero 5xx, bounded RSS, and observed on-demand derivations.
+SMOKE=1 ./scripts/bench_world.sh
+
 # Chaos smoke: fault-injected serve run vs a fault-free oracle — gates on
 # zero invented marks, zero panics, and a clean transport tally.
 SMOKE=1 ./scripts/chaos.sh
@@ -28,4 +32,4 @@ SMOKE=1 ./scripts/chaos.sh
 # recovery, and a replay-free clean restart.
 SMOKE=1 ./scripts/crash.sh
 
-echo "verify: fmt + build + tests + detect smoke + chaos smoke + crash smoke passed offline"
+echo "verify: fmt + build + tests + detect smoke + world smoke + chaos smoke + crash smoke passed offline"

@@ -81,6 +81,8 @@ pub enum Command {
         storage_fault_rate: f64,
         /// Seed for the storage-fault stream.
         storage_fault_seed: u64,
+        /// Embedded world to serve (`table1` or `uniform:N`).
+        world: cp_serve::WorldKind,
     },
     /// One HTTP request against a running service (the crash harness's
     /// portable substitute for curl/nc).
@@ -106,6 +108,11 @@ pub enum Command {
         requests: u64,
         /// Mix seed (must match the server's seed).
         seed: u64,
+        /// Sample visit hosts Zipf-ranked from a `uniform:N` world instead
+        /// of partitioning the Table-1 population.
+        hosts: Option<u64>,
+        /// Zipf exponent for `--hosts` sampling.
+        zipf: f64,
         /// Also write the JSON report to this file.
         out: Option<String>,
         /// Write the observed `"host cookie"` mark lines to this file (one
@@ -221,6 +228,7 @@ where
             let mut snapshot_every = cp_serve::store::DEFAULT_SNAPSHOT_EVERY;
             let mut storage_fault_rate = 0.0f64;
             let mut storage_fault_seed = 0u64;
+            let mut world = cp_serve::WorldKind::Table1;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -244,6 +252,11 @@ where
                     }
                     "--storage-fault-seed" => {
                         storage_fault_seed = flag_value(&mut it, "--storage-fault-seed")?
+                    }
+                    "--world" => {
+                        let v: String = flag_value(&mut it, "--world")?;
+                        world = cp_serve::WorldKind::parse(&v)
+                            .map_err(|e| err(format!("invalid --world {v:?}: {e}")))?;
                     }
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
@@ -270,6 +283,7 @@ where
                 snapshot_every,
                 storage_fault_rate,
                 storage_fault_seed,
+                world,
             })
         }
         "get" => {
@@ -301,6 +315,8 @@ where
             let mut threads = 4usize;
             let mut requests = 10_000u64;
             let mut seed = 7u64;
+            let mut hosts = None;
+            let mut zipf = 1.0f64;
             let mut out = None;
             let mut marks_out = None;
             let mut it = args[1..].iter();
@@ -311,6 +327,8 @@ where
                     "--threads" => threads = flag_value(&mut it, "--threads")?,
                     "--requests" => requests = flag_value(&mut it, "--requests")?,
                     "--seed" => seed = flag_value(&mut it, "--seed")?,
+                    "--hosts" => hosts = Some(flag_value(&mut it, "--hosts")?),
+                    "--zipf" => zipf = flag_value(&mut it, "--zipf")?,
                     "--out" => out = Some(flag_value::<String>(&mut it, "--out")?),
                     "--marks-out" => {
                         marks_out = Some(flag_value::<String>(&mut it, "--marks-out")?)
@@ -321,7 +339,23 @@ where
             if port == 0 {
                 return Err(err("loadgen needs --port pointing at a running server"));
             }
-            Ok(Command::Loadgen { host, port, threads, requests, seed, out, marks_out })
+            if hosts == Some(0) {
+                return Err(err("--hosts must be at least 1"));
+            }
+            if !zipf.is_finite() || zipf < 0.0 {
+                return Err(err("--zipf must be a finite exponent >= 0"));
+            }
+            Ok(Command::Loadgen {
+                host,
+                port,
+                threads,
+                requests,
+                seed,
+                hosts,
+                zipf,
+                out,
+                marks_out,
+            })
         }
         other => Err(err(format!("unknown subcommand {other:?}; try `cookiepicker help`"))),
     }
@@ -344,9 +378,10 @@ USAGE:
     cookiepicker simulate [--seed N] [--sites N]
     cookiepicker jar <jar.json> [--site HOST] [--summary]
     cookiepicker serve [--port N] [--seed N] [--workers N] [--shards N] [--queue N] [--timeout-ms N] [--chaos-rate F]
-                       [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]
+                       [--world table1|uniform:N] [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]
                        [--storage-fault-rate F] [--storage-fault-seed N]
-    cookiepicker loadgen --port N [--host H] [--threads N] [--requests N] [--seed N] [--out FILE] [--marks-out FILE]
+    cookiepicker loadgen --port N [--host H] [--threads N] [--requests N] [--seed N] [--hosts N] [--zipf S]
+                         [--out FILE] [--marks-out FILE]
     cookiepicker get --port N [--host H] [--post] PATH
     cookiepicker help
 ";
@@ -498,6 +533,7 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
             snapshot_every,
             storage_fault_rate,
             storage_fault_seed,
+            world,
         } => {
             let timeout = std::time::Duration::from_millis(timeout_ms);
             let durable = data_dir.is_some();
@@ -515,13 +551,14 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 snapshot_every,
                 storage_fault_rate,
                 storage_fault_seed,
+                world,
                 ..cp_serve::ServeConfig::default()
             };
             let mut server =
                 cp_serve::start(config).map_err(|e| err(format!("cannot start: {e}")))?;
             writeln!(
                 out,
-                "cp-serve listening on http://{} (seed {seed}, {workers} workers, {shards} shards)",
+                "cp-serve listening on http://{} (seed {seed}, world {world}, {workers} workers, {shards} shards)",
                 server.addr()
             )
             .map_err(|e| err(e.to_string()))?;
@@ -556,8 +593,19 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
             }
             write!(out, "{}", response.body_string()).map_err(|e| err(e.to_string()))?;
         }
-        Command::Loadgen { host, port, threads, requests, seed, out: out_path, marks_out } => {
-            let config = cp_serve::LoadgenConfig { host, port, threads, requests, seed };
+        Command::Loadgen {
+            host,
+            port,
+            threads,
+            requests,
+            seed,
+            hosts,
+            zipf,
+            out: out_path,
+            marks_out,
+        } => {
+            let config =
+                cp_serve::LoadgenConfig { host, port, threads, requests, seed, hosts, zipf };
             let report =
                 cp_serve::loadgen::run(&config).map_err(|e| err(format!("loadgen: {e}")))?;
             let json = report.to_json().to_pretty();
@@ -660,6 +708,7 @@ mod tests {
                 snapshot_every: cp_serve::store::DEFAULT_SNAPSHOT_EVERY,
                 storage_fault_rate: 0.0,
                 storage_fault_seed: 0,
+                world: cp_serve::WorldKind::Table1,
             }
         );
         assert!(matches!(
@@ -675,6 +724,8 @@ mod tests {
                 threads: 4,
                 requests: 500,
                 seed: 7,
+                hosts: None,
+                zipf: 1.0,
                 out: Some("r.json".into()),
                 marks_out: None,
             }
@@ -686,6 +737,27 @@ mod tests {
         assert!(parse_args(["serve", "--bogus"]).is_err());
         assert!(parse_args(["serve", "--chaos-rate", "1.5"]).is_err(), "rate must be in [0, 1]");
         assert!(parse_args(["loadgen", "--threads", "2"]).is_err(), "loadgen requires --port");
+    }
+
+    #[test]
+    fn parse_world_and_zipf_flags() {
+        assert!(matches!(
+            parse_args(["serve", "--world", "uniform:1000000"]).unwrap(),
+            Command::Serve { world: cp_serve::WorldKind::Uniform(1_000_000), .. }
+        ));
+        assert!(matches!(
+            parse_args(["serve", "--world", "table1"]).unwrap(),
+            Command::Serve { world: cp_serve::WorldKind::Table1, .. }
+        ));
+        assert!(parse_args(["serve", "--world", "uniform:0"]).is_err(), "empty world");
+        assert!(parse_args(["serve", "--world", "galaxy"]).is_err(), "unknown kind");
+        assert!(matches!(
+            parse_args(["loadgen", "--port", "1", "--hosts", "1000000", "--zipf", "1.1"]).unwrap(),
+            Command::Loadgen { hosts: Some(1_000_000), zipf, .. } if zipf == 1.1
+        ));
+        assert!(parse_args(["loadgen", "--port", "1", "--hosts", "0"]).is_err());
+        assert!(parse_args(["loadgen", "--port", "1", "--zipf", "-1"]).is_err());
+        assert!(parse_args(["loadgen", "--port", "1", "--zipf", "inf"]).is_err());
     }
 
     #[test]

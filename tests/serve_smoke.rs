@@ -210,6 +210,81 @@ fn durable_restart_replays_zero_records_and_keeps_marks() {
 }
 
 #[test]
+fn sites_listing_paginates_the_whole_world_exactly_once() {
+    let server = start(ServeConfig {
+        workers: 2,
+        world: cookiepicker::serve::WorldKind::Uniform(137),
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    })
+    .expect("bind uniform world");
+    let mut seen: Vec<String> = Vec::new();
+    let mut cursor: Option<String> = None;
+    let mut pages = 0;
+    loop {
+        let target = match &cursor {
+            None => "/v1/sites?limit=25".to_string(),
+            Some(c) => format!("/v1/sites?limit=25&after={c}"),
+        };
+        let resp = one_shot(&server, "GET", &target, b"");
+        assert_eq!(resp.status, 200, "{}", resp.body_string());
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("total").and_then(Json::as_u64), Some(137));
+        let hosts: Vec<String> = json
+            .get("hosts")
+            .and_then(Json::as_array)
+            .expect("hosts array")
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_string)
+            .collect();
+        assert_eq!(json.get("count").and_then(Json::as_u64), Some(hosts.len() as u64));
+        seen.extend(hosts);
+        pages += 1;
+        match json.get("next").and_then(Json::as_str) {
+            Some(next) => cursor = Some(next.to_string()),
+            None => break,
+        }
+    }
+    assert_eq!(pages, 6, "137 hosts in pages of 25");
+    assert_eq!(seen.len(), 137, "the walk covers the whole world");
+    let mut dedup = seen.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), 137, "no host listed twice");
+    // A listed host is actually servable.
+    let body = Json::object().set("host", seen[0].as_str()).to_compact();
+    assert_eq!(one_shot(&server, "POST", "/v1/visit", body.as_bytes()).status, 200);
+    // Unknown cursors and malformed limits are 400s, not silent empties.
+    assert_eq!(one_shot(&server, "GET", "/v1/sites?after=nope.example", b"").status, 400);
+    assert_eq!(one_shot(&server, "GET", "/v1/sites?limit=0", b"").status, 400);
+    assert_eq!(one_shot(&server, "GET", "/v1/sites?limit=many", b"").status, 400);
+    assert_eq!(one_shot(&server, "GET", "/v1/sites?page=2", b"").status, 400);
+}
+
+#[test]
+fn sites_listing_defaults_cover_the_table1_world() {
+    let server = test_server();
+    let resp = one_shot(&server, "GET", "/v1/sites", b"");
+    assert_eq!(resp.status, 200);
+    let json = Json::parse(&resp.body_string()).unwrap();
+    // The Table-1 population (30 hosts) fits in the default page of 50.
+    assert_eq!(json.get("total").and_then(Json::as_u64), Some(30));
+    assert_eq!(json.get("count").and_then(Json::as_u64), Some(30));
+    assert_eq!(json.get("next"), Some(&Json::Null));
+    let hosts: Vec<&str> = json
+        .get("hosts")
+        .and_then(Json::as_array)
+        .expect("hosts array")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert!(hosts.windows(2).all(|w| w[0] < w[1]), "table1 listing is sorted");
+    assert!(hosts.contains(&"news1.example"));
+}
+
+#[test]
 fn full_queue_sheds_load_with_503() {
     // 1 worker, 1-slot queue: occupy the worker, fill the queue, then watch
     // the next connection get a 503 instead of queueing unboundedly.
