@@ -1,0 +1,154 @@
+//! The priority frontier: a min-heap of scheduled host actions.
+//!
+//! Every tracked host has **at most one** entry in the heap, keyed by
+//! `(due_tick, priority class, insertion seq)`. The monotone sequence
+//! number breaks every tie, so pop order is a total order determined
+//! entirely by the schedule — never by hash iteration or thread timing.
+//! That single property is what lets the crawler run its visits on a
+//! worker pool and still produce byte-identical runs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Why a host is scheduled, in descending urgency. Training visits go
+/// first (they retire hosts and free budget), re-verification after a TTL
+/// expiry next, first contact with a freshly discovered host after that,
+/// and dormant hosts parked until their marks decay last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// FORCUM training is active: visit again to drive it to stability.
+    Training = 0,
+    /// A mark just expired: re-probe the site through the normal path.
+    Reverify = 1,
+    /// Newly discovered host awaiting its first visit.
+    Discover = 2,
+    /// Dormant and marked: parked until the usefulness TTL decays.
+    TtlWait = 3,
+}
+
+/// One scheduled frontier entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled {
+    /// Tick the action becomes due.
+    pub due: u64,
+    /// Urgency class (ties broken by `seq`).
+    pub class: Priority,
+    /// Monotone insertion number — the deterministic tie-break.
+    pub seq: u64,
+    /// The host to act on.
+    pub host: String,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.due, self.class, self.seq).cmp(&(other.due, other.class, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The scheduler's priority queue.
+#[derive(Debug, Default)]
+pub struct Frontier {
+    heap: BinaryHeap<std::cmp::Reverse<Scheduled>>,
+    seq: u64,
+}
+
+impl Frontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Frontier::default()
+    }
+
+    /// Schedules `host` for `class` at `due`. The caller maintains the
+    /// one-entry-per-host invariant (a host is pushed only after its
+    /// previous entry was popped and processed).
+    pub fn push(&mut self, host: String, due: u64, class: Priority) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(std::cmp::Reverse(Scheduled { due, class, seq, host }));
+    }
+
+    /// Pops the most urgent entry due at or before `tick`, if any.
+    pub fn pop_due(&mut self, tick: u64) -> Option<Scheduled> {
+        if self.heap.peek().is_some_and(|e| e.0.due <= tick) {
+            self.heap.pop().map(|e| e.0)
+        } else {
+            None
+        }
+    }
+
+    /// The due tick of the most urgent entry (for fast-forwarding idle
+    /// ticks), or `None` when empty.
+    pub fn next_due(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.0.due)
+    }
+
+    /// Scheduled entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the frontier is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_due_then_class_then_seq() {
+        let mut frontier = Frontier::new();
+        frontier.push("late.example".into(), 9, Priority::Training);
+        frontier.push("discover.example".into(), 3, Priority::Discover);
+        frontier.push("training.example".into(), 3, Priority::Training);
+        frontier.push("reverify.example".into(), 3, Priority::Reverify);
+        frontier.push("first.example".into(), 1, Priority::TtlWait);
+        let order: Vec<String> =
+            std::iter::from_fn(|| frontier.pop_due(100).map(|s| s.host)).collect();
+        assert_eq!(
+            order,
+            [
+                "first.example",
+                "training.example",
+                "reverify.example",
+                "discover.example",
+                "late.example"
+            ]
+        );
+    }
+
+    #[test]
+    fn seq_breaks_exact_ties_in_insertion_order() {
+        let mut frontier = Frontier::new();
+        for host in ["c.example", "a.example", "b.example"] {
+            frontier.push(host.into(), 5, Priority::Discover);
+        }
+        let order: Vec<String> =
+            std::iter::from_fn(|| frontier.pop_due(5).map(|s| s.host)).collect();
+        assert_eq!(order, ["c.example", "a.example", "b.example"], "insertion order, not name");
+    }
+
+    #[test]
+    fn pop_due_respects_the_clock() {
+        let mut frontier = Frontier::new();
+        frontier.push("soon.example".into(), 2, Priority::Training);
+        frontier.push("later.example".into(), 7, Priority::Training);
+        assert!(frontier.pop_due(1).is_none());
+        assert_eq!(frontier.next_due(), Some(2));
+        assert_eq!(frontier.pop_due(2).unwrap().host, "soon.example");
+        assert!(frontier.pop_due(2).is_none(), "later entry not yet due");
+        assert_eq!(frontier.next_due(), Some(7));
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier.pop_due(7).unwrap().host, "later.example");
+        assert!(frontier.is_empty());
+        assert_eq!(frontier.next_due(), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! # cp-crawl — the autonomous frontier scheduler
+//!
+//! Turns the training store into a continuously-refreshed corpus: a
+//! priority frontier over the webworld that discovers hosts by keyset
+//! enumeration, trains them through FORCUM visits, lets usefulness marks
+//! decay on a TTL, and re-verifies decayed marks through the same
+//! event-sourced visit path the server uses — no load generator, no
+//! operator in the loop.
+//!
+//! The moving parts:
+//!
+//! - [`frontier`] — a min-heap of `(due tick, priority class, seq)`
+//!   entries, one per host; training beats re-verification beats
+//!   discovery at equal due times.
+//! - [`politeness`] — per-host token bucket + minimum inter-visit delay;
+//!   the scheduler never pops a host before its budget allows.
+//! - [`revisit`] — usefulness-TTL bookkeeping: marks age from their
+//!   marking tick and decay into an expiry probe exactly once per decay.
+//! - [`driver`] — the pluggable visit path: in-process against an
+//!   embedded world + store, or HTTP against a live `cp-serve`.
+//! - [`crawler`] — the discrete-tick loop tying it together. Same
+//!   `(seed, config)` ⇒ byte-identical visit order and final marks,
+//!   regardless of worker count.
+
+pub mod crawler;
+pub mod driver;
+pub mod frontier;
+pub mod politeness;
+pub mod revisit;
+
+pub use crawler::{crawl, CrawlConfig, CrawlReport, Table1Audit, TICK_MILLIS};
+pub use driver::{CrawlVisit, DriveResult, ExpireResult, HttpDriver, InProcessDriver, VisitDriver};
+pub use frontier::{Frontier, Priority};
+pub use politeness::{HostBudget, Politeness};
+pub use revisit::MarkAges;

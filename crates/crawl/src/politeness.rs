@@ -1,0 +1,147 @@
+//! Per-host politeness budgets: a token bucket plus a minimum inter-visit
+//! delay, both measured in scheduler ticks.
+//!
+//! The two limits compose: the minimum delay spaces *consecutive* visits,
+//! the bucket bounds the *sustained* rate. A host can absorb a short burst
+//! (up to `burst` tokens at `min_delay_ticks` spacing) and then settles to
+//! one visit per `refill_ticks`. Everything is integer arithmetic on
+//! ticks, so the budget is exactly reproducible across runs.
+
+/// The crawl-wide politeness policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Politeness {
+    /// Minimum ticks between two visits to the same host.
+    pub min_delay_ticks: u64,
+    /// Token-bucket capacity: visits a host can absorb back-to-back
+    /// (subject to `min_delay_ticks`) before the refill rate binds.
+    pub burst: u32,
+    /// Ticks to earn one token back. The sustained per-host visit rate is
+    /// one visit per `refill_ticks`.
+    pub refill_ticks: u64,
+}
+
+impl Default for Politeness {
+    fn default() -> Self {
+        Politeness { min_delay_ticks: 1, burst: 2, refill_ticks: 3 }
+    }
+}
+
+/// One host's budget state.
+#[derive(Debug, Clone)]
+pub struct HostBudget {
+    tokens: u32,
+    /// Tick the bucket last earned (or was observed full) at.
+    last_refill: u64,
+    /// Tick of the host's most recent visit.
+    last_visit: Option<u64>,
+}
+
+impl HostBudget {
+    /// A full bucket as of tick 0.
+    pub fn new(policy: &Politeness) -> Self {
+        HostBudget { tokens: policy.burst, last_refill: 0, last_visit: None }
+    }
+
+    /// Accrues tokens earned up to `tick`. While the bucket is full the
+    /// refill clock tracks `tick`, so idle time never banks extra burst.
+    fn refresh(&mut self, policy: &Politeness, tick: u64) {
+        if self.tokens >= policy.burst || policy.refill_ticks == 0 {
+            self.tokens = policy.burst;
+            self.last_refill = tick.max(self.last_refill);
+            return;
+        }
+        let earned = tick.saturating_sub(self.last_refill) / policy.refill_ticks;
+        let earned = (earned.min(u64::from(policy.burst)) as u32).min(policy.burst - self.tokens);
+        self.tokens += earned;
+        self.last_refill += u64::from(earned) * policy.refill_ticks;
+        if self.tokens >= policy.burst {
+            self.last_refill = tick;
+        }
+    }
+
+    /// The earliest tick `>= tick` at which the next visit is allowed.
+    pub fn earliest(&mut self, policy: &Politeness, tick: u64) -> u64 {
+        self.refresh(policy, tick);
+        let spaced = self.last_visit.map_or(tick, |t| t + policy.min_delay_ticks).max(tick);
+        if self.tokens > 0 {
+            spaced
+        } else {
+            spaced.max(self.last_refill + policy.refill_ticks)
+        }
+    }
+
+    /// Consumes one token for a visit at `tick`. The caller schedules via
+    /// [`earliest`](Self::earliest), so a token is always available.
+    pub fn spend(&mut self, policy: &Politeness, tick: u64) {
+        self.refresh(policy, tick);
+        debug_assert!(self.tokens > 0, "spend without earliest() scheduling");
+        self.tokens = self.tokens.saturating_sub(1);
+        self.last_visit = Some(tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_delay_spaces_consecutive_visits() {
+        let policy = Politeness { min_delay_ticks: 4, burst: 10, refill_ticks: 1 };
+        let mut budget = HostBudget::new(&policy);
+        let first = budget.earliest(&policy, 0);
+        assert_eq!(first, 0);
+        budget.spend(&policy, first);
+        assert_eq!(budget.earliest(&policy, 1), 4, "next visit waits out the delay");
+        budget.spend(&policy, 4);
+        assert_eq!(budget.earliest(&policy, 5), 8);
+    }
+
+    #[test]
+    fn bucket_bounds_the_sustained_rate() {
+        let policy = Politeness { min_delay_ticks: 1, burst: 2, refill_ticks: 5 };
+        let mut budget = HostBudget::new(&policy);
+        // Burst of two at min-delay spacing...
+        budget.spend(&policy, 0);
+        assert_eq!(budget.earliest(&policy, 1), 1);
+        budget.spend(&policy, 1);
+        // ...then the refill rate binds: the bucket emptied at tick 1 and
+        // earns its next token 5 ticks after the last accrual point.
+        let next = budget.earliest(&policy, 2);
+        assert!(next >= 5, "sustained rate is one visit per refill_ticks, got {next}");
+        budget.spend(&policy, next);
+        let after = budget.earliest(&policy, next + 1);
+        assert!(after >= next + policy.refill_ticks - 1);
+    }
+
+    #[test]
+    fn idle_time_does_not_bank_extra_burst() {
+        let policy = Politeness { min_delay_ticks: 1, burst: 2, refill_ticks: 3 };
+        let mut budget = HostBudget::new(&policy);
+        budget.spend(&policy, 0);
+        budget.spend(&policy, 1);
+        // Long idle: the bucket refills to capacity and no further.
+        assert_eq!(budget.earliest(&policy, 1_000), 1_000);
+        budget.spend(&policy, 1_000);
+        budget.spend(&policy, 1_001);
+        // Both banked tokens spent: the refill rate binds again.
+        assert!(budget.earliest(&policy, 1_002) >= 1_003);
+    }
+
+    #[test]
+    fn budget_is_deterministic() {
+        let policy = Politeness::default();
+        let run = || {
+            let mut budget = HostBudget::new(&policy);
+            let mut ticks = Vec::new();
+            let mut tick = 0;
+            for _ in 0..20 {
+                tick = budget.earliest(&policy, tick);
+                budget.spend(&policy, tick);
+                ticks.push(tick);
+                tick += 1;
+            }
+            ticks
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,105 @@
+//! Usefulness-TTL bookkeeping: when each mark was earned, and which marks
+//! have decayed past the TTL and are owed a re-verification probe.
+//!
+//! A `BTreeMap` keyed by cookie name keeps iteration (and therefore the
+//! expiry batches handed back to the crawler) in a deterministic order.
+//! `take_expired` *removes* what it returns, so a decayed mark is handed
+//! out exactly once per decay; it only re-enters the map if training
+//! re-marks it, which restarts its TTL from the new tick.
+
+use std::collections::BTreeMap;
+
+/// Mark birth ticks for one host.
+#[derive(Debug, Clone, Default)]
+pub struct MarkAges {
+    marked_at: BTreeMap<String, u64>,
+}
+
+impl MarkAges {
+    /// No marks yet.
+    pub fn new() -> Self {
+        MarkAges::default()
+    }
+
+    /// Records cookies marked at `tick`. Re-marking an expired cookie
+    /// restarts its TTL from the new tick.
+    pub fn record<S: AsRef<str>>(&mut self, names: &[S], tick: u64) {
+        for name in names {
+            self.marked_at.insert(name.as_ref().to_string(), tick);
+        }
+    }
+
+    /// Restores a cookie's original birth tick (used when an expire probe
+    /// fails in transit and must be retried later).
+    pub fn restore(&mut self, name: &str, marked_at: u64) {
+        self.marked_at.entry(name.to_string()).or_insert(marked_at);
+    }
+
+    /// The earliest tick at which any tracked mark decays, or `None` when
+    /// nothing is tracked.
+    pub fn next_expiry(&self, ttl: u64) -> Option<u64> {
+        self.marked_at.values().min().map(|t| t + ttl)
+    }
+
+    /// Removes and returns `(name, marked_at)` for every mark whose TTL
+    /// has elapsed as of `tick`, in name order.
+    pub fn take_expired(&mut self, ttl: u64, tick: u64) -> Vec<(String, u64)> {
+        let expired: Vec<String> = self
+            .marked_at
+            .iter()
+            .filter(|(_, &at)| at + ttl <= tick)
+            .map(|(name, _)| name.clone())
+            .collect();
+        expired
+            .into_iter()
+            .map(|name| {
+                let at = self.marked_at.remove(&name).expect("selected above");
+                (name, at)
+            })
+            .collect()
+    }
+
+    /// Whether any marks are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.marked_at.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_fires_exactly_once_per_decay() {
+        let mut ages = MarkAges::new();
+        ages.record(&["ga1", "prefs"], 10);
+        assert_eq!(ages.next_expiry(5), Some(15));
+        assert!(ages.take_expired(5, 14).is_empty(), "not yet due");
+        let first = ages.take_expired(5, 15);
+        assert_eq!(first, vec![("ga1".into(), 10), ("prefs".into(), 10)]);
+        assert!(ages.take_expired(5, 100).is_empty(), "already taken");
+        assert!(ages.is_empty());
+        assert_eq!(ages.next_expiry(5), None);
+    }
+
+    #[test]
+    fn remarking_restarts_the_ttl() {
+        let mut ages = MarkAges::new();
+        ages.record(&["ga1"], 0);
+        assert_eq!(ages.take_expired(4, 4).len(), 1);
+        ages.record(&["ga1"], 9);
+        assert!(ages.take_expired(4, 12).is_empty(), "fresh TTL from re-mark");
+        assert_eq!(ages.take_expired(4, 13), vec![("ga1".into(), 9)]);
+    }
+
+    #[test]
+    fn restore_rewinds_a_failed_expiry() {
+        let mut ages = MarkAges::new();
+        ages.record(&["trk0"], 2);
+        let taken = ages.take_expired(3, 5);
+        assert_eq!(taken.len(), 1);
+        ages.restore("trk0", taken[0].1);
+        // Still immediately due — the decay was not lost.
+        assert_eq!(ages.take_expired(3, 5), vec![("trk0".into(), 2)]);
+    }
+}

@@ -1,0 +1,252 @@
+//! End-to-end crawls: Table-1 convergence, determinism, politeness,
+//! TTL decay, unknown-host handling, and HTTP/in-process parity.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use cookiepicker_core::CookiePickerConfig;
+use cp_crawl::{
+    crawl, CrawlConfig, DriveResult, ExpireResult, HttpDriver, InProcessDriver, Politeness,
+    Table1Audit, VisitDriver,
+};
+use cp_serve::metrics::ServiceMetrics;
+use cp_serve::{AnalysisCache, EmbeddedWorld, ShardedStore, WorldKind};
+
+/// The marks the paper's Table-1 world converges to (results/table1.json).
+const TABLE1_MARKS: [&str; 7] = [
+    "arts1.example ga1",
+    "arts1.example trk0",
+    "computers2.example pref_aux",
+    "computers2.example pref_main",
+    "health2.example trk0",
+    "news2.example prefs_layout",
+    "society1.example trk0",
+];
+
+fn driver(seed: u64, world: WorldKind, metrics: &Arc<ServiceMetrics>) -> InProcessDriver {
+    let config = CookiePickerConfig::default();
+    let store = ShardedStore::new(16, config.stability_window);
+    InProcessDriver::new(
+        EmbeddedWorld::with_world(seed, world, 256),
+        store,
+        config,
+        AnalysisCache::new(512),
+        Arc::clone(metrics),
+    )
+}
+
+fn run(config: &CrawlConfig) -> cp_crawl::CrawlReport {
+    let metrics = Arc::new(ServiceMetrics::new());
+    let d = driver(config.seed, config.world, &metrics);
+    crawl(config, &d, &metrics)
+}
+
+#[test]
+fn table1_converges_to_the_paper_numbers_and_is_deterministic() {
+    let config =
+        CrawlConfig { seed: 7, world: WorldKind::Table1, workers: 4, ..Default::default() };
+    let first = run(&config);
+    assert_eq!(
+        first.table1,
+        Some(Table1Audit { persistent: 103, marked: 7, real: 3 }),
+        "Table-1 audit off: {:?}",
+        first.table1
+    );
+    assert_eq!(first.marks, TABLE1_MARKS, "marks diverge from results/table1.json");
+    assert_eq!(first.frontier_depth_final, 0, "convergence must drain the frontier");
+    assert_eq!(first.hosts_tracked_final, 0, "all dormant hosts retire without a TTL");
+    assert_eq!(first.discovered, 30);
+    assert_eq!(first.unknown_hosts, 0);
+    assert!(first.visits > 30, "training needs revisits, saw {}", first.visits);
+
+    // Same (seed, config) ⇒ byte-identical visit order and final marks.
+    let second = run(&config);
+    assert_eq!(second.order_digest, first.order_digest, "visit order must be reproducible");
+    assert_eq!(second.marks, first.marks);
+    assert_eq!(second.visits, first.visits);
+    assert_eq!(second.ticks, first.ticks);
+
+    // Worker width is part of the schedule (the per-tick pop budget), so
+    // the order may differ — but what the crawl learns must not.
+    let wide = run(&CrawlConfig { workers: 9, ..config.clone() });
+    assert_eq!(wide.marks, first.marks, "worker width must not change what is learned");
+    assert_eq!(wide.table1, first.table1);
+}
+
+#[test]
+fn politeness_is_never_violated() {
+    let politeness = Politeness { min_delay_ticks: 3, burst: 2, refill_ticks: 5 };
+    let config = CrawlConfig {
+        seed: 7,
+        world: WorldKind::Table1,
+        workers: 8,
+        politeness,
+        record_log: true,
+        ..Default::default()
+    };
+    let report = run(&config);
+    assert!(!report.visit_log.is_empty());
+
+    let mut last_visit: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for line in &report.visit_log {
+        let mut parts = line.split(' ');
+        let tick: u64 = parts.next().unwrap().parse().unwrap();
+        let host = parts.next().unwrap().to_string();
+        if let Some(prev) = last_visit.get(&host) {
+            assert!(
+                tick >= prev + politeness.min_delay_ticks,
+                "{host} revisited after {} ticks (minimum {})",
+                tick - prev,
+                politeness.min_delay_ticks
+            );
+        }
+        last_visit.insert(host, tick);
+    }
+    // The budget slows the crawl but must not change what it learns.
+    assert_eq!(report.marks, TABLE1_MARKS);
+}
+
+/// Wraps a driver, recording per-host mark and expiry events in call order.
+/// Per host the scheduler serializes work (one frontier entry per host), so
+/// each host's subsequence of the shared log is causally ordered.
+struct RecordingDriver<'a> {
+    inner: &'a InProcessDriver,
+    events: Mutex<Vec<(String, String, &'static str)>>,
+}
+
+impl VisitDriver for RecordingDriver<'_> {
+    fn visit(&self, host: &str, path: &str, cookie_header: Option<&str>) -> DriveResult {
+        let result = self.inner.visit(host, path, cookie_header);
+        if let DriveResult::Visited(v) = &result {
+            let mut events = self.events.lock().unwrap();
+            for cookie in &v.marked_now {
+                events.push((host.to_string(), cookie.clone(), "mark"));
+            }
+        }
+        result
+    }
+
+    fn expire(&self, host: &str, cookies: &[String]) -> ExpireResult {
+        let result = self.inner.expire(host, cookies);
+        let mut events = self.events.lock().unwrap();
+        for cookie in cookies {
+            events.push((host.to_string(), cookie.clone(), "expire"));
+        }
+        result
+    }
+
+    fn marks(&self) -> Vec<String> {
+        self.inner.marks()
+    }
+}
+
+#[test]
+fn ttl_decay_expires_each_mark_exactly_once_then_reverifies() {
+    // First find the convergence horizon without a TTL, then rerun with
+    // marks decaying and room for at least one full decay + re-verify.
+    let base = CrawlConfig { seed: 7, world: WorldKind::Table1, workers: 4, ..Default::default() };
+    let horizon = run(&base).ticks;
+
+    let ttl = 64;
+    let config =
+        CrawlConfig { ttl_ticks: Some(ttl), ticks: Some(horizon + 40 * ttl), ..base.clone() };
+    let metrics = Arc::new(ServiceMetrics::new());
+    let inner = driver(config.seed, config.world, &metrics);
+    let recording = RecordingDriver { inner: &inner, events: Mutex::new(Vec::new()) };
+    let report = crawl(&config, &recording, &metrics);
+
+    assert!(report.expiries > 0, "the TTL never fired in {} ticks", report.ticks);
+    assert!(report.expired_marks > 0);
+
+    // Exactly once per decay: scanning each (host, cookie) stream, every
+    // expiry must consume a mark recorded since the previous expiry — a
+    // double-fire would show up as two expires without a mark between.
+    let events = recording.events.lock().unwrap();
+    let mut armed: std::collections::HashMap<(String, String), bool> =
+        std::collections::HashMap::new();
+    let mut expiries = 0u64;
+    for (host, cookie, kind) in events.iter() {
+        let slot = armed.entry((host.clone(), cookie.clone())).or_insert(false);
+        match *kind {
+            "mark" => *slot = true,
+            _ => {
+                assert!(*slot, "{host} {cookie} expired twice without an intervening mark");
+                *slot = false;
+                expiries += 1;
+            }
+        }
+    }
+    assert_eq!(expiries, report.expired_marks, "every counted expiry is a journaled decay");
+
+    // Decay is a refresh, not forgetting: re-verification restores the
+    // same seven marks the paper's world supports.
+    assert_eq!(report.marks, TABLE1_MARKS, "re-verification must reconverge");
+}
+
+/// Counts visit attempts per host.
+struct CountingDriver<'a> {
+    inner: &'a InProcessDriver,
+    attempts: Mutex<Vec<String>>,
+}
+
+impl VisitDriver for CountingDriver<'_> {
+    fn visit(&self, host: &str, path: &str, cookie_header: Option<&str>) -> DriveResult {
+        self.attempts.lock().unwrap().push(host.to_string());
+        self.inner.visit(host, path, cookie_header)
+    }
+
+    fn expire(&self, host: &str, cookies: &[String]) -> ExpireResult {
+        self.inner.expire(host, cookies)
+    }
+
+    fn marks(&self) -> Vec<String> {
+        self.inner.marks()
+    }
+}
+
+#[test]
+fn unknown_hosts_are_dropped_after_one_attempt() {
+    // A frontier seeded with a host the resolver rejects: the crawler must
+    // count it, drop it, and terminate — never loop on it.
+    let config = CrawlConfig {
+        seed: 7,
+        world: WorldKind::Table1,
+        workers: 2,
+        max_hosts: Some(0), // suppress discovery: the stale host is alone
+        extra_hosts: vec!["bogus.example".to_string()],
+        ..Default::default()
+    };
+    let metrics = Arc::new(ServiceMetrics::new());
+    let inner = driver(config.seed, config.world, &metrics);
+    let counting = CountingDriver { inner: &inner, attempts: Mutex::new(Vec::new()) };
+    let report = crawl(&config, &counting, &metrics);
+
+    assert_eq!(counting.attempts.lock().unwrap().as_slice(), ["bogus.example".to_string()]);
+    assert_eq!(report.unknown_hosts, 1);
+    assert_eq!(report.visits, 0);
+    assert_eq!(metrics.crawl_unknown_host_total.get(), 1);
+    assert_eq!(metrics.site_derive_count("unknown"), 1, "the rejection lands in site-derive");
+    assert_eq!(report.hosts_tracked_final, 0, "rejected hosts leave no state behind");
+    assert!(report.ticks <= 2, "the crawl must stop immediately, ran {} ticks", report.ticks);
+}
+
+#[test]
+fn http_driver_reaches_the_same_marks_as_in_process() {
+    let server = cp_serve::start(cp_serve::ServeConfig {
+        seed: 7,
+        world: WorldKind::Table1,
+        ..Default::default()
+    })
+    .expect("server starts");
+
+    let config =
+        CrawlConfig { seed: 7, world: WorldKind::Table1, workers: 2, ..Default::default() };
+    let http = HttpDriver::new("127.0.0.1", server.port(), &config.retry);
+    let metrics = Arc::new(ServiceMetrics::new());
+    let report = crawl(&config, &http, &metrics);
+    server.shutdown();
+
+    assert_eq!(report.marks, TABLE1_MARKS, "the remote corpus must converge identically");
+    assert_eq!(report.table1, Some(Table1Audit { persistent: 103, marked: 7, real: 3 }));
+    assert_eq!(report.frontier_depth_final, 0);
+}

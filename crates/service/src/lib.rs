@@ -7,6 +7,8 @@
 //! |---|---|
 //! | `POST /v1/classify` | Figure-5 decision on a caller-provided page pair |
 //! | `POST /v1/visit` | One FORCUM training step against the embedded world |
+//! | `POST /v1/expire` | Drop decayed usefulness marks and restart training |
+//! | `GET /v1/sites` | Keyset-paginated host listing (`after`, `limit`, `more`) |
 //! | `GET /v1/sites/{host}` | Training summary for a site |
 //! | `GET /v1/marks` | Sorted `host cookie` dump of every useful mark |
 //! | `GET /healthz` | Liveness + recovery status |

@@ -49,6 +49,10 @@ pub struct LoadgenConfig {
     /// Zipf exponent for [`LoadgenConfig::hosts`] sampling (rank 1 — index
     /// 0 — is the hottest host). Ignored when `hosts` is `None`.
     pub zipf: f64,
+    /// Transport retries per request (see [`Client`] for the phase rules).
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles on each further retry.
+    pub backoff: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -61,6 +65,8 @@ impl Default for LoadgenConfig {
             seed: 7,
             hosts: None,
             zipf: 1.0,
+            retries: DEFAULT_RETRIES,
+            backoff: DEFAULT_RETRY_BACKOFF,
         }
     }
 }
@@ -188,24 +194,32 @@ impl ToJson for LoadgenReport {
     }
 }
 
-/// Pause before re-sending a request on a fresh connection — long enough
-/// for the server's close to finish propagating, short enough to be noise
-/// in any latency sample.
-const RETRY_BACKOFF: Duration = Duration::from_millis(5);
+/// Default pause before re-sending a request on a fresh connection — long
+/// enough for the server's close to finish propagating, short enough to be
+/// noise in any latency sample.
+const DEFAULT_RETRY_BACKOFF: Duration = Duration::from_millis(5);
+
+/// Default transport retries (the pre-policy behavior: exactly one).
+const DEFAULT_RETRIES: u32 = 1;
 
 /// A keep-alive HTTP client over one TCP connection.
 ///
 /// Failure handling is phase-aware. A connect- or write-phase failure on a
 /// *reused* connection means the server timed the keep-alive out between
 /// requests and nothing reached its handler, so any method is safe to
-/// re-send once on a fresh connection. A read-phase failure arrives after
+/// re-send on a fresh connection. A read-phase failure arrives after
 /// the request went out — the server may already have processed it — so
 /// only idempotent GETs retry; re-sending a POST could double-apply a
-/// training step.
+/// training step. A failure on a *fresh* first connection means the server
+/// is down, and no retry budget changes that — it fails immediately.
 pub struct Client {
     host: String,
     port: u16,
     conn: Option<HttpConn<TcpStream>>,
+    /// Transport retries allowed per request (beyond the first attempt).
+    max_retries: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    backoff: Duration,
     /// Requests re-sent after a transport failure.
     pub retries: u64,
     /// Broken connections abandoned (each retry implies one, but a
@@ -214,9 +228,31 @@ pub struct Client {
 }
 
 impl Client {
-    /// Creates a client for `host:port` (connects lazily).
+    /// Creates a client for `host:port` (connects lazily) with the default
+    /// policy: one retry after a 5 ms pause.
     pub fn new(host: &str, port: u16) -> Self {
-        Client { host: host.to_string(), port, conn: None, retries: 0, reconnects: 0 }
+        Client::with_policy(host, port, DEFAULT_RETRIES, DEFAULT_RETRY_BACKOFF)
+    }
+
+    /// Creates a client with an explicit transport-retry budget and base
+    /// backoff (doubled on each further retry). `retries: 0` disables
+    /// re-sending entirely.
+    pub fn with_policy(host: &str, port: u16, retries: u32, backoff: Duration) -> Self {
+        Client {
+            host: host.to_string(),
+            port,
+            conn: None,
+            max_retries: retries,
+            backoff,
+            retries: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// Pauses before retry number `attempt` (1-based): exponential
+    /// doubling, capped so a large budget cannot sleep for minutes.
+    fn backoff_pause(&self, attempt: u32) -> Duration {
+        self.backoff.saturating_mul(1u32 << attempt.saturating_sub(1).min(10))
     }
 
     fn connect(&mut self) -> std::io::Result<&mut HttpConn<TcpStream>> {
@@ -230,8 +266,9 @@ impl Client {
         Ok(self.conn.as_mut().expect("just connected"))
     }
 
-    /// Sends one request and reads the response, retrying once where that
-    /// is safe (see the type docs for the phase rules).
+    /// Sends one request and reads the response, retrying up to the
+    /// configured budget where that is safe (see the type docs for the
+    /// phase rules).
     pub fn request(
         &mut self,
         method: &str,
@@ -239,9 +276,13 @@ impl Client {
         body: &[u8],
     ) -> Result<HttpResponse, HttpError> {
         let host = format!("{}:{}", self.host, self.port);
-        let mut retried = false;
+        let mut attempts: u32 = 0;
         loop {
             let reused = self.conn.is_some();
+            // A first attempt failing on a fresh connection means the
+            // server is unreachable; retries only cover reused connections
+            // (stale keep-alives) and the fresh retries that follow one.
+            let may_retry = (reused || attempts > 0) && attempts < self.max_retries;
             let write_result = (|| {
                 let conn = self.connect().map_err(HttpError::Io)?;
                 write_request(conn.stream_mut(), method, target, &host, body).map_err(HttpError::Io)
@@ -251,11 +292,11 @@ impl Client {
                 Err(err) => {
                     self.conn = None;
                     self.reconnects += 1;
-                    // Nothing reached the handler: retry any method once.
-                    if reused && !retried {
-                        retried = true;
+                    // Nothing reached the handler: any method may re-send.
+                    if may_retry {
+                        attempts += 1;
                         self.retries += 1;
-                        std::thread::sleep(RETRY_BACKOFF);
+                        std::thread::sleep(self.backoff_pause(attempts));
                         continue;
                     }
                     return Err(err);
@@ -276,10 +317,10 @@ impl Client {
                     self.conn = None;
                     self.reconnects += 1;
                     // The request went out; only idempotent GETs re-send.
-                    if reused && !retried && method == "GET" {
-                        retried = true;
+                    if may_retry && method == "GET" {
+                        attempts += 1;
                         self.retries += 1;
-                        std::thread::sleep(RETRY_BACKOFF);
+                        std::thread::sleep(self.backoff_pause(attempts));
                         continue;
                     }
                     return Err(err);
@@ -418,7 +459,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
     // scrape is best-effort: a server that died mid-run (the crash
     // harness kills one on purpose) still yields a report — the client
     // tallies and marks above are exactly what that harness consumes.
-    let mut client = Client::new(&config.host, config.port);
+    let mut client = Client::with_policy(&config.host, config.port, config.retries, config.backoff);
     if let Ok(response) = client.request("GET", "/metrics", b"") {
         let exposition = response.body_string();
         report.metrics_scraped = true;
@@ -471,7 +512,7 @@ fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> 
     let mut rng = StdRng::seed_from_u64(config.seed ^ (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let sampler = config.hosts.map(|n| Zipf::new(n, config.zipf));
     let has_sites = sampler.is_some() || !owned.is_empty();
-    let mut client = Client::new(&config.host, config.port);
+    let mut client = Client::with_policy(&config.host, config.port, config.retries, config.backoff);
     let mut jars: HashMap<String, Vec<String>> = HashMap::new();
     let mut tally = ThreadTally {
         samples: Vec::with_capacity(quota as usize),

@@ -55,6 +55,8 @@ pub enum Endpoint {
     Sites,
     /// `GET /v1/marks`.
     Marks,
+    /// `POST /v1/expire`.
+    Expire,
     /// `POST /v1/shutdown`.
     Shutdown,
     /// Anything else (404s, bad requests).
@@ -63,13 +65,14 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in rendering order.
-    pub const ALL: [Endpoint; 8] = [
+    pub const ALL: [Endpoint; 9] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Classify,
         Endpoint::Visit,
         Endpoint::Sites,
         Endpoint::Marks,
+        Endpoint::Expire,
         Endpoint::Shutdown,
         Endpoint::Other,
     ];
@@ -83,6 +86,7 @@ impl Endpoint {
             Endpoint::Visit => "visit",
             Endpoint::Sites => "sites",
             Endpoint::Marks => "marks",
+            Endpoint::Expire => "expire",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Other => "other",
         }
@@ -117,10 +121,16 @@ pub const DETECTION_BUCKETS_MICROS: [u64; 14] =
 pub const WAL_FSYNC_BUCKETS_MICROS: [u64; 12] =
     [8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144];
 
+/// Bucket bounds for the crawler revisit-lag histogram, in scheduler
+/// ticks. Lag is zero when the frontier keeps up and grows by whole
+/// politeness windows when it falls behind, so power-of-two tick buckets
+/// resolve both regimes.
+pub const CRAWL_LAG_BUCKETS_TICKS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
 /// The server's metric registry.
 #[derive(Debug)]
 pub struct ServiceMetrics {
-    endpoints: [EndpointSeries; 8],
+    endpoints: [EndpointSeries; 9],
     /// Responses by status class.
     pub responses_2xx: Counter,
     /// 4xx responses (bad requests, 404s, 413s).
@@ -173,6 +183,23 @@ pub struct ServiceMetrics {
     pub recovery_records_replayed: Gauge,
     /// Torn-tail bytes discarded by the last startup recovery.
     pub recovery_torn_tail_bytes: Gauge,
+    /// Hosts currently queued in the crawler frontier.
+    pub crawl_frontier_depth: Gauge,
+    /// Visits the crawler completed (any outcome).
+    pub crawl_visits_total: Counter,
+    /// Hosts the crawler discovered via keyset enumeration.
+    pub crawl_discovered_total: Counter,
+    /// Crawler visits whose probe deferred (`ProbeOutcome::Inconclusive`).
+    pub crawl_inconclusive_total: Counter,
+    /// Crawler reschedules forced by backoff (inconclusive or transport).
+    pub crawl_backoff_total: Counter,
+    /// Crawled hosts the resolver rejected (dropped from the frontier).
+    pub crawl_unknown_host_total: Counter,
+    /// Marks expired by the usefulness TTL into the re-verification queue.
+    pub crawl_expired_marks_total: Counter,
+    /// Lag between a revisit's due tick and its actual visit tick, in
+    /// ticks (scheduler pressure: 0-lag means the frontier keeps up).
+    pub crawl_revisit_lag: Histogram,
 }
 
 impl Default for ServiceMetrics {
@@ -211,6 +238,14 @@ impl ServiceMetrics {
             wal_faults: Default::default(),
             recovery_records_replayed: Gauge::new(),
             recovery_torn_tail_bytes: Gauge::new(),
+            crawl_frontier_depth: Gauge::new(),
+            crawl_visits_total: Counter::new(),
+            crawl_discovered_total: Counter::new(),
+            crawl_inconclusive_total: Counter::new(),
+            crawl_backoff_total: Counter::new(),
+            crawl_unknown_host_total: Counter::new(),
+            crawl_expired_marks_total: Counter::new(),
+            crawl_revisit_lag: Histogram::with_bounds(&CRAWL_LAG_BUCKETS_TICKS),
         }
     }
 
@@ -478,6 +513,41 @@ impl ServiceMetrics {
         for (label, counter) in WAL_FAULT_KINDS.iter().zip(&self.wal_faults) {
             let _ = writeln!(out, "cp_wal_faults_total{{kind=\"{label}\"}} {}", counter.get());
         }
+        out.push_str("# TYPE cp_crawl_frontier_depth gauge\n");
+        let _ = writeln!(out, "cp_crawl_frontier_depth {}", self.crawl_frontier_depth.get());
+        out.push_str("# TYPE cp_crawl_visits_total counter\n");
+        let _ = writeln!(out, "cp_crawl_visits_total {}", self.crawl_visits_total.get());
+        out.push_str("# TYPE cp_crawl_discovered_total counter\n");
+        let _ = writeln!(out, "cp_crawl_discovered_total {}", self.crawl_discovered_total.get());
+        out.push_str("# TYPE cp_crawl_inconclusive_total counter\n");
+        let _ =
+            writeln!(out, "cp_crawl_inconclusive_total {}", self.crawl_inconclusive_total.get());
+        out.push_str("# TYPE cp_crawl_backoff_total counter\n");
+        let _ = writeln!(out, "cp_crawl_backoff_total {}", self.crawl_backoff_total.get());
+        out.push_str("# TYPE cp_crawl_unknown_host_total counter\n");
+        let _ =
+            writeln!(out, "cp_crawl_unknown_host_total {}", self.crawl_unknown_host_total.get());
+        out.push_str("# TYPE cp_crawl_expired_marks_total counter\n");
+        let _ =
+            writeln!(out, "cp_crawl_expired_marks_total {}", self.crawl_expired_marks_total.get());
+        out.push_str("# TYPE cp_crawl_revisit_lag_ticks histogram\n");
+        if self.crawl_revisit_lag.count() > 0 {
+            for (bound, cumulative) in self.crawl_revisit_lag.snapshot() {
+                let le = if bound == u64::MAX { "+Inf".to_string() } else { bound.to_string() };
+                let _ =
+                    writeln!(out, "cp_crawl_revisit_lag_ticks_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(
+                out,
+                "cp_crawl_revisit_lag_ticks_sum {}",
+                self.crawl_revisit_lag.sum_micros()
+            );
+            let _ = writeln!(
+                out,
+                "cp_crawl_revisit_lag_ticks_count {}",
+                self.crawl_revisit_lag.count()
+            );
+        }
         out.push_str("# TYPE cp_recovery_records_replayed gauge\n");
         let _ =
             writeln!(out, "cp_recovery_records_replayed {}", self.recovery_records_replayed.get());
@@ -703,6 +773,44 @@ mod tests {
         assert_eq!(m.wal_fault_total(), 2);
         assert_eq!(scrape_counter(&text, "cp_recovery_records_replayed"), Some(17));
         assert_eq!(scrape_counter(&text, "cp_recovery_torn_tail_bytes"), Some(3));
+    }
+
+    #[test]
+    fn crawl_series_render_with_zeros() {
+        let m = ServiceMetrics::new();
+        let empty = m.render_prometheus();
+        // Crawl counters always render (zero = "crawler idle"); the lag
+        // histogram follows the idle-histogram rule.
+        assert_eq!(scrape_counter(&empty, "cp_crawl_frontier_depth"), Some(0));
+        assert_eq!(scrape_counter(&empty, "cp_crawl_visits_total"), Some(0));
+        assert_eq!(scrape_counter(&empty, "cp_crawl_unknown_host_total"), Some(0));
+        assert_eq!(scrape_counter(&empty, "cp_crawl_expired_marks_total"), Some(0));
+        assert!(!empty.contains("cp_crawl_revisit_lag_ticks_bucket"));
+
+        m.crawl_frontier_depth.set(12);
+        m.crawl_visits_total.add(7);
+        m.crawl_discovered_total.add(3);
+        m.crawl_inconclusive_total.inc();
+        m.crawl_backoff_total.inc();
+        m.crawl_unknown_host_total.inc();
+        m.crawl_expired_marks_total.add(2);
+        m.crawl_revisit_lag.observe(0);
+        m.crawl_revisit_lag.observe(9);
+        let text = m.render_prometheus();
+        assert_eq!(scrape_counter(&text, "cp_crawl_frontier_depth"), Some(12));
+        assert_eq!(scrape_counter(&text, "cp_crawl_visits_total"), Some(7));
+        assert_eq!(scrape_counter(&text, "cp_crawl_discovered_total"), Some(3));
+        assert_eq!(scrape_counter(&text, "cp_crawl_inconclusive_total"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_crawl_backoff_total"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_crawl_unknown_host_total"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_crawl_expired_marks_total"), Some(2));
+        assert_eq!(scrape_counter(&text, "cp_crawl_revisit_lag_ticks_count"), Some(2));
+        let buckets = scrape_histogram(&text, "cp_crawl_revisit_lag_ticks");
+        assert_eq!(buckets.first(), Some(&(1, 1)));
+        // The expire endpoint participates in the per-endpoint series.
+        m.record(Endpoint::Expire, 200, 10);
+        let text = m.render_prometheus();
+        assert_eq!(scrape_counter(&text, "cp_requests_total{endpoint=\"expire\"}"), Some(1));
     }
 
     #[test]

@@ -444,6 +444,7 @@ fn route(shared: &Shared, request: &HttpRequest) -> Routed {
         }
         ("POST", "/v1/classify") => classify(shared, &request.body),
         ("POST", "/v1/visit") => visit(shared, &request.body),
+        ("POST", "/v1/expire") => expire(shared, &request.body),
         ("GET", t) if t == "/v1/sites" || t.starts_with("/v1/sites?") => {
             sites_list(shared, t.strip_prefix("/v1/sites").and_then(|q| q.strip_prefix('?')))
         }
@@ -507,6 +508,9 @@ fn visit(shared: &Shared, body: &[u8]) -> Routed {
         None => return bad_request(Endpoint::Visit, "body needs a string field host"),
     };
     if !shared.world.contains(host) {
+        // Count the rejection: crawlers watch cp_site_derive_total
+        // {result="unknown"} to notice they are probing a stale frontier.
+        shared.metrics.record_site_derive("unknown", None);
         return (Endpoint::Visit, 404, "Not Found", "application/json", error_json("unknown host"));
     }
     let path = parsed.get("path").and_then(Json::as_str).unwrap_or("/");
@@ -549,6 +553,75 @@ fn visit(shared: &Shared, body: &[u8]) -> Routed {
     (Endpoint::Visit, 200, "OK", "application/json", outcome.to_json().to_compact().into_bytes())
 }
 
+/// `POST /v1/expire`: drop usefulness marks whose TTL decayed and restart
+/// the site's training — the crawler's re-verification entry point. Body:
+/// `{"host": h, "cookies": ["name", ...]}`. Only cookies currently marked
+/// expire; when none are, no event is journaled and `expired` is 0.
+fn expire(shared: &Shared, body: &[u8]) -> Routed {
+    let parsed = match parse_json_body(body) {
+        Ok(json) => json,
+        Err(msg) => return bad_request(Endpoint::Expire, msg),
+    };
+    let host = match parsed.get("host").and_then(Json::as_str) {
+        Some(host) => host,
+        None => return bad_request(Endpoint::Expire, "body needs a string field host"),
+    };
+    let cookies: Vec<String> = match parsed.get("cookies").and_then(Json::as_array) {
+        Some(items) => items.iter().filter_map(Json::as_str).map(str::to_string).collect(),
+        None => return bad_request(Endpoint::Expire, "body needs an array field cookies"),
+    };
+    if !shared.world.contains(host) {
+        shared.metrics.record_site_derive("unknown", None);
+        return (
+            Endpoint::Expire,
+            404,
+            "Not Found",
+            "application/json",
+            error_json("unknown host"),
+        );
+    }
+    let result = shared.store.transact(
+        host,
+        |entry| {
+            let expired: Vec<String> =
+                cookies.iter().filter(|c| entry.marked.contains(*c)).cloned().collect();
+            if expired.is_empty() {
+                (None, 0usize)
+            } else {
+                let n = expired.len();
+                let event = crate::wal::VisitEvent {
+                    host: host.to_string(),
+                    observed: expired,
+                    kind: crate::wal::EventKind::Expire,
+                };
+                (Some(event), n)
+            }
+        },
+        |entry, _, expired: usize| {
+            Json::object()
+                .set("host", host)
+                .set("expired", expired)
+                .set("marked_total", entry.marked.len())
+                .set("training_active", entry.forcum.is_active(host))
+        },
+    );
+    match result {
+        Ok(body) => {
+            (Endpoint::Expire, 200, "OK", "application/json", body.to_compact().into_bytes())
+        }
+        Err(e) => {
+            eprintln!("cp-serve: expire on {host} not journaled: {e}");
+            (
+                Endpoint::Expire,
+                503,
+                "Service Unavailable",
+                "application/json",
+                error_json("durability unavailable"),
+            )
+        }
+    }
+}
+
 /// Default and maximum page sizes for `GET /v1/sites`. The cap is what
 /// makes the route safe on a million-host world: no request enumerates
 /// more than one bounded page.
@@ -572,13 +645,18 @@ fn sites_list(shared: &Shared, query: Option<&str>) -> Routed {
             _ => return bad_request(Endpoint::Sites, "unknown query parameter"),
         }
     }
-    let Some(hosts) = shared.world.hosts_after(after, limit) else {
+    // Fetch one host beyond the page so `more` is exact: clients never
+    // need a sentinel extra request to discover they hit the last page.
+    let Some(mut hosts) = shared.world.hosts_after(after, limit + 1) else {
         return bad_request(Endpoint::Sites, "unknown after cursor");
     };
-    let next = if hosts.len() == limit { hosts.last().cloned() } else { None };
+    let more = hosts.len() > limit;
+    hosts.truncate(limit);
+    let next = if more { hosts.last().cloned() } else { None };
     let body = Json::object()
         .set("total", shared.world.host_count())
         .set("count", hosts.len())
+        .set("more", more)
         .set("next", next.map_or(Json::Null, Json::from))
         .set("hosts", hosts)
         .to_compact()
@@ -789,6 +867,78 @@ mod tests {
             })
             .sum();
         assert_eq!(total, deferred, "deferrals and inconclusive counters agree");
+    }
+
+    #[test]
+    fn expire_endpoint_drops_marks_and_restarts_training() {
+        let server = test_server();
+        assert_eq!(
+            request(
+                server.addr(),
+                "POST",
+                "/v1/expire",
+                br#"{"host":"nope.example","cookies":[]}"#
+            )
+            .status,
+            404
+        );
+        assert_eq!(request(server.addr(), "POST", "/v1/expire", b"{}").status, 400);
+        assert_eq!(
+            request(server.addr(), "POST", "/v1/expire", br#"{"host":"news1.example"}"#).status,
+            400,
+            "cookies array is required"
+        );
+        // Train news1 far enough to plant a mark directly, then expire it.
+        let body = br#"{"host":"news1.example","path":"/"}"#;
+        assert_eq!(request(server.addr(), "POST", "/v1/visit", body).status, 200);
+        server.shared.store.with_entry("news1.example", |e| {
+            e.marked.insert("sid".to_string());
+        });
+        let resp = request(
+            server.addr(),
+            "POST",
+            "/v1/expire",
+            br#"{"host":"news1.example","cookies":["sid","never-marked"]}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body_string());
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("expired").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(json.get("marked_total").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(json.get("training_active").and_then(Json::as_bool), Some(true));
+        // A second expiry of the same cookie is a no-op.
+        let resp = request(
+            server.addr(),
+            "POST",
+            "/v1/expire",
+            br#"{"host":"news1.example","cookies":["sid"]}"#,
+        );
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("expired").and_then(Json::as_f64), Some(0.0));
+        let metrics = request(server.addr(), "GET", "/metrics", b"").body_string();
+        assert_eq!(
+            crate::metrics::scrape_counter(&metrics, "cp_requests_total{endpoint=\"expire\"}"),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn sites_listing_reports_the_more_hint() {
+        let server = test_server();
+        // 30 Table-1 hosts: a 25-page has more, its second page does not.
+        let resp = request(server.addr(), "GET", "/v1/sites?limit=25", b"");
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("more").and_then(Json::as_bool), Some(true));
+        let next = json.get("next").and_then(Json::as_str).expect("cursor present").to_string();
+        let resp = request(server.addr(), "GET", &format!("/v1/sites?limit=25&after={next}"), b"");
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("more").and_then(Json::as_bool), Some(false));
+        assert_eq!(json.get("next"), Some(&Json::Null));
+        assert_eq!(json.get("count").and_then(Json::as_f64), Some(5.0));
+        // An exact-boundary page still reports more=false on the last page.
+        let resp = request(server.addr(), "GET", "/v1/sites?limit=30", b"");
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("more").and_then(Json::as_bool), Some(false));
+        assert_eq!(json.get("next"), Some(&Json::Null));
     }
 
     #[test]

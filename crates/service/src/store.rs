@@ -91,6 +91,16 @@ impl SiteEntry {
                 self.forcum.observe(host, event.observed.iter().cloned(), marked_now.len(), true);
                 marked_now
             }
+            EventKind::Expire => {
+                // Usefulness-TTL decay: drop the named marks and restart
+                // training, so the site's next visits probe them again and
+                // either re-mark (still useful) or leave them unmarked.
+                for name in &event.observed {
+                    self.marked.remove(name);
+                }
+                self.forcum.restart(host);
+                Vec::new()
+            }
         }
     }
 
@@ -564,6 +574,30 @@ mod tests {
         let summary = all_deferred.summary("d.example");
         assert_eq!(summary.probes, 1);
         assert_eq!(summary.avg_detection_ms, 0.0);
+    }
+
+    #[test]
+    fn expire_drops_marks_and_restarts_training() {
+        let mut entry = SiteEntry::new(2);
+        entry.apply(&probe_event("s.example", &["sid"], true, 1_000));
+        entry.apply(&probe_event("s.example", &["theme"], true, 1_000));
+        assert_eq!(entry.marked.len(), 2);
+        // Drive the site dormant, then expire one mark.
+        for _ in 0..4 {
+            entry.apply(&observe_event("s.example", &["sid", "theme"]));
+        }
+        assert!(!entry.forcum.is_active("s.example"), "stable site goes dormant");
+        let marked_now = entry.apply(&VisitEvent {
+            host: "s.example".into(),
+            observed: vec!["sid".into()],
+            kind: EventKind::Expire,
+        });
+        assert!(marked_now.is_empty(), "expiry never marks");
+        assert_eq!(entry.marked.iter().cloned().collect::<Vec<_>>(), vec!["theme".to_string()]);
+        assert!(entry.forcum.is_active("s.example"), "expiry restarts training");
+        // The expired cookie can be re-marked through the normal probe path.
+        entry.apply(&probe_event("s.example", &["sid"], true, 1_000));
+        assert_eq!(entry.marked.len(), 2);
     }
 
     #[test]

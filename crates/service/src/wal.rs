@@ -109,6 +109,10 @@ pub enum EventKind {
         /// Full visit-step duration, in milliseconds.
         duration_ms: f64,
     },
+    /// A usefulness-TTL decay: the marks named in `observed` are dropped
+    /// and FORCUM training restarts, so the next visits re-probe them.
+    /// Issued by the crawler's re-verification queue, never by a page view.
+    Expire,
 }
 
 /// One durable store mutation: everything `SiteEntry::apply` needs to
@@ -127,6 +131,7 @@ pub struct VisitEvent {
 const TAG_OBSERVE: u8 = 1;
 const TAG_DEFER: u8 = 2;
 const TAG_PROBE: u8 = 3;
+const TAG_EXPIRE: u8 = 4;
 
 /// Shared binary-codec primitives (also used by the snapshot format).
 pub(crate) mod codec {
@@ -222,6 +227,7 @@ impl VisitEvent {
             EventKind::Observe => out.push(TAG_OBSERVE),
             EventKind::Defer => out.push(TAG_DEFER),
             EventKind::Probe { .. } => out.push(TAG_PROBE),
+            EventKind::Expire => out.push(TAG_EXPIRE),
         }
         put_str(&mut out, &self.host);
         put_strs(&mut out, &self.observed);
@@ -255,6 +261,7 @@ impl VisitEvent {
                 let duration_ms = f64::from_bits(cur.u64()?);
                 EventKind::Probe { group, marking, detection_micros, duration_ms }
             }
+            TAG_EXPIRE => EventKind::Expire,
             _ => return None,
         };
         cur.done().then_some(VisitEvent { host, observed, kind })
@@ -568,6 +575,11 @@ mod tests {
                     duration_ms: 1.234,
                 },
             },
+            VisitEvent {
+                host: "b.example".into(),
+                observed: vec!["sid".into(), "theme".into()],
+                kind: EventKind::Expire,
+            },
         ]
     }
 
@@ -598,14 +610,14 @@ mod tests {
         for event in sample_events() {
             wal.append(&event).unwrap();
         }
-        assert_eq!(wal.records(), 3);
+        assert_eq!(wal.records(), 4);
         let contents = read_log(&path).unwrap();
         assert_eq!(contents.events, sample_events());
         assert_eq!(contents.generation, 1);
         assert_eq!(contents.good, wal.committed());
         assert_eq!(contents.torn, 0);
-        assert_eq!(metrics.wal_records_total.get(), 3);
-        assert!(metrics.wal_fsync.count() >= 3, "fsync=always syncs every append");
+        assert_eq!(metrics.wal_records_total.get(), 4);
+        assert!(metrics.wal_fsync.count() >= 4, "fsync=always syncs every append");
     }
 
     #[test]
@@ -622,13 +634,13 @@ mod tests {
         drop(wal);
         let full = std::fs::read(&path).unwrap();
         let all = read_log(&path).unwrap();
-        assert_eq!(all.events.len(), 3);
+        assert_eq!(all.events.len(), 4);
         // Every possible kill point: the log cut at any byte must yield a
         // prefix of the event stream, never a panic or an invented event.
         for cut in 0..=full.len() {
             std::fs::write(&path, &full[..cut]).unwrap();
             let contents = read_log(&path).unwrap();
-            assert!(contents.events.len() <= 3);
+            assert!(contents.events.len() <= 4);
             assert_eq!(
                 &all.events[..contents.events.len()],
                 &contents.events[..],
@@ -659,7 +671,7 @@ mod tests {
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         let contents = read_log(&path).unwrap();
-        assert!(contents.events.len() < 3, "damage discards at least one record");
+        assert!(contents.events.len() < 4, "damage discards at least one record");
         assert_eq!(contents.events[..], sample_events()[..contents.events.len()]);
         assert_eq!(contents.good + contents.torn, clean.len() as u64);
         // Damage inside the log header empties the whole log.

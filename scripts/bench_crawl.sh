@@ -1,0 +1,145 @@
+#!/usr/bin/env sh
+# Autonomous-crawl benchmark: run the cp-crawl frontier scheduler with no
+# server and no load generator, and record the convergence + scaling
+# report to BENCH_crawl.json.
+#
+# Gates:
+#   * the Table-1 world converges to the paper's numbers (103 persistent,
+#     7 marked, 3 real) purely from frontier scheduling — zero loadgen;
+#   * two same-seed runs are bit-identical (order digest + marks);
+#   * a million-host uniform world sustains the visits/sec floor at flat
+#     resident memory (host retirement, not accumulation);
+#   * zero panics anywhere.
+#
+# Usage: scripts/bench_crawl.sh [workers] [seed]
+#   SMOKE=1 scripts/bench_crawl.sh  # tiny CI profile: 100k hosts, 2 s
+#                                   # scale phase, report goes to /tmp
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORKERS="${1:-8}"
+SEED="${2:-7}"
+HOSTS=1000000
+DURATION=10
+VISITS_PER_SEC_FLOOR=1500
+RSS_CEILING_KB=262144
+OUT="BENCH_crawl.json"
+if [ "${SMOKE:-0}" = "1" ]; then
+    HOSTS=100000
+    DURATION=2
+    VISITS_PER_SEC_FLOOR=300
+    OUT="$(mktemp /tmp/bench_crawl.XXXXXX.json)"
+fi
+
+export CARGO_NET_OFFLINE=true
+cargo build --release --quiet
+BIN=target/release/cookiepicker
+
+json_num() { sed -n "s/.*\"$1\": \([0-9.-]*\).*/\1/p" "$2" | head -n 1; }
+json_str() { sed -n "s/.*\"$1\": \"\([^\"]*\)\".*/\1/p" "$2" | head -n 1; }
+
+R1="$(mktemp /tmp/cp_crawl_r1.XXXXXX.json)"
+R2="$(mktemp /tmp/cp_crawl_r2.XXXXXX.json)"
+M1="$(mktemp /tmp/cp_crawl_m1.XXXXXX.txt)"
+M2="$(mktemp /tmp/cp_crawl_m2.XXXXXX.txt)"
+SCALE="$(mktemp /tmp/cp_crawl_scale.XXXXXX.json)"
+ERRS="$(mktemp /tmp/cp_crawl_err.XXXXXX.log)"
+trap 'rm -f "$R1" "$R2" "$M1" "$M2" "$SCALE" "$ERRS"' EXIT INT TERM
+
+# ---- Phase 1: Table-1 convergence, twice, bit-identical ---------------
+"$BIN" crawl --world table1 --seed "$SEED" --workers 4 \
+    --out "$R1" --marks-out "$M1" >/dev/null 2>"$ERRS"
+"$BIN" crawl --world table1 --seed "$SEED" --workers 4 \
+    --out "$R2" --marks-out "$M2" >/dev/null 2>>"$ERRS"
+
+for field_want in "persistent 103" "marked 7" "real 3" "frontier_depth_final 0" \
+    "unknown_hosts 0" "transport_errors 0"; do
+    field="${field_want% *}"
+    want="${field_want#* }"
+    got="$(json_num "$field" "$R1")"
+    [ "$got" = "$want" ] || {
+        echo "bench_crawl: $field = $got, want $want"
+        cat "$R1"
+        exit 1
+    }
+done
+
+D1="$(json_str order_digest "$R1")"
+D2="$(json_str order_digest "$R2")"
+[ -n "$D1" ] && [ "$D1" = "$D2" ] || {
+    echo "bench_crawl: same-seed runs diverged: digest $D1 vs $D2"
+    exit 1
+}
+cmp -s "$M1" "$M2" || {
+    echo "bench_crawl: same-seed runs produced different marks"
+    diff "$M1" "$M2" || true
+    exit 1
+}
+[ "$(wc -l <"$M1")" = 7 ] || {
+    echo "bench_crawl: expected 7 mark lines, got $(wc -l <"$M1")"
+    cat "$M1"
+    exit 1
+}
+
+T1_VISITS="$(json_num visits "$R1")"
+T1_TICKS="$(json_num ticks "$R1")"
+
+# ---- Phase 2: million-host uniform world at flat RSS ------------------
+"$BIN" crawl --world "uniform:$HOSTS" --seed "$SEED" --workers "$WORKERS" \
+    --duration "$DURATION" --out "$SCALE" >/dev/null 2>>"$ERRS"
+
+if grep -q "panicked" "$ERRS"; then
+    echo "bench_crawl: panic detected"
+    cat "$ERRS"
+    exit 1
+fi
+
+SCALE_VPS="$(json_num visits_per_sec "$SCALE")"
+SCALE_RSS_KB="$(json_num max_rss_kb "$SCALE")"
+SCALE_VISITS="$(json_num visits "$SCALE")"
+SCALE_RETIRED="$(json_num retired "$SCALE")"
+SCALE_LAG_P50="$(json_num revisit_lag_p50_ticks "$SCALE")"
+SCALE_LAG_P99="$(json_num revisit_lag_p99_ticks "$SCALE")"
+
+awk -v vps="$SCALE_VPS" -v floor="$VISITS_PER_SEC_FLOOR" 'BEGIN {
+    if (vps + 0 < floor + 0) {
+        printf "bench_crawl: %s visits/sec below floor %s\n", vps, floor
+        exit 1
+    }
+}'
+if [ "${SCALE_RSS_KB%%.*}" -gt "$RSS_CEILING_KB" ]; then
+    echo "bench_crawl: RSS $SCALE_RSS_KB kB exceeds ceiling $RSS_CEILING_KB kB"
+    exit 1
+fi
+[ "${SCALE_RETIRED%%.*}" -gt 0 ] || {
+    echo "bench_crawl: no hosts retired — resident state would grow with the world"
+    exit 1
+}
+
+cat >"$OUT" <<JSON
+{
+  "workers": $WORKERS,
+  "seed": $SEED,
+  "table1_visits": $T1_VISITS,
+  "table1_ticks": $T1_TICKS,
+  "table1_persistent": 103,
+  "table1_marked": 7,
+  "table1_real": 3,
+  "order_digest": "$D1",
+  "scale_hosts": $HOSTS,
+  "scale_duration_s": $DURATION,
+  "scale_visits": $SCALE_VISITS,
+  "scale_visits_per_sec": $SCALE_VPS,
+  "scale_visits_per_sec_floor": $VISITS_PER_SEC_FLOOR,
+  "scale_retired_hosts": $SCALE_RETIRED,
+  "scale_revisit_lag_p50_ticks": $SCALE_LAG_P50,
+  "scale_revisit_lag_p99_ticks": $SCALE_LAG_P99,
+  "scale_max_rss_kb": $SCALE_RSS_KB,
+  "rss_ceiling_kb": $RSS_CEILING_KB
+}
+JSON
+
+echo "bench_crawl: table1 converged 103/7/3 in $T1_TICKS ticks ($T1_VISITS visits), digest $D1"
+echo "bench_crawl: ${HOSTS}-host world at $SCALE_VPS visits/sec, peak RSS $SCALE_RSS_KB kB"
+echo "bench_crawl: report written to $OUT"

@@ -32,4 +32,9 @@ SMOKE=1 ./scripts/chaos.sh
 # recovery, and a replay-free clean restart.
 SMOKE=1 ./scripts/crash.sh
 
-echo "verify: fmt + build + tests + detect smoke + world smoke + chaos smoke + crash smoke passed offline"
+# Crawl smoke: the autonomous frontier scheduler converges the Table-1
+# world to the paper's 103/7/3 with zero loadgen — gates on bit-identical
+# same-seed runs, the visits/sec floor at flat RSS, and zero panics.
+SMOKE=1 ./scripts/bench_crawl.sh
+
+echo "verify: fmt + build + tests + detect smoke + world smoke + chaos smoke + crash smoke + crawl smoke passed offline"

@@ -10,7 +10,9 @@
 //! * `jar <jar.json>` — inspect a persisted cookie jar;
 //! * `serve` — run the cp-serve decision service over real TCP;
 //! * `loadgen` — drive a running service with a seeded request mix and
-//!   report throughput + latency percentiles as JSON.
+//!   report throughput + latency percentiles as JSON;
+//! * `crawl` — run the autonomous frontier scheduler over a world, either
+//!   in-process or against a running service, until the corpus converges.
 //!
 //! Argument parsing is hand-rolled (no external dependency) and returns a
 //! typed [`Command`], so it is unit-testable.
@@ -117,6 +119,43 @@ pub enum Command {
         out: Option<String>,
         /// Write the observed `"host cookie"` mark lines to this file (one
         /// per line, sorted) — the chaos gate diffs two of these.
+        marks_out: Option<String>,
+        /// Transport retries per request (on reused connections).
+        retries: u32,
+        /// Base retry backoff, milliseconds (doubles per attempt).
+        backoff_ms: u64,
+    },
+    /// Run the autonomous frontier crawler.
+    Crawl {
+        /// World to crawl (`table1` or `uniform:N`).
+        world: cp_serve::WorldKind,
+        /// Population seed (must match the server's in HTTP mode).
+        seed: u64,
+        /// Concurrent visits per scheduler tick.
+        workers: usize,
+        /// Stop after this many virtual ticks (unset = run to convergence).
+        ticks: Option<u64>,
+        /// Stop after this many wall-clock seconds.
+        duration_s: Option<u64>,
+        /// Usefulness-TTL in seconds: marks older than this decay and are
+        /// re-verified (unset = marks never decay).
+        ttl_s: Option<u64>,
+        /// Probe retries before falling back to the deadline floor.
+        retries: u32,
+        /// Base backoff, milliseconds (doubles per attempt, jittered).
+        backoff_ms: u64,
+        /// Server host (HTTP mode).
+        host: String,
+        /// Server port; `0` crawls in-process against an embedded world.
+        port: u16,
+        /// Cap on hosts discovered by enumeration.
+        max_hosts: Option<u64>,
+        /// Extra hosts injected into the frontier (repeatable) — e.g.
+        /// stale entries the resolver will reject.
+        extra_hosts: Vec<String>,
+        /// Also write the JSON report to this file.
+        out: Option<String>,
+        /// Write final `"host cookie"` mark lines to this file.
         marks_out: Option<String>,
     },
     /// Print usage.
@@ -319,6 +358,8 @@ where
             let mut zipf = 1.0f64;
             let mut out = None;
             let mut marks_out = None;
+            let mut retries = 1u32;
+            let mut backoff_ms = 5u64;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -333,6 +374,8 @@ where
                     "--marks-out" => {
                         marks_out = Some(flag_value::<String>(&mut it, "--marks-out")?)
                     }
+                    "--retries" => retries = flag_value(&mut it, "--retries")?,
+                    "--backoff-ms" => backoff_ms = flag_value(&mut it, "--backoff-ms")?,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
@@ -353,6 +396,75 @@ where
                 seed,
                 hosts,
                 zipf,
+                out,
+                marks_out,
+                retries,
+                backoff_ms,
+            })
+        }
+        "crawl" => {
+            let mut world = cp_serve::WorldKind::Table1;
+            let mut seed = 7u64;
+            let mut workers = 4usize;
+            let mut ticks = None;
+            let mut duration_s = None;
+            let mut ttl_s = None;
+            let retry_defaults = cookiepicker_core::RetryPolicy::default();
+            let mut retries = retry_defaults.max_retries;
+            let mut backoff_ms = retry_defaults.backoff.as_millis();
+            let mut host = "127.0.0.1".to_string();
+            let mut port = 0u16;
+            let mut max_hosts = None;
+            let mut extra_hosts = Vec::new();
+            let mut out = None;
+            let mut marks_out = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--world" => {
+                        let v: String = flag_value(&mut it, "--world")?;
+                        world = cp_serve::WorldKind::parse(&v)
+                            .map_err(|e| err(format!("invalid --world {v:?}: {e}")))?;
+                    }
+                    "--seed" => seed = flag_value(&mut it, "--seed")?,
+                    "--workers" => workers = flag_value(&mut it, "--workers")?,
+                    "--ticks" => ticks = Some(flag_value(&mut it, "--ticks")?),
+                    "--duration" => duration_s = Some(flag_value(&mut it, "--duration")?),
+                    "--ttl" => ttl_s = Some(flag_value(&mut it, "--ttl")?),
+                    "--retries" => retries = flag_value(&mut it, "--retries")?,
+                    "--backoff-ms" => backoff_ms = flag_value(&mut it, "--backoff-ms")?,
+                    "--host" => host = flag_value(&mut it, "--host")?,
+                    "--port" => port = flag_value(&mut it, "--port")?,
+                    "--max-hosts" => max_hosts = Some(flag_value(&mut it, "--max-hosts")?),
+                    "--extra-host" => {
+                        extra_hosts.push(flag_value::<String>(&mut it, "--extra-host")?)
+                    }
+                    "--out" => out = Some(flag_value::<String>(&mut it, "--out")?),
+                    "--marks-out" => {
+                        marks_out = Some(flag_value::<String>(&mut it, "--marks-out")?)
+                    }
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            if workers == 0 {
+                return Err(err("--workers must be at least 1"));
+            }
+            if ttl_s == Some(0) {
+                return Err(err("--ttl must be at least 1 second"));
+            }
+            Ok(Command::Crawl {
+                world,
+                seed,
+                workers,
+                ticks,
+                duration_s,
+                ttl_s,
+                retries,
+                backoff_ms,
+                host,
+                port,
+                max_hosts,
+                extra_hosts,
                 out,
                 marks_out,
             })
@@ -381,7 +493,10 @@ USAGE:
                        [--world table1|uniform:N] [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]
                        [--storage-fault-rate F] [--storage-fault-seed N]
     cookiepicker loadgen --port N [--host H] [--threads N] [--requests N] [--seed N] [--hosts N] [--zipf S]
-                         [--out FILE] [--marks-out FILE]
+                         [--retries N] [--backoff-ms N] [--out FILE] [--marks-out FILE]
+    cookiepicker crawl [--world table1|uniform:N] [--seed N] [--workers N] [--ticks N] [--duration S] [--ttl S]
+                       [--retries N] [--backoff-ms N] [--port N] [--host H] [--max-hosts N] [--extra-host H]...
+                       [--out FILE] [--marks-out FILE]
     cookiepicker get --port N [--host H] [--post] PATH
     cookiepicker help
 ";
@@ -603,11 +718,89 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
             zipf,
             out: out_path,
             marks_out,
+            retries,
+            backoff_ms,
         } => {
-            let config =
-                cp_serve::LoadgenConfig { host, port, threads, requests, seed, hosts, zipf };
+            let config = cp_serve::LoadgenConfig {
+                host,
+                port,
+                threads,
+                requests,
+                seed,
+                hosts,
+                zipf,
+                retries,
+                backoff: std::time::Duration::from_millis(backoff_ms),
+            };
             let report =
                 cp_serve::loadgen::run(&config).map_err(|e| err(format!("loadgen: {e}")))?;
+            let json = report.to_json().to_pretty();
+            writeln!(out, "{json}").map_err(|e| err(e.to_string()))?;
+            if let Some(path) = out_path {
+                std::fs::write(&path, format!("{json}\n"))
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            }
+            if let Some(path) = marks_out {
+                let mut lines = report.marks.join("\n");
+                if !lines.is_empty() {
+                    lines.push('\n');
+                }
+                std::fs::write(&path, lines)
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            }
+        }
+        Command::Crawl {
+            world,
+            seed,
+            workers,
+            ticks,
+            duration_s,
+            ttl_s,
+            retries,
+            backoff_ms,
+            host,
+            port,
+            max_hosts,
+            extra_hosts,
+            out: out_path,
+            marks_out,
+        } => {
+            use cp_crawl::TICK_MILLIS;
+            let retry = cookiepicker_core::RetryPolicy {
+                max_retries: retries,
+                backoff: cp_cookies::SimDuration::from_millis(backoff_ms),
+                ..cookiepicker_core::RetryPolicy::default()
+            };
+            let config = cp_crawl::CrawlConfig {
+                seed,
+                world,
+                workers,
+                ticks,
+                duration: duration_s.map(std::time::Duration::from_secs),
+                ttl_ticks: ttl_s.map(|s| (s * 1_000 / TICK_MILLIS).max(1)),
+                retry,
+                max_hosts,
+                extra_hosts,
+                ..cp_crawl::CrawlConfig::default()
+            };
+            let metrics = std::sync::Arc::new(cp_serve::metrics::ServiceMetrics::new());
+            let report = if port == 0 {
+                // In-process: embed the world and store right here — the
+                // crawl needs no server and no load generator.
+                let picker = CookiePickerConfig::default();
+                let store = cp_serve::ShardedStore::new(16, picker.stability_window);
+                let driver = cp_crawl::InProcessDriver::new(
+                    cp_serve::EmbeddedWorld::with_world(seed, world, cp_serve::DEFAULT_SITE_CACHE),
+                    store,
+                    picker,
+                    cp_serve::AnalysisCache::new(512),
+                    std::sync::Arc::clone(&metrics),
+                );
+                cp_crawl::crawl(&config, &driver, &metrics)
+            } else {
+                let driver = cp_crawl::HttpDriver::new(&host, port, &config.retry);
+                cp_crawl::crawl(&config, &driver, &metrics)
+            };
             let json = report.to_json().to_pretty();
             writeln!(out, "{json}").map_err(|e| err(e.to_string()))?;
             if let Some(path) = out_path {
@@ -728,11 +921,18 @@ mod tests {
                 zipf: 1.0,
                 out: Some("r.json".into()),
                 marks_out: None,
+                retries: 1,
+                backoff_ms: 5,
             }
         );
         assert!(matches!(
             parse_args(["loadgen", "--port", "7070", "--marks-out", "marks.txt"]).unwrap(),
             Command::Loadgen { marks_out: Some(ref p), .. } if p == "marks.txt"
+        ));
+        assert!(matches!(
+            parse_args(["loadgen", "--port", "7070", "--retries", "3", "--backoff-ms", "20"])
+                .unwrap(),
+            Command::Loadgen { retries: 3, backoff_ms: 20, .. }
         ));
         assert!(parse_args(["serve", "--bogus"]).is_err());
         assert!(parse_args(["serve", "--chaos-rate", "1.5"]).is_err(), "rate must be in [0, 1]");
@@ -823,8 +1023,66 @@ mod tests {
     }
 
     #[test]
+    fn parse_crawl() {
+        let cmd = parse_args([
+            "crawl",
+            "--world",
+            "uniform:1000",
+            "--seed",
+            "9",
+            "--workers",
+            "8",
+            "--ttl",
+            "30",
+            "--retries",
+            "5",
+            "--backoff-ms",
+            "100",
+            "--max-hosts",
+            "500",
+            "--extra-host",
+            "stale1.example",
+            "--extra-host",
+            "stale2.example",
+            "--out",
+            "crawl.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Crawl {
+                world: cp_serve::WorldKind::Uniform(1_000),
+                seed: 9,
+                workers: 8,
+                ticks: None,
+                duration_s: None,
+                ttl_s: Some(30),
+                retries: 5,
+                backoff_ms: 100,
+                host: "127.0.0.1".into(),
+                port: 0,
+                max_hosts: Some(500),
+                extra_hosts: vec!["stale1.example".into(), "stale2.example".into()],
+                out: Some("crawl.json".into()),
+                marks_out: None,
+            }
+        );
+        // Defaults: in-process, the core retry policy's budget and backoff.
+        let defaults = cookiepicker_core::RetryPolicy::default();
+        assert!(matches!(
+            parse_args(["crawl"]).unwrap(),
+            Command::Crawl { port: 0, world: cp_serve::WorldKind::Table1, retries, backoff_ms, .. }
+                if retries == defaults.max_retries && backoff_ms == defaults.backoff.as_millis()
+        ));
+        assert!(parse_args(["crawl", "--workers", "0"]).is_err(), "needs a worker");
+        assert!(parse_args(["crawl", "--ttl", "0"]).is_err(), "zero TTL would thrash");
+        assert!(parse_args(["crawl", "--world", "galaxy"]).is_err());
+        assert!(parse_args(["crawl", "--bogus"]).is_err());
+    }
+
+    #[test]
     fn usage_lists_every_subcommand() {
-        for sub in ["classify", "simulate", "jar", "serve", "loadgen", "get", "help"] {
+        for sub in ["classify", "simulate", "jar", "serve", "loadgen", "crawl", "get", "help"] {
             assert!(
                 USAGE.lines().any(|l| l.trim_start().starts_with(&format!("cookiepicker {sub}"))),
                 "USAGE must document {sub}"

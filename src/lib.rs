@@ -11,6 +11,7 @@ pub mod cli;
 pub use cookiepicker_core as core;
 pub use cp_browser as browser;
 pub use cp_cookies as cookies;
+pub use cp_crawl as crawl;
 pub use cp_doppelganger as doppelganger;
 pub use cp_html as html;
 pub use cp_net as net;
