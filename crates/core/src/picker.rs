@@ -52,7 +52,7 @@ pub struct InconclusiveProbe {
 }
 
 /// A per-site training summary (see [`CookiePicker::summary_for`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingSummary {
     /// The site host.
     pub host: String,

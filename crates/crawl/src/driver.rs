@@ -129,7 +129,7 @@ impl VisitDriver for InProcessDriver {
                 &self.analyses,
                 &self.metrics,
             ) {
-                Some(plan) => (Some(plan.event.clone()), Some(plan)),
+                Some((event, plan)) => (Some(event), Some(plan)),
                 None => (None, None),
             },
             |entry, marked_now, plan: Option<VisitPlan>| plan.map(|p| p.finish(entry, marked_now)),

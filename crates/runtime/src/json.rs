@@ -260,6 +260,13 @@ fn write_f64(out: &mut String, f: f64) {
     }
 }
 
+/// Appends `s` to `out` as a JSON string literal (quotes + escapes) —
+/// for hand-rolled hot-path serializers that render without building a
+/// [`Json`] tree first.
+pub fn escape_into(out: &mut String, s: &str) {
+    write_escaped(out, s);
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -436,16 +443,23 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // bytes are valid UTF-8).
+                    // Bulk-copy up to the next quote, escape, or control
+                    // byte. Those stop bytes are all ASCII and UTF-8
+                    // continuation bytes are ≥ 0x80, so the chunk ends on
+                    // a scalar boundary; the input is a &str, so the
+                    // bytes in between are valid UTF-8.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = s.chars().next().unwrap();
-                    if (c as u32) < 0x20 {
+                    let stop = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+                        .unwrap_or(rest.len());
+                    if stop == 0 {
                         return Err(self.err("control character in string"));
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let chunk = std::str::from_utf8(&rest[..stop])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(chunk);
+                    self.pos += stop;
                 }
             }
         }

@@ -14,6 +14,7 @@
 //! | [`par`]  | `crossbeam::scope` | [`par::par_map_indexed`] — ordered scoped fan-out with a worker cap |
 //! | [`sync`] | `parking_lot`      | guard-returning `Mutex` / `RwLock` |
 //! | [`metrics`] | `prometheus`    | atomic `Counter` / `Gauge` / latency `Histogram` for the service layer |
+//! | [`net`]  | `mio`/`epoll` crates | [`net::Poller`] — level-triggered readiness polling (Linux epoll via the libc std links; `Unsupported` elsewhere) |
 //!
 //! Determinism is the design center: the PRNG stream is pinned by tests,
 //! JSON output is byte-stable (sorted keys, shortest float repr), and
@@ -22,6 +23,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod net;
 pub mod par;
 pub mod rng;
 pub mod sync;

@@ -1,0 +1,347 @@
+//! Readiness polling for nonblocking sockets — the event-loop substrate
+//! of cp-serve.
+//!
+//! [`Poller`] wraps Linux `epoll` through `extern "C"` declarations
+//! against the libc that `std` already links, so the workspace keeps its
+//! zero-external-crate invariant while getting level-triggered readiness
+//! notification for thousands of connections per loop thread. On every
+//! other platform [`Poller::new`] returns `Unsupported` and the caller
+//! falls back to its portable blocking path (cp-serve keeps the
+//! accept-queue worker pool for exactly that).
+//!
+//! The surface is deliberately tiny: register a file descriptor with a
+//! caller-chosen `token`, optionally arm write-readiness, and wait. All
+//! registrations are level-triggered — a readable fd keeps firing until
+//! drained, which composes with incremental parsers that stop at
+//! `WouldBlock`.
+
+/// A readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollEvent {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable, or peer-closed/errored (which reads report precisely).
+    pub readable: bool,
+    /// Writable (only delivered when write interest is armed).
+    pub writable: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Raw epoll bindings. The constants mirror `<sys/epoll.h>`; the
+    //! event struct is packed on x86 (kernel ABI) and natural elsewhere.
+
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy, Debug)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+    }
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    /// Wake only one of the epoll instances sharing a listener
+    /// (kernel ≥ 4.5); [`super::Poller::add_exclusive`] degrades to a
+    /// plain registration when the kernel rejects it.
+    pub const EPOLLEXCLUSIVE: u32 = 1 << 28;
+}
+
+/// Linux epoll implementation.
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{sys, PollEvent};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    /// One epoll instance plus its reusable event buffer.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        /// Scratch buffer reused across [`wait`](Poller::wait) calls.
+        buf: Vec<sys::EpollEvent>,
+    }
+
+    /// Events deliverable per `wait` call; more stay queued in the kernel.
+    const MAX_EVENTS: usize = 256;
+
+    impl Poller {
+        /// Creates an epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 takes a flag word and returns an fd or
+            // -1; no pointers are involved.
+            let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd, buf: vec![sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS] })
+        }
+
+        /// Whether this build has a native poller.
+        pub const fn is_native() -> bool {
+            true
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut event = sys::EpollEvent { events, data: token };
+            // SAFETY: `event` outlives the call; the kernel copies it.
+            let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut event) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn interest(writable: bool) -> u32 {
+            sys::EPOLLIN | sys::EPOLLRDHUP | if writable { sys::EPOLLOUT } else { 0 }
+        }
+
+        /// Registers `fd` with read interest (plus write when `writable`),
+        /// level-triggered.
+        pub fn add(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_ADD, fd, Self::interest(writable), token)
+        }
+
+        /// Registers a shared listener with `EPOLLEXCLUSIVE` so only one
+        /// of the loops polling it wakes per connection; degrades to a
+        /// plain registration on kernels that reject the flag.
+        pub fn add_exclusive(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            let events = sys::EPOLLIN | sys::EPOLLEXCLUSIVE;
+            match self.ctl(sys::EPOLL_CTL_ADD, fd, events, token) {
+                Err(e) if e.raw_os_error() == Some(22) => {
+                    self.ctl(sys::EPOLL_CTL_ADD, fd, sys::EPOLLIN, token)
+                }
+                other => other,
+            }
+        }
+
+        /// Rearms `fd` with read interest (plus write when `writable`).
+        pub fn modify(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_MOD, fd, Self::interest(writable), token)
+        }
+
+        /// Deregisters `fd`. Closing the fd also deregisters it, so this
+        /// is only needed when the fd outlives its interest.
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Blocks until at least one registered fd is ready or `timeout`
+        /// passes (`None` = forever), then appends the ready events to
+        /// `events` and returns how many were delivered.
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let timeout_ms = match timeout {
+                None => -1i32,
+                Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+            };
+            // SAFETY: `buf` is a live, correctly-sized allocation for the
+            // whole call; the kernel writes at most MAX_EVENTS entries.
+            let n = unsafe {
+                sys::epoll_wait(self.epfd, self.buf.as_mut_ptr(), self.buf.len() as i32, timeout_ms)
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                // A signal interrupting the wait is a spurious wakeup.
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for raw in &self.buf[..n as usize] {
+                let bits = raw.events;
+                events.push(PollEvent {
+                    token: raw.data,
+                    readable: bits
+                        & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR)
+                        != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                });
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` is a valid fd this struct owns exclusively.
+            unsafe { sys::close(self.epfd) };
+        }
+    }
+}
+
+/// Stub for platforms without a native poller: construction fails with
+/// `Unsupported` and callers use their blocking fallback.
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::PollEvent;
+    use std::io;
+    use std::time::Duration;
+
+    /// The raw fd type on platforms where std does not expose one.
+    pub type RawFd = i32;
+
+    #[derive(Debug)]
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "no native poller on this platform"))
+        }
+
+        pub const fn is_native() -> bool {
+            false
+        }
+
+        pub fn add(&self, _fd: RawFd, _token: u64, _writable: bool) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn add_exclusive(&self, _fd: RawFd, _token: u64) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn modify(&self, _fd: RawFd, _token: u64, _writable: bool) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn remove(&self, _fd: RawFd) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn wait(
+            &mut self,
+            _events: &mut Vec<PollEvent>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            unreachable!("stub poller cannot be constructed")
+        }
+    }
+}
+
+pub use imp::Poller;
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 7, false).unwrap();
+
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "no pending connection → timeout with no events");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        assert!(!events[0].writable);
+    }
+
+    #[test]
+    fn stream_reports_read_and_write_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        // Write interest on an idle connected socket fires immediately
+        // (the send buffer is empty).
+        poller.add(client.as_raw_fd(), 1, true).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+        // Drop write interest, then make the socket readable.
+        poller.modify(client.as_raw_fd(), 1, false).unwrap();
+        server_side.write_all(b"ping").unwrap();
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable && !e.writable));
+
+        // Level-triggered: unread bytes keep the fd ready.
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        let mut sink = [0u8; 8];
+        let mut reader = &client;
+        assert_eq!(reader.read(&mut sink).unwrap(), 4);
+        events.clear();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "drained socket is quiet again");
+    }
+
+    #[test]
+    fn peer_close_is_reported_as_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.add(client.as_raw_fd(), 3, false).unwrap();
+        drop(server_side);
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 3 && e.readable),
+            "hangup must surface as readability so the read path sees EOF"
+        );
+    }
+
+    #[test]
+    fn remove_stops_delivery() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 9, false).unwrap();
+        poller.remove(listener.as_raw_fd()).unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert_eq!(n, 0, "deregistered fds deliver nothing");
+    }
+
+    #[test]
+    fn exclusive_listener_registration_is_accepted() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add_exclusive(listener.as_raw_fd(), 4).unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 4 && e.readable));
+        assert!(Poller::is_native());
+    }
+}

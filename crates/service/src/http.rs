@@ -210,27 +210,7 @@ impl<S: Read> HttpConn<S> {
         let head_len = self.read_head()?;
         let head = &self.buf[self.consumed..self.consumed + head_len - CRLF2.len()];
         let head = std::str::from_utf8(head).map_err(|_| HttpError::Malformed("non-utf8 head"))?;
-        let mut lines = unfold_lines(head)?;
-        let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
-        let mut parts = request_line.split(' ');
-        let method = parts.next().unwrap_or("");
-        let target = parts.next().ok_or(HttpError::Malformed("missing request target"))?;
-        let version = parts.next().ok_or(HttpError::Malformed("missing HTTP version"))?;
-        if parts.next().is_some() {
-            return Err(HttpError::Malformed("extra tokens in request line"));
-        }
-        if method.is_empty() || !method.bytes().all(is_token_byte) {
-            return Err(HttpError::Malformed("invalid method token"));
-        }
-        if target.is_empty() || target.contains(char::is_whitespace) {
-            return Err(HttpError::Malformed("invalid request target"));
-        }
-        let http11 = match version {
-            "HTTP/1.1" => true,
-            "HTTP/1.0" => false,
-            _ => return Err(HttpError::BadVersion),
-        };
-        let headers = parse_headers(lines)?;
+        let (method, target, http11, headers) = parse_request_head(head)?;
         self.consumed += head_len;
 
         let body = match content_length(&headers)? {
@@ -241,13 +221,7 @@ impl<S: Read> HttpConn<S> {
             }
             None => Vec::new(),
         };
-        Ok(HttpRequest {
-            method: method.to_string(),
-            target: target.to_string(),
-            http11,
-            headers,
-            body,
-        })
+        Ok(HttpRequest { method, target, http11, headers, body })
     }
 
     /// Reads one response (client side).
@@ -277,8 +251,105 @@ impl<S: Read> HttpConn<S> {
     }
 }
 
-/// Writes a response message. `extra_headers` come after the defaults;
+/// Parses a request head (request line + headers, no trailing CRLFCRLF)
+/// into `(method, target, http11, headers)`.
+fn parse_request_head(head: &str) -> Result<(String, String, bool, HeaderMap), HttpError> {
+    let mut lines = unfold_lines(head)?;
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().ok_or(HttpError::Malformed("missing request target"))?;
+    let version = parts.next().ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens in request line"));
+    }
+    if method.is_empty() || !method.bytes().all(is_token_byte) {
+        return Err(HttpError::Malformed("invalid method token"));
+    }
+    if target.is_empty() || target.contains(char::is_whitespace) {
+        return Err(HttpError::Malformed("invalid request target"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::BadVersion),
+    };
+    let method = method.to_string();
+    let target = target.to_string();
+    let headers = parse_headers(lines)?;
+    Ok((method, target, http11, headers))
+}
+
+/// Tries to parse one complete request from the front of `buf` without
+/// doing any I/O — the entry point for nonblocking event loops that own
+/// their read buffers.
+///
+/// Returns `Ok(None)` when more bytes are needed, and
+/// `Ok(Some((request, consumed)))` when a full message (head + declared
+/// body) is buffered; the caller drains `consumed` bytes. Limit
+/// violations are detected as early as possible: an unterminated head
+/// longer than `max_head_bytes` and a declared `Content-Length` over
+/// `max_body_bytes` both fail before the rest of the message arrives.
+pub fn parse_request_buffer(
+    buf: &[u8],
+    limits: &Limits,
+) -> Result<Option<(HttpRequest, usize)>, HttpError> {
+    let head_len = match find(buf, CRLF2) {
+        Some(pos) => pos + CRLF2.len(),
+        None if buf.len() > limits.max_head_bytes => return Err(HttpError::HeadTooLarge),
+        None => return Ok(None),
+    };
+    if head_len > limits.max_head_bytes {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_len - CRLF2.len()])
+        .map_err(|_| HttpError::Malformed("non-utf8 head"))?;
+    let (method, target, http11, headers) = parse_request_head(head)?;
+    let body_len = match content_length(&headers)? {
+        Some(len) if len > limits.max_body_bytes => return Err(HttpError::BodyTooLarge),
+        Some(len) => len,
+        None if headers.contains("transfer-encoding") => {
+            return Err(HttpError::Malformed("transfer codings not supported"))
+        }
+        None => 0,
+    };
+    if buf.len() < head_len + body_len {
+        return Ok(None);
+    }
+    let body = buf[head_len..head_len + body_len].to_vec();
+    Ok(Some((HttpRequest { method, target, http11, headers, body }, head_len + body_len)))
+}
+
+/// Serializes a response message onto `out` — head and body in one
+/// contiguous buffer, so the caller can flush it in a single write.
 /// `Content-Length` and `Connection` are always emitted.
+pub fn append_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    out.reserve(head.len() + content_type.len() + 18 + body.len());
+    out.extend_from_slice(head.as_bytes());
+    if !body.is_empty() || !content_type.is_empty() {
+        out.extend_from_slice(b"Content-Type: ");
+        out.extend_from_slice(content_type.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+}
+
+/// Writes a response message as one pre-assembled buffer — status line,
+/// headers, and body land in a single `write_all` (one syscall on an
+/// unwrapped socket).
 pub fn write_response(
     out: &mut impl Write,
     status: u16,
@@ -287,22 +358,14 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nConnection: {}\r\n",
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    if !body.is_empty() || !content_type.is_empty() {
-        head.push_str(&format!("Content-Type: {content_type}\r\n"));
-    }
-    head.push_str("\r\n");
-    out.write_all(head.as_bytes())?;
-    out.write_all(body)?;
+    let mut wire = Vec::with_capacity(128 + body.len());
+    append_response(&mut wire, status, reason, content_type, body, keep_alive);
+    out.write_all(&wire)?;
     out.flush()
 }
 
-/// Writes a request message (client side). A `Content-Length` is emitted
-/// whenever a body is present.
+/// Writes a request message (client side) as one pre-assembled buffer. A
+/// `Content-Length` is emitted whenever a body is present.
 pub fn write_request(
     out: &mut impl Write,
     method: &str,
@@ -310,17 +373,30 @@ pub fn write_request(
     host: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let mut head = format!("{method} {target} HTTP/1.1\r\nHost: {host}\r\n");
-    if !body.is_empty() {
-        head.push_str(&format!(
-            "Content-Length: {}\r\nContent-Type: application/json\r\n",
-            body.len()
-        ));
-    }
-    head.push_str("\r\n");
-    out.write_all(head.as_bytes())?;
-    out.write_all(body)?;
+    let mut wire = Vec::new();
+    append_request(&mut wire, method, target, host, body);
+    out.write_all(&wire)?;
     out.flush()
+}
+
+/// Appends a request message — request line, headers, body — to `out`.
+/// The multi-connection loadgen clears and reuses one buffer across
+/// requests, so the steady-state send path allocates nothing.
+pub fn append_request(out: &mut Vec<u8>, method: &str, target: &str, host: &str, body: &[u8]) {
+    out.reserve(method.len() + target.len() + host.len() + body.len() + 96);
+    out.extend_from_slice(method.as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(target.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\nHost: ");
+    out.extend_from_slice(host.as_bytes());
+    out.extend_from_slice(b"\r\n");
+    if !body.is_empty() {
+        out.extend_from_slice(b"Content-Length: ");
+        let _ = write!(out, "{}", body.len());
+        out.extend_from_slice(b"\r\nContent-Type: application/json\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
 }
 
 /// Splits a message head into logical lines, unfolding obsolete line
@@ -509,6 +585,102 @@ mod tests {
         assert_eq!(req.target, "/v1/visit");
         assert_eq!(req.headers.get("host"), Some("127.0.0.1"));
         assert_eq!(req.body, b"{}");
+    }
+
+    /// A sink that counts how many `write` calls reach the transport —
+    /// the stand-in for a socket when pinning syscall counts.
+    #[derive(Default)]
+    struct CountingStream {
+        data: Vec<u8>,
+        writes: usize,
+        flushes: usize,
+    }
+
+    impl Write for CountingStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.writes += 1;
+            self.data.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn response_head_and_body_land_in_one_write() {
+        let mut sink = CountingStream::default();
+        write_response(&mut sink, 200, "OK", "application/json", b"{\"n\":42}", true).unwrap();
+        assert_eq!(sink.writes, 1, "head+body must be pre-assembled into a single write");
+        let resp = conn(&sink.data).read_response().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_string(), "{\"n\":42}");
+
+        let mut sink = CountingStream::default();
+        write_request(&mut sink, "POST", "/v1/classify", "h", b"{}").unwrap();
+        assert_eq!(sink.writes, 1, "request writer gets the same single-write treatment");
+    }
+
+    #[test]
+    fn append_response_matches_write_response_bytes() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 404, "Not Found", "text/plain", b"nope", false).unwrap();
+        let mut appended = Vec::new();
+        append_response(&mut appended, 404, "Not Found", "text/plain", b"nope", false);
+        assert_eq!(wire, appended);
+    }
+
+    #[test]
+    fn buffer_parser_handles_incremental_arrival() {
+        let wire = b"POST /v1/visit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..wire.len() {
+            let got = parse_request_buffer(&wire[..cut], &Limits::default()).unwrap();
+            assert!(got.is_none(), "prefix of {cut} bytes must ask for more");
+        }
+        let (req, consumed) = parse_request_buffer(wire, &Limits::default()).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn buffer_parser_leaves_pipelined_tail_unconsumed() {
+        let wire = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (first, consumed) = parse_request_buffer(wire, &Limits::default()).unwrap().unwrap();
+        assert_eq!(first.target, "/a");
+        let (second, rest) =
+            parse_request_buffer(&wire[consumed..], &Limits::default()).unwrap().unwrap();
+        assert_eq!(second.target, "/b");
+        assert_eq!(consumed + rest, wire.len());
+    }
+
+    #[test]
+    fn buffer_parser_rejects_limits_early() {
+        let limits = Limits { max_head_bytes: 64, max_body_bytes: 8 };
+        // Unterminated head growing past the cap fails before CRLFCRLF.
+        let garbage = vec![b'a'; 65];
+        assert!(matches!(parse_request_buffer(&garbage, &limits), Err(HttpError::HeadTooLarge)));
+        // Declared oversize body fails without waiting for the payload.
+        let head = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        assert!(matches!(parse_request_buffer(head, &limits), Err(HttpError::BodyTooLarge)));
+        // Malformed heads fail as soon as the head is complete.
+        let bad = b"NOT-HTTP\r\n\r\n";
+        assert!(matches!(
+            parse_request_buffer(bad, &Limits::default()),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn buffer_parser_agrees_with_streaming_parser() {
+        let mut rng = StdRng::seed_from_u64(0x1DEA);
+        for _ in 0..200 {
+            let (expected, wire) = random_request(&mut rng);
+            let (got, consumed) = parse_request_buffer(&wire, &Limits::default()).unwrap().unwrap();
+            assert_eq!(got, expected);
+            assert_eq!(consumed, wire.len());
+        }
     }
 
     /// A reader that hands out the wire bytes in caller-chosen fragments,

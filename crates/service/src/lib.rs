@@ -20,11 +20,13 @@
 //! state, [`storage`]/[`wal`]/[`snapshot`] make it crash-safe (per-shard
 //! write-ahead logs + atomic snapshots over a fault-injectable write
 //! layer), [`world`] is the embedded deterministic site population,
-//! [`metrics`] is the atomic registry, [`server`] wires them behind a
-//! bounded-queue worker pool, and [`loadgen`] is the seeded closed-loop
-//! client that benchmarks the whole stack.
+//! [`metrics`] is the atomic registry, [`server`] wires them behind the
+//! sharded readiness loop (falling back to a bounded-queue worker pool
+//! where no native poller exists), and [`loadgen`] is the seeded
+//! closed-loop client that benchmarks the whole stack.
 
 pub mod cache;
+mod eventloop;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;

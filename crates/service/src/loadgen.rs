@@ -14,6 +14,7 @@
 //! server's `/metrics` counters.
 
 use std::collections::HashMap;
+use std::io::Write;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -21,7 +22,7 @@ use cp_runtime::json::{Json, ToJson};
 use cp_runtime::rng::{Rng, SeedableRng, StdRng, Zipf};
 use cp_webworld::{table1_population, uniform_host};
 
-use crate::http::{write_request, HttpConn, HttpError, HttpResponse, Limits};
+use crate::http::{append_request, write_request, HttpConn, HttpError, HttpResponse, Limits};
 use crate::metrics::{quantile_from_buckets, scrape_counter, scrape_histogram};
 
 /// Load-generator parameters.
@@ -31,8 +32,18 @@ pub struct LoadgenConfig {
     pub host: String,
     /// Server port.
     pub port: u16,
-    /// Client threads (each with its own connection and RNG stream).
+    /// Client threads (each with its own RNG stream).
     pub threads: usize,
+    /// Keep-alive connections per thread. `1` (the default) is the
+    /// classic closed loop: one request in flight per thread. Larger
+    /// values drive each thread's connections in batched rounds — write
+    /// one request on every connection, then read every response — so a
+    /// single client thread keeps many server connections busy with at
+    /// most one outstanding request per connection. The per-thread draw
+    /// sequence is unchanged, but requests in the same round cannot see
+    /// each other's cookies, so cross-run counter identity is only
+    /// guaranteed at `connections: 1`.
+    pub connections: usize,
     /// Total requests across all threads.
     pub requests: u64,
     /// Seed: must match the server's `--seed` for the visit mix to make
@@ -61,6 +72,7 @@ impl Default for LoadgenConfig {
             host: "127.0.0.1".to_string(),
             port: 0,
             threads: 4,
+            connections: 1,
             requests: 10_000,
             seed: 7,
             hosts: None,
@@ -140,6 +152,15 @@ pub struct LoadgenReport {
     /// Sorted, deduplicated `"host cookie"` lines for every mark observed —
     /// the chaos gate diffs these against a fault-free oracle run.
     pub marks: Vec<String>,
+    /// Keep-alive connections per thread the run was configured with.
+    pub connections: usize,
+    /// Requests completed per connection, thread-major (thread 0's
+    /// connections first). Single-connection runs report one entry per
+    /// thread.
+    pub per_connection_requests: Vec<u64>,
+    /// Server-side `cp_event_loop_wakeups_total` after the run (0 on the
+    /// worker-pool path, which has no loop to count).
+    pub server_event_loop_wakeups: u64,
 }
 
 impl ToJson for LoadgenReport {
@@ -188,6 +209,13 @@ impl ToJson for LoadgenReport {
                     .set("hidden_fetch_ok", self.hidden_fetch_ok)
                     .set("wal_records", self.server_wal_records)
                     .set("wal_faults", self.server_wal_faults),
+            )
+            .set(
+                "serving",
+                Json::object()
+                    .set("connections", self.connections as u64)
+                    .set("per_connection_requests", self.per_connection_requests.clone())
+                    .set("event_loop_wakeups", self.server_event_loop_wakeups),
             )
             .set("metrics_scraped", self.metrics_scraped)
             .set("marks", self.marks.clone())
@@ -361,6 +389,8 @@ struct ThreadTally {
     reconnects: u64,
     /// `"host cookie"` lines for every cookie marked useful during the run.
     marks: Vec<String>,
+    /// Requests completed on each of this thread's connections.
+    conn_requests: Vec<u64>,
 }
 
 /// Runs the load and returns the aggregated report. The final `/metrics`
@@ -430,6 +460,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         server_wal_records: 0,
         server_wal_faults: 0,
         marks: Vec::new(),
+        connections: config.connections.max(1),
+        per_connection_requests: Vec::new(),
+        server_event_loop_wakeups: 0,
     };
     for tally in tallies {
         report.requests += tally.samples.len() as u64;
@@ -443,6 +476,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         report.client_retries += tally.retries;
         report.client_reconnects += tally.reconnects;
         report.marks.extend(tally.marks);
+        report.per_connection_requests.extend(tally.conn_requests);
         samples.extend(tally.samples);
     }
     report.marks.sort_unstable();
@@ -485,6 +519,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         report.server_retry_total = scrape_counter(&exposition, "cp_retry_total").unwrap_or(0);
         report.hidden_fetch_ok =
             scrape_counter(&exposition, "cp_hidden_fetch_total{result=\"ok\"}").unwrap_or(0);
+        report.server_event_loop_wakeups =
+            scrape_counter(&exposition, "cp_event_loop_wakeups_total").unwrap_or(0);
         report.server_wal_records =
             scrape_counter(&exposition, "cp_wal_records_total").unwrap_or(0);
         report.server_wal_faults = crate::metrics::WAL_FAULT_KINDS
@@ -508,12 +544,53 @@ fn pick_host(sampler: &Option<Zipf>, owned: &[&str], rng: &mut StdRng) -> String
     }
 }
 
+/// Draws the next request of the seeded mix. The draw order is a pure
+/// function of the thread RNG, independent of which connection ends up
+/// carrying the request.
+fn draw_request(
+    sampler: &Option<Zipf>,
+    owned: &[&str],
+    rng: &mut StdRng,
+    jars: &HashMap<String, Vec<String>>,
+) -> (&'static str, String, String) {
+    let has_sites = sampler.is_some() || !owned.is_empty();
+    let roll = rng.gen_range(0..100u64);
+    if roll < 86 && has_sites {
+        let host = pick_host(sampler, owned, rng);
+        let path = match rng.gen_range(0..5u64) {
+            0 => "/".to_string(),
+            n => format!("/page/{n}"),
+        };
+        // Formatted directly (keys in sorted order, byte-identical to the
+        // Json-tree rendering): hosts, paths, and issued cookies are all
+        // escape-free, and this runs for 86% of the mix.
+        let payload = match jars.get(&host).filter(|jar| !jar.is_empty()) {
+            Some(jar) => {
+                format!(
+                    "{{\"cookie\":\"{}\",\"host\":\"{host}\",\"path\":\"{path}\"}}",
+                    jar.join("; ")
+                )
+            }
+            None => format!("{{\"host\":\"{host}\",\"path\":\"{path}\"}}"),
+        };
+        ("POST", "/v1/visit".to_string(), payload)
+    } else if roll < 90 {
+        ("GET", "/healthz".to_string(), String::new())
+    } else if roll < 94 && has_sites {
+        let host = pick_host(sampler, owned, rng);
+        ("GET", format!("/v1/sites/{host}"), String::new())
+    } else {
+        let (regular, hidden) = CLASSIFY_PAIRS[rng.gen_range(0..CLASSIFY_PAIRS.len())];
+        let payload = Json::object().set("regular", regular).set("hidden", hidden);
+        ("POST", "/v1/classify".to_string(), payload.to_compact())
+    }
+}
+
 fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> ThreadTally {
     let mut rng = StdRng::seed_from_u64(config.seed ^ (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let sampler = config.hosts.map(|n| Zipf::new(n, config.zipf));
-    let has_sites = sampler.is_some() || !owned.is_empty();
-    let mut client = Client::with_policy(&config.host, config.port, config.retries, config.backoff);
     let mut jars: HashMap<String, Vec<String>> = HashMap::new();
+    let connections = config.connections.max(1);
     let mut tally = ThreadTally {
         samples: Vec::with_capacity(quota as usize),
         status_2xx: 0,
@@ -526,38 +603,22 @@ fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> 
         retries: 0,
         reconnects: 0,
         marks: Vec::new(),
+        conn_requests: vec![0; connections],
     };
 
-    for _ in 0..quota {
-        let roll = rng.gen_range(0..100u64);
-        let (method, target, body): (&str, String, String) = if roll < 86 && has_sites {
-            let host = pick_host(&sampler, owned, &mut rng);
-            let path = match rng.gen_range(0..5u64) {
-                0 => "/".to_string(),
-                n => format!("/page/{n}"),
-            };
-            let mut payload = Json::object().set("host", host.as_str()).set("path", path.as_str());
-            if let Some(jar) = jars.get(&host) {
-                if !jar.is_empty() {
-                    payload = payload.set("cookie", jar.join("; "));
-                }
-            }
-            ("POST", "/v1/visit".to_string(), payload.to_compact())
-        } else if roll < 90 {
-            ("GET", "/healthz".to_string(), String::new())
-        } else if roll < 94 && has_sites {
-            let host = pick_host(&sampler, owned, &mut rng);
-            ("GET", format!("/v1/sites/{host}"), String::new())
-        } else {
-            let (regular, hidden) = CLASSIFY_PAIRS[rng.gen_range(0..CLASSIFY_PAIRS.len())];
-            let payload = Json::object().set("regular", regular).set("hidden", hidden);
-            ("POST", "/v1/classify".to_string(), payload.to_compact())
-        };
+    if connections > 1 {
+        drive_connections(config, quota, &sampler, owned, &mut rng, &mut jars, &mut tally);
+        return tally;
+    }
 
+    let mut client = Client::with_policy(&config.host, config.port, config.retries, config.backoff);
+    for _ in 0..quota {
+        let (method, target, body) = draw_request(&sampler, owned, &mut rng, &jars);
         let sent = Instant::now();
         match client.request(method, &target, body.as_bytes()) {
             Ok(response) => {
                 tally.samples.push(sent.elapsed().as_micros() as u64);
+                tally.conn_requests[0] += 1;
                 match response.status {
                     200..=299 => tally.status_2xx += 1,
                     500..=599 => tally.status_5xx += 1,
@@ -575,6 +636,96 @@ fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> 
     tally
 }
 
+/// Multi-connection closed loop: each round writes one request on every
+/// connection, then reads every response — at most one outstanding
+/// request per connection, `connections` in flight per thread. Transport
+/// failures abandon the connection (a fresh one connects next round)
+/// without re-sending: the batched loop never risks double-applying a
+/// training step.
+fn drive_connections(
+    config: &LoadgenConfig,
+    quota: u64,
+    sampler: &Option<Zipf>,
+    owned: &[&str],
+    rng: &mut StdRng,
+    jars: &mut HashMap<String, Vec<String>>,
+    tally: &mut ThreadTally,
+) {
+    let connections = config.connections.max(1);
+    let mut conns: Vec<Option<HttpConn<TcpStream>>> = (0..connections).map(|_| None).collect();
+    let host_header = format!("{}:{}", config.host, config.port);
+    let mut wire: Vec<u8> = Vec::with_capacity(1024);
+    let mut remaining = quota;
+    while remaining > 0 {
+        let batch = remaining.min(connections as u64) as usize;
+        let requests: Vec<(&str, String, String)> =
+            (0..batch).map(|_| draw_request(sampler, owned, rng, jars)).collect();
+        let mut sent_at: Vec<Option<Instant>> = vec![None; batch];
+        for (c, (method, target, body)) in requests.iter().enumerate() {
+            if conns[c].is_none() {
+                match connect_conn(&config.host, config.port) {
+                    Ok(conn) => conns[c] = Some(conn),
+                    Err(_) => {
+                        tally.transport_errors += 1;
+                        tally.reconnects += 1;
+                        continue;
+                    }
+                }
+            }
+            let conn = conns[c].as_mut().expect("connected above");
+            wire.clear();
+            append_request(&mut wire, method, target, &host_header, body.as_bytes());
+            match conn.stream_mut().write_all(&wire) {
+                Ok(()) => sent_at[c] = Some(Instant::now()),
+                Err(_) => {
+                    conns[c] = None;
+                    tally.transport_errors += 1;
+                    tally.reconnects += 1;
+                }
+            }
+        }
+        for c in 0..batch {
+            let Some(sent) = sent_at[c] else { continue };
+            let Some(conn) = conns[c].as_mut() else { continue };
+            match conn.read_response() {
+                Ok(response) => {
+                    tally.samples.push(sent.elapsed().as_micros() as u64);
+                    tally.conn_requests[c] += 1;
+                    match response.status {
+                        200..=299 => tally.status_2xx += 1,
+                        500..=599 => tally.status_5xx += 1,
+                        _ => tally.status_4xx += 1,
+                    }
+                    let close = response
+                        .headers
+                        .get("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                    if response.status == 200 {
+                        observe_verdicts(&response, requests[c].1.as_str(), tally, jars);
+                    }
+                    if close {
+                        conns[c] = None;
+                    }
+                }
+                Err(_) => {
+                    conns[c] = None;
+                    tally.transport_errors += 1;
+                    tally.reconnects += 1;
+                }
+            }
+        }
+        remaining -= batch as u64;
+    }
+}
+
+fn connect_conn(host: &str, port: u16) -> std::io::Result<HttpConn<TcpStream>> {
+    let stream = TcpStream::connect((host, port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    Ok(HttpConn::new(stream, Limits::default()))
+}
+
 /// Updates the client-side verdict tally and cookie jars from a response.
 fn observe_verdicts(
     response: &HttpResponse,
@@ -582,7 +733,10 @@ fn observe_verdicts(
     tally: &mut ThreadTally,
     jars: &mut HashMap<String, Vec<String>>,
 ) {
-    let Ok(json) = Json::parse(&response.body_string()) else { return };
+    // Borrow the body: the tally runs once per response, so a lossy
+    // copy here would be the client's single biggest allocation.
+    let Ok(body) = std::str::from_utf8(&response.body) else { return };
+    let Ok(json) = Json::parse(body) else { return };
     if target == "/v1/visit" {
         if let Some(record) = json.get("record").filter(|r| **r != Json::Null) {
             match record
@@ -739,6 +893,38 @@ mod tests {
         assert!(json.contains("\"counters_match\":true"));
         assert!(json.contains("\"deferred_probes\":0"));
         assert!(json.contains("\"metrics_scraped\":true"));
+    }
+
+    #[test]
+    fn multi_connection_run_reports_per_connection_counts() {
+        let server = start(ServeConfig { seed: 7, workers: 2, ..ServeConfig::default() }).unwrap();
+        let report = run(&LoadgenConfig {
+            port: server.port(),
+            threads: 2,
+            connections: 4,
+            requests: 200,
+            seed: 7,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.requests, 200);
+        assert_eq!(report.status_5xx, 0);
+        assert_eq!(report.transport_errors, 0);
+        assert!(report.counters_match, "batched rounds still tally every verdict");
+        assert_eq!(report.connections, 4);
+        assert_eq!(report.per_connection_requests.len(), 8, "2 threads x 4 connections");
+        assert_eq!(report.per_connection_requests.iter().sum::<u64>(), 200);
+        assert!(
+            report.per_connection_requests.iter().all(|&n| n > 0),
+            "round-robin batches touch every connection: {:?}",
+            report.per_connection_requests
+        );
+        if cp_runtime::net::Poller::new().is_ok() {
+            assert!(report.server_event_loop_wakeups > 0, "native poller counts wakeups");
+        }
+        let json = report.to_json().to_compact();
+        assert!(json.contains("\"connections\":4"));
+        assert!(json.contains("\"per_connection_requests\":"));
     }
 
     #[test]

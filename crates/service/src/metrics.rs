@@ -121,6 +121,14 @@ pub const DETECTION_BUCKETS_MICROS: [u64; 14] =
 pub const WAL_FSYNC_BUCKETS_MICROS: [u64; 12] =
     [8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144];
 
+/// Bucket bounds for the per-route request-time histogram
+/// (`cp_request_micros`), in microseconds. Powers of two from 1µs to
+/// ~32ms: a cached healthz is single-digit microseconds while a cold
+/// classify parse can run tens of milliseconds, and constant relative
+/// error across that span is what a latency SLO needs.
+pub const REQUEST_BUCKETS_MICROS: [u64; 16] =
+    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
 /// Bucket bounds for the crawler revisit-lag histogram, in scheduler
 /// ticks. Lag is zero when the frontier keeps up and grows by whole
 /// politeness windows when it falls behind, so power-of-two tick buckets
@@ -131,6 +139,14 @@ pub const CRAWL_LAG_BUCKETS_TICKS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256
 #[derive(Debug)]
 pub struct ServiceMetrics {
     endpoints: [EndpointSeries; 9],
+    /// Per-route request time in power-of-two buckets
+    /// ([`REQUEST_BUCKETS_MICROS`]), indexed like `endpoints`.
+    request_micros: [Histogram; 9],
+    /// Event-loop wakeups (`epoll_wait` returns with ≥1 event).
+    pub event_loop_wakeups: Counter,
+    /// Connections with readiness events in the event-loop pass being
+    /// processed right now (the readiness-loop analogue of queue depth).
+    pub ready_conns: Gauge,
     /// Responses by status class.
     pub responses_2xx: Counter,
     /// 4xx responses (bad requests, 404s, 413s).
@@ -213,6 +229,11 @@ impl ServiceMetrics {
     pub fn new() -> Self {
         ServiceMetrics {
             endpoints: Default::default(),
+            request_micros: std::array::from_fn(|_| {
+                Histogram::with_bounds(&REQUEST_BUCKETS_MICROS)
+            }),
+            event_loop_wakeups: Counter::new(),
+            ready_conns: Gauge::new(),
             responses_2xx: Counter::new(),
             responses_4xx: Counter::new(),
             responses_5xx: Counter::new(),
@@ -254,11 +275,17 @@ impl ServiceMetrics {
         &self.endpoints[endpoint.index()]
     }
 
+    /// The power-of-two request-time histogram for `endpoint`.
+    pub fn request_micros(&self, endpoint: Endpoint) -> &Histogram {
+        &self.request_micros[endpoint.index()]
+    }
+
     /// Records one handled request.
     pub fn record(&self, endpoint: Endpoint, status: u16, micros: u64) {
         let series = self.endpoint(endpoint);
         series.requests.inc();
         series.latency.observe(micros);
+        self.request_micros[endpoint.index()].observe(micros);
         match status {
             200..=299 => self.responses_2xx.inc(),
             500..=599 => self.responses_5xx.inc(),
@@ -423,6 +450,33 @@ impl ServiceMetrics {
                 series.latency.count()
             );
         }
+        out.push_str("# TYPE cp_request_micros histogram\n");
+        for e in Endpoint::ALL {
+            let hist = self.request_micros(e);
+            if hist.count() == 0 {
+                continue; // idle-histogram rule: no buckets until observed
+            }
+            for (bound, cumulative) in hist.snapshot() {
+                let le = if bound == u64::MAX { "+Inf".to_string() } else { bound.to_string() };
+                let _ = writeln!(
+                    out,
+                    "cp_request_micros_bucket{{route=\"{}\",le=\"{le}\"}} {cumulative}",
+                    e.label()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "cp_request_micros_sum{{route=\"{}\"}} {}",
+                e.label(),
+                hist.sum_micros()
+            );
+            let _ = writeln!(
+                out,
+                "cp_request_micros_count{{route=\"{}\"}} {}",
+                e.label(),
+                hist.count()
+            );
+        }
         out.push_str("# TYPE cp_responses_total counter\n");
         for (class, counter) in [
             ("2xx", &self.responses_2xx),
@@ -486,6 +540,10 @@ impl ServiceMetrics {
         }
         out.push_str("# TYPE cp_queue_depth gauge\n");
         let _ = writeln!(out, "cp_queue_depth {}", self.queue_depth.get());
+        out.push_str("# TYPE cp_ready_conns gauge\n");
+        let _ = writeln!(out, "cp_ready_conns {}", self.ready_conns.get());
+        out.push_str("# TYPE cp_event_loop_wakeups_total counter\n");
+        let _ = writeln!(out, "cp_event_loop_wakeups_total {}", self.event_loop_wakeups.get());
         out.push_str("# TYPE cp_connections_total counter\n");
         let _ = writeln!(out, "cp_connections_total {}", self.connections_total.get());
         out.push_str("# TYPE cp_rejected_total counter\n");
@@ -811,6 +869,34 @@ mod tests {
         m.record(Endpoint::Expire, 200, 10);
         let text = m.render_prometheus();
         assert_eq!(scrape_counter(&text, "cp_requests_total{endpoint=\"expire\"}"), Some(1));
+    }
+
+    #[test]
+    fn event_loop_series_render() {
+        let m = ServiceMetrics::new();
+        let empty = m.render_prometheus();
+        // Wakeups and the ready-conns gauge always render (zero says "no
+        // loop activity"); the per-route pow2 histogram follows the
+        // idle-histogram rule.
+        assert_eq!(scrape_counter(&empty, "cp_event_loop_wakeups_total"), Some(0));
+        assert_eq!(scrape_counter(&empty, "cp_ready_conns"), Some(0));
+        assert!(!empty.contains("cp_request_micros_bucket"));
+
+        m.event_loop_wakeups.add(4);
+        m.ready_conns.set(2);
+        m.record(Endpoint::Healthz, 200, 7);
+        m.record(Endpoint::Healthz, 200, 100);
+        let text = m.render_prometheus();
+        assert_eq!(scrape_counter(&text, "cp_event_loop_wakeups_total"), Some(4));
+        assert_eq!(scrape_counter(&text, "cp_ready_conns"), Some(2));
+        // 7µs lands in the le="8" pow2 bucket; idle routes stay absent.
+        assert!(text.contains("cp_request_micros_bucket{route=\"healthz\",le=\"8\"} 1"));
+        assert!(text.contains("cp_request_micros_count{route=\"healthz\"} 2"));
+        assert!(!text.contains("cp_request_micros_count{route=\"visit\"}"));
+        assert_eq!(m.request_micros(Endpoint::Healthz).count(), 2);
+        // record() feeds both the legacy duration histogram and the new
+        // pow2 one.
+        assert_eq!(m.endpoint(Endpoint::Healthz).latency.count(), 2);
     }
 
     #[test]

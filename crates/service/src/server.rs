@@ -1,14 +1,21 @@
-//! The cp-serve server: acceptor, worker pool, routing, shutdown.
+//! The cp-serve server: serving paths, routing, shutdown.
 //!
-//! One acceptor thread pulls connections off a `TcpListener` and feeds a
-//! *bounded* queue (`std::sync::mpsc::sync_channel`); `workers` threads
-//! pull connections, speak HTTP/1.1 with keep-alive, and route requests.
-//! When the queue is full the acceptor answers `503` inline instead of
-//! queueing — load shedding, never unbounded memory.
+//! Two serving paths share the routing layer below:
 //!
-//! Shutdown is graceful: the flag flips, a self-connect wakes the blocked
-//! `accept`, the acceptor drops its sender, and each worker finishes the
-//! request it is handling (plus everything already queued) before exiting.
+//! * **Readiness loop** (the default, [`crate::eventloop`]): `workers`
+//!   shard threads each run a nonblocking poller over their slice of
+//!   connections — no thread per connection, no queue, responses flushed
+//!   with single writes. Admission is still bounded (`workers` +
+//!   `queue_capacity` concurrent connections; beyond that, inline `503`).
+//! * **Worker pool** (`use_poller: false`, or platforms without a native
+//!   poller): one acceptor thread feeds a *bounded* queue
+//!   (`std::sync::mpsc::sync_channel`); `workers` threads pull
+//!   connections and speak blocking HTTP/1.1 with keep-alive. When the
+//!   queue is full the acceptor answers `503` inline instead of queueing.
+//!
+//! Shutdown is graceful on both paths: the flag flips, a self-connect
+//! wakes the blocked `accept` (or one of the pollers), and each serving
+//! thread finishes what it holds before exiting.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -86,6 +93,10 @@ pub struct ServeConfig {
     pub storage_fault_rate: f64,
     /// Seed for the storage-fault stream (independent of `--seed`).
     pub storage_fault_seed: u64,
+    /// Serve with the sharded readiness loop (the default). When `false` —
+    /// or on platforms without a native poller — connections go through
+    /// the portable acceptor + bounded-queue worker pool instead.
+    pub use_poller: bool,
 }
 
 impl Default for ServeConfig {
@@ -111,18 +122,20 @@ impl Default for ServeConfig {
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
             storage_fault_rate: 0.0,
             storage_fault_seed: 0,
+            use_poller: true,
         }
     }
 }
 
-/// State shared by the acceptor, the workers, and the handle.
-struct Shared {
+/// State shared by the serving threads (event-loop shards or the
+/// acceptor + workers) and the handle.
+pub(crate) struct Shared {
     world: EmbeddedWorld,
     store: ShardedStore,
-    metrics: Arc<ServiceMetrics>,
+    pub(crate) metrics: Arc<ServiceMetrics>,
     picker: CookiePickerConfig,
     cache: AnalysisCache,
-    shutting_down: AtomicBool,
+    pub(crate) shutting_down: AtomicBool,
     /// Set by whichever exit path runs the final checkpoint first, so a
     /// `wait()` + `Drop` pair checkpoints exactly once.
     checkpointed: AtomicBool,
@@ -243,6 +256,19 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         recovery,
         addr,
     });
+
+    if config.use_poller {
+        // The sharded readiness loop owns the listener clones; the
+        // original drops when `start` returns, so joining the shards
+        // releases the port.
+        match crate::eventloop::spawn(&shared, &listener, &config) {
+            Ok(workers) => return Ok(ServerHandle { shared, acceptor: None, workers }),
+            Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+                // No native poller here: serve with the worker pool below.
+            }
+            Err(e) => return Err(e),
+        }
+    }
 
     let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
     let rx = Arc::new(Mutex::new(rx));
@@ -404,7 +430,7 @@ fn respond_error(
 type Routed = (Endpoint, u16, &'static str, &'static str, Vec<u8>);
 
 /// Routes one request to its handler.
-fn route(shared: &Shared, request: &HttpRequest) -> Routed {
+pub(crate) fn route(shared: &Shared, request: &HttpRequest) -> Routed {
     let method = request.method.as_str();
     let target = request.target.as_str();
     match (method, target) {
@@ -529,7 +555,7 @@ fn visit(shared: &Shared, body: &[u8]) -> Routed {
             &shared.cache,
             &shared.metrics,
         ) {
-            Some(plan) => (Some(plan.event.clone()), Some(plan)),
+            Some((event, plan)) => (Some(event), Some(plan)),
             None => (None, None),
         },
         |entry, marked_now, plan: Option<VisitPlan>| plan.map(|p| p.finish(entry, marked_now)),
@@ -550,7 +576,7 @@ fn visit(shared: &Shared, body: &[u8]) -> Routed {
     if let Some(record) = &outcome.record {
         shared.metrics.record_verdict(record.decision.cookies_caused_difference);
     }
-    (Endpoint::Visit, 200, "OK", "application/json", outcome.to_json().to_compact().into_bytes())
+    (Endpoint::Visit, 200, "OK", "application/json", outcome.to_compact_json().into_bytes())
 }
 
 /// `POST /v1/expire`: drop usefulness marks whose TTL decayed and restart
@@ -664,9 +690,11 @@ fn sites_list(shared: &Shared, query: Option<&str>) -> Routed {
     (Endpoint::Sites, 200, "OK", "application/json", body)
 }
 
-/// `GET /v1/sites/{host}`: the training summary for a visited site.
+/// `GET /v1/sites/{host}`: the training summary for a visited site, read
+/// lock-free from the store's seqlock mirror — the hot path never touches
+/// a shard lock.
 fn site_summary(shared: &Shared, host: &str) -> Routed {
-    match shared.store.read_entry(host, |entry| entry.summary(host)) {
+    match shared.store.summary(host) {
         Some(summary) => (
             Endpoint::Sites,
             200,
@@ -694,7 +722,7 @@ fn bad_request(endpoint: Endpoint, msg: &str) -> Routed {
     (endpoint, 400, "Bad Request", "application/json", error_json(msg))
 }
 
-fn error_json(msg: &str) -> Vec<u8> {
+pub(crate) fn error_json(msg: &str) -> Vec<u8> {
     Json::object().set("error", msg).to_compact().into_bytes()
 }
 
@@ -985,6 +1013,67 @@ mod tests {
         assert_eq!(recovery_json.get("records_replayed").and_then(Json::as_f64), Some(0.0));
         drop(server);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worker_pool_fallback_still_serves() {
+        let mut server = start(ServeConfig {
+            use_poller: false,
+            workers: 2,
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut conn = HttpConn::new(stream, Limits::default());
+        for _ in 0..3 {
+            write_request(conn.stream_mut(), "GET", "/healthz", "127.0.0.1", b"").unwrap();
+            assert_eq!(conn.read_response().unwrap().status, 200);
+        }
+        drop(conn);
+        let resp = request(server.addr(), "POST", "/v1/shutdown", b"");
+        assert_eq!(resp.status, 200);
+        server.wait();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let server = test_server();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut conn = HttpConn::new(stream, Limits::default());
+        // Three requests in one burst: the serving path must answer all
+        // of them, in order, without waiting for one response to be read
+        // before parsing the next request.
+        let mut batch = Vec::new();
+        write_request(&mut batch, "GET", "/healthz", "127.0.0.1", b"").unwrap();
+        write_request(&mut batch, "POST", "/v1/visit", "127.0.0.1", br#"{"host":"news1.example"}"#)
+            .unwrap();
+        write_request(&mut batch, "GET", "/v1/sites/news1.example", "127.0.0.1", b"").unwrap();
+        use std::io::Write as _;
+        conn.stream_mut().write_all(&batch).unwrap();
+        let first = conn.read_response().unwrap();
+        assert_eq!(first.status, 200);
+        assert!(first.body_string().contains("\"status\":\"ok\""));
+        let second = conn.read_response().unwrap();
+        assert_eq!(second.status, 200);
+        assert!(second.body_string().contains("news1.example"));
+        let third = conn.read_response().unwrap();
+        assert_eq!(third.status, 200, "{}", third.body_string());
+    }
+
+    #[test]
+    fn event_loop_counts_wakeups_and_exposes_ready_gauge() {
+        if cp_runtime::net::Poller::new().is_err() {
+            return; // no native poller: the fallback path has no loop to count
+        }
+        let server = test_server();
+        assert_eq!(request(server.addr(), "GET", "/healthz", b"").status, 200);
+        let text = request(server.addr(), "GET", "/metrics", b"").body_string();
+        let wakeups =
+            crate::metrics::scrape_counter(&text, "cp_event_loop_wakeups_total").unwrap_or(0);
+        assert!(wakeups > 0, "serving a request implies at least one wakeup:\n{text}");
+        assert!(text.contains("cp_ready_conns"), "{text}");
     }
 
     #[test]

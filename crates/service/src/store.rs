@@ -17,10 +17,16 @@
 //!
 //! Lock order is always shard → WAL; both `transact` and
 //! [`checkpoint`](ShardedStore::checkpoint) follow it.
+//!
+//! Hot-path reads bypass the shard locks entirely: every entry mutation
+//! also publishes the summary-relevant fields into a per-host
+//! [`SummaryCell`] — a seqlock — so [`summary`](ShardedStore::summary)
+//! never waits behind a `transact` holding the shard write lock across a
+//! WAL fsync. See `DESIGN.md` §14 for the protocol.
 
 use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -119,6 +125,81 @@ impl SiteEntry {
             avg_detection_ms: self.detection_micros_total as f64 / 1_000.0 / denom,
             avg_duration_ms: self.duration_ms_total / denom,
             training_active: self.forcum.is_active(host),
+        }
+    }
+}
+
+/// The summary-relevant fields of one [`SiteEntry`], published through a
+/// seqlock so readers never block behind the shard write lock.
+///
+/// Writers are already serialized per host (they hold the entries shard's
+/// write lock), so the cell needs no writer mutex. The protocol is the
+/// classic sequence-counter one: a writer bumps `seq` to odd, releases a
+/// fence, stores the fields relaxed, then stores `seq` even with release;
+/// a reader acquires `seq` (retrying while odd), loads the fields relaxed,
+/// acquires a fence, and re-checks `seq` — a changed counter means the
+/// loads raced a writer and the read retries. Readers therefore never see
+/// a torn mix of two publishes.
+#[derive(Debug, Default)]
+pub struct SummaryCell {
+    seq: AtomicU64,
+    probes: AtomicU64,
+    marking_probes: AtomicU64,
+    deferred_probes: AtomicU64,
+    detection_micros_total: AtomicU64,
+    /// `f64::to_bits` of the duration sum (atomics carry no floats).
+    duration_ms_bits: AtomicU64,
+    /// 1 while FORCUM training is active for the host.
+    active: AtomicU64,
+}
+
+/// One coherent read of a [`SummaryCell`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SummarySnapshot {
+    probes: u64,
+    marking_probes: u64,
+    deferred_probes: u64,
+    detection_micros_total: u64,
+    duration_ms_total: f64,
+    active: bool,
+}
+
+impl SummaryCell {
+    /// Publishes `entry`'s current summary fields. Caller must hold the
+    /// entries shard's write lock (which serializes writers per host).
+    fn publish(&self, host: &str, entry: &SiteEntry) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.probes.store(entry.probes as u64, Ordering::Relaxed);
+        self.marking_probes.store(entry.marking_probes as u64, Ordering::Relaxed);
+        self.deferred_probes.store(entry.deferred_probes as u64, Ordering::Relaxed);
+        self.detection_micros_total.store(entry.detection_micros_total, Ordering::Relaxed);
+        self.duration_ms_bits.store(entry.duration_ms_total.to_bits(), Ordering::Relaxed);
+        self.active.store(u64::from(entry.forcum.is_active(host)), Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Reads one coherent snapshot, spinning while a publish is in flight.
+    fn read(&self) -> SummarySnapshot {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = SummarySnapshot {
+                probes: self.probes.load(Ordering::Relaxed),
+                marking_probes: self.marking_probes.load(Ordering::Relaxed),
+                deferred_probes: self.deferred_probes.load(Ordering::Relaxed),
+                detection_micros_total: self.detection_micros_total.load(Ordering::Relaxed),
+                duration_ms_total: f64::from_bits(self.duration_ms_bits.load(Ordering::Relaxed)),
+                active: self.active.load(Ordering::Relaxed) != 0,
+            };
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return snap;
+            }
         }
     }
 }
@@ -243,6 +324,14 @@ fn snapshot_fault_tag(idx: usize) -> u64 {
 #[derive(Debug)]
 pub struct ShardedStore {
     shards: Vec<RwLock<HashMap<String, SiteEntry>>>,
+    /// Per-shard seqlock'd summary mirrors. The map lock is held only for
+    /// the O(1) `Arc` lookup/insert — never across a WAL write or an
+    /// entry mutation — so [`summary`](Self::summary) stays wait-free
+    /// with respect to `transact`.
+    mirrors: Vec<RwLock<HashMap<String, Arc<SummaryCell>>>>,
+    /// Sites with state, maintained at entry creation so
+    /// [`site_count`](Self::site_count) never sweeps the shard locks.
+    sites: AtomicUsize,
     stability_window: usize,
     durable: Option<Durable>,
 }
@@ -254,6 +343,8 @@ impl ShardedStore {
         let shards = shards.max(1);
         ShardedStore {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            mirrors: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            sites: AtomicUsize::new(0),
             stability_window,
             durable: None,
         }
@@ -323,6 +414,13 @@ impl ShardedStore {
                     entry.apply(event);
                     stats.records_replayed += 1;
                 }
+                // Seed the summary mirror with the recovered state so
+                // lock-free reads see it before the first live mutation.
+                let mut mirrors = store.mirrors[idx].write();
+                for (host, entry) in shard.iter() {
+                    mirrors.entry(host.clone()).or_default().publish(host, entry);
+                }
+                store.sites.fetch_add(shard.len(), Ordering::Relaxed);
             }
             let wal = Wal::open(
                 &path,
@@ -376,6 +474,9 @@ impl ShardedStore {
     ) -> std::io::Result<R> {
         let idx = self.shard_of(host);
         let mut shard = self.shards[idx].write();
+        if !shard.contains_key(host) {
+            self.sites.fetch_add(1, Ordering::Relaxed);
+        }
         let entry =
             shard.entry(host.to_string()).or_insert_with(|| SiteEntry::new(self.stability_window));
         let (event, context) = plan(entry);
@@ -390,12 +491,52 @@ impl ShardedStore {
             None => Vec::new(),
         };
         let result = finish(entry, marked_now, context);
+        self.publish(idx, host, entry);
         if event.is_some() {
             if let Some(durable) = &self.durable {
                 durable.maybe_checkpoint(idx, &shard);
             }
         }
         Ok(result)
+    }
+
+    /// Publishes `entry`'s summary fields into its seqlock mirror cell,
+    /// creating the cell on first contact. Caller holds the shard write
+    /// lock; the mirror-map lock is held only for the lookup/insert.
+    fn publish(&self, idx: usize, host: &str, entry: &SiteEntry) {
+        let cell = {
+            let mirrors = self.mirrors[idx].read();
+            mirrors.get(host).cloned()
+        };
+        let cell = cell.unwrap_or_else(|| {
+            let mut mirrors = self.mirrors[idx].write();
+            Arc::clone(mirrors.entry(host.to_string()).or_default())
+        });
+        cell.publish(host, entry);
+    }
+
+    /// Builds `host`'s [`TrainingSummary`] from the seqlock mirror — the
+    /// hot-path read: it never touches the entries shard lock, so it
+    /// cannot wait behind a `transact` holding that lock across a WAL
+    /// append. Returns `None` for never-visited sites.
+    pub fn summary(&self, host: &str) -> Option<TrainingSummary> {
+        let idx = self.shard_of(host);
+        let cell = {
+            let mirrors = self.mirrors[idx].read();
+            mirrors.get(host).cloned()
+        }?;
+        let snap = cell.read();
+        let decided = snap.probes - snap.deferred_probes;
+        let denom = decided.max(1) as f64;
+        Some(TrainingSummary {
+            host: host.to_string(),
+            probes: snap.probes as usize,
+            marking_probes: snap.marking_probes as usize,
+            deferred_probes: snap.deferred_probes as usize,
+            avg_detection_ms: snap.detection_micros_total as f64 / 1_000.0 / denom,
+            avg_duration_ms: snap.duration_ms_total / denom,
+            training_active: snap.active,
+        })
     }
 
     /// Flushes every WAL and checkpoints every shard — the graceful
@@ -422,10 +563,16 @@ impl ShardedStore {
     /// are **not** journaled — durable stores must go through
     /// [`transact`](Self::transact).
     pub fn with_entry<R>(&self, host: &str, f: impl FnOnce(&mut SiteEntry) -> R) -> R {
-        let mut shard = self.shards[self.shard_of(host)].write();
+        let idx = self.shard_of(host);
+        let mut shard = self.shards[idx].write();
+        if !shard.contains_key(host) {
+            self.sites.fetch_add(1, Ordering::Relaxed);
+        }
         let entry =
             shard.entry(host.to_string()).or_insert_with(|| SiteEntry::new(self.stability_window));
-        f(entry)
+        let result = f(entry);
+        self.publish(idx, host, entry);
+        result
     }
 
     /// Runs `f` with shared access to `host`'s entry, or returns `None` if
@@ -435,9 +582,10 @@ impl ShardedStore {
         shard.get(host).map(f)
     }
 
-    /// Total number of sites with state, across all shards.
+    /// Total number of sites with state, across all shards. Maintained
+    /// atomically at entry creation, so this is a single load.
     pub fn site_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.sites.load(Ordering::Relaxed)
     }
 
     /// Every useful mark, as sorted `host cookie` lines — the comparable
@@ -775,6 +923,120 @@ mod tests {
             ShardedStore::open(2, 5, Some(config), Arc::new(ServiceMetrics::new())).unwrap();
         assert_eq!(stats_a.records_replayed, stats_b.records_replayed);
         assert_eq!(marks_a, b.marks());
+    }
+
+    #[test]
+    fn summary_reads_match_locked_reads() {
+        let store = ShardedStore::new(4, 3);
+        assert_eq!(store.summary("never.example"), None);
+        store.with_entry("s.example", |e| {
+            e.apply(&probe_event("s.example", &["sid"], true, 3_000));
+            e.apply(&probe_event("s.example", &["sid"], false, 5_000));
+        });
+        let lock_free = store.summary("s.example").unwrap();
+        let locked = store.read_entry("s.example", |e| e.summary("s.example")).unwrap();
+        assert_eq!(lock_free, locked);
+        assert_eq!(lock_free.avg_detection_ms, 4.0);
+        assert!(lock_free.training_active);
+    }
+
+    /// Readers hammer `summary()` while one writer publishes entries whose
+    /// fields are held in a fixed arithmetic relationship — any torn read
+    /// (a mix of two publishes) breaks the relationship and fails.
+    #[test]
+    fn seqlock_readers_never_observe_torn_entries() {
+        use cp_runtime::rng::{Rng, SeedableRng, StdRng};
+
+        let store = Arc::new(ShardedStore::new(2, 3));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let host = "torn.example";
+        std::thread::scope(|s| {
+            {
+                let store = Arc::clone(&store);
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x5EC_10C);
+                    for _ in 0..4_000 {
+                        // Invariants every publish maintains — and any torn
+                        // mix of two publishes breaks:
+                        //   detection_micros_total == probes * 1000 (avg 1.0)
+                        //   duration_ms_total == probes as f64      (avg 1.0)
+                        //   marking_probes == probes / 2
+                        let jitter = rng.gen_range(0..3u64) as usize;
+                        store.with_entry(host, |e| {
+                            e.probes += 1 + jitter;
+                            e.marking_probes = e.probes / 2;
+                            e.detection_micros_total = e.probes as u64 * 1_000;
+                            e.duration_ms_total = e.probes as f64;
+                        });
+                    }
+                    done.store(true, Ordering::Release);
+                });
+            }
+            for _ in 0..3 {
+                let store = Arc::clone(&store);
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    let mut seen = 0u64;
+                    let mut last_probes = 0usize;
+                    while !done.load(Ordering::Acquire) || seen == 0 {
+                        let Some(summary) = store.summary(host) else { continue };
+                        seen += 1;
+                        // probes*1000 / 1000.0 / probes is exactly 1.0 in
+                        // f64 for any probes < 2^53 — no rounding slack.
+                        assert_eq!(summary.avg_detection_ms, 1.0, "torn detection total");
+                        assert_eq!(summary.avg_duration_ms, 1.0, "torn duration total");
+                        assert_eq!(summary.marking_probes, summary.probes / 2, "torn marks");
+                        assert!(
+                            summary.probes >= last_probes,
+                            "summaries must be monotone under a single writer"
+                        );
+                        last_probes = summary.probes;
+                    }
+                });
+            }
+        });
+        // Post-quiescence the mirror agrees with the locked entry exactly.
+        let lock_free = store.summary(host).unwrap();
+        let locked = store.read_entry(host, |e| e.summary(host)).unwrap();
+        assert_eq!(lock_free, locked);
+    }
+
+    /// Replays one seeded event stream and checks every host's seqlock
+    /// summary equals the post-quiescence locked summary — the mirror
+    /// publishes exactly what the entries hold, event for event.
+    #[test]
+    fn seqlock_summaries_equal_locked_summaries_after_event_stream() {
+        use cp_runtime::rng::{Rng, SeedableRng, StdRng};
+
+        let store = ShardedStore::new(8, 4);
+        let mut rng = StdRng::seed_from_u64(0x1517_0A5E);
+        let hosts: Vec<String> = (0..20).map(|i| format!("h{i}.example")).collect();
+        for _ in 0..2_000 {
+            let host = &hosts[rng.gen_range(0..hosts.len())];
+            let roll = rng.gen_range(0..10u64);
+            let event = match roll {
+                0..=3 => observe_event(host, &["a", "b"]),
+                4..=6 => probe_event(host, &["a"], roll == 4, rng.gen_range(0..5_000)),
+                7..=8 => VisitEvent {
+                    host: host.clone(),
+                    observed: vec!["a".into()],
+                    kind: EventKind::Defer,
+                },
+                _ => VisitEvent {
+                    host: host.clone(),
+                    observed: vec!["a".into()],
+                    kind: EventKind::Expire,
+                },
+            };
+            store.transact(host, |_| (Some(event), ()), |_, _, ()| ()).unwrap();
+        }
+        for host in &hosts {
+            let lock_free = store.summary(host);
+            let locked = store.read_entry(host, |e| e.summary(host));
+            assert_eq!(lock_free, locked, "{host}");
+        }
+        assert_eq!(store.site_count(), hosts.len());
     }
 
     #[test]

@@ -50,11 +50,75 @@ const LOG_MAGIC: &[u8; 8] = b"CPWAL001";
 /// Log header size: magic + generation.
 const LOG_HEADER_BYTES: usize = 16;
 
-/// Appends between syncs under [`FsyncPolicy::Batch`].
+/// Appends between syncs under [`FsyncPolicy::Batch`] — the starting
+/// point the [`GroupCommitTuner`] adapts from.
 pub const BATCH_INTERVAL: u64 = 64;
+
+/// Smallest batch the tuner will shrink to.
+pub const TUNE_MIN_BATCH: u64 = 8;
+
+/// Largest batch the tuner will grow to.
+pub const TUNE_MAX_BATCH: u64 = 1024;
+
+/// Fsync overhead budget, in percent of wall time: above this the batch
+/// grows (amortize harder), an order of magnitude below it the batch
+/// shrinks (durability latency is nearly free at low load). 7% overhead
+/// keeps durable-mode throughput above the 0.93× ratio the crash bench
+/// gates on.
+const TUNE_OVERHEAD_BUDGET_PCT: u64 = 7;
 
 /// Attempts before a write or sync error is given up on.
 const MAX_ATTEMPTS: usize = 8;
+
+/// Adapts the group-commit batch size to offered load.
+///
+/// Pure arithmetic over observed timings — no clocks of its own, so it is
+/// unit-testable with synthetic inputs. After each batch-triggered sync
+/// the caller reports how long the batch took to fill (`elapsed_micros`)
+/// and how long the sync itself took (`fsync_micros`):
+///
+/// - fsync overhead above [`TUNE_OVERHEAD_BUDGET_PCT`] of wall time means
+///   the load is outrunning the amortization — the batch doubles (capped
+///   at [`TUNE_MAX_BATCH`]);
+/// - overhead below 1% means batches fill slowly relative to the sync
+///   cost — the batch halves (floored at [`TUNE_MIN_BATCH`]) so records
+///   reach stable storage sooner when the extra syncs are nearly free.
+///
+/// The tuner is only installed when no storage faults are injected: the
+/// seeded fault stream advances per file operation, so adapting the sync
+/// cadence under faults would perturb chaos/crash determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitTuner {
+    batch: u64,
+}
+
+impl Default for GroupCommitTuner {
+    fn default() -> Self {
+        GroupCommitTuner { batch: BATCH_INTERVAL }
+    }
+}
+
+impl GroupCommitTuner {
+    /// The current appends-between-syncs target.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Feeds one completed batch's timings; returns the next batch size.
+    /// `pending` is how many records the sync committed (a flush below
+    /// the target — e.g. a checkpoint — reports fewer and never grows).
+    pub fn on_sync(&mut self, pending: u64, elapsed_micros: u64, fsync_micros: u64) -> u64 {
+        let overhead = fsync_micros.saturating_mul(100);
+        if overhead > elapsed_micros.saturating_mul(TUNE_OVERHEAD_BUDGET_PCT)
+            && pending >= self.batch
+        {
+            self.batch = (self.batch * 2).min(TUNE_MAX_BATCH);
+        } else if overhead < elapsed_micros {
+            self.batch = (self.batch / 2).max(TUNE_MIN_BATCH);
+        }
+        self.batch
+    }
+}
 
 /// When appended records are forced to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -367,6 +431,10 @@ pub struct Wal {
     /// trustworthy, so appends refuse rather than ack into a broken log.
     poisoned: bool,
     fsync: FsyncPolicy,
+    /// Present under [`FsyncPolicy::Batch`] with no injected faults.
+    tuner: Option<GroupCommitTuner>,
+    /// When the current group-commit batch started filling.
+    batch_started: Instant,
     metrics: Arc<ServiceMetrics>,
 }
 
@@ -398,6 +466,11 @@ impl Wal {
             dirty: false,
             poisoned: false,
             fsync,
+            // Tuning changes the file-operation sequence, which would
+            // shift the seeded fault stream — so only tune fault-free.
+            tuner: (fsync == FsyncPolicy::Batch && faults.is_none())
+                .then(GroupCommitTuner::default),
+            batch_started: Instant::now(),
             metrics: Arc::clone(metrics),
         };
         wal.file.truncate_to(committed)?;
@@ -495,10 +568,25 @@ impl Wal {
         Ok(())
     }
 
+    /// The current appends-between-syncs target (tuned or static).
+    pub fn batch_target(&self) -> u64 {
+        self.tuner.map_or(BATCH_INTERVAL, |t| t.batch())
+    }
+
     fn policy_sync(&mut self) -> std::io::Result<()> {
         match self.fsync {
             FsyncPolicy::Always => self.sync(),
-            FsyncPolicy::Batch if self.pending >= BATCH_INTERVAL => self.sync(),
+            FsyncPolicy::Batch if self.pending >= self.batch_target() => {
+                let pending = self.pending;
+                let elapsed = self.batch_started.elapsed().as_micros() as u64;
+                let sync_started = Instant::now();
+                self.sync()?;
+                if let Some(tuner) = &mut self.tuner {
+                    tuner.on_sync(pending, elapsed, sync_started.elapsed().as_micros() as u64);
+                }
+                self.batch_started = Instant::now();
+                Ok(())
+            }
             _ => Ok(()),
         }
     }
@@ -788,6 +876,63 @@ mod tests {
         // The log keeps working after a reset.
         wal.append(&sample_events()[0]).unwrap();
         assert_eq!(read_log(&path).unwrap().events.len(), 1);
+    }
+
+    #[test]
+    fn tuner_grows_under_fsync_pressure_and_shrinks_when_idle() {
+        let mut tuner = GroupCommitTuner::default();
+        assert_eq!(tuner.batch(), BATCH_INTERVAL);
+        // Heavy load: each 1ms interval spends half its time in fsync
+        // (50% overhead ≫ 7% budget) → the batch doubles each sync until
+        // the cap.
+        let mut grown = Vec::new();
+        for _ in 0..8 {
+            grown.push(tuner.on_sync(tuner.batch(), 1_000, 500));
+        }
+        assert_eq!(grown, vec![128, 256, 512, 1024, 1024, 1024, 1024, 1024]);
+        // Idle load: the batch takes 100ms to fill against a 50µs fsync
+        // (0.05% overhead < 1%) → halve down to the floor.
+        let mut shrunk = Vec::new();
+        for _ in 0..10 {
+            shrunk.push(tuner.on_sync(tuner.batch(), 100_000, 50));
+        }
+        assert_eq!(shrunk, vec![512, 256, 128, 64, 32, 16, 8, 8, 8, 8]);
+        // In-budget overhead (3% — between 1% and 7%) holds steady.
+        assert_eq!(tuner.on_sync(tuner.batch(), 10_000, 300), 8);
+        // A short flush (checkpoint sync below the target) never grows,
+        // even when its fsync looked expensive.
+        let mut tuner = GroupCommitTuner::default();
+        assert_eq!(tuner.on_sync(3, 100, 90), BATCH_INTERVAL);
+    }
+
+    #[test]
+    fn batch_wal_tunes_only_without_faults() {
+        let dir = tmp_dir();
+        let metrics = Arc::new(ServiceMetrics::new());
+        let fresh = LogContents::default();
+        let path = dir.join("tuned.log");
+        std::fs::remove_file(&path).ok();
+        let wal = Wal::open(&path, &fresh, 1, FsyncPolicy::Batch, None, 0, &metrics).unwrap();
+        assert_eq!(wal.batch_target(), BATCH_INTERVAL);
+        drop(wal);
+        // Injected faults pin the cadence: the seeded fault stream
+        // advances per file op, so the op sequence must stay fixed.
+        let faulted_path = dir.join("tuned-faulted.log");
+        std::fs::remove_file(&faulted_path).ok();
+        let faults = StorageFaults::uniform(7, 0.0);
+        let mut wal =
+            Wal::open(&faulted_path, &fresh, 1, FsyncPolicy::Batch, Some(faults), 0, &metrics)
+                .unwrap();
+        for event in sample_events().iter().cycle().take(200) {
+            wal.append(event).unwrap();
+        }
+        assert_eq!(wal.batch_target(), BATCH_INTERVAL, "faulted logs never adapt");
+        // Always/Never policies have no batch to tune either.
+        let always_path = dir.join("tuned-always.log");
+        std::fs::remove_file(&always_path).ok();
+        let wal =
+            Wal::open(&always_path, &fresh, 1, FsyncPolicy::Always, None, 0, &metrics).unwrap();
+        assert_eq!(wal.batch_target(), BATCH_INTERVAL);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::time::Instant;
 use cookiepicker_core::{decide_analyzed, CookiePickerConfig, DetectionRecord};
 use cp_cookies::{parse_cookie_header, SimTime};
 use cp_net::{FaultKind, FaultRates};
-use cp_runtime::json::{Json, ToJson};
+use cp_runtime::json::{escape_into, Json, ToJson};
 use cp_runtime::rng::{SeedableRng, StdRng};
 use cp_runtime::sync::Mutex;
 use cp_webworld::render::{render_page, RenderInput};
@@ -116,6 +116,56 @@ pub struct VisitOutcome {
     pub inconclusive: Option<String>,
 }
 
+impl VisitOutcome {
+    /// Compact JSON rendering, byte-identical to
+    /// `self.to_json().to_compact()`. The visit response is the hottest
+    /// body on the serving path, so the common no-probe case writes one
+    /// string directly instead of building (and then walking) a
+    /// [`Json`] tree; probe responses carry a nested record and take the
+    /// tree path.
+    pub fn to_compact_json(&self) -> String {
+        if self.record.is_some() {
+            return self.to_json().to_compact();
+        }
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"host\":");
+        escape_into(&mut out, &self.host);
+        out.push_str(",\"inconclusive\":");
+        match &self.inconclusive {
+            Some(reason) => escape_into(&mut out, reason),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"marked_now\":");
+        write_str_array(&mut out, &self.marked_now);
+        let _ = write!(out, ",\"marked_total\":{}", self.marked_total);
+        out.push_str(",\"path\":");
+        escape_into(&mut out, &self.path);
+        out.push_str(",\"probed\":false,\"record\":null,\"set_cookies\":");
+        write_str_array(&mut out, &self.set_cookies);
+        out.push_str(",\"training_active\":");
+        out.push_str(if self.training_active { "true" } else { "false" });
+        out.push('}');
+        out
+    }
+}
+
+/// Compact JSON array of string literals (matches the tree rendering).
+fn write_str_array(out: &mut String, items: &[String]) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(out, item);
+    }
+    out.push(']');
+}
+
 impl ToJson for VisitOutcome {
     fn to_json(&self) -> Json {
         Json::object()
@@ -144,6 +194,33 @@ pub struct DerivedSite {
     pub spec: Arc<SiteSpec>,
     /// `spec.page_paths()`, computed once when the site enters the cache.
     pub paths: Vec<String>,
+    /// Per-path issued `name=value` cookies, parallel to [`paths`]
+    /// (plus the entry-redirect target): the Observe hot path serves
+    /// them by lookup instead of re-formatting on every visit.
+    ///
+    /// [`paths`]: DerivedSite::paths
+    issued: Vec<(String, Vec<String>)>,
+}
+
+impl DerivedSite {
+    /// The cookies this site issues on `path`, from the precomputed table
+    /// when `path` is canonical, formatted on the fly otherwise.
+    pub fn issued_for(&self, path: &str) -> Vec<String> {
+        match self.issued.iter().find(|(p, _)| p == path) {
+            Some((_, cookies)) => cookies.clone(),
+            None => issued_cookies(&self.spec, path),
+        }
+    }
+}
+
+/// The `name=value` cookies `spec` (re-)issues on `path` — what the
+/// client should present next time, and FORCUM's new-cookie signal.
+fn issued_cookies(spec: &SiteSpec, path: &str) -> Vec<String> {
+    spec.cookies
+        .iter()
+        .filter(|c| c.scope.matches(path))
+        .map(|c| format!("{}={}", c.name, cookie_value(spec, &c.name)))
+        .collect()
 }
 
 /// How a site lookup was satisfied — the `result` label on
@@ -220,7 +297,14 @@ impl SiteCache {
             return (None, DeriveOutcome::Unknown, 0);
         };
         let paths = spec.page_paths();
-        let site = Arc::new(DerivedSite { spec, paths });
+        let mut issued: Vec<(String, Vec<String>)> =
+            paths.iter().map(|p| (p.clone(), issued_cookies(&spec, p))).collect();
+        for extra in ["/", "/home"] {
+            if !issued.iter().any(|(p, _)| p == extra) {
+                issued.push((extra.to_string(), issued_cookies(&spec, extra)));
+            }
+        }
+        let site = Arc::new(DerivedSite { spec, paths, issued });
         let micros = started.elapsed().as_micros() as u64;
         let mut inner = self.inner.lock();
         inner.tick += 1;
@@ -382,7 +466,7 @@ impl EmbeddedWorld {
         config: &CookiePickerConfig,
         analyses: &AnalysisCache,
         metrics: &ServiceMetrics,
-    ) -> Option<VisitPlan> {
+    ) -> Option<(VisitEvent, VisitPlan)> {
         let site = self.site_recorded(host, metrics)?;
         let spec: &SiteSpec = &site.spec;
         // FORCUM step 1: resolve the entry redirect to the real container.
@@ -390,28 +474,22 @@ impl EmbeddedWorld {
 
         let sent: Vec<(String, String)> =
             cookie_header.map(parse_cookie_header).unwrap_or_default();
-        let sent_names: Vec<String> = sent.iter().map(|(n, _)| n.clone()).collect();
 
         // Step 2: the test group — persistent cookies that were attached to
         // the request and are not yet marked useful (SentCookies strategy).
-        let group: Vec<String> = sent_names
+        let group: Vec<String> = sent
             .iter()
-            .filter(|name| {
-                !entry.marked.contains(*name)
-                    && spec.cookies.iter().any(|c| &c.name == *name && c.is_persistent())
+            .filter(|(name, _)| {
+                !entry.marked.contains(name)
+                    && spec.cookies.iter().any(|c| &c.name == name && c.is_persistent())
             })
-            .cloned()
+            .map(|(name, _)| name.clone())
             .collect();
 
-        // Cookies the site (re-)issues on this path: what the client should
-        // present next time, and FORCUM's new-cookie signal.
-        let set_cookies: Vec<String> = spec
-            .cookies
-            .iter()
-            .filter(|c| c.scope.matches(path))
-            .map(|c| format!("{}={}", c.name, cookie_value(spec, &c.name)))
-            .collect();
-        let mut observed = sent_names.clone();
+        // Cookies the site (re-)issues on this path: precomputed per
+        // canonical path when the site entered the derive cache.
+        let set_cookies: Vec<String> = site.issued_for(path);
+        let mut observed: Vec<String> = sent.iter().map(|(name, _)| name.clone()).collect();
         observed.extend(
             set_cookies.iter().filter_map(|sc| sc.split_once('=')).map(|(n, _)| n.to_string()),
         );
@@ -440,17 +518,16 @@ impl EmbeddedWorld {
                     let (result, reason) = fault_labels(&kind);
                     metrics.record_hidden_fetch(result);
                     metrics.record_inconclusive(reason);
-                    return Some(VisitPlan {
-                        event: VisitEvent {
+                    return Some((
+                        VisitEvent { host: host.to_string(), observed, kind: EventKind::Defer },
+                        VisitPlan {
                             host: host.to_string(),
-                            observed,
-                            kind: EventKind::Defer,
+                            record: None,
+                            path: path.to_string(),
+                            set_cookies,
+                            inconclusive: Some(reason.to_string()),
                         },
-                        record: None,
-                        path: path.to_string(),
-                        set_cookies,
-                        inconclusive: Some(reason.to_string()),
-                    });
+                    ));
                 }
             }
             metrics.record_hidden_fetch("ok");
@@ -485,26 +562,32 @@ impl EmbeddedWorld {
                 hidden_latency_ms: 0,
                 duration_ms,
             };
-            return Some(VisitPlan {
-                event: VisitEvent {
+            return Some((
+                VisitEvent {
                     host: host.to_string(),
                     observed,
                     kind: EventKind::Probe { group, marking, detection_micros, duration_ms },
                 },
-                record: Some(record),
+                VisitPlan {
+                    host: host.to_string(),
+                    record: Some(record),
+                    path: path.to_string(),
+                    set_cookies,
+                    inconclusive: None,
+                },
+            ));
+        }
+
+        Some((
+            VisitEvent { host: host.to_string(), observed, kind: EventKind::Observe },
+            VisitPlan {
+                host: host.to_string(),
+                record: None,
                 path: path.to_string(),
                 set_cookies,
                 inconclusive: None,
-            });
-        }
-
-        Some(VisitPlan {
-            event: VisitEvent { host: host.to_string(), observed, kind: EventKind::Observe },
-            record: None,
-            path: path.to_string(),
-            set_cookies,
-            inconclusive: None,
-        })
+            },
+        ))
     }
 
     /// Runs one FORCUM step against `entry`: plan, apply, finish. The
@@ -523,18 +606,21 @@ impl EmbeddedWorld {
         analyses: &AnalysisCache,
         metrics: &ServiceMetrics,
     ) -> Option<VisitOutcome> {
-        let plan = self.plan_visit(entry, host, path, cookie_header, config, analyses, metrics)?;
-        let marked_now = entry.apply(&plan.event);
+        let (event, plan) =
+            self.plan_visit(entry, host, path, cookie_header, config, analyses, metrics)?;
+        let marked_now = entry.apply(&event);
         Some(plan.finish(entry, marked_now))
     }
 }
 
-/// A planned visit: the [`VisitEvent`] to apply plus everything the
-/// response needs that is not derivable from the updated entry.
+/// A planned visit: everything the response needs that is not derivable
+/// from the updated entry. The [`VisitEvent`] to apply travels alongside
+/// (see [`EmbeddedWorld::plan_visit`]) so the durable path can journal it
+/// by move instead of cloning it out of the plan.
 #[derive(Debug, Clone)]
 pub struct VisitPlan {
-    /// The single store mutation this visit performs.
-    pub event: VisitEvent,
+    /// Visited host.
+    pub host: String,
     /// The probe record, when a hidden request was issued and decided.
     pub record: Option<DetectionRecord>,
     /// Visited path (after entry-redirect resolution).
@@ -547,12 +633,12 @@ pub struct VisitPlan {
 
 impl VisitPlan {
     /// Builds the [`VisitOutcome`] from the entry *after*
-    /// [`SiteEntry::apply`] consumed this plan's event; `marked_now` is
-    /// what `apply` returned.
+    /// [`SiteEntry::apply`] consumed this plan's companion event;
+    /// `marked_now` is what `apply` returned.
     pub fn finish(self, entry: &SiteEntry, marked_now: Vec<String>) -> VisitOutcome {
-        let training_active = entry.forcum.is_active(&self.event.host);
+        let training_active = entry.forcum.is_active(&self.host);
         VisitOutcome {
-            host: self.event.host,
+            host: self.host,
             path: self.path,
             record: self.record,
             marked_now,
@@ -601,6 +687,29 @@ mod tests {
         let metrics = ServiceMetrics::new();
         store
             .with_entry(host, |e| world.visit(e, host, path, cookies, &config, &analyses, &metrics))
+    }
+
+    #[test]
+    fn fast_visit_json_matches_tree_rendering() {
+        // Real outcomes from the world (with and without issued cookies)…
+        let (world, store) = world_and_store();
+        let host = world.hosts()[0].clone();
+        for cookies in [None, Some("a=1; b=2")] {
+            let outcome = visit(&world, &store, &host, "/", cookies).unwrap();
+            assert_eq!(outcome.to_compact_json(), outcome.to_json().to_compact());
+        }
+        // …plus a synthetic one exercising every escape-needing field.
+        let quirky = VisitOutcome {
+            host: "we\"ird\\.example".to_string(),
+            path: "/p\na\tth".to_string(),
+            record: None,
+            marked_now: vec!["se\u{7}ss".to_string()],
+            marked_total: 3,
+            training_active: true,
+            set_cookies: vec!["a=\"1\"".to_string(), "b=2".to_string()],
+            inconclusive: Some("time\rout".to_string()),
+        };
+        assert_eq!(quirky.to_compact_json(), quirky.to_json().to_compact());
     }
 
     #[test]

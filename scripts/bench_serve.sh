@@ -3,16 +3,17 @@
 # generator over real TCP, and record the baseline report (throughput +
 # p50/p95/p99 + verdict cross-check) to BENCH_serve.json.
 #
-# Usage: scripts/bench_serve.sh [requests] [threads] [seed]
+# Usage: scripts/bench_serve.sh [requests] [threads] [seed] [connections]
 #   SMOKE=1 scripts/bench_serve.sh    # tiny CI profile (~5s): 2k requests,
 #                                     # report goes to /tmp, repo untouched
 set -eu
 
 cd "$(dirname "$0")/.."
 
-REQUESTS="${1:-20000}"
+REQUESTS="${1:-100000}"
 THREADS="${2:-4}"
 SEED="${3:-7}"
+CONNECTIONS="${4:-16}"
 OUT="BENCH_serve.json"
 if [ "${SMOKE:-0}" = "1" ]; then
     REQUESTS=2000
@@ -45,8 +46,8 @@ for _ in $(seq 1 50); do
 done
 [ -n "$PORT" ] || { echo "bench_serve: server did not start"; cat "$SERVE_LOG"; exit 1; }
 
-"$BIN" loadgen --port "$PORT" --threads "$THREADS" --requests "$REQUESTS" \
-    --seed "$SEED" --out "$OUT"
+"$BIN" loadgen --port "$PORT" --threads "$THREADS" --connections "$CONNECTIONS" \
+    --requests "$REQUESTS" --seed "$SEED" --out "$OUT"
 
 # Graceful stop when nc is available: the shutdown endpoint drains
 # in-flight work and the serve process exits on its own. Otherwise the

@@ -14,6 +14,10 @@ cargo fmt --check
 cargo build --release --workspace
 cargo test -q --workspace
 
+# Serve smoke: a short multi-connection loadgen run against the readiness
+# loop — gates on zero 5xx and an exact client/server counter match.
+SMOKE=1 ./scripts/bench_serve.sh
+
 # Detection bench smoke: times nothing meaningful in CI but proves the
 # compiled pipeline still reproduces the reference bit-for-bit (the
 # binary gates on equivalence before any timing).
@@ -37,4 +41,4 @@ SMOKE=1 ./scripts/crash.sh
 # same-seed runs, the visits/sec floor at flat RSS, and zero panics.
 SMOKE=1 ./scripts/bench_crawl.sh
 
-echo "verify: fmt + build + tests + detect smoke + world smoke + chaos smoke + crash smoke + crawl smoke passed offline"
+echo "verify: fmt + build + tests + serve smoke + detect smoke + world smoke + chaos smoke + crash smoke + crawl smoke passed offline"

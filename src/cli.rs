@@ -106,6 +106,8 @@ pub enum Command {
         port: u16,
         /// Client threads.
         threads: usize,
+        /// Keep-alive connections per thread (batched rounds when > 1).
+        connections: usize,
         /// Total requests across all threads.
         requests: u64,
         /// Mix seed (must match the server's seed).
@@ -352,6 +354,7 @@ where
             let mut host = "127.0.0.1".to_string();
             let mut port = 0u16;
             let mut threads = 4usize;
+            let mut connections = 1usize;
             let mut requests = 10_000u64;
             let mut seed = 7u64;
             let mut hosts = None;
@@ -366,6 +369,7 @@ where
                     "--host" => host = flag_value(&mut it, "--host")?,
                     "--port" => port = flag_value(&mut it, "--port")?,
                     "--threads" => threads = flag_value(&mut it, "--threads")?,
+                    "--connections" => connections = flag_value(&mut it, "--connections")?,
                     "--requests" => requests = flag_value(&mut it, "--requests")?,
                     "--seed" => seed = flag_value(&mut it, "--seed")?,
                     "--hosts" => hosts = Some(flag_value(&mut it, "--hosts")?),
@@ -385,6 +389,9 @@ where
             if hosts == Some(0) {
                 return Err(err("--hosts must be at least 1"));
             }
+            if connections == 0 {
+                return Err(err("--connections must be at least 1"));
+            }
             if !zipf.is_finite() || zipf < 0.0 {
                 return Err(err("--zipf must be a finite exponent >= 0"));
             }
@@ -392,6 +399,7 @@ where
                 host,
                 port,
                 threads,
+                connections,
                 requests,
                 seed,
                 hosts,
@@ -492,7 +500,7 @@ USAGE:
     cookiepicker serve [--port N] [--seed N] [--workers N] [--shards N] [--queue N] [--timeout-ms N] [--chaos-rate F]
                        [--world table1|uniform:N] [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]
                        [--storage-fault-rate F] [--storage-fault-seed N]
-    cookiepicker loadgen --port N [--host H] [--threads N] [--requests N] [--seed N] [--hosts N] [--zipf S]
+    cookiepicker loadgen --port N [--host H] [--threads N] [--connections N] [--requests N] [--seed N] [--hosts N] [--zipf S]
                          [--retries N] [--backoff-ms N] [--out FILE] [--marks-out FILE]
     cookiepicker crawl [--world table1|uniform:N] [--seed N] [--workers N] [--ticks N] [--duration S] [--ttl S]
                        [--retries N] [--backoff-ms N] [--port N] [--host H] [--max-hosts N] [--extra-host H]...
@@ -712,6 +720,7 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
             host,
             port,
             threads,
+            connections,
             requests,
             seed,
             hosts,
@@ -725,6 +734,7 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 host,
                 port,
                 threads,
+                connections,
                 requests,
                 seed,
                 hosts,
@@ -915,6 +925,7 @@ mod tests {
                 host: "127.0.0.1".into(),
                 port: 7070,
                 threads: 4,
+                connections: 1,
                 requests: 500,
                 seed: 7,
                 hosts: None,
@@ -934,6 +945,14 @@ mod tests {
                 .unwrap(),
             Command::Loadgen { retries: 3, backoff_ms: 20, .. }
         ));
+        assert!(matches!(
+            parse_args(["loadgen", "--port", "7070", "--connections", "8"]).unwrap(),
+            Command::Loadgen { connections: 8, .. }
+        ));
+        assert!(
+            parse_args(["loadgen", "--port", "7070", "--connections", "0"]).is_err(),
+            "connections must be at least 1"
+        );
         assert!(parse_args(["serve", "--bogus"]).is_err());
         assert!(parse_args(["serve", "--chaos-rate", "1.5"]).is_err(), "rate must be in [0, 1]");
         assert!(parse_args(["loadgen", "--threads", "2"]).is_err(), "loadgen requires --port");
