@@ -11,8 +11,9 @@
 //! | `GET /v1/sites` | Keyset-paginated host listing (`after`, `limit`, `more`) |
 //! | `GET /v1/sites/{host}` | Training summary for a site |
 //! | `GET /v1/marks` | Sorted `host cookie` dump of every useful mark |
-//! | `GET /healthz` | Liveness + recovery status |
+//! | `GET /healthz` | Liveness + recovery status + cluster role/generation |
 //! | `GET /metrics` | Prometheus text exposition |
+//! | `POST /v1/repl/lead` | Become primary: handshake the listed followers |
 //! | `POST /v1/shutdown` | Graceful shutdown (drains, flushes, snapshots) |
 //!
 //! Layering: [`http`] is the wire (strict incremental HTTP/1.1 parser,
@@ -24,12 +25,20 @@
 //! sharded readiness loop (falling back to a bounded-queue worker pool
 //! where no native poller exists), and [`loadgen`] is the seeded
 //! closed-loop client that benchmarks the whole stack.
+//!
+//! Cluster mode layers on top: [`replication`] ships every applied WAL
+//! record from a primary to its followers over the WAL's own frame format
+//! (generation-fenced, ack-gated), and [`router`] is the thin tier that
+//! consistent-hashes reads across backends, heartbeats them, and promotes
+//! the most-caught-up follower when the primary dies. See `DESIGN.md` §15.
 
 pub mod cache;
 mod eventloop;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod replication;
+pub mod router;
 pub mod server;
 pub mod snapshot;
 pub mod storage;
@@ -40,6 +49,8 @@ pub mod world;
 pub use cache::AnalysisCache;
 pub use cp_webworld::{Universe, WorldKind};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use replication::{ClusterState, ReplAckPolicy, Replicator, Role};
+pub use router::{start_router, BackendAddr, RouterConfig, RouterHandle};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use storage::StorageFaults;
 pub use store::{DurabilityConfig, RecoveryStats, ShardedStore};

@@ -161,6 +161,15 @@ pub struct LoadgenReport {
     /// Server-side `cp_event_loop_wakeups_total` after the run (0 on the
     /// worker-pool path, which has no loop to count).
     pub server_event_loop_wakeups: u64,
+    /// Requests re-sent after a 503 response — the cluster's "not acked"
+    /// signal while a failover is in flight.
+    pub retried_requests: u64,
+    /// Client-acked marks missing from the server's final `/v1/marks`
+    /// dump. An acked mark may never be lost by a failover, so the
+    /// cluster gate pins this at zero.
+    pub lost_acks: u64,
+    /// Client-acked marks confirmed present in the final `/v1/marks` dump.
+    pub marks_verified: u64,
 }
 
 impl ToJson for LoadgenReport {
@@ -217,6 +226,14 @@ impl ToJson for LoadgenReport {
                     .set("per_connection_requests", self.per_connection_requests.clone())
                     .set("event_loop_wakeups", self.server_event_loop_wakeups),
             )
+            .set(
+                "failover",
+                Json::object()
+                    .set("reconnects", self.client_reconnects)
+                    .set("retried_requests", self.retried_requests)
+                    .set("lost_acks", self.lost_acks)
+                    .set("marks_verified", self.marks_verified),
+            )
             .set("metrics_scraped", self.metrics_scraped)
             .set("marks", self.marks.clone())
     }
@@ -253,6 +270,12 @@ pub struct Client {
     /// Broken connections abandoned (each retry implies one, but a
     /// non-retried failure also counts).
     pub reconnects: u64,
+    /// Requests re-sent after a 503 response. The cluster only answers
+    /// 503 when the write is *unacked* (replication quorum lost, a
+    /// follower fencing a direct write, or the router mid-failover), so
+    /// re-sending any method is contract-safe — the unacked attempt is
+    /// invisible, exactly like a torn WAL tail.
+    pub status_retries: u64,
 }
 
 impl Client {
@@ -274,6 +297,7 @@ impl Client {
             backoff,
             retries: 0,
             reconnects: 0,
+            status_retries: 0,
         }
     }
 
@@ -339,6 +363,16 @@ impl Client {
                     if close {
                         self.conn = None;
                     }
+                    // A 503 means the request was *not* acked (see
+                    // `status_retries`), so any method may re-send — this
+                    // is what rides out a failover's promotion window.
+                    if response.status == 503 && attempts < self.max_retries {
+                        attempts += 1;
+                        self.retries += 1;
+                        self.status_retries += 1;
+                        std::thread::sleep(self.backoff_pause(attempts));
+                        continue;
+                    }
                     return Ok(response);
                 }
                 Err(err) => {
@@ -387,6 +421,7 @@ struct ThreadTally {
     deferred: u64,
     retries: u64,
     reconnects: u64,
+    status_retries: u64,
     /// `"host cookie"` lines for every cookie marked useful during the run.
     marks: Vec<String>,
     /// Requests completed on each of this thread's connections.
@@ -463,6 +498,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         connections: config.connections.max(1),
         per_connection_requests: Vec::new(),
         server_event_loop_wakeups: 0,
+        retried_requests: 0,
+        lost_acks: 0,
+        marks_verified: 0,
     };
     for tally in tallies {
         report.requests += tally.samples.len() as u64;
@@ -475,6 +513,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         report.deferred_probes += tally.deferred;
         report.client_retries += tally.retries;
         report.client_reconnects += tally.reconnects;
+        report.retried_requests += tally.status_retries;
         report.marks.extend(tally.marks);
         report.per_connection_requests.extend(tally.conn_requests);
         samples.extend(tally.samples);
@@ -530,6 +569,26 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
                 scrape_counter(&exposition, &series).unwrap_or(0)
             })
             .sum();
+    }
+    // Verify every client-acked mark against the server's final dump: an
+    // acked mark missing server-side is a lost write, which a failover is
+    // never allowed to cause (the cluster gate pins `lost_acks` at 0).
+    // Best-effort like the scrape above — a server the crash harness
+    // killed verifies nothing, it does not invent losses.
+    if !report.marks.is_empty() {
+        if let Ok(response) = client.request("GET", "/v1/marks", b"") {
+            if response.status == 200 {
+                let body = response.body_string();
+                let server_marks: std::collections::HashSet<&str> = body.lines().collect();
+                for mark in &report.marks {
+                    if server_marks.contains(mark.as_str()) {
+                        report.marks_verified += 1;
+                    } else {
+                        report.lost_acks += 1;
+                    }
+                }
+            }
+        }
     }
     Ok(report)
 }
@@ -602,6 +661,7 @@ fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> 
         deferred: 0,
         retries: 0,
         reconnects: 0,
+        status_retries: 0,
         marks: Vec::new(),
         conn_requests: vec![0; connections],
     };
@@ -633,6 +693,7 @@ fn client_thread(config: &LoadgenConfig, t: u64, quota: u64, owned: &[&str]) -> 
     }
     tally.retries = client.retries;
     tally.reconnects = client.reconnects;
+    tally.status_retries = client.status_retries;
     tally
 }
 
@@ -889,10 +950,77 @@ mod tests {
         assert!(report.metrics_scraped);
         assert_eq!(report.server_wal_records, 0, "in-memory server journals nothing");
         assert_eq!(report.server_wal_faults, 0);
+        // Steady single-node run: nothing 503ed, and every acked mark is
+        // present in the server's final dump.
+        assert_eq!(report.retried_requests, 0);
+        assert_eq!(report.lost_acks, 0, "an acked mark may never go missing");
+        assert_eq!(report.marks_verified, report.marks.len() as u64);
         let json = report.to_json().to_compact();
         assert!(json.contains("\"counters_match\":true"));
         assert!(json.contains("\"deferred_probes\":0"));
         assert!(json.contains("\"metrics_scraped\":true"));
+        assert!(json.contains("\"lost_acks\":0"));
+    }
+
+    #[test]
+    fn client_retries_503_responses_within_budget() {
+        use crate::http::write_response;
+        // A hand-rolled backend that 503s twice, then answers 200 — the
+        // shape of a router riding out a promotion window.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut served = 0u32;
+            loop {
+                let mut conn = HttpConn::new(stream.try_clone().unwrap(), Limits::default());
+                let Ok(request) = conn.read_request() else { break };
+                served += 1;
+                let (status, reason, body): (u16, &str, &[u8]) = if served <= 2 {
+                    (503, "Service Unavailable", b"{\"error\":\"not primary\"}")
+                } else {
+                    (200, "OK", b"{\"ok\":true}")
+                };
+                write_response(&mut stream, status, reason, "application/json", body, true)
+                    .unwrap();
+                if !request.keep_alive() || served >= 3 {
+                    break;
+                }
+            }
+        });
+        let mut client = Client::with_policy("127.0.0.1", port, 3, Duration::from_millis(1));
+        let response = client.request("POST", "/v1/visit", b"{}").unwrap();
+        assert_eq!(response.status, 200, "the budget outlasts the blackout");
+        assert_eq!(client.status_retries, 2);
+        assert_eq!(client.retries, 2);
+        server.join().unwrap();
+
+        // Budget exhausted: the last 503 surfaces instead of an error.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            for _ in 0..2 {
+                let mut conn = HttpConn::new(stream.try_clone().unwrap(), Limits::default());
+                if conn.read_request().is_err() {
+                    break;
+                }
+                write_response(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    b"{}",
+                    true,
+                )
+                .unwrap();
+            }
+        });
+        let mut client = Client::with_policy("127.0.0.1", port, 1, Duration::from_millis(1));
+        let response = client.request("POST", "/v1/visit", b"{}").unwrap();
+        assert_eq!(response.status, 503);
+        assert_eq!(client.status_retries, 1);
+        server.join().unwrap();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use cp_runtime::metrics::{Counter, Gauge, Histogram};
 
@@ -57,6 +57,8 @@ pub enum Endpoint {
     Marks,
     /// `POST /v1/expire`.
     Expire,
+    /// `POST /v1/repl/lead` (cluster control plane).
+    Repl,
     /// `POST /v1/shutdown`.
     Shutdown,
     /// Anything else (404s, bad requests).
@@ -65,7 +67,7 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in rendering order.
-    pub const ALL: [Endpoint; 9] = [
+    pub const ALL: [Endpoint; 10] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Classify,
@@ -73,6 +75,7 @@ impl Endpoint {
         Endpoint::Sites,
         Endpoint::Marks,
         Endpoint::Expire,
+        Endpoint::Repl,
         Endpoint::Shutdown,
         Endpoint::Other,
     ];
@@ -87,6 +90,7 @@ impl Endpoint {
             Endpoint::Sites => "sites",
             Endpoint::Marks => "marks",
             Endpoint::Expire => "expire",
+            Endpoint::Repl => "repl",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Other => "other",
         }
@@ -135,13 +139,19 @@ pub const REQUEST_BUCKETS_MICROS: [u64; 16] =
 /// resolve both regimes.
 pub const CRAWL_LAG_BUCKETS_TICKS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
 
+/// Follower slots the fixed registry reserves for
+/// `cp_repl_records_total{peer}` — the registry is allocation-free, so
+/// the per-peer counters are a fixed array and peers beyond it share the
+/// last slot.
+pub const MAX_REPL_PEERS: usize = 8;
+
 /// The server's metric registry.
 #[derive(Debug)]
 pub struct ServiceMetrics {
-    endpoints: [EndpointSeries; 9],
+    endpoints: [EndpointSeries; 10],
     /// Per-route request time in power-of-two buckets
     /// ([`REQUEST_BUCKETS_MICROS`]), indexed like `endpoints`.
-    request_micros: [Histogram; 9],
+    request_micros: [Histogram; 10],
     /// Event-loop wakeups (`epoll_wait` returns with ≥1 event).
     pub event_loop_wakeups: Counter,
     /// Connections with readiness events in the event-loop pass being
@@ -195,6 +205,19 @@ pub struct ServiceMetrics {
     snapshot: [Counter; 2],
     /// Injected storage faults handled, indexed by [`WAL_FAULT_KINDS`].
     wal_faults: [Counter; 4],
+    /// Replicated records acked per follower, indexed by peer position;
+    /// only the first `repl_peer_count` render ([`MAX_REPL_PEERS`] slots).
+    repl_records: [Counter; MAX_REPL_PEERS],
+    /// Followers the current replicator streams to (bounds the rendered
+    /// `cp_repl_records_total{peer}` series).
+    repl_peer_count: AtomicUsize,
+    /// Max records any follower trails the primary's shipped count.
+    pub repl_lag_records: Gauge,
+    /// Full replication round-trip per shipped record (encode → every
+    /// live follower acked), in microseconds.
+    pub repl_ack_micros: Histogram,
+    /// Primary promotions performed (bumped by the router tier).
+    pub failover_total: Counter,
     /// WAL records replayed by the last startup recovery.
     pub recovery_records_replayed: Gauge,
     /// Torn-tail bytes discarded by the last startup recovery.
@@ -257,6 +280,11 @@ impl ServiceMetrics {
             wal_fsync: Histogram::with_bounds(&WAL_FSYNC_BUCKETS_MICROS),
             snapshot: Default::default(),
             wal_faults: Default::default(),
+            repl_records: Default::default(),
+            repl_peer_count: AtomicUsize::new(0),
+            repl_lag_records: Gauge::new(),
+            repl_ack_micros: Histogram::with_bounds(&WAL_FSYNC_BUCKETS_MICROS),
+            failover_total: Counter::new(),
             recovery_records_replayed: Gauge::new(),
             recovery_torn_tail_bytes: Gauge::new(),
             crawl_frontier_depth: Gauge::new(),
@@ -382,6 +410,24 @@ impl ServiceMetrics {
     /// Total injected storage faults handled, across all kinds.
     pub fn wal_fault_total(&self) -> u64 {
         self.wal_faults.iter().map(Counter::get).sum()
+    }
+
+    /// Sets how many `cp_repl_records_total{peer}` series render (the
+    /// follower count of the current replicator, capped at
+    /// [`MAX_REPL_PEERS`]).
+    pub fn set_repl_peers(&self, peers: usize) {
+        self.repl_peer_count.store(peers.min(MAX_REPL_PEERS), Ordering::Relaxed);
+    }
+
+    /// Records one acked replicated record for follower `peer` (peers
+    /// beyond the fixed slots share the last one).
+    pub fn record_repl_ship(&self, peer: usize) {
+        self.repl_records[peer.min(MAX_REPL_PEERS - 1)].inc();
+    }
+
+    /// The current value of one `cp_repl_records_total{peer}` series.
+    pub fn repl_records_count(&self, peer: usize) -> u64 {
+        self.repl_records.get(peer).map_or(0, Counter::get)
     }
 
     /// Records one snapshot attempt.
@@ -571,6 +617,27 @@ impl ServiceMetrics {
         for (label, counter) in WAL_FAULT_KINDS.iter().zip(&self.wal_faults) {
             let _ = writeln!(out, "cp_wal_faults_total{{kind=\"{label}\"}} {}", counter.get());
         }
+        out.push_str("# TYPE cp_repl_records_total counter\n");
+        for peer in 0..self.repl_peer_count.load(Ordering::Relaxed) {
+            let _ = writeln!(
+                out,
+                "cp_repl_records_total{{peer=\"{peer}\"}} {}",
+                self.repl_records[peer].get()
+            );
+        }
+        out.push_str("# TYPE cp_repl_lag_records gauge\n");
+        let _ = writeln!(out, "cp_repl_lag_records {}", self.repl_lag_records.get());
+        out.push_str("# TYPE cp_repl_ack_micros histogram\n");
+        if self.repl_ack_micros.count() > 0 {
+            for (bound, cumulative) in self.repl_ack_micros.snapshot() {
+                let le = if bound == u64::MAX { "+Inf".to_string() } else { bound.to_string() };
+                let _ = writeln!(out, "cp_repl_ack_micros_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "cp_repl_ack_micros_sum {}", self.repl_ack_micros.sum_micros());
+            let _ = writeln!(out, "cp_repl_ack_micros_count {}", self.repl_ack_micros.count());
+        }
+        out.push_str("# TYPE cp_failover_total counter\n");
+        let _ = writeln!(out, "cp_failover_total {}", self.failover_total.get());
         out.push_str("# TYPE cp_crawl_frontier_depth gauge\n");
         let _ = writeln!(out, "cp_crawl_frontier_depth {}", self.crawl_frontier_depth.get());
         out.push_str("# TYPE cp_crawl_visits_total counter\n");
@@ -831,6 +898,46 @@ mod tests {
         assert_eq!(m.wal_fault_total(), 2);
         assert_eq!(scrape_counter(&text, "cp_recovery_records_replayed"), Some(17));
         assert_eq!(scrape_counter(&text, "cp_recovery_torn_tail_bytes"), Some(3));
+    }
+
+    #[test]
+    fn replication_series_render() {
+        let m = ServiceMetrics::new();
+        let empty = m.render_prometheus();
+        // No replicator → no per-peer series; the lag gauge and the
+        // failover counter always render (zero is meaningful for both).
+        assert!(!empty.contains("cp_repl_records_total{peer="));
+        assert_eq!(scrape_counter(&empty, "cp_repl_lag_records"), Some(0));
+        assert_eq!(scrape_counter(&empty, "cp_failover_total"), Some(0));
+        assert!(!empty.contains("cp_repl_ack_micros_bucket"));
+
+        m.set_repl_peers(2);
+        m.record_repl_ship(0);
+        m.record_repl_ship(0);
+        m.record_repl_ship(1);
+        m.repl_lag_records.set(3);
+        m.repl_ack_micros.observe(120);
+        m.failover_total.inc();
+        let text = m.render_prometheus();
+        assert_eq!(scrape_counter(&text, "cp_repl_records_total{peer=\"0\"}"), Some(2));
+        assert_eq!(scrape_counter(&text, "cp_repl_records_total{peer=\"1\"}"), Some(1));
+        assert!(!text.contains("cp_repl_records_total{peer=\"2\"}"));
+        assert_eq!(m.repl_records_count(0), 2);
+        assert_eq!(scrape_counter(&text, "cp_repl_lag_records"), Some(3));
+        assert_eq!(scrape_counter(&text, "cp_repl_ack_micros_count"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_failover_total"), Some(1));
+        // Peers beyond the fixed slots share the last counter; the peer
+        // count is capped to the rendered range.
+        m.set_repl_peers(64);
+        m.record_repl_ship(63);
+        assert_eq!(m.repl_records_count(MAX_REPL_PEERS - 1), 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("cp_repl_records_total{peer=\"7\"}"));
+        assert!(!text.contains("cp_repl_records_total{peer=\"8\"}"));
+        // The repl control endpoint participates in the per-endpoint series.
+        m.record(Endpoint::Repl, 200, 10);
+        let text = m.render_prometheus();
+        assert_eq!(scrape_counter(&text, "cp_requests_total{endpoint=\"repl\"}"), Some(1));
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! WAL-shipped replication: primary → follower record streams, generation
+//! fencing, and ack policies. See `DESIGN.md` §15 for the full ladder.
+//!
+//! The wire protocol reuses the WAL's record frame byte-for-byte. A
+//! primary opens one TCP stream per follower and sends:
+//!
+//! ```text
+//! [b"CPREPL01"][generation u64 LE]                  // 16-byte handshake
+//! [len u32 LE][fnv1a64 u64 LE][payload]             // then WAL frames
+//! ```
+//!
+//! The follower replies to the handshake with 17 bytes —
+//! `[status u8][generation u64 LE][applied_seq u64 LE]` — where status 0
+//! accepts the stream and status 1 **fences** it: the handshake carried a
+//! generation older than one the follower has already seen, so the sender
+//! is a stale primary and must stand down. After an accepted handshake the
+//! follower acks every applied record with its cumulative per-connection
+//! applied count (u64 LE).
+//!
+//! Because every record of a generation flows over a single ordered stream
+//! (ships are serialized under the replicator lock), an ack of record `n`
+//! implies the follower holds records `1..=n` — streams are strict
+//! prefixes. That prefix property is what makes quorum acks sufficient for
+//! failover: if a response reached the client, some majority-side follower
+//! holds everything up to and including that event, so promoting the
+//! most-caught-up follower loses no acked write.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cp_runtime::sync::Mutex;
+
+use crate::metrics::ServiceMetrics;
+use crate::store::ShardedStore;
+use crate::wal::{frame_checksum, VisitEvent, HEADER_BYTES, MAX_RECORD_BYTES};
+
+/// Handshake magic: protocol name + version.
+pub const REPL_MAGIC: &[u8; 8] = b"CPREPL01";
+
+/// Primary → follower handshake length (magic + generation).
+pub const HANDSHAKE_BYTES: usize = 16;
+
+/// Follower → primary handshake reply length (status + generation +
+/// applied sequence).
+pub const HANDSHAKE_REPLY_BYTES: usize = 17;
+
+/// Socket timeouts on replication streams. Generous: a stall this long is
+/// indistinguishable from a dead peer, and the read loop only treats a
+/// timeout as fatal when shutdown has begun.
+const STREAM_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How many follower acks must land before a write is acknowledged to the
+/// client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplAckPolicy {
+    /// Ship asynchronously; ack the client on the local append alone.
+    None,
+    /// Ack once a majority of the cluster (primary included) holds the
+    /// record — the smallest policy that survives any single node death.
+    #[default]
+    Quorum,
+    /// Ack only when every follower holds the record.
+    All,
+}
+
+impl ReplAckPolicy {
+    /// Parses a `--repl-ack` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(ReplAckPolicy::None),
+            "quorum" => Some(ReplAckPolicy::Quorum),
+            "all" => Some(ReplAckPolicy::All),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplAckPolicy::None => "none",
+            ReplAckPolicy::Quorum => "quorum",
+            ReplAckPolicy::All => "all",
+        }
+    }
+
+    /// Follower acks required before the client sees a response, for a
+    /// cluster of `followers` + 1 primary. Quorum counts the primary
+    /// itself toward the majority: with 2 followers (3 nodes) one
+    /// follower ack makes 2 of 3.
+    pub fn required_acks(self, followers: usize) -> usize {
+        match self {
+            ReplAckPolicy::None => 0,
+            ReplAckPolicy::Quorum => followers.div_ceil(2),
+            ReplAckPolicy::All => followers,
+        }
+    }
+}
+
+/// What this node currently is, cluster-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Not participating in replication.
+    Standalone,
+    /// Accepting writes and shipping them to followers.
+    Primary,
+    /// Applying a primary's stream; rejects direct writes.
+    Follower,
+}
+
+impl Role {
+    /// The `/healthz` label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Standalone => "standalone",
+            Role::Primary => "primary",
+            Role::Follower => "follower",
+        }
+    }
+
+    fn from_u8(v: u8) -> Role {
+        match v {
+            1 => Role::Primary,
+            2 => Role::Follower,
+            _ => Role::Standalone,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Role::Standalone => 0,
+            Role::Primary => 1,
+            Role::Follower => 2,
+        }
+    }
+}
+
+/// The node's cluster identity: its role and the highest generation it has
+/// witnessed. The generation is monotone — it only ever moves forward, and
+/// every fencing decision compares against it.
+#[derive(Debug, Default)]
+pub struct ClusterState {
+    role: AtomicU8,
+    generation: AtomicU64,
+}
+
+impl ClusterState {
+    pub fn new() -> Self {
+        ClusterState::default()
+    }
+
+    pub fn role(&self) -> Role {
+        Role::from_u8(self.role.load(Ordering::Acquire))
+    }
+
+    pub fn set_role(&self, role: Role) {
+        self.role.store(role.as_u8(), Ordering::Release);
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Advances the witnessed generation (never backwards).
+    pub fn witness_generation(&self, generation: u64) {
+        self.generation.fetch_max(generation, Ordering::AcqRel);
+    }
+}
+
+/// One follower connection on the primary side.
+struct Peer {
+    /// `None` once the peer errored — dead for the rest of this
+    /// generation; the next promotion re-establishes streams.
+    stream: Option<TcpStream>,
+    /// Cumulative records this peer acked on this connection.
+    acked: u64,
+}
+
+struct ReplInner {
+    peers: Vec<Peer>,
+    /// Records shipped (attempted) on this replicator.
+    shipped: u64,
+}
+
+/// The primary side of replication: one ordered stream per follower,
+/// created by a successful [`connect`](Replicator::connect) handshake.
+///
+/// [`ship`](Replicator::ship) serializes all records under one lock so
+/// every follower sees the same global order — the prefix property the
+/// promotion rule depends on. Lock order is shard → WAL → replicator; the
+/// replicator lock is a leaf and never takes the others.
+pub struct Replicator {
+    inner: Mutex<ReplInner>,
+    required: usize,
+    generation: u64,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl std::fmt::Debug for Replicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replicator")
+            .field("generation", &self.generation)
+            .field("required", &self.required)
+            .finish()
+    }
+}
+
+impl Replicator {
+    /// Opens a stream to every follower and runs the handshake. Fails —
+    /// without becoming primary — if any follower is unreachable or
+    /// fences the generation (its reply names a newer one).
+    pub fn connect(
+        followers: &[String],
+        generation: u64,
+        policy: ReplAckPolicy,
+        metrics: Arc<ServiceMetrics>,
+    ) -> std::io::Result<Replicator> {
+        let mut peers = Vec::with_capacity(followers.len());
+        for addr in followers {
+            let mut stream = TcpStream::connect(addr.as_str())?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(STREAM_TIMEOUT))?;
+            stream.set_write_timeout(Some(STREAM_TIMEOUT))?;
+            let mut handshake = [0u8; HANDSHAKE_BYTES];
+            handshake[..8].copy_from_slice(REPL_MAGIC);
+            handshake[8..].copy_from_slice(&generation.to_le_bytes());
+            stream.write_all(&handshake)?;
+            let mut reply = [0u8; HANDSHAKE_REPLY_BYTES];
+            stream.read_exact(&mut reply)?;
+            if reply[0] != 0 {
+                let theirs = u64::from_le_bytes(reply[1..9].try_into().expect("8-byte slice"));
+                return Err(std::io::Error::other(format!(
+                    "follower {addr} fenced generation {generation}: it has already \
+                     witnessed generation {theirs}"
+                )));
+            }
+            peers.push(Peer { stream: Some(stream), acked: 0 });
+        }
+        metrics.set_repl_peers(peers.len());
+        metrics.repl_lag_records.set(0);
+        Ok(Replicator {
+            inner: Mutex::new(ReplInner { peers, shipped: 0 }),
+            required: policy.required_acks(followers.len()),
+            generation,
+            metrics,
+        })
+    }
+
+    /// The generation this replicator streams under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Max records any peer is behind the shipped count (dead peers keep
+    /// falling behind; live peers are caught up after every ship).
+    pub fn lag(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.peers.iter().map(|p| inner.shipped.saturating_sub(p.acked)).max().unwrap_or(0)
+    }
+
+    /// Ships one event to every live follower and waits for their acks.
+    /// `Err` when fewer than the policy's required acks landed — the
+    /// caller must then *not* acknowledge the write to its client (the
+    /// event is applied locally but unacked, exactly like a torn WAL
+    /// tail: present on this node, invisible to the contract).
+    pub fn ship(&self, event: &VisitEvent) -> std::io::Result<()> {
+        let record = event.encode_record();
+        let started = Instant::now();
+        let mut inner = self.inner.lock();
+        inner.shipped += 1;
+        let shipped = inner.shipped;
+        let mut acks = 0usize;
+        for (idx, peer) in inner.peers.iter_mut().enumerate() {
+            let Some(stream) = peer.stream.as_mut() else { continue };
+            let acked = stream.write_all(&record).and_then(|()| {
+                let mut buf = [0u8; 8];
+                stream.read_exact(&mut buf)?;
+                Ok(u64::from_le_bytes(buf))
+            });
+            match acked {
+                Ok(count) => {
+                    peer.acked = count;
+                    acks += 1;
+                    self.metrics.record_repl_ship(idx);
+                }
+                Err(_) => {
+                    // Dead for this generation; promotion rebuilds streams.
+                    peer.stream = None;
+                }
+            }
+        }
+        let lag = inner.peers.iter().map(|p| shipped.saturating_sub(p.acked)).max().unwrap_or(0);
+        drop(inner);
+        self.metrics.repl_lag_records.set(lag as i64);
+        self.metrics.repl_ack_micros.observe(started.elapsed().as_micros() as u64);
+        if acks < self.required {
+            return Err(std::io::Error::other(format!(
+                "replication quorum lost: {acks} of {} required follower acks",
+                self.required
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, riding out socket timeouts so an idle
+/// primary does not kill the stream; bails on EOF, real errors, or when
+/// shutdown has begun.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutting_down: &AtomicBool) -> bool {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return false,
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutting_down.load(Ordering::Acquire) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Serves one inbound replication stream on the follower side: validate
+/// the handshake (fencing stale generations), then apply each framed
+/// record through the same [`SiteEntry::apply`](crate::store::SiteEntry)
+/// path recovery uses and ack it with the cumulative applied count.
+///
+/// Accepting a handshake adopts its generation: the node becomes (or
+/// stays) a follower of that primary and drops any replicator it held —
+/// a primary receiving a newer generation's stream has been superseded
+/// and steps down. If a newer generation arrives mid-stream (on another
+/// connection), this stream stops acking and closes: a record from a
+/// dead generation is never applied after the succession.
+pub fn serve_follower_stream(
+    mut stream: TcpStream,
+    store: &ShardedStore,
+    cluster: &ClusterState,
+    shutting_down: &AtomicBool,
+) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(STREAM_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(STREAM_TIMEOUT)).ok();
+    let mut handshake = [0u8; HANDSHAKE_BYTES];
+    if !read_full(&mut stream, &mut handshake, shutting_down) || &handshake[..8] != REPL_MAGIC {
+        return;
+    }
+    let generation = u64::from_le_bytes(handshake[8..].try_into().expect("8-byte slice"));
+    let current = cluster.generation();
+    // Strictly older generations are fenced; an equal generation is fenced
+    // too when this node is that generation's primary (two primaries of
+    // one generation would be split brain).
+    let stale = generation < current || (generation == current && cluster.role() == Role::Primary);
+    let mut reply = [0u8; HANDSHAKE_REPLY_BYTES];
+    reply[0] = u8::from(stale);
+    reply[1..9].copy_from_slice(&current.to_le_bytes());
+    reply[9..17].copy_from_slice(&store.applied_seq().to_le_bytes());
+    if stream.write_all(&reply).is_err() || stale {
+        return;
+    }
+    cluster.witness_generation(generation);
+    cluster.set_role(Role::Follower);
+    store.set_replicator(None);
+    let mut applied_on_conn = 0u64;
+    loop {
+        let mut header = [0u8; HEADER_BYTES];
+        if !read_full(&mut stream, &mut header, shutting_down) {
+            return;
+        }
+        let len_le: [u8; 4] = header[..4].try_into().expect("4-byte slice");
+        let len = u32::from_le_bytes(len_le);
+        if len == 0 || len > MAX_RECORD_BYTES {
+            return;
+        }
+        let sum = u64::from_le_bytes(header[4..].try_into().expect("8-byte slice"));
+        let mut payload = vec![0u8; len as usize];
+        if !read_full(&mut stream, &mut payload, shutting_down) {
+            return;
+        }
+        if frame_checksum(&len_le, &payload) != sum {
+            return;
+        }
+        let Some(event) = VisitEvent::decode_payload(&payload) else { return };
+        // Fence mid-stream: a newer primary may have adopted this node
+        // since the handshake. Never apply (or ack) a dead generation's
+        // record after the succession.
+        if cluster.generation() != generation || cluster.role() != Role::Follower {
+            return;
+        }
+        if store.apply_replicated(&event).is_err() {
+            return;
+        }
+        applied_on_conn += 1;
+        if stream.write_all(&applied_on_conn.to_le_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_policy_parse_and_label_round_trip() {
+        for policy in [ReplAckPolicy::None, ReplAckPolicy::Quorum, ReplAckPolicy::All] {
+            assert_eq!(ReplAckPolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(ReplAckPolicy::parse("majority"), None);
+        assert_eq!(ReplAckPolicy::default(), ReplAckPolicy::Quorum);
+    }
+
+    #[test]
+    fn quorum_counts_the_primary_toward_the_majority() {
+        // followers → required follower acks (primary + acks is a majority
+        // of followers + 1 nodes).
+        for (followers, required) in [(0, 0), (1, 1), (2, 1), (3, 2), (4, 2), (5, 3)] {
+            assert_eq!(
+                ReplAckPolicy::Quorum.required_acks(followers),
+                required,
+                "{followers} followers"
+            );
+        }
+        assert_eq!(ReplAckPolicy::None.required_acks(4), 0);
+        assert_eq!(ReplAckPolicy::All.required_acks(4), 4);
+    }
+
+    #[test]
+    fn cluster_generation_is_monotone() {
+        let cluster = ClusterState::new();
+        assert_eq!(cluster.role(), Role::Standalone);
+        assert_eq!(cluster.generation(), 0);
+        cluster.witness_generation(3);
+        cluster.witness_generation(2);
+        assert_eq!(cluster.generation(), 3, "generations never move backwards");
+        cluster.set_role(Role::Primary);
+        assert_eq!(cluster.role(), Role::Primary);
+        assert_eq!(cluster.role().label(), "primary");
+    }
+}

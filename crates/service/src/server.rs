@@ -32,6 +32,7 @@ use cp_runtime::sync::Mutex;
 use crate::cache::AnalysisCache;
 use crate::http::{write_response, HttpConn, HttpError, HttpRequest, Limits};
 use crate::metrics::{Endpoint, ServiceMetrics};
+use crate::replication::{self, ClusterState, ReplAckPolicy, Replicator, Role};
 use crate::storage::StorageFaults;
 use crate::store::{DurabilityConfig, RecoveryStats, ShardedStore, DEFAULT_SNAPSHOT_EVERY};
 use crate::wal::FsyncPolicy;
@@ -97,6 +98,19 @@ pub struct ServeConfig {
     /// or on platforms without a native poller — connections go through
     /// the portable acceptor + bounded-queue worker pool instead.
     pub use_poller: bool,
+    /// When set, a replication listener binds this port (0 picks a free
+    /// one) and the node can follow a primary's WAL stream.
+    pub repl_port: Option<u16>,
+    /// Follower acks required before a write is acknowledged, when this
+    /// node leads.
+    pub repl_ack: ReplAckPolicy,
+    /// Follower replication addresses (`host:port`) to lead at startup.
+    /// Empty (the default) starts the node standalone.
+    pub repl_followers: Vec<String>,
+    /// Cluster generation to lead at when `repl_followers` is non-empty.
+    /// A follower that has witnessed a newer generation fences the
+    /// handshake and startup fails — the stale-primary rejoin gate.
+    pub repl_generation: u64,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +137,10 @@ impl Default for ServeConfig {
             storage_fault_rate: 0.0,
             storage_fault_seed: 0,
             use_poller: true,
+            repl_port: None,
+            repl_ack: ReplAckPolicy::default(),
+            repl_followers: Vec::new(),
+            repl_generation: 1,
         }
     }
 }
@@ -141,15 +159,70 @@ pub(crate) struct Shared {
     checkpointed: AtomicBool,
     recovery: RecoveryStats,
     addr: SocketAddr,
+    /// Cluster role + witnessed generation (standalone/gen 0 when the
+    /// node never participates in replication).
+    cluster: ClusterState,
+    /// Ack policy applied whenever this node leads.
+    repl_ack: ReplAckPolicy,
+    /// Bound replication-listener address, when `repl_port` was set.
+    repl_addr: Option<SocketAddr>,
 }
 
 impl Shared {
     /// Flips the shutdown flag; the first caller also wakes the acceptor
-    /// out of its blocking `accept` with a throwaway self-connect.
+    /// out of its blocking `accept` (and the replication listener, if
+    /// any) with throwaway self-connects.
     fn begin_shutdown(&self) {
         if !self.shutting_down.swap(true, Ordering::SeqCst) {
             let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            if let Some(repl_addr) = self.repl_addr {
+                let _ = TcpStream::connect_timeout(&repl_addr, Duration::from_secs(1));
+            }
         }
+    }
+
+    /// Becomes primary of `generation`, streaming to `followers`: opens
+    /// and handshakes every stream first, so a fenced or unreachable
+    /// follower fails the attempt without a role change.
+    fn lead(&self, generation: u64, followers: &[String]) -> std::io::Result<()> {
+        let current = self.cluster.generation();
+        if generation < current || (generation == current && self.cluster.role() == Role::Primary) {
+            return Err(std::io::Error::other(format!(
+                "generation {generation} is fenced: this node has already witnessed \
+                 generation {current}"
+            )));
+        }
+        let replicator =
+            Replicator::connect(followers, generation, self.repl_ack, Arc::clone(&self.metrics))?;
+        self.store.set_replicator(Some(Arc::new(replicator)));
+        self.cluster.witness_generation(generation);
+        self.cluster.set_role(Role::Primary);
+        Ok(())
+    }
+}
+
+/// Accepts replication streams and serves each on its own thread. The
+/// per-stream threads are detached: they exit on EOF, checksum failure,
+/// fencing, or the shutdown flag (stream reads poll it between timeouts).
+fn repl_accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) if shared.shutting_down.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            replication::serve_follower_stream(
+                stream,
+                &shared.store,
+                &shared.cluster,
+                &shared.shutting_down,
+            );
+        });
     }
 }
 
@@ -169,6 +242,11 @@ impl ServerHandle {
     /// The bound port.
     pub fn port(&self) -> u16 {
         self.shared.addr.port()
+    }
+
+    /// The bound replication-listener address, when `repl_port` was set.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.shared.repl_addr
     }
 
     /// The server's metric registry.
@@ -245,6 +323,11 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
     )?;
     metrics.recovery_records_replayed.set(recovery.records_replayed.min(i64::MAX as u64) as i64);
     metrics.recovery_torn_tail_bytes.set(recovery.torn_tail_bytes.min(i64::MAX as u64) as i64);
+    let repl_listener = match config.repl_port {
+        Some(port) => Some(TcpListener::bind((config.host.as_str(), port))?),
+        None => None,
+    };
+    let repl_addr = repl_listener.as_ref().map(TcpListener::local_addr).transpose()?;
     let shared = Arc::new(Shared {
         world,
         store,
@@ -255,6 +338,21 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         checkpointed: AtomicBool::new(false),
         recovery,
         addr,
+        cluster: ClusterState::new(),
+        repl_ack: config.repl_ack,
+        repl_addr,
+    });
+
+    // Lead at startup before any serving thread exists: a fenced or
+    // unreachable follower fails `start` cleanly (nothing to join), which
+    // is how a stale primary learns it cannot rejoin at its old
+    // generation.
+    if !config.repl_followers.is_empty() {
+        shared.lead(config.repl_generation, &config.repl_followers)?;
+    }
+    let repl_thread = repl_listener.map(|listener| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || repl_accept_loop(&shared, &listener))
     });
 
     if config.use_poller {
@@ -262,7 +360,10 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         // original drops when `start` returns, so joining the shards
         // releases the port.
         match crate::eventloop::spawn(&shared, &listener, &config) {
-            Ok(workers) => return Ok(ServerHandle { shared, acceptor: None, workers }),
+            Ok(mut workers) => {
+                workers.extend(repl_thread);
+                return Ok(ServerHandle { shared, acceptor: None, workers });
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
                 // No native poller here: serve with the worker pool below.
             }
@@ -273,7 +374,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
-    let workers = (0..config.workers.max(1))
+    let mut workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|_| {
             let shared = Arc::clone(&shared);
             let rx = Arc::clone(&rx);
@@ -281,6 +382,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
             std::thread::spawn(move || worker_loop(&shared, &rx, limits))
         })
         .collect();
+    workers.extend(repl_thread);
 
     let acceptor = {
         let shared = Arc::clone(&shared);
@@ -441,6 +543,10 @@ pub(crate) fn route(shared: &Shared, request: &HttpRequest) -> Routed {
                 .set("world", shared.world.universe().kind().to_string())
                 .set("hosts", shared.world.host_count())
                 .set("sites_trained", shared.store.site_count())
+                .set("role", shared.cluster.role().label())
+                .set("generation", shared.cluster.generation())
+                .set("replication_lag_records", shared.store.replication_lag())
+                .set("replication_applied_seq", shared.store.applied_seq())
                 .set("durable", shared.store.is_durable());
             if shared.store.is_durable() {
                 let r = shared.recovery;
@@ -471,6 +577,7 @@ pub(crate) fn route(shared: &Shared, request: &HttpRequest) -> Routed {
         ("POST", "/v1/classify") => classify(shared, &request.body),
         ("POST", "/v1/visit") => visit(shared, &request.body),
         ("POST", "/v1/expire") => expire(shared, &request.body),
+        ("POST", "/v1/repl/lead") => repl_lead(shared, &request.body),
         ("GET", t) if t == "/v1/sites" || t.starts_with("/v1/sites?") => {
             sites_list(shared, t.strip_prefix("/v1/sites").and_then(|q| q.strip_prefix('?')))
         }
@@ -522,9 +629,19 @@ fn classify(shared: &Shared, body: &[u8]) -> Routed {
     (Endpoint::Classify, 200, "OK", "application/json", body)
 }
 
+/// A follower rejects direct writes: only the primary's replicated
+/// stream may mutate it, or the router's promotion would race client
+/// writes it never acked.
+fn not_primary(endpoint: Endpoint) -> Routed {
+    (endpoint, 503, "Service Unavailable", "application/json", error_json("not primary"))
+}
+
 /// `POST /v1/visit`: one FORCUM training step against the embedded world.
 /// Body: `{"host": h, "path"?: "/", "cookie"?: "a=1; b=2"}`.
 fn visit(shared: &Shared, body: &[u8]) -> Routed {
+    if shared.cluster.role() == Role::Follower {
+        return not_primary(Endpoint::Visit);
+    }
     let parsed = match parse_json_body(body) {
         Ok(json) => json,
         Err(msg) => return bad_request(Endpoint::Visit, msg),
@@ -584,6 +701,9 @@ fn visit(shared: &Shared, body: &[u8]) -> Routed {
 /// `{"host": h, "cookies": ["name", ...]}`. Only cookies currently marked
 /// expire; when none are, no event is journaled and `expired` is 0.
 fn expire(shared: &Shared, body: &[u8]) -> Routed {
+    if shared.cluster.role() == Role::Follower {
+        return not_primary(Endpoint::Expire);
+    }
     let parsed = match parse_json_body(body) {
         Ok(json) => json,
         Err(msg) => return bad_request(Endpoint::Expire, msg),
@@ -645,6 +765,48 @@ fn expire(shared: &Shared, body: &[u8]) -> Routed {
                 error_json("durability unavailable"),
             )
         }
+    }
+}
+
+/// `POST /v1/repl/lead`: become the primary of a new generation — the
+/// router's promotion entry point. Body:
+/// `{"generation": N, "followers": ["host:port", ...]}`. Handshakes every
+/// follower before any role change; a stale generation (locally or at any
+/// follower) is a 409 and the node's role is untouched.
+fn repl_lead(shared: &Shared, body: &[u8]) -> Routed {
+    let parsed = match parse_json_body(body) {
+        Ok(json) => json,
+        Err(msg) => return bad_request(Endpoint::Repl, msg),
+    };
+    let generation = match parsed.get("generation").and_then(Json::as_f64) {
+        Some(g) if g >= 1.0 => g as u64,
+        _ => return bad_request(Endpoint::Repl, "body needs a positive integer generation"),
+    };
+    let followers: Vec<String> = match parsed.get("followers").and_then(Json::as_array) {
+        Some(items) => items.iter().filter_map(Json::as_str).map(str::to_string).collect(),
+        None => return bad_request(Endpoint::Repl, "body needs an array field followers"),
+    };
+    match shared.lead(generation, &followers) {
+        Ok(()) => {
+            let body = Json::object()
+                .set("role", shared.cluster.role().label())
+                .set("generation", generation)
+                .set("followers", followers.len())
+                .set("ack", shared.repl_ack.label())
+                .to_compact()
+                .into_bytes();
+            (Endpoint::Repl, 200, "OK", "application/json", body)
+        }
+        Err(e) if e.to_string().contains("fenced") => {
+            (Endpoint::Repl, 409, "Conflict", "application/json", error_json(&e.to_string()))
+        }
+        Err(e) => (
+            Endpoint::Repl,
+            503,
+            "Service Unavailable",
+            "application/json",
+            error_json(&format!("cannot lead: {e}")),
+        ),
     }
 }
 
@@ -1074,6 +1236,112 @@ mod tests {
             crate::metrics::scrape_counter(&text, "cp_event_loop_wakeups_total").unwrap_or(0);
         assert!(wakeups > 0, "serving a request implies at least one wakeup:\n{text}");
         assert!(text.contains("cp_ready_conns"), "{text}");
+    }
+
+    #[test]
+    fn replicated_pair_mirrors_marks_and_fences_follower_writes() {
+        // Follower first (its replication listener must be up), then a
+        // primary led at startup with --repl-ack all semantics.
+        let follower = start(ServeConfig {
+            workers: 2,
+            repl_port: Some(0),
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let follower_repl = follower.repl_addr().expect("repl listener bound").to_string();
+        let primary = start(ServeConfig {
+            workers: 2,
+            repl_followers: vec![follower_repl],
+            repl_ack: ReplAckPolicy::All,
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        // Train S6 — the Table-1 site with genuinely useful preference
+        // cookies — accumulating the jar across visits so the probes see
+        // the cookies they are judging.
+        let host = cp_webworld::table1_population(7)[5].domain.clone();
+        let mut jar: Vec<String> = Vec::new();
+        for i in 0..8 {
+            let path = if i == 0 { "/".to_string() } else { format!("/page/{i}") };
+            let mut body = Json::object().set("host", host.as_str()).set("path", path);
+            if !jar.is_empty() {
+                body = body.set("cookie", jar.join("; "));
+            }
+            let resp = request(primary.addr(), "POST", "/v1/visit", body.to_compact().as_bytes());
+            assert_eq!(resp.status, 200, "every acked visit is on the follower too");
+            let json = Json::parse(&resp.body_string()).unwrap();
+            for cookie in json.get("set_cookies").and_then(Json::as_array).into_iter().flatten() {
+                let cookie = cookie.as_str().unwrap().to_string();
+                if !jar.contains(&cookie) {
+                    jar.push(cookie);
+                }
+            }
+        }
+        // Acks were synchronous (policy all): the follower already holds
+        // every record the primary acked.
+        let primary_marks = request(primary.addr(), "GET", "/v1/marks", b"").body_string();
+        let follower_marks = request(follower.addr(), "GET", "/v1/marks", b"").body_string();
+        assert!(!primary_marks.is_empty(), "training must have marked something");
+        assert_eq!(primary_marks, follower_marks, "acked marks are on the follower");
+        // Roles, generations, and lag in healthz.
+        let health =
+            Json::parse(&request(primary.addr(), "GET", "/healthz", b"").body_string()).unwrap();
+        assert_eq!(health.get("role").and_then(Json::as_str), Some("primary"));
+        assert_eq!(health.get("generation").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(health.get("replication_lag_records").and_then(Json::as_f64), Some(0.0));
+        let health =
+            Json::parse(&request(follower.addr(), "GET", "/healthz", b"").body_string()).unwrap();
+        assert_eq!(health.get("role").and_then(Json::as_str), Some("follower"));
+        assert_eq!(health.get("generation").and_then(Json::as_f64), Some(1.0));
+        assert!(health.get("replication_applied_seq").and_then(Json::as_f64).unwrap() >= 1.0);
+        // Direct writes to the follower are fenced.
+        let resp = request(follower.addr(), "POST", "/v1/visit", br#"{"host":"news1.example"}"#);
+        assert_eq!(resp.status, 503);
+        assert!(resp.body_string().contains("not primary"));
+        let resp = request(
+            follower.addr(),
+            "POST",
+            "/v1/expire",
+            br#"{"host":"news1.example","cookies":["sid"]}"#,
+        );
+        assert_eq!(resp.status, 503);
+        // Replication metrics rendered on the primary.
+        let metrics = request(primary.addr(), "GET", "/metrics", b"").body_string();
+        let shipped =
+            crate::metrics::scrape_counter(&metrics, "cp_repl_records_total{peer=\"0\"}").unwrap();
+        assert!(shipped >= 1, "{shipped} records shipped");
+        assert!(metrics.contains("cp_repl_ack_micros_count"));
+    }
+
+    #[test]
+    fn lead_endpoint_fences_stale_generations() {
+        let server = test_server();
+        // Leading with no followers is legal (required acks 0).
+        let resp =
+            request(server.addr(), "POST", "/v1/repl/lead", br#"{"generation":5,"followers":[]}"#);
+        assert_eq!(resp.status, 200, "{}", resp.body_string());
+        let json = Json::parse(&resp.body_string()).unwrap();
+        assert_eq!(json.get("role").and_then(Json::as_str), Some("primary"));
+        // An older generation is fenced with 409 and no state change.
+        let resp =
+            request(server.addr(), "POST", "/v1/repl/lead", br#"{"generation":3,"followers":[]}"#);
+        assert_eq!(resp.status, 409, "{}", resp.body_string());
+        assert!(resp.body_string().contains("fenced"));
+        let health =
+            Json::parse(&request(server.addr(), "GET", "/healthz", b"").body_string()).unwrap();
+        assert_eq!(health.get("generation").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(health.get("role").and_then(Json::as_str), Some("primary"));
+        // Malformed bodies are 400s.
+        assert_eq!(request(server.addr(), "POST", "/v1/repl/lead", b"{}").status, 400);
+        assert_eq!(
+            request(server.addr(), "POST", "/v1/repl/lead", br#"{"generation":0,"followers":[]}"#)
+                .status,
+            400
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ use cookiepicker_core::{ForcumState, TrainingSummary};
 use cp_runtime::sync::{Mutex, RwLock};
 
 use crate::metrics::ServiceMetrics;
+use crate::replication::Replicator;
 use crate::snapshot::{load_snapshot, write_snapshot};
 use crate::storage::StorageFaults;
 use crate::wal::{read_log, wal_path, EventKind, FsyncPolicy, VisitEvent, Wal};
@@ -332,6 +333,13 @@ pub struct ShardedStore {
     /// Sites with state, maintained at entry creation so
     /// [`site_count`](Self::site_count) never sweeps the shard locks.
     sites: AtomicUsize,
+    /// Events applied since open — local mutations and replicated ones
+    /// alike. The replication handshake and `/healthz` report it; the
+    /// router promotes the follower with the highest value.
+    applied: AtomicU64,
+    /// Present while this node is a primary: every applied event is also
+    /// shipped to the followers before the caller may ack it.
+    repl: RwLock<Option<Arc<Replicator>>>,
     stability_window: usize,
     durable: Option<Durable>,
 }
@@ -345,6 +353,8 @@ impl ShardedStore {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             mirrors: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             sites: AtomicUsize::new(0),
+            applied: AtomicU64::new(0),
+            repl: RwLock::new(None),
             stability_window,
             durable: None,
         }
@@ -465,7 +475,11 @@ impl ShardedStore {
     ///    an `Err` here aborts the visit before any state changes;
     /// 3. the event is applied to the entry;
     /// 4. `finish` builds the result from the updated entry;
-    /// 5. the shard is checkpointed if its interval came due.
+    /// 5. the shard is checkpointed if its interval came due;
+    /// 6. when this node is a primary, the event is shipped to the
+    ///    followers — an `Err` here (quorum lost) also fails the visit:
+    ///    the event is applied locally but, like a torn WAL tail, was
+    ///    never acknowledged, so the durability contract holds.
     pub fn transact<P, R>(
         &self,
         host: &str,
@@ -486,18 +500,68 @@ impl ShardedStore {
                 if let Some(durable) = &self.durable {
                     durable.wals[idx].lock().append(event)?;
                 }
+                self.applied.fetch_add(1, Ordering::Release);
                 entry.apply(event)
             }
             None => Vec::new(),
         };
         let result = finish(entry, marked_now, context);
         self.publish(idx, host, entry);
-        if event.is_some() {
+        if let Some(event) = &event {
             if let Some(durable) = &self.durable {
                 durable.maybe_checkpoint(idx, &shard);
             }
+            // Still under the shard lock: ships from different shards
+            // serialize on the replicator lock (shard → replicator order),
+            // so every follower sees one global record order.
+            let replicator = self.repl.read().clone();
+            if let Some(replicator) = replicator {
+                replicator.ship(event)?;
+            }
         }
         Ok(result)
+    }
+
+    /// Applies one replicated event — the follower-side twin of
+    /// [`transact`](Self::transact): journal to the local WAL (followers
+    /// keep their own logs), apply through the same `SiteEntry::apply`
+    /// path, publish the summary mirror, and checkpoint on the usual
+    /// interval. Never re-ships: followers hold no replicator.
+    pub fn apply_replicated(&self, event: &VisitEvent) -> std::io::Result<()> {
+        let idx = self.shard_of(&event.host);
+        let mut shard = self.shards[idx].write();
+        if !shard.contains_key(&event.host) {
+            self.sites.fetch_add(1, Ordering::Relaxed);
+        }
+        let entry = shard
+            .entry(event.host.clone())
+            .or_insert_with(|| SiteEntry::new(self.stability_window));
+        if let Some(durable) = &self.durable {
+            durable.wals[idx].lock().append(event)?;
+        }
+        self.applied.fetch_add(1, Ordering::Release);
+        entry.apply(event);
+        self.publish(idx, &event.host, entry);
+        if let Some(durable) = &self.durable {
+            durable.maybe_checkpoint(idx, &shard);
+        }
+        Ok(())
+    }
+
+    /// Events applied since open (local and replicated).
+    pub fn applied_seq(&self) -> u64 {
+        self.applied.load(Ordering::Acquire)
+    }
+
+    /// Installs (or clears) the primary-side replicator. Leading installs
+    /// one; adopting a newer generation's stream clears it.
+    pub fn set_replicator(&self, replicator: Option<Arc<Replicator>>) {
+        *self.repl.write() = replicator;
+    }
+
+    /// Max records any follower is behind, when this node is a primary.
+    pub fn replication_lag(&self) -> u64 {
+        self.repl.read().as_ref().map_or(0, |r| r.lag())
     }
 
     /// Publishes `entry`'s summary fields into its seqlock mirror cell,

@@ -42,7 +42,7 @@ use crate::storage::{open_storage, StorageFaults, StorageFile};
 pub const MAX_RECORD_BYTES: u32 = 1 << 20;
 
 /// Frame header size: `u32` length + `u64` checksum.
-const HEADER_BYTES: usize = 12;
+pub(crate) const HEADER_BYTES: usize = 12;
 
 /// Log-file magic, followed by the `u64` generation.
 const LOG_MAGIC: &[u8; 8] = b"CPWAL001";
@@ -305,8 +305,9 @@ impl VisitEvent {
     }
 
     /// Decodes a payload produced by [`encode_payload`](Self::encode_payload).
-    /// `None` on any malformation (including trailing bytes).
-    fn decode_payload(payload: &[u8]) -> Option<VisitEvent> {
+    /// `None` on any malformation (including trailing bytes). Shared with
+    /// the replication follower, which decodes the same frames off a socket.
+    pub(crate) fn decode_payload(payload: &[u8]) -> Option<VisitEvent> {
         let mut cur = codec::Cursor::new(payload);
         let tag = cur.u8()?;
         let host = cur.str()?;
@@ -347,7 +348,7 @@ impl VisitEvent {
 }
 
 /// Frame checksum over the length prefix and payload.
-fn frame_checksum(len_le: &[u8; 4], payload: &[u8]) -> u64 {
+pub(crate) fn frame_checksum(len_le: &[u8; 4], payload: &[u8]) -> u64 {
     codec::fnv1a(len_le) ^ codec::fnv1a(payload).rotate_left(1)
 }
 

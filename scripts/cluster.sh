@@ -1,0 +1,254 @@
+#!/usr/bin/env sh
+# Cluster failover harness: prove the WAL-shipped replication tier loses
+# no acked mark when the primary dies, invents nothing, and fences a
+# stale primary on rejoin.
+#
+# Phases and gates:
+#
+#   1. oracle      — a single in-memory server takes the full seeded load;
+#                    its mark set is the reference and its rps the
+#                    single-node baseline.
+#   2. determinism — a 3-node cluster behind the router takes the *same*
+#                    load, twice from scratch: both runs' mark sets must
+#                    be byte-identical to each other and to the oracle
+#                    (replication is invisible to the contract).
+#   3. failover    — a fresh 3-node cluster takes the load while the
+#                    primary is SIGKILLed mid-run. The router must detect
+#                    the death, promote the most-caught-up follower, and
+#                    the load generator must ride the blackout on its 503
+#                    retry budget. Gates: zero acked marks lost (the
+#                    report's lost_acks and a comm -23 against the final
+#                    dump), zero marks invented vs the oracle, at least
+#                    one failover counted.
+#   4. rejoin      — restarting the dead primary's role at its old
+#                    generation against the survivors must be fenced: the
+#                    server refuses to start and names the fence.
+#
+# Usage: scripts/cluster.sh [requests] [threads] [seed]
+#   SMOKE=1 scripts/cluster.sh   # tiny CI profile: 2k requests, report
+#                                # goes to /tmp, repo untouched
+set -eu
+
+cd "$(dirname "$0")/.."
+
+REQUESTS="${1:-20000}"
+THREADS="${2:-4}"
+SEED="${3:-7}"
+OUT="BENCH_cluster.json"
+if [ "${SMOKE:-0}" = "1" ]; then
+    REQUESTS=2000
+    OUT="$(mktemp /tmp/bench_cluster.XXXXXX.json)"
+fi
+
+export CARGO_NET_OFFLINE=true
+cargo build --release --quiet
+BIN=target/release/cookiepicker
+
+WORK="$(mktemp -d /tmp/cp_cluster.XXXXXX)"
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+# The serve/route banner prints (and flushes) the bound address; poll for
+# it. Sets PORT, fails the run if the process never comes up.
+await_port() {
+    PORT=""
+    for _ in $(seq 1 50); do
+        PORT="$(sed -n 's/.*listening on http:\/\/[0-9.]*:\([0-9]*\).*/\1/p' "$1")"
+        [ -n "$PORT" ] && return 0
+        sleep 0.1
+    done
+    echo "cluster: process did not start:"
+    cat "$1"
+    exit 1
+}
+
+# Starts one replication-capable node; sets NODE_PID, NODE_PORT, NODE_REPL.
+start_node() {
+    "$BIN" serve --port 0 --seed "$SEED" --workers 2 --repl-port 0 >"$1" &
+    NODE_PID=$!
+    PIDS="$PIDS $NODE_PID"
+    await_port "$1"
+    NODE_PORT="$PORT"
+    NODE_REPL="$(sed -n 's/.*replication on [0-9.]*:\([0-9]*\).*/\1/p' "$1")"
+    [ -n "$NODE_REPL" ] || { echo "cluster: no replication banner in $1"; cat "$1"; exit 1; }
+}
+
+# Starts 3 nodes + the router (which leads node 1 at generation 1); sets
+# N{1,2,3}_{PID,PORT,REPL} and ROUTER_{PID,PORT}.
+start_cluster() {
+    start_node "$WORK/$1-node1.log"
+    N1_PID=$NODE_PID; N1_PORT=$NODE_PORT; N1_REPL=$NODE_REPL
+    start_node "$WORK/$1-node2.log"
+    N2_PID=$NODE_PID; N2_PORT=$NODE_PORT; N2_REPL=$NODE_REPL
+    start_node "$WORK/$1-node3.log"
+    N3_PID=$NODE_PID; N3_PORT=$NODE_PORT; N3_REPL=$NODE_REPL
+    "$BIN" route --port 0 --workers "$THREADS" --heartbeat-ms 100 --miss-threshold 3 \
+        --backend "127.0.0.1:$N1_PORT,127.0.0.1:$N1_REPL" \
+        --backend "127.0.0.1:$N2_PORT,127.0.0.1:$N2_REPL" \
+        --backend "127.0.0.1:$N3_PORT,127.0.0.1:$N3_REPL" >"$WORK/$1-router.log" &
+    ROUTER_PID=$!
+    PIDS="$PIDS $ROUTER_PID"
+    await_port "$WORK/$1-router.log"
+    ROUTER_PORT="$PORT"
+}
+
+# Graceful stop of one process through its shutdown endpoint.
+stop_one() {
+    "$BIN" get --port "$1" --post /v1/shutdown >/dev/null 2>&1 || true
+    wait "$2" 2>/dev/null || true
+}
+
+stop_cluster() {
+    stop_one "$ROUTER_PORT" "$ROUTER_PID"
+    stop_one "$N1_PORT" "$N1_PID"
+    stop_one "$N2_PORT" "$N2_PID"
+    stop_one "$N3_PORT" "$N3_PID"
+}
+
+rps_of() {
+    sed -n 's/.*"throughput_rps": \([0-9.]*\).*/\1/p' "$1"
+}
+
+FAIL=0
+
+# ---- Phase 1: single-node oracle ------------------------------------------
+ORACLE_LOG="$WORK/oracle.log"
+"$BIN" serve --port 0 --seed "$SEED" --workers "$THREADS" >"$ORACLE_LOG" &
+ORACLE_PID=$!
+PIDS="$PIDS $ORACLE_PID"
+await_port "$ORACLE_LOG"
+"$BIN" loadgen --port "$PORT" --threads "$THREADS" --requests "$REQUESTS" \
+    --seed "$SEED" --out "$WORK/oracle.json" --marks-out "$WORK/oracle.marks" >/dev/null
+stop_one "$PORT" "$ORACLE_PID"
+SINGLE_RPS="$(rps_of "$WORK/oracle.json")"
+[ -s "$WORK/oracle.marks" ] || { echo "cluster: oracle run marked nothing"; exit 1; }
+
+# ---- Phase 2: same-seed cluster runs are bit-identical --------------------
+for det in detA detB; do
+    start_cluster "$det"
+    "$BIN" loadgen --port "$ROUTER_PORT" --threads "$THREADS" --requests "$REQUESTS" \
+        --seed "$SEED" --out "$WORK/$det.json" --marks-out "$WORK/$det.marks" >/dev/null
+    stop_cluster
+    grep -q '"status_5xx": 0' "$WORK/$det.json" \
+        || { echo "cluster: steady-state run $det saw 5xx responses"; FAIL=1; }
+    grep -q '"lost_acks": 0' "$WORK/$det.json" \
+        || { echo "cluster: steady-state run $det lost acked marks"; FAIL=1; }
+done
+cmp -s "$WORK/detA.marks" "$WORK/detB.marks" \
+    || { echo "cluster: two same-seed cluster runs diverged"; FAIL=1; }
+cmp -s "$WORK/detA.marks" "$WORK/oracle.marks" \
+    || { echo "cluster: replication changed the mark set vs the single-node oracle"; FAIL=1; }
+CLUSTER_RPS="$(rps_of "$WORK/detA.json")"
+
+# ---- Phase 3: kill -9 the primary mid-load --------------------------------
+start_cluster fail
+# A larger budget keeps the generator mid-flight at the kill; the 503
+# retry budget (8 tries, doubling from 40 ms) outlasts any promotion.
+"$BIN" loadgen --port "$ROUTER_PORT" --threads "$THREADS" --requests "$((REQUESTS * 5))" \
+    --seed "$SEED" --retries 8 --backoff-ms 40 \
+    --out "$WORK/failover.json" --marks-out "$WORK/acked.marks" >/dev/null &
+LOADGEN_PID=$!
+sleep 0.5
+kill -9 "$N1_PID"
+wait "$N1_PID" 2>/dev/null || true
+wait "$LOADGEN_PID" || { echo "cluster: loadgen failed during failover"; FAIL=1; }
+
+HEALTH="$("$BIN" get --port "$ROUTER_PORT" /healthz)"
+FAILOVERS="$(printf '%s' "$HEALTH" | sed -n 's/.*"failovers":\([0-9]*\).*/\1/p')"
+GENERATION="$(printf '%s' "$HEALTH" | sed -n 's/.*"generation":\([0-9]*\).*/\1/p')"
+BLACKOUT_MS="$(printf '%s' "$HEALTH" | sed -n 's/.*"last_failover_blackout_ms":\([0-9]*\).*/\1/p')"
+PROMOTION_SEQ="$(printf '%s' "$HEALTH" | sed -n 's/.*"last_promotion_seq":\([0-9]*\).*/\1/p')"
+[ -n "$FAILOVERS" ] && [ "$FAILOVERS" -ge 1 ] \
+    || { echo "cluster: router never failed over: $HEALTH"; FAIL=1; }
+[ -n "$GENERATION" ] && [ "$GENERATION" -ge 2 ] \
+    || { echo "cluster: promotion did not advance the generation: $HEALTH"; FAIL=1; }
+"$BIN" get --port "$ROUTER_PORT" /metrics | grep -q '^cp_failover_total [1-9]' \
+    || { echo "cluster: cp_failover_total never incremented"; FAIL=1; }
+
+# Gate: the generator itself verified every acked mark against the final
+# dump — lost_acks must be zero.
+grep -q '"lost_acks": 0' "$WORK/failover.json" \
+    || { echo "cluster: loadgen reported lost acked marks:"; \
+         grep '"lost_acks"' "$WORK/failover.json"; FAIL=1; }
+[ -s "$WORK/acked.marks" ] || { echo "cluster: no marks were acked before the kill"; FAIL=1; }
+
+# Gate: no acked mark lost — every mark the client saw acknowledged must
+# be in the promoted primary's final dump.
+"$BIN" get --port "$ROUTER_PORT" /v1/marks >"$WORK/final.marks"
+LOST="$(comm -23 "$WORK/acked.marks" "$WORK/final.marks")"
+if [ -n "$LOST" ]; then
+    echo "cluster: failover lost acked marks:"
+    echo "$LOST"
+    FAIL=1
+fi
+# Gate: zero invented marks. The final set may exceed the acked set (a
+# record can replicate without its response surviving the kill), yet every
+# mark must be one the fault-free single-node oracle also makes.
+INVENTED="$(comm -23 "$WORK/final.marks" "$WORK/oracle.marks")"
+if [ -n "$INVENTED" ]; then
+    echo "cluster: failover invented marks the oracle never made:"
+    echo "$INVENTED"
+    FAIL=1
+fi
+
+# ---- Phase 4: the stale primary is fenced on rejoin -----------------------
+# Restarting the dead primary's role at its old generation against the
+# survivors must be refused: both survivors have witnessed generation 2.
+REJOIN_LOG="$WORK/rejoin.log"
+REJOIN_STATUS=0
+"$BIN" serve --port 0 --seed "$SEED" --workers 2 --repl-generation 1 \
+    --repl-follower "127.0.0.1:$N2_REPL" \
+    --repl-follower "127.0.0.1:$N3_REPL" >"$REJOIN_LOG" 2>&1 || REJOIN_STATUS=$?
+[ "$REJOIN_STATUS" -ne 0 ] \
+    || { echo "cluster: stale-generation rejoin was accepted:"; cat "$REJOIN_LOG"; FAIL=1; }
+grep -q "fenced" "$REJOIN_LOG" \
+    || { echo "cluster: rejoin refusal did not name the fence:"; cat "$REJOIN_LOG"; FAIL=1; }
+stop_cluster
+
+# Zero panics anywhere, including the killed primary's partial log.
+if grep -q "panicked" "$WORK"/*.log; then
+    echo "cluster: a process panicked:"
+    grep "panicked" "$WORK"/*.log
+    FAIL=1
+fi
+
+[ "$FAIL" = "0" ] || { echo "cluster: FAILED"; exit 1; }
+
+# ---- Report ---------------------------------------------------------------
+ACKED_N="$(wc -l <"$WORK/acked.marks" | tr -d ' ')"
+FINAL_N="$(wc -l <"$WORK/final.marks" | tr -d ' ')"
+ORACLE_N="$(wc -l <"$WORK/oracle.marks" | tr -d ' ')"
+RETRIED="$(sed -n 's/.*"retried_requests": \([0-9]*\).*/\1/p' "$WORK/failover.json")"
+RATIO="$(awk -v clu="$CLUSTER_RPS" -v one="$SINGLE_RPS" \
+    'BEGIN { printf "%.3f", (one + 0 > 0) ? clu / one : 0 }')"
+cat >"$OUT" <<EOF
+{
+  "requests": $REQUESTS,
+  "threads": $THREADS,
+  "seed": $SEED,
+  "single_node_rps": $SINGLE_RPS,
+  "cluster_rps": $CLUSTER_RPS,
+  "cluster_over_single": $RATIO,
+  "failover": {
+    "failovers": $FAILOVERS,
+    "generation": $GENERATION,
+    "blackout_ms": ${BLACKOUT_MS:-0},
+    "records_replayed": ${PROMOTION_SEQ:-0},
+    "retried_requests": ${RETRIED:-0},
+    "acked_marks": $ACKED_N,
+    "final_marks": $FINAL_N,
+    "oracle_marks": $ORACLE_N
+  }
+}
+EOF
+
+echo "cluster: ${ACKED_N} acked / ${FINAL_N} final / ${ORACLE_N} oracle marks;" \
+    "failover blackout ${BLACKOUT_MS:-0} ms at promotion seq ${PROMOTION_SEQ:-0};" \
+    "cluster/single rps ${RATIO}"
+echo "cluster: report written to $OUT"

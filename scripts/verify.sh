@@ -41,4 +41,10 @@ SMOKE=1 ./scripts/crash.sh
 # same-seed runs, the visits/sec floor at flat RSS, and zero panics.
 SMOKE=1 ./scripts/bench_crawl.sh
 
-echo "verify: fmt + build + tests + serve smoke + detect smoke + world smoke + chaos smoke + crash smoke + crawl smoke passed offline"
+# Cluster smoke: kill -9 the replicated primary mid-load behind the
+# router — gates on no acked mark lost across the failover, zero invented
+# marks vs the single-node oracle, bit-identical same-seed cluster runs,
+# and a fenced stale-primary rejoin.
+SMOKE=1 ./scripts/cluster.sh
+
+echo "verify: fmt + build + tests + serve smoke + detect smoke + world smoke + chaos smoke + crash smoke + crawl smoke + cluster smoke passed offline"

@@ -85,6 +85,31 @@ pub enum Command {
         storage_fault_seed: u64,
         /// Embedded world to serve (`table1` or `uniform:N`).
         world: cp_serve::WorldKind,
+        /// Replication listener port (cluster mode; 0 picks a free port).
+        repl_port: Option<u16>,
+        /// Replication ack policy (`none` / `quorum` / `all`).
+        repl_ack: cp_serve::ReplAckPolicy,
+        /// Follower replication addresses to lead at startup (repeatable).
+        repl_followers: Vec<String>,
+        /// Generation to lead at — followers that have witnessed a newer
+        /// one fence the handshake and the server refuses to start.
+        repl_generation: u64,
+    },
+    /// Run the cluster router in front of replicated cp-serve backends.
+    Route {
+        /// Port to bind on 127.0.0.1 (0 picks a free port).
+        port: u16,
+        /// Backend `HTTP_ADDR,REPL_ADDR` pairs; the first is led as the
+        /// initial primary.
+        backends: Vec<cp_serve::BackendAddr>,
+        /// Worker threads.
+        workers: usize,
+        /// Heartbeat probe interval, milliseconds.
+        heartbeat_ms: u64,
+        /// Consecutive missed heartbeats before a backend is declared dead.
+        miss_threshold: u32,
+        /// Ack policy handed to a newly promoted primary.
+        ack: cp_serve::ReplAckPolicy,
     },
     /// One HTTP request against a running service (the crash harness's
     /// portable substitute for curl/nc).
@@ -270,6 +295,10 @@ where
             let mut storage_fault_rate = 0.0f64;
             let mut storage_fault_seed = 0u64;
             let mut world = cp_serve::WorldKind::Table1;
+            let mut repl_port = None;
+            let mut repl_ack = cp_serve::ReplAckPolicy::default();
+            let mut repl_followers = Vec::new();
+            let mut repl_generation = 1u64;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -299,8 +328,24 @@ where
                         world = cp_serve::WorldKind::parse(&v)
                             .map_err(|e| err(format!("invalid --world {v:?}: {e}")))?;
                     }
+                    "--repl-port" => repl_port = Some(flag_value(&mut it, "--repl-port")?),
+                    "--repl-ack" => {
+                        let v: String = flag_value(&mut it, "--repl-ack")?;
+                        repl_ack = cp_serve::ReplAckPolicy::parse(&v).ok_or_else(|| {
+                            err(format!("invalid --repl-ack {v:?}; use none, quorum, or all"))
+                        })?;
+                    }
+                    "--repl-follower" => {
+                        repl_followers.push(flag_value::<String>(&mut it, "--repl-follower")?)
+                    }
+                    "--repl-generation" => {
+                        repl_generation = flag_value(&mut it, "--repl-generation")?
+                    }
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
+            }
+            if repl_generation == 0 {
+                return Err(err("--repl-generation must be at least 1"));
             }
             if !(0.0..=1.0).contains(&chaos_rate) {
                 return Err(err("--chaos-rate must be in [0, 1]"));
@@ -325,7 +370,53 @@ where
                 storage_fault_rate,
                 storage_fault_seed,
                 world,
+                repl_port,
+                repl_ack,
+                repl_followers,
+                repl_generation,
             })
+        }
+        "route" => {
+            let mut port = 7069u16;
+            let mut backends = Vec::new();
+            let mut workers = 4usize;
+            let defaults = cp_serve::RouterConfig::default();
+            let mut heartbeat_ms = defaults.heartbeat.as_millis() as u64;
+            let mut miss_threshold = defaults.miss_threshold;
+            let mut ack = cp_serve::ReplAckPolicy::default();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--port" => port = flag_value(&mut it, "--port")?,
+                    "--backend" => {
+                        let v: String = flag_value(&mut it, "--backend")?;
+                        backends.push(
+                            cp_serve::BackendAddr::parse(&v)
+                                .map_err(|e| err(format!("invalid --backend: {e}")))?,
+                        );
+                    }
+                    "--workers" => workers = flag_value(&mut it, "--workers")?,
+                    "--heartbeat-ms" => heartbeat_ms = flag_value(&mut it, "--heartbeat-ms")?,
+                    "--miss-threshold" => miss_threshold = flag_value(&mut it, "--miss-threshold")?,
+                    "--ack" => {
+                        let v: String = flag_value(&mut it, "--ack")?;
+                        ack = cp_serve::ReplAckPolicy::parse(&v).ok_or_else(|| {
+                            err(format!("invalid --ack {v:?}; use none, quorum, or all"))
+                        })?;
+                    }
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            if backends.is_empty() {
+                return Err(err("route needs at least one --backend HTTP_ADDR,REPL_ADDR"));
+            }
+            if heartbeat_ms == 0 {
+                return Err(err("--heartbeat-ms must be at least 1"));
+            }
+            if miss_threshold == 0 {
+                return Err(err("--miss-threshold must be at least 1"));
+            }
+            Ok(Command::Route { port, backends, workers, heartbeat_ms, miss_threshold, ack })
         }
         "get" => {
             let mut host = "127.0.0.1".to_string();
@@ -500,6 +591,9 @@ USAGE:
     cookiepicker serve [--port N] [--seed N] [--workers N] [--shards N] [--queue N] [--timeout-ms N] [--chaos-rate F]
                        [--world table1|uniform:N] [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]
                        [--storage-fault-rate F] [--storage-fault-seed N]
+                       [--repl-port N] [--repl-ack none|quorum|all] [--repl-follower ADDR]... [--repl-generation N]
+    cookiepicker route --backend HTTP_ADDR,REPL_ADDR [--backend ...]... [--port N] [--workers N]
+                       [--heartbeat-ms N] [--miss-threshold N] [--ack none|quorum|all]
     cookiepicker loadgen --port N [--host H] [--threads N] [--connections N] [--requests N] [--seed N] [--hosts N] [--zipf S]
                          [--retries N] [--backoff-ms N] [--out FILE] [--marks-out FILE]
     cookiepicker crawl [--world table1|uniform:N] [--seed N] [--workers N] [--ticks N] [--duration S] [--ttl S]
@@ -657,6 +751,10 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
             storage_fault_rate,
             storage_fault_seed,
             world,
+            repl_port,
+            repl_ack,
+            repl_followers,
+            repl_generation,
         } => {
             let timeout = std::time::Duration::from_millis(timeout_ms);
             let durable = data_dir.is_some();
@@ -675,6 +773,10 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 storage_fault_rate,
                 storage_fault_seed,
                 world,
+                repl_port,
+                repl_ack,
+                repl_followers,
+                repl_generation,
                 ..cp_serve::ServeConfig::default()
             };
             let mut server =
@@ -685,6 +787,10 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 server.addr()
             )
             .map_err(|e| err(e.to_string()))?;
+            if let Some(addr) = server.repl_addr() {
+                writeln!(out, "cp-serve replication on {addr} (ack {})", repl_ack.label())
+                    .map_err(|e| err(e.to_string()))?;
+            }
             if durable {
                 let r = server.recovery();
                 writeln!(
@@ -704,6 +810,30 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
             out.flush().map_err(|e| err(e.to_string()))?;
             server.wait();
             writeln!(out, "cp-serve: drained and stopped").map_err(|e| err(e.to_string()))?;
+        }
+        Command::Route { port, backends, workers, heartbeat_ms, miss_threshold, ack } => {
+            let n = backends.len();
+            let config = cp_serve::RouterConfig {
+                port,
+                backends,
+                workers,
+                heartbeat: std::time::Duration::from_millis(heartbeat_ms),
+                miss_threshold,
+                ack,
+                ..cp_serve::RouterConfig::default()
+            };
+            let mut router =
+                cp_serve::start_router(config).map_err(|e| err(format!("cannot start: {e}")))?;
+            writeln!(
+                out,
+                "cp-route listening on http://{} ({n} backends, ack {}, heartbeat {heartbeat_ms} ms)",
+                router.addr(),
+                ack.label()
+            )
+            .map_err(|e| err(e.to_string()))?;
+            out.flush().map_err(|e| err(e.to_string()))?;
+            router.wait();
+            writeln!(out, "cp-route: drained and stopped").map_err(|e| err(e.to_string()))?;
         }
         Command::Get { host, port, post, path } => {
             let mut client = cp_serve::loadgen::Client::new(&host, port);
@@ -912,6 +1042,10 @@ mod tests {
                 storage_fault_rate: 0.0,
                 storage_fault_seed: 0,
                 world: cp_serve::WorldKind::Table1,
+                repl_port: None,
+                repl_ack: cp_serve::ReplAckPolicy::Quorum,
+                repl_followers: vec![],
+                repl_generation: 1,
             }
         );
         assert!(matches!(
@@ -1100,8 +1234,99 @@ mod tests {
     }
 
     #[test]
+    fn parse_serve_replication_flags() {
+        let cmd = parse_args([
+            "serve",
+            "--repl-port",
+            "7171",
+            "--repl-ack",
+            "all",
+            "--repl-follower",
+            "127.0.0.1:7271",
+            "--repl-follower",
+            "127.0.0.1:7272",
+            "--repl-generation",
+            "3",
+        ])
+        .unwrap();
+        let Command::Serve { repl_port, repl_ack, repl_followers, repl_generation, .. } = cmd
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(repl_port, Some(7171));
+        assert_eq!(repl_ack, cp_serve::ReplAckPolicy::All);
+        assert_eq!(repl_followers, vec!["127.0.0.1:7271".to_string(), "127.0.0.1:7272".into()]);
+        assert_eq!(repl_generation, 3);
+        assert!(parse_args(["serve", "--repl-ack", "most"]).is_err(), "unknown policy");
+        assert!(parse_args(["serve", "--repl-generation", "0"]).is_err(), "generations start at 1");
+    }
+
+    #[test]
+    fn parse_route() {
+        let cmd = parse_args([
+            "route",
+            "--port",
+            "7069",
+            "--backend",
+            "127.0.0.1:7070,127.0.0.1:7170",
+            "--backend",
+            "127.0.0.1:7071,127.0.0.1:7171",
+            "--workers",
+            "2",
+            "--heartbeat-ms",
+            "100",
+            "--miss-threshold",
+            "5",
+            "--ack",
+            "none",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Route {
+                port: 7069,
+                backends: vec![
+                    cp_serve::BackendAddr::parse("127.0.0.1:7070,127.0.0.1:7170").unwrap(),
+                    cp_serve::BackendAddr::parse("127.0.0.1:7071,127.0.0.1:7171").unwrap(),
+                ],
+                workers: 2,
+                heartbeat_ms: 100,
+                miss_threshold: 5,
+                ack: cp_serve::ReplAckPolicy::None,
+            }
+        );
+        // Defaults mirror RouterConfig's.
+        let defaults = cp_serve::RouterConfig::default();
+        assert!(matches!(
+            parse_args(["route", "--backend", "127.0.0.1:1,127.0.0.1:2"]).unwrap(),
+            Command::Route { port: 7069, workers: 4, heartbeat_ms, miss_threshold, ack, .. }
+                if heartbeat_ms == defaults.heartbeat.as_millis() as u64
+                    && miss_threshold == defaults.miss_threshold
+                    && ack == cp_serve::ReplAckPolicy::Quorum
+        ));
+        assert!(parse_args(["route"]).is_err(), "route needs a backend");
+        assert!(parse_args(["route", "--backend", "no-comma"]).is_err(), "malformed pair");
+        assert!(
+            parse_args(["route", "--backend", "127.0.0.1:1,127.0.0.1:2", "--heartbeat-ms", "0"])
+                .is_err(),
+            "zero heartbeat would spin"
+        );
+        assert!(
+            parse_args(["route", "--backend", "127.0.0.1:1,127.0.0.1:2", "--miss-threshold", "0"])
+                .is_err(),
+            "zero misses would flap"
+        );
+        assert!(
+            parse_args(["route", "--backend", "127.0.0.1:1,127.0.0.1:2", "--ack", "most"]).is_err(),
+            "unknown policy"
+        );
+    }
+
+    #[test]
     fn usage_lists_every_subcommand() {
-        for sub in ["classify", "simulate", "jar", "serve", "loadgen", "crawl", "get", "help"] {
+        for sub in
+            ["classify", "simulate", "jar", "serve", "route", "loadgen", "crawl", "get", "help"]
+        {
             assert!(
                 USAGE.lines().any(|l| l.trim_start().starts_with(&format!("cookiepicker {sub}"))),
                 "USAGE must document {sub}"
