@@ -66,6 +66,12 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Raises the gauge to `v` if `v` is larger — a running maximum
+    /// (e.g. the worst stall observed since start).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// The current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)

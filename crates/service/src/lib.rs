@@ -33,6 +33,7 @@
 //! the most-caught-up follower when the primary dies. See `DESIGN.md` §15.
 
 pub mod cache;
+pub mod chaosproxy;
 mod eventloop;
 pub mod http;
 pub mod loadgen;
@@ -47,6 +48,7 @@ pub mod wal;
 pub mod world;
 
 pub use cache::AnalysisCache;
+pub use chaosproxy::{parse_schedule, ChaosProxy, Phase};
 pub use cp_webworld::{Universe, WorldKind};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use replication::{ClusterState, ReplAckPolicy, Replicator, Role};

@@ -170,6 +170,15 @@ pub struct LoadgenReport {
     pub lost_acks: u64,
     /// Client-acked marks confirmed present in the final `/v1/marks` dump.
     pub marks_verified: u64,
+    /// Follower resyncs completed during the run, scraped from the
+    /// target's final metrics (`cp_repl_resync_total` on a node,
+    /// `cp_route_resyncs_observed` when the target is a router — summed,
+    /// since a node exposes only one of the pair as nonzero).
+    pub resyncs_observed: u64,
+    /// Worst single-ship write stall a slow follower caused, in
+    /// microseconds (max of `cp_repl_ack_stall_max_micros` and
+    /// `cp_route_max_ack_stall_micros`).
+    pub max_ack_stall_micros: u64,
 }
 
 impl ToJson for LoadgenReport {
@@ -232,7 +241,9 @@ impl ToJson for LoadgenReport {
                     .set("reconnects", self.client_reconnects)
                     .set("retried_requests", self.retried_requests)
                     .set("lost_acks", self.lost_acks)
-                    .set("marks_verified", self.marks_verified),
+                    .set("marks_verified", self.marks_verified)
+                    .set("resyncs_observed", self.resyncs_observed)
+                    .set("max_ack_stall_micros", self.max_ack_stall_micros),
             )
             .set("metrics_scraped", self.metrics_scraped)
             .set("marks", self.marks.clone())
@@ -501,6 +512,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
         retried_requests: 0,
         lost_acks: 0,
         marks_verified: 0,
+        resyncs_observed: 0,
+        max_ack_stall_micros: 0,
     };
     for tally in tallies {
         report.requests += tally.samples.len() as u64;
@@ -569,6 +582,11 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, HttpError> {
                 scrape_counter(&exposition, &series).unwrap_or(0)
             })
             .sum();
+        report.resyncs_observed = scrape_counter(&exposition, "cp_repl_resync_total").unwrap_or(0)
+            + scrape_counter(&exposition, "cp_route_resyncs_observed").unwrap_or(0);
+        report.max_ack_stall_micros = scrape_counter(&exposition, "cp_repl_ack_stall_max_micros")
+            .unwrap_or(0)
+            .max(scrape_counter(&exposition, "cp_route_max_ack_stall_micros").unwrap_or(0));
     }
     // Verify every client-acked mark against the server's final dump: an
     // acked mark missing server-side is a lost write, which a failover is

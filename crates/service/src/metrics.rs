@@ -211,13 +211,40 @@ pub struct ServiceMetrics {
     /// Followers the current replicator streams to (bounds the rendered
     /// `cp_repl_records_total{peer}` series).
     repl_peer_count: AtomicUsize,
-    /// Max records any follower trails the primary's shipped count.
+    /// Max records any *connected* follower trails the primary's shipped
+    /// count (down peers are excluded — see `cp_repl_peer_up`).
     pub repl_lag_records: Gauge,
+    /// 1 while the peer's stream is connected (live or catching-up),
+    /// 0 while it is down; indexed like `repl_records`.
+    repl_peer_up: [Gauge; MAX_REPL_PEERS],
     /// Full replication round-trip per shipped record (encode → every
     /// live follower acked), in microseconds.
     pub repl_ack_micros: Histogram,
+    /// Peers brought back to the live stream after a disconnect or
+    /// demotion (each is one completed resync).
+    pub repl_resync_total: Counter,
+    /// Backlog records replayed to catching-up or reconnecting peers.
+    pub repl_resync_records_total: Counter,
+    /// Live peers demoted to catching-up for missing the per-ship ack
+    /// deadline.
+    pub repl_slow_demotions_total: Counter,
+    /// Bootstrap hints sent to peers beyond the backlog (primary side).
+    pub repl_bootstrap_hints_total: Counter,
+    /// Snapshot bootstraps installed (follower side).
+    pub repl_bootstrap_total: Counter,
+    /// Worst single-ship wall time since start, in microseconds — the
+    /// stall a slow follower actually added to a client write.
+    pub repl_ack_stall_max_micros: Gauge,
     /// Primary promotions performed (bumped by the router tier).
     pub failover_total: Counter,
+    /// Ring reads failed over to the next alive backend after a transport
+    /// error (router tier).
+    pub route_read_failover_total: Counter,
+    /// Sum of `cp_repl_resync_total` across the backends a router
+    /// heartbeats (router tier).
+    pub route_resyncs_observed: Gauge,
+    /// Max `cp_repl_ack_stall_max_micros` across those backends.
+    pub route_max_ack_stall_micros: Gauge,
     /// WAL records replayed by the last startup recovery.
     pub recovery_records_replayed: Gauge,
     /// Torn-tail bytes discarded by the last startup recovery.
@@ -283,8 +310,18 @@ impl ServiceMetrics {
             repl_records: Default::default(),
             repl_peer_count: AtomicUsize::new(0),
             repl_lag_records: Gauge::new(),
+            repl_peer_up: Default::default(),
             repl_ack_micros: Histogram::with_bounds(&WAL_FSYNC_BUCKETS_MICROS),
+            repl_resync_total: Counter::new(),
+            repl_resync_records_total: Counter::new(),
+            repl_slow_demotions_total: Counter::new(),
+            repl_bootstrap_hints_total: Counter::new(),
+            repl_bootstrap_total: Counter::new(),
+            repl_ack_stall_max_micros: Gauge::new(),
             failover_total: Counter::new(),
+            route_read_failover_total: Counter::new(),
+            route_resyncs_observed: Gauge::new(),
+            route_max_ack_stall_micros: Gauge::new(),
             recovery_records_replayed: Gauge::new(),
             recovery_torn_tail_bytes: Gauge::new(),
             crawl_frontier_depth: Gauge::new(),
@@ -417,6 +454,14 @@ impl ServiceMetrics {
     /// [`MAX_REPL_PEERS`]).
     pub fn set_repl_peers(&self, peers: usize) {
         self.repl_peer_count.store(peers.min(MAX_REPL_PEERS), Ordering::Relaxed);
+    }
+
+    /// Flips one `cp_repl_peer_up{peer}` series (out-of-range indices are
+    /// dropped, mirroring the render cap).
+    pub fn set_repl_peer_up(&self, idx: usize, up: bool) {
+        if let Some(gauge) = self.repl_peer_up.get(idx) {
+            gauge.set(i64::from(up));
+        }
     }
 
     /// Records one acked replicated record for follower `peer` (peers
@@ -625,8 +670,35 @@ impl ServiceMetrics {
                 self.repl_records[peer].get()
             );
         }
+        out.push_str("# TYPE cp_repl_peer_up gauge\n");
+        for peer in 0..self.repl_peer_count.load(Ordering::Relaxed) {
+            let _ = writeln!(
+                out,
+                "cp_repl_peer_up{{peer=\"{peer}\"}} {}",
+                self.repl_peer_up[peer].get()
+            );
+        }
         out.push_str("# TYPE cp_repl_lag_records gauge\n");
         let _ = writeln!(out, "cp_repl_lag_records {}", self.repl_lag_records.get());
+        out.push_str("# TYPE cp_repl_resync_total counter\n");
+        let _ = writeln!(out, "cp_repl_resync_total {}", self.repl_resync_total.get());
+        out.push_str("# TYPE cp_repl_resync_records_total counter\n");
+        let _ =
+            writeln!(out, "cp_repl_resync_records_total {}", self.repl_resync_records_total.get());
+        out.push_str("# TYPE cp_repl_slow_demotions_total counter\n");
+        let _ =
+            writeln!(out, "cp_repl_slow_demotions_total {}", self.repl_slow_demotions_total.get());
+        out.push_str("# TYPE cp_repl_bootstrap_hints_total counter\n");
+        let _ = writeln!(
+            out,
+            "cp_repl_bootstrap_hints_total {}",
+            self.repl_bootstrap_hints_total.get()
+        );
+        out.push_str("# TYPE cp_repl_bootstrap_total counter\n");
+        let _ = writeln!(out, "cp_repl_bootstrap_total {}", self.repl_bootstrap_total.get());
+        out.push_str("# TYPE cp_repl_ack_stall_max_micros gauge\n");
+        let _ =
+            writeln!(out, "cp_repl_ack_stall_max_micros {}", self.repl_ack_stall_max_micros.get());
         out.push_str("# TYPE cp_repl_ack_micros histogram\n");
         if self.repl_ack_micros.count() > 0 {
             for (bound, cumulative) in self.repl_ack_micros.snapshot() {
@@ -638,6 +710,17 @@ impl ServiceMetrics {
         }
         out.push_str("# TYPE cp_failover_total counter\n");
         let _ = writeln!(out, "cp_failover_total {}", self.failover_total.get());
+        out.push_str("# TYPE cp_route_read_failover_total counter\n");
+        let _ =
+            writeln!(out, "cp_route_read_failover_total {}", self.route_read_failover_total.get());
+        out.push_str("# TYPE cp_route_resyncs_observed gauge\n");
+        let _ = writeln!(out, "cp_route_resyncs_observed {}", self.route_resyncs_observed.get());
+        out.push_str("# TYPE cp_route_max_ack_stall_micros gauge\n");
+        let _ = writeln!(
+            out,
+            "cp_route_max_ack_stall_micros {}",
+            self.route_max_ack_stall_micros.get()
+        );
         out.push_str("# TYPE cp_crawl_frontier_depth gauge\n");
         let _ = writeln!(out, "cp_crawl_frontier_depth {}", self.crawl_frontier_depth.get());
         out.push_str("# TYPE cp_crawl_visits_total counter\n");
@@ -918,6 +1001,17 @@ mod tests {
         m.repl_lag_records.set(3);
         m.repl_ack_micros.observe(120);
         m.failover_total.inc();
+        m.set_repl_peer_up(0, true);
+        m.repl_resync_total.inc();
+        m.repl_resync_records_total.add(5);
+        m.repl_slow_demotions_total.inc();
+        m.repl_bootstrap_hints_total.inc();
+        m.repl_bootstrap_total.inc();
+        m.repl_ack_stall_max_micros.set_max(900);
+        m.repl_ack_stall_max_micros.set_max(40);
+        m.route_read_failover_total.inc();
+        m.route_resyncs_observed.set(2);
+        m.route_max_ack_stall_micros.set(900);
         let text = m.render_prometheus();
         assert_eq!(scrape_counter(&text, "cp_repl_records_total{peer=\"0\"}"), Some(2));
         assert_eq!(scrape_counter(&text, "cp_repl_records_total{peer=\"1\"}"), Some(1));
@@ -925,6 +1019,18 @@ mod tests {
         assert_eq!(m.repl_records_count(0), 2);
         assert_eq!(scrape_counter(&text, "cp_repl_lag_records"), Some(3));
         assert_eq!(scrape_counter(&text, "cp_repl_ack_micros_count"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_repl_peer_up{peer=\"0\"}"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_repl_peer_up{peer=\"1\"}"), Some(0));
+        assert_eq!(scrape_counter(&text, "cp_repl_resync_total"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_repl_resync_records_total"), Some(5));
+        assert_eq!(scrape_counter(&text, "cp_repl_slow_demotions_total"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_repl_bootstrap_hints_total"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_repl_bootstrap_total"), Some(1));
+        // set_max is a running maximum: the later, smaller sample is ignored.
+        assert_eq!(scrape_counter(&text, "cp_repl_ack_stall_max_micros"), Some(900));
+        assert_eq!(scrape_counter(&text, "cp_route_read_failover_total"), Some(1));
+        assert_eq!(scrape_counter(&text, "cp_route_resyncs_observed"), Some(2));
+        assert_eq!(scrape_counter(&text, "cp_route_max_ack_stall_micros"), Some(900));
         assert_eq!(scrape_counter(&text, "cp_failover_total"), Some(1));
         // Peers beyond the fixed slots share the last counter; the peer
         // count is capped to the rendered range.

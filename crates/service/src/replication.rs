@@ -1,5 +1,6 @@
 //! WAL-shipped replication: primary → follower record streams, generation
-//! fencing, and ack policies. See `DESIGN.md` §15 for the full ladder.
+//! fencing, ack policies, and the self-healing resync ladder. See
+//! `DESIGN.md` §15–§16 for the full picture.
 //!
 //! The wire protocol reuses the WAL's record frame byte-for-byte. A
 //! primary opens one TCP stream per follower and sends:
@@ -14,8 +15,17 @@
 //! accepts the stream and status 1 **fences** it: the handshake carried a
 //! generation older than one the follower has already seen, so the sender
 //! is a stale primary and must stand down. After an accepted handshake the
-//! follower acks every applied record with its cumulative per-connection
-//! applied count (u64 LE).
+//! follower acks every applied record with its absolute applied sequence
+//! (u64 LE). The primary reads the reply's `applied_seq` and replays the
+//! records the follower is missing from its in-memory [`Backlog`] before
+//! the stream goes live; a follower too far behind for the backlog is sent
+//! a control frame naming the primary's HTTP address and bootstraps from
+//! `GET /v1/repl/snapshot` instead.
+//!
+//! Control frames share the record framing but set the high bit of the
+//! length word ([`CONTROL_BIT`]) — real records never reach
+//! [`MAX_RECORD_BYTES`], so the bit is unambiguous and the checksum still
+//! covers the frame.
 //!
 //! Because every record of a generation flows over a single ordered stream
 //! (ships are serialized under the replicator lock), an ack of record `n`
@@ -24,7 +34,15 @@
 //! failover: if a response reached the client, some majority-side follower
 //! holds everything up to and including that event, so promoting the
 //! most-caught-up follower loses no acked write.
+//!
+//! A peer is never permanently dead. [`ship`](Replicator::ship) waits at
+//! most [`ACK_DEADLINE`] per peer: a stream that stays silent is demoted
+//! to *catching-up* and fed from the backlog off the write path; a stream
+//! that errors goes *down* and is redialed with seeded jittered backoff by
+//! the maintenance thread ([`run_maintenance`]). Only *live* peers count
+//! toward the quorum and the lag gauge.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -47,10 +65,51 @@ pub const HANDSHAKE_BYTES: usize = 16;
 /// applied sequence).
 pub const HANDSHAKE_REPLY_BYTES: usize = 17;
 
-/// Socket timeouts on replication streams. Generous: a stall this long is
-/// indistinguishable from a dead peer, and the read loop only treats a
-/// timeout as fatal when shutdown has begun.
+/// Socket timeouts on replication streams outside the ship hot path
+/// (handshakes, backlog drains). Generous: a stall this long is
+/// indistinguishable from a dead peer.
 const STREAM_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long [`ship`](Replicator::ship) waits for one peer's ack before
+/// demoting it to catching-up. This bounds the stall one slow follower can
+/// add to a client write — the old behavior blocked the shard lock for
+/// [`STREAM_TIMEOUT`] (5 s) per stalled peer.
+pub const ACK_DEADLINE: Duration = Duration::from_millis(250);
+
+/// Default capacity of the primary's in-memory record backlog — how far a
+/// reconnecting follower may be behind and still resync from the live
+/// ring instead of a snapshot bootstrap.
+pub const DEFAULT_BACKLOG_CAP: usize = 4096;
+
+/// High bit of the frame length word: set on control frames, never on
+/// records (records are capped at [`MAX_RECORD_BYTES`] = 1 MiB).
+const CONTROL_BIT: u32 = 1 << 31;
+
+/// Control frame kind: "you are too far behind my backlog — bootstrap
+/// from `GET /v1/repl/snapshot` at the HTTP address in this payload".
+const CONTROL_BOOTSTRAP: u8 = 1;
+
+/// Largest accepted control payload (kind byte + an address).
+const MAX_CONTROL_BYTES: u32 = 1024;
+
+/// Records per chunk when draining the backlog to a catching-up peer.
+const DRAIN_CHUNK: usize = 64;
+
+/// A catching-up peer whose remaining gap is at most this many records is
+/// finished synchronously under the replicator lock, so the promotion to
+/// live cannot race a concurrent ship.
+const FINAL_CHUNK: usize = 32;
+
+/// Maintenance thread cadence.
+const MAINT_TICK: Duration = Duration::from_millis(25);
+
+/// Redial backoff bounds (jittered, doubling per attempt).
+const REDIAL_BASE: Duration = Duration::from_millis(100);
+const REDIAL_MAX: Duration = Duration::from_secs(2);
+
+/// How long a peer that was just sent a bootstrap hint is left alone
+/// before the redial probes whether the snapshot install finished.
+const BOOTSTRAP_REDIAL: Duration = Duration::from_millis(500);
 
 /// How many follower acks must land before a write is acknowledged to the
 /// client.
@@ -140,10 +199,38 @@ impl Role {
 /// The node's cluster identity: its role and the highest generation it has
 /// witnessed. The generation is monotone — it only ever moves forward, and
 /// every fencing decision compares against it.
-#[derive(Debug, Default)]
 pub struct ClusterState {
     role: AtomicU8,
     generation: AtomicU64,
+    /// Bumped under [`apply_gate`](Self::apply_gate) whenever a follower
+    /// stream is adopted. A stream applies records only while its epoch is
+    /// current, so a superseded stream can never slip an apply in after a
+    /// newer stream's handshake reply reported `applied_seq` — which would
+    /// make the primary's gap arithmetic resend (double-apply) a record.
+    stream_epoch: AtomicU64,
+    /// Serializes follower-stream adoption, record application, and
+    /// snapshot-bootstrap installs against each other.
+    apply_gate: Mutex<()>,
+}
+
+impl Default for ClusterState {
+    fn default() -> Self {
+        ClusterState {
+            role: AtomicU8::new(0),
+            generation: AtomicU64::new(0),
+            stream_epoch: AtomicU64::new(0),
+            apply_gate: Mutex::new(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterState")
+            .field("role", &self.role())
+            .field("generation", &self.generation())
+            .finish()
+    }
 }
 
 impl ClusterState {
@@ -169,19 +256,155 @@ impl ClusterState {
     }
 }
 
+/// Bounded ring of recently applied records, in their wire framing. Every
+/// node keeps one — as a primary it is filled by [`Replicator::ship`], as
+/// a follower by the stream apply path — so whichever node leads next can
+/// replay the gap to a reconnecting peer without touching disk.
+///
+/// `head` is the node's lineage sequence (it equals
+/// [`applied_seq`](crate::store::ShardedStore::applied_seq) as long as the
+/// backlog is advanced for every applied event); the ring retains the
+/// records for `(head - len, head]`.
+#[derive(Debug)]
+pub struct Backlog {
+    records: VecDeque<Arc<Vec<u8>>>,
+    head: u64,
+    capacity: usize,
+}
+
+impl Backlog {
+    pub fn new(capacity: usize) -> Self {
+        Backlog { records: VecDeque::new(), head: 0, capacity: capacity.max(1) }
+    }
+
+    /// Appends one encoded record, trimming to capacity. Returns the
+    /// record's sequence number.
+    pub fn push(&mut self, record: Arc<Vec<u8>>) -> u64 {
+        self.head += 1;
+        self.records.push_back(record);
+        while self.records.len() > self.capacity {
+            self.records.pop_front();
+        }
+        self.head
+    }
+
+    /// Advances the sequence without retaining the record — the standalone
+    /// write path, which has no encoded frame at hand. Gaps make the ring
+    /// useless for replay, so it is cleared; a later follower of this node
+    /// will bootstrap from a snapshot instead.
+    pub fn advance(&mut self) -> u64 {
+        self.head += 1;
+        self.records.clear();
+        self.head
+    }
+
+    /// Re-anchors the sequence (e.g. after a snapshot bootstrap installed
+    /// `seq` events' worth of state) with an empty ring.
+    pub fn reset_to(&mut self, seq: u64) {
+        self.records.clear();
+        self.head = seq;
+    }
+
+    /// Sequence number of the most recent record.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Whether every record in `(after, head]` is retained.
+    pub fn covers(&self, after: u64) -> bool {
+        after >= self.head - self.records.len() as u64
+    }
+
+    /// Up to `max` retained records with sequence `> after`, in order.
+    pub fn range(&self, after: u64, max: usize) -> Vec<(u64, Arc<Vec<u8>>)> {
+        let first = self.head - self.records.len() as u64 + 1;
+        let start = after.saturating_sub(first).saturating_add(u64::from(after >= first)) as usize;
+        self.records
+            .iter()
+            .enumerate()
+            .skip(start)
+            .take(max)
+            .map(|(i, r)| (first + i as u64, Arc::clone(r)))
+            .collect()
+    }
+
+    /// Changes the capacity, trimming if it shrank.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.records.len() > self.capacity {
+            self.records.pop_front();
+        }
+    }
+}
+
+/// A peer's position in the slow-peer state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// In the synchronous ship path; counts toward the quorum.
+    Live,
+    /// Connected but behind; fed from the backlog by the maintenance
+    /// thread, promoted back to live when it catches up.
+    CatchingUp,
+    /// Stream gone; redialed with backoff by the maintenance thread.
+    Down,
+}
+
+impl PeerState {
+    pub fn label(self) -> &'static str {
+        match self {
+            PeerState::Live => "live",
+            PeerState::CatchingUp => "catching-up",
+            PeerState::Down => "down",
+        }
+    }
+}
+
+/// One follower's `/healthz` row.
+#[derive(Debug, Clone)]
+pub struct PeerStatus {
+    pub addr: String,
+    pub state: PeerState,
+    pub connected: bool,
+    pub acked_seq: u64,
+}
+
 /// One follower connection on the primary side.
 struct Peer {
-    /// `None` once the peer errored — dead for the rest of this
-    /// generation; the next promotion re-establishes streams.
+    addr: String,
     stream: Option<TcpStream>,
-    /// Cumulative records this peer acked on this connection.
+    state: PeerState,
+    /// Sequence (this node's numbering) of the last record fully written
+    /// to the stream — what the backlog drain resumes from. A partially
+    /// written frame is unrecoverable in-band, so write errors always
+    /// close the stream.
+    sent: u64,
+    /// The follower's own applied sequence from its last ack.
     acked: u64,
+    /// Records written whose acks have not been read yet.
+    pending: u64,
+    /// Partial-ack reassembly: acks are 8 bytes and a deadline can split
+    /// one; the remainder is picked up on the next harvest.
+    ack_buf: [u8; 8],
+    ack_filled: usize,
+    /// When a down peer may be redialed.
+    redial_at: Instant,
+    /// Consecutive failed redials (drives the backoff).
+    attempts: u32,
+}
+
+impl Peer {
+    fn status(&self) -> PeerStatus {
+        PeerStatus {
+            addr: self.addr.clone(),
+            state: self.state,
+            connected: self.stream.is_some(),
+            acked_seq: self.acked,
+        }
+    }
 }
 
 struct ReplInner {
     peers: Vec<Peer>,
-    /// Records shipped (attempted) on this replicator.
-    shipped: u64,
 }
 
 /// The primary side of replication: one ordered stream per follower,
@@ -189,12 +412,18 @@ struct ReplInner {
 ///
 /// [`ship`](Replicator::ship) serializes all records under one lock so
 /// every follower sees the same global order — the prefix property the
-/// promotion rule depends on. Lock order is shard → WAL → replicator; the
-/// replicator lock is a leaf and never takes the others.
+/// promotion rule depends on. Lock order is shard → replicator → backlog;
+/// the backlog lock is a leaf.
 pub struct Replicator {
     inner: Mutex<ReplInner>,
+    backlog: Arc<Mutex<Backlog>>,
     required: usize,
     generation: u64,
+    /// This primary's HTTP address, sent in bootstrap hints.
+    advertise: String,
+    /// Set when the node stops being this generation's primary; the
+    /// maintenance thread exits on it.
+    retired: AtomicBool,
     metrics: Arc<ServiceMetrics>,
 }
 
@@ -207,43 +436,87 @@ impl std::fmt::Debug for Replicator {
     }
 }
 
+/// What establishing a stream to a follower produced.
+enum Established {
+    /// Stream handshaked and fully caught up.
+    Live(TcpStream, u64),
+    /// Stream handshaked; the gap was replayed from the backlog but new
+    /// ships may have raced ahead (`sent`, `acked`, `pending` say where
+    /// the stream is).
+    Behind { stream: TcpStream, sent: u64, acked: u64, pending: u64 },
+    /// The follower is beyond the backlog: it was sent a bootstrap hint
+    /// and the stream was closed. Redial after the install window.
+    Hinted,
+}
+
 impl Replicator {
     /// Opens a stream to every follower and runs the handshake. Fails —
     /// without becoming primary — if any follower is unreachable or
-    /// fences the generation (its reply names a newer one).
+    /// fences the generation (its reply names a newer one). A reachable
+    /// follower that is behind is *not* an error: its gap is replayed from
+    /// `backlog`, or it is hinted to bootstrap and picked up by the
+    /// maintenance thread.
     pub fn connect(
         followers: &[String],
         generation: u64,
         policy: ReplAckPolicy,
+        advertise: String,
+        backlog: Arc<Mutex<Backlog>>,
         metrics: Arc<ServiceMetrics>,
     ) -> std::io::Result<Replicator> {
         let mut peers = Vec::with_capacity(followers.len());
-        for addr in followers {
-            let mut stream = TcpStream::connect(addr.as_str())?;
-            stream.set_nodelay(true).ok();
-            stream.set_read_timeout(Some(STREAM_TIMEOUT))?;
-            stream.set_write_timeout(Some(STREAM_TIMEOUT))?;
-            let mut handshake = [0u8; HANDSHAKE_BYTES];
-            handshake[..8].copy_from_slice(REPL_MAGIC);
-            handshake[8..].copy_from_slice(&generation.to_le_bytes());
-            stream.write_all(&handshake)?;
-            let mut reply = [0u8; HANDSHAKE_REPLY_BYTES];
-            stream.read_exact(&mut reply)?;
-            if reply[0] != 0 {
-                let theirs = u64::from_le_bytes(reply[1..9].try_into().expect("8-byte slice"));
-                return Err(std::io::Error::other(format!(
-                    "follower {addr} fenced generation {generation}: it has already \
-                     witnessed generation {theirs}"
-                )));
-            }
-            peers.push(Peer { stream: Some(stream), acked: 0 });
+        for (idx, addr) in followers.iter().enumerate() {
+            let established = establish(addr, generation, &advertise, &backlog, &metrics)?;
+            let peer = match established {
+                Established::Live(stream, seq) => Peer {
+                    addr: addr.clone(),
+                    stream: Some(stream),
+                    state: PeerState::Live,
+                    sent: seq,
+                    acked: seq,
+                    pending: 0,
+                    ack_buf: [0u8; 8],
+                    ack_filled: 0,
+                    redial_at: Instant::now(),
+                    attempts: 0,
+                },
+                Established::Behind { stream, sent, acked, pending } => Peer {
+                    addr: addr.clone(),
+                    stream: Some(stream),
+                    state: PeerState::CatchingUp,
+                    sent,
+                    acked,
+                    pending,
+                    ack_buf: [0u8; 8],
+                    ack_filled: 0,
+                    redial_at: Instant::now(),
+                    attempts: 0,
+                },
+                Established::Hinted => Peer {
+                    addr: addr.clone(),
+                    stream: None,
+                    state: PeerState::Down,
+                    sent: 0,
+                    acked: 0,
+                    pending: 0,
+                    ack_buf: [0u8; 8],
+                    ack_filled: 0,
+                    redial_at: Instant::now() + BOOTSTRAP_REDIAL,
+                    attempts: 0,
+                },
+            };
+            metrics.set_repl_peer_up(idx, peer.stream.is_some());
+            peers.push(peer);
         }
         metrics.set_repl_peers(peers.len());
         metrics.repl_lag_records.set(0);
         Ok(Replicator {
-            inner: Mutex::new(ReplInner { peers, shipped: 0 }),
+            inner: Mutex::new(ReplInner { peers }),
+            backlog,
             required: policy.required_acks(followers.len()),
             generation,
+            advertise,
+            retired: AtomicBool::new(false),
             metrics,
         })
     }
@@ -253,48 +526,80 @@ impl Replicator {
         self.generation
     }
 
-    /// Max records any peer is behind the shipped count (dead peers keep
-    /// falling behind; live peers are caught up after every ship).
-    pub fn lag(&self) -> u64 {
-        let inner = self.inner.lock();
-        inner.peers.iter().map(|p| inner.shipped.saturating_sub(p.acked)).max().unwrap_or(0)
+    /// Stops the maintenance thread; called when the node is demoted or
+    /// shuts down.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
     }
 
-    /// Ships one event to every live follower and waits for their acks.
-    /// `Err` when fewer than the policy's required acks landed — the
-    /// caller must then *not* acknowledge the write to its client (the
-    /// event is applied locally but unacked, exactly like a torn WAL
-    /// tail: present on this node, invisible to the contract).
+    /// Max records any *connected* peer is behind the backlog head. Down
+    /// peers are excluded: a dead peer's lag grows without bound and says
+    /// nothing about the health of the streams actually carrying writes
+    /// (it comes back as `cp_repl_peer_up == 0` instead).
+    pub fn lag(&self) -> u64 {
+        let inner = self.inner.lock();
+        let head = self.backlog.lock().head();
+        connected_lag(&inner, head)
+    }
+
+    /// Per-peer rows for `/healthz`.
+    pub fn peer_statuses(&self) -> Vec<PeerStatus> {
+        self.inner.lock().peers.iter().map(Peer::status).collect()
+    }
+
+    /// Ships one event to every live follower and waits up to
+    /// [`ACK_DEADLINE`] per peer for its ack. `Err` when fewer than the
+    /// policy's required acks landed — the caller must then *not*
+    /// acknowledge the write to its client (the event is applied locally
+    /// but unacked, exactly like a torn WAL tail: present on this node,
+    /// invisible to the contract). A peer that misses the deadline is
+    /// demoted to catching-up instead of holding the shard lock hostage.
     pub fn ship(&self, event: &VisitEvent) -> std::io::Result<()> {
-        let record = event.encode_record();
+        let record = Arc::new(event.encode_record());
         let started = Instant::now();
         let mut inner = self.inner.lock();
-        inner.shipped += 1;
-        let shipped = inner.shipped;
+        let head = self.backlog.lock().push(Arc::clone(&record));
         let mut acks = 0usize;
         for (idx, peer) in inner.peers.iter_mut().enumerate() {
-            let Some(stream) = peer.stream.as_mut() else { continue };
-            let acked = stream.write_all(&record).and_then(|()| {
-                let mut buf = [0u8; 8];
-                stream.read_exact(&mut buf)?;
-                Ok(u64::from_le_bytes(buf))
-            });
-            match acked {
-                Ok(count) => {
-                    peer.acked = count;
+            if peer.state != PeerState::Live {
+                continue;
+            }
+            let Some(stream) = peer.stream.as_mut() else {
+                down_peer(peer, idx, &self.metrics);
+                continue;
+            };
+            // A blocked send is bounded too: the socket buffer absorbs
+            // the frame or the peer is demoted via Down (a timed-out
+            // write leaves the frame torn mid-stream, so the stream
+            // cannot be kept).
+            stream.set_write_timeout(Some(ACK_DEADLINE)).ok();
+            if stream.write_all(&record).is_err() {
+                down_peer(peer, idx, &self.metrics);
+                continue;
+            }
+            peer.sent = head;
+            peer.pending += 1;
+            match harvest_acks(peer, Instant::now() + ACK_DEADLINE) {
+                Ok(true) => {
                     acks += 1;
                     self.metrics.record_repl_ship(idx);
                 }
-                Err(_) => {
-                    // Dead for this generation; promotion rebuilds streams.
-                    peer.stream = None;
+                Ok(false) => {
+                    // Silent but intact: the stream keeps its framing, so
+                    // the maintenance thread can keep feeding it and
+                    // reading late acks. It no longer gates client writes.
+                    peer.state = PeerState::CatchingUp;
+                    self.metrics.repl_slow_demotions_total.inc();
                 }
+                Err(_) => down_peer(peer, idx, &self.metrics),
             }
         }
-        let lag = inner.peers.iter().map(|p| shipped.saturating_sub(p.acked)).max().unwrap_or(0);
+        let lag = connected_lag(&inner, head);
         drop(inner);
-        self.metrics.repl_lag_records.set(lag as i64);
-        self.metrics.repl_ack_micros.observe(started.elapsed().as_micros() as u64);
+        self.metrics.repl_lag_records.set(lag.min(i64::MAX as u64) as i64);
+        let waited = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.metrics.repl_ack_micros.observe(waited);
+        self.metrics.repl_ack_stall_max_micros.set_max(waited.min(i64::MAX as u64) as i64);
         if acks < self.required {
             return Err(std::io::Error::other(format!(
                 "replication quorum lost: {acks} of {} required follower acks",
@@ -303,6 +608,448 @@ impl Replicator {
         }
         Ok(())
     }
+
+    /// One maintenance pass: redial down peers whose backoff expired and
+    /// drain the backlog to catching-up peers. Runs off the write path.
+    fn maintain(&self) {
+        let n = self.inner.lock().peers.len();
+        for idx in 0..n {
+            if self.retired.load(Ordering::Acquire) {
+                return;
+            }
+            self.maintain_peer(idx);
+        }
+        let inner = self.inner.lock();
+        let head = self.backlog.lock().head();
+        let lag = connected_lag(&inner, head);
+        drop(inner);
+        self.metrics.repl_lag_records.set(lag.min(i64::MAX as u64) as i64);
+    }
+
+    fn maintain_peer(&self, idx: usize) {
+        enum Job {
+            Redial(String),
+            Drain(DrainJob),
+        }
+        let job = {
+            let mut inner = self.inner.lock();
+            let peer = &mut inner.peers[idx];
+            match peer.state {
+                PeerState::Live => return,
+                PeerState::Down => {
+                    if Instant::now() < peer.redial_at {
+                        return;
+                    }
+                    Job::Redial(peer.addr.clone())
+                }
+                PeerState::CatchingUp => {
+                    // Take the stream: ship skips non-live peers and
+                    // redial skips non-down peers, so this thread owns it
+                    // until it is put back.
+                    let Some(stream) = peer.stream.take() else {
+                        down_peer(peer, idx, &self.metrics);
+                        return;
+                    };
+                    Job::Drain(DrainJob {
+                        stream,
+                        sent: peer.sent,
+                        acked: peer.acked,
+                        pending: peer.pending,
+                        ack_buf: peer.ack_buf,
+                        ack_filled: peer.ack_filled,
+                    })
+                }
+            }
+        };
+        match job {
+            Job::Redial(addr) => self.finish_redial(idx, &addr),
+            Job::Drain(job) => self.finish_drain(idx, job),
+        }
+    }
+
+    /// Redials a down peer (no locks held across the dial) and installs
+    /// the result.
+    fn finish_redial(&self, idx: usize, addr: &str) {
+        let established =
+            establish(addr, self.generation, &self.advertise, &self.backlog, &self.metrics);
+        let mut inner = self.inner.lock();
+        let peer = &mut inner.peers[idx];
+        if peer.state != PeerState::Down {
+            return;
+        }
+        match established {
+            Ok(Established::Live(stream, seq)) => {
+                peer.stream = Some(stream);
+                peer.sent = seq;
+                peer.acked = seq;
+                peer.pending = 0;
+                peer.ack_filled = 0;
+                peer.attempts = 0;
+                // Races with concurrent ships are settled under the lock:
+                // live only if nothing shipped since the replay finished.
+                let head = self.backlog.lock().head();
+                if seq >= head {
+                    peer.state = PeerState::Live;
+                    self.metrics.repl_resync_total.inc();
+                } else {
+                    peer.state = PeerState::CatchingUp;
+                }
+                self.metrics.set_repl_peer_up(idx, true);
+            }
+            Ok(Established::Behind { stream, sent, acked, pending }) => {
+                peer.stream = Some(stream);
+                peer.sent = sent;
+                peer.acked = acked;
+                peer.pending = pending;
+                peer.ack_filled = 0;
+                peer.attempts = 0;
+                peer.state = PeerState::CatchingUp;
+                self.metrics.set_repl_peer_up(idx, true);
+            }
+            Ok(Established::Hinted) => {
+                peer.redial_at = Instant::now() + BOOTSTRAP_REDIAL;
+                peer.attempts = 0;
+            }
+            Err(_) => {
+                peer.attempts = peer.attempts.saturating_add(1);
+                peer.redial_at =
+                    Instant::now() + redial_backoff(self.generation, idx, peer.attempts);
+            }
+        }
+    }
+
+    /// Feeds backlog records to a catching-up peer whose stream was taken
+    /// by [`maintain_peer`], then reinstalls the stream and, if the gap
+    /// closed, promotes the peer back to live under the lock.
+    fn finish_drain(&self, idx: usize, mut job: DrainJob) {
+        let outcome = job.drain(&self.backlog, &self.metrics);
+        let mut inner = self.inner.lock();
+        let peer = &mut inner.peers[idx];
+        peer.sent = job.sent;
+        peer.acked = job.acked;
+        peer.pending = job.pending;
+        peer.ack_buf = job.ack_buf;
+        peer.ack_filled = job.ack_filled;
+        match outcome {
+            DrainOutcome::Progress => {
+                peer.stream = Some(job.stream);
+                // Close the race window: finish a small remaining gap
+                // under the lock (ships are briefly blocked), so the
+                // promotion cannot miss records shipped mid-drain.
+                let remaining = {
+                    let backlog = self.backlog.lock();
+                    backlog.range(peer.sent, FINAL_CHUNK + 1)
+                };
+                let head = self.backlog.lock().head();
+                if peer.sent + (remaining.len() as u64) >= head && remaining.len() <= FINAL_CHUNK {
+                    let mut ok = true;
+                    {
+                        let Peer { stream, sent, pending, .. } = &mut *peer;
+                        let stream = stream.as_mut().expect("installed above");
+                        stream.set_write_timeout(Some(ACK_DEADLINE)).ok();
+                        for (seq, record) in &remaining {
+                            if stream.write_all(record).is_err() {
+                                ok = false;
+                                break;
+                            }
+                            *sent = *seq;
+                            *pending += 1;
+                            self.metrics.repl_resync_records_total.inc();
+                        }
+                    }
+                    if !ok {
+                        down_peer(peer, idx, &self.metrics);
+                        return;
+                    }
+                    match harvest_acks(peer, Instant::now() + ACK_DEADLINE) {
+                        Ok(true) if peer.sent >= head => {
+                            peer.state = PeerState::Live;
+                            self.metrics.repl_resync_total.inc();
+                        }
+                        Ok(_) => {}
+                        Err(_) => down_peer(peer, idx, &self.metrics),
+                    }
+                }
+            }
+            DrainOutcome::Overrun => {
+                // The ring no longer covers the peer's position (it was
+                // trimmed while the peer lagged): hint a bootstrap and
+                // drop to down; the redial probes the install.
+                let _ = send_bootstrap_hint(&mut job.stream, &self.advertise);
+                self.metrics.repl_bootstrap_hints_total.inc();
+                down_peer(peer, idx, &self.metrics);
+                peer.redial_at = Instant::now() + BOOTSTRAP_REDIAL;
+            }
+            DrainOutcome::Dead => down_peer(peer, idx, &self.metrics),
+        }
+    }
+}
+
+/// Worst lag among *connected* peers against backlog head `head`. Down
+/// peers are excluded — their staleness is visible via `cp_repl_peer_up`
+/// instead of pinning the lag gauge forever.
+fn connected_lag(inner: &ReplInner, head: u64) -> u64 {
+    inner
+        .peers
+        .iter()
+        .filter(|p| p.state != PeerState::Down)
+        .map(|p| head.saturating_sub(p.acked))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Marks a peer down and schedules its redial.
+fn down_peer(peer: &mut Peer, idx: usize, metrics: &ServiceMetrics) {
+    peer.stream = None;
+    peer.state = PeerState::Down;
+    peer.pending = 0;
+    peer.ack_filled = 0;
+    peer.attempts = peer.attempts.saturating_add(1);
+    peer.redial_at = Instant::now() + redial_backoff(0, idx, peer.attempts);
+    metrics.set_repl_peer_up(idx, false);
+}
+
+/// Seeded jittered backoff: doubling base capped at [`REDIAL_MAX`], plus
+/// up to 50 ms of deterministic jitter so a fleet of primaries redialing
+/// one recovered follower does not thundering-herd it.
+fn redial_backoff(generation: u64, idx: usize, attempts: u32) -> Duration {
+    let base = REDIAL_BASE.saturating_mul(1u32 << attempts.min(4)).min(REDIAL_MAX);
+    let mut x = generation
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(idx as u64)
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        .wrapping_add(u64::from(attempts));
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    base + Duration::from_millis(x % 50)
+}
+
+/// Runs the peer-maintenance loop until the replicator is retired: redials
+/// down peers with jittered backoff and drains the backlog to catching-up
+/// peers, all off the client write path.
+pub fn run_maintenance(replicator: Arc<Replicator>) {
+    while !replicator.retired.load(Ordering::Acquire) {
+        std::thread::sleep(MAINT_TICK);
+        replicator.maintain();
+    }
+}
+
+/// A catching-up peer's stream plus drain cursor, owned by the
+/// maintenance thread while the replicator lock is released.
+struct DrainJob {
+    stream: TcpStream,
+    sent: u64,
+    acked: u64,
+    pending: u64,
+    ack_buf: [u8; 8],
+    ack_filled: usize,
+}
+
+enum DrainOutcome {
+    /// Sent what the backlog had (possibly nothing); stream healthy.
+    Progress,
+    /// The backlog no longer covers the peer's position.
+    Overrun,
+    /// The stream errored.
+    Dead,
+}
+
+impl DrainJob {
+    fn drain(&mut self, backlog: &Mutex<Backlog>, metrics: &ServiceMetrics) -> DrainOutcome {
+        self.stream.set_write_timeout(Some(STREAM_TIMEOUT)).ok();
+        loop {
+            // Keep the in-flight window bounded so acks are read roughly
+            // as fast as records are written.
+            if self.pending > DRAIN_CHUNK as u64 {
+                match harvest_acks_raw(
+                    &mut self.stream,
+                    &mut self.ack_buf,
+                    &mut self.ack_filled,
+                    &mut self.pending,
+                    &mut self.acked,
+                    Instant::now() + STREAM_TIMEOUT,
+                ) {
+                    Ok(true) => {}
+                    Ok(false) => return DrainOutcome::Progress,
+                    Err(_) => return DrainOutcome::Dead,
+                }
+            }
+            let chunk = {
+                let backlog = backlog.lock();
+                if !backlog.covers(self.sent) {
+                    return DrainOutcome::Overrun;
+                }
+                backlog.range(self.sent, DRAIN_CHUNK)
+            };
+            if chunk.is_empty() {
+                // Nothing left to send; settle outstanding acks.
+                let deadline = Instant::now() + ACK_DEADLINE;
+                return match harvest_acks_raw(
+                    &mut self.stream,
+                    &mut self.ack_buf,
+                    &mut self.ack_filled,
+                    &mut self.pending,
+                    &mut self.acked,
+                    deadline,
+                ) {
+                    Ok(_) => DrainOutcome::Progress,
+                    Err(_) => DrainOutcome::Dead,
+                };
+            }
+            for (seq, record) in &chunk {
+                if self.stream.write_all(record).is_err() {
+                    return DrainOutcome::Dead;
+                }
+                self.sent = *seq;
+                self.pending += 1;
+                metrics.repl_resync_records_total.inc();
+            }
+        }
+    }
+}
+
+/// Reads cumulative acks until none are outstanding or `deadline` passes.
+/// `Ok(true)` means fully settled; `Ok(false)` is a timeout (stream
+/// intact, acks still owed); `Err` is a dead stream.
+fn harvest_acks(peer: &mut Peer, deadline: Instant) -> std::io::Result<bool> {
+    let Peer { stream, ack_buf, ack_filled, pending, acked, .. } = peer;
+    let stream = stream.as_mut().expect("caller checked the stream");
+    harvest_acks_raw(stream, ack_buf, ack_filled, pending, acked, deadline)
+}
+
+fn harvest_acks_raw(
+    stream: &mut TcpStream,
+    ack_buf: &mut [u8; 8],
+    ack_filled: &mut usize,
+    pending: &mut u64,
+    acked: &mut u64,
+    deadline: Instant,
+) -> std::io::Result<bool> {
+    while *pending > 0 {
+        let Some(remaining) =
+            deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+        else {
+            return Ok(false);
+        };
+        stream.set_read_timeout(Some(remaining))?;
+        match stream.read(&mut ack_buf[*ack_filled..]) {
+            Ok(0) => return Err(std::io::Error::other("replication stream closed")),
+            Ok(n) => {
+                *ack_filled += n;
+                if *ack_filled == 8 {
+                    *acked = (*acked).max(u64::from_le_bytes(*ack_buf));
+                    *ack_filled = 0;
+                    *pending -= 1;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Dials `addr`, handshakes `generation`, and brings the follower as far
+/// forward as the backlog allows. `Err` only for unreachable or fenced
+/// followers — a follower that is merely behind becomes `Behind` (stream
+/// kept, drain continues off-path) or `Hinted` (sent a snapshot-bootstrap
+/// control frame and closed).
+fn establish(
+    addr: &str,
+    generation: u64,
+    advertise: &str,
+    backlog: &Mutex<Backlog>,
+    metrics: &ServiceMetrics,
+) -> std::io::Result<Established> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(STREAM_TIMEOUT))?;
+    stream.set_write_timeout(Some(STREAM_TIMEOUT))?;
+    let mut handshake = [0u8; HANDSHAKE_BYTES];
+    handshake[..8].copy_from_slice(REPL_MAGIC);
+    handshake[8..].copy_from_slice(&generation.to_le_bytes());
+    stream.write_all(&handshake)?;
+    let mut reply = [0u8; HANDSHAKE_REPLY_BYTES];
+    stream.read_exact(&mut reply)?;
+    if reply[0] != 0 {
+        let theirs = u64::from_le_bytes(reply[1..9].try_into().expect("8-byte slice"));
+        return Err(std::io::Error::other(format!(
+            "follower {addr} fenced generation {generation}: it has already \
+             witnessed generation {theirs}"
+        )));
+    }
+    let follower_seq = u64::from_le_bytes(reply[9..17].try_into().expect("8-byte slice"));
+    {
+        let backlog = backlog.lock();
+        if follower_seq >= backlog.head() {
+            // Caught up — or ahead, which the rejoin path produces
+            // legitimately: a demoted primary may hold events it applied
+            // locally but never got acked. Those are torn-tail state, not
+            // a divergence; the stream simply continues from here.
+            return Ok(Established::Live(stream, follower_seq));
+        }
+        if !backlog.covers(follower_seq) {
+            drop(backlog);
+            send_bootstrap_hint(&mut stream, advertise)?;
+            metrics.repl_bootstrap_hints_total.inc();
+            return Ok(Established::Hinted);
+        }
+    }
+    // Replay the gap from the ring. The backlog lock is only held to copy
+    // chunk references — never across stream I/O.
+    let mut job = DrainJob {
+        stream,
+        sent: follower_seq,
+        acked: follower_seq,
+        pending: 0,
+        ack_buf: [0u8; 8],
+        ack_filled: 0,
+    };
+    match job.drain(backlog, metrics) {
+        DrainOutcome::Progress => {
+            if job.pending == 0 && job.sent >= backlog.lock().head() {
+                Ok(Established::Live(job.stream, job.acked))
+            } else {
+                Ok(Established::Behind {
+                    stream: job.stream,
+                    sent: job.sent,
+                    acked: job.acked,
+                    pending: job.pending,
+                })
+            }
+        }
+        DrainOutcome::Overrun => {
+            send_bootstrap_hint(&mut job.stream, advertise)?;
+            metrics.repl_bootstrap_hints_total.inc();
+            Ok(Established::Hinted)
+        }
+        DrainOutcome::Dead => Err(std::io::Error::other(format!(
+            "follower {addr} dropped the stream during backlog replay"
+        ))),
+    }
+}
+
+/// Frames and sends one bootstrap control frame naming this primary's
+/// HTTP address.
+fn send_bootstrap_hint(stream: &mut TcpStream, advertise: &str) -> std::io::Result<()> {
+    let mut payload = Vec::with_capacity(1 + advertise.len());
+    payload.push(CONTROL_BOOTSTRAP);
+    payload.extend_from_slice(advertise.as_bytes());
+    let len_le = (payload.len() as u32 | CONTROL_BIT).to_le_bytes();
+    let sum = frame_checksum(&len_le, &payload);
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&len_le);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame)
 }
 
 /// Reads exactly `buf.len()` bytes, riding out socket timeouts so an idle
@@ -330,22 +1077,50 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutting_down: &AtomicBool)
     true
 }
 
+/// Fetches a full snapshot from `addr`'s `/v1/repl/snapshot` and installs
+/// it, re-anchoring this node at the primary's applied sequence. Caller
+/// holds the cluster apply gate.
+fn bootstrap_from(addr: &str, store: &ShardedStore) -> std::io::Result<u64> {
+    let (host, port) = addr
+        .rsplit_once(':')
+        .ok_or_else(|| std::io::Error::other(format!("malformed bootstrap address {addr}")))?;
+    let port: u16 = port
+        .parse()
+        .map_err(|_| std::io::Error::other(format!("malformed bootstrap port in {addr}")))?;
+    let mut client = crate::loadgen::Client::with_policy(host, port, 2, Duration::from_millis(25));
+    let response = client
+        .request("GET", "/v1/repl/snapshot", &[])
+        .map_err(|e| std::io::Error::other(format!("snapshot fetch from {addr} failed: {e:?}")))?;
+    if response.status != 200 {
+        return Err(std::io::Error::other(format!(
+            "snapshot fetch from {addr} failed: status {}",
+            response.status
+        )));
+    }
+    store.install_bootstrap(&response.body)
+}
+
 /// Serves one inbound replication stream on the follower side: validate
 /// the handshake (fencing stale generations), then apply each framed
 /// record through the same [`SiteEntry::apply`](crate::store::SiteEntry)
-/// path recovery uses and ack it with the cumulative applied count.
+/// path recovery uses and ack it with this node's absolute applied
+/// sequence — the number the primary's resync arithmetic is anchored on.
 ///
 /// Accepting a handshake adopts its generation: the node becomes (or
 /// stays) a follower of that primary and drops any replicator it held —
 /// a primary receiving a newer generation's stream has been superseded
 /// and steps down. If a newer generation arrives mid-stream (on another
 /// connection), this stream stops acking and closes: a record from a
-/// dead generation is never applied after the succession.
+/// dead generation is never applied after the succession. Adoption and
+/// application are serialized under the cluster's apply gate with a
+/// stream epoch, so a superseded stream can never apply a record after a
+/// newer stream's handshake reply reported the node's position.
 pub fn serve_follower_stream(
     mut stream: TcpStream,
     store: &ShardedStore,
     cluster: &ClusterState,
     shutting_down: &AtomicBool,
+    metrics: &ServiceMetrics,
 ) {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(STREAM_TIMEOUT)).ok();
@@ -355,30 +1130,36 @@ pub fn serve_follower_stream(
         return;
     }
     let generation = u64::from_le_bytes(handshake[8..].try_into().expect("8-byte slice"));
-    let current = cluster.generation();
-    // Strictly older generations are fenced; an equal generation is fenced
-    // too when this node is that generation's primary (two primaries of
-    // one generation would be split brain).
-    let stale = generation < current || (generation == current && cluster.role() == Role::Primary);
-    let mut reply = [0u8; HANDSHAKE_REPLY_BYTES];
-    reply[0] = u8::from(stale);
-    reply[1..9].copy_from_slice(&current.to_le_bytes());
-    reply[9..17].copy_from_slice(&store.applied_seq().to_le_bytes());
-    if stream.write_all(&reply).is_err() || stale {
-        return;
-    }
-    cluster.witness_generation(generation);
-    cluster.set_role(Role::Follower);
-    store.set_replicator(None);
-    let mut applied_on_conn = 0u64;
+    let my_epoch = {
+        let _gate = cluster.apply_gate.lock();
+        let current = cluster.generation();
+        // Strictly older generations are fenced; an equal generation is
+        // fenced too when this node is that generation's primary (two
+        // primaries of one generation would be split brain).
+        let stale =
+            generation < current || (generation == current && cluster.role() == Role::Primary);
+        let mut reply = [0u8; HANDSHAKE_REPLY_BYTES];
+        reply[0] = u8::from(stale);
+        reply[1..9].copy_from_slice(&current.to_le_bytes());
+        reply[9..17].copy_from_slice(&store.applied_seq().to_le_bytes());
+        if stream.write_all(&reply).is_err() || stale {
+            return;
+        }
+        cluster.witness_generation(generation);
+        cluster.set_role(Role::Follower);
+        store.set_replicator(None);
+        cluster.stream_epoch.fetch_add(1, Ordering::AcqRel) + 1
+    };
     loop {
         let mut header = [0u8; HEADER_BYTES];
         if !read_full(&mut stream, &mut header, shutting_down) {
             return;
         }
         let len_le: [u8; 4] = header[..4].try_into().expect("4-byte slice");
-        let len = u32::from_le_bytes(len_le);
-        if len == 0 || len > MAX_RECORD_BYTES {
+        let raw_len = u32::from_le_bytes(len_le);
+        let control = raw_len & CONTROL_BIT != 0;
+        let len = raw_len & !CONTROL_BIT;
+        if len == 0 || len > MAX_RECORD_BYTES || (control && len > MAX_CONTROL_BYTES) {
             return;
         }
         let sum = u64::from_le_bytes(header[4..].try_into().expect("8-byte slice"));
@@ -389,20 +1170,58 @@ pub fn serve_follower_stream(
         if frame_checksum(&len_le, &payload) != sum {
             return;
         }
+        if control {
+            handle_control(&payload, store, cluster, generation, my_epoch, metrics);
+            return;
+        }
         let Some(event) = VisitEvent::decode_payload(&payload) else { return };
-        // Fence mid-stream: a newer primary may have adopted this node
-        // since the handshake. Never apply (or ack) a dead generation's
-        // record after the succession.
-        if cluster.generation() != generation || cluster.role() != Role::Follower {
+        {
+            let _gate = cluster.apply_gate.lock();
+            // Fence mid-stream: a newer primary may have adopted this
+            // node since the handshake. Never apply (or ack) a dead
+            // generation's record after the succession.
+            if cluster.stream_epoch.load(Ordering::Acquire) != my_epoch
+                || cluster.generation() != generation
+                || cluster.role() != Role::Follower
+            {
+                return;
+            }
+            if store.apply_replicated(&event).is_err() {
+                return;
+            }
+        }
+        if stream.write_all(&store.applied_seq().to_le_bytes()).is_err() {
             return;
         }
-        if store.apply_replicated(&event).is_err() {
-            return;
-        }
-        applied_on_conn += 1;
-        if stream.write_all(&applied_on_conn.to_le_bytes()).is_err() {
-            return;
-        }
+    }
+}
+
+/// Dispatches one control frame. Today there is exactly one kind: the
+/// snapshot-bootstrap hint. The whole install runs under the apply gate,
+/// so a concurrent new stream's handshake blocks until the node's
+/// position is post-install — its reply can never advertise a stale
+/// sequence the primary would then double-ship against.
+fn handle_control(
+    payload: &[u8],
+    store: &ShardedStore,
+    cluster: &ClusterState,
+    generation: u64,
+    my_epoch: u64,
+    metrics: &ServiceMetrics,
+) {
+    if payload.first() != Some(&CONTROL_BOOTSTRAP) {
+        return;
+    }
+    let Ok(addr) = std::str::from_utf8(&payload[1..]) else { return };
+    let _gate = cluster.apply_gate.lock();
+    if cluster.stream_epoch.load(Ordering::Acquire) != my_epoch
+        || cluster.generation() != generation
+        || cluster.role() != Role::Follower
+    {
+        return;
+    }
+    if bootstrap_from(addr, store).is_ok() {
+        metrics.repl_bootstrap_total.inc();
     }
 }
 
@@ -445,5 +1264,86 @@ mod tests {
         cluster.set_role(Role::Primary);
         assert_eq!(cluster.role(), Role::Primary);
         assert_eq!(cluster.role().label(), "primary");
+    }
+
+    fn rec(i: u64) -> Arc<Vec<u8>> {
+        Arc::new(vec![i as u8; 4])
+    }
+
+    #[test]
+    fn backlog_ring_retains_a_bounded_suffix() {
+        let mut backlog = Backlog::new(4);
+        assert_eq!(backlog.head(), 0);
+        assert!(backlog.covers(0), "empty ring covers its own head");
+        for i in 1..=10u64 {
+            assert_eq!(backlog.push(rec(i)), i);
+        }
+        assert_eq!(backlog.head(), 10);
+        // Capacity 4 retains (6, 10].
+        assert!(backlog.covers(6));
+        assert!(!backlog.covers(5));
+        let all: Vec<u64> = backlog.range(6, 100).iter().map(|(s, _)| *s).collect();
+        assert_eq!(all, vec![7, 8, 9, 10]);
+        let chunk: Vec<u64> = backlog.range(7, 2).iter().map(|(s, _)| *s).collect();
+        assert_eq!(chunk, vec![8, 9]);
+        assert!(backlog.range(10, 8).is_empty(), "caught up → nothing to replay");
+        // Payloads ride along with their sequence numbers.
+        let (seq, record) = backlog.range(9, 1).pop().unwrap();
+        assert_eq!(seq, 10);
+        assert_eq!(*record, vec![10u8; 4]);
+    }
+
+    #[test]
+    fn backlog_advance_gives_up_replay_but_keeps_the_sequence() {
+        let mut backlog = Backlog::new(8);
+        backlog.push(rec(1));
+        backlog.push(rec(2));
+        assert_eq!(backlog.advance(), 3, "standalone writes keep the lineage counter");
+        assert!(backlog.covers(3), "head itself is always covered");
+        assert!(!backlog.covers(2), "the gap poisons replay");
+        assert!(backlog.range(0, 10).is_empty());
+        backlog.reset_to(42);
+        assert_eq!(backlog.head(), 42);
+        assert!(backlog.covers(42));
+        assert!(!backlog.covers(41));
+    }
+
+    #[test]
+    fn backlog_capacity_shrink_trims_oldest() {
+        let mut backlog = Backlog::new(8);
+        for i in 1..=8u64 {
+            backlog.push(rec(i));
+        }
+        backlog.set_capacity(2);
+        assert!(backlog.covers(6));
+        assert!(!backlog.covers(5));
+        assert_eq!(backlog.range(6, 10).len(), 2);
+    }
+
+    #[test]
+    fn redial_backoff_is_bounded_and_deterministic() {
+        for attempts in 0..12 {
+            let d = redial_backoff(3, 1, attempts);
+            assert!(d >= REDIAL_BASE, "{attempts} attempts → {d:?}");
+            assert!(d <= REDIAL_MAX + Duration::from_millis(50), "{attempts} attempts → {d:?}");
+        }
+        assert_eq!(redial_backoff(7, 2, 3), redial_backoff(7, 2, 3), "seeded jitter is stable");
+    }
+
+    #[test]
+    fn control_frames_use_the_high_length_bit() {
+        const { assert!(MAX_RECORD_BYTES < CONTROL_BIT, "record lengths can never look like control") };
+        let payload = [CONTROL_BOOTSTRAP, b'x'];
+        let len_le = (payload.len() as u32 | CONTROL_BIT).to_le_bytes();
+        let raw = u32::from_le_bytes(len_le);
+        assert_ne!(raw & CONTROL_BIT, 0);
+        assert_eq!(raw & !CONTROL_BIT, 2);
+    }
+
+    #[test]
+    fn peer_state_labels() {
+        assert_eq!(PeerState::Live.label(), "live");
+        assert_eq!(PeerState::CatchingUp.label(), "catching-up");
+        assert_eq!(PeerState::Down.label(), "down");
     }
 }

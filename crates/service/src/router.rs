@@ -130,6 +130,12 @@ struct BackendState {
     /// `replication_applied_seq` from the last good heartbeat — the
     /// promotion tiebreaker.
     applied_seq: AtomicU64,
+    /// `replication_resyncs` from the last good heartbeat — completed
+    /// follower resyncs this backend has performed as primary.
+    resyncs: AtomicU64,
+    /// `replication_ack_stall_max_micros` from the last good heartbeat —
+    /// the worst single-ship stall this backend has seen.
+    ack_stall_micros: AtomicU64,
 }
 
 struct RouterShared {
@@ -345,6 +351,29 @@ fn ring_route(
     fallback
 }
 
+/// The first alive backend clockwise from the key's hash that is NOT
+/// `skip` — the one-hop read-failover target when `skip` just failed a
+/// proxied read. `None` when no other backend is alive.
+fn ring_next(
+    ring: &[(u64, usize)],
+    states: &[BackendState],
+    key: &[u8],
+    skip: usize,
+) -> Option<usize> {
+    if ring.is_empty() {
+        return None;
+    }
+    let hash = ring_hash(key);
+    let start = ring.partition_point(|(point, _)| *point < hash) % ring.len();
+    for step in 0..ring.len() {
+        let (_, idx) = ring[(start + step) % ring.len()];
+        if idx != skip && states[idx].alive.load(Ordering::Acquire) {
+            return Some(idx);
+        }
+    }
+    None
+}
+
 /// Polls every backend's `/healthz`, tallies misses, and promotes when the
 /// primary goes dark.
 fn heartbeat_loop(shared: &Arc<RouterShared>, interval: Duration, threshold: u64) {
@@ -364,6 +393,15 @@ fn heartbeat_loop(shared: &Arc<RouterShared>, interval: Duration, threshold: u64
                 }
             }
         }
+        // Roll the per-backend resync observations up into the router's
+        // own exposition: total resyncs across the cluster, worst stall.
+        let resyncs: u64 = shared.states.iter().map(|s| s.resyncs.load(Ordering::Acquire)).sum();
+        let stall = shared.states.iter().map(|s| s.ack_stall_micros.load(Ordering::Acquire)).max();
+        shared.metrics.route_resyncs_observed.set(resyncs.min(i64::MAX as u64) as i64);
+        shared
+            .metrics
+            .route_max_ack_stall_micros
+            .set_max(stall.unwrap_or(0).min(i64::MAX as u64) as i64);
         let primary = shared.primary.load(Ordering::Acquire);
         if !shared.alive(primary) {
             try_promote(shared, &mut clients);
@@ -390,6 +428,12 @@ fn probe_backend(
     let Ok(health) = Json::parse(&resp.body_string()) else { return false };
     if let Some(seq) = health.get("replication_applied_seq").and_then(Json::as_f64) {
         shared.states[idx].applied_seq.store(seq as u64, Ordering::Release);
+    }
+    if let Some(resyncs) = health.get("replication_resyncs").and_then(Json::as_f64) {
+        shared.states[idx].resyncs.store(resyncs as u64, Ordering::Release);
+    }
+    if let Some(stall) = health.get("replication_ack_stall_max_micros").and_then(Json::as_f64) {
+        shared.states[idx].ack_stall_micros.store(stall.max(0.0) as u64, Ordering::Release);
     }
     if let Some(generation) = health.get("generation").and_then(Json::as_f64) {
         shared.generation.fetch_max(generation as u64, Ordering::AcqRel);
@@ -578,6 +622,9 @@ fn route(
                 .set("last_failover_blackout_ms", shared.last_blackout_ms.load(Ordering::Acquire))
                 .set("last_promotion_seq", shared.last_promotion_seq.load(Ordering::Acquire))
                 .set("replication_lag_records", follower_lag(shared, primary))
+                .set("resyncs_observed", shared.metrics.route_resyncs_observed.get())
+                .set("max_ack_stall_micros", shared.metrics.route_max_ack_stall_micros.get())
+                .set("read_failovers", shared.metrics.route_read_failover_total.get())
                 .to_compact();
             (Endpoint::Healthz, 200, "application/json".to_string(), body.into_bytes())
         }
@@ -592,12 +639,10 @@ fn route(
         }
         ("GET", t) if t.starts_with("/v1/sites/") => {
             let host = &t["/v1/sites/".len()..];
-            let idx = ring_route(&shared.ring, &shared.states, host.as_bytes(), primary);
-            proxy(shared, clients, idx, Endpoint::Sites, request)
+            ring_read(shared, clients, host.as_bytes(), Endpoint::Sites, request, primary)
         }
         ("POST", "/v1/classify") => {
-            let idx = ring_route(&shared.ring, &shared.states, &request.body, primary);
-            proxy(shared, clients, idx, Endpoint::Classify, request)
+            ring_read(shared, clients, &request.body, Endpoint::Classify, request, primary)
         }
         _ => {
             let endpoint = match (method, target) {
@@ -637,6 +682,33 @@ fn follower_lag(shared: &RouterShared, primary: usize) -> u64 {
         .unwrap_or(0)
 }
 
+/// A ring-routed read with one-hop failover: the first pick can die
+/// between heartbeats (the loop needs `miss_threshold` ticks to notice),
+/// so a transport failure retries ONCE on the next alive distinct backend
+/// instead of bouncing a 503 to the client. Reads only — replicated state
+/// and stateless classify are safe to serve from any backend — and one
+/// hop only, so a sick cluster degrades to errors, not a retry storm.
+fn ring_read(
+    shared: &RouterShared,
+    clients: &mut HashMap<usize, Client>,
+    key: &[u8],
+    endpoint: Endpoint,
+    request: &HttpRequest,
+    primary: usize,
+) -> (Endpoint, u16, String, Vec<u8>) {
+    let idx = ring_route(&shared.ring, &shared.states, key, primary);
+    match try_proxy(shared, clients, idx, endpoint, request) {
+        Ok(routed) => routed,
+        Err(()) => match ring_next(&shared.ring, &shared.states, key, idx) {
+            Some(next) => {
+                shared.metrics.route_read_failover_total.inc();
+                proxy(shared, clients, next, endpoint, request)
+            }
+            None => unavailable(endpoint),
+        },
+    }
+}
+
 /// Forwards the request to backend `idx` and relays the response. Any
 /// transport failure drops the cached client and answers `503` — the
 /// heartbeat loop, not the proxy path, decides who is dead.
@@ -647,8 +719,21 @@ fn proxy(
     endpoint: Endpoint,
     request: &HttpRequest,
 ) -> (Endpoint, u16, String, Vec<u8>) {
+    try_proxy(shared, clients, idx, endpoint, request).unwrap_or_else(|()| unavailable(endpoint))
+}
+
+/// `Err(())` is a transport failure (connect/read/write) — the backend
+/// never produced an HTTP response. Backend-sent errors come back as
+/// `Ok` with their real status.
+fn try_proxy(
+    shared: &RouterShared,
+    clients: &mut HashMap<usize, Client>,
+    idx: usize,
+    endpoint: Endpoint,
+    request: &HttpRequest,
+) -> Result<(Endpoint, u16, String, Vec<u8>), ()> {
     let Some((host, port)) = shared.backends[idx].http_parts() else {
-        return unavailable(endpoint);
+        return Err(());
     };
     let client = clients
         .entry(idx)
@@ -657,11 +742,11 @@ fn proxy(
         Ok(resp) => {
             let content_type =
                 resp.headers.get("content-type").unwrap_or("application/json").to_string();
-            (endpoint, resp.status, content_type, resp.body)
+            Ok((endpoint, resp.status, content_type, resp.body))
         }
         Err(_) => {
             clients.remove(&idx);
-            unavailable(endpoint)
+            Err(())
         }
     }
 }

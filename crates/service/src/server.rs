@@ -32,7 +32,9 @@ use cp_runtime::sync::Mutex;
 use crate::cache::AnalysisCache;
 use crate::http::{write_response, HttpConn, HttpError, HttpRequest, Limits};
 use crate::metrics::{Endpoint, ServiceMetrics};
-use crate::replication::{self, ClusterState, ReplAckPolicy, Replicator, Role};
+use crate::replication::{
+    self, ClusterState, ReplAckPolicy, Replicator, Role, DEFAULT_BACKLOG_CAP,
+};
 use crate::storage::StorageFaults;
 use crate::store::{DurabilityConfig, RecoveryStats, ShardedStore, DEFAULT_SNAPSHOT_EVERY};
 use crate::wal::FsyncPolicy;
@@ -111,6 +113,10 @@ pub struct ServeConfig {
     /// A follower that has witnessed a newer generation fences the
     /// handshake and startup fails — the stale-primary rejoin gate.
     pub repl_generation: u64,
+    /// Records the resync backlog ring retains. A reconnecting follower
+    /// within this window replays from memory; one beyond it bootstraps
+    /// from a snapshot.
+    pub repl_backlog: usize,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +147,7 @@ impl Default for ServeConfig {
             repl_ack: ReplAckPolicy::default(),
             repl_followers: Vec::new(),
             repl_generation: 1,
+            repl_backlog: DEFAULT_BACKLOG_CAP,
         }
     }
 }
@@ -192,9 +199,20 @@ impl Shared {
                  generation {current}"
             )));
         }
-        let replicator =
-            Replicator::connect(followers, generation, self.repl_ack, Arc::clone(&self.metrics))?;
-        self.store.set_replicator(Some(Arc::new(replicator)));
+        let replicator = Arc::new(Replicator::connect(
+            followers,
+            generation,
+            self.repl_ack,
+            self.addr.to_string(),
+            self.store.backlog_handle(),
+            Arc::clone(&self.metrics),
+        )?);
+        // The maintenance thread redials down peers and drains the backlog
+        // to catching-up ones, off the write path. It exits when the
+        // replicator is retired (role change or shutdown).
+        let maintained = Arc::clone(&replicator);
+        std::thread::spawn(move || replication::run_maintenance(maintained));
+        self.store.set_replicator(Some(replicator));
         self.cluster.witness_generation(generation);
         self.cluster.set_role(Role::Primary);
         Ok(())
@@ -221,6 +239,7 @@ fn repl_accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                 &shared.store,
                 &shared.cluster,
                 &shared.shutting_down,
+                &shared.metrics,
             );
         });
     }
@@ -276,7 +295,10 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        // All workers are gone: no more mutations, safe to checkpoint.
+        // All workers are gone: no more mutations. Retire the replicator
+        // first (its maintenance thread exits) so nothing redials peers
+        // while the process winds down, then checkpoint.
+        self.shared.store.set_replicator(None);
         if !self.shared.checkpointed.swap(true, Ordering::SeqCst) {
             if let Err(e) = self.shared.store.checkpoint() {
                 eprintln!("cp-serve: final checkpoint failed: {e}");
@@ -323,6 +345,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
     )?;
     metrics.recovery_records_replayed.set(recovery.records_replayed.min(i64::MAX as u64) as i64);
     metrics.recovery_torn_tail_bytes.set(recovery.torn_tail_bytes.min(i64::MAX as u64) as i64);
+    store.set_backlog_capacity(config.repl_backlog.max(1));
     let repl_listener = match config.repl_port {
         Some(port) => Some(TcpListener::bind((config.host.as_str(), port))?),
         None => None,
@@ -547,7 +570,26 @@ pub(crate) fn route(shared: &Shared, request: &HttpRequest) -> Routed {
                 .set("generation", shared.cluster.generation())
                 .set("replication_lag_records", shared.store.replication_lag())
                 .set("replication_applied_seq", shared.store.applied_seq())
+                .set("replication_resyncs", shared.metrics.repl_resync_total.get())
+                .set(
+                    "replication_ack_stall_max_micros",
+                    shared.metrics.repl_ack_stall_max_micros.get(),
+                )
                 .set("durable", shared.store.is_durable());
+            let peers = shared.store.replication_peers();
+            if !peers.is_empty() {
+                let rows: Vec<Json> = peers
+                    .iter()
+                    .map(|p| {
+                        Json::object()
+                            .set("addr", p.addr.as_str())
+                            .set("state", p.state.label())
+                            .set("connected", p.connected)
+                            .set("acked_seq", p.acked_seq)
+                    })
+                    .collect();
+                body = body.set("replication_peers", Json::Array(rows));
+            }
             if shared.store.is_durable() {
                 let r = shared.recovery;
                 body = body.set(
@@ -578,6 +620,13 @@ pub(crate) fn route(shared: &Shared, request: &HttpRequest) -> Routed {
         ("POST", "/v1/visit") => visit(shared, &request.body),
         ("POST", "/v1/expire") => expire(shared, &request.body),
         ("POST", "/v1/repl/lead") => repl_lead(shared, &request.body),
+        ("GET", "/v1/repl/snapshot") => {
+            // The resync-ladder's last rung: a follower too far behind the
+            // backlog downloads a consistent full-state snapshot (exact
+            // on-disk `CPSNAP01` format) and installs it atomically.
+            let body = shared.store.encode_bootstrap(shared.cluster.generation());
+            (Endpoint::Repl, 200, "OK", "application/octet-stream", body)
+        }
         ("GET", t) if t == "/v1/sites" || t.starts_with("/v1/sites?") => {
             sites_list(shared, t.strip_prefix("/v1/sites").and_then(|q| q.strip_prefix('?')))
         }

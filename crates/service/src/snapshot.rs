@@ -51,6 +51,26 @@ pub struct SnapshotContents {
     pub wal_covered: u64,
 }
 
+/// Encodes entries as a snapshot blob — also the wire format of
+/// `GET /v1/repl/snapshot` (the bootstrap transfer reuses the exact
+/// on-disk image: magic, generation, covered count, sorted entries,
+/// trailing checksum).
+pub(crate) fn encode_snapshot_bytes(
+    entries: &HashMap<String, SiteEntry>,
+    wal_generation: u64,
+    wal_covered: u64,
+) -> Vec<u8> {
+    encode(entries, wal_generation, wal_covered)
+}
+
+/// Decodes a snapshot blob (file bytes or a bootstrap transfer body).
+pub(crate) fn decode_snapshot_bytes(
+    bytes: &[u8],
+    stability_window: usize,
+) -> Option<SnapshotContents> {
+    decode(bytes, stability_window)
+}
+
 fn encode(entries: &HashMap<String, SiteEntry>, wal_generation: u64, wal_covered: u64) -> Vec<u8> {
     let mut hosts: Vec<&String> = entries.keys().collect();
     hosts.sort_unstable();

@@ -34,14 +34,16 @@ use cookiepicker_core::{ForcumState, TrainingSummary};
 use cp_runtime::sync::{Mutex, RwLock};
 
 use crate::metrics::ServiceMetrics;
-use crate::replication::Replicator;
-use crate::snapshot::{load_snapshot, write_snapshot};
+use crate::replication::{Backlog, PeerStatus, Replicator, DEFAULT_BACKLOG_CAP};
+use crate::snapshot::{
+    decode_snapshot_bytes, encode_snapshot_bytes, load_snapshot, write_snapshot,
+};
 use crate::storage::StorageFaults;
 use crate::wal::{read_log, wal_path, EventKind, FsyncPolicy, VisitEvent, Wal};
 
 /// Per-site state: the FORCUM lifecycle plus the service-side accumulators
 /// backing [`TrainingSummary`].
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SiteEntry {
     /// FORCUM training state (keyed internally by this site's host).
     pub forcum: ForcumState,
@@ -340,6 +342,12 @@ pub struct ShardedStore {
     /// Present while this node is a primary: every applied event is also
     /// shipped to the followers before the caller may ack it.
     repl: RwLock<Option<Arc<Replicator>>>,
+    /// Bounded ring of recently applied records (wire framing), shared
+    /// with the replicator so a reconnecting follower can be replayed the
+    /// gap. Node-global and role-independent: a follower fills it from
+    /// the stream it applies, so a promoted ex-follower can immediately
+    /// serve resyncs for the records it witnessed.
+    backlog: Arc<Mutex<Backlog>>,
     stability_window: usize,
     durable: Option<Durable>,
 }
@@ -355,6 +363,7 @@ impl ShardedStore {
             sites: AtomicUsize::new(0),
             applied: AtomicU64::new(0),
             repl: RwLock::new(None),
+            backlog: Arc::new(Mutex::new(Backlog::new(DEFAULT_BACKLOG_CAP))),
             stability_window,
             durable: None,
         }
@@ -513,10 +522,16 @@ impl ShardedStore {
             }
             // Still under the shard lock: ships from different shards
             // serialize on the replicator lock (shard → replicator order),
-            // so every follower sees one global record order.
+            // so every follower sees one global record order. The ship
+            // itself appends the record to the backlog ring; standalone
+            // writes advance the ring's sequence without the encoding
+            // cost (a later follower of this node bootstraps instead).
             let replicator = self.repl.read().clone();
-            if let Some(replicator) = replicator {
-                replicator.ship(event)?;
+            match replicator {
+                Some(replicator) => replicator.ship(event)?,
+                None => {
+                    self.backlog.lock().advance();
+                }
             }
         }
         Ok(result)
@@ -541,6 +556,10 @@ impl ShardedStore {
         }
         self.applied.fetch_add(1, Ordering::Release);
         entry.apply(event);
+        // Retain the record in the backlog ring (shard → backlog order):
+        // if this follower is later promoted, it can replay these records
+        // to peers that reconnect behind it.
+        self.backlog.lock().push(Arc::new(event.encode_record()));
         self.publish(idx, &event.host, entry);
         if let Some(durable) = &self.durable {
             durable.maybe_checkpoint(idx, &shard);
@@ -554,14 +573,98 @@ impl ShardedStore {
     }
 
     /// Installs (or clears) the primary-side replicator. Leading installs
-    /// one; adopting a newer generation's stream clears it.
+    /// one; adopting a newer generation's stream clears it. The outgoing
+    /// replicator (if any) is retired so its maintenance thread exits.
     pub fn set_replicator(&self, replicator: Option<Arc<Replicator>>) {
-        *self.repl.write() = replicator;
+        let old = {
+            let mut repl = self.repl.write();
+            std::mem::replace(&mut *repl, replicator)
+        };
+        if let Some(old) = old {
+            old.retire();
+        }
     }
 
-    /// Max records any follower is behind, when this node is a primary.
+    /// The shared record backlog (for wiring a replicator to it).
+    pub fn backlog_handle(&self) -> Arc<Mutex<Backlog>> {
+        Arc::clone(&self.backlog)
+    }
+
+    /// Reconfigures how many recent records the backlog ring retains.
+    pub fn set_backlog_capacity(&self, capacity: usize) {
+        self.backlog.lock().set_capacity(capacity);
+    }
+
+    /// Max records any *connected* follower is behind, when this node is
+    /// a primary.
     pub fn replication_lag(&self) -> u64 {
         self.repl.read().as_ref().map_or(0, |r| r.lag())
+    }
+
+    /// Per-peer replication rows for `/healthz` (empty unless primary).
+    pub fn replication_peers(&self) -> Vec<PeerStatus> {
+        self.repl.read().as_ref().map(|r| r.peer_statuses()).unwrap_or_default()
+    }
+
+    /// Encodes the node's entire in-memory state as one snapshot blob for
+    /// `GET /v1/repl/snapshot` — the bootstrap source for a follower too
+    /// far behind the backlog. All shard read locks are held together
+    /// while the entries are copied, so the blob is a consistent cut and
+    /// its embedded `wal_covered` equals the applied sequence it reflects
+    /// (no write can be mid-flight while every shard lock is held).
+    pub fn encode_bootstrap(&self, generation: u64) -> Vec<u8> {
+        let guards: Vec<_> = self.shards.iter().map(|shard| shard.read()).collect();
+        let applied = self.applied.load(Ordering::Acquire);
+        let mut entries: HashMap<String, SiteEntry> = HashMap::new();
+        for guard in &guards {
+            for (host, entry) in guard.iter() {
+                entries.insert(host.clone(), entry.clone());
+            }
+        }
+        drop(guards);
+        encode_snapshot_bytes(&entries, generation, applied)
+    }
+
+    /// Installs a bootstrap blob from [`encode_bootstrap`]: replaces every
+    /// shard's entries, rebuilds the summary mirrors, re-anchors the
+    /// applied sequence and the backlog at the blob's cut, and (for
+    /// durable stores) checkpoints so a restart recovers the installed
+    /// state. Returns the new applied sequence.
+    pub fn install_bootstrap(&self, bytes: &[u8]) -> std::io::Result<u64> {
+        let contents = decode_snapshot_bytes(bytes, self.stability_window).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed bootstrap snapshot")
+        })?;
+        let mut per_shard: Vec<HashMap<String, SiteEntry>> =
+            (0..self.shards.len()).map(|_| HashMap::new()).collect();
+        for (host, entry) in contents.entries {
+            let idx = self.shard_of(&host);
+            per_shard[idx].insert(host, entry);
+        }
+        let mut total = 0usize;
+        for (idx, entries) in per_shard.into_iter().enumerate() {
+            total += entries.len();
+            let mut shard = self.shards[idx].write();
+            *shard = entries;
+            {
+                let mut mirrors = self.mirrors[idx].write();
+                mirrors.clear();
+                for (host, entry) in shard.iter() {
+                    mirrors.entry(host.clone()).or_default().publish(host, entry);
+                }
+            }
+            if let Some(durable) = &self.durable {
+                // Fold the installed state into the shard's snapshot and
+                // truncate its WAL — the old log belongs to a lineage this
+                // node just abandoned.
+                let ok = durable.checkpoint_shard(idx, &shard, false).is_ok();
+                durable.metrics.record_snapshot(ok);
+                durable.since_snapshot[idx].store(0, Ordering::Relaxed);
+            }
+        }
+        self.sites.store(total, Ordering::Relaxed);
+        self.applied.store(contents.wal_covered, Ordering::Release);
+        self.backlog.lock().reset_to(contents.wal_covered);
+        Ok(contents.wal_covered)
     }
 
     /// Publishes `entry`'s summary fields into its seqlock mirror cell,

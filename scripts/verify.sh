@@ -42,9 +42,10 @@ SMOKE=1 ./scripts/crash.sh
 SMOKE=1 ./scripts/bench_crawl.sh
 
 # Cluster smoke: kill -9 the replicated primary mid-load behind the
-# router — gates on no acked mark lost across the failover, zero invented
-# marks vs the single-node oracle, bit-identical same-seed cluster runs,
-# and a fenced stale-primary rejoin.
+# router, then the self-healing gates — a chaos-proxy partition that must
+# heal by backlog resync with no acked mark lost, a killed-and-restarted
+# follower that must reconverge hands-off, and a stalled follower that
+# must be demoted within the ack deadline instead of blocking writes.
 SMOKE=1 ./scripts/cluster.sh
 
 echo "verify: fmt + build + tests + serve smoke + detect smoke + world smoke + chaos smoke + crash smoke + crawl smoke + cluster smoke passed offline"

@@ -94,6 +94,9 @@ pub enum Command {
         /// Generation to lead at — followers that have witnessed a newer
         /// one fence the handshake and the server refuses to start.
         repl_generation: u64,
+        /// Resync backlog ring capacity (records kept in memory for
+        /// follower replay; reconnectors beyond the window bootstrap).
+        repl_backlog: usize,
     },
     /// Run the cluster router in front of replicated cp-serve backends.
     Route {
@@ -110,6 +113,18 @@ pub enum Command {
         miss_threshold: u32,
         /// Ack policy handed to a newly promoted primary.
         ack: cp_serve::ReplAckPolicy,
+    },
+    /// Run the deterministic TCP fault proxy between a client and a
+    /// server (partition/stall/drop/throttle schedules for chaos gates).
+    ChaosProxy {
+        /// Address to listen on (`host:port`, port 0 picks a free port).
+        listen: String,
+        /// Address every accepted connection is forwarded to.
+        target: String,
+        /// Fault schedule spec, e.g. `open:500,cut:1000,open:0`.
+        schedule: String,
+        /// Seed for the throttle chunk-size stream.
+        seed: u64,
     },
     /// One HTTP request against a running service (the crash harness's
     /// portable substitute for curl/nc).
@@ -299,6 +314,7 @@ where
             let mut repl_ack = cp_serve::ReplAckPolicy::default();
             let mut repl_followers = Vec::new();
             let mut repl_generation = 1u64;
+            let mut repl_backlog = cp_serve::replication::DEFAULT_BACKLOG_CAP;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -341,11 +357,15 @@ where
                     "--repl-generation" => {
                         repl_generation = flag_value(&mut it, "--repl-generation")?
                     }
+                    "--repl-backlog" => repl_backlog = flag_value(&mut it, "--repl-backlog")?,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
             if repl_generation == 0 {
                 return Err(err("--repl-generation must be at least 1"));
+            }
+            if repl_backlog == 0 {
+                return Err(err("--repl-backlog must be at least 1 record"));
             }
             if !(0.0..=1.0).contains(&chaos_rate) {
                 return Err(err("--chaos-rate must be in [0, 1]"));
@@ -374,7 +394,29 @@ where
                 repl_ack,
                 repl_followers,
                 repl_generation,
+                repl_backlog,
             })
+        }
+        "chaos-proxy" => {
+            let mut listen = "127.0.0.1:0".to_string();
+            let mut target = None;
+            let mut schedule = "open:0".to_string();
+            let mut seed = 7u64;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--listen" => listen = flag_value(&mut it, "--listen")?,
+                    "--target" => target = Some(flag_value::<String>(&mut it, "--target")?),
+                    "--schedule" => schedule = flag_value(&mut it, "--schedule")?,
+                    "--seed" => seed = flag_value(&mut it, "--seed")?,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            let target = target.ok_or_else(|| err("chaos-proxy needs --target HOST:PORT"))?;
+            // Reject malformed schedules before binding anything.
+            cp_serve::parse_schedule(&schedule)
+                .map_err(|e| err(format!("invalid --schedule: {e}")))?;
+            Ok(Command::ChaosProxy { listen, target, schedule, seed })
         }
         "route" => {
             let mut port = 7069u16;
@@ -592,8 +634,10 @@ USAGE:
                        [--world table1|uniform:N] [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]
                        [--storage-fault-rate F] [--storage-fault-seed N]
                        [--repl-port N] [--repl-ack none|quorum|all] [--repl-follower ADDR]... [--repl-generation N]
+                       [--repl-backlog N]
     cookiepicker route --backend HTTP_ADDR,REPL_ADDR [--backend ...]... [--port N] [--workers N]
                        [--heartbeat-ms N] [--miss-threshold N] [--ack none|quorum|all]
+    cookiepicker chaos-proxy --target HOST:PORT [--listen HOST:PORT] [--schedule PHASE:MS,...] [--seed N]
     cookiepicker loadgen --port N [--host H] [--threads N] [--connections N] [--requests N] [--seed N] [--hosts N] [--zipf S]
                          [--retries N] [--backoff-ms N] [--out FILE] [--marks-out FILE]
     cookiepicker crawl [--world table1|uniform:N] [--seed N] [--workers N] [--ticks N] [--duration S] [--ttl S]
@@ -755,6 +799,7 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
             repl_ack,
             repl_followers,
             repl_generation,
+            repl_backlog,
         } => {
             let timeout = std::time::Duration::from_millis(timeout_ms);
             let durable = data_dir.is_some();
@@ -777,6 +822,7 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
                 repl_ack,
                 repl_followers,
                 repl_generation,
+                repl_backlog,
                 ..cp_serve::ServeConfig::default()
             };
             let mut server =
@@ -834,6 +880,19 @@ pub fn run(command: Command, out: &mut impl std::io::Write) -> Result<(), CliErr
             out.flush().map_err(|e| err(e.to_string()))?;
             router.wait();
             writeln!(out, "cp-route: drained and stopped").map_err(|e| err(e.to_string()))?;
+        }
+        Command::ChaosProxy { listen, target, schedule, seed } => {
+            let parsed = cp_serve::parse_schedule(&schedule)
+                .map_err(|e| err(format!("invalid --schedule: {e}")))?;
+            let proxy = cp_serve::ChaosProxy::start(&listen, &target, seed)
+                .map_err(|e| err(format!("cannot start: {e}")))?;
+            writeln!(out, "cp-chaos-proxy listening on {} -> {target} (seed {seed})", proxy.addr())
+                .map_err(|e| err(e.to_string()))?;
+            // Flush so wrappers (cluster.sh) can scrape the port before the
+            // schedule runs to completion.
+            out.flush().map_err(|e| err(e.to_string()))?;
+            proxy.run_schedule(&parsed);
+            writeln!(out, "cp-chaos-proxy: schedule complete").map_err(|e| err(e.to_string()))?;
         }
         Command::Get { host, port, post, path } => {
             let mut client = cp_serve::loadgen::Client::new(&host, port);
@@ -1046,6 +1105,7 @@ mod tests {
                 repl_ack: cp_serve::ReplAckPolicy::Quorum,
                 repl_followers: vec![],
                 repl_generation: 1,
+                repl_backlog: cp_serve::replication::DEFAULT_BACKLOG_CAP,
             }
         );
         assert!(matches!(
@@ -1259,6 +1319,51 @@ mod tests {
         assert_eq!(repl_generation, 3);
         assert!(parse_args(["serve", "--repl-ack", "most"]).is_err(), "unknown policy");
         assert!(parse_args(["serve", "--repl-generation", "0"]).is_err(), "generations start at 1");
+        assert!(matches!(
+            parse_args(["serve", "--repl-backlog", "64"]).unwrap(),
+            Command::Serve { repl_backlog: 64, .. }
+        ));
+        assert!(
+            parse_args(["serve", "--repl-backlog", "0"]).is_err(),
+            "empty ring replays nothing"
+        );
+    }
+
+    #[test]
+    fn parse_chaos_proxy() {
+        assert_eq!(
+            parse_args([
+                "chaos-proxy",
+                "--listen",
+                "127.0.0.1:7555",
+                "--target",
+                "127.0.0.1:7170",
+                "--schedule",
+                "open:500,cut:1000,open:0",
+                "--seed",
+                "9",
+            ])
+            .unwrap(),
+            Command::ChaosProxy {
+                listen: "127.0.0.1:7555".into(),
+                target: "127.0.0.1:7170".into(),
+                schedule: "open:500,cut:1000,open:0".into(),
+                seed: 9,
+            }
+        );
+        // Defaults: any free port, hold open forever.
+        assert!(matches!(
+            parse_args(["chaos-proxy", "--target", "127.0.0.1:1"]).unwrap(),
+            Command::ChaosProxy { ref listen, ref schedule, seed: 7, .. }
+                if listen == "127.0.0.1:0" && schedule == "open:0"
+        ));
+        assert!(parse_args(["chaos-proxy"]).is_err(), "needs a target");
+        assert!(
+            parse_args(["chaos-proxy", "--target", "127.0.0.1:1", "--schedule", "warp:10"])
+                .is_err(),
+            "unknown phase rejected at parse time"
+        );
+        assert!(parse_args(["chaos-proxy", "--target", "127.0.0.1:1", "--bogus"]).is_err());
     }
 
     #[test]
@@ -1324,9 +1429,18 @@ mod tests {
 
     #[test]
     fn usage_lists_every_subcommand() {
-        for sub in
-            ["classify", "simulate", "jar", "serve", "route", "loadgen", "crawl", "get", "help"]
-        {
+        for sub in [
+            "classify",
+            "simulate",
+            "jar",
+            "serve",
+            "route",
+            "chaos-proxy",
+            "loadgen",
+            "crawl",
+            "get",
+            "help",
+        ] {
             assert!(
                 USAGE.lines().any(|l| l.trim_start().starts_with(&format!("cookiepicker {sub}"))),
                 "USAGE must document {sub}"

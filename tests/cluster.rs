@@ -9,14 +9,21 @@
 //!
 //! Both are the invariants `scripts/cluster.sh` exercises with kill -9;
 //! here they run deterministically in-process on every `cargo test`.
+//!
+//! The self-healing suite below adds the resync ladder (§16): backlog
+//! replay across a partition, snapshot bootstrap when the ring is
+//! overrun, and the bounded-stall guarantee for a silent follower —
+//! each driven through the deterministic chaos proxy.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cookiepicker::serve::loadgen::Client;
-use cookiepicker::serve::replication::{HANDSHAKE_BYTES, HANDSHAKE_REPLY_BYTES, REPL_MAGIC};
-use cookiepicker::serve::{start, ServeConfig, ServerHandle};
+use cookiepicker::serve::replication::{
+    ReplAckPolicy, ACK_DEADLINE, HANDSHAKE_BYTES, HANDSHAKE_REPLY_BYTES, REPL_MAGIC,
+};
+use cookiepicker::serve::{start, ChaosProxy, Phase, ServeConfig, ServerHandle};
 use cp_runtime::json::Json;
 
 fn node(config: ServeConfig) -> ServerHandle {
@@ -74,6 +81,43 @@ fn train_s6(port: u16) -> String {
         }
     }
     host
+}
+
+/// Scrapes one counter/gauge value from `port`'s Prometheus exposition.
+fn metric(port: u16, name: &str) -> u64 {
+    let exposition = get(port, "/metrics");
+    for line in exposition.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            if let Some(value) = rest.strip_prefix(' ') {
+                return value.trim().parse::<f64>().unwrap_or(0.0) as u64;
+            }
+        }
+    }
+    0
+}
+
+/// Polls `check` until it passes or `secs` elapse (then panics with `what`).
+fn wait_until(secs: u64, what: &str, mut check: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !check() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One acked training visit through `port`.
+fn visit(port: u16, host: &str, path: &str) {
+    let (status, body) =
+        post(port, "/v1/visit", &format!(r#"{{"host":"{host}","path":"{path}"}}"#));
+    assert_eq!(status, 200, "visit {path}: {body}");
+}
+
+/// Flips the proxy phase and waits out the pump re-sample window, so
+/// traffic sent next is certainly subject to the new phase (a pump
+/// mid-read can hold the previous phase for one read-timeout tick).
+fn flip(proxy: &ChaosProxy, phase: Phase) {
+    proxy.set_phase(phase);
+    std::thread::sleep(Duration::from_millis(50));
 }
 
 /// Raw replication handshake against `addr`, returning the follower's
@@ -189,4 +233,157 @@ fn promote_rejoin_repromote_never_double_applies() {
     assert_eq!(status, 200, "{body}");
     assert_eq!(applied_seq(a.port()), a_applied + 1, "one acked write, one applied record");
     assert_eq!(get(a.port(), "/v1/marks"), get(b.port(), "/v1/marks"));
+}
+
+#[test]
+fn partitioned_follower_resyncs_from_backlog_without_double_apply() {
+    // Primary ships through a chaos proxy so the partition is a phase
+    // flip, not a kill. Ack policy `none` keeps the primary writable
+    // while the follower is unreachable — exactly the window the backlog
+    // ring must cover.
+    let a = node(ServeConfig {
+        repl_port: Some(0),
+        repl_ack: ReplAckPolicy::None,
+        ..ServeConfig::default()
+    });
+    let b = node(ServeConfig { repl_port: Some(0), ..ServeConfig::default() });
+    let proxy =
+        ChaosProxy::start("127.0.0.1:0", &b.repl_addr().unwrap().to_string(), 7).expect("proxy");
+
+    let (status, body) = post(
+        a.port(),
+        "/v1/repl/lead",
+        &format!(r#"{{"generation":1,"followers":["{}"]}}"#, proxy.addr()),
+    );
+    assert_eq!(status, 200, "{body}");
+    let host = train_s6(a.port());
+    wait_until(10, "initial follower sync", || applied_seq(b.port()) == applied_seq(a.port()));
+    let marks = get(a.port(), "/v1/marks");
+    assert!(!marks.is_empty());
+
+    // Partition. The primary keeps acking writes (policy none); the
+    // follower misses them and its stream dies.
+    flip(&proxy, Phase::Cut);
+    for i in 0..6 {
+        visit(a.port(), &host, &format!("/during-partition/{i}"));
+    }
+    let head = applied_seq(a.port());
+    assert!(applied_seq(b.port()) < head, "follower must have missed the partition writes");
+
+    // Heal: the maintenance thread redials through the proxy and replays
+    // exactly the gap from the in-memory backlog — no restart, no
+    // operator action, no snapshot.
+    flip(&proxy, Phase::Open);
+    wait_until(15, "backlog resync", || applied_seq(b.port()) == applied_seq(a.port()));
+    assert_eq!(
+        applied_seq(b.port()),
+        head,
+        "replay lands the follower exactly at the primary's head — an \
+         overshoot would mean a record applied twice"
+    );
+    assert_eq!(get(b.port(), "/v1/marks"), get(a.port(), "/v1/marks"));
+    assert!(metric(a.port(), "cp_repl_resync_total") >= 1, "resync must be counted");
+    assert!(metric(a.port(), "cp_repl_resync_records_total") >= 6, "the gap was replayed");
+    assert_eq!(metric(a.port(), "cp_repl_bootstrap_hints_total"), 0, "no bootstrap needed");
+
+    // And the healed stream is live again: a post-heal write applies.
+    visit(a.port(), &host, "/after-heal");
+    wait_until(10, "post-heal ship", || applied_seq(b.port()) == applied_seq(a.port()));
+}
+
+#[test]
+fn overrun_backlog_falls_back_to_snapshot_bootstrap() {
+    // A four-record ring cannot cover a partition that misses eight
+    // writes: the resync ladder must step down to the snapshot transfer.
+    let a = node(ServeConfig {
+        repl_port: Some(0),
+        repl_ack: ReplAckPolicy::None,
+        repl_backlog: 4,
+        ..ServeConfig::default()
+    });
+    let b = node(ServeConfig { repl_port: Some(0), ..ServeConfig::default() });
+    let proxy =
+        ChaosProxy::start("127.0.0.1:0", &b.repl_addr().unwrap().to_string(), 7).expect("proxy");
+
+    let (status, body) = post(
+        a.port(),
+        "/v1/repl/lead",
+        &format!(r#"{{"generation":1,"followers":["{}"]}}"#, proxy.addr()),
+    );
+    assert_eq!(status, 200, "{body}");
+    let host = train_s6(a.port());
+    wait_until(10, "initial follower sync", || applied_seq(b.port()) == applied_seq(a.port()));
+
+    flip(&proxy, Phase::Cut);
+    for i in 0..8 {
+        visit(a.port(), &host, &format!("/beyond-the-ring/{i}"));
+    }
+    flip(&proxy, Phase::Open);
+
+    // The redial finds the follower beyond the ring, hints the bootstrap,
+    // the follower pulls /v1/repl/snapshot from the primary and rejoins
+    // the live stream at its head.
+    wait_until(20, "snapshot bootstrap", || applied_seq(b.port()) == applied_seq(a.port()));
+    assert_eq!(get(b.port(), "/v1/marks"), get(a.port(), "/v1/marks"));
+    assert!(metric(a.port(), "cp_repl_bootstrap_hints_total") >= 1, "primary hinted the overrun");
+    assert!(metric(b.port(), "cp_repl_bootstrap_total") >= 1, "follower installed a snapshot");
+
+    // Still a working replica afterwards.
+    visit(a.port(), &host, "/after-bootstrap");
+    wait_until(10, "post-bootstrap ship", || applied_seq(b.port()) == applied_seq(a.port()));
+}
+
+#[test]
+fn stalled_follower_is_demoted_within_the_ack_deadline() {
+    // Two followers under quorum: one follower ack suffices (2 of 3
+    // nodes). Stalling one must cost a write at most ~ACK_DEADLINE, not
+    // the 5 s stream timeout the old path blocked for.
+    let a = node(ServeConfig { repl_port: Some(0), ..ServeConfig::default() });
+    let b = node(ServeConfig { repl_port: Some(0), ..ServeConfig::default() });
+    let c = node(ServeConfig { repl_port: Some(0), ..ServeConfig::default() });
+    let proxy =
+        ChaosProxy::start("127.0.0.1:0", &c.repl_addr().unwrap().to_string(), 7).expect("proxy");
+
+    let (status, body) = post(
+        a.port(),
+        "/v1/repl/lead",
+        &format!(
+            r#"{{"generation":1,"followers":["{}","{}"]}}"#,
+            b.repl_addr().unwrap(),
+            proxy.addr()
+        ),
+    );
+    assert_eq!(status, 200, "{body}");
+    let host = train_s6(a.port());
+    wait_until(10, "both followers sync", || {
+        applied_seq(b.port()) == applied_seq(a.port())
+            && applied_seq(c.port()) == applied_seq(a.port())
+    });
+
+    // Stall: bytes stop flowing to/from C but its connection stays up —
+    // the silent-peer case that must trip the deadline, not an error path.
+    flip(&proxy, Phase::Stall);
+    let started = Instant::now();
+    visit(a.port(), &host, "/during-stall");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < ACK_DEADLINE * 8,
+        "a stalled follower held the write for {elapsed:?} — the demotion \
+         deadline is {ACK_DEADLINE:?}"
+    );
+    assert!(metric(a.port(), "cp_repl_slow_demotions_total") >= 1, "the stall demoted the peer");
+
+    // Subsequent writes no longer pay the deadline at all: the demoted
+    // peer is off the write path until it catches up.
+    let started = Instant::now();
+    for i in 0..3 {
+        visit(a.port(), &host, &format!("/post-demotion/{i}"));
+    }
+    assert!(started.elapsed() < ACK_DEADLINE * 3, "catching-up peers must not gate client writes");
+    assert_eq!(applied_seq(b.port()), applied_seq(a.port()), "quorum follower kept up");
+
+    // Heal: the maintenance drain feeds C the backlog and promotes it.
+    flip(&proxy, Phase::Open);
+    wait_until(15, "stalled follower catch-up", || applied_seq(c.port()) == applied_seq(a.port()));
+    assert_eq!(get(c.port(), "/v1/marks"), get(a.port(), "/v1/marks"));
 }
